@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Ablations over the design choices DESIGN.md calls out:
+ *  - feature count (106 / 133 / 145) — the dimensionality argument
+ *    of Sec. VI-A (more dimensions -> a linear model suffices);
+ *  - vaccination dose (generated samples per class);
+ *  - secure-window length (10k / 100k / 1M) — paper Sec. VII;
+ *  - ROB size vs. evasion feasibility — the paper's claim that a
+ *    small ROB bounds the transient window and defeats AML.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/endtoend.hh"
+#include "core/experiment.hh"
+#include "ml/metrics.hh"
+#include "util/stats.hh"
+
+using namespace evax;
+
+namespace
+{
+
+double
+detectorAuc(Detector &det, const Dataset &data)
+{
+    std::vector<double> scores;
+    std::vector<bool> labels;
+    for (const auto &s : data.samples) {
+        scores.push_back(det.score(s.x));
+        labels.push_back(s.malicious);
+    }
+    return rocAuc(scores, labels);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Ablations", "feature count, vaccination dose, secure "
+                        "window, ROB size");
+
+    ExperimentScale scale = ExperimentScale::quick();
+    Collector collector(scale.collector);
+    Dataset corpus = collector.collectCorpus();
+    NormalizationProfile profile = Collector::normalize(corpus);
+    Rng rng(4);
+    corpus.shuffle(rng);
+    Dataset train, test;
+    corpus.split(0.7, train, test);
+
+    // --- Feature-count ablation -------------------------------
+    Table tf({"features", "auc"});
+    {
+        PerSpectron p106(3);
+        trainTraditional(p106, train, scale.trainEpochs,
+                         scale.maxFpr, rng);
+        tf.addRow({"106 (PerSpectron)",
+                   Table::fmt(detectorAuc(p106, test), 4)});
+
+        EvaxDetector e133({}, 3); // base features only
+        trainTraditional(e133, train, scale.trainEpochs,
+                         scale.maxFpr, rng);
+        tf.addRow({"133 (base)",
+                   Table::fmt(detectorAuc(e133, test), 4)});
+
+        EvaxDetector e145(FeatureCatalog::engineered(), 3);
+        trainTraditional(e145, train, scale.trainEpochs,
+                         scale.maxFpr, rng);
+        tf.addRow({"145 (base + engineered)",
+                   Table::fmt(detectorAuc(e145, test), 4)});
+    }
+    emitResult(tf, "ablation_features",
+               "Detector AUC vs. monitored feature count");
+
+    // --- Vaccination-dose ablation -----------------------------
+    // The vaccine buys robustness against *evasive* variants: the
+    // dose sweep is therefore evaluated on fuzzer-generated attacks
+    // (none of which are in training) against benign windows.
+    Dataset evasive;
+    evasive.classNames = AttackRegistry::classNames();
+    for (FuzzTool tool : {FuzzTool::Transynther, FuzzTool::TrrEspass,
+                          FuzzTool::Osiris}) {
+        AttackFuzzer fuzzer(tool, 500 + (uint64_t)tool);
+        evasive.append(collector.collectFuzzerSamples(fuzzer, 8,
+                                                      15000));
+    }
+    Collector::applyProfile(evasive, profile);
+    Dataset eval_set = test; // benign + seen attacks...
+    eval_set.samples.clear();
+    for (const auto &s : test.samples) {
+        if (!s.malicious)
+            eval_set.samples.push_back(s);
+    }
+    eval_set.append(evasive);
+
+    Table td({"adversarial_per_class", "evasive_auc"});
+    for (size_t dose : {0ul, 100ul, 400ul, 800ul}) {
+        VaccinationConfig vc = scale.vaccination;
+        vc.adversarialPerClass = dose;
+        vc.augmentPerClass = dose ? vc.augmentPerClass : 0;
+        Dataset aug = train;
+        if (dose > 0) {
+            Vaccinator v(vc);
+            aug = v.run(train).augmented;
+        }
+        EvaxDetector det(FeatureCatalog::engineered(), 6);
+        trainTraditional(det, aug, scale.trainEpochs, scale.maxFpr,
+                         rng);
+        td.addRow({std::to_string(dose),
+                   Table::fmt(detectorAuc(det, eval_set), 4)});
+    }
+    emitResult(td, "ablation_dose",
+               "Evasive-set AUC vs. vaccination dose");
+
+    // --- Secure-window ablation --------------------------------
+    // Isolate the cost of the dwell itself: force one detection
+    // early in an otherwise benign run (the worst-case false
+    // positive) and sweep the window length.
+    class FlagOnce : public Detector
+    {
+      public:
+        double score(const std::vector<double> &) const override
+        { return fired_ ? -1.0 : 1.0; }
+        bool
+        flag(const std::vector<double> &) const override
+        {
+            if (fired_)
+                return false;
+            fired_ = true;
+            return true;
+        }
+        void train(const Dataset &, unsigned, Rng &) override {}
+        void tune(const Dataset &, double) override {}
+        void tuneSensitivity(const Dataset &, double) override {}
+        const char *name() const override { return "flag-once"; }
+
+      private:
+        mutable bool fired_ = false;
+    };
+
+    Table tw({"secure_window_insts", "benign_ipc_ratio_after_fp"});
+    for (uint64_t window : {10000ULL, 100000ULL, 1000000ULL}) {
+        std::vector<double> ratios;
+        for (const char *wl : {"compress", "sort", "netsim"}) {
+            auto base = WorkloadRegistry::create(wl, 3, 40000);
+            double b = runPlain(*base, DefenseMode::None).ipc();
+            GatedRunConfig cfg;
+            cfg.profile = profile;
+            cfg.adaptive.secureWindowInsts = window;
+            cfg.adaptive.secureMode =
+                DefenseMode::FenceFuturistic;
+            FlagOnce once;
+            auto gw = WorkloadRegistry::create(wl, 3, 40000);
+            ratios.push_back(
+                runGated(*gw, once, cfg).sim.ipc() / b);
+        }
+        tw.addRow({std::to_string(window),
+                   Table::fmt(mean(ratios), 4)});
+    }
+    emitResult(tw, "ablation_window",
+               "Benign IPC ratio after one forced FP vs. "
+               "secure-window length");
+
+    // --- ROB-size vs. transient window -------------------------
+    // The transient window is bounded by the ROB: an evasive
+    // gadget padded with filler needs room in the window; a small
+    // ROB squashes before the transmit issues (the paper's "small
+    // ROB defeats AML" observation).
+    Table tr({"rob_entries", "padded_gadget_leaks"});
+    for (unsigned rob : {24u, 48u, 96u, 192u, 384u}) {
+        CoreParams params;
+        params.robEntries = rob;
+        CounterRegistry reg;
+        O3Core core(params, reg);
+
+        // Branch transient = 60 filler ops then the transmit.
+        std::vector<MicroOp> ops;
+        for (int iter = 0; iter < 400; ++iter) {
+            bool victim = iter % 40 == 39;
+            if (victim) {
+                MicroOp fl;
+                fl.op = OpClass::Clflush;
+                fl.pc = 0x900;
+                fl.addr = 0xb0000000;
+                ops.push_back(fl);
+                MicroOp slow;
+                slow.op = OpClass::Load;
+                slow.pc = 0x910;
+                slow.addr = 0xb0000000;
+                slow.dst = 9;
+                ops.push_back(slow);
+            }
+            MicroOp br;
+            br.pc = 0x1000;
+            br.op = OpClass::Branch;
+            br.actualTaken = !victim;
+            br.addr = 0x1100;
+            br.src0 = victim ? 9 : -1;
+            if (victim) {
+                auto g =
+                    std::make_shared<std::vector<MicroOp>>();
+                for (int f = 0; f < 60; ++f) {
+                    MicroOp pad;
+                    pad.pc = 0x2000 + 4 * f;
+                    pad.op = OpClass::IntAlu;
+                    pad.src0 = 14;
+                    pad.dst = 14;
+                    g->push_back(pad);
+                }
+                MicroOp transmit;
+                transmit.pc = 0x3000;
+                transmit.op = OpClass::Load;
+                transmit.addr = 0x90000000 + (iter % 64) * 64;
+                transmit.secretDependent = true;
+                g->push_back(transmit);
+                br.transient = g;
+            }
+            ops.push_back(br);
+            MicroOp body;
+            body.pc = 0x1004;
+            body.op = OpClass::IntAlu;
+            body.dst = 1;
+            ops.push_back(body);
+        }
+
+        class VecStream : public InstStream
+        {
+          public:
+            explicit VecStream(std::vector<MicroOp> v)
+                : ops_(std::move(v))
+            {
+            }
+            bool
+            next(MicroOp &op) override
+            {
+                if (pos_ >= ops_.size())
+                    return false;
+                op = ops_[pos_++];
+                return true;
+            }
+            void reset() override { pos_ = 0; }
+            const char *name() const override { return "vec"; }
+
+          private:
+            std::vector<MicroOp> ops_;
+            size_t pos_ = 0;
+        } stream(ops);
+
+        SimResult res = core.run(stream);
+        tr.addRow({std::to_string(rob),
+                   std::to_string(res.leaks)});
+    }
+    emitResult(tr, "ablation_rob",
+               "Padded-gadget leakage vs. ROB size (small ROB "
+               "truncates the transient window)");
+    return 0;
+}

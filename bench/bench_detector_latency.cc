@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the latency-critical
+ * pieces: perceptron inference (must classify within the transient
+ * window — Sec. VI-B argues a serial adder finishes in a few
+ * hundred cycles), engineered-feature computation, sampler window
+ * close, GAN sample generation, and raw simulator throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/collector.hh"
+#include "detect/evax_detector.hh"
+#include "detect/perspectron.hh"
+#include "hpc/sampler.hh"
+#include "ml/gan.hh"
+#include "sim/core.hh"
+#include "workload/registry.hh"
+
+using namespace evax;
+
+namespace
+{
+
+std::vector<double>
+someWindow()
+{
+    std::vector<double> x(FeatureCatalog::numBase);
+    Rng rng(3);
+    for (auto &v : x)
+        v = rng.nextDouble();
+    return x;
+}
+
+void
+BM_PerceptronScore(benchmark::State &state)
+{
+    PerSpectron det(1);
+    auto x = someWindow();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(det.score(x));
+}
+BENCHMARK(BM_PerceptronScore);
+
+void
+BM_EvaxScore(benchmark::State &state)
+{
+    EvaxDetector det;
+    auto x = someWindow();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(det.score(x));
+}
+BENCHMARK(BM_EvaxScore);
+
+void
+BM_EngineeredFeatures(benchmark::State &state)
+{
+    auto x = someWindow();
+    const auto &eng = FeatureCatalog::engineered();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            FeatureCatalog::computeEngineered(x, eng));
+    }
+}
+BENCHMARK(BM_EngineeredFeatures);
+
+void
+BM_SamplerWindow(benchmark::State &state)
+{
+    CounterRegistry reg;
+    Sampler sampler(reg, 1);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sampler.sampleNow(++insts, insts * 2));
+    }
+}
+BENCHMARK(BM_SamplerWindow);
+
+void
+BM_GanGenerate(benchmark::State &state)
+{
+    AmGanConfig cfg;
+    cfg.numClasses = 22;
+    AmGan gan(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gan.generate(1));
+}
+BENCHMARK(BM_GanGenerate);
+
+void
+BM_SimulatorKiloOps(benchmark::State &state)
+{
+    for (auto _ : state) {
+        CoreParams params;
+        CounterRegistry reg;
+        O3Core core(params, reg);
+        auto wl = WorkloadRegistry::create("compress", 7, 1000);
+        benchmark::DoNotOptimize(core.run(*wl));
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorKiloOps);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 15 reproduction: false-positive / false-negative rates per
+ * sampling window for PerSpectron vs EVAX, at 10k-instruction and
+ * 100-instruction sampling.
+ *
+ * Paper: FP 0.27 -> 0.034 per 10k window (85% better), FN 0.11 ->
+ * 0.03 (72% better); at 100-instruction sampling 0.0005 FP /
+ * 0.0001 FN.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/endtoend.hh"
+#include "core/experiment.hh"
+#include "util/stats.hh"
+
+using namespace evax;
+
+namespace
+{
+
+/** FP rate over benign streams / FN rate over attack streams. */
+struct Rates
+{
+    double fp = 0.0;
+    double fn = 0.0;
+};
+
+Rates
+measure(Detector &det, const NormalizationProfile &profile,
+        uint64_t interval, uint64_t benign_len, uint64_t attack_len)
+{
+    GatedRunConfig cfg;
+    cfg.profile = profile;
+    cfg.sampleInterval = interval;
+
+    uint64_t fp = 0, benign_windows = 0;
+    for (const auto &name : WorkloadRegistry::names()) {
+        auto wl = WorkloadRegistry::create(name, 31, benign_len);
+        for (bool d : windowDecisions(*wl, det, cfg)) {
+            ++benign_windows;
+            fp += d ? 1 : 0;
+        }
+    }
+    uint64_t fn = 0, attack_windows = 0;
+    for (const auto &name : AttackRegistry::names()) {
+        auto atk = AttackRegistry::create(name, 37, attack_len);
+        for (bool d : windowDecisions(*atk, det, cfg)) {
+            ++attack_windows;
+            fn += d ? 0 : 1;
+        }
+    }
+    Rates r;
+    r.fp = benign_windows ? (double)fp / benign_windows : 0.0;
+    r.fn = attack_windows ? (double)fn / attack_windows : 0.0;
+    return r;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 15 — FP/FN distribution per sampling window",
+           "EVAX cuts PerSpectron's FP by ~85% and FN by ~72%; "
+           "higher sampling frequency improves both");
+
+    // Train at the 1k interval (the detectors transfer across
+    // intervals because features are max-normalized per window).
+    ExperimentScale scale = ExperimentScale::standard();
+    ExperimentSetup setup = buildExperiment(scale, 42);
+
+    Table t({"sampling_interval", "detector", "fp_per_window",
+             "fn_per_window"});
+    Rates persp10k, evax10k;
+    for (uint64_t interval : {10000ULL, 1000ULL, 100ULL}) {
+        // Re-collect and retrain at this interval so window scale
+        // matches (the paper trains per sampling rate).
+        ExperimentScale s2 = scale;
+        s2.collector.sampleInterval = interval;
+        // Keep runtime bounded for the 100-inst sweep.
+        if (interval == 100) {
+            s2.collector.benignSeeds = 1;
+            s2.collector.attackSeeds = 1;
+        }
+        ExperimentSetup su = buildExperiment(s2, 43);
+        // Detection-study operating point: both detectors tuned
+        // for very high sensitivity on real windows (Sec. VIII-A);
+        // FPs land where each model's margins put them.
+        su.perspectron->tuneSensitivity(su.corpus, 0.05);
+        su.evax->tuneSensitivity(su.corpus, 0.05);
+        Rates rp = measure(*su.perspectron, su.profile, interval,
+                           40000, 30000);
+        Rates re = measure(*su.evax, su.profile, interval, 40000,
+                           30000);
+        if (interval == 10000) {
+            persp10k = rp;
+            evax10k = re;
+        }
+        t.addRow({std::to_string(interval), "perspectron",
+                  Table::fmt(rp.fp, 4), Table::fmt(rp.fn, 4)});
+        t.addRow({std::to_string(interval), "evax",
+                  Table::fmt(re.fp, 4), Table::fmt(re.fn, 4)});
+    }
+    emitResult(t, "fig15_fp_fn",
+               "FP/FN per window by sampling interval");
+
+    double fp_gain = persp10k.fp > 0
+                         ? 1.0 - evax10k.fp / persp10k.fp
+                         : 0.0;
+    double fn_gain = persp10k.fn > 0
+                         ? 1.0 - evax10k.fn / persp10k.fn
+                         : 0.0;
+    std::cout << "10k-window improvement: FP "
+              << Table::pct(fp_gain) << ", FN "
+              << Table::pct(fn_gain)
+              << " (paper: 85% / 72%)\n";
+    std::cout << (evax10k.fn <= persp10k.fn
+                      ? "SHAPE OK: EVAX improves the FN rate at "
+                        "the high-sensitivity operating point\n"
+                      : "SHAPE WARNING\n");
+    std::cout << "note: our synthetic corpus gives PerSpectron a "
+                 "stronger FP baseline than the paper's "
+                 "full-system traces (0.27/window there), so the "
+                 "FP-side contrast is smaller here.\n";
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Figure 18 reproduction: adversarial-ML evasion against the
+ * detectors. A white-box attacker (paper threat model: access to a
+ * similar detector) perturbs attack windows in the directions that
+ * lower the detector score — but microarchitectural reality
+ * constrains the perturbation: the attack's own actions (flushes,
+ * squashes, row activations) cannot be suppressed below a floor or
+ * the attack stops working, and padding with benign activity can
+ * only *add* to the quieter counters.
+ *
+ * Paper: accuracy on adversarial samples plateaus at 78% for the
+ * fuzz-hardened baseline and reaches 93% for EVAX, at which point
+ * every remaining evasion attempt disables the attack.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_util.hh"
+#include "core/experiment.hh"
+#include "util/stats.hh"
+
+using namespace evax;
+
+namespace
+{
+
+/**
+ * White-box evasion over the *feasible* adversarial space. An
+ * attacker does not control counters individually — code
+ * transformations move a window's footprint along two axes:
+ * dilution (throttling/padding scales the attack's own activity
+ * down, bounded below or the attack stops working) and benign
+ * mixing (interleaved benign work adds the benign profile on top).
+ * The attacker searches that whole plane for an un-flagged point.
+ * @return true if every feasible variant is still detected
+ */
+bool
+survivesEvasion(Detector &det, const std::vector<double> &x,
+                const std::vector<double> &benign_mean,
+                double floor)
+{
+    std::vector<double> adv(x.size());
+    for (double alpha = 1.0; alpha >= floor - 1e-9; alpha -= 0.05) {
+        for (double beta = 0.0; beta <= 0.6 + 1e-9; beta += 0.1) {
+            for (size_t i = 0; i < x.size(); ++i) {
+                double b = i < benign_mean.size()
+                               ? benign_mean[i]
+                               : 0.0;
+                adv[i] = std::min(1.0, alpha * x[i] + beta * b);
+            }
+            if (!det.flag(adv))
+                return false; // an evasive variant escapes
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 18 — filling the adversarial space",
+           "accuracy on AML-perturbed attacks: fuzz-hardened "
+           "baseline ~78%, EVAX ~93%");
+
+    ExperimentScale scale = ExperimentScale::standard();
+    ExperimentSetup setup = buildExperiment(scale, 42);
+
+    // Fuzz-hardened PerSpectron (the P.Fuzzer baseline).
+    Dataset hardened =
+        fuzzAugment(setup.corpus, setup.profile, scale.collector,
+                    8, 777);
+    auto pfuzzer = std::make_shared<PerSpectron>(99);
+    Rng rng(5);
+    trainTraditional(*pfuzzer, hardened, scale.trainEpochs,
+                     scale.maxFpr, rng);
+
+    // Attack windows to perturb, and the benign profile the
+    // attacker mixes in.
+    std::vector<const Sample *> attacks;
+    std::vector<double> benign_mean(FeatureCatalog::numBase, 0.0);
+    size_t benign_count = 0;
+    for (const auto &s : setup.corpus.samples) {
+        if (s.malicious) {
+            attacks.push_back(&s);
+        } else {
+            for (size_t i = 0;
+                 i < benign_mean.size() && i < s.x.size(); ++i)
+                benign_mean[i] += s.x[i];
+            ++benign_count;
+        }
+    }
+    if (benign_count) {
+        for (auto &v : benign_mean)
+            v /= (double)benign_count;
+    }
+
+    Table t({"detector", "detected_after_aml", "samples"});
+    double evax_acc = 0.0, pf_acc = 0.0;
+    struct Row
+    {
+        const char *label;
+        Detector *det;
+        double *out;
+    } rows[] = {
+        {"perspectron", setup.perspectron.get(), nullptr},
+        {"perspectron+fuzzer", pfuzzer.get(), &pf_acc},
+        {"evax", setup.evax.get(), &evax_acc},
+    };
+    for (const Row &r : rows) {
+        size_t n = std::min<size_t>(attacks.size(), 400);
+        size_t detected = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (survivesEvasion(*r.det, attacks[i]->x,
+                                benign_mean, 0.35))
+                ++detected;
+        }
+        double acc = n ? (double)detected / n : 0.0;
+        if (r.out)
+            *r.out = acc;
+        t.addRow({r.label, Table::pct(acc), std::to_string(n)});
+    }
+    emitResult(t, "fig18_aml",
+               "Detection accuracy under white-box AML evasion");
+
+    std::cout << "paper: 78% (hardened baseline) vs 93% (EVAX)\n";
+    std::cout << (evax_acc > pf_acc
+                      ? "SHAPE OK: vaccination resists AML better "
+                        "than fuzz-hardening\n"
+                      : "SHAPE WARNING\n");
+    return 0;
+}

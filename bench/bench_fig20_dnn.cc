@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 20 reproduction: EVAX's GAN-augmented training also lifts
+ * deep neural detectors. Traditional training degrades as layers
+ * are added (noisy data); EVAX training gives shallower networks
+ * higher accuracy than much deeper traditionally-trained ones.
+ *
+ * Paper: 16-layer DNN 0.57-0.90 traditional -> 0.95-0.99 with EVAX
+ * training; a 32-layer traditional model is *worse* than 16-layer.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_util.hh"
+#include "core/experiment.hh"
+#include "ml/metrics.hh"
+#include "ml/mlp.hh"
+
+using namespace evax;
+
+namespace
+{
+
+/** Train an N-hidden-layer MLP detector; return test accuracy. */
+double
+trainDeep(unsigned hidden_layers, const Dataset &train,
+          const Dataset &test, unsigned epochs, uint64_t seed)
+{
+    std::vector<size_t> sizes;
+    sizes.push_back(train.samples.front().x.size());
+    for (unsigned l = 0; l < hidden_layers; ++l)
+        sizes.push_back(48);
+    sizes.push_back(1);
+    Mlp net(sizes, Activation::Relu, Activation::Sigmoid, seed);
+
+    Rng rng(seed * 31 + 7);
+    std::vector<size_t> order(train.samples.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (unsigned e = 0; e < epochs; ++e) {
+        rng.shuffle(order);
+        for (size_t idx : order) {
+            const Sample &s = train.samples[idx];
+            net.trainBce(s.x, s.malicious ? 1.0 : 0.0, 5e-4);
+        }
+    }
+    std::vector<double> scores;
+    std::vector<bool> labels;
+    for (const auto &s : test.samples) {
+        scores.push_back(net.forward(s.x)[0]);
+        labels.push_back(s.malicious);
+    }
+    return accuracyAt(scores, labels, 0.5);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 20 — improving other ML models with EVAX",
+           "GAN-augmented training beats traditional training for "
+           "deep detectors; deeper is not better with noisy data");
+
+    ExperimentScale scale = ExperimentScale::quick();
+    Collector collector(scale.collector);
+    Dataset corpus = collector.collectCorpus();
+    Collector::normalize(corpus);
+    Rng rng(2024);
+    corpus.shuffle(rng);
+    Dataset train, test;
+    corpus.split(0.7, train, test);
+
+    Vaccinator vaccinator(scale.vaccination);
+    VaccinationResult vr = vaccinator.run(train);
+
+    Table t({"hidden_layers", "traditional_acc", "evax_acc"});
+    double trad16 = 0.0, trad32 = 0.0, evax16 = 0.0;
+    for (unsigned layers : {1u, 4u, 8u, 16u, 32u}) {
+        double trad = trainDeep(layers, train, test, 12, 11);
+        double evax = trainDeep(layers, vr.augmented, test, 12, 11);
+        if (layers == 16) {
+            trad16 = trad;
+            evax16 = evax;
+        }
+        if (layers == 32)
+            trad32 = trad;
+        t.addRow({std::to_string(layers), Table::fmt(trad),
+                  Table::fmt(evax)});
+    }
+    emitResult(t, "fig20_dnn",
+               "Deep-detector accuracy: traditional vs EVAX "
+               "training");
+
+    std::cout << "16-layer: " << Table::fmt(trad16) << " -> "
+              << Table::fmt(evax16)
+              << " (paper: ~0.57-0.90 -> 0.95-0.99); 32-layer "
+                 "traditional: "
+              << Table::fmt(trad32) << "\n";
+    std::cout << (evax16 >= trad16 && evax16 >= trad32
+                      ? "SHAPE OK: EVAX training lifts deep models "
+                        "past deeper traditional ones\n"
+                      : "SHAPE WARNING\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table I reproduction: security HPCs engineered automatically from
+ * the trained AM-GAN Generator. Prints the paper's fixed catalog
+ * alongside the counters mined fresh from this run's Generator,
+ * and quantifies each engineered feature's attack/benign
+ * separation.
+ */
+
+#include <cmath>
+
+#include "bench/bench_util.hh"
+#include "core/experiment.hh"
+#include "util/stats.hh"
+
+using namespace evax;
+
+namespace
+{
+
+/** |mean(attack) - mean(benign)| of an engineered feature. */
+double
+separation(const EngineeredFeature &e, const Dataset &data)
+{
+    RunningStat atk, ben;
+    std::vector<EngineeredFeature> one{e};
+    for (const auto &s : data.samples) {
+        double v = FeatureCatalog::computeEngineered(s.x, one)[0];
+        (s.malicious ? atk : ben).add(v);
+    }
+    return std::fabs(atk.mean() - ben.mean());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Table I — engineered security HPCs",
+           "AND-combinations of base counters mined from the "
+           "Generator's strongest hidden nodes");
+
+    ExperimentScale scale = ExperimentScale::standard();
+    Collector collector(scale.collector);
+    Dataset corpus = collector.collectCorpus();
+    Collector::normalize(corpus);
+
+    Vaccinator vaccinator(scale.vaccination);
+    VaccinationResult vr = vaccinator.run(corpus);
+
+    Table cat({"#", "catalog security HPC (paper Table I)",
+               "separation"});
+    int i = 1;
+    for (const auto &e : FeatureCatalog::engineered()) {
+        cat.addRow({std::to_string(i++),
+                    e.a + "  AND  " + e.b,
+                    Table::fmt(separation(e, corpus), 4)});
+    }
+    emitResult(cat, "tab1_catalog",
+               "Fixed engineered catalog (Table I analog)");
+
+    Table mined({"#", "mined security HPC (this Generator)",
+                 "separation"});
+    i = 1;
+    for (const auto &e : vr.minedFeatures) {
+        mined.addRow({std::to_string(i++),
+                      e.a + "  AND  " + e.b,
+                      Table::fmt(separation(e, corpus), 4)});
+    }
+    emitResult(mined, "tab1_mined",
+               "HPCs mined from the trained AM-GAN Generator");
+
+    std::cout << "brute force for 3-of-1160 counters would need "
+                 "~2.6e8 simulations; mining reads one trained "
+                 "Generator.\n";
+    return 0;
+}

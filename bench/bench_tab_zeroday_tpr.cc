@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Sec. VIII-C named-attack zero-day TPRs: leave-one-attack-out
+ * detection rates for the attacks the paper calls out.
+ *
+ * Paper: RDRND 95% TPR; FlushConflict 97% (EVAX) vs 63%
+ * (PerSpectron); Medusa 98% vs 38%; DRAMA 99%. MicroScope, Leaky
+ * Buddies and SMotherSpectre evade both in the zero-day setting
+ * but reach 99%+ once their samples are added back to training.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_util.hh"
+#include "core/experiment.hh"
+#include "core/kfold.hh"
+#include "core/vaccination.hh"
+#include "util/stats.hh"
+
+using namespace evax;
+
+namespace
+{
+
+double
+tprOn(Detector &det, const Dataset &data, int class_id)
+{
+    ConfusionCounts cm;
+    for (const auto &s : data.samples) {
+        if (s.attackClass == class_id && s.malicious)
+            cm.add(det.flag(s.x), true);
+    }
+    return cm.tpr();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Zero-day TPR for named attacks (Sec. VIII-C)",
+           "EVAX generalizes to RDRND/FlushConflict/Medusa/DRAMA; "
+           "MicroScope, Leaky Buddies and SMotherSpectre need "
+           "retraining");
+
+    ExperimentScale scale = ExperimentScale::fold();
+    Collector collector(scale.collector);
+    Dataset corpus = collector.collectCorpus();
+    Collector::normalize(corpus);
+
+    const char *named[] = {
+        "rdrnd-covert", "flush-conflict", "medusa-cache-index",
+        "drama",        "microscope",     "leaky-buddies",
+        "smotherspectre",
+    };
+
+    Table t({"held-out attack", "perspectron_tpr", "evax_tpr",
+             "evax_tpr_after_retrain"});
+    Rng rng(51);
+    for (const char *name : named) {
+        int cls = AttackRegistry::classId(name);
+        Dataset train, test;
+        corpus.leaveOneAttackOut(cls, 0.2, rng, train, test);
+
+        PerSpectron persp(7);
+        trainTraditional(persp, train, scale.trainEpochs,
+                         scale.maxFpr, rng);
+        persp.tuneSensitivity(train, 0.05);
+
+        Vaccinator vaccinator(scale.vaccination);
+        VaccinationResult vr = vaccinator.run(train);
+        EvaxDetector evax(FeatureCatalog::engineered(), 9);
+        trainTraditional(evax, vr.augmented, scale.trainEpochs,
+                         scale.maxFpr, rng);
+        evax.tuneSensitivity(train, 0.05);
+
+        // Retrained variant: the held-out attack's samples go back
+        // into training (the paper's post-hoc patch scenario).
+        EvaxDetector evax_retrained(FeatureCatalog::engineered(),
+                                    10);
+        Dataset full = vr.augmented;
+        for (const auto &s : test.samples) {
+            if (s.malicious)
+                full.samples.push_back(s);
+        }
+        trainTraditional(evax_retrained, full, scale.trainEpochs,
+                         scale.maxFpr, rng);
+        evax_retrained.tuneSensitivity(full, 0.05);
+
+        t.addRow({name, Table::pct(tprOn(persp, test, cls)),
+                  Table::pct(tprOn(evax, test, cls)),
+                  Table::pct(tprOn(evax_retrained, test, cls))});
+    }
+    emitResult(t, "tab_zeroday_tpr",
+               "Leave-one-attack-out TPR per named attack");
+
+    std::cout << "paper anchors: rdrnd 95%, flush-conflict 97 vs "
+                 "63, medusa 98 vs 38, drama 99; the last three "
+                 "evade until retrained (then 99%+)\n";
+    return 0;
+}

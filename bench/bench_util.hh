@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the benchmark reproductions: every bench
+ * prints the paper-table/figure rows it regenerates and saves a CSV
+ * next to the binary for plotting.
+ */
+
+#ifndef EVAX_BENCH_BENCH_UTIL_HH
+#define EVAX_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "util/csv.hh"
+#include "util/log.hh"
+
+namespace evax
+{
+
+/** Print the table and save it as <name>.csv. */
+inline void
+emitResult(Table &table, const std::string &name,
+           const std::string &title)
+{
+    table.print(std::cout, title);
+    std::string path = name + ".csv";
+    if (table.saveCsv(path))
+        std::cout << "[saved " << path << "]\n\n";
+}
+
+/** Standard banner so bench output is self-describing. */
+inline void
+banner(const std::string &experiment, const std::string &claim)
+{
+    std::cout << "\n=== EVAX reproduction: " << experiment
+              << " ===\n";
+    std::cout << "Paper claim: " << claim << "\n\n";
+}
+
+} // namespace evax
+
+#endif // EVAX_BENCH_BENCH_UTIL_HH

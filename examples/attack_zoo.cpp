@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Attack zoo: run every one of the 21 attack categories on the
+ * simulated core and print its microarchitectural signature — the
+ * counters a detector (or a curious architect) would look at.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "attacks/registry.hh"
+#include "sim/core.hh"
+
+using namespace evax;
+
+int
+main()
+{
+    std::printf("%-22s %6s %6s %7s %7s %7s %7s %8s\n", "attack",
+                "ipc", "leaks", "squash", "traps", "clflush",
+                "wqHits", "rowMiss");
+    std::printf("%s\n", std::string(84, '-').c_str());
+    for (const auto &name : AttackRegistry::names()) {
+        CoreParams params;
+        params.rowhammerThreshold = 500; // quicker bit flips
+        CounterRegistry reg;
+        O3Core core(params, reg);
+        auto attack = AttackRegistry::create(name, 42, 30000);
+        SimResult res = core.run(*attack);
+        std::printf(
+            "%-22s %6.2f %6lu %7lu %7.0f %7.0f %7.0f %8.0f\n",
+            name.c_str(), res.ipc(), (unsigned long)res.leaks,
+            (unsigned long)res.squashes,
+            reg.valueByName("commit.trapSquashes"),
+            reg.valueByName("sys.clflushes"),
+            reg.valueByName("lsq.specLoadsHitWrQueue"),
+            reg.valueByName("dram.rowMisses"));
+    }
+    std::printf("\nEach attack drives the pipeline through its "
+                "real phases; the signature is emergent, not "
+                "scripted.\n");
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared address-space conventions for the attack kernels.
+ */
+
+#ifndef EVAX_ATTACKS_ADDR_MAP_HH
+#define EVAX_ATTACKS_ADDR_MAP_HH
+
+#include "sim/types.hh"
+
+namespace evax
+{
+namespace attack_addr
+{
+
+/** "Kernel" secret the transient attacks steal. */
+constexpr Addr secret = 0x80000000;
+/** Attacker probe array (256 cache lines). */
+constexpr Addr probe = 0x90000000;
+/** Bounds/condition variable kept uncached to widen the window. */
+constexpr Addr cond = 0xb0000000;
+/** Shared library region (Flush+Reload targets). */
+constexpr Addr sharedLib = 0xc0000000;
+/** Victim/attacker store buffers (MDS-domain attacks). */
+constexpr Addr storeBuf = 0xd0000000;
+/** L1D set-conflict stride: numSets(128) * lineSize(64). */
+constexpr Addr l1SetStride = 128 * 64;
+
+} // namespace attack_addr
+} // namespace evax
+
+#endif // EVAX_ATTACKS_ADDR_MAP_HH

@@ -1,0 +1,178 @@
+#include "attacks/attack.hh"
+
+#include <cmath>
+
+namespace evax
+{
+
+AttackKernel::AttackKernel(uint64_t seed, uint64_t length,
+                           const EvasionKnobs &knobs)
+    : SyntheticWorkload(seed ^ knobs.seed, length), knobs_(knobs)
+{
+}
+
+const char *
+AttackKernel::name() const
+{
+    if (cachedName_.empty())
+        cachedName_ = info().name;
+    return cachedName_.c_str();
+}
+
+void
+AttackKernel::emitFlush(Addr addr)
+{
+    MicroOp op;
+    op.op = OpClass::Clflush;
+    op.addr = addr;
+    emit(op);
+}
+
+void
+AttackKernel::emitTouch(Addr addr, int dst)
+{
+    emitLoad(addr, dst);
+}
+
+void
+AttackKernel::emitSlowLoad(Addr addr, int dst)
+{
+    emitFlush(addr);
+    emitLoad(addr, dst);
+}
+
+void
+AttackKernel::emitFiller(unsigned n)
+{
+    n += knobs_.nopPadding;
+    for (unsigned i = 0; i < n; ++i) {
+        switch (rng_.nextBounded(4)) {
+          case 0:
+            emitAlu(20 + (int)(i % 4), 20 + (int)(i % 4));
+            break;
+          case 1:
+            emitFp(24, 24, 25, false);
+            break;
+          case 2:
+            emitLoad(fillerBuf_ + rng_.nextBounded(4096), 26);
+            break;
+          default:
+            emitAlu(27, 26, 27);
+            break;
+        }
+    }
+}
+
+void
+AttackKernel::maybeInterleaveBenign()
+{
+    if (!rng_.nextBool(knobs_.interleaveBenign))
+        return;
+    // A short compress-like benign burst: loads, hash, branch.
+    for (unsigned i = 0; i < 12; ++i) {
+        emitLoad(fillerBuf_ + 4096 + (i % 64) * 64, 21);
+        emitAlu(22, 21, 22);
+        if (i % 4 == 3)
+            emitBranch(rng_.nextBool(0.8));
+    }
+}
+
+unsigned
+AttackKernel::scaled(unsigned base) const
+{
+    double v = std::round((double)base * knobs_.intensity);
+    return v < 1.0 ? 1u : (unsigned)v;
+}
+
+void
+AttackKernel::emitCondBranchAt(
+    Addr pc, bool taken, Addr target, int src,
+    std::shared_ptr<std::vector<MicroOp>> transient)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.op = OpClass::Branch;
+    op.actualTaken = taken;
+    op.addr = target;
+    op.src0 = (int8_t)src;
+    op.transient = std::move(transient);
+    emit(op);
+}
+
+void
+AttackKernel::emitIndirectAt(
+    Addr pc, Addr target, int src,
+    std::shared_ptr<std::vector<MicroOp>> transient)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.op = OpClass::Branch;
+    op.indirect = true;
+    op.actualTaken = true;
+    op.addr = target;
+    op.src0 = (int8_t)src;
+    op.transient = std::move(transient);
+    emit(op);
+}
+
+void
+AttackKernel::emitCallAt(Addr pc, Addr target)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.op = OpClass::Branch;
+    op.isCall = true;
+    op.actualTaken = true;
+    op.addr = target;
+    emit(op);
+}
+
+void
+AttackKernel::emitReturnAt(
+    Addr pc, Addr target, int src,
+    std::shared_ptr<std::vector<MicroOp>> transient)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.op = OpClass::Branch;
+    op.isReturn = true;
+    op.actualTaken = true;
+    op.addr = target;
+    op.src0 = (int8_t)src;
+    op.transient = std::move(transient);
+    emit(op);
+}
+
+std::shared_ptr<std::vector<MicroOp>>
+AttackKernel::makeLeakGadget(Addr secret_addr, Addr probe_base,
+                             unsigned extra_ops)
+{
+    auto gadget = std::make_shared<std::vector<MicroOp>>();
+    MicroOp secret;
+    secret.pc = 0x7000;
+    secret.op = OpClass::Load;
+    secret.addr = secret_addr;
+    secret.dst = 14;
+    gadget->push_back(secret);
+    for (unsigned i = 0; i < extra_ops; ++i) {
+        MicroOp shift;
+        shift.pc = 0x7004 + 4 * i;
+        shift.op = OpClass::IntAlu;
+        shift.src0 = 14;
+        shift.dst = 14;
+        gadget->push_back(shift);
+    }
+    MicroOp transmit;
+    transmit.pc = 0x7100;
+    transmit.op = OpClass::Load;
+    // The transmitted secret selects the probe line; model one
+    // representative secret value.
+    transmit.addr = probe_base + 64 * (secret_addr % 256);
+    transmit.src0 = 14;
+    transmit.dst = 15;
+    transmit.secretDependent = true;
+    gadget->push_back(transmit);
+    return gadget;
+}
+
+} // namespace evax

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Attack kernel framework.
+ *
+ * Each attack category from the paper's workload list (Sec. VII) is
+ * an AttackKernel: an InstStream that drives the simulated pipeline
+ * through the real attack's phases — flush, mistrain/prime, the
+ * transient access, transmission, probe — so the microarchitectural
+ * footprint (squashed loads, IQ conflicts, row activations, ...) is
+ * emergent, exactly what the detector trains on.
+ *
+ * Every kernel takes EvasionKnobs: the structural perturbations
+ * (padding, interleaving benign work, bandwidth throttling) that the
+ * fuzzing-based variant generators and manual evasion experiments
+ * sweep.
+ */
+
+#ifndef EVAX_ATTACKS_ATTACK_HH
+#define EVAX_ATTACKS_ATTACK_HH
+
+#include <string>
+
+#include "workload/workload.hh"
+
+namespace evax
+{
+
+/** Static attack metadata. */
+struct AttackInfo
+{
+    std::string name;      ///< e.g. "spectre-pht"
+    int classId = 0;       ///< dataset class (0 is benign)
+    std::string category;  ///< speculation / fault / cache / memory
+};
+
+/** Structural evasion parameters (fuzzer-swept). */
+struct EvasionKnobs
+{
+    /** Benign-looking filler ops inserted between attack phases. */
+    unsigned nopPadding = 0;
+    /** Probability of a benign work burst between iterations. */
+    double interleaveBenign = 0.0;
+    /** Extra filler between probe accesses (bandwidth evasion). */
+    unsigned throttle = 0;
+    /** Scale on per-iteration intensity (probe counts etc.). */
+    double intensity = 1.0;
+    uint64_t seed = 0;
+};
+
+/** Base class for all attack kernels. */
+class AttackKernel : public SyntheticWorkload
+{
+  public:
+    AttackKernel(uint64_t seed, uint64_t length,
+                 const EvasionKnobs &knobs);
+
+    virtual AttackInfo info() const = 0;
+    const char *name() const override;
+    const EvasionKnobs &knobs() const { return knobs_; }
+
+  protected:
+    /** Flush one line (clflush). */
+    void emitFlush(Addr addr);
+    /** Prefetch-style touch. */
+    void emitTouch(Addr addr, int dst = 30);
+    /**
+     * Cold load: flush then load, producing a long-latency value —
+     * the classic way attacks keep a branch unresolved.
+     */
+    void emitSlowLoad(Addr addr, int dst);
+    /** Benign-looking filler (honors nopPadding/throttle knobs). */
+    void emitFiller(unsigned n);
+    /** Benign interleave burst if the knob fires this iteration. */
+    void maybeInterleaveBenign();
+    /** Scaled count helper: max(1, round(base * intensity)). */
+    unsigned scaled(unsigned base) const;
+
+    /** Build a transient gadget: secret load -> transmit load. */
+    std::shared_ptr<std::vector<MicroOp>> makeLeakGadget(
+        Addr secret_addr, Addr probe_base, unsigned extra_ops = 0);
+
+    /** Conditional branch at an explicit (stable) pc. */
+    void emitCondBranchAt(
+        Addr pc, bool taken, Addr target, int src = -1,
+        std::shared_ptr<std::vector<MicroOp>> transient = nullptr);
+    /** Indirect branch at an explicit pc (BTB attacks). */
+    void emitIndirectAt(
+        Addr pc, Addr target, int src = -1,
+        std::shared_ptr<std::vector<MicroOp>> transient = nullptr);
+    void emitCallAt(Addr pc, Addr target);
+    /** Return at an explicit pc (RSB attacks). */
+    void emitReturnAt(
+        Addr pc, Addr target, int src = -1,
+        std::shared_ptr<std::vector<MicroOp>> transient = nullptr);
+
+    EvasionKnobs knobs_;
+    uint64_t iter_ = 0;
+    /** Small benign-looking scratch buffer for filler loads. */
+    Addr fillerBuf_ = 0x0e000000;
+    mutable std::string cachedName_;
+};
+
+} // namespace evax
+
+#endif // EVAX_ATTACKS_ATTACK_HH

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Fault-based transient attacks: Meltdown, the three Medusa
+ * variants, LVI, Fallout and Microscope. These exploit the window
+ * between a faulting/assisted access and its architectural squash.
+ */
+
+#include "attacks/addr_map.hh"
+#include "attacks/kernels.hh"
+
+namespace evax
+{
+
+using namespace attack_addr;
+
+void
+MeltdownAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // 1-2: syscall/prefetch brings the kernel line into L1.
+    {
+        MicroOp sc;
+        sc.op = OpClass::Syscall;
+        emit(sc);
+    }
+    emitTouch(secret + (iter_ % 64) * 64);
+
+    // Flush the probe array.
+    unsigned lines = scaled(24);
+    for (unsigned i = 0; i < lines; ++i) {
+        emitFlush(probe + i * 64);
+        emitFiller(knobs_.throttle);
+    }
+
+    // 4: fill the ROB with long-latency dependent work so the fault
+    // is delivered late.
+    for (unsigned i = 0; i < 4; ++i) {
+        MicroOp div;
+        div.op = OpClass::IntDiv;
+        div.src0 = 8;
+        div.dst = 8;
+        emit(div);
+    }
+
+    // 5: the faulting kernel load and its transient window.
+    {
+        MicroOp melt;
+        melt.op = OpClass::Load;
+        melt.addr = secret + (iter_ % 64) * 64;
+        melt.dst = 14;
+        melt.faults = true;
+        melt.transient =
+            makeLeakGadget(secret + (iter_ % 64) * 64, probe, 1);
+        emit(melt);
+    }
+
+    // 6: reload-timing pass.
+    for (unsigned i = 0; i < lines; ++i) {
+        emitLoad(probe + i * 64, 10);
+        emitAlu(11, 10, 11);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+MedusaCacheIndexAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Write-combining pressure: a burst of sequential stores keeps
+    // the store path full; transient loads sample it via cache-
+    // indexed faulting accesses.
+    unsigned stores = scaled(12);
+    for (unsigned i = 0; i < stores; ++i)
+        emitStore(storeBuf + ((iter_ * stores + i) % 512) * 64, 8);
+    // Loads racing the write queue (the MDS-domain instrument).
+    for (unsigned i = 0; i < 4; ++i)
+        emitLoad(storeBuf + ((iter_ * stores + i) % 512) * 64, 12);
+
+    MicroOp melt;
+    melt.op = OpClass::Load;
+    melt.addr = storeBuf + (iter_ % 512) * 64;
+    melt.dst = 14;
+    melt.faults = true;
+    melt.transient = makeLeakGadget(secret, probe);
+    emit(melt);
+
+    unsigned lines = scaled(12);
+    for (unsigned i = 0; i < lines; ++i) {
+        emitLoad(probe + i * 64, 10);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+MedusaUnalignedAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Unaligned store-to-load forwarding: stores followed by
+    // misaligned poisoned loads that consume forwarded junk.
+    unsigned pairs = scaled(8);
+    for (unsigned i = 0; i < pairs; ++i) {
+        Addr slot = storeBuf + 0x100000 + ((iter_ + i) % 256) * 64;
+        emitStore(slot, 8);
+        MicroOp ld;
+        ld.op = OpClass::Load;
+        ld.addr = slot + 1; // unaligned overlap
+        ld.size = 3;
+        ld.dst = 14;
+        ld.injected = true;
+        auto g = std::make_shared<std::vector<MicroOp>>();
+        MicroOp transmit;
+        transmit.pc = 0x7100;
+        transmit.op = OpClass::Load;
+        transmit.addr = probe + 64 * ((iter_ + i) % 200);
+        transmit.src0 = 14;
+        transmit.secretDependent = true;
+        g->push_back(transmit);
+        ld.transient = g;
+        emit(ld);
+        emitFiller(knobs_.throttle);
+    }
+    unsigned lines = scaled(8);
+    for (unsigned i = 0; i < lines; ++i)
+        emitLoad(probe + i * 64, 10);
+    ++iter_;
+}
+
+void
+MedusaShadowRepAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Shadow REP MOV: a long copy loop with a faulting load in the
+    // middle of the stream.
+    unsigned words = scaled(24);
+    Addr src = storeBuf + 0x200000 + (iter_ % 64) * 4096;
+    Addr dst_buf = storeBuf + 0x300000 + (iter_ % 64) * 4096;
+    for (unsigned w = 0; w < words; ++w) {
+        emitLoad(src + w * 8, 8);
+        emitStore(dst_buf + w * 8, 8);
+        if (w == words / 2) {
+            MicroOp melt;
+            melt.op = OpClass::Load;
+            melt.addr = src + w * 8;
+            melt.dst = 14;
+            melt.faults = true;
+            melt.transient = makeLeakGadget(secret, probe);
+            emit(melt);
+        }
+    }
+    unsigned lines = scaled(8);
+    for (unsigned i = 0; i < lines; ++i) {
+        emitLoad(probe + i * 64, 10);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+LviAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // The adversary plants data in the store path; the victim's
+    // load takes the poisoned forwarded value and transiently
+    // computes on it (the reverse-Meltdown injection).
+    unsigned fills = scaled(6);
+    for (unsigned i = 0; i < fills; ++i)
+        emitStore(storeBuf + 0x400000 + ((iter_ + i) % 128) * 64, 8);
+
+    unsigned victims = scaled(4);
+    for (unsigned v = 0; v < victims; ++v) {
+        MicroOp ld;
+        ld.op = OpClass::Load;
+        ld.addr = storeBuf + 0x400000 + ((iter_ + v) % 128) * 64;
+        ld.dst = 14;
+        ld.injected = true;
+        auto g = std::make_shared<std::vector<MicroOp>>();
+        MicroOp use;
+        use.pc = 0x7000;
+        use.op = OpClass::IntAlu;
+        use.src0 = 14;
+        use.dst = 14;
+        g->push_back(use);
+        MicroOp transmit;
+        transmit.pc = 0x7100;
+        transmit.op = OpClass::Load;
+        transmit.addr = probe + 64 * ((iter_ + v) % 200);
+        transmit.src0 = 14;
+        transmit.secretDependent = true;
+        g->push_back(transmit);
+        ld.transient = g;
+        emit(ld);
+        emitFiller(2 + knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+FalloutAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Store-buffer leak: a kernel-privileged faulting load aliases
+    // a just-executed user store and forwards its data.
+    unsigned rounds = scaled(6);
+    for (unsigned r = 0; r < rounds; ++r) {
+        Addr slot = storeBuf + 0x500000 + ((iter_ + r) % 64) * 64;
+        emitStore(slot, 8);
+        MicroOp melt;
+        melt.op = OpClass::Load;
+        melt.addr = slot; // same line: forwards from the store
+        melt.dst = 14;
+        melt.faults = true;
+        melt.transient = makeLeakGadget(slot, probe);
+        emit(melt);
+        emitFiller(knobs_.throttle);
+    }
+    unsigned lines = scaled(8);
+    for (unsigned i = 0; i < lines; ++i)
+        emitLoad(probe + i * 64, 10);
+    ++iter_;
+}
+
+void
+MicroscopeAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Microarchitectural replay: the same faulting access is
+    // retried over and over, replaying the victim window each time
+    // to denoise a side channel.
+    unsigned replays = scaled(5);
+    for (unsigned r = 0; r < replays; ++r) {
+        emitFiller(6 + knobs_.throttle);
+        MicroOp melt;
+        melt.op = OpClass::Load;
+        melt.addr = secret + 0x1000;
+        melt.dst = 14;
+        melt.faults = true;
+        auto g = std::make_shared<std::vector<MicroOp>>();
+        for (unsigned i = 0; i < 6; ++i) {
+            MicroOp victim;
+            victim.pc = 0x7200 + 4 * i;
+            victim.op = OpClass::FpMult;
+            victim.src0 = 12;
+            victim.dst = 12;
+            g->push_back(victim);
+        }
+        melt.transient = g;
+        emit(melt);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+} // namespace evax

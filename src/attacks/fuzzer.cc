@@ -1,0 +1,74 @@
+#include "attacks/fuzzer.hh"
+
+namespace evax
+{
+
+const char *
+fuzzToolName(FuzzTool tool)
+{
+    switch (tool) {
+      case FuzzTool::Transynther:
+        return "transynther";
+      case FuzzTool::TrrEspass:
+        return "trrespass";
+      case FuzzTool::Osiris:
+        return "osiris";
+    }
+    return "unknown";
+}
+
+AttackFuzzer::AttackFuzzer(FuzzTool tool, uint64_t seed)
+    : tool_(tool), rng_(seed)
+{
+}
+
+const std::vector<std::string> &
+AttackFuzzer::domain() const
+{
+    static const std::vector<std::string> transynther = {
+        "meltdown", "medusa-cache-index", "medusa-unaligned-stl",
+        "medusa-shadow-rep", "fallout", "lvi",
+    };
+    static const std::vector<std::string> trrespass = {
+        "rowhammer", "drama",
+    };
+    static const std::vector<std::string> osiris = {
+        "flush-reload", "flush-flush", "prime-probe",
+        "flush-conflict", "rdrnd-covert", "leaky-buddies",
+    };
+    switch (tool_) {
+      case FuzzTool::Transynther:
+        return transynther;
+      case FuzzTool::TrrEspass:
+        return trrespass;
+      case FuzzTool::Osiris:
+      default:
+        return osiris;
+    }
+}
+
+EvasionKnobs
+AttackFuzzer::randomKnobs()
+{
+    EvasionKnobs k;
+    // Aggressive perturbation ranges: heavy benign interleaving,
+    // long padding, bandwidth throttling and footprint dilution —
+    // the evasion space that defeats naively-trained detectors.
+    k.nopPadding = (unsigned)rng_.nextBounded(160);
+    k.interleaveBenign = rng_.nextDouble() * 0.85;
+    k.throttle = (unsigned)rng_.nextBounded(40);
+    k.intensity = 0.05 + rng_.nextDouble() * 1.4;
+    k.seed = rng_.next();
+    return k;
+}
+
+std::unique_ptr<AttackKernel>
+AttackFuzzer::nextVariant(uint64_t length)
+{
+    const auto &dom = domain();
+    const std::string &name = dom[rng_.nextBounded(dom.size())];
+    return AttackRegistry::create(name, rng_.next(), length,
+                                  randomKnobs());
+}
+
+} // namespace evax

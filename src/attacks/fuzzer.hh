@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Automated attack-variant generators modeled on the fuzzing tools
+ * the paper evaluates against (Sec. VII "Evasive Attacks"):
+ *
+ *  - Transynther (Moghimi et al.): permutes Meltdown/MDS-type
+ *    building blocks.
+ *  - TRRespass (Frigo et al.): many-sided Rowhammer patterns that
+ *    defeat in-DRAM TRR.
+ *  - Osiris (Weber et al.): discovers timing-based side channels
+ *    (flush/eviction/contention primitives).
+ *
+ * Each tool draws attacks from its domain and perturbs their
+ * structure (padding, interleaving, throttling, intensity) — code-
+ * level transformations that preserve the attack but shift its
+ * counter footprint, the evasion space PerSpectron misses.
+ */
+
+#ifndef EVAX_ATTACKS_FUZZER_HH
+#define EVAX_ATTACKS_FUZZER_HH
+
+#include <memory>
+
+#include "attacks/registry.hh"
+#include "util/rng.hh"
+
+namespace evax
+{
+
+/** Which automated attack-generation tool to emulate. */
+enum class FuzzTool
+{
+    Transynther,
+    TrrEspass,
+    Osiris,
+};
+
+const char *fuzzToolName(FuzzTool tool);
+
+/** Generates randomized evasive variants within a tool's domain. */
+class AttackFuzzer
+{
+  public:
+    AttackFuzzer(FuzzTool tool, uint64_t seed);
+
+    /** Produce the next randomized variant. */
+    std::unique_ptr<AttackKernel> nextVariant(uint64_t length);
+
+    /** Attack names in this tool's domain. */
+    const std::vector<std::string> &domain() const;
+
+    FuzzTool tool() const { return tool_; }
+
+    /** Random evasion knobs in the tool's perturbation ranges. */
+    EvasionKnobs randomKnobs();
+
+  private:
+    FuzzTool tool_;
+    Rng rng_;
+};
+
+} // namespace evax
+
+#endif // EVAX_ATTACKS_FUZZER_HH

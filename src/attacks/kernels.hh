@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The 21 attack kernel classes (paper Sec. VII workload list):
+ * transient-speculation (Spectre-PHT/BTB/RSB/STL, SMotherSpectre),
+ * transient-fault (Meltdown, 3 Medusa variants, LVI, Fallout,
+ * Microscope), cache side channels (Flush+Reload, Flush+Flush,
+ * Prime+Probe, BranchScope, FlushConflict), covert channels
+ * (RDRND, Leaky Buddies), and memory attacks (Rowhammer, DRAMA).
+ */
+
+#ifndef EVAX_ATTACKS_KERNELS_HH
+#define EVAX_ATTACKS_KERNELS_HH
+
+#include "attacks/attack.hh"
+
+namespace evax
+{
+
+/**
+ * Declares an attack kernel whose per-iteration behaviour lives in
+ * refill() (defined in the category .cc files). All state common to
+ * attacks (iteration counter, knobs, rng) lives in AttackKernel.
+ */
+#define EVAX_DECLARE_ATTACK(ClassName, attack_name, class_id, cat)  \
+    class ClassName : public AttackKernel                           \
+    {                                                               \
+      public:                                                       \
+        using AttackKernel::AttackKernel;                           \
+        AttackInfo                                                  \
+        info() const override                                       \
+        {                                                           \
+            return {attack_name, class_id, cat};                    \
+        }                                                           \
+                                                                    \
+      protected:                                                    \
+        void refill() override;                                     \
+    };
+
+// Speculation-based transient attacks.
+EVAX_DECLARE_ATTACK(SpectrePhtAttack, "spectre-pht", 1,
+                    "speculation")
+EVAX_DECLARE_ATTACK(SpectreBtbAttack, "spectre-btb", 2,
+                    "speculation")
+EVAX_DECLARE_ATTACK(SpectreRsbAttack, "spectre-rsb", 3,
+                    "speculation")
+EVAX_DECLARE_ATTACK(SpectreStlAttack, "spectre-stl", 4,
+                    "speculation")
+EVAX_DECLARE_ATTACK(SmotherSpectreAttack, "smotherspectre", 5,
+                    "speculation")
+
+// Fault-based transient attacks.
+EVAX_DECLARE_ATTACK(MeltdownAttack, "meltdown", 6, "fault")
+EVAX_DECLARE_ATTACK(MedusaCacheIndexAttack, "medusa-cache-index", 7,
+                    "fault")
+EVAX_DECLARE_ATTACK(MedusaUnalignedAttack, "medusa-unaligned-stl", 8,
+                    "fault")
+EVAX_DECLARE_ATTACK(MedusaShadowRepAttack, "medusa-shadow-rep", 9,
+                    "fault")
+EVAX_DECLARE_ATTACK(LviAttack, "lvi", 10, "fault")
+EVAX_DECLARE_ATTACK(FalloutAttack, "fallout", 11, "fault")
+EVAX_DECLARE_ATTACK(MicroscopeAttack, "microscope", 12, "fault")
+
+// Cache / predictor side channels.
+EVAX_DECLARE_ATTACK(FlushReloadAttack, "flush-reload", 13, "cache")
+EVAX_DECLARE_ATTACK(FlushFlushAttack, "flush-flush", 14, "cache")
+EVAX_DECLARE_ATTACK(PrimeProbeAttack, "prime-probe", 15, "cache")
+EVAX_DECLARE_ATTACK(BranchScopeAttack, "branchscope", 16, "cache")
+EVAX_DECLARE_ATTACK(FlushConflictAttack, "flush-conflict", 17,
+                    "cache")
+
+// Covert channels.
+EVAX_DECLARE_ATTACK(RdrndCovertAttack, "rdrnd-covert", 18, "covert")
+EVAX_DECLARE_ATTACK(LeakyBuddiesAttack, "leaky-buddies", 19,
+                    "covert")
+
+// Memory (DRAM) attacks.
+EVAX_DECLARE_ATTACK(RowhammerAttack, "rowhammer", 20, "memory")
+EVAX_DECLARE_ATTACK(DramaAttack, "drama", 21, "memory")
+
+#undef EVAX_DECLARE_ATTACK
+
+/** Number of attack classes (dataset classes are this + benign). */
+constexpr int NUM_ATTACK_CLASSES = 21;
+
+} // namespace evax
+
+#endif // EVAX_ATTACKS_KERNELS_HH

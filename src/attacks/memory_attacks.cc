@@ -1,0 +1,65 @@
+/**
+ * @file
+ * DRAM attacks: Rowhammer (integrity) and DRAMA (row-buffer covert
+ * channel).
+ */
+
+#include "attacks/addr_map.hh"
+#include "attacks/kernels.hh"
+
+namespace evax
+{
+
+void
+RowhammerAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Double-sided hammer: alternate two aggressor rows adjacent to
+    // the victim, flushing each access so every load activates the
+    // row in DRAM.
+    // Same bank, different rows: stride = rowSize * banks.
+    constexpr Addr bank_stride = 8192ULL * 16;
+    Addr row_a = 0x40000000 + (iter_ % 4) * 2 * bank_stride;
+    Addr row_b = row_a + bank_stride;
+    unsigned hammers = scaled(32);
+    for (unsigned h = 0; h < hammers; ++h) {
+        Addr target = (h % 2) ? row_a : row_b;
+        emitFlush(target);
+        emitLoad(target, 10);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+DramaAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // DRAMA row-buffer covert channel: sender encodes a bit by
+    // opening (1) or leaving closed (0) the receiver's row; the
+    // receiver times a row hit vs. a row conflict.
+    constexpr Addr bank_stride = 8192ULL * 16;
+    Addr shared_row = 0x48000000;
+    Addr conflict_row = shared_row + 3 * bank_stride;
+    bool send_one = (iter_ % 2) == 0;
+    unsigned rounds = scaled(12);
+    for (unsigned r = 0; r < rounds; ++r) {
+        if (send_one) {
+            emitFlush(shared_row + r * 64);
+            emitLoad(shared_row + r * 64, 10);
+        } else {
+            emitFlush(conflict_row + r * 64);
+            emitLoad(conflict_row + r * 64, 10);
+        }
+        // Receiver measures.
+        emitFlush(shared_row + 0x40000 + r * 64);
+        emitLoad(shared_row + 0x40000 + r * 64, 11);
+        emitAlu(12, 11, 12);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+} // namespace evax

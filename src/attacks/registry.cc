@@ -1,0 +1,135 @@
+#include "attacks/registry.hh"
+
+#include "attacks/kernels.hh"
+#include "util/log.hh"
+
+namespace evax
+{
+
+const std::vector<std::string> &
+AttackRegistry::names()
+{
+    static const std::vector<std::string> n = {
+        "spectre-pht",        // 1
+        "spectre-btb",        // 2
+        "spectre-rsb",        // 3
+        "spectre-stl",        // 4
+        "smotherspectre",     // 5
+        "meltdown",           // 6
+        "medusa-cache-index", // 7
+        "medusa-unaligned-stl", // 8
+        "medusa-shadow-rep",  // 9
+        "lvi",                // 10
+        "fallout",            // 11
+        "microscope",         // 12
+        "flush-reload",       // 13
+        "flush-flush",        // 14
+        "prime-probe",        // 15
+        "branchscope",        // 16
+        "flush-conflict",     // 17
+        "rdrnd-covert",       // 18
+        "leaky-buddies",      // 19
+        "rowhammer",          // 20
+        "drama",              // 21
+    };
+    return n;
+}
+
+std::vector<std::string>
+AttackRegistry::classNames()
+{
+    std::vector<std::string> c;
+    c.push_back("benign");
+    for (const auto &n : names())
+        c.push_back(n);
+    return c;
+}
+
+int
+AttackRegistry::classId(const std::string &name)
+{
+    const auto &n = names();
+    for (size_t i = 0; i < n.size(); ++i) {
+        if (n[i] == name)
+            return (int)i + 1;
+    }
+    fatal("unknown attack: %s", name.c_str());
+}
+
+std::unique_ptr<AttackKernel>
+AttackRegistry::create(const std::string &name, uint64_t seed,
+                       uint64_t length, const EvasionKnobs &knobs)
+{
+    return createById(classId(name), seed, length, knobs);
+}
+
+std::unique_ptr<AttackKernel>
+AttackRegistry::createById(int class_id, uint64_t seed,
+                           uint64_t length, const EvasionKnobs &knobs)
+{
+    switch (class_id) {
+      case 1:
+        return std::make_unique<SpectrePhtAttack>(seed, length,
+                                                  knobs);
+      case 2:
+        return std::make_unique<SpectreBtbAttack>(seed, length,
+                                                  knobs);
+      case 3:
+        return std::make_unique<SpectreRsbAttack>(seed, length,
+                                                  knobs);
+      case 4:
+        return std::make_unique<SpectreStlAttack>(seed, length,
+                                                  knobs);
+      case 5:
+        return std::make_unique<SmotherSpectreAttack>(seed, length,
+                                                      knobs);
+      case 6:
+        return std::make_unique<MeltdownAttack>(seed, length, knobs);
+      case 7:
+        return std::make_unique<MedusaCacheIndexAttack>(seed, length,
+                                                        knobs);
+      case 8:
+        return std::make_unique<MedusaUnalignedAttack>(seed, length,
+                                                       knobs);
+      case 9:
+        return std::make_unique<MedusaShadowRepAttack>(seed, length,
+                                                       knobs);
+      case 10:
+        return std::make_unique<LviAttack>(seed, length, knobs);
+      case 11:
+        return std::make_unique<FalloutAttack>(seed, length, knobs);
+      case 12:
+        return std::make_unique<MicroscopeAttack>(seed, length,
+                                                  knobs);
+      case 13:
+        return std::make_unique<FlushReloadAttack>(seed, length,
+                                                   knobs);
+      case 14:
+        return std::make_unique<FlushFlushAttack>(seed, length,
+                                                  knobs);
+      case 15:
+        return std::make_unique<PrimeProbeAttack>(seed, length,
+                                                  knobs);
+      case 16:
+        return std::make_unique<BranchScopeAttack>(seed, length,
+                                                   knobs);
+      case 17:
+        return std::make_unique<FlushConflictAttack>(seed, length,
+                                                     knobs);
+      case 18:
+        return std::make_unique<RdrndCovertAttack>(seed, length,
+                                                   knobs);
+      case 19:
+        return std::make_unique<LeakyBuddiesAttack>(seed, length,
+                                                    knobs);
+      case 20:
+        return std::make_unique<RowhammerAttack>(seed, length,
+                                                 knobs);
+      case 21:
+        return std::make_unique<DramaAttack>(seed, length, knobs);
+      default:
+        fatal("unknown attack class id: %d", class_id);
+    }
+}
+
+} // namespace evax

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Attack registry: names, class ids, factories.
+ */
+
+#ifndef EVAX_ATTACKS_REGISTRY_HH
+#define EVAX_ATTACKS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hh"
+
+namespace evax
+{
+
+/** Named factory for attack kernels. */
+class AttackRegistry
+{
+  public:
+    /** All attack names; index i holds classId i+1. */
+    static const std::vector<std::string> &names();
+
+    /** Dataset class names: ["benign", <attack names>...]. */
+    static std::vector<std::string> classNames();
+
+    /** Class id for an attack name (fatal on unknown). */
+    static int classId(const std::string &name);
+
+    static std::unique_ptr<AttackKernel> create(
+        const std::string &name, uint64_t seed, uint64_t length,
+        const EvasionKnobs &knobs = {});
+
+    static std::unique_ptr<AttackKernel> createById(
+        int class_id, uint64_t seed, uint64_t length,
+        const EvasionKnobs &knobs = {});
+};
+
+} // namespace evax
+
+#endif // EVAX_ATTACKS_REGISTRY_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Cache / predictor side channels and covert channels:
+ * Flush+Reload, Flush+Flush, Prime+Probe, BranchScope,
+ * FlushConflict, RDRND covert channel, Leaky Buddies.
+ */
+
+#include "attacks/addr_map.hh"
+#include "attacks/kernels.hh"
+
+namespace evax
+{
+
+using namespace attack_addr;
+
+void
+FlushReloadAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Flush shared-library lines, wait for the victim, reload and
+    // time them.
+    unsigned lines = scaled(16);
+    for (unsigned i = 0; i < lines; ++i) {
+        emitFlush(sharedLib + i * 64);
+        emitFiller(knobs_.throttle);
+    }
+    emitFiller(8); // victim window
+    // Victim activity touches a subset of the monitored lines.
+    for (unsigned i = 0; i < lines / 4; ++i)
+        emitTouch(sharedLib + (rng_.nextBounded(lines)) * 64, 28);
+    for (unsigned i = 0; i < lines; ++i) {
+        emitLoad(sharedLib + i * 64, 10);
+        emitAlu(11, 10, 11); // "time" it
+        emitBranch(rng_.nextBool(0.25));
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+FlushFlushAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Flush+Flush: the timing signal comes from clflush itself, so
+    // the attacker issues almost nothing but flushes — the stealthy
+    // variant (no cache fills of its own).
+    unsigned lines = scaled(24);
+    for (unsigned i = 0; i < lines; ++i)
+        emitTouch(sharedLib + (rng_.nextBounded(8)) * 64, 28);
+    for (unsigned i = 0; i < lines; ++i) {
+        emitFlush(sharedLib + i * 64);
+        emitAlu(11, 11); // time the flush
+        emitBranch(rng_.nextBool(0.3));
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+PrimeProbeAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Prime one L1 set with our own lines, wait, probe for
+    // victim-induced evictions.
+    unsigned set = (unsigned)(iter_ % 64);
+    Addr base = 0xa0000000 + set * 64;
+    unsigned ways = scaled(8);
+    for (unsigned w = 0; w < ways; ++w) {
+        emitLoad(base + w * l1SetStride, 10);
+        emitFiller(knobs_.throttle);
+    }
+    emitFiller(6); // victim window
+    // Victim touches the same set occasionally.
+    if (rng_.nextBool(0.5))
+        emitTouch(0xa8000000 + set * 64, 28);
+    for (unsigned w = 0; w < ways; ++w) {
+        emitLoad(base + w * l1SetStride, 10);
+        emitAlu(11, 10, 11);
+        emitBranch(rng_.nextBool(0.2));
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+BranchScopeAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Drive a directional predictor entry into a known state with
+    // an alternating pattern, let the victim branch collide, then
+    // read the state back through our own mispredictions.
+    constexpr Addr target_pc = 0x6600;
+    unsigned rounds = scaled(20);
+    for (unsigned r = 0; r < rounds; ++r) {
+        emitCondBranchAt(target_pc, r % 2 == 0, 0x6640);
+        emitAlu(8, 8);
+    }
+    // Victim branch at an aliasing pc (same local-history index).
+    emitCondBranchAt(target_pc + (1 << 13), rng_.nextBool(0.5),
+                     0x6680);
+    // Probe: our branch's outcome timing reveals the PHT state.
+    for (unsigned r = 0; r < 6; ++r) {
+        emitCondBranchAt(target_pc, rng_.nextBool(0.5), 0x6640);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+FlushConflictAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // KASLR bypass: flush kernel-mapped lines and create set
+    // conflicts; the latency difference of the flush/conflict pair
+    // reveals which kernel pages are mapped.
+    unsigned probes = scaled(12);
+    for (unsigned p = 0; p < probes; ++p) {
+        Addr kaddr = 0xf0000000 + ((iter_ + p) % 64) * 0x100000;
+        emitFlush(kaddr);
+        // Conflict eviction set for the same L1 index.
+        for (unsigned w = 0; w < 4; ++w)
+            emitLoad(0xa4000000 + (kaddr % l1SetStride) +
+                         w * l1SetStride,
+                     10);
+        emitFlush(kaddr);
+        emitAlu(11, 11); // time it
+        emitBranch(rng_.nextBool(0.5));
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+RdrndCovertAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // RDRND covert channel: sender modulates contention on the
+    // shared hardware RNG; receiver times its own RDRAND latency.
+    bool send_one = (iter_ % 2) == 0;
+    unsigned slots = scaled(16);
+    for (unsigned s = 0; s < slots; ++s) {
+        if (send_one) {
+            MicroOp rd;
+            rd.op = OpClass::Rdrand;
+            rd.dst = 8;
+            emit(rd);
+        } else {
+            emitAlu(8, 8);
+            emitAlu(9, 9);
+        }
+        emitFiller(knobs_.throttle);
+    }
+    // Receiver samples.
+    for (unsigned s = 0; s < 4; ++s) {
+        MicroOp rd;
+        rd.op = OpClass::Rdrand;
+        rd.dst = 10;
+        emit(rd);
+        emitAlu(11, 10, 11);
+    }
+    ++iter_;
+}
+
+void
+LeakyBuddiesAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Cross-component (CPU-side) covert channel: modulate shared
+    // bus/LLC bandwidth with streaming bursts; receiver times its
+    // memory latency.
+    bool send_one = (iter_ % 2) == 0;
+    if (send_one) {
+        unsigned burst = scaled(24);
+        for (unsigned i = 0; i < burst; ++i) {
+            // Streaming distinct lines: maximal membus pressure.
+            emitLoad(0xe0000000 +
+                         ((iter_ * burst + i) % (1 << 16)) * 64,
+                     10);
+        }
+    } else {
+        emitFiller(scaled(24));
+    }
+    // Receiver timing loads.
+    for (unsigned i = 0; i < 4; ++i) {
+        emitLoad(0xe8000000 + (i % 8) * 64, 11);
+        emitAlu(12, 11, 12);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+} // namespace evax

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Speculation-based transient attacks: Spectre-PHT / BTB / RSB /
+ * STL and SMotherSpectre. Each refill() is one attack round:
+ * flush, mistrain, transient leak, probe.
+ */
+
+#include "attacks/addr_map.hh"
+#include "attacks/kernels.hh"
+
+namespace evax
+{
+
+using namespace attack_addr;
+
+void
+SpectrePhtAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Warm the secret so the gadget's first load is fast.
+    emitTouch(secret + (iter_ % 64) * 64);
+
+    // Flush the probe array the transmit gadget will index.
+    unsigned lines = scaled(24);
+    for (unsigned i = 0; i < lines; ++i) {
+        emitFlush(probe + i * 64);
+        emitFiller(knobs_.throttle);
+    }
+
+    // Mistrain the bounds check: in-bounds iterations, taken. The
+    // count varies so the global history cannot learn the rhythm.
+    unsigned train = scaled(4) + (unsigned)rng_.nextBounded(7);
+    for (unsigned t = 0; t < train; ++t) {
+        emitAlu(8, 8);
+        emitCondBranchAt(0x6000, true, 0x6040);
+    }
+
+    // Keep the bounds variable uncached so the victim branch stays
+    // unresolved long enough for the gadget to run.
+    emitSlowLoad(cond, 9);
+    emitCondBranchAt(0x6000, false, 0x6040, 9,
+                     makeLeakGadget(secret + (iter_ % 64) * 64,
+                                    probe));
+
+    // Reload phase: time each probe line.
+    for (unsigned i = 0; i < lines; ++i) {
+        emitLoad(probe + i * 64, 10);
+        emitAlu(11, 10, 11);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+SpectreBtbAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    unsigned lines = scaled(16);
+    for (unsigned i = 0; i < lines; ++i)
+        emitFlush(probe + i * 64);
+
+    // Train the victim's indirect branch toward the gadget address.
+    constexpr Addr gadget_pc = 0x61000;
+    unsigned train = scaled(4) + (unsigned)rng_.nextBounded(5);
+    for (unsigned t = 0; t < train; ++t) {
+        emitIndirectAt(0x6200, gadget_pc);
+        emitAlu(8, 8); // a couple of ops "at" the gadget
+        emitAlu(8, 8);
+    }
+
+    // Victim call: actual target differs; BTB predicts the gadget.
+    emitSlowLoad(cond, 9);
+    emitIndirectAt(0x6200, 0x62000, 9,
+                   makeLeakGadget(secret, probe, 1));
+    emitAlu(12, 12);
+
+    for (unsigned i = 0; i < lines; ++i) {
+        emitLoad(probe + i * 64, 10);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+SpectreRsbAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    unsigned lines = scaled(16);
+    for (unsigned i = 0; i < lines; ++i)
+        emitFlush(probe + i * 64);
+
+    // Call pushes the return address; the attacker then redirects
+    // the architectural return elsewhere, so the RAS prediction is
+    // wrong and execution transiently continues at the stale
+    // return site — where the gadget lives.
+    unsigned depth = scaled(3);
+    for (unsigned d = 0; d < depth; ++d) {
+        emitCallAt(0x6300 + d * 8, 0x63000 + d * 0x100);
+        emitAlu(8, 8);
+    }
+    emitSlowLoad(cond, 9);
+    emitReturnAt(0x63010, 0x64000, 9,
+                 makeLeakGadget(secret, probe));
+    // Unwind remaining frames normally.
+    for (unsigned d = 1; d < depth; ++d)
+        emitReturnAt(0x63010 + d * 8, 0x6300 + (depth - d) * 8 + 4);
+
+    for (unsigned i = 0; i < lines; ++i) {
+        emitLoad(probe + i * 64, 10);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+void
+SpectreStlAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Speculative store bypass: the store's operand arrives late,
+    // so the younger load executes first and reads the stale value
+    // (our core speculates loads past unresolved stores and raises
+    // a memory-order violation when the store completes).
+    Addr slot = storeBuf + (iter_ % 32) * 64;
+    emitSlowLoad(cond + (iter_ % 8) * 4096, 9);
+    {
+        MicroOp st;
+        st.op = OpClass::Store;
+        st.addr = slot;
+        st.src0 = 9; // delayed by the slow load
+        emit(st);
+    }
+    // The bypassing load and its dependent transmit.
+    emitLoad(slot, 14);
+    {
+        MicroOp transmit;
+        transmit.op = OpClass::Load;
+        transmit.addr = probe + 64 * (iter_ % 200);
+        transmit.src0 = 14;
+        transmit.dst = 15;
+        transmit.secretDependent = true;
+        emit(transmit);
+    }
+    emitFiller(4 + knobs_.throttle);
+
+    // Small probe pass.
+    unsigned lines = scaled(8);
+    for (unsigned i = 0; i < lines; ++i)
+        emitLoad(probe + i * 64, 10);
+    ++iter_;
+}
+
+void
+SmotherSpectreAttack::refill()
+{
+    maybeInterleaveBenign();
+
+    // Port contention: saturate the long-latency pipes, then steer
+    // a mispredicted branch into a gadget whose execution-port
+    // pressure encodes the secret.
+    unsigned bursts = scaled(3);
+    for (unsigned b = 0; b < bursts; ++b) {
+        for (unsigned i = 0; i < 6; ++i) {
+            MicroOp div;
+            div.op = OpClass::IntDiv;
+            div.src0 = 8;
+            div.dst = 8;
+            emit(div);
+        }
+        auto gadget = std::make_shared<std::vector<MicroOp>>();
+        for (unsigned i = 0; i < 4; ++i) {
+            MicroOp div;
+            div.pc = 0x7000 + 4 * i;
+            div.op = OpClass::IntDiv;
+            div.src0 = 14;
+            div.dst = 14;
+            gadget->push_back(div);
+        }
+        MicroOp transmit;
+        transmit.pc = 0x7100;
+        transmit.op = OpClass::Load;
+        transmit.addr = probe + 64 * ((iter_ + b) % 200);
+        transmit.src0 = 14;
+        transmit.secretDependent = true;
+        gadget->push_back(transmit);
+
+        emitSlowLoad(cond, 9);
+        emitCondBranchAt(0x6500, rng_.nextBool(0.5), 0x6540, 9,
+                         gadget);
+        emitFiller(knobs_.throttle);
+    }
+    ++iter_;
+}
+
+} // namespace evax

@@ -1,0 +1,108 @@
+#include "core/collector.hh"
+
+#include <algorithm>
+
+#include "hpc/sampler.hh"
+#include "util/log.hh"
+
+namespace evax
+{
+
+void
+NormalizationProfile::apply(std::vector<double> &raw) const
+{
+    constexpr double eps = 1e-9;
+    size_t n = std::min(raw.size(), maxSeen.size());
+    for (size_t i = 0; i < n; ++i) {
+        double m = maxSeen[i];
+        raw[i] = m > eps ? std::clamp(raw[i] / m, 0.0, 1.0) : 0.0;
+    }
+}
+
+Collector::Collector(const CollectorConfig &config)
+    : config_(config), nextSeed_(config.seed * 0x9e3779b9ULL + 1)
+{
+}
+
+SimResult
+Collector::collectStream(InstStream &stream, int class_id,
+                         bool malicious, Dataset &out)
+{
+    CounterRegistry reg;
+    O3Core core(config_.coreParams, reg);
+    Sampler sampler(reg, config_.sampleInterval);
+    sampler.setNormalizeEnabled(false);
+    core.attachSampler(&sampler);
+    core.setSampleCallback([&](const FeatureSnapshot &snap) {
+        Sample s;
+        s.x = snap.base;
+        s.attackClass = class_id;
+        s.malicious = malicious;
+        out.add(std::move(s));
+    });
+    return core.run(stream);
+}
+
+Dataset
+Collector::collectCorpus()
+{
+    Dataset data;
+    data.classNames = AttackRegistry::classNames();
+
+    for (const auto &name : WorkloadRegistry::names()) {
+        for (unsigned s = 0; s < config_.benignSeeds; ++s) {
+            auto wl = WorkloadRegistry::create(name, ++nextSeed_,
+                                               config_.benignLength);
+            collectStream(*wl, BENIGN_CLASS, false, data);
+        }
+    }
+    for (const auto &name : AttackRegistry::names()) {
+        int cls = AttackRegistry::classId(name);
+        for (unsigned s = 0; s < config_.attackSeeds; ++s) {
+            auto atk = AttackRegistry::create(name, ++nextSeed_,
+                                              config_.attackLength);
+            collectStream(*atk, cls, true, data);
+        }
+    }
+    return data;
+}
+
+Dataset
+Collector::collectFuzzerSamples(AttackFuzzer &fuzzer,
+                                unsigned variants, uint64_t length)
+{
+    Dataset data;
+    data.classNames = AttackRegistry::classNames();
+    for (unsigned v = 0; v < variants; ++v) {
+        auto atk = fuzzer.nextVariant(length);
+        collectStream(*atk, atk->info().classId, true, data);
+    }
+    return data;
+}
+
+NormalizationProfile
+Collector::normalize(Dataset &data)
+{
+    NormalizationProfile profile;
+    if (data.samples.empty())
+        return profile;
+    size_t width = data.samples.front().x.size();
+    profile.maxSeen.assign(width, 0.0);
+    for (const auto &s : data.samples) {
+        for (size_t i = 0; i < width && i < s.x.size(); ++i)
+            profile.maxSeen[i] =
+                std::max(profile.maxSeen[i], s.x[i]);
+    }
+    applyProfile(data, profile);
+    return profile;
+}
+
+void
+Collector::applyProfile(Dataset &data,
+                        const NormalizationProfile &profile)
+{
+    for (auto &s : data.samples)
+        profile.apply(s.x);
+}
+
+} // namespace evax

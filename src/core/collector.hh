@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dataset collection: runs benign kernels and attack kernels on
+ * fresh simulated cores, sampling the counter registry every N
+ * committed instructions (paper: 100 / 1k / 10k / 100k), and
+ * normalizes the corpus by per-feature maxima — the paper's
+ * "normalized over the maximum value of the counter" methodology.
+ */
+
+#ifndef EVAX_CORE_COLLECTOR_HH
+#define EVAX_CORE_COLLECTOR_HH
+
+#include <vector>
+
+#include "attacks/fuzzer.hh"
+#include "attacks/registry.hh"
+#include "ml/dataset.hh"
+#include "sim/core.hh"
+#include "workload/registry.hh"
+
+namespace evax
+{
+
+/** Frozen per-feature scaling shared by training and runtime. */
+struct NormalizationProfile
+{
+    std::vector<double> maxSeen;
+
+    /** Normalize one raw base window in place. */
+    void apply(std::vector<double> &raw) const;
+};
+
+/** Collection configuration. */
+struct CollectorConfig
+{
+    uint64_t sampleInterval = 1000;
+    /** Micro-ops per benign kernel run. */
+    uint64_t benignLength = 60000;
+    /** Micro-ops per attack kernel run. */
+    uint64_t attackLength = 40000;
+    /** Distinct seeds (Simpoints) per benign kernel. */
+    unsigned benignSeeds = 2;
+    /** Distinct seeds per attack kernel. */
+    unsigned attackSeeds = 2;
+    CoreParams coreParams;
+    uint64_t seed = 7;
+};
+
+/** Runs streams and harvests labeled raw feature windows. */
+class Collector
+{
+  public:
+    explicit Collector(const CollectorConfig &config);
+
+    /**
+     * Run one stream on a fresh core, appending raw (unnormalized)
+     * windows to @c out with the given labels.
+     * @return the simulation result of the run
+     */
+    SimResult collectStream(InstStream &stream, int class_id,
+                            bool malicious, Dataset &out);
+
+    /**
+     * Full corpus: every benign kernel and every attack category,
+     * config.{benign,attack}Seeds runs each. Samples remain RAW;
+     * call normalize() afterwards.
+     */
+    Dataset collectCorpus();
+
+    /** Raw windows from @c variants fuzzer-generated streams. */
+    Dataset collectFuzzerSamples(AttackFuzzer &fuzzer,
+                                 unsigned variants,
+                                 uint64_t length);
+
+    /**
+     * Compute per-feature maxima over @c data and normalize it in
+     * place. @return the profile for runtime use.
+     */
+    static NormalizationProfile normalize(Dataset &data);
+
+    /** Normalize @c data with an existing profile. */
+    static void applyProfile(Dataset &data,
+                             const NormalizationProfile &profile);
+
+    const CollectorConfig &config() const { return config_; }
+
+  private:
+    CollectorConfig config_;
+    uint64_t nextSeed_;
+};
+
+} // namespace evax
+
+#endif // EVAX_CORE_COLLECTOR_HH

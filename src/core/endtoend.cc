@@ -1,0 +1,69 @@
+#include "core/endtoend.hh"
+
+#include "hpc/sampler.hh"
+
+namespace evax
+{
+
+GatedRunResult
+runGated(InstStream &stream, Detector &detector,
+         const GatedRunConfig &config)
+{
+    GatedRunResult result;
+    CounterRegistry reg;
+    O3Core core(config.coreParams, reg);
+    Sampler sampler(reg, config.sampleInterval);
+    sampler.setNormalizeEnabled(false);
+    core.attachSampler(&sampler);
+
+    AdaptiveController controller(core, config.adaptive);
+
+    core.setSampleCallback([&](const FeatureSnapshot &snap) {
+        ++result.windows;
+        std::vector<double> x = snap.base;
+        config.profile.apply(x);
+        controller.tick(snap.instCount);
+        if (detector.flag(x)) {
+            ++result.flags;
+            controller.onDetection(snap.instCount);
+        }
+    });
+
+    result.sim = core.run(stream);
+    controller.tick(core.committedInsts() +
+                    config.adaptive.secureWindowInsts);
+    result.activations = controller.activations();
+    result.secureInsts = controller.secureInsts();
+    return result;
+}
+
+SimResult
+runPlain(InstStream &stream, DefenseMode mode,
+         const CoreParams &params)
+{
+    CounterRegistry reg;
+    O3Core core(params, reg);
+    core.setDefenseMode(mode);
+    return core.run(stream);
+}
+
+std::vector<bool>
+windowDecisions(InstStream &stream, Detector &detector,
+                const GatedRunConfig &config)
+{
+    std::vector<bool> decisions;
+    CounterRegistry reg;
+    O3Core core(config.coreParams, reg);
+    Sampler sampler(reg, config.sampleInterval);
+    sampler.setNormalizeEnabled(false);
+    core.attachSampler(&sampler);
+    core.setSampleCallback([&](const FeatureSnapshot &snap) {
+        std::vector<double> x = snap.base;
+        config.profile.apply(x);
+        decisions.push_back(detector.flag(x));
+    });
+    core.run(stream);
+    return decisions;
+}
+
+} // namespace evax

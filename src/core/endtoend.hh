@@ -1,0 +1,68 @@
+/**
+ * @file
+ * End-to-end gated-defense runs: a core with a sampler-attached
+ * detector that arms the adaptive controller — the full EVAX
+ * deployment loop (detect -> secure window -> performance mode).
+ */
+
+#ifndef EVAX_CORE_ENDTOEND_HH
+#define EVAX_CORE_ENDTOEND_HH
+
+#include <vector>
+
+#include "core/collector.hh"
+#include "defense/adaptive.hh"
+#include "detect/detector.hh"
+#include "sim/core.hh"
+
+namespace evax
+{
+
+/** Gated-run configuration. */
+struct GatedRunConfig
+{
+    uint64_t sampleInterval = 1000;
+    AdaptiveConfig adaptive;
+    /** Frozen feature scaling from dataset collection. */
+    NormalizationProfile profile;
+    CoreParams coreParams;
+};
+
+/** Result of a gated (or plain) end-to-end run. */
+struct GatedRunResult
+{
+    SimResult sim;
+    uint64_t windows = 0;      ///< detector windows evaluated
+    uint64_t flags = 0;        ///< positive windows
+    uint64_t activations = 0;  ///< secure-mode entries
+    uint64_t secureInsts = 0;  ///< insts spent in secure mode
+
+    double
+    flagRate() const
+    {
+        return windows ? (double)flags / (double)windows : 0.0;
+    }
+};
+
+/**
+ * Run a stream under EVAX gating: detector evaluates every window;
+ * a flag arms the secure mode for the configured dwell.
+ */
+GatedRunResult runGated(InstStream &stream, Detector &detector,
+                        const GatedRunConfig &config);
+
+/** Run a stream under an always-on mitigation (or none). */
+SimResult runPlain(InstStream &stream, DefenseMode mode,
+                   const CoreParams &params = CoreParams());
+
+/**
+ * Per-window detector decisions on a stream (for FP/FN studies):
+ * one bool per closed window.
+ */
+std::vector<bool> windowDecisions(InstStream &stream,
+                                  Detector &detector,
+                                  const GatedRunConfig &config);
+
+} // namespace evax
+
+#endif // EVAX_CORE_ENDTOEND_HH

@@ -1,0 +1,115 @@
+#include "core/experiment.hh"
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+ExperimentScale
+ExperimentScale::quick()
+{
+    ExperimentScale s;
+    s.collector.sampleInterval = 1000;
+    s.collector.benignLength = 20000;
+    s.collector.attackLength = 15000;
+    s.collector.benignSeeds = 1;
+    s.collector.attackSeeds = 1;
+    s.vaccination.epochs = 6;
+    s.vaccination.itersPerEpoch = 400;
+    s.vaccination.augmentPerClass = 60;
+    s.trainEpochs = 8;
+    return s;
+}
+
+ExperimentScale
+ExperimentScale::standard()
+{
+    ExperimentScale s;
+    s.collector.sampleInterval = 1000;
+    s.collector.benignLength = 60000;
+    s.collector.attackLength = 40000;
+    s.collector.benignSeeds = 3;
+    s.collector.attackSeeds = 3;
+    s.vaccination.epochs = 14;
+    s.vaccination.itersPerEpoch = 1200;
+    s.vaccination.augmentPerClass = 250;
+    s.trainEpochs = 15;
+    return s;
+}
+
+ExperimentScale
+ExperimentScale::fold()
+{
+    ExperimentScale s = quick();
+    s.vaccination.epochs = 4;
+    s.vaccination.itersPerEpoch = 350;
+    s.vaccination.augmentPerClass = 80;
+    s.trainEpochs = 10;
+    return s;
+}
+
+void
+trainTraditional(Detector &detector, const Dataset &train,
+                 unsigned epochs, double max_fpr, Rng &rng)
+{
+    detector.train(train, epochs, rng);
+    detector.tune(train, max_fpr);
+}
+
+Dataset
+fuzzAugment(const Dataset &train,
+            const NormalizationProfile &profile,
+            const CollectorConfig &collector_config,
+            unsigned variants_per_tool, uint64_t seed)
+{
+    Collector collector(collector_config);
+    Dataset augmented = train;
+    for (FuzzTool tool : {FuzzTool::Transynther, FuzzTool::TrrEspass,
+                          FuzzTool::Osiris}) {
+        AttackFuzzer fuzzer(tool, seed ^ (uint64_t)tool * 7919);
+        Dataset raw = collector.collectFuzzerSamples(
+            fuzzer, variants_per_tool,
+            collector_config.attackLength);
+        Collector::applyProfile(raw, profile);
+        augmented.append(raw);
+    }
+    return augmented;
+}
+
+ExperimentSetup
+buildExperiment(const ExperimentScale &scale, uint64_t seed)
+{
+    ExperimentSetup setup;
+
+    inform("collecting corpus (interval=%lu)...",
+           (unsigned long)scale.collector.sampleInterval);
+    Collector collector(scale.collector);
+    setup.corpus = collector.collectCorpus();
+    setup.profile = Collector::normalize(setup.corpus);
+    inform("corpus: %zu samples (%zu malicious)",
+           setup.corpus.size(), setup.corpus.countMalicious());
+
+    Rng rng(seed);
+
+    // PerSpectron: traditional training on the raw corpus.
+    setup.perspectron = std::make_shared<PerSpectron>(seed ^ 0x5a);
+    trainTraditional(*setup.perspectron, setup.corpus,
+                     scale.trainEpochs, scale.maxFpr, rng);
+
+    // EVAX: vaccinate, then train on the augmented corpus.
+    Vaccinator vaccinator(scale.vaccination);
+    setup.vaccination = vaccinator.run(setup.corpus);
+    setup.evax = std::make_shared<EvaxDetector>(
+        FeatureCatalog::engineered(), seed ^ 0xa5);
+    trainTraditional(*setup.evax, setup.vaccination.augmented,
+                     scale.trainEpochs, scale.maxFpr, rng);
+    // Weights learn from the vaccine; the operating threshold is
+    // calibrated on real windows (the vaccine's diluted attack
+    // samples would otherwise drag the sensitivity bound into the
+    // benign mass and inflate deployment FPs).
+    setup.evax->tune(setup.corpus, scale.maxFpr);
+
+    return setup;
+}
+
+} // namespace evax

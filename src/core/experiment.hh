@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared experiment harness: standard corpus collection and the
+ * three detector training recipes the paper compares —
+ * traditional (PerSpectron), fuzz-hardened (P.Fuzzer) and
+ * vaccinated (EVAX) — at two scales (quick for tests, standard
+ * for the benchmark reproductions).
+ */
+
+#ifndef EVAX_CORE_EXPERIMENT_HH
+#define EVAX_CORE_EXPERIMENT_HH
+
+#include <memory>
+
+#include "core/collector.hh"
+#include "core/vaccination.hh"
+#include "detect/evax_detector.hh"
+#include "detect/perspectron.hh"
+
+namespace evax
+{
+
+/** Scaled experiment parameters. */
+struct ExperimentScale
+{
+    CollectorConfig collector;
+    VaccinationConfig vaccination;
+    unsigned trainEpochs = 10;
+    /** Benign FP budget for threshold tuning. */
+    double maxFpr = 0.002;
+
+    /** Small scale for unit/integration tests (seconds). */
+    static ExperimentScale quick();
+    /** Standard scale for benchmark reproductions. */
+    static ExperimentScale standard();
+    /** Per-fold scale (used inside cross-validation sweeps). */
+    static ExperimentScale fold();
+};
+
+/** Everything the benches need, built once. */
+struct ExperimentSetup
+{
+    Dataset corpus; ///< normalized, labeled
+    NormalizationProfile profile;
+    std::shared_ptr<PerSpectron> perspectron;
+    std::shared_ptr<EvaxDetector> evax;
+    VaccinationResult vaccination;
+};
+
+/**
+ * Collect the corpus, vaccinate, and train both detectors:
+ * PerSpectron traditionally on the raw corpus, EVAX on the
+ * GAN-augmented corpus.
+ */
+ExperimentSetup buildExperiment(const ExperimentScale &scale,
+                                uint64_t seed);
+
+/** Train + tune a detector with plain supervised SGD. */
+void trainTraditional(Detector &detector, const Dataset &train,
+                      unsigned epochs, double max_fpr, Rng &rng);
+
+/**
+ * Fuzz-hardened baseline ("P.Fuzzer"): augment the training set
+ * with samples collected from the fuzzing tools, then train
+ * traditionally.
+ */
+Dataset fuzzAugment(const Dataset &train,
+                    const NormalizationProfile &profile,
+                    const CollectorConfig &collector_config,
+                    unsigned variants_per_tool, uint64_t seed);
+
+} // namespace evax
+
+#endif // EVAX_CORE_EXPERIMENT_HH

@@ -1,0 +1,67 @@
+#include "core/kfold.hh"
+
+#include <set>
+
+#include "ml/metrics.hh"
+#include "util/stats.hh"
+
+namespace evax
+{
+
+std::vector<FoldResult>
+leaveOneAttackOut(const Dataset &data, const DetectorFactory &factory,
+                  const TrainFn &train_fn, double benign_test_frac,
+                  uint64_t seed)
+{
+    std::set<int> attack_classes;
+    for (const auto &s : data.samples) {
+        if (s.malicious)
+            attack_classes.insert(s.attackClass);
+    }
+
+    std::vector<FoldResult> folds;
+    Rng rng(seed);
+    for (int held : attack_classes) {
+        Dataset train, test;
+        data.leaveOneAttackOut(held, benign_test_frac, rng, train,
+                               test);
+
+        auto detector = factory();
+        Rng train_rng = rng.split();
+        train_fn(*detector, train, train_rng);
+
+        FoldResult fold;
+        fold.heldOutClass = held;
+        if ((size_t)held < data.classNames.size())
+            fold.attackName = data.classNames[held];
+
+        ConfusionCounts cm;
+        std::vector<double> scores;
+        std::vector<bool> labels;
+        for (const auto &s : test.samples) {
+            bool pred = detector->flag(s.x);
+            cm.add(pred, s.malicious);
+            scores.push_back(detector->score(s.x));
+            labels.push_back(s.malicious);
+        }
+        fold.tpr = cm.tpr();
+        fold.fpr = cm.fpr();
+        fold.error = 1.0 - cm.accuracy();
+        fold.auc = rocAuc(scores, labels);
+        folds.push_back(fold);
+    }
+    return folds;
+}
+
+double
+meanFoldError(const std::vector<FoldResult> &folds)
+{
+    if (folds.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const auto &f : folds)
+        s += f.error;
+    return s / (double)folds.size();
+}
+
+} // namespace evax

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Leave-one-attack-out cross-validation (paper Sec. VII/VIII-C):
+ * each fold holds out every sample of one attack class; a detector
+ * trained (optionally with vaccination) on the remainder is scored
+ * on the held-out attack — the zero-day setting.
+ */
+
+#ifndef EVAX_CORE_KFOLD_HH
+#define EVAX_CORE_KFOLD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.hh"
+#include "ml/dataset.hh"
+
+namespace evax
+{
+
+/** Per-fold zero-day metrics. */
+struct FoldResult
+{
+    int heldOutClass = 0;
+    std::string attackName;
+    double tpr = 0.0;  ///< detection rate on the unseen attack
+    double fpr = 0.0;  ///< false positives on held-out benign
+    /** Generalization (classification) error on the fold's test. */
+    double error = 0.0;
+    double auc = 0.0;
+};
+
+/** Builds a fresh untrained detector per fold. */
+using DetectorFactory = std::function<std::unique_ptr<Detector>()>;
+
+/**
+ * Trains a detector on a fold's training set. The hook decides the
+ * training recipe (plain SGD, fuzz-hardened, or full vaccination).
+ */
+using TrainFn =
+    std::function<void(Detector &, const Dataset &train, Rng &)>;
+
+/**
+ * Run the full leave-one-attack-out sweep.
+ * @param data normalized corpus with class labels
+ * @param benign_test_frac benign share held out per fold
+ */
+std::vector<FoldResult> leaveOneAttackOut(
+    const Dataset &data, const DetectorFactory &factory,
+    const TrainFn &train_fn, double benign_test_frac,
+    uint64_t seed);
+
+/** Mean generalization error across folds. */
+double meanFoldError(const std::vector<FoldResult> &folds);
+
+} // namespace evax
+
+#endif // EVAX_CORE_KFOLD_HH

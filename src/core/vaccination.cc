@@ -1,0 +1,141 @@
+#include "core/vaccination.hh"
+
+#include <set>
+
+#include "ml/gram.hh"
+#include "util/log.hh"
+
+namespace evax
+{
+
+Vaccinator::Vaccinator(const VaccinationConfig &config)
+    : config_(config)
+{
+}
+
+double
+Vaccinator::styleLossFor(AmGan &gan, const Dataset &data,
+                         int class_id, size_t n)
+{
+    std::vector<std::vector<double>> real;
+    for (const auto &s : data.samples) {
+        if (s.attackClass == class_id) {
+            real.push_back(s.x);
+            if (real.size() >= n)
+                break;
+        }
+    }
+    if (real.empty())
+        return 0.0;
+    std::vector<std::vector<double>> generated;
+    for (size_t i = 0; i < n; ++i)
+        generated.push_back(gan.generate(class_id));
+    Matrix gm_real = gramMatrix(real);
+    Matrix gm_gen = gramMatrix(generated);
+    return styleLoss(gm_real, gm_gen);
+}
+
+double
+Vaccinator::meanStyleLoss(AmGan &gan, const Dataset &data,
+                          size_t per_class)
+{
+    std::set<int> classes;
+    for (const auto &s : data.samples) {
+        if (s.malicious)
+            classes.insert(s.attackClass);
+    }
+    if (classes.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (int cls : classes)
+        sum += styleLossFor(gan, data, cls, per_class);
+    return sum / (double)classes.size();
+}
+
+VaccinationResult
+Vaccinator::run(const Dataset &train)
+{
+    if (train.samples.empty())
+        fatal("Vaccinator: empty training set");
+
+    VaccinationResult result;
+
+    AmGanConfig gcfg = config_.gan;
+    gcfg.featureDim = train.samples.front().x.size();
+    gcfg.numClasses = train.classNames.empty()
+                          ? 1
+                          : train.classNames.size();
+    gcfg.seed = config_.seed;
+    result.gan = std::make_shared<AmGan>(gcfg);
+
+    bool harvest_ready = false;
+    for (unsigned e = 0; e < config_.epochs; ++e) {
+        GanLosses losses =
+            result.gan->trainEpoch(train, config_.itersPerEpoch);
+        double style = meanStyleLoss(*result.gan, train);
+        result.lossHistory.push_back(losses);
+        result.styleLossHistory.push_back(style);
+        if (style < config_.styleLossGate)
+            harvest_ready = true;
+        inform("vaccination epoch %u: d=%.3f g=%.3f styleLoss=%.4f",
+               e, losses.discLoss, losses.genLoss, style);
+    }
+    if (!harvest_ready) {
+        warn("style loss gate %.3f not reached (last %.3f); "
+             "harvesting anyway",
+             config_.styleLossGate,
+             result.styleLossHistory.empty()
+                 ? -1.0
+                 : result.styleLossHistory.back());
+    }
+
+    // Harvest: augment with generated samples per class.
+    result.augmented = train;
+    Dataset aug = result.gan->generateAugmentation(
+        train, config_.augmentPerClass);
+    result.augmented.append(aug);
+
+    // Virtual adversarial vaccination: dilute real attack windows
+    // toward benign (mixing and attenuation), the directions the
+    // evasion space actually moves in. A window that interleaves
+    // attack and benign work is a convex combination of their
+    // counter footprints — and is still an attack window.
+    Rng rng(config_.seed ^ 0xadbeef);
+    std::vector<const Sample *> benign_pool, attack_pool;
+    for (const auto &s : train.samples)
+        (s.malicious ? attack_pool : benign_pool).push_back(&s);
+    if (!benign_pool.empty() && !attack_pool.empty()) {
+        size_t total = config_.adversarialPerClass *
+                       (train.classNames.empty()
+                            ? 1
+                            : train.classNames.size() - 1);
+        for (size_t i = 0; i < total; ++i) {
+            const Sample *a =
+                attack_pool[rng.nextBounded(attack_pool.size())];
+            const Sample *b =
+                benign_pool[rng.nextBounded(benign_pool.size())];
+            double alpha = 0.3 + rng.nextDouble() * 0.6;
+            Sample s;
+            s.x.resize(a->x.size());
+            bool attenuate = rng.nextBool(0.4);
+            for (size_t f = 0; f < s.x.size(); ++f) {
+                double bx = f < b->x.size() ? b->x[f] : 0.0;
+                s.x[f] = attenuate
+                             ? a->x[f] * alpha
+                             : alpha * a->x[f] +
+                                   (1.0 - alpha) * bx;
+            }
+            s.attackClass = a->attackClass;
+            s.malicious = true;
+            result.augmented.add(std::move(s));
+        }
+    }
+
+    // Mine new security HPCs from the trained Generator.
+    FeatureEngineer engineer(config_.minedFeatures);
+    result.minedFeatures = engineer.mine(*result.gan);
+
+    return result;
+}
+
+} // namespace evax

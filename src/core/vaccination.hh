@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The Evasion Vaccination pipeline (paper Sec. V): train the
+ * AM-GAN on the collected corpus, track the Gram-matrix style loss
+ * as the harvest gate, generate per-class adversarial samples to
+ * augment the training set, and mine the trained Generator for new
+ * engineered security HPCs.
+ */
+
+#ifndef EVAX_CORE_VACCINATION_HH
+#define EVAX_CORE_VACCINATION_HH
+
+#include <memory>
+#include <vector>
+
+#include "detect/feature_engineer.hh"
+#include "ml/dataset.hh"
+#include "ml/gan.hh"
+
+namespace evax
+{
+
+/** Vaccination pipeline configuration. */
+struct VaccinationConfig
+{
+    unsigned epochs = 25;
+    size_t itersPerEpoch = 1200;
+    /** Generated samples per attack class (and for benign). */
+    size_t augmentPerClass = 300;
+    /**
+     * Virtual-adversarial samples per attack class: real attack
+     * windows mixed with benign windows / attenuated, modeling the
+     * evasion space (interleaving and throttling dilute a window's
+     * counters toward benign). Implements the boundary-pushing of
+     * paper Fig. 2 alongside the GAN samples.
+     */
+    size_t adversarialPerClass = 300;
+    /** Start harvesting when the mean style loss drops below. */
+    double styleLossGate = 0.15;
+    /** Deep generator / shallow discriminator widths. */
+    AmGanConfig gan;
+    /** Engineered HPCs to mine from the Generator. */
+    size_t minedFeatures = 12;
+    uint64_t seed = 99;
+};
+
+/** Output of one vaccination run. */
+struct VaccinationResult
+{
+    /** Original + generated samples (the hardened training set). */
+    Dataset augmented;
+    /** Mean style loss per epoch (Fig. 7's convergence curve). */
+    std::vector<double> styleLossHistory;
+    /** Discriminator / generator loss per epoch. */
+    std::vector<GanLosses> lossHistory;
+    /** Engineered HPCs mined from the Generator (Table I analog). */
+    std::vector<EngineeredFeature> minedFeatures;
+    /** The trained AM-GAN (for further generation / analysis). */
+    std::shared_ptr<AmGan> gan;
+};
+
+/** Runs the vaccination pipeline. */
+class Vaccinator
+{
+  public:
+    explicit Vaccinator(const VaccinationConfig &config);
+
+    /**
+     * Train the AM-GAN on @c train (normalized base features) and
+     * build the augmented set.
+     */
+    VaccinationResult run(const Dataset &train);
+
+    /**
+     * Mean Gram-matrix style loss of generated vs. real samples
+     * across all attack classes present in @c data.
+     */
+    static double meanStyleLoss(AmGan &gan, const Dataset &data,
+                                size_t per_class = 24);
+
+    /** Style loss for one class (visual verification hook). */
+    static double styleLossFor(AmGan &gan, const Dataset &data,
+                               int class_id, size_t n = 24);
+
+  private:
+    VaccinationConfig config_;
+};
+
+} // namespace evax
+
+#endif // EVAX_CORE_VACCINATION_HH

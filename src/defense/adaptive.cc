@@ -1,0 +1,34 @@
+#include "defense/adaptive.hh"
+
+namespace evax
+{
+
+AdaptiveController::AdaptiveController(O3Core &core,
+                                       const AdaptiveConfig &config)
+    : core_(core), config_(config)
+{
+}
+
+void
+AdaptiveController::onDetection(uint64_t inst_count)
+{
+    if (secureUntil_ == 0) {
+        ++activations_;
+        secureStart_ = inst_count;
+        core_.setDefenseMode(config_.secureMode);
+    }
+    // Re-arm: extend the window from the latest flag.
+    secureUntil_ = inst_count + config_.secureWindowInsts;
+}
+
+void
+AdaptiveController::tick(uint64_t inst_count)
+{
+    if (secureUntil_ != 0 && inst_count >= secureUntil_) {
+        secureInsts_ += inst_count - secureStart_;
+        secureUntil_ = 0;
+        core_.setDefenseMode(DefenseMode::None);
+    }
+}
+
+} // namespace evax

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The adaptive defense controller — the paper's headline mechanism.
+ *
+ * In performance mode no mitigation is active. When the detector
+ * raises a flag, the controller switches the core into the
+ * configured secure mode (InvisiSpec or fencing) for a fixed window
+ * of committed instructions (paper evaluates 10k / 100k / 1M), then
+ * drops back to performance mode. Benign programs thus pay the
+ * mitigation cost only for the detector's (rare) false positives.
+ */
+
+#ifndef EVAX_DEFENSE_ADAPTIVE_HH
+#define EVAX_DEFENSE_ADAPTIVE_HH
+
+#include <cstdint>
+
+#include "sim/core.hh"
+#include "sim/types.hh"
+
+namespace evax
+{
+
+/** Adaptive controller configuration. */
+struct AdaptiveConfig
+{
+    /** Mitigation to enable on detection. */
+    DefenseMode secureMode = DefenseMode::InvisiSpecSpectre;
+    /** Secure-mode dwell in committed instructions (paper: 1M). */
+    uint64_t secureWindowInsts = 1000000;
+};
+
+/** Switches a core between performance and secure mode. */
+class AdaptiveController
+{
+  public:
+    AdaptiveController(O3Core &core, const AdaptiveConfig &config);
+
+    /** Detector raised a flag at @c inst_count committed insts. */
+    void onDetection(uint64_t inst_count);
+
+    /**
+     * Advance time; exits secure mode when the window expires.
+     * Call at every sample boundary (or more often).
+     */
+    void tick(uint64_t inst_count);
+
+    bool secureActive() const { return secureUntil_ != 0; }
+    /** Number of times secure mode was (re)armed. */
+    uint64_t activations() const { return activations_; }
+    /** Total committed instructions spent in secure mode. */
+    uint64_t secureInsts() const { return secureInsts_; }
+
+  private:
+    O3Core &core_;
+    AdaptiveConfig config_;
+    uint64_t secureUntil_ = 0;
+    uint64_t secureStart_ = 0;
+    uint64_t activations_ = 0;
+    uint64_t secureInsts_ = 0;
+};
+
+} // namespace evax
+
+#endif // EVAX_DEFENSE_ADAPTIVE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Hardware malware detector interface.
+ *
+ * Detectors consume a normalized *base* feature window (133 wide,
+ * the directly-counted HPCs) and internally derive whatever view
+ * they monitor: PerSpectron slices its 106 features; EVAX appends
+ * its 12 engineered security HPCs for a 145-wide input.
+ */
+
+#ifndef EVAX_DETECT_DETECTOR_HH
+#define EVAX_DETECT_DETECTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "util/rng.hh"
+
+namespace evax
+{
+
+/** Common detector API. */
+class Detector
+{
+  public:
+    virtual ~Detector() = default;
+
+    /** Raw decision score for a base-feature window. */
+    virtual double score(const std::vector<double> &base) const = 0;
+
+    /** Thresholded decision. */
+    virtual bool flag(const std::vector<double> &base) const = 0;
+
+    /**
+     * Train on a dataset of base-feature samples.
+     * @param epochs SGD epochs
+     */
+    virtual void train(const Dataset &data, unsigned epochs,
+                       Rng &rng) = 0;
+
+    /** Tune decision threshold for a bounded benign FP rate. */
+    virtual void tune(const Dataset &data, double max_fpr) = 0;
+
+    /** High-sensitivity operating point (detection studies). */
+    virtual void tuneSensitivity(const Dataset &data,
+                                 double quantile) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+} // namespace evax
+
+#endif // EVAX_DETECT_DETECTOR_HH

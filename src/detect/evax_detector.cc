@@ -1,0 +1,81 @@
+#include "detect/evax_detector.hh"
+
+namespace evax
+{
+
+EvaxDetector::EvaxDetector(std::vector<EngineeredFeature> engineered,
+                           uint64_t seed)
+    : engineered_(std::move(engineered)),
+      model_(FeatureCatalog::numBase + engineered_.size(), seed)
+{
+    // The 145-wide input needs stronger regularization than
+    // PerSpectron's 106: spreading weight across the correlated
+    // (replicated) features is what keeps diluted/evasive attack
+    // windows above the boundary (see Perceptron::setWeightDecay).
+    model_.setWeightDecay(3e-3);
+}
+
+std::vector<double>
+EvaxDetector::expand(const std::vector<double> &base) const
+{
+    std::vector<double> x = base;
+    x.resize(FeatureCatalog::numBase, 0.0);
+    std::vector<double> eng =
+        FeatureCatalog::computeEngineered(x, engineered_);
+    x.insert(x.end(), eng.begin(), eng.end());
+    return x;
+}
+
+double
+EvaxDetector::score(const std::vector<double> &base) const
+{
+    return model_.score(expand(base));
+}
+
+bool
+EvaxDetector::flag(const std::vector<double> &base) const
+{
+    return model_.predict(expand(base));
+}
+
+void
+EvaxDetector::train(const Dataset &data, unsigned epochs, Rng &rng)
+{
+    Dataset expanded;
+    expanded.classNames = data.classNames;
+    expanded.samples.reserve(data.samples.size());
+    for (const auto &s : data.samples) {
+        Sample t = s;
+        t.x = expand(s.x);
+        expanded.samples.push_back(std::move(t));
+    }
+    model_.fit(expanded, epochs, lr_, rng);
+}
+
+void
+EvaxDetector::tune(const Dataset &data, double max_fpr)
+{
+    Dataset expanded;
+    expanded.classNames = data.classNames;
+    for (const auto &s : data.samples) {
+        Sample t = s;
+        t.x = expand(s.x);
+        expanded.samples.push_back(std::move(t));
+    }
+    model_.tuneThreshold(expanded, max_fpr);
+}
+
+void
+EvaxDetector::tuneSensitivity(const Dataset &data, double quantile)
+{
+    Dataset expanded;
+    expanded.classNames = data.classNames;
+    for (const auto &s : data.samples) {
+        Sample t = s;
+        t.x = expand(s.x);
+        expanded.samples.push_back(std::move(t));
+    }
+    model_.tuneSensitivity(expanded, quantile);
+}
+
+} // namespace evax

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The EVAX detector: a 145-input perceptron over all 133 base
+ * counters plus 12 engineered security HPCs, trained on the
+ * GAN-vaccinated (augmented) dataset. The engineered set defaults
+ * to the paper's Table I and can be replaced with a freshly mined
+ * set from a trained Generator (FeatureEngineer).
+ */
+
+#ifndef EVAX_DETECT_EVAX_DETECTOR_HH
+#define EVAX_DETECT_EVAX_DETECTOR_HH
+
+#include "detect/detector.hh"
+#include "hpc/features.hh"
+#include "ml/perceptron.hh"
+
+namespace evax
+{
+
+/** The paper's detector. */
+class EvaxDetector : public Detector
+{
+  public:
+    /**
+     * @param engineered engineered security HPC definitions
+     *        (defaults to the Table I catalog)
+     */
+    explicit EvaxDetector(
+        std::vector<EngineeredFeature> engineered =
+            FeatureCatalog::engineered(),
+        uint64_t seed = 21);
+
+    double score(const std::vector<double> &base) const override;
+    bool flag(const std::vector<double> &base) const override;
+    void train(const Dataset &data, unsigned epochs,
+               Rng &rng) override;
+    void tune(const Dataset &data, double max_fpr) override;
+    void tuneSensitivity(const Dataset &data,
+                         double quantile) override;
+    const char *name() const override { return "evax"; }
+
+    /** Expand a base window to the full 145-wide detector input. */
+    std::vector<double> expand(const std::vector<double> &base)
+        const;
+
+    const std::vector<EngineeredFeature> &engineered() const
+    { return engineered_; }
+    Perceptron &model() { return model_; }
+
+  private:
+    std::vector<EngineeredFeature> engineered_;
+    Perceptron model_;
+    double lr_ = 0.05;
+};
+
+} // namespace evax
+
+#endif // EVAX_DETECT_EVAX_DETECTOR_HH

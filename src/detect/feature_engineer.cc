@@ -1,0 +1,84 @@
+#include "detect/feature_engineer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+FeatureEngineer::FeatureEngineer(size_t count)
+    : count_(count)
+{
+}
+
+std::vector<std::pair<size_t, double>>
+FeatureEngineer::rankHiddenNodes(const AmGan &gan)
+{
+    const Mlp &gen = const_cast<AmGan &>(gan).generator();
+    const DenseLayer &out =
+        gen.layer(gen.numLayers() - 1); // hidden -> base features
+    std::vector<std::pair<size_t, double>> rank(out.inSize);
+    for (size_t h = 0; h < out.inSize; ++h) {
+        double mass = 0.0;
+        for (size_t o = 0; o < out.outSize; ++o)
+            mass += std::fabs(out.w[o * out.inSize + h]);
+        rank[h] = {h, mass};
+    }
+    std::sort(rank.begin(), rank.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    return rank;
+}
+
+std::vector<EngineeredFeature>
+FeatureEngineer::mine(const AmGan &gan) const
+{
+    const Mlp &gen = const_cast<AmGan &>(gan).generator();
+    const DenseLayer &out = gen.layer(gen.numLayers() - 1);
+    if (out.outSize != FeatureCatalog::numBase) {
+        fatal("FeatureEngineer: generator output width %zu does not "
+              "match the base feature space %zu",
+              out.outSize, FeatureCatalog::numBase);
+    }
+
+    auto rank = rankHiddenNodes(gan);
+    const auto &names = FeatureCatalog::baseFeatures();
+
+    std::vector<EngineeredFeature> mined;
+    std::set<std::pair<size_t, size_t>> used_pairs;
+    for (const auto &[h, mass] : rank) {
+        if (mined.size() >= count_)
+            break;
+        (void)mass;
+        // The two base counters this node drives hardest.
+        size_t best = 0, second = 1;
+        double best_w = -1.0, second_w = -1.0;
+        for (size_t o = 0; o < out.outSize; ++o) {
+            double w = std::fabs(out.w[o * out.inSize + h]);
+            if (w > best_w) {
+                second = best;
+                second_w = best_w;
+                best = o;
+                best_w = w;
+            } else if (w > second_w) {
+                second = o;
+                second_w = w;
+            }
+        }
+        auto pair = std::minmax(best, second);
+        if (!used_pairs.insert({pair.first, pair.second}).second)
+            continue; // distinct counter pairs only
+        EngineeredFeature e;
+        e.name = "mined." + names[best] + ".AND." + names[second];
+        e.a = names[best];
+        e.b = names[second];
+        mined.push_back(std::move(e));
+    }
+    return mined;
+}
+
+} // namespace evax

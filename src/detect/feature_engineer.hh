@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Automated security-HPC engineering from a trained AM-GAN
+ * (paper Sec. VI-A).
+ *
+ * The Generator's output layer maps its last hidden layer onto the
+ * base counters. A hidden node with large weight mass is an
+ * internal "concept" the GAN found useful for synthesizing attack
+ * footprints; the two base counters it drives hardest are, by
+ * construction, counters that fire *together* in attack states.
+ * Each such pair becomes a new HPC: the Boolean AND of the two
+ * signals — implementable with minimal logic in the PMU.
+ *
+ * This replaces the intractable brute-force search the paper
+ * quantifies (choosing 3 of 1160 counters ~ 2.6e8 combinations).
+ */
+
+#ifndef EVAX_DETECT_FEATURE_ENGINEER_HH
+#define EVAX_DETECT_FEATURE_ENGINEER_HH
+
+#include <vector>
+
+#include "hpc/features.hh"
+#include "ml/gan.hh"
+
+namespace evax
+{
+
+/** Mines engineered security HPCs from a trained Generator. */
+class FeatureEngineer
+{
+  public:
+    /**
+     * @param count number of engineered HPCs to produce (paper: 12)
+     */
+    explicit FeatureEngineer(size_t count = 12);
+
+    /**
+     * Mine the Generator's output layer for the strongest hidden
+     * nodes and pair up the base counters they drive.
+     */
+    std::vector<EngineeredFeature> mine(const AmGan &gan) const;
+
+    /**
+     * Rank hidden nodes of the Generator's output layer by total
+     * absolute outgoing weight (diagnostic / test hook).
+     */
+    static std::vector<std::pair<size_t, double>> rankHiddenNodes(
+        const AmGan &gan);
+
+  private:
+    size_t count_;
+};
+
+} // namespace evax
+
+#endif // EVAX_DETECT_FEATURE_ENGINEER_HH

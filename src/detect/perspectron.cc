@@ -1,0 +1,72 @@
+#include "detect/perspectron.hh"
+
+#include <algorithm>
+
+namespace evax
+{
+
+PerSpectron::PerSpectron(uint64_t seed)
+    : model_(FeatureCatalog::numPerSpectron, seed)
+{
+}
+
+std::vector<double>
+PerSpectron::view(const std::vector<double> &base) const
+{
+    size_t n = std::min(base.size(), FeatureCatalog::numPerSpectron);
+    return std::vector<double>(base.begin(), base.begin() + n);
+}
+
+double
+PerSpectron::score(const std::vector<double> &base) const
+{
+    return model_.score(view(base));
+}
+
+bool
+PerSpectron::flag(const std::vector<double> &base) const
+{
+    return model_.predict(view(base));
+}
+
+void
+PerSpectron::train(const Dataset &data, unsigned epochs, Rng &rng)
+{
+    Dataset truncated;
+    truncated.classNames = data.classNames;
+    truncated.samples.reserve(data.samples.size());
+    for (const auto &s : data.samples) {
+        Sample t = s;
+        t.x = view(s.x);
+        truncated.samples.push_back(std::move(t));
+    }
+    model_.fit(truncated, epochs, lr_, rng);
+}
+
+void
+PerSpectron::tune(const Dataset &data, double max_fpr)
+{
+    Dataset truncated;
+    truncated.classNames = data.classNames;
+    for (const auto &s : data.samples) {
+        Sample t = s;
+        t.x = view(s.x);
+        truncated.samples.push_back(std::move(t));
+    }
+    model_.tuneThreshold(truncated, max_fpr);
+}
+
+void
+PerSpectron::tuneSensitivity(const Dataset &data, double quantile)
+{
+    Dataset truncated;
+    truncated.classNames = data.classNames;
+    for (const auto &s : data.samples) {
+        Sample t = s;
+        t.x = view(s.x);
+        truncated.samples.push_back(std::move(t));
+    }
+    model_.tuneSensitivity(truncated, quantile);
+}
+
+} // namespace evax

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * PerSpectron baseline (MICRO'20): a single-layer perceptron over
+ * the first 106 (performance-oriented) counters, trained with
+ * classic supervised SGD on raw collected samples.
+ */
+
+#ifndef EVAX_DETECT_PERSPECTRON_HH
+#define EVAX_DETECT_PERSPECTRON_HH
+
+#include "detect/detector.hh"
+#include "hpc/features.hh"
+#include "ml/perceptron.hh"
+
+namespace evax
+{
+
+/** The prior-work detector EVAX is compared against. */
+class PerSpectron : public Detector
+{
+  public:
+    explicit PerSpectron(uint64_t seed = 20);
+
+    double score(const std::vector<double> &base) const override;
+    bool flag(const std::vector<double> &base) const override;
+    void train(const Dataset &data, unsigned epochs,
+               Rng &rng) override;
+    void tune(const Dataset &data, double max_fpr) override;
+    void tuneSensitivity(const Dataset &data,
+                         double quantile) override;
+    const char *name() const override { return "perspectron"; }
+
+    Perceptron &model() { return model_; }
+
+  private:
+    std::vector<double> view(const std::vector<double> &base) const;
+
+    Perceptron model_;
+    double lr_ = 0.05;
+};
+
+} // namespace evax
+
+#endif // EVAX_DETECT_PERSPECTRON_HH

@@ -1,0 +1,44 @@
+#include "hpc/counters.hh"
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+CounterId
+CounterRegistry::getOrAdd(const std::string &name)
+{
+    auto it = byName_.find(name);
+    if (it != byName_.end())
+        return it->second;
+    CounterId id = (CounterId)values_.size();
+    values_.push_back(0.0);
+    names_.push_back(name);
+    byName_.emplace(name, id);
+    return id;
+}
+
+CounterId
+CounterRegistry::find(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? INVALID_COUNTER : it->second;
+}
+
+double
+CounterRegistry::valueByName(const std::string &name) const
+{
+    CounterId id = find(name);
+    if (id == INVALID_COUNTER)
+        fatal("no such counter: %s", name.c_str());
+    return values_[id];
+}
+
+void
+CounterRegistry::resetValues()
+{
+    for (auto &v : values_)
+        v = 0.0;
+}
+
+} // namespace evax

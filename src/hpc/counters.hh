@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hardware performance counter registry.
+ *
+ * Every microarchitectural event counter in the simulated core is a
+ * named slot in a CounterRegistry. Components resolve names to dense
+ * CounterId handles once at construction and bump them with inc() in
+ * the cycle loop; the Sampler snapshots the whole register file every
+ * N committed instructions, mirroring the paper's methodology of
+ * collecting 1160 gem5 statistics and normalizing by max-seen value.
+ */
+
+#ifndef EVAX_HPC_COUNTERS_HH
+#define EVAX_HPC_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace evax
+{
+
+using CounterId = uint32_t;
+
+/** Sentinel for "no such counter". */
+constexpr CounterId INVALID_COUNTER = UINT32_MAX;
+
+/**
+ * Dense, name-addressable register file of event counters.
+ *
+ * Counters are doubles so derived statistics (latency sums, byte
+ * counts, energy proxies) share the same machinery as event counts.
+ */
+class CounterRegistry
+{
+  public:
+    /** Resolve a name, creating the counter (at zero) if missing. */
+    CounterId getOrAdd(const std::string &name);
+
+    /** Resolve a name; INVALID_COUNTER if absent. */
+    CounterId find(const std::string &name) const;
+
+    /** Bump a counter. Hot path: bounds-unchecked by design. */
+    void inc(CounterId id, double v = 1.0) { values_[id] += v; }
+
+    /** Overwrite a counter (used for level/occupancy style stats). */
+    void set(CounterId id, double v) { values_[id] = v; }
+
+    double value(CounterId id) const { return values_[id]; }
+    double valueByName(const std::string &name) const;
+
+    size_t size() const { return values_.size(); }
+    const std::string &name(CounterId id) const { return names_[id]; }
+
+    /** Copy of the full counter state. */
+    std::vector<double> snapshot() const { return values_; }
+
+    /** Zero every counter; ids and names are preserved. */
+    void resetValues();
+
+  private:
+    std::vector<double> values_;
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, CounterId> byName_;
+};
+
+} // namespace evax
+
+#endif // EVAX_HPC_COUNTERS_HH

@@ -1,0 +1,221 @@
+#include "hpc/features.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+namespace
+{
+
+/**
+ * The 106 PerSpectron base features followed by the 27 extended
+ * security-relevant counters EVAX adds (total 133). Order is the
+ * detector's input order and is frozen: trained weights index into
+ * it positionally.
+ */
+std::vector<std::string>
+buildBaseFeatures()
+{
+    std::vector<std::string> f = {
+        // --- PerSpectron 106 -----------------------------------
+        // fetch (9)
+        "fetch.cycles", "fetch.insts", "fetch.branches",
+        "fetch.predictedBranches", "fetch.icacheStallCycles",
+        "fetch.icacheAccesses", "fetch.squashCycles",
+        "fetch.blockedCycles", "fetch.idleCycles",
+        // decode (4)
+        "decode.idleCycles",
+        "decode.blockedCycles", "decode.squashedInsts",
+        "decode.decodedInsts",
+        // rename (7)
+        "rename.renamedInsts",
+        "rename.squashedInsts", "rename.idleCycles",
+        "rename.blockCycles", "rename.serializingInsts",
+        "rename.intFullEvents", "rename.robFullEvents",
+        // issue queue (8)
+        "iq.instsAdded", "iq.instsIssued",
+        "iq.squashedInstsExamined", "iq.squashedOperandsExamined",
+        "iq.squashedNonSpecRemoved", "iq.fuBusyCycles",
+        "iq.fullEvents", "iq.readyConflicts",
+        // iew (10)
+        "iew.executedInsts", "iew.executedLoads",
+        "iew.executedStores", "iew.execSquashedInsts",
+        "iew.branchMispredicts", "iew.memOrderViolations",
+        "iew.lsqFullEvents", "iew.blockCycles",
+        "iew.predTakenIncorrect", "iew.predNotTakenIncorrect",
+        // lsq (7)
+        "lsq.forwLoads", "lsq.squashedLoads", "lsq.squashedStores",
+        "lsq.ignoredResponses", "lsq.rescheduledLoads",
+        "lsq.blockedLoads", "lsq.cacheBlockedCycles",
+        // rob (3)
+        "rob.fullEvents", "rob.squashedInsts", "rob.occupancy",
+        // commit (8)
+        "commit.committedInsts", "commit.committedOps",
+        "commit.committedLoads", "commit.committedStores",
+        "commit.committedBranches", "commit.committedMembars",
+        "commit.squashedInsts", "commit.idleCycles",
+        // branch predictor (10)
+        "bp.lookups", "bp.condPredicted", "bp.condIncorrect",
+        "bp.btbLookups", "bp.btbHits", "bp.btbMispredicts",
+        "bp.rasUsed", "bp.rasIncorrect", "bp.indirectLookups",
+        "bp.indirectMispredicts",
+        // icache (7)
+        "icache.accesses", "icache.hits", "icache.misses",
+        "icache.mshrMisses", "icache.mshrMissLatency",
+        "icache.replacements",
+        "icache.blockedCycles",
+        // dcache (13)
+        "dcache.readAccesses", "dcache.writeAccesses",
+        "dcache.readHits", "dcache.writeHits", "dcache.readMisses",
+        "dcache.writeMisses", "dcache.readMshrMisses",
+        "dcache.readMshrMissLatency", "dcache.mshrFullEvents",
+        "dcache.cleanEvicts", "dcache.writebacks",
+        "dcache.replacements",
+        "dcache.blockedCycles",
+        // l2 (9)
+        "l2.readAccesses", "l2.readHits", "l2.readMisses",
+        "l2.readMshrMissLatency", "l2.cleanEvicts", "l2.writebacks",
+        "l2.replacements", "l2.writeAccesses", "l2.writeMisses",
+        // dtlb/itlb (6)
+        "dtlb.rdAccesses", "dtlb.rdMisses", "dtlb.wrAccesses",
+        "dtlb.wrMisses", "itlb.accesses", "itlb.misses",
+        // membus + dram (performance-facing) (5)
+        "membus.readSharedReq", "membus.readExReq",
+        "membus.pktCount", "dram.readBursts", "dram.writeBursts",
+
+        // --- 27 extended security-relevant counters -------------
+        // transient-domain exposure
+        "lsq.specLoadsHitWrQueue", "lsq.squashedBytes",
+        "lsq.bytesForwarded", "wq.bytesReadWrQ", "wq.fullEvents",
+        "dcache.specFills", "dcache.squashedFills",
+        "iq.squashedNonSpecLoads", "rename.undoneMaps",
+        "rename.committedMaps", "commit.trapSquashes",
+        "commit.nonSpecStalls", "fetch.pendingQuiesceStallCycles",
+        "sys.wrongPathInsts", "sys.faults",
+        // DRAM / Rowhammer / DRAMA domain
+        "dram.activations", "dram.rowHits", "dram.rowMisses",
+        "dram.bytesPerActivate", "dram.selfRefreshEnergy",
+        "dram.actEnergy", "dram.refreshes", "dram.maxRowActs",
+        "dram.neighborActs",
+        // covert-channel instruments
+        "sys.rdrands", "sys.clflushes", "dtlb.walkCycles",
+    };
+    if (f.size() != FeatureCatalog::numBase) {
+        panic("base feature catalog has %zu entries, expected %zu",
+              f.size(), FeatureCatalog::numBase);
+    }
+    return f;
+}
+
+std::vector<EngineeredFeature>
+buildEngineered()
+{
+    // Paper Table I plus five analogous combinations completing the
+    // 12 engineered security HPCs mined from the Generator.
+    std::vector<EngineeredFeature> e = {
+        {"sec.squashedBytesReadFromWrQ",
+         "lsq.squashedBytes", "wq.bytesReadWrQ"},
+        {"sec.committedMapsUndone",
+         "rename.committedMaps", "rename.undoneMaps"},
+        {"sec.memOrderViolDtlbMiss",
+         "iew.memOrderViolations", "dtlb.rdMisses"},
+        {"sec.squashedStoresForwLoads",
+         "lsq.squashedStores", "lsq.forwLoads"},
+        {"sec.readSharedIgnoredResp",
+         "membus.readSharedReq", "lsq.ignoredResponses"},
+        {"sec.squashedNonSpecLdMshrLat",
+         "iq.squashedNonSpecLoads", "dcache.readMshrMissLatency"},
+        {"sec.serializingExecSquashed",
+         "rename.serializingInsts", "iew.execSquashedInsts"},
+        {"sec.specLoadWrQSquashedLoads",
+         "lsq.specLoadsHitWrQueue", "lsq.squashedLoads"},
+        {"sec.bytesPerActSelfRefresh",
+         "dram.bytesPerActivate", "dram.selfRefreshEnergy"},
+        {"sec.rasIncorrectSquashCycles",
+         "bp.rasIncorrect", "fetch.squashCycles"},
+        {"sec.cleanEvictsL2Misses",
+         "dcache.cleanEvicts", "l2.readMisses"},
+        {"sec.quiesceStallTrapSquash",
+         "fetch.pendingQuiesceStallCycles", "commit.trapSquashes"},
+    };
+    if (e.size() != FeatureCatalog::numEngineered) {
+        panic("engineered catalog has %zu entries, expected %zu",
+              e.size(), FeatureCatalog::numEngineered);
+    }
+    return e;
+}
+
+const std::unordered_map<std::string, size_t> &
+baseIndexMap()
+{
+    static const std::unordered_map<std::string, size_t> map = [] {
+        std::unordered_map<std::string, size_t> m;
+        const auto &f = FeatureCatalog::baseFeatures();
+        for (size_t i = 0; i < f.size(); ++i)
+            m.emplace(f[i], i);
+        return m;
+    }();
+    return map;
+}
+
+} // anonymous namespace
+
+const std::vector<std::string> &
+FeatureCatalog::baseFeatures()
+{
+    static const std::vector<std::string> f = buildBaseFeatures();
+    return f;
+}
+
+const std::vector<EngineeredFeature> &
+FeatureCatalog::engineered()
+{
+    static const std::vector<EngineeredFeature> e = buildEngineered();
+    return e;
+}
+
+const std::vector<std::string> &
+FeatureCatalog::evaxFeatureNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n = baseFeatures();
+        for (const auto &e : engineered())
+            n.push_back(e.name);
+        return n;
+    }();
+    return names;
+}
+
+std::vector<double>
+FeatureCatalog::computeEngineered(const std::vector<double> &norm_base,
+                                  const std::vector<EngineeredFeature>
+                                      &set)
+{
+    if (norm_base.size() != numBase) {
+        panic("computeEngineered: expected %zu base values, got %zu",
+              numBase, norm_base.size());
+    }
+    std::vector<double> out;
+    out.reserve(set.size());
+    for (const auto &e : set) {
+        double a = norm_base[baseIndex(e.a)];
+        double b = norm_base[baseIndex(e.b)];
+        out.push_back(std::min(a, b));
+    }
+    return out;
+}
+
+size_t
+FeatureCatalog::baseIndex(const std::string &name)
+{
+    auto it = baseIndexMap().find(name);
+    if (it == baseIndexMap().end())
+        fatal("unknown base feature: %s", name.c_str());
+    return it->second;
+}
+
+} // namespace evax

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Canonical feature catalog for the detectors.
+ *
+ * The paper's detectors read a fixed, ordered feature vector drawn
+ * from the core's counters:
+ *
+ *  - PerSpectron (baseline, MICRO'20): the first 106 base features —
+ *    the performance-oriented counters prior work selected manually.
+ *  - EVAX: 133 base features (the 106 plus 27 extended
+ *    security-relevant counters exposing transient/DRAM state) plus
+ *    12 *engineered* security HPCs, each the AND-combination of two
+ *    base counters mined from the trained AM-GAN Generator's hidden
+ *    nodes (paper Table I). Total 145.
+ *
+ * Normalized counter values live in [0, 1]; the AND combination of
+ * two normalized signals is their min (fires high only when both
+ * fire), the soft equivalent of the paper's "Boolean AND logic".
+ */
+
+#ifndef EVAX_HPC_FEATURES_HH
+#define EVAX_HPC_FEATURES_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace evax
+{
+
+/** An engineered security HPC: AND of two base counters (Table I). */
+struct EngineeredFeature
+{
+    std::string name; ///< e.g. "sec.squashedBytesReadFromWrQ"
+    std::string a;    ///< first source base-counter name
+    std::string b;    ///< second source base-counter name
+};
+
+/**
+ * Static catalog of detector features. All accessors return
+ * references to lazily-built singletons; the catalog is immutable.
+ */
+class FeatureCatalog
+{
+  public:
+    /** Number of features PerSpectron monitors. */
+    static constexpr size_t numPerSpectron = 106;
+    /** Number of base (directly counted) EVAX features. */
+    static constexpr size_t numBase = 133;
+    /** Number of engineered security HPCs. */
+    static constexpr size_t numEngineered = 12;
+    /** Full EVAX feature vector width (paper: 145). */
+    static constexpr size_t numEvax = numBase + numEngineered;
+
+    /** Ordered base feature (counter) names; size() == numBase. */
+    static const std::vector<std::string> &baseFeatures();
+
+    /** Default engineered features (Table I); size == numEngineered. */
+    static const std::vector<EngineeredFeature> &engineered();
+
+    /** Names of the full 145-wide EVAX vector (base + engineered). */
+    static const std::vector<std::string> &evaxFeatureNames();
+
+    /**
+     * Compute engineered feature values from a normalized base
+     * vector using a caller-supplied engineered set (the
+     * FeatureEngineer produces new sets from a trained Generator).
+     *
+     * @param norm_base normalized base features, size numBase
+     * @param set engineered definitions (indices resolved by name)
+     * @return one value in [0,1] per engineered feature
+     */
+    static std::vector<double> computeEngineered(
+        const std::vector<double> &norm_base,
+        const std::vector<EngineeredFeature> &set);
+
+    /** Index of a base feature by counter name; throws via fatal(). */
+    static size_t baseIndex(const std::string &name);
+};
+
+} // namespace evax
+
+#endif // EVAX_HPC_FEATURES_HH

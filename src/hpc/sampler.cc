@@ -1,0 +1,99 @@
+#include "hpc/sampler.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+Normalizer::Normalizer(size_t width)
+    : maxSeen_(width, 0.0)
+{
+}
+
+void
+Normalizer::normalize(std::vector<double> &deltas)
+{
+    if (deltas.size() != maxSeen_.size())
+        panic("normalizer width mismatch");
+    constexpr double eps = 1e-9;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+        if (!frozen_)
+            maxSeen_[i] = std::max(maxSeen_[i], deltas[i]);
+        double m = maxSeen_[i];
+        double v = m > eps ? deltas[i] / m : 0.0;
+        deltas[i] = std::clamp(v, 0.0, 1.0);
+    }
+}
+
+void
+Normalizer::setMaxSeen(std::vector<double> max_seen)
+{
+    if (max_seen.size() != maxSeen_.size())
+        panic("normalizer width mismatch in setMaxSeen");
+    maxSeen_ = std::move(max_seen);
+}
+
+Sampler::Sampler(CounterRegistry &reg, uint64_t interval)
+    : reg_(reg), interval_(interval), nextBoundary_(interval),
+      norm_(FeatureCatalog::numBase)
+{
+    if (interval == 0)
+        fatal("sampler interval must be positive");
+    const auto &names = FeatureCatalog::baseFeatures();
+    ids_.reserve(names.size());
+    for (const auto &n : names)
+        ids_.push_back(reg_.getOrAdd(n));
+    lastValues_.assign(ids_.size(), 0.0);
+    for (size_t i = 0; i < ids_.size(); ++i)
+        lastValues_[i] = reg_.value(ids_[i]);
+}
+
+std::vector<double>
+Sampler::rawDeltas() const
+{
+    std::vector<double> d(ids_.size());
+    for (size_t i = 0; i < ids_.size(); ++i)
+        d[i] = std::max(0.0, reg_.value(ids_[i]) - lastValues_[i]);
+    return d;
+}
+
+bool
+Sampler::tick(uint64_t committed_insts, uint64_t cycle)
+{
+    if (committed_insts < nextBoundary_)
+        return false;
+    latest_ = sampleNow(committed_insts, cycle);
+    // Skip ahead past any windows the commit group straddled.
+    while (nextBoundary_ <= committed_insts)
+        nextBoundary_ += interval_;
+    return true;
+}
+
+FeatureSnapshot
+Sampler::sampleNow(uint64_t committed_insts, uint64_t cycle)
+{
+    FeatureSnapshot snap;
+    snap.base = rawDeltas();
+    if (normalizeEnabled_)
+        norm_.normalize(snap.base);
+    snap.instCount = committed_insts;
+    snap.cycle = cycle;
+    for (size_t i = 0; i < ids_.size(); ++i)
+        lastValues_[i] = reg_.value(ids_[i]);
+    ++windows_;
+    return snap;
+}
+
+void
+Sampler::restart()
+{
+    nextBoundary_ = interval_;
+    windows_ = 0;
+    for (size_t i = 0; i < ids_.size(); ++i)
+        lastValues_[i] = reg_.value(ids_[i]);
+    latest_ = FeatureSnapshot();
+}
+
+} // namespace evax

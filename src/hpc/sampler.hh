@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Windowed counter sampling and max-normalization.
+ *
+ * The paper collects counter snapshots every 100 / 1k / 10k / 100k
+ * committed instructions, keeps a per-counter maximum-seen value and
+ * normalizes each window's delta by it. A calibration pass
+ * establishes maxima, which are then frozen so training and runtime
+ * see the same scaling.
+ */
+
+#ifndef EVAX_HPC_SAMPLER_HH
+#define EVAX_HPC_SAMPLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hpc/counters.hh"
+#include "hpc/features.hh"
+
+namespace evax
+{
+
+/**
+ * Per-feature max-seen normalizer. While unfrozen, max values track
+ * the largest window delta observed; once frozen they are constants
+ * shared across runs (training and detection must agree on scale).
+ */
+class Normalizer
+{
+  public:
+    explicit Normalizer(size_t width);
+
+    /** Normalize a raw delta vector in place to [0, 1]. */
+    void normalize(std::vector<double> &deltas);
+
+    void freeze() { frozen_ = true; }
+    bool frozen() const { return frozen_; }
+
+    const std::vector<double> &maxSeen() const { return maxSeen_; }
+    void setMaxSeen(std::vector<double> max_seen);
+
+  private:
+    std::vector<double> maxSeen_;
+    bool frozen_ = false;
+};
+
+/** One normalized feature snapshot emitted by the Sampler. */
+struct FeatureSnapshot
+{
+    /** Normalized base features (width FeatureCatalog::numBase). */
+    std::vector<double> base;
+    /** Committed-instruction count at sample time. */
+    uint64_t instCount = 0;
+    /** Core cycle at sample time. */
+    uint64_t cycle = 0;
+};
+
+/**
+ * Samples the counter registry every @c interval committed
+ * instructions. The owner (the core's commit stage) calls tick()
+ * once per commit-group; when a window closes the snapshot becomes
+ * available via latest().
+ */
+class Sampler
+{
+  public:
+    /**
+     * @param reg counter registry to sample (base features resolved
+     *            by name; missing counters are created at zero)
+     * @param interval window length in committed instructions
+     */
+    Sampler(CounterRegistry &reg, uint64_t interval);
+
+    /**
+     * Advance to @c committed_insts total committed instructions.
+     * @return true if one or more windows closed (latest() updated).
+     */
+    bool tick(uint64_t committed_insts, uint64_t cycle);
+
+    /** Close the current window immediately (end of run). */
+    FeatureSnapshot sampleNow(uint64_t committed_insts,
+                              uint64_t cycle);
+
+    const FeatureSnapshot &latest() const { return latest_; }
+    uint64_t interval() const { return interval_; }
+    uint64_t windowsClosed() const { return windows_; }
+
+    Normalizer &normalizer() { return norm_; }
+    const Normalizer &normalizer() const { return norm_; }
+
+    /**
+     * Disable in-sampler normalization: snapshots carry raw window
+     * deltas (dataset collection normalizes corpus-wide instead).
+     */
+    void setNormalizeEnabled(bool enabled)
+    { normalizeEnabled_ = enabled; }
+    bool normalizeEnabled() const { return normalizeEnabled_; }
+
+    /** Reset window bookkeeping (keeps normalizer state). */
+    void restart();
+
+  private:
+    std::vector<double> rawDeltas() const;
+
+    CounterRegistry &reg_;
+    uint64_t interval_;
+    std::vector<CounterId> ids_;
+    std::vector<double> lastValues_;
+    uint64_t nextBoundary_;
+    uint64_t windows_ = 0;
+    FeatureSnapshot latest_;
+    Normalizer norm_;
+    bool normalizeEnabled_ = true;
+};
+
+} // namespace evax
+
+#endif // EVAX_HPC_SAMPLER_HH

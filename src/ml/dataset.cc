@@ -1,0 +1,68 @@
+#include "ml/dataset.hh"
+
+namespace evax
+{
+
+void
+Dataset::append(const Dataset &other)
+{
+    samples.insert(samples.end(), other.samples.begin(),
+                   other.samples.end());
+    if (classNames.size() < other.classNames.size())
+        classNames = other.classNames;
+}
+
+size_t
+Dataset::countMalicious() const
+{
+    size_t n = 0;
+    for (const auto &s : samples)
+        n += s.malicious ? 1 : 0;
+    return n;
+}
+
+size_t
+Dataset::countClass(int cls) const
+{
+    size_t n = 0;
+    for (const auto &s : samples)
+        n += s.attackClass == cls ? 1 : 0;
+    return n;
+}
+
+void
+Dataset::shuffle(Rng &rng)
+{
+    rng.shuffle(samples);
+}
+
+void
+Dataset::split(double train_frac, Dataset &train,
+               Dataset &test) const
+{
+    train.classNames = classNames;
+    test.classNames = classNames;
+    size_t cut = (size_t)((double)samples.size() * train_frac);
+    for (size_t i = 0; i < samples.size(); ++i)
+        (i < cut ? train : test).samples.push_back(samples[i]);
+}
+
+void
+Dataset::leaveOneAttackOut(int held_out_class,
+                           double benign_test_frac, Rng &rng,
+                           Dataset &train, Dataset &test) const
+{
+    train.classNames = classNames;
+    test.classNames = classNames;
+    for (const auto &s : samples) {
+        if (s.attackClass == held_out_class && s.malicious) {
+            test.samples.push_back(s);
+        } else if (!s.malicious && rng.nextBool(benign_test_frac)) {
+            test.samples.push_back(s);
+        } else {
+            train.samples.push_back(s);
+        }
+    }
+}
+
+} // namespace evax

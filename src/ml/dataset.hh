@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Labeled microarchitectural sample dataset with the K-fold
+ * leave-one-attack-out machinery the paper's evaluation uses.
+ */
+
+#ifndef EVAX_ML_DATASET_HH
+#define EVAX_ML_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace evax
+{
+
+/** Class id reserved for benign samples. */
+constexpr int BENIGN_CLASS = 0;
+
+/** One detector sample: a normalized feature window plus labels. */
+struct Sample
+{
+    /** Normalized base features (FeatureCatalog::numBase wide). */
+    std::vector<double> x;
+    /** Attack class (BENIGN_CLASS for benign windows). */
+    int attackClass = BENIGN_CLASS;
+    bool malicious = false;
+    /** True if the window covers the attack's leakage phase. */
+    bool leakPhase = false;
+};
+
+/** A dataset with class metadata. */
+struct Dataset
+{
+    std::vector<Sample> samples;
+    /** Class names indexed by attackClass (0 = "benign"). */
+    std::vector<std::string> classNames;
+
+    size_t size() const { return samples.size(); }
+    void add(Sample s) { samples.push_back(std::move(s)); }
+    void append(const Dataset &other);
+
+    size_t countMalicious() const;
+    size_t countClass(int cls) const;
+
+    void shuffle(Rng &rng);
+
+    /**
+     * Split into train/test by fraction (after caller shuffles).
+     */
+    void split(double train_frac, Dataset &train,
+               Dataset &test) const;
+
+    /**
+     * Leave-one-attack-out fold: all samples of @c held_out_class go
+     * to test (plus a benign share), everything else to train —
+     * the paper's zero-day cross-validation setting.
+     * @param benign_test_frac fraction of benign windows held out
+     */
+    void leaveOneAttackOut(int held_out_class,
+                           double benign_test_frac, Rng &rng,
+                           Dataset &train, Dataset &test) const;
+};
+
+} // namespace evax
+
+#endif // EVAX_ML_DATASET_HH

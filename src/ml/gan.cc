@@ -1,0 +1,248 @@
+#include "ml/gan.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+namespace
+{
+
+std::vector<size_t>
+genSizes(const AmGanConfig &c)
+{
+    std::vector<size_t> s;
+    s.push_back(c.noiseDim + c.numClasses);
+    for (size_t h : c.genHidden)
+        s.push_back(h);
+    s.push_back(c.featureDim);
+    return s;
+}
+
+std::vector<size_t>
+discSizes(const AmGanConfig &c)
+{
+    std::vector<size_t> s;
+    s.push_back(c.featureDim + c.numClasses);
+    for (size_t h : c.discHidden)
+        s.push_back(h);
+    s.push_back(1);
+    return s;
+}
+
+} // anonymous namespace
+
+AmGan::AmGan(const AmGanConfig &config)
+    : config_(config),
+      gen_(genSizes(config), Activation::LeakyRelu,
+           Activation::Sigmoid, config.seed),
+      disc_(discSizes(config), Activation::LeakyRelu,
+            Activation::Sigmoid, config.seed ^ 0xdecafbadULL),
+      rng_(config.seed * 0x9e3779b9ULL + 1),
+      anchorWeight_(config.anchorWeight)
+{
+    if (config_.numClasses == 0)
+        fatal("AmGan needs at least one class");
+}
+
+std::vector<double>
+AmGan::makeGenInput(int attack_class)
+{
+    std::vector<double> in(config_.noiseDim + config_.numClasses,
+                           0.0);
+    for (size_t i = 0; i < config_.noiseDim; ++i)
+        in[i] = rng_.nextGaussian();
+    if (attack_class >= 0 &&
+        (size_t)attack_class < config_.numClasses) {
+        in[config_.noiseDim + attack_class] = 1.0;
+    }
+    return in;
+}
+
+std::vector<double>
+AmGan::makeDiscInput(const std::vector<double> &x,
+                     int attack_class) const
+{
+    std::vector<double> in(config_.featureDim + config_.numClasses,
+                           0.0);
+    size_t n = std::min(config_.featureDim, x.size());
+    std::copy(x.begin(), x.begin() + n, in.begin());
+    if (attack_class >= 0 &&
+        (size_t)attack_class < config_.numClasses) {
+        in[config_.featureDim + attack_class] = 1.0;
+    }
+    return in;
+}
+
+double
+AmGan::discriminate(const std::vector<double> &x, int attack_class)
+{
+    return disc_.forward(makeDiscInput(x, attack_class))[0];
+}
+
+std::vector<double>
+AmGan::generate(int attack_class)
+{
+    return gen_.forward(makeGenInput(attack_class));
+}
+
+GanLosses
+AmGan::trainEpoch(const Dataset &data, size_t iterations)
+{
+    if (data.samples.empty())
+        fatal("AmGan::trainEpoch: empty dataset");
+    GanLosses losses;
+
+    // Per-class sample index for the conditional anchor step.
+    std::vector<std::vector<const Sample *>> by_class(
+        config_.numClasses);
+    for (const auto &s : data.samples) {
+        if (s.attackClass >= 0 &&
+            (size_t)s.attackClass < config_.numClasses) {
+            by_class[s.attackClass].push_back(&s);
+        }
+    }
+
+    for (size_t it = 0; it < iterations; ++it) {
+        // ---- Discriminator step (paper Fig. 4 lines 6-13) ----
+        const Sample &real =
+            data.samples[rng_.nextBounded(data.samples.size())];
+
+        // Real, matching pair -> 1.
+        losses.discLoss += disc_.trainBce(
+            makeDiscInput(real.x, real.attackClass), 1.0,
+            config_.discLr);
+
+        // Occasionally a real sample with a wrong label -> 0
+        // (the CGAN "unmatched pair" negative).
+        if (rng_.nextBool(config_.mismatchFrac) &&
+            config_.numClasses > 1) {
+            int wrong = (int)rng_.nextBounded(config_.numClasses);
+            if (wrong == real.attackClass)
+                wrong = (wrong + 1) % (int)config_.numClasses;
+            losses.discLoss += disc_.trainBce(
+                makeDiscInput(real.x, wrong), 0.0, config_.discLr);
+        }
+
+        // Generated sample with its conditioning label -> 0.
+        int cls = real.attackClass;
+        std::vector<double> fake = generate(cls);
+        losses.discLoss += disc_.trainBce(makeDiscInput(fake, cls),
+                                          0.0, config_.discLr);
+
+        // ---- Generator step (paper Fig. 4 lines 14-19) ----
+        // Fresh fake; push D(fake) toward 1 through a frozen D.
+        std::vector<double> gin = makeGenInput(cls);
+        const auto &gx = gen_.forward(gin);
+        std::vector<double> din = makeDiscInput(gx, cls);
+        double p = std::clamp(disc_.forward(din)[0], 1e-7,
+                              1.0 - 1e-7);
+        losses.genLoss += -std::log(p);
+        // dL/dp for target 1 under BCE, then through frozen D.
+        double dy = (p - 1.0) / (p * (1.0 - p));
+        std::vector<double> dgrad = disc_.inputGradient({dy});
+        // Only the feature part of D's input flows back into G.
+        std::vector<double> ggrad(config_.featureDim);
+        std::copy(dgrad.begin(), dgrad.begin() + config_.featureDim,
+                  ggrad.begin());
+        gen_.backward(ggrad, config_.genLr);
+
+        // Conditional anchor: pull the Generator's output for this
+        // class toward a real sample of the same class. This keeps
+        // the class conditioning meaningful and prevents the mode
+        // collapse pure adversarial training is prone to; the
+        // noise input and adversarial term preserve the spread.
+        if (!by_class[cls].empty()) {
+            const Sample *anchor = by_class[cls][rng_.nextBounded(
+                by_class[cls].size())];
+            gen_.trainMse(makeGenInput(cls), anchor->x,
+                          config_.genLr * anchorWeight_);
+        }
+    }
+
+    double n = (double)iterations;
+    losses.discLoss /= n;
+    losses.genLoss /= n;
+    return losses;
+}
+
+namespace
+{
+
+double
+cosine(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+    }
+    double d = std::sqrt(na) * std::sqrt(nb);
+    return d > 0 ? dot / d : 0.0;
+}
+
+} // anonymous namespace
+
+Dataset
+AmGan::generateAugmentation(const Dataset &reference,
+                            size_t per_class)
+{
+    Dataset aug;
+    aug.classNames = reference.classNames;
+
+    // Per-class mean footprints (the style reference).
+    std::vector<std::vector<double>> mean(
+        config_.numClasses,
+        std::vector<double>(config_.featureDim, 0.0));
+    std::vector<size_t> count(config_.numClasses, 0);
+    for (const auto &s : reference.samples) {
+        if (s.attackClass < 0 ||
+            (size_t)s.attackClass >= config_.numClasses) {
+            continue;
+        }
+        auto &m = mean[s.attackClass];
+        for (size_t i = 0; i < m.size() && i < s.x.size(); ++i)
+            m[i] += s.x[i];
+        ++count[s.attackClass];
+    }
+    for (size_t c = 0; c < mean.size(); ++c) {
+        if (count[c]) {
+            for (auto &v : mean[c])
+                v /= (double)count[c];
+        }
+    }
+
+    for (size_t cls = 0; cls < config_.numClasses; ++cls) {
+        if (count[cls] == 0)
+            continue;
+        size_t kept = 0, attempts = 0;
+        while (kept < per_class && attempts < per_class * 6) {
+            ++attempts;
+            Sample s;
+            s.x = generate((int)cls);
+            // Harvest gate (paper Sec. V-C/V-D): keep samples that
+            // carry the class's footprint *style* (correlation with
+            // the class profile) but sit near or across the
+            // Discriminator's boundary — "the generated examples
+            // which consistently fool the Discriminator" are the
+            // vaccine that pushes the detector's margins outward.
+            if (cosine(s.x, mean[cls]) < 0.4)
+                continue; // lost the attack's structure
+            if (discriminate(s.x, (int)cls) > 0.85)
+                continue; // indistinguishable from seen data:
+                          // adds nothing beyond the real samples
+            s.attackClass = (int)cls;
+            s.malicious = cls != (size_t)BENIGN_CLASS;
+            aug.add(std::move(s));
+            ++kept;
+        }
+    }
+    return aug;
+}
+
+} // namespace evax

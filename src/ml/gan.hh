@@ -1,0 +1,101 @@
+/**
+ * @file
+ * AM-GAN: the Asymmetric-Model conditional GAN of paper Sec. V.
+ *
+ * A *deep* Generator learns to synthesize microarchitectural attack
+ * samples (normalized feature vectors) for a requested attack class
+ * from noise, playing an adversarial game against a *shallow*
+ * Discriminator shaped like the hardware detector. After training,
+ * the Generator (a) mass-produces adversarial training samples per
+ * class — the "vaccine" — and (b) its strongest internal nodes are
+ * mined to engineer new security HPCs (Sec. VI-A).
+ */
+
+#ifndef EVAX_ML_GAN_HH
+#define EVAX_ML_GAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "ml/mlp.hh"
+#include "util/rng.hh"
+
+namespace evax
+{
+
+/** AM-GAN configuration. */
+struct AmGanConfig
+{
+    size_t featureDim = 133;   ///< generated feature width
+    size_t numClasses = 1;     ///< attack classes incl. benign
+    size_t noiseDim = 145;     ///< paper: noise vector of 145
+    /** Deep generator hidden widths (asymmetric vs discriminator). */
+    std::vector<size_t> genHidden = {128, 96, 64};
+    /** Shallow discriminator hidden widths (HW-detector-like). */
+    std::vector<size_t> discHidden = {32};
+    double genLr = 1e-3;
+    double discLr = 1e-3;
+    /** Weight of the class-conditional anchor (vs adversarial). */
+    double anchorWeight = 0.5;
+    /** Probability of a mismatched-label negative pair per D step. */
+    double mismatchFrac = 0.25;
+    uint64_t seed = 1234;
+};
+
+/** Per-epoch training losses (for convergence tracking, Fig. 7). */
+struct GanLosses
+{
+    double discLoss = 0.0;
+    double genLoss = 0.0;
+};
+
+/** Conditional GAN with asymmetric model capacities. */
+class AmGan
+{
+  public:
+    explicit AmGan(const AmGanConfig &config);
+
+    /**
+     * One training epoch following the paper's Fig. 4 algorithm:
+     * alternating discriminator steps (real-matching vs fake /
+     * mismatched) and generator steps (maximize D error on fakes).
+     * @param data training set (normalized base-feature samples)
+     * @param iterations sample pairs to draw this epoch
+     */
+    GanLosses trainEpoch(const Dataset &data, size_t iterations);
+
+    /** Generate one sample of the requested class. */
+    std::vector<double> generate(int attack_class);
+
+    /**
+     * Generate a labeled batch: @c per_class samples of every class
+     * present in @c reference (benign class included), appended as
+     * an augmentation set.
+     */
+    Dataset generateAugmentation(const Dataset &reference,
+                                 size_t per_class);
+
+    /** Discriminator probability that (x, class) is real+matching. */
+    double discriminate(const std::vector<double> &x,
+                        int attack_class);
+
+    Mlp &generator() { return gen_; }
+    Mlp &discriminator() { return disc_; }
+    const AmGanConfig &config() const { return config_; }
+
+  private:
+    std::vector<double> makeGenInput(int attack_class);
+    std::vector<double> makeDiscInput(const std::vector<double> &x,
+                                      int attack_class) const;
+
+    AmGanConfig config_;
+    Mlp gen_;
+    Mlp disc_;
+    Rng rng_;
+    double anchorWeight_ = 0.5;
+};
+
+} // namespace evax
+
+#endif // EVAX_ML_GAN_HH

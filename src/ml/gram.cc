@@ -1,0 +1,57 @@
+#include "ml/gram.hh"
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+Matrix
+gramMatrix(const std::vector<std::vector<double>> &series,
+           const std::vector<size_t> &feature_idx)
+{
+    if (series.empty())
+        return Matrix();
+    std::vector<size_t> idx = feature_idx;
+    if (idx.empty()) {
+        idx.resize(series.front().size());
+        for (size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+    }
+    size_t n = idx.size();
+    Matrix g(n, n);
+    for (const auto &snap : series) {
+        for (size_t i = 0; i < n; ++i) {
+            double fi = snap[idx[i]];
+            if (fi == 0.0)
+                continue;
+            for (size_t j = i; j < n; ++j) {
+                double v = fi * snap[idx[j]];
+                g.at(i, j) += v;
+                if (j != i)
+                    g.at(j, i) += v;
+            }
+        }
+    }
+    // Normalize by window length so windows of different durations
+    // are comparable.
+    double inv = 1.0 / (double)series.size();
+    for (auto &v : g.data())
+        v *= inv;
+    return g;
+}
+
+double
+styleLoss(const Matrix &base, const Matrix &generated, double alpha)
+{
+    if (base.rows() != generated.rows() ||
+        base.cols() != generated.cols()) {
+        panic("styleLoss: gram shape mismatch");
+    }
+    double n = (double)base.rows();
+    if (n == 0)
+        return 0.0;
+    double sse = base.sseWith(generated);
+    return sse / (4.0 * alpha * n * n);
+}
+
+} // namespace evax

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Gram-matrix attack "style" metric (paper Sec. V-D).
+ *
+ * The Gram matrix over a window of feature snapshots measures which
+ * microarchitectural features fire *together* during an attack
+ * phase; two attacks of the same type share correlation structure
+ * even when their raw feature values differ. The style loss L_GM
+ * between a base attack and a generated sample is the quality gate
+ * for harvesting AM-GAN output (collect when L_GM ~ 0.1).
+ */
+
+#ifndef EVAX_ML_GRAM_HH
+#define EVAX_ML_GRAM_HH
+
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace evax
+{
+
+/**
+ * Gram matrix of a feature time series.
+ * @param series T snapshots, each N features wide
+ * @param feature_idx optional subset of feature indices (empty =
+ *        all features)
+ * @return |idx| x |idx| matrix G_ij = sum_t f_i(t) f_j(t)
+ */
+Matrix gramMatrix(const std::vector<std::vector<double>> &series,
+                  const std::vector<size_t> &feature_idx = {});
+
+/**
+ * Attack leakage style loss (paper's L_GM):
+ * L = 1/(4 a N^2) * sum_ij (GM(B)_ij - GM(G)_ij)^2.
+ */
+double styleLoss(const Matrix &base, const Matrix &generated,
+                 double alpha = 1.0);
+
+} // namespace evax
+
+#endif // EVAX_ML_GRAM_HH

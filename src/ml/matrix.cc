@@ -1,0 +1,63 @@
+#include "ml/matrix.hh"
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    if (cols_ != other.rows_)
+        panic("matrix multiply shape mismatch");
+    Matrix out(rows_, other.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            double a = at(i, k);
+            if (a == 0.0)
+                continue;
+            for (size_t j = 0; j < other.cols_; ++j)
+                out.at(i, j) += a * other.at(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j)
+            out.at(j, i) = at(i, j);
+    return out;
+}
+
+double
+Matrix::sseWith(const Matrix &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("matrix sse shape mismatch");
+    double s = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i) {
+        double d = data_[i] - other.data_[i];
+        s += d * d;
+    }
+    return s;
+}
+
+void
+Matrix::addScaled(const Matrix &other, double scale)
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("matrix addScaled shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i] * scale;
+}
+
+} // namespace evax

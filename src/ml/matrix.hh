@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal dense row-major matrix used by the NN layers and the
+ * Gram-matrix attack-quality metric.
+ */
+
+#ifndef EVAX_ML_MATRIX_HH
+#define EVAX_ML_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace evax
+{
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    double &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double at(size_t r, size_t c) const
+    { return data_[r * cols_ + c]; }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+    /** this * other; dimensions must agree. */
+    Matrix multiply(const Matrix &other) const;
+    Matrix transposed() const;
+
+    /** Elementwise sum of squared differences. */
+    double sseWith(const Matrix &other) const;
+
+    /** this += other * scale. */
+    void addScaled(const Matrix &other, double scale);
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace evax
+
+#endif // EVAX_ML_MATRIX_HH

@@ -1,0 +1,85 @@
+#include "ml/metrics.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+std::vector<RocPoint>
+rocCurve(const std::vector<double> &scores,
+         const std::vector<bool> &labels)
+{
+    if (scores.size() != labels.size())
+        panic("rocCurve: size mismatch");
+    size_t pos = 0, neg = 0;
+    for (bool l : labels)
+        (l ? pos : neg) += 1;
+
+    std::vector<size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return scores[a] > scores[b];
+    });
+
+    std::vector<RocPoint> curve;
+    curve.push_back({0.0, 0.0, 0.0});
+    size_t tp = 0, fp = 0;
+    for (size_t k = 0; k < order.size(); ++k) {
+        (labels[order[k]] ? tp : fp) += 1;
+        // Emit a point only at distinct-score boundaries.
+        if (k + 1 < order.size() &&
+            scores[order[k + 1]] == scores[order[k]]) {
+            continue;
+        }
+        RocPoint p;
+        p.fpr = neg ? (double)fp / neg : 0.0;
+        p.tpr = pos ? (double)tp / pos : 0.0;
+        p.threshold = scores[order[k]];
+        curve.push_back(p);
+    }
+    return curve;
+}
+
+double
+rocAuc(const std::vector<double> &scores,
+       const std::vector<bool> &labels)
+{
+    auto curve = rocCurve(scores, labels);
+    double auc = 0.0;
+    for (size_t i = 1; i < curve.size(); ++i) {
+        double dx = curve[i].fpr - curve[i - 1].fpr;
+        auc += dx * 0.5 * (curve[i].tpr + curve[i - 1].tpr);
+    }
+    return auc;
+}
+
+double
+accuracyAt(const std::vector<double> &scores,
+           const std::vector<bool> &labels, double threshold)
+{
+    if (scores.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+        bool pred = scores[i] >= threshold;
+        correct += pred == labels[i] ? 1 : 0;
+    }
+    return (double)correct / scores.size();
+}
+
+double
+bestAccuracy(const std::vector<double> &scores,
+             const std::vector<bool> &labels)
+{
+    double best = 0.0;
+    for (const auto &p : rocCurve(scores, labels)) {
+        best = std::max(best, accuracyAt(scores, labels,
+                                         p.threshold));
+    }
+    return best;
+}
+
+} // namespace evax

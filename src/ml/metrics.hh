@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Classifier evaluation metrics: ROC curves, AUC, accuracy — used
+ * by the Fig. 17/18/19 reproductions.
+ */
+
+#ifndef EVAX_ML_METRICS_HH
+#define EVAX_ML_METRICS_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace evax
+{
+
+/** One ROC operating point. */
+struct RocPoint
+{
+    double fpr = 0.0;
+    double tpr = 0.0;
+    double threshold = 0.0;
+};
+
+/**
+ * Compute the full ROC curve from scores and binary labels.
+ * Points are ordered by increasing FPR.
+ */
+std::vector<RocPoint> rocCurve(const std::vector<double> &scores,
+                               const std::vector<bool> &labels);
+
+/** Area under the ROC curve (trapezoidal). */
+double rocAuc(const std::vector<double> &scores,
+              const std::vector<bool> &labels);
+
+/** Accuracy of thresholded scores. */
+double accuracyAt(const std::vector<double> &scores,
+                  const std::vector<bool> &labels, double threshold);
+
+/** Best achievable accuracy over all thresholds. */
+double bestAccuracy(const std::vector<double> &scores,
+                    const std::vector<bool> &labels);
+
+} // namespace evax
+
+#endif // EVAX_ML_METRICS_HH

@@ -1,0 +1,215 @@
+#include "ml/mlp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+double
+applyActivation(Activation a, double x)
+{
+    switch (a) {
+      case Activation::Linear:
+        return x;
+      case Activation::Sigmoid:
+        return 1.0 / (1.0 + std::exp(-x));
+      case Activation::Tanh:
+        return std::tanh(x);
+      case Activation::Relu:
+        return x > 0 ? x : 0.0;
+      case Activation::LeakyRelu:
+        return x > 0 ? x : 0.01 * x;
+    }
+    return x;
+}
+
+double
+activationDeriv(Activation a, double x, double y)
+{
+    switch (a) {
+      case Activation::Linear:
+        return 1.0;
+      case Activation::Sigmoid:
+        return y * (1.0 - y);
+      case Activation::Tanh:
+        return 1.0 - y * y;
+      case Activation::Relu:
+        return x > 0 ? 1.0 : 0.0;
+      case Activation::LeakyRelu:
+        return x > 0 ? 1.0 : 0.01;
+    }
+    return 1.0;
+}
+
+void
+DenseLayer::init(size_t in, size_t out_size, Activation a, Rng &rng)
+{
+    inSize = in;
+    outSize = out_size;
+    act = a;
+    w.resize(in * out_size);
+    b.assign(out_size, 0.0);
+    // He/Xavier-style initialization.
+    double scale = std::sqrt(2.0 / (double)(in + out_size));
+    for (auto &x : w)
+        x = rng.nextGaussian() * scale;
+    mW.assign(w.size(), 0.0);
+    vW.assign(w.size(), 0.0);
+    mB.assign(b.size(), 0.0);
+    vB.assign(b.size(), 0.0);
+    preAct.assign(out_size, 0.0);
+    out.assign(out_size, 0.0);
+    gradIn.assign(in, 0.0);
+}
+
+const std::vector<double> &
+DenseLayer::forward(const std::vector<double> &x)
+{
+    lastIn = x;
+    for (size_t o = 0; o < outSize; ++o) {
+        double z = b[o];
+        const double *wr = &w[o * inSize];
+        for (size_t i = 0; i < inSize; ++i)
+            z += wr[i] * x[i];
+        preAct[o] = z;
+        out[o] = applyActivation(act, z);
+    }
+    return out;
+}
+
+namespace
+{
+
+constexpr double adamBeta1 = 0.9, adamBeta2 = 0.999;
+
+void
+adamStep(double &param, double &m, double &v, double grad, double lr,
+         double corr1, double corr2)
+{
+    constexpr double eps = 1e-8;
+    m = adamBeta1 * m + (1 - adamBeta1) * grad;
+    v = adamBeta2 * v + (1 - adamBeta2) * grad * grad;
+    param -= lr * (m * corr1) / (std::sqrt(v * corr2) + eps);
+}
+
+} // anonymous namespace
+
+const std::vector<double> &
+DenseLayer::backward(const std::vector<double> &grad_out, double lr,
+                     size_t step)
+{
+    std::fill(gradIn.begin(), gradIn.end(), 0.0);
+    // Adam bias corrections hoisted out of the weight loop.
+    double corr1 =
+        1.0 / (1.0 - std::pow(adamBeta1, (double)step));
+    double corr2 =
+        1.0 / (1.0 - std::pow(adamBeta2, (double)step));
+    for (size_t o = 0; o < outSize; ++o) {
+        double dz = grad_out[o] *
+            activationDeriv(act, preAct[o], out[o]);
+        if (dz == 0.0)
+            continue;
+        double *wr = &w[o * inSize];
+        double *mr = &mW[o * inSize];
+        double *vr = &vW[o * inSize];
+        for (size_t i = 0; i < inSize; ++i) {
+            gradIn[i] += wr[i] * dz;
+            adamStep(wr[i], mr[i], vr[i], dz * lastIn[i], lr,
+                     corr1, corr2);
+        }
+        adamStep(b[o], mB[o], vB[o], dz, lr, corr1, corr2);
+    }
+    return gradIn;
+}
+
+const std::vector<double> &
+DenseLayer::backwardNoUpdate(const std::vector<double> &grad_out)
+{
+    std::fill(gradIn.begin(), gradIn.end(), 0.0);
+    for (size_t o = 0; o < outSize; ++o) {
+        double dz = grad_out[o] *
+            activationDeriv(act, preAct[o], out[o]);
+        if (dz == 0.0)
+            continue;
+        const double *wr = &w[o * inSize];
+        for (size_t i = 0; i < inSize; ++i)
+            gradIn[i] += wr[i] * dz;
+    }
+    return gradIn;
+}
+
+Mlp::Mlp(const std::vector<size_t> &sizes, Activation hidden,
+         Activation output, uint64_t seed)
+{
+    if (sizes.size() < 2)
+        fatal("Mlp needs at least input and output widths");
+    Rng rng(seed);
+    layers_.resize(sizes.size() - 1);
+    for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+        Activation a =
+            (l + 2 == sizes.size()) ? output : hidden;
+        layers_[l].init(sizes[l], sizes[l + 1], a, rng);
+    }
+}
+
+const std::vector<double> &
+Mlp::forward(const std::vector<double> &x)
+{
+    const std::vector<double> *cur = &x;
+    for (auto &layer : layers_)
+        cur = &layer.forward(*cur);
+    return *cur;
+}
+
+void
+Mlp::backward(const std::vector<double> &grad_out, double lr)
+{
+    ++step_;
+    const std::vector<double> *grad = &grad_out;
+    for (size_t l = layers_.size(); l-- > 0;)
+        grad = &layers_[l].backward(*grad, lr, step_);
+}
+
+std::vector<double>
+Mlp::inputGradient(const std::vector<double> &grad_out)
+{
+    const std::vector<double> *grad = &grad_out;
+    for (size_t l = layers_.size(); l-- > 0;)
+        grad = &layers_[l].backwardNoUpdate(*grad);
+    return *grad;
+}
+
+double
+Mlp::trainBce(const std::vector<double> &x, double target, double lr)
+{
+    const auto &y = forward(x);
+    double p = std::clamp(y[0], 1e-7, 1.0 - 1e-7);
+    double loss = -(target * std::log(p) +
+                    (1 - target) * std::log(1 - p));
+    // For sigmoid output with BCE, dL/dz = p - t; express as dL/dy
+    // so the layer's own derivative completes the chain.
+    double dy = (p - target) / (p * (1 - p));
+    backward({dy}, lr);
+    return loss;
+}
+
+double
+Mlp::trainMse(const std::vector<double> &x,
+              const std::vector<double> &target, double lr)
+{
+    const auto &y = forward(x);
+    std::vector<double> grad(y.size());
+    double loss = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) {
+        double d = y[i] - target[i];
+        loss += d * d;
+        grad[i] = 2.0 * d / (double)y.size();
+    }
+    backward(grad, lr);
+    return loss / (double)y.size();
+}
+
+} // namespace evax

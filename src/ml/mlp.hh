@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Multi-layer perceptron with backprop and Adam, sized for the
+ * paper's models: a 145-input detector, a deep conditional
+ * Generator, and the 16/32-layer DNNs of Fig. 20. Dependency-free
+ * (stands in for the paper's Keras + FANN stack).
+ */
+
+#ifndef EVAX_ML_MLP_HH
+#define EVAX_ML_MLP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace evax
+{
+
+/** Layer activation functions. */
+enum class Activation : uint8_t
+{
+    Linear,
+    Sigmoid,
+    Tanh,
+    Relu,
+    LeakyRelu,
+};
+
+double applyActivation(Activation a, double x);
+/** Derivative given the *activated* output y (for sigmoid/tanh). */
+double activationDeriv(Activation a, double x, double y);
+
+/** One dense layer. */
+struct DenseLayer
+{
+    size_t inSize = 0;
+    size_t outSize = 0;
+    Activation act = Activation::Relu;
+    /** Row-major weights: out x in. */
+    std::vector<double> w;
+    std::vector<double> b;
+
+    // Adam state.
+    std::vector<double> mW, vW, mB, vB;
+
+    // Forward scratch.
+    std::vector<double> preAct;  ///< z = Wx + b
+    std::vector<double> out;     ///< y = act(z)
+    std::vector<double> lastIn;  ///< cached input
+    std::vector<double> gradIn;  ///< dL/dx
+
+    void init(size_t in, size_t out_size, Activation a, Rng &rng);
+    const std::vector<double> &forward(const std::vector<double> &x);
+    /**
+     * Backprop one sample; accumulates Adam moments and applies the
+     * update immediately (per-sample Adam, the common choice for
+     * tiny models).
+     * @param grad_out dL/dy for this layer's output
+     * @return dL/dx (reference to internal scratch)
+     */
+    const std::vector<double> &backward(
+        const std::vector<double> &grad_out, double lr, size_t step);
+
+    /** Input gradient only; weights untouched (frozen layer). */
+    const std::vector<double> &backwardNoUpdate(
+        const std::vector<double> &grad_out);
+};
+
+/** A feed-forward network. */
+class Mlp
+{
+  public:
+    Mlp() = default;
+
+    /**
+     * @param sizes layer widths including input, e.g. {145,64,64,1}
+     * @param hidden activation for hidden layers
+     * @param output activation for the final layer
+     */
+    Mlp(const std::vector<size_t> &sizes, Activation hidden,
+        Activation output, uint64_t seed);
+
+    const std::vector<double> &forward(const std::vector<double> &x);
+
+    /**
+     * One SGD/Adam step on a single sample with MSE-style output
+     * gradient supplied by the caller (dL/dy_out).
+     */
+    void backward(const std::vector<double> &grad_out, double lr);
+
+    /** Convenience: step on (x, target) with binary cross-entropy
+     *  for a single sigmoid output. @return the loss. */
+    double trainBce(const std::vector<double> &x, double target,
+                    double lr);
+
+    /** Convenience: MSE step on a vector target. @return the loss. */
+    double trainMse(const std::vector<double> &x,
+                    const std::vector<double> &target, double lr);
+
+    /**
+     * Backprop through the (frozen) network to the *input*:
+     * used to train an upstream network (GAN generator) or to
+     * search adversarial perturbations.
+     */
+    std::vector<double> inputGradient(
+        const std::vector<double> &grad_out);
+
+    size_t numLayers() const { return layers_.size(); }
+    DenseLayer &layer(size_t i) { return layers_[i]; }
+    const DenseLayer &layer(size_t i) const { return layers_[i]; }
+    size_t inputSize() const
+    { return layers_.empty() ? 0 : layers_.front().inSize; }
+    size_t outputSize() const
+    { return layers_.empty() ? 0 : layers_.back().outSize; }
+
+  private:
+    std::vector<DenseLayer> layers_;
+    size_t step_ = 0;
+};
+
+} // namespace evax
+
+#endif // EVAX_ML_MLP_HH

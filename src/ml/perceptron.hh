@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Hardware-style perceptron classifier (paper Sec. VI-B).
+ *
+ * The deployed detector is a single weighted sum over the feature
+ * vector compared against a threshold — implementable with one
+ * serial 9-bit adder in hardware. Training is logistic-regression
+ * SGD offline (weights ship like a microcode patch); an optional
+ * quantization step snaps weights into the paper's [-2, 1] range.
+ */
+
+#ifndef EVAX_ML_PERCEPTRON_HH
+#define EVAX_ML_PERCEPTRON_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "util/rng.hh"
+
+namespace evax
+{
+
+/** Single-layer perceptron detector. */
+class Perceptron
+{
+  public:
+    explicit Perceptron(size_t num_features, uint64_t seed = 7);
+
+    /** Raw score w.x + b. */
+    double score(const std::vector<double> &x) const;
+
+    /** Sigmoid(score): probability-like output for ROC sweeps. */
+    double probability(const std::vector<double> &x) const;
+
+    /** Thresholded decision. */
+    bool predict(const std::vector<double> &x) const
+    { return score(x) >= threshold_; }
+
+    /** One logistic-SGD step. @return BCE loss. */
+    double train(const std::vector<double> &x, bool malicious,
+                 double lr);
+
+    /**
+     * Train for several epochs over a dataset (shuffled per epoch).
+     * Samples wider than the perceptron are truncated to its width
+     * (PerSpectron monitors only its 106 features).
+     */
+    void fit(const Dataset &data, unsigned epochs, double lr,
+             Rng &rng);
+
+    /**
+     * Tune the decision threshold to the lowest value giving at
+     * most @c max_fpr false-positive rate on the data (the paper
+     * tunes for very high sensitivity with bounded FPs).
+     */
+    void tuneThreshold(const Dataset &data, double max_fpr);
+
+    /**
+     * High-sensitivity operating point: threshold at the given low
+     * quantile of attack scores (detection studies; FPs land where
+     * the model's margins put them).
+     */
+    void tuneSensitivity(const Dataset &data,
+                         double quantile = 0.05);
+
+    /** Snap weights to 0.25-granularity in [-2, 1] (HW format). */
+    void quantizeWeights();
+
+    double threshold() const { return threshold_; }
+    void setThreshold(double t) { threshold_ = t; }
+    /**
+     * L2 weight decay. Spreads weight over correlated (replicated)
+     * features instead of concentrating on a few clean separators —
+     * the replicated-feature robustness argument of the paper: if
+     * one footprint of an attack is suppressed by evasion, the
+     * correlated footprints still carry the score.
+     */
+    void setWeightDecay(double wd) { weightDecay_ = wd; }
+    double weightDecay() const { return weightDecay_; }
+    size_t numFeatures() const { return w_.size(); }
+    const std::vector<double> &weights() const { return w_; }
+    std::vector<double> &weights() { return w_; }
+    double bias() const { return b_; }
+
+  private:
+    std::vector<double> w_;
+    double b_ = 0.0;
+    double threshold_ = 0.0;
+    double weightDecay_ = 5e-4;
+};
+
+} // namespace evax
+
+#endif // EVAX_ML_PERCEPTRON_HH

@@ -1,0 +1,161 @@
+#include "sim/branch_predictor.hh"
+
+namespace evax
+{
+
+BranchPredictor::BranchPredictor(const CoreParams &params,
+                                 CounterRegistry &reg)
+    : params_(params),
+      localTable_(1u << params.localHistoryBits, 1),
+      globalTable_(1u << params.globalHistoryBits, 1),
+      choiceTable_(1u << params.choiceBits, 1),
+      btb_(params.btbEntries),
+      ras_(params.rasEntries, 0),
+      reg_(reg)
+{
+    lookups_ = reg.getOrAdd("bp.lookups");
+    condPredicted_ = reg.getOrAdd("bp.condPredicted");
+    condIncorrect_ = reg.getOrAdd("bp.condIncorrect");
+    btbLookups_ = reg.getOrAdd("bp.btbLookups");
+    btbHits_ = reg.getOrAdd("bp.btbHits");
+    btbMispredicts_ = reg.getOrAdd("bp.btbMispredicts");
+    rasUsed_ = reg.getOrAdd("bp.rasUsed");
+    rasIncorrect_ = reg.getOrAdd("bp.rasIncorrect");
+    indirectLookups_ = reg.getOrAdd("bp.indirectLookups");
+    indirectMispredicts_ = reg.getOrAdd("bp.indirectMispredicts");
+}
+
+unsigned
+BranchPredictor::localIndex(Addr pc) const
+{
+    return (pc >> 2) & (localTable_.size() - 1);
+}
+
+unsigned
+BranchPredictor::globalIndex() const
+{
+    return globalHistory_ & (globalTable_.size() - 1);
+}
+
+unsigned
+BranchPredictor::choiceIndex(Addr pc) const
+{
+    return ((pc >> 2) ^ globalHistory_) & (choiceTable_.size() - 1);
+}
+
+unsigned
+BranchPredictor::btbIndex(Addr pc) const
+{
+    return (pc >> 2) & (btb_.size() - 1);
+}
+
+void
+BranchPredictor::bump(uint8_t &c, bool taken)
+{
+    if (taken) {
+        if (c < 3)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+BranchPrediction
+BranchPredictor::predict(Addr pc, bool indirect, bool is_return)
+{
+    reg_.inc(lookups_);
+    BranchPrediction pred;
+
+    if (is_return) {
+        reg_.inc(rasUsed_);
+        if (rasCount_ > 0) {
+            unsigned idx = (rasTop_ + ras_.size() - 1) % ras_.size();
+            pred.target = ras_[idx];
+            pred.btbHit = true;
+        }
+        pred.taken = true;
+        last_ = {false, pred.taken, pred.target, pred.btbHit};
+        return pred;
+    }
+
+    bool local_taken = counterTaken(localTable_[localIndex(pc)]);
+    bool global_taken = counterTaken(globalTable_[globalIndex()]);
+    bool use_local = !counterTaken(choiceTable_[choiceIndex(pc)]);
+    pred.taken = use_local ? local_taken : global_taken;
+    reg_.inc(condPredicted_);
+
+    reg_.inc(btbLookups_);
+    if (indirect)
+        reg_.inc(indirectLookups_);
+    const BtbEntry &be = btb_[btbIndex(pc)];
+    if (be.valid && be.tag == pc) {
+        pred.btbHit = true;
+        pred.target = be.target;
+        reg_.inc(btbHits_);
+    } else if (pred.taken) {
+        // Predicted taken without a target: frontend must stall a
+        // cycle and follow fallthrough; treated as a BTB mispredict.
+        reg_.inc(btbMispredicts_);
+    }
+
+    last_ = {use_local, pred.taken, pred.target, pred.btbHit};
+    return pred;
+}
+
+void
+BranchPredictor::update(Addr pc, bool taken, Addr target,
+                        bool indirect, bool is_call, bool is_return)
+{
+    if (is_call) {
+        ras_[rasTop_] = pc + 4;
+        rasTop_ = (rasTop_ + 1) % ras_.size();
+        if (rasCount_ < ras_.size())
+            ++rasCount_;
+    }
+    if (is_return) {
+        bool correct = last_.btbHit && last_.predictedTarget == target;
+        if (!correct)
+            reg_.inc(rasIncorrect_);
+        if (rasCount_ > 0) {
+            rasTop_ = (rasTop_ + ras_.size() - 1) % ras_.size();
+            --rasCount_;
+        }
+        return;
+    }
+
+    if (last_.predictedTaken != taken)
+        reg_.inc(condIncorrect_);
+    if (indirect && taken &&
+        (!last_.btbHit || last_.predictedTarget != target)) {
+        reg_.inc(indirectMispredicts_);
+    }
+
+    bump(localTable_[localIndex(pc)], taken);
+    bump(globalTable_[globalIndex()], taken);
+    // Choice trains toward whichever component was right.
+    bool local_right =
+        counterTaken(localTable_[localIndex(pc)]) == taken;
+    bool global_right =
+        counterTaken(globalTable_[globalIndex()]) == taken;
+    if (local_right != global_right)
+        bump(choiceTable_[choiceIndex(pc)], global_right);
+
+    globalHistory_ = (globalHistory_ << 1) | (taken ? 1 : 0);
+
+    if (taken) {
+        BtbEntry &be = btb_[btbIndex(pc)];
+        be.valid = true;
+        be.tag = pc;
+        be.target = target;
+    }
+}
+
+void
+BranchPredictor::squashRas()
+{
+    // Simplified recovery: a squash may have corrupted the RAS; the
+    // next return will re-sync. Nothing to restore in this model.
+}
+
+} // namespace evax

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tournament branch predictor with BTB and return-address stack,
+ * after the gem5 O3 TournamentBP (paper Table II: tournament
+ * predictor, 4096 BTB entries, 16 RAS entries).
+ *
+ * The predictor is stateful and *trainable by the workload*: Spectre
+ * kernels mistrain it exactly the way the real attacks do, so
+ * mispredictions (and thus transient windows) are emergent, not
+ * scripted.
+ */
+
+#ifndef EVAX_SIM_BRANCH_PREDICTOR_HH
+#define EVAX_SIM_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hpc/counters.hh"
+#include "sim/params.hh"
+#include "sim/types.hh"
+
+namespace evax
+{
+
+/** Outcome of a lookup: direction plus target knowledge. */
+struct BranchPrediction
+{
+    bool taken = false;
+    bool btbHit = false;
+    Addr target = 0;
+};
+
+/**
+ * Tournament predictor: local (per-PC) and global (gshare-style)
+ * 2-bit counter tables arbitrated by a choice table, plus a direct-
+ * mapped BTB and a circular RAS.
+ */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(const CoreParams &params, CounterRegistry &reg);
+
+    /** Predict a conditional/indirect branch at @c pc. */
+    BranchPrediction predict(Addr pc, bool indirect, bool is_return);
+
+    /**
+     * Train with the resolved outcome and update BTB/RAS.
+     * @param pc branch address
+     * @param taken actual direction
+     * @param target actual target (for BTB fill)
+     */
+    void update(Addr pc, bool taken, Addr target, bool indirect,
+                bool is_call, bool is_return);
+
+    /** Squash recovery: restore RAS top (simplified checkpointing). */
+    void squashRas();
+
+  private:
+    unsigned localIndex(Addr pc) const;
+    unsigned globalIndex() const;
+    unsigned choiceIndex(Addr pc) const;
+    unsigned btbIndex(Addr pc) const;
+
+    static bool counterTaken(uint8_t c) { return c >= 2; }
+    static void bump(uint8_t &c, bool taken);
+
+    const CoreParams &params_;
+
+    std::vector<uint8_t> localTable_;
+    std::vector<uint8_t> globalTable_;
+    std::vector<uint8_t> choiceTable_;
+    uint64_t globalHistory_ = 0;
+
+    struct BtbEntry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+    };
+    std::vector<BtbEntry> btb_;
+
+    std::vector<Addr> ras_;
+    unsigned rasTop_ = 0;
+    unsigned rasCount_ = 0;
+
+    // Counters.
+    CounterId lookups_, condPredicted_, condIncorrect_;
+    CounterId btbLookups_, btbHits_, btbMispredicts_;
+    CounterId rasUsed_, rasIncorrect_;
+    CounterId indirectLookups_, indirectMispredicts_;
+    CounterRegistry &reg_;
+
+    // Last-prediction bookkeeping for update() attribution.
+    struct PendingInfo
+    {
+        bool usedLocal = false;
+        bool predictedTaken = false;
+        Addr predictedTarget = 0;
+        bool btbHit = false;
+    };
+    PendingInfo last_;
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_BRANCH_PREDICTOR_HH

@@ -1,0 +1,222 @@
+#include "sim/cache.hh"
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+namespace
+{
+
+bool
+isPow2(uint32_t v)
+{
+    return v && !(v & (v - 1));
+}
+
+} // anonymous namespace
+
+Cache::Cache(const CacheConfig &config, CounterRegistry &reg)
+    : config_(config), reg_(reg)
+{
+    if (config_.lineSize == 0 || config_.assoc == 0)
+        fatal("cache %s: bad geometry", config_.prefix.c_str());
+    numSets_ = config_.size / (config_.lineSize * config_.assoc);
+    if (!isPow2(numSets_) || !isPow2(config_.lineSize)) {
+        fatal("cache %s: sets (%u) and line size must be powers of 2",
+              config_.prefix.c_str(), numSets_);
+    }
+    lines_.resize((size_t)numSets_ * config_.assoc);
+
+    auto c = [&](const char *suffix) {
+        return reg.getOrAdd(config_.prefix + "." + suffix);
+    };
+    readAccesses_ = c("readAccesses");
+    writeAccesses_ = c("writeAccesses");
+    readHits_ = c("readHits");
+    writeHits_ = c("writeHits");
+    readMisses_ = c("readMisses");
+    writeMisses_ = c("writeMisses");
+    mshrMisses_ = c("mshrMisses");
+    mshrMissLatency_ = c("mshrMissLatency");
+    mshrFullEvents_ = c("mshrFullEvents");
+    cleanEvicts_ = c("cleanEvicts");
+    writebacks_ = c("writebacks");
+    replacements_ = c("replacements");
+    tagAccesses_ = c("tagAccesses");
+    blockedCycles_ = c("blockedCycles");
+    // Aggregate aliases used by some feature names (e.g. icache.*).
+    aggAccesses_ = c("accesses");
+    aggHits_ = c("hits");
+    aggMisses_ = c("misses");
+    readMshrMisses_ = c("readMshrMisses");
+    readMshrMissLatency_ = c("readMshrMissLatency");
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    uint32_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &l = lines_[(size_t)set * config_.assoc + w];
+        if (l.valid && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::Line &
+Cache::victimLine(uint32_t set)
+{
+    Line *victim = nullptr;
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &l = lines_[(size_t)set * config_.assoc + w];
+        if (!l.valid)
+            return l;
+        if (!victim || l.lruStamp < victim->lruStamp)
+            victim = &l;
+    }
+    return *victim;
+}
+
+void
+Cache::expireMshrs(Cycle now)
+{
+    for (auto it = mshrs_.begin(); it != mshrs_.end();) {
+        if (it->second <= now)
+            it = mshrs_.erase(it);
+        else
+            ++it;
+    }
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write, Cycle now,
+              uint32_t miss_latency, bool allocate)
+{
+    CacheAccessResult res;
+    reg_.inc(tagAccesses_);
+    reg_.inc(is_write ? writeAccesses_ : readAccesses_);
+    reg_.inc(aggAccesses_);
+
+    expireMshrs(now);
+
+    Line *line = findLine(addr);
+    if (line) {
+        line->lruStamp = ++lruClock_;
+        if (is_write)
+            line->dirty = true;
+        reg_.inc(is_write ? writeHits_ : readHits_);
+        reg_.inc(aggHits_);
+        res.hit = true;
+        res.latency = config_.latency;
+        return res;
+    }
+
+    reg_.inc(is_write ? writeMisses_ : readMisses_);
+    reg_.inc(aggMisses_);
+
+    Addr la = lineAddr(addr);
+    auto pending = mshrs_.find(la);
+    if (pending != mshrs_.end()) {
+        // Merge into the in-flight miss.
+        res.mshrMerge = true;
+        res.latency = (uint32_t)(pending->second - now);
+        reg_.inc(mshrMisses_);
+        if (!is_write)
+            reg_.inc(readMshrMisses_);
+        return res;
+    }
+
+    if (mshrs_.size() >= config_.mshrs) {
+        // Structural hazard: caller must retry; charge a stall.
+        res.mshrFull = true;
+        res.latency = config_.latency;
+        reg_.inc(mshrFullEvents_);
+        reg_.inc(blockedCycles_);
+        return res;
+    }
+
+    uint32_t total = config_.latency + miss_latency;
+    mshrs_.emplace(la, now + total);
+    reg_.inc(mshrMissLatency_, total);
+    if (!is_write)
+        reg_.inc(readMshrMissLatency_, total);
+    res.latency = total;
+
+    if (allocate) {
+        uint32_t set = setIndex(addr);
+        Line &victim = victimLine(set);
+        if (victim.valid) {
+            reg_.inc(replacements_);
+            if (victim.dirty) {
+                reg_.inc(writebacks_);
+                res.writeback = true;
+                res.writebackAddr =
+                    (victim.tag * numSets_ + set) * config_.lineSize;
+            } else {
+                reg_.inc(cleanEvicts_);
+            }
+        }
+        victim.valid = true;
+        victim.dirty = is_write;
+        victim.tag = tagOf(addr);
+        victim.lruStamp = ++lruClock_;
+    }
+    return res;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+void
+Cache::fill(Addr addr, bool dirty, Cycle now)
+{
+    (void)now;
+    if (findLine(addr))
+        return;
+    uint32_t set = setIndex(addr);
+    Line &victim = victimLine(set);
+    if (victim.valid) {
+        reg_.inc(replacements_);
+        reg_.inc(victim.dirty ? writebacks_ : cleanEvicts_);
+    }
+    victim.valid = true;
+    victim.dirty = dirty;
+    victim.tag = tagOf(addr);
+    victim.lruStamp = ++lruClock_;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return false;
+    if (line->dirty)
+        reg_.inc(writebacks_);
+    else
+        reg_.inc(cleanEvicts_);
+    line->valid = false;
+    return true;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &l : lines_)
+        l.valid = false;
+    mshrs_.clear();
+}
+
+} // namespace evax

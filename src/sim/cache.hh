@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement, MSHRs and
+ * clean-evict / writeback accounting.
+ *
+ * Address-to-set mapping is honest, so conflict- and flush-based
+ * attacks (Prime+Probe, Flush+Reload, Evict+Time) manipulate real
+ * cache state and their footprints (clean evicts, replacement
+ * bursts, MSHR latency) are emergent.
+ */
+
+#ifndef EVAX_SIM_CACHE_HH
+#define EVAX_SIM_CACHE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hpc/counters.hh"
+#include "sim/types.hh"
+
+namespace evax
+{
+
+/** Configuration for one cache level. */
+struct CacheConfig
+{
+    std::string prefix;  ///< counter name prefix, e.g. "dcache"
+    uint32_t size;       ///< bytes
+    uint32_t assoc;
+    uint32_t lineSize;
+    uint32_t latency;    ///< hit latency in cycles
+    uint32_t mshrs;      ///< outstanding-miss registers
+};
+
+/** Result of a cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Cycles until data available (hit latency or miss residual). */
+    uint32_t latency = 0;
+    /** True if the miss merged into an already-pending MSHR. */
+    bool mshrMerge = false;
+    /** True if the miss could not get an MSHR (structural stall). */
+    bool mshrFull = false;
+    /** A dirty victim was evicted (writeback generated). */
+    bool writeback = false;
+    Addr writebackAddr = 0;
+};
+
+/**
+ * One cache level. The surrounding MemorySystem supplies the miss
+ * latency (next level) and wires up writebacks.
+ */
+class Cache
+{
+  public:
+    Cache(const CacheConfig &config, CounterRegistry &reg);
+
+    /**
+     * Access the cache.
+     *
+     * @param addr byte address
+     * @param is_write write access (marks line dirty on hit/fill)
+     * @param now current cycle (MSHR bookkeeping)
+     * @param miss_latency cycles the next level needs on a miss
+     * @param allocate install the line on miss (false = uncached /
+     *                 InvisiSpec-invisible access)
+     */
+    CacheAccessResult access(Addr addr, bool is_write, Cycle now,
+                             uint32_t miss_latency,
+                             bool allocate = true);
+
+    /** Presence probe without any state change or counting. */
+    bool probe(Addr addr) const;
+
+    /** Install a line (used for InvisiSpec expose). */
+    void fill(Addr addr, bool dirty, Cycle now);
+
+    /** Invalidate a line if present (clflush). @return was present. */
+    bool invalidate(Addr addr);
+
+    /** Invalidate everything (context-switch style flush). */
+    void flushAll();
+
+    uint32_t lineSize() const { return config_.lineSize; }
+    uint32_t numSets() const { return numSets_; }
+    uint32_t assoc() const { return config_.assoc; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        uint64_t lruStamp = 0;
+    };
+
+    Addr lineAddr(Addr addr) const
+    { return addr & ~(Addr)(config_.lineSize - 1); }
+    uint32_t setIndex(Addr addr) const
+    { return (addr / config_.lineSize) & (numSets_ - 1); }
+    Addr tagOf(Addr addr) const
+    { return addr / config_.lineSize / numSets_; }
+
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    /** Choose an LRU victim in the set; may be invalid. */
+    Line &victimLine(uint32_t set);
+    void expireMshrs(Cycle now);
+
+    CacheConfig config_;
+    uint32_t numSets_;
+    std::vector<Line> lines_; ///< numSets_ * assoc, row-major
+    uint64_t lruClock_ = 0;
+
+    /** Outstanding misses: line address -> data-ready cycle. */
+    std::unordered_map<Addr, Cycle> mshrs_;
+
+    CounterRegistry &reg_;
+    CounterId readAccesses_, writeAccesses_, readHits_, writeHits_;
+    CounterId readMisses_, writeMisses_, mshrMisses_, mshrMissLatency_;
+    CounterId mshrFullEvents_, cleanEvicts_, writebacks_;
+    CounterId replacements_, tagAccesses_, blockedCycles_;
+    CounterId aggAccesses_, aggHits_, aggMisses_;
+    CounterId readMshrMisses_, readMshrMissLatency_;
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_CACHE_HH

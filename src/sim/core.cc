@@ -1,0 +1,980 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+/** Cached counter ids, resolved once. */
+struct O3Core::Ids
+{
+#define EVAX_CORE_COUNTERS(M)                                        \
+    M(fetchCycles, "fetch.cycles")                                   \
+    M(fetchInsts, "fetch.insts")                                     \
+    M(fetchBranches, "fetch.branches")                               \
+    M(fetchPredicted, "fetch.predictedBranches")                     \
+    M(fetchIcacheStall, "fetch.icacheStallCycles")                   \
+    M(fetchIcacheAccesses, "fetch.icacheAccesses")                   \
+    M(fetchSquashCycles, "fetch.squashCycles")                       \
+    M(fetchBlockedCycles, "fetch.blockedCycles")                     \
+    M(fetchIdleCycles, "fetch.idleCycles")                           \
+    M(fetchQuiesceStall, "fetch.pendingQuiesceStallCycles")          \
+    M(decodeIdle, "decode.idleCycles")                               \
+    M(decodeBlocked, "decode.blockedCycles")                         \
+    M(decodeSquashed, "decode.squashedInsts")                        \
+    M(decodeDecoded, "decode.decodedInsts")                          \
+    M(renameRenamed, "rename.renamedInsts")                          \
+    M(renameSquashed, "rename.squashedInsts")                        \
+    M(renameIdle, "rename.idleCycles")                               \
+    M(renameBlock, "rename.blockCycles")                             \
+    M(renameSerializing, "rename.serializingInsts")                  \
+    M(renameIntFull, "rename.intFullEvents")                         \
+    M(renameRobFull, "rename.robFullEvents")                         \
+    M(renameUndone, "rename.undoneMaps")                             \
+    M(renameCommitted, "rename.committedMaps")                       \
+    M(iqAdded, "iq.instsAdded")                                      \
+    M(iqIssued, "iq.instsIssued")                                    \
+    M(iqSquashedExamined, "iq.squashedInstsExamined")                \
+    M(iqSquashedOperands, "iq.squashedOperandsExamined")             \
+    M(iqSquashedNonSpec, "iq.squashedNonSpecRemoved")                \
+    M(iqSquashedNonSpecLd, "iq.squashedNonSpecLoads")                \
+    M(iqFuBusy, "iq.fuBusyCycles")                                   \
+    M(iqFull, "iq.fullEvents")                                       \
+    M(iqReadyConflicts, "iq.readyConflicts")                         \
+    M(iqOccupancy, "iq.occupancy")                                   \
+    M(iewExecuted, "iew.executedInsts")                              \
+    M(iewExecutedLoads, "iew.executedLoads")                         \
+    M(iewExecutedStores, "iew.executedStores")                       \
+    M(iewExecSquashed, "iew.execSquashedInsts")                      \
+    M(iewBranchMispredicts, "iew.branchMispredicts")                 \
+    M(iewMemOrderViolations, "iew.memOrderViolations")               \
+    M(iewLsqFull, "iew.lsqFullEvents")                               \
+    M(iewBlockCycles, "iew.blockCycles")                             \
+    M(iewPredTakenWrong, "iew.predTakenIncorrect")                   \
+    M(iewPredNotTakenWrong, "iew.predNotTakenIncorrect")             \
+    M(lsqForwLoads, "lsq.forwLoads")                                 \
+    M(lsqSquashedLoads, "lsq.squashedLoads")                         \
+    M(lsqSquashedStores, "lsq.squashedStores")                       \
+    M(lsqIgnoredResponses, "lsq.ignoredResponses")                   \
+    M(lsqRescheduledLoads, "lsq.rescheduledLoads")                   \
+    M(lsqBlockedLoads, "lsq.blockedLoads")                           \
+    M(lsqCacheBlocked, "lsq.cacheBlockedCycles")                     \
+    M(lsqSpecLoadsWrQ, "lsq.specLoadsHitWrQueue")                    \
+    M(lsqSquashedBytes, "lsq.squashedBytes")                         \
+    M(lsqBytesForwarded, "lsq.bytesForwarded")                       \
+    M(robFull, "rob.fullEvents")                                     \
+    M(robSquashed, "rob.squashedInsts")                              \
+    M(robOccupancy, "rob.occupancy")                                 \
+    M(commitInsts, "commit.committedInsts")                          \
+    M(commitOps, "commit.committedOps")                              \
+    M(commitLoads, "commit.committedLoads")                          \
+    M(commitStores, "commit.committedStores")                        \
+    M(commitBranches, "commit.committedBranches")                    \
+    M(commitMembars, "commit.committedMembars")                      \
+    M(commitSquashed, "commit.squashedInsts")                        \
+    M(commitIdle, "commit.idleCycles")                               \
+    M(commitTrapSquashes, "commit.trapSquashes")                     \
+    M(commitNonSpecStalls, "commit.nonSpecStalls")                   \
+    M(sysWrongPath, "sys.wrongPathInsts")                            \
+    M(sysFaults, "sys.faults")                                       \
+    M(sysRdrands, "sys.rdrands")                                     \
+    M(sysSyscalls, "sys.syscalls")                                   \
+    M(sysFences, "sys.fences")                                       \
+    M(sysLeaks, "sys.leaks")                                         \
+    M(wqBytesRead, "wq.bytesReadWrQ")                                \
+    M(dcacheSquashedFills, "dcache.squashedFills")
+
+#define M(field, name) CounterId field;
+    EVAX_CORE_COUNTERS(M)
+#undef M
+
+    explicit Ids(CounterRegistry &reg)
+    {
+#define M(field, name) field = reg.getOrAdd(name);
+        EVAX_CORE_COUNTERS(M)
+#undef M
+    }
+};
+
+O3Core::O3Core(const CoreParams &params, CounterRegistry &reg)
+    : params_(params), reg_(reg), mem_(params, reg),
+      bp_(params, reg), rng_(0xc0ffee),
+      lastWriter_(NUM_LOGICAL_REGS, 0),
+      ids_(std::make_unique<Ids>(reg))
+{
+    freeIntRegs_ = params.numPhysIntRegs;
+}
+
+O3Core::~O3Core() = default;
+
+void
+O3Core::resetRunState()
+{
+    rob_.clear();
+    fetchQueue_.clear();
+    pendingReplay_.clear();
+    wrongPathBuffer_.clear();
+    transientBuffer_.clear();
+    wrongPathCause_ = 0;
+    transientCause_ = 0;
+    std::fill(lastWriter_.begin(), lastWriter_.end(), 0);
+    freeIntRegs_ = params_.numPhysIntRegs;
+    lqOccupancy_ = sqOccupancy_ = iqOccupancy_ = 0;
+    fetchStallUntil_ = 0;
+    lastFetchLine_ = (Addr)-1;
+    serializeWait_ = false;
+    streamDone_ = false;
+    result_ = SimResult();
+}
+
+O3Core::RobEntry *
+O3Core::entryBySeq(SeqNum seq)
+{
+    if (rob_.empty())
+        return nullptr;
+    SeqNum head = rob_.front().seq;
+    if (seq < head || seq >= head + rob_.size())
+        return nullptr;
+    RobEntry &e = rob_[seq - head];
+    return e.seq == seq ? &e : nullptr;
+}
+
+bool
+O3Core::sourcesReady(const RobEntry &e)
+{
+    for (SeqNum p : {e.src0Producer, e.src1Producer}) {
+        if (p == 0)
+            continue;
+        RobEntry *prod = entryBySeq(p);
+        if (prod && prod->state != EntryState::Complete)
+            return false;
+    }
+    return true;
+}
+
+bool
+O3Core::olderUnresolvedBranch(SeqNum seq) const
+{
+    for (const RobEntry &e : rob_) {
+        if (e.seq >= seq)
+            break;
+        if (e.op.isBranch() && e.state != EntryState::Complete)
+            return true;
+    }
+    return false;
+}
+
+bool
+O3Core::allOlderComplete(SeqNum seq) const
+{
+    for (const RobEntry &e : rob_) {
+        if (e.seq >= seq)
+            break;
+        // A faulting or poisoned access is never architecturally
+        // final before retirement: its "completion" is exactly the
+        // transient state the futuristic threat model distrusts.
+        if (e.state != EntryState::Complete || e.op.faults ||
+            e.op.injected) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+O3Core::loadIsSpeculative(const RobEntry &e) const
+{
+    return e.badPathCause != 0 || olderUnresolvedBranch(e.seq);
+}
+
+bool
+O3Core::defenseBlocksLoad(const RobEntry &e) const
+{
+    switch (defense_) {
+      case DefenseMode::FenceSpectre:
+        // Fence after every branch: a load may not issue while any
+        // older branch is unresolved (or it sits on a wrong path).
+        return e.badPathCause != 0 || olderUnresolvedBranch(e.seq);
+      case DefenseMode::FenceFuturistic:
+        // Fence before every load: the load waits until every
+        // older memory or control operation has executed and no
+        // older access can still fault or replay. Wrong-path and
+        // fault-window loads never satisfy this.
+        if (e.badPathCause != 0)
+            return true;
+        for (const RobEntry &older : rob_) {
+            if (older.seq >= e.seq)
+                break;
+            if (older.op.faults || older.op.injected)
+                return true;
+            if ((older.op.isMemRef() || older.op.isBranch()) &&
+                older.state != EntryState::Complete) {
+                return true;
+            }
+        }
+        return false;
+      default:
+        return false;
+    }
+}
+
+void
+O3Core::issueLoad(RobEntry &e)
+{
+    // Poisoned forwarding (LVI): the load consumes stale data from
+    // the store buffer / write queue and completes fast; the bogus
+    // response is detected and squashed at its visibility point.
+    if (e.op.injected) {
+        reg_.inc(ids_->lsqSpecLoadsWrQ);
+        reg_.inc(ids_->wqBytesRead, e.op.size);
+        e.state = EntryState::Issued;
+        e.readyCycle = cycle_ + 1;
+        return;
+    }
+
+    // Store-to-load forwarding from older in-flight stores.
+    Addr line = e.op.addr & ~(Addr)(params_.lineSize - 1);
+    for (const RobEntry &older : rob_) {
+        if (older.seq >= e.seq)
+            break;
+        if (!older.op.isStore() || !older.addrReady)
+            continue;
+        Addr sline = older.op.addr & ~(Addr)(params_.lineSize - 1);
+        if (sline == line) {
+            reg_.inc(ids_->lsqForwLoads);
+            reg_.inc(ids_->lsqBytesForwarded, e.op.size);
+            e.state = EntryState::Issued;
+            e.readyCycle = cycle_ + 1;
+            return;
+        }
+    }
+
+    bool speculative = loadIsSpeculative(e);
+    bool invisible = false;
+    if (defense_ == DefenseMode::InvisiSpecSpectre)
+        invisible = e.badPathCause != 0 ||
+                    olderUnresolvedBranch(e.seq);
+    else if (defense_ == DefenseMode::InvisiSpecFuturistic)
+        invisible = speculative || !allOlderComplete(e.seq);
+
+    LoadResult lr = mem_.load(e.op.addr, e.op.size, cycle_,
+                              invisible);
+    if (lr.mustRetry) {
+        reg_.inc(ids_->lsqCacheBlocked);
+        reg_.inc(ids_->lsqBlockedLoads);
+        return; // stays Dispatched; retried next cycle
+    }
+    if (lr.hitWriteQueue && speculative)
+        reg_.inc(ids_->lsqSpecLoadsWrQ);
+
+    e.invisible = invisible;
+    e.completedFill = !invisible && !lr.hitWriteQueue;
+    e.state = EntryState::Issued;
+    e.readyCycle = cycle_ + std::max<uint32_t>(1, lr.latency);
+
+    // Transmission: a secret-dependent access that touches the real
+    // cache hierarchy leaves an observable footprint the attacker
+    // can time later — the leak has happened, squash or not.
+    if (e.op.secretDependent && !invisible && !lr.hitWriteQueue) {
+        ++result_.leaks;
+        reg_.inc(ids_->sysLeaks);
+        if (result_.firstLeakInst == 0)
+            result_.firstLeakInst = committedInsts_ + 1;
+    }
+}
+
+void
+O3Core::checkMemOrderViolation(const RobEntry &store)
+{
+    Addr sline = store.op.addr & ~(Addr)(params_.lineSize - 1);
+    for (const RobEntry &e : rob_) {
+        if (e.seq <= store.seq)
+            continue;
+        if (!e.op.isLoad() || e.state == EntryState::Dispatched)
+            continue;
+        if (e.badPathCause != 0)
+            continue;
+        Addr lline = e.op.addr & ~(Addr)(params_.lineSize - 1);
+        if (lline == sline) {
+            reg_.inc(ids_->iewMemOrderViolations);
+            reg_.inc(ids_->lsqRescheduledLoads);
+            squashFrom(e.seq, true);
+            return;
+        }
+    }
+}
+
+void
+O3Core::squashFrom(SeqNum from_seq, bool replay_good_path)
+{
+    ++result_.squashes;
+    std::vector<MicroOp> replay; // ROB walk appends youngest-first
+
+    while (!rob_.empty() && rob_.back().seq >= from_seq) {
+        RobEntry &e = rob_.back();
+        // Undo the rename map.
+        if (e.op.dst >= 0) {
+            lastWriter_[e.op.dst] = e.prevWriter;
+            reg_.inc(ids_->renameUndone);
+            ++freeIntRegs_;
+        }
+        reg_.inc(ids_->robSquashed);
+        reg_.inc(ids_->commitSquashed);
+        reg_.inc(ids_->renameSquashed);
+        if (e.state != EntryState::Complete && iqOccupancy_ > 0)
+            --iqOccupancy_; // still held an IQ slot
+        if (e.state == EntryState::Dispatched) {
+            reg_.inc(ids_->iqSquashedExamined);
+            reg_.inc(ids_->iqSquashedOperands, 2.0);
+            reg_.inc(ids_->iqSquashedNonSpec);
+            if (e.op.isLoad())
+                reg_.inc(ids_->iqSquashedNonSpecLd);
+        } else {
+            reg_.inc(ids_->iewExecSquashed);
+        }
+        if (e.op.isLoad()) {
+            reg_.inc(ids_->lsqSquashedLoads);
+            reg_.inc(ids_->lsqSquashedBytes, e.op.size);
+            if (e.completedFill)
+                reg_.inc(ids_->dcacheSquashedFills);
+            if (lqOccupancy_ > 0)
+                --lqOccupancy_;
+        }
+        if (e.op.isStore()) {
+            reg_.inc(ids_->lsqSquashedStores);
+            if (sqOccupancy_ > 0)
+                --sqOccupancy_;
+        }
+        if (e.badPathCause != 0)
+            reg_.inc(ids_->sysWrongPath);
+        else if (replay_good_path)
+            replay.push_back(e.op);
+        rob_.pop_back();
+    }
+    // Restore program order for the ROB-resident squashed ops.
+    std::reverse(replay.begin(), replay.end());
+
+    // Fetch queue entries are younger than everything in the ROB.
+    for (auto &f : fetchQueue_) {
+        reg_.inc(ids_->decodeSquashed);
+        if (f.badPathCause != 0)
+            reg_.inc(ids_->sysWrongPath);
+        else if (replay_good_path)
+            replay.push_back(f.op);
+    }
+    fetchQueue_.clear();
+
+    // Abort any in-flight transient fetch whose cause just died.
+    if (wrongPathCause_ >= from_seq || entryBySeq(wrongPathCause_) ==
+        nullptr) {
+        wrongPathBuffer_.clear();
+        wrongPathCause_ = 0;
+    }
+    if (transientCause_ >= from_seq ||
+        entryBySeq(transientCause_) == nullptr) {
+        transientBuffer_.clear();
+        transientCause_ = 0;
+    }
+
+    for (auto it = replay.rbegin(); it != replay.rend(); ++it)
+        pendingReplay_.push_front(*it);
+
+    if (!rob_.empty())
+        nextSeq_ = rob_.back().seq + 1;
+
+    fetchStallUntil_ =
+        std::max(fetchStallUntil_,
+                 cycle_ + params_.squashRecoveryCycles);
+    reg_.inc(ids_->fetchSquashCycles, params_.squashRecoveryCycles);
+    bp_.squashRas();
+    lastFetchLine_ = (Addr)-1;
+}
+
+void
+O3Core::resolveBranch(RobEntry &e)
+{
+    if (!e.mispredicted)
+        return;
+    reg_.inc(ids_->iewBranchMispredicts);
+    reg_.inc(e.op.actualTaken ? ids_->iewPredNotTakenWrong
+                              : ids_->iewPredTakenWrong);
+    // Squash everything younger (the wrong path) and redirect the
+    // frontend back to the architectural stream.
+    squashFrom(e.seq + 1, false);
+    wrongPathBuffer_.clear();
+    wrongPathCause_ = 0;
+    e.mispredicted = false;
+}
+
+void
+O3Core::exposeScan()
+{
+    // InvisiSpec validation/expose (Spectre threat model): a
+    // completed invisible load validates once no older branch is
+    // unresolved. Validations are *ordered* (TSO load-load order
+    // must be re-checked), so an unvalidatable load blocks younger
+    // ones — the queuing that makes InvisiSpec cost real. Under
+    // the Futuristic model the visibility point is retirement, so
+    // validation happens at the commit head instead (see
+    // commitStage).
+    bool futuristic = defense_ == DefenseMode::InvisiSpecFuturistic;
+    unsigned exposes = 0;
+    bool unresolved_branch = false;
+    bool older_incomplete = false;
+    unsigned scanned = 0;
+    for (RobEntry &e : rob_) {
+        if (++scanned > 48 || exposes >= 4)
+            break;
+        bool unsafe = futuristic ? (older_incomplete ||
+                                    unresolved_branch)
+                                 : unresolved_branch;
+        if (e.op.isBranch() && e.state != EntryState::Complete)
+            unresolved_branch = true;
+        if (e.state != EntryState::Complete)
+            older_incomplete = true;
+        if (!e.invisible || e.exposed)
+            continue;
+        if (e.badPathCause != 0 ||
+            e.state != EntryState::Complete || unsafe) {
+            break; // in-order validation: younger loads must wait
+        }
+        e.exposed = true;
+        bool present = mem_.dcache().probe(e.op.addr);
+        mem_.expose(e.op.addr, cycle_);
+        // The Futuristic model validates every load against the
+        // coherence point (a second round-trip); the Spectre model
+        // only re-fetches lines that never became visible.
+        uint32_t cost = (futuristic || !present)
+                            ? params_.invisiSpecExposeLatency
+                            : 1;
+        e.readyCycle = std::max(e.readyCycle, cycle_ + cost);
+        ++exposes;
+    }
+}
+
+void
+O3Core::commitStage()
+{
+    exposeScan();
+    unsigned committed = 0;
+    while (committed < params_.commitWidth && !rob_.empty()) {
+        RobEntry &e = rob_.front();
+        if (e.state != EntryState::Complete ||
+            e.readyCycle > cycle_) {
+            break;
+        }
+
+        // InvisiSpec expose at the visibility point: cheap when the
+        // line is already architecturally present, a validation
+        // round-trip otherwise.
+        if (e.invisible && !e.exposed) {
+            e.exposed = true;
+            bool present = mem_.dcache().probe(e.op.addr);
+            mem_.expose(e.op.addr, cycle_);
+            e.readyCycle = cycle_ +
+                (present ? 1 : params_.invisiSpecExposeLatency);
+            break;
+        }
+
+        if (e.op.faults) {
+            // Lazy fault delivery: the trap fires a few cycles after
+            // the op reaches the head — the Meltdown window.
+            if (!e.trapPending) {
+                e.trapPending = true;
+                e.readyCycle = cycle_ + params_.trapDeliveryLatency;
+                break;
+            }
+            // Trap: the access was never architecturally permitted.
+            reg_.inc(ids_->sysFaults);
+            reg_.inc(ids_->commitTrapSquashes);
+            reg_.inc(ids_->fetchQuiesceStall,
+                     params_.squashRecoveryCycles);
+            SeqNum seq = e.seq;
+            squashFrom(seq + 1, true);
+            transientBuffer_.clear();
+            transientCause_ = 0;
+            // The faulting op itself is removed without committing.
+            if (!rob_.empty() && rob_.front().seq == seq) {
+                RobEntry &f = rob_.front();
+                if (f.op.dst >= 0) {
+                    lastWriter_[f.op.dst] = f.prevWriter;
+                    ++freeIntRegs_;
+                }
+                if (f.op.isLoad() && lqOccupancy_ > 0)
+                    --lqOccupancy_;
+                rob_.pop_front();
+            }
+            break; // pipeline flush ends this commit group
+        }
+
+        if (e.op.injected) {
+            // LVI visibility point: bogus forwarded data detected,
+            // response ignored, younger ops squashed and replayed.
+            reg_.inc(ids_->lsqIgnoredResponses);
+            squashFrom(e.seq + 1, true);
+            transientBuffer_.clear();
+            transientCause_ = 0;
+        }
+
+        if (e.op.isStore()) {
+            if (!mem_.storeCommit(e.op.addr, e.op.size, cycle_))
+                break; // write queue full: retry next cycle
+            reg_.inc(ids_->commitStores);
+            if (sqOccupancy_ > 0)
+                --sqOccupancy_;
+        }
+        if (e.op.isLoad()) {
+            reg_.inc(ids_->commitLoads);
+            if (lqOccupancy_ > 0)
+                --lqOccupancy_;
+        }
+        if (e.op.isBranch())
+            reg_.inc(ids_->commitBranches);
+        if (e.op.op == OpClass::Fence) {
+            reg_.inc(ids_->commitMembars);
+            reg_.inc(ids_->sysFences);
+        }
+        if (e.op.op == OpClass::Syscall)
+            reg_.inc(ids_->sysSyscalls);
+        if (e.op.op == OpClass::Rdrand)
+            reg_.inc(ids_->sysRdrands);
+
+        if (e.op.dst >= 0) {
+            reg_.inc(ids_->renameCommitted);
+            ++freeIntRegs_;
+        }
+        reg_.inc(ids_->commitInsts);
+        reg_.inc(ids_->commitOps);
+        ++committedInsts_;
+        ++committed;
+        rob_.pop_front();
+    }
+
+    if (committed == 0)
+        reg_.inc(ids_->commitIdle);
+
+    if (sampler_ && committed > 0) {
+        if (sampler_->tick(committedInsts_, cycle_) && onSample_)
+            onSample_(sampler_->latest());
+    }
+}
+
+void
+O3Core::completeStage()
+{
+    for (size_t i = 0; i < rob_.size(); ++i) {
+        RobEntry &e = rob_[i];
+        if (e.state != EntryState::Issued || e.readyCycle > cycle_)
+            continue;
+        e.state = EntryState::Complete;
+        if (iqOccupancy_ > 0)
+            --iqOccupancy_;
+        reg_.inc(ids_->iewExecuted);
+        if (e.op.isLoad())
+            reg_.inc(ids_->iewExecutedLoads);
+        if (e.op.isStore())
+            reg_.inc(ids_->iewExecutedStores);
+        size_t size_before = rob_.size();
+        if (e.op.isBranch() && e.mispredicted)
+            resolveBranch(e);
+        if (e.op.isStore())
+            checkMemOrderViolation(e);
+        if (rob_.size() != size_before)
+            break; // a squash invalidated the iteration state
+    }
+}
+
+void
+O3Core::issueStage()
+{
+    reg_.inc(ids_->iqOccupancy, (double)iqOccupancy_);
+    reg_.inc(ids_->robOccupancy, (double)rob_.size());
+
+    unsigned issued = 0;
+    // Simple per-cycle FU pools.
+    unsigned alu_slots = 6, mem_slots = 4, long_slots = 2;
+    unsigned examined = 0;
+    bool defense_blocked = false;
+
+    for (size_t i = 0; i < rob_.size() && issued < params_.issueWidth;
+         ++i) {
+        if (++examined > 64)
+            break; // bounded wakeup scan
+        RobEntry &e = rob_[i];
+        if (e.state != EntryState::Dispatched)
+            continue;
+        if (!sourcesReady(e)) {
+            reg_.inc(ids_->iqReadyConflicts);
+            continue;
+        }
+
+        uint32_t latency = 1;
+        switch (e.op.op) {
+          case OpClass::Load:
+            if (mem_slots == 0) {
+                reg_.inc(ids_->iqFuBusy);
+                continue;
+            }
+            if (defenseBlocksLoad(e)) {
+                defense_blocked = true;
+                continue;
+            }
+            issueLoad(e);
+            if (e.state != EntryState::Issued)
+                continue; // retry (MSHR full)
+            --mem_slots;
+            ++issued;
+            reg_.inc(ids_->iqIssued);
+            continue;
+          case OpClass::Store:
+            if (mem_slots == 0) {
+                reg_.inc(ids_->iqFuBusy);
+                continue;
+            }
+            --mem_slots;
+            e.addrReady = true;
+            latency = 1;
+            break;
+          case OpClass::IntMult:
+            if (long_slots == 0) {
+                reg_.inc(ids_->iqFuBusy);
+                continue;
+            }
+            --long_slots;
+            latency = params_.intMultLatency;
+            break;
+          case OpClass::IntDiv:
+            if (long_slots == 0) {
+                reg_.inc(ids_->iqFuBusy);
+                continue;
+            }
+            --long_slots;
+            latency = params_.intDivLatency;
+            break;
+          case OpClass::FpAdd:
+            latency = params_.fpAddLatency;
+            break;
+          case OpClass::FpMult:
+            latency = params_.fpMultLatency;
+            break;
+          case OpClass::Rdrand:
+            latency = params_.rdrandLatency;
+            break;
+          case OpClass::Syscall:
+            latency = params_.syscallLatency;
+            break;
+          case OpClass::Clflush:
+            mem_.clflush(e.op.addr, cycle_);
+            latency = 4;
+            break;
+          case OpClass::Prefetch:
+            mem_.load(e.op.addr, 64, cycle_, false);
+            latency = 1;
+            break;
+          default:
+            if (alu_slots == 0) {
+                reg_.inc(ids_->iqFuBusy);
+                continue;
+            }
+            --alu_slots;
+            latency = params_.intAluLatency;
+            break;
+        }
+
+        e.state = EntryState::Issued;
+        e.readyCycle = cycle_ + latency;
+        ++issued;
+        reg_.inc(ids_->iqIssued);
+    }
+
+    if (defense_blocked && issued == 0)
+        reg_.inc(ids_->iewBlockCycles);
+}
+
+void
+O3Core::dispatchStage()
+{
+    if (fetchQueue_.empty()) {
+        reg_.inc(ids_->renameIdle);
+        reg_.inc(ids_->decodeIdle);
+        return;
+    }
+
+    unsigned dispatched = 0;
+    while (dispatched < params_.dispatchWidth &&
+           !fetchQueue_.empty()) {
+        FetchedOp &f = fetchQueue_.front();
+
+        // Serializing ops wait for the ROB to drain.
+        if (f.op.isSerializing() && !rob_.empty()) {
+            reg_.inc(ids_->commitNonSpecStalls);
+            reg_.inc(ids_->renameSerializing);
+            break;
+        }
+        if (rob_.size() >= params_.robEntries) {
+            reg_.inc(ids_->robFull);
+            reg_.inc(ids_->renameRobFull);
+            reg_.inc(ids_->renameBlock);
+            reg_.inc(ids_->decodeBlocked);
+            break;
+        }
+        if (iqOccupancy_ >= params_.iqEntries) {
+            reg_.inc(ids_->iqFull);
+            reg_.inc(ids_->renameBlock);
+            break;
+        }
+        if (f.op.isLoad() && lqOccupancy_ >= params_.lqEntries) {
+            reg_.inc(ids_->iewLsqFull);
+            reg_.inc(ids_->renameBlock);
+            break;
+        }
+        if (f.op.isStore() && sqOccupancy_ >= params_.sqEntries) {
+            reg_.inc(ids_->iewLsqFull);
+            reg_.inc(ids_->renameBlock);
+            break;
+        }
+        if (f.op.dst >= 0 && freeIntRegs_ == 0) {
+            reg_.inc(ids_->renameIntFull);
+            reg_.inc(ids_->renameBlock);
+            break;
+        }
+
+        RobEntry e;
+        e.op = f.op;
+        e.seq = f.seq;
+        e.badPathCause = f.badPathCause;
+        e.mispredicted = f.mispredicted;
+        e.state = EntryState::Dispatched;
+        if (f.op.src0 >= 0)
+            e.src0Producer = lastWriter_[f.op.src0];
+        if (f.op.src1 >= 0)
+            e.src1Producer = lastWriter_[f.op.src1];
+        if (f.op.dst >= 0) {
+            e.prevWriter = lastWriter_[f.op.dst];
+            lastWriter_[f.op.dst] = e.seq;
+            --freeIntRegs_;
+        }
+        reg_.inc(ids_->renameRenamed);
+        reg_.inc(ids_->decodeDecoded);
+        reg_.inc(ids_->iqAdded);
+        ++iqOccupancy_;
+        if (f.op.isLoad())
+            ++lqOccupancy_;
+        if (f.op.isStore())
+            ++sqOccupancy_;
+
+        rob_.push_back(std::move(e));
+        fetchQueue_.pop_front();
+        ++dispatched;
+    }
+}
+
+void
+O3Core::synthesizeWrongPath(const MicroOp &branch)
+{
+    // Generic wrong-path filler when the workload supplies no
+    // gadget: a short burst of ALU ops and nearby loads, as a real
+    // frontend would fetch from the (wrong) fallthrough/target.
+    unsigned n = 8 + (unsigned)rng_.nextBounded(9);
+    Addr base = branch.addr ? branch.addr : branch.pc + 64;
+    for (unsigned i = 0; i < n; ++i) {
+        MicroOp op;
+        op.pc = branch.pc + 64 + 4 * i;
+        if (rng_.nextBool(0.3)) {
+            op.op = OpClass::Load;
+            op.addr = base + rng_.nextBounded(4096);
+            op.dst = (int8_t)rng_.nextBounded(NUM_LOGICAL_REGS);
+        } else {
+            op.op = OpClass::IntAlu;
+            op.src0 = (int8_t)rng_.nextBounded(NUM_LOGICAL_REGS);
+            op.dst = (int8_t)rng_.nextBounded(NUM_LOGICAL_REGS);
+        }
+        wrongPathBuffer_.push_back(op);
+    }
+}
+
+void
+O3Core::enterWrongPath(const MicroOp &branch, SeqNum cause)
+{
+    wrongPathCause_ = cause;
+    wrongPathBuffer_.clear();
+    if (branch.transient && !branch.transient->empty()) {
+        for (const MicroOp &t : *branch.transient)
+            wrongPathBuffer_.push_back(t);
+    } else {
+        synthesizeWrongPath(branch);
+    }
+}
+
+void
+O3Core::injectTransients(const MicroOp &op, SeqNum cause)
+{
+    if (!op.transient || op.transient->empty())
+        return;
+    transientCause_ = cause;
+    for (const MicroOp &t : *op.transient)
+        transientBuffer_.push_back(t);
+}
+
+void
+O3Core::fetchStage(InstStream &stream)
+{
+    if (cycle_ < fetchStallUntil_) {
+        reg_.inc(ids_->fetchIcacheStall);
+        return;
+    }
+    if (fetchQueue_.size() >= params_.fetchQueueEntries) {
+        reg_.inc(ids_->fetchBlockedCycles);
+        return;
+    }
+
+    unsigned fetched = 0;
+    while (fetched < params_.fetchWidth &&
+           fetchQueue_.size() < params_.fetchQueueEntries) {
+        MicroOp op;
+        SeqNum bad_path = 0;
+        bool from_wrong_path = false;
+
+        if (!wrongPathBuffer_.empty()) {
+            op = wrongPathBuffer_.front();
+            wrongPathBuffer_.pop_front();
+            bad_path = wrongPathCause_;
+            from_wrong_path = true;
+        } else if (wrongPathCause_ != 0) {
+            // Wrong-path buffer dry: frontend spins until squash.
+            reg_.inc(ids_->fetchIdleCycles);
+            break;
+        } else if (!transientBuffer_.empty()) {
+            op = transientBuffer_.front();
+            transientBuffer_.pop_front();
+            bad_path = transientCause_;
+        } else if (!pendingReplay_.empty()) {
+            op = pendingReplay_.front();
+            pendingReplay_.pop_front();
+        } else if (!streamDone_) {
+            if (!stream.next(op)) {
+                streamDone_ = true;
+                break;
+            }
+        } else {
+            if (fetched == 0)
+                reg_.inc(ids_->fetchIdleCycles);
+            break;
+        }
+
+        // I-cache access on line crossings.
+        Addr line = op.pc & ~(Addr)(params_.lineSize - 1);
+        if (line != lastFetchLine_) {
+            lastFetchLine_ = line;
+            reg_.inc(ids_->fetchIcacheAccesses);
+            uint32_t lat = mem_.fetchAccess(op.pc, cycle_);
+            if (lat > params_.icacheLatency) {
+                fetchStallUntil_ = cycle_ + (lat -
+                                             params_.icacheLatency);
+                reg_.inc(ids_->fetchIcacheStall);
+            }
+        }
+
+        reg_.inc(ids_->fetchInsts);
+
+        // Branch prediction on the architectural path. Wrong-path
+        // and transient-window branches do not retrain the
+        // predictor (their updates would be rolled back).
+        bool mispredicted = false;
+        if (op.isBranch()) {
+            reg_.inc(ids_->fetchBranches);
+            if (bad_path == 0) {
+                BranchPrediction pred =
+                    bp_.predict(op.pc, op.indirect, op.isReturn);
+                if (pred.taken)
+                    reg_.inc(ids_->fetchPredicted);
+                if (op.isReturn) {
+                    mispredicted =
+                        !pred.btbHit || pred.target != op.addr;
+                } else if (op.indirect) {
+                    mispredicted = op.actualTaken && pred.btbHit &&
+                                   pred.target != op.addr;
+                    if (op.actualTaken && !pred.btbHit)
+                        fetchStallUntil_ = cycle_ + 1;
+                } else {
+                    mispredicted = pred.taken != op.actualTaken;
+                }
+                bp_.update(op.pc, op.actualTaken, op.addr,
+                           op.indirect, op.isCall, op.isReturn);
+            }
+        }
+
+        SeqNum seq = nextSeq_++;
+        fetchQueue_.push_back({op, seq, bad_path, mispredicted});
+        ++fetched;
+
+        if (mispredicted) {
+            enterWrongPath(op, seq);
+            break;
+        }
+
+        // Fault / poisoned-load transient window on the good path.
+        if (bad_path == 0 && !from_wrong_path &&
+            (op.faults || op.injected)) {
+            injectTransients(op, seq);
+            break;
+        }
+
+        if (op.actualTaken && op.isBranch())
+            lastFetchLine_ = (Addr)-1; // redirect breaks the line
+    }
+
+    if (fetched > 0)
+        reg_.inc(ids_->fetchCycles);
+}
+
+SimResult
+O3Core::run(InstStream &stream, uint64_t max_insts,
+            uint64_t max_cycles)
+{
+    resetRunState();
+    uint64_t start_insts = committedInsts_;
+    Cycle last_progress = cycle_;
+    uint64_t last_committed = committedInsts_;
+
+    while (true) {
+        commitStage();
+        completeStage();
+        issueStage();
+        dispatchStage();
+        fetchStage(stream);
+        mem_.tick(cycle_);
+        ++cycle_;
+        ++result_.cycles;
+
+        if (committedInsts_ != last_committed) {
+            last_committed = committedInsts_;
+            last_progress = cycle_;
+        } else if (cycle_ - last_progress > 500000) {
+            panic("core deadlock: no commit in 500000 cycles "
+                  "(rob=%zu fq=%zu)", rob_.size(),
+                  fetchQueue_.size());
+        }
+
+        if (max_insts &&
+            committedInsts_ - start_insts >= max_insts) {
+            break;
+        }
+        if (max_cycles && result_.cycles >= max_cycles)
+            break;
+        if (streamDone_ && rob_.empty() && fetchQueue_.empty() &&
+            pendingReplay_.empty() && wrongPathBuffer_.empty() &&
+            transientBuffer_.empty()) {
+            result_.streamExhausted = true;
+            break;
+        }
+    }
+
+    result_.committedInsts = committedInsts_ - start_insts;
+    result_.bitFlips = mem_.bitFlips();
+    return result_;
+}
+
+} // namespace evax

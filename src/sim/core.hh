@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Out-of-order core model (gem5 O3CPU-style) with defense hooks.
+ *
+ * The core executes micro-op streams through fetch / dispatch /
+ * issue / complete / commit with a real tournament branch predictor,
+ * rename undo-map bookkeeping, an LSQ with store-to-load forwarding
+ * and memory-order-violation squashes, and transient-window
+ * injection: mispredicted branches and faulting/poisoned loads pull
+ * their attacker-supplied transient blocks into the pipeline until
+ * the squash, bounded by the ROB — the leakage window EVAX races.
+ *
+ * Mitigations are issue-side constraints (fencing) or invisible
+ * speculative loads with commit-time expose (InvisiSpec), switchable
+ * at run time by the adaptive controller.
+ */
+
+#ifndef EVAX_SIM_CORE_HH
+#define EVAX_SIM_CORE_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "hpc/counters.hh"
+#include "hpc/sampler.hh"
+#include "sim/branch_predictor.hh"
+#include "sim/memory.hh"
+#include "sim/params.hh"
+#include "sim/types.hh"
+#include "sim/uop.hh"
+#include "util/rng.hh"
+
+namespace evax
+{
+
+/** Summary of one simulation run. */
+struct SimResult
+{
+    uint64_t cycles = 0;
+    uint64_t committedInsts = 0;
+    /** Secret-dependent transient accesses that left a footprint. */
+    uint64_t leaks = 0;
+    /** Committed-instruction count at the first leak (0 = none). */
+    uint64_t firstLeakInst = 0;
+    /** Rowhammer bit flips induced. */
+    uint64_t bitFlips = 0;
+    uint64_t squashes = 0;
+    bool streamExhausted = false;
+
+    double
+    ipc() const
+    {
+        return cycles ? (double)committedInsts / (double)cycles : 0.0;
+    }
+};
+
+/** The O3 core. */
+class O3Core
+{
+  public:
+    O3Core(const CoreParams &params, CounterRegistry &reg);
+    ~O3Core(); ///< out-of-line: Ids is incomplete here
+
+    /** Switch the active mitigation (adaptive controller hook). */
+    void setDefenseMode(DefenseMode mode) { defense_ = mode; }
+    DefenseMode defenseMode() const { return defense_; }
+
+    /** Attach a sampler ticked at every commit group (may be null). */
+    void attachSampler(Sampler *sampler) { sampler_ = sampler; }
+
+    /** Called whenever an attached sampler closes a window. */
+    using SampleCallback =
+        std::function<void(const FeatureSnapshot &)>;
+    void setSampleCallback(SampleCallback cb) { onSample_ = cb; }
+
+    /**
+     * Run a stream to completion or to a budget.
+     * @param stream micro-op source (not reset by the core)
+     * @param max_insts stop after committing this many (0 = no cap)
+     * @param max_cycles hard cycle cap (0 = default guard)
+     */
+    SimResult run(InstStream &stream, uint64_t max_insts = 0,
+                  uint64_t max_cycles = 0);
+
+    MemorySystem &memory() { return mem_; }
+    BranchPredictor &branchPredictor() { return bp_; }
+    CounterRegistry &counters() { return reg_; }
+    const CoreParams &params() const { return params_; }
+    uint64_t committedInsts() const { return committedInsts_; }
+    uint64_t cycle() const { return cycle_; }
+
+  private:
+    enum class EntryState : uint8_t { Dispatched, Issued, Complete };
+
+    struct RobEntry
+    {
+        MicroOp op;
+        SeqNum seq = 0;
+        /** Non-zero: fetched down a transient path; cause's seq. */
+        SeqNum badPathCause = 0;
+        EntryState state = EntryState::Dispatched;
+        Cycle readyCycle = 0;
+        bool mispredicted = false; ///< branch only
+        bool invisible = false;    ///< InvisiSpec load
+        bool exposed = false;
+        bool trapPending = false;  ///< fault seen at head, delaying
+        bool addrReady = false;    ///< store address computed
+        bool completedFill = false; ///< load installed a cache line
+        SeqNum src0Producer = 0;
+        SeqNum src1Producer = 0;
+        SeqNum prevWriter = 0;     ///< rename undo map
+    };
+
+    struct FetchedOp
+    {
+        MicroOp op;
+        SeqNum seq = 0;
+        SeqNum badPathCause = 0;
+        bool mispredicted = false;
+    };
+
+    // Pipeline stages (called youngest-stage-last each cycle).
+    void exposeScan();
+    void commitStage();
+    void completeStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage(InstStream &stream);
+
+    // Helpers.
+    RobEntry *entryBySeq(SeqNum seq);
+    bool sourcesReady(const RobEntry &e);
+    bool olderUnresolvedBranch(SeqNum seq) const;
+    bool allOlderComplete(SeqNum seq) const;
+    bool defenseBlocksLoad(const RobEntry &e) const;
+    bool loadIsSpeculative(const RobEntry &e) const;
+    void issueLoad(RobEntry &e);
+    void resolveBranch(RobEntry &e);
+    void checkMemOrderViolation(const RobEntry &store);
+    /**
+     * Squash all entries with seq >= from_seq.
+     * @param replay_good_path re-fetch squashed architectural ops
+     */
+    void squashFrom(SeqNum from_seq, bool replay_good_path);
+    void synthesizeWrongPath(const MicroOp &branch);
+    void enterWrongPath(const MicroOp &branch, SeqNum cause);
+    void injectTransients(const MicroOp &op, SeqNum cause);
+    void resetRunState();
+
+    const CoreParams &params_;
+    CounterRegistry &reg_;
+    MemorySystem mem_;
+    BranchPredictor bp_;
+    Rng rng_;
+
+    DefenseMode defense_ = DefenseMode::None;
+    Sampler *sampler_ = nullptr;
+    SampleCallback onSample_;
+
+    // Machine state.
+    Cycle cycle_ = 0;
+    uint64_t committedInsts_ = 0;
+    SeqNum nextSeq_ = 1;
+    std::deque<RobEntry> rob_;
+    std::deque<FetchedOp> fetchQueue_;
+    std::deque<MicroOp> pendingReplay_;
+    std::vector<SeqNum> lastWriter_;
+    unsigned freeIntRegs_ = 0;
+    unsigned lqOccupancy_ = 0;
+    unsigned sqOccupancy_ = 0;
+    unsigned iqOccupancy_ = 0;
+
+    // Wrong-path / transient-injection fetch state.
+    std::deque<MicroOp> wrongPathBuffer_;
+    SeqNum wrongPathCause_ = 0;
+    std::deque<MicroOp> transientBuffer_;
+    SeqNum transientCause_ = 0;
+
+    Cycle fetchStallUntil_ = 0;
+    Addr lastFetchLine_ = (Addr)-1;
+    bool serializeWait_ = false;
+
+    // Run bookkeeping.
+    SimResult result_;
+    bool streamDone_ = false;
+
+    // Cached counter ids (resolved once in the constructor).
+    struct Ids;
+    std::unique_ptr<Ids> ids_;
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_CORE_HH

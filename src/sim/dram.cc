@@ -1,0 +1,99 @@
+#include "sim/dram.hh"
+
+namespace evax
+{
+
+Dram::Dram(const CoreParams &params, CounterRegistry &reg)
+    : params_(params),
+      openRow_(params.dramBanks, UINT64_MAX),
+      reg_(reg)
+{
+    readBursts_ = reg.getOrAdd("dram.readBursts");
+    writeBursts_ = reg.getOrAdd("dram.writeBursts");
+    activations_ = reg.getOrAdd("dram.activations");
+    precharges_ = reg.getOrAdd("dram.precharges");
+    rowHits_ = reg.getOrAdd("dram.rowHits");
+    rowMisses_ = reg.getOrAdd("dram.rowMisses");
+    bytesPerActivate_ = reg.getOrAdd("dram.bytesPerActivate");
+    selfRefreshEnergy_ = reg.getOrAdd("dram.selfRefreshEnergy");
+    actEnergy_ = reg.getOrAdd("dram.actEnergy");
+    refreshes_ = reg.getOrAdd("dram.refreshes");
+    maxRowActsCtr_ = reg.getOrAdd("dram.maxRowActs");
+    neighborActs_ = reg.getOrAdd("dram.neighborActs");
+    bitFlips_ = reg.getOrAdd("dram.bitFlips");
+}
+
+uint32_t
+Dram::bankOf(Addr addr) const
+{
+    return (addr / params_.dramRowSize) % params_.dramBanks;
+}
+
+uint64_t
+Dram::rowOf(Addr addr) const
+{
+    return addr / params_.dramRowSize;
+}
+
+void
+Dram::maybeRefresh(Cycle now)
+{
+    if (now - lastRefresh_ < params_.dramRefreshInterval)
+        return;
+    lastRefresh_ = now;
+    rowActs_.clear();
+    maxRowActs_ = 0;
+    reg_.inc(refreshes_);
+    // Proxy: refresh energy scales with the interval elapsed.
+    reg_.inc(selfRefreshEnergy_, 1.0);
+}
+
+DramResult
+Dram::access(Addr addr, bool is_write, Cycle now)
+{
+    maybeRefresh(now);
+
+    DramResult res;
+    reg_.inc(is_write ? writeBursts_ : readBursts_);
+
+    uint32_t bank = bankOf(addr);
+    uint64_t row = rowOf(addr);
+
+    if (openRow_[bank] == row) {
+        res.rowHit = true;
+        res.latency = params_.dramRowHitLatency;
+        reg_.inc(rowHits_);
+        reg_.inc(bytesPerActivate_, 64.0);
+        return res;
+    }
+
+    // Row miss: precharge + activate.
+    if (openRow_[bank] != UINT64_MAX)
+        reg_.inc(precharges_);
+    openRow_[bank] = row;
+    res.latency = params_.dramRowMissLatency;
+    reg_.inc(rowMisses_);
+    reg_.inc(activations_);
+    reg_.inc(actEnergy_, 1.0);
+    reg_.inc(bytesPerActivate_, 64.0);
+
+    uint32_t &acts = rowActs_[row];
+    ++acts;
+    if (acts > maxRowActs_) {
+        maxRowActs_ = acts;
+        reg_.set(maxRowActsCtr_, maxRowActs_);
+    }
+
+    // Rowhammer disturbance: hammering a row repeatedly within one
+    // refresh epoch flips bits in its physical neighbors.
+    reg_.inc(neighborActs_, 2.0);
+    if (acts >= params_.rowhammerThreshold &&
+        acts % params_.rowhammerThreshold == 0) {
+        res.bitFlips = 1;
+        ++totalBitFlips_;
+        reg_.inc(bitFlips_);
+    }
+    return res;
+}
+
+} // namespace evax

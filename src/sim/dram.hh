@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Banked DRAM model with row-buffer dynamics, refresh epochs and a
+ * Rowhammer corruption module.
+ *
+ * Mirrors the paper's Ramulator-based setup: gem5/Ramulator do not
+ * model disturbance errors, so the authors added a module that
+ * counts per-row activations since the last refresh and flips bits
+ * in neighbor rows past a threshold. We do the same: the per-row
+ * activation ledger feeds both the bit-flip model and the
+ * DRAM-domain security counters (dram.maxRowActs, bytesPerActivate,
+ * selfRefreshEnergy) Table I's detector features rely on.
+ */
+
+#ifndef EVAX_SIM_DRAM_HH
+#define EVAX_SIM_DRAM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hpc/counters.hh"
+#include "sim/params.hh"
+#include "sim/types.hh"
+
+namespace evax
+{
+
+/** Result of a DRAM access. */
+struct DramResult
+{
+    uint32_t latency = 0;
+    bool rowHit = false;
+    /** Bit flips induced in neighbor rows by this activation. */
+    uint32_t bitFlips = 0;
+};
+
+/** Banked DRAM with open-row policy. */
+class Dram
+{
+  public:
+    Dram(const CoreParams &params, CounterRegistry &reg);
+
+    /**
+     * Access one burst.
+     * @param addr byte address
+     * @param is_write write burst
+     * @param now current cycle (refresh bookkeeping)
+     */
+    DramResult access(Addr addr, bool is_write, Cycle now);
+
+    /** Total bit flips induced so far (Rowhammer success metric). */
+    uint64_t totalBitFlips() const { return totalBitFlips_; }
+
+    /** Activations of the most-hammered row this refresh epoch. */
+    uint32_t maxRowActivations() const { return maxRowActs_; }
+
+    /** Rows currently tracked this epoch (diagnostics). */
+    size_t trackedRows() const { return rowActs_.size(); }
+
+  private:
+    uint32_t bankOf(Addr addr) const;
+    uint64_t rowOf(Addr addr) const;
+    void maybeRefresh(Cycle now);
+
+    const CoreParams &params_;
+
+    /** Open row per bank (UINT64_MAX = closed). */
+    std::vector<uint64_t> openRow_;
+    /** Activations per row since the last refresh. */
+    std::unordered_map<uint64_t, uint32_t> rowActs_;
+    Cycle lastRefresh_ = 0;
+    uint32_t maxRowActs_ = 0;
+    uint64_t totalBitFlips_ = 0;
+
+    CounterRegistry &reg_;
+    CounterId readBursts_, writeBursts_, activations_, precharges_;
+    CounterId rowHits_, rowMisses_, bytesPerActivate_;
+    CounterId selfRefreshEnergy_, actEnergy_, refreshes_;
+    CounterId maxRowActsCtr_, neighborActs_, bitFlips_;
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_DRAM_HH

@@ -1,0 +1,209 @@
+#include "sim/memory.hh"
+
+namespace evax
+{
+
+MemorySystem::MemorySystem(const CoreParams &params,
+                           CounterRegistry &reg)
+    : params_(params), reg_(reg),
+      icache_({"icache", params.icacheSize, params.icacheAssoc,
+               params.lineSize, params.icacheLatency, 4},
+              reg),
+      dcache_({"dcache", params.dcacheSize, params.dcacheAssoc,
+               params.lineSize, params.dcacheLatency,
+               params.dcacheMshrs},
+              reg),
+      l2_({"l2", params.l2Size, params.l2Assoc, params.lineSize,
+           params.l2Latency, params.l2Mshrs},
+          reg),
+      dram_(params, reg),
+      dtlb_("dtlb", params.dtlbEntries, params.tlbWalkLatency,
+            params.pageBytes, true, reg),
+      itlb_("itlb", params.itlbEntries, params.tlbWalkLatency,
+            params.pageBytes, false, reg)
+{
+    wqBytesRead_ = reg.getOrAdd("wq.bytesReadWrQ");
+    wqFullEvents_ = reg.getOrAdd("wq.fullEvents");
+    wqInsertions_ = reg.getOrAdd("wq.insertions");
+    wqDrains_ = reg.getOrAdd("wq.drains");
+    wqOccupancy_ = reg.getOrAdd("wq.occupancy");
+    membusReadShared_ = reg.getOrAdd("membus.readSharedReq");
+    membusReadEx_ = reg.getOrAdd("membus.readExReq");
+    membusWbDirty_ = reg.getOrAdd("membus.writebackDirty");
+    membusPktCount_ = reg.getOrAdd("membus.pktCount");
+    membusTotalBytes_ = reg.getOrAdd("membus.totalBytes");
+    sysClflushes_ = reg.getOrAdd("sys.clflushes");
+    dcacheSpecFills_ = reg.getOrAdd("dcache.specFills");
+    dcacheSquashedFills_ = reg.getOrAdd("dcache.squashedFills");
+}
+
+uint32_t
+MemorySystem::accessBackside(Addr addr, bool is_write, Cycle now,
+                             bool allocate)
+{
+    reg_.inc(is_write ? membusReadEx_ : membusReadShared_);
+    reg_.inc(membusPktCount_);
+    reg_.inc(membusTotalBytes_, params_.lineSize);
+
+    // The L2's own miss penalty comes from DRAM. Look up DRAM first
+    // so the L2 can charge the full residual on a miss. (We access
+    // DRAM lazily: only when L2 actually misses.)
+    CacheAccessResult l2r =
+        l2_.access(addr, is_write, now,
+                   /* provisional miss latency */ 0, allocate);
+    if (l2r.hit)
+        return l2r.latency;
+
+    DramResult dr = dram_.access(addr, is_write, now);
+    if (l2r.writeback) {
+        reg_.inc(membusWbDirty_);
+        dram_.access(l2r.writebackAddr, true, now);
+    }
+    return l2r.latency + dr.latency;
+}
+
+uint32_t
+MemorySystem::fetchAccess(Addr pc, Cycle now)
+{
+    TlbResult tr = itlb_.translate(pc, false);
+    CacheAccessResult r =
+        icache_.access(pc, false, now, 0, true);
+    if (r.hit)
+        return tr.latency + r.latency;
+    uint32_t backside = accessBackside(pc, false, now, true);
+    // Next-line prefetch: sequential fetch is the common case.
+    Addr next_line = (pc & ~(Addr)(params_.lineSize - 1)) +
+                     params_.lineSize;
+    if (!icache_.probe(next_line))
+        icache_.fill(next_line, false, now);
+    return tr.latency + r.latency + backside;
+}
+
+LoadResult
+MemorySystem::load(Addr addr, uint16_t size, Cycle now,
+                   bool invisible)
+{
+    LoadResult res;
+    TlbResult tr = dtlb_.translate(addr, false);
+
+    // Post-commit write queue may service the load directly
+    // (store-to-load forwarding past commit; MDS-domain exposure).
+    Addr la = addr & ~(Addr)(params_.lineSize - 1);
+    for (const auto &e : writeQueue_) {
+        if ((e.addr & ~(Addr)(params_.lineSize - 1)) == la) {
+            res.hitWriteQueue = true;
+            res.latency = tr.latency + 1;
+            reg_.inc(wqBytesRead_, size);
+            return res;
+        }
+    }
+
+    // InvisiSpec note: the SpecBuffer is indexed per load-queue
+    // entry, so a speculative load does NOT reuse another load's
+    // speculatively-fetched line — every invisible miss re-fetches
+    // from the lower levels. That repeated traffic is the bulk of
+    // InvisiSpec's overhead.
+    CacheAccessResult r =
+        dcache_.access(addr, false, now, 0, !invisible);
+    if (r.mshrFull) {
+        res.mustRetry = true;
+        res.latency = 1;
+        return res;
+    }
+    if (r.hit) {
+        res.l1Hit = true;
+        res.latency = tr.latency + r.latency;
+        return res;
+    }
+    uint32_t backside = accessBackside(addr, false, now, !invisible);
+    if (r.writeback)
+        reg_.inc(membusWbDirty_);
+    res.latency = tr.latency + r.latency + backside;
+    if (invisible)
+        specBufferInsert(la);
+    return res;
+}
+
+bool
+MemorySystem::specBufferHas(Addr line) const
+{
+    for (Addr a : specBuffer_) {
+        if (a == line)
+            return true;
+    }
+    return false;
+}
+
+void
+MemorySystem::specBufferInsert(Addr line)
+{
+    if (specBufferHas(line))
+        return;
+    if (specBuffer_.size() >= specBufferEntries_)
+        specBuffer_.pop_front();
+    specBuffer_.push_back(line);
+}
+
+void
+MemorySystem::specBufferErase(Addr line)
+{
+    for (auto it = specBuffer_.begin(); it != specBuffer_.end();
+         ++it) {
+        if (*it == line) {
+            specBuffer_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+MemorySystem::expose(Addr addr, Cycle now)
+{
+    // InvisiSpec validation/expose: the line becomes architecturally
+    // visible. Model as an L1 fill (plus L2 if absent).
+    reg_.inc(dcacheSpecFills_);
+    specBufferErase(addr & ~(Addr)(params_.lineSize - 1));
+    if (!l2_.probe(addr))
+        l2_.fill(addr, false, now);
+    dcache_.fill(addr, false, now);
+}
+
+bool
+MemorySystem::storeCommit(Addr addr, uint16_t size, Cycle now)
+{
+    (void)now;
+    if (writeQueue_.size() >= params_.writeBuffers) {
+        reg_.inc(wqFullEvents_);
+        return false;
+    }
+    writeQueue_.push_back({addr, size});
+    reg_.inc(wqInsertions_);
+    reg_.inc(wqOccupancy_, (double)writeQueue_.size());
+    return true;
+}
+
+void
+MemorySystem::tick(Cycle now)
+{
+    // Drain one write per 4 cycles toward the D-cache.
+    if (writeQueue_.empty() || now < nextDrain_)
+        return;
+    WqEntry e = writeQueue_.front();
+    writeQueue_.pop_front();
+    reg_.inc(wqDrains_);
+    CacheAccessResult r = dcache_.access(e.addr, true, now, 0, true);
+    if (!r.hit)
+        accessBackside(e.addr, true, now, true);
+    nextDrain_ = now + 4;
+}
+
+void
+MemorySystem::clflush(Addr addr, Cycle now)
+{
+    (void)now;
+    reg_.inc(sysClflushes_);
+    dcache_.invalidate(addr);
+    l2_.invalidate(addr);
+}
+
+} // namespace evax

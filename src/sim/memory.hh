@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Memory system: L1I / L1D / shared L2 / DRAM, TLBs, a post-commit
+ * write queue, and membus transaction accounting.
+ *
+ * Exposes the hooks the defenses need: loads can be performed
+ * *invisibly* (no cache state change — InvisiSpec's SpecBuffer) and
+ * later exposed; clflush and TLB flush primitives are available for
+ * the flush-based attacks.
+ */
+
+#ifndef EVAX_SIM_MEMORY_HH
+#define EVAX_SIM_MEMORY_HH
+
+#include <deque>
+
+#include "hpc/counters.hh"
+#include "sim/cache.hh"
+#include "sim/dram.hh"
+#include "sim/params.hh"
+#include "sim/tlb.hh"
+#include "sim/types.hh"
+
+namespace evax
+{
+
+/** Result of a data-side load. */
+struct LoadResult
+{
+    uint32_t latency = 0;
+    bool l1Hit = false;
+    /** Load serviced by the post-commit write queue. */
+    bool hitWriteQueue = false;
+    /** Structural stall (MSHRs full): retry next cycle. */
+    bool mustRetry = false;
+};
+
+/** Full memory hierarchy for one core. */
+class MemorySystem
+{
+  public:
+    MemorySystem(const CoreParams &params, CounterRegistry &reg);
+
+    /** Instruction fetch for the line containing @c pc. */
+    uint32_t fetchAccess(Addr pc, Cycle now);
+
+    /**
+     * Data load.
+     * @param invisible InvisiSpec: compute latency but leave no
+     *        cache footprint (no fill, no replacement)
+     */
+    LoadResult load(Addr addr, uint16_t size, Cycle now,
+                    bool invisible);
+
+    /** InvisiSpec expose/validate: install the line at visibility. */
+    void expose(Addr addr, Cycle now);
+
+    /**
+     * Committed store enters the write queue.
+     * @return false if the queue is full (commit must stall)
+     */
+    bool storeCommit(Addr addr, uint16_t size, Cycle now);
+
+    /** Drain the write queue toward the caches (call once/cycle). */
+    void tick(Cycle now);
+
+    /** Flush one line from the whole hierarchy (clflush). */
+    void clflush(Addr addr, Cycle now);
+
+    /** Data TLB flush (syscall / attack primitive). */
+    void flushDtlb() { dtlb_.flush(); }
+
+    Cache &icache() { return icache_; }
+    Cache &dcache() { return dcache_; }
+    Cache &l2() { return l2_; }
+    Dram &dram() { return dram_; }
+    Tlb &dtlb() { return dtlb_; }
+
+    /** Rowhammer bit flips induced so far. */
+    uint64_t bitFlips() const { return dram_.totalBitFlips(); }
+
+  private:
+    /** L2 + DRAM chain, returns miss latency beyond L1. */
+    uint32_t accessBackside(Addr addr, bool is_write, Cycle now,
+                            bool allocate);
+
+    const CoreParams &params_;
+    CounterRegistry &reg_;
+
+    Cache icache_;
+    Cache dcache_;
+    Cache l2_;
+    Dram dram_;
+    Tlb dtlb_;
+    Tlb itlb_;
+
+    struct WqEntry
+    {
+        Addr addr;
+        uint16_t size;
+    };
+    std::deque<WqEntry> writeQueue_;
+    Cycle nextDrain_ = 0;
+
+    /** InvisiSpec SpecBuffer: lines fetched invisibly (FIFO). */
+    std::deque<Addr> specBuffer_;
+    static constexpr size_t specBufferEntries_ = 64;
+    bool specBufferHas(Addr line) const;
+    void specBufferInsert(Addr line);
+    void specBufferErase(Addr line);
+
+    CounterId wqBytesRead_, wqFullEvents_, wqInsertions_, wqDrains_;
+    CounterId wqOccupancy_;
+    CounterId membusReadShared_, membusReadEx_, membusWbDirty_;
+    CounterId membusPktCount_, membusTotalBytes_;
+    CounterId sysClflushes_;
+    CounterId dcacheSpecFills_, dcacheSquashedFills_;
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_MEMORY_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Parameters of the simulated architecture (paper Table II).
+ */
+
+#ifndef EVAX_SIM_PARAMS_HH
+#define EVAX_SIM_PARAMS_HH
+
+#include <cstdint>
+
+namespace evax
+{
+
+/**
+ * Core and memory-hierarchy configuration. Defaults reproduce the
+ * paper's Table II: X86-style O3 core, single thread, 2.0 GHz.
+ */
+struct CoreParams
+{
+    // Pipeline widths (fetch/dispatch/issue/commit 8 wide).
+    unsigned fetchWidth = 8;
+    unsigned dispatchWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+
+    // Window sizes.
+    unsigned robEntries = 192;
+    unsigned lqEntries = 32;
+    unsigned sqEntries = 32;
+    unsigned iqEntries = 64;
+    unsigned numPhysIntRegs = 256;
+    unsigned numPhysFloatRegs = 256;
+    unsigned fetchQueueEntries = 32;
+
+    // Branch predictor (tournament).
+    unsigned btbEntries = 4096;
+    unsigned rasEntries = 16;
+    unsigned localHistoryBits = 11;
+    unsigned globalHistoryBits = 12;
+    unsigned choiceBits = 12;
+    unsigned squashRecoveryCycles = 3;
+
+    // L1 I-cache: 32KB, 64B line, 4-way.
+    uint32_t icacheSize = 32 * 1024;
+    uint32_t icacheAssoc = 4;
+    uint32_t icacheLatency = 1;
+
+    // L1 D-cache: 64KB, 64B line, 8-way.
+    uint32_t dcacheSize = 64 * 1024;
+    uint32_t dcacheAssoc = 8;
+    uint32_t dcacheLatency = 2;
+    uint32_t dcacheMshrs = 20;
+    uint32_t writeBuffers = 8;
+
+    // Shared L2: 2MB bank, 64B line, 8-way, tag/data latency 20.
+    uint32_t l2Size = 2 * 1024 * 1024;
+    uint32_t l2Assoc = 8;
+    uint32_t l2Latency = 20;
+    uint32_t l2Mshrs = 20;
+
+    uint32_t lineSize = 64;
+
+    // DRAM.
+    uint32_t dramBanks = 16;
+    uint32_t dramRowSize = 8 * 1024;
+    uint32_t dramRowHitLatency = 40;
+    uint32_t dramRowMissLatency = 100;
+    /** Cycles between refresh epochs (scaled-down 64ms @2GHz). */
+    uint64_t dramRefreshInterval = 200000;
+    /** Row activations within one refresh epoch that flip neighbors. */
+    uint32_t rowhammerThreshold = 2000;
+
+    // TLBs.
+    uint32_t dtlbEntries = 64;
+    uint32_t itlbEntries = 48;
+    uint32_t tlbWalkLatency = 30;
+    uint32_t pageBytes = 4096;
+
+    // Functional-unit latencies.
+    uint32_t intAluLatency = 1;
+    uint32_t intMultLatency = 3;
+    uint32_t intDivLatency = 12;
+    uint32_t fpAddLatency = 2;
+    uint32_t fpMultLatency = 4;
+    uint32_t rdrandLatency = 150;
+    uint32_t syscallLatency = 100;
+
+    // InvisiSpec exposure (validation) cost at the visibility point.
+    uint32_t invisiSpecExposeLatency = 16;
+
+    /**
+     * Cycles between a faulting op reaching the ROB head and the
+     * trap being delivered — the lazy fault handling that gives
+     * Meltdown-type attacks their transient window.
+     */
+    uint32_t trapDeliveryLatency = 20;
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_PARAMS_HH

@@ -1,0 +1,72 @@
+#include "sim/tlb.hh"
+
+namespace evax
+{
+
+Tlb::Tlb(const std::string &prefix, uint32_t entries,
+         uint32_t walk_latency, uint32_t page_bytes, bool split_rw,
+         CounterRegistry &reg)
+    : entries_(entries), walkLatency_(walk_latency),
+      pageBytes_(page_bytes), splitRw_(split_rw), reg_(reg)
+{
+    auto c = [&](const char *suffix) {
+        return reg.getOrAdd(prefix + "." + suffix);
+    };
+    rdAccesses_ = c("rdAccesses");
+    rdMisses_ = c("rdMisses");
+    wrAccesses_ = c("wrAccesses");
+    wrMisses_ = c("wrMisses");
+    accesses_ = c("accesses");
+    misses_ = c("misses");
+    walkCycles_ = c("walkCycles");
+    flushes_ = c("flushes");
+}
+
+void
+Tlb::insert(Addr page)
+{
+    if (map_.size() >= entries_) {
+        // Evict the LRU page.
+        auto victim = map_.begin();
+        for (auto it = map_.begin(); it != map_.end(); ++it) {
+            if (it->second < victim->second)
+                victim = it;
+        }
+        map_.erase(victim);
+    }
+    map_[page] = ++lruClock_;
+}
+
+TlbResult
+Tlb::translate(Addr addr, bool is_write)
+{
+    reg_.inc(accesses_);
+    if (splitRw_)
+        reg_.inc(is_write ? wrAccesses_ : rdAccesses_);
+
+    TlbResult res;
+    Addr page = pageOf(addr);
+    auto it = map_.find(page);
+    if (it != map_.end()) {
+        it->second = ++lruClock_;
+        res.hit = true;
+        return res;
+    }
+
+    reg_.inc(misses_);
+    if (splitRw_)
+        reg_.inc(is_write ? wrMisses_ : rdMisses_);
+    reg_.inc(walkCycles_, walkLatency_);
+    res.latency = walkLatency_;
+    insert(page);
+    return res;
+}
+
+void
+Tlb::flush()
+{
+    map_.clear();
+    reg_.inc(flushes_);
+}
+
+} // namespace evax

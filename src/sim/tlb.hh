@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fully-associative LRU TLB with page-walk latency modeling.
+ */
+
+#ifndef EVAX_SIM_TLB_HH
+#define EVAX_SIM_TLB_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "hpc/counters.hh"
+#include "sim/types.hh"
+
+namespace evax
+{
+
+/** TLB lookup result. */
+struct TlbResult
+{
+    bool hit = false;
+    uint32_t latency = 0; ///< 0 on hit, walk latency on miss
+};
+
+/**
+ * Simple fully-associative TLB. Separate read/write counters so the
+ * detector sees dtlb.rdMisses distinctly (a feature in Table I).
+ */
+class Tlb
+{
+  public:
+    /**
+     * @param prefix counter prefix ("dtlb" or "itlb")
+     * @param entries capacity in page entries
+     * @param walk_latency page-walk cost in cycles on a miss
+     * @param page_bytes page size
+     * @param split_rw emit rd/wr-split counters (dtlb) or combined
+     */
+    Tlb(const std::string &prefix, uint32_t entries,
+        uint32_t walk_latency, uint32_t page_bytes, bool split_rw,
+        CounterRegistry &reg);
+
+    /** Translate an access; fills on miss and charges the walk. */
+    TlbResult translate(Addr addr, bool is_write);
+
+    /** Flush all entries (context switch / attack primitive). */
+    void flush();
+
+    uint32_t entries() const { return entries_; }
+
+  private:
+    Addr pageOf(Addr addr) const { return addr / pageBytes_; }
+    void insert(Addr page);
+
+    uint32_t entries_;
+    uint32_t walkLatency_;
+    uint32_t pageBytes_;
+    bool splitRw_;
+
+    std::unordered_map<Addr, uint64_t> map_; ///< page -> lru stamp
+    uint64_t lruClock_ = 0;
+
+    CounterRegistry &reg_;
+    CounterId rdAccesses_, rdMisses_, wrAccesses_, wrMisses_;
+    CounterId accesses_, misses_, walkCycles_, flushes_;
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_TLB_HH

@@ -1,0 +1,24 @@
+#include "sim/types.hh"
+
+namespace evax
+{
+
+const char *
+defenseModeName(DefenseMode mode)
+{
+    switch (mode) {
+      case DefenseMode::None:
+        return "none";
+      case DefenseMode::FenceSpectre:
+        return "fence-spectre";
+      case DefenseMode::FenceFuturistic:
+        return "fence-futuristic";
+      case DefenseMode::InvisiSpecSpectre:
+        return "invisispec-spectre";
+      case DefenseMode::InvisiSpecFuturistic:
+        return "invisispec-futuristic";
+    }
+    return "unknown";
+}
+
+} // namespace evax

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fundamental types shared across the simulated machine.
+ */
+
+#ifndef EVAX_SIM_TYPES_HH
+#define EVAX_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace evax
+{
+
+/** Physical/virtual address (the model does not split the spaces). */
+using Addr = uint64_t;
+
+/** Core clock cycle. */
+using Cycle = uint64_t;
+
+/** Global dynamic-instruction sequence number (1-based; 0 = none). */
+using SeqNum = uint64_t;
+
+/** Micro-op operation classes. */
+enum class OpClass : uint8_t
+{
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FpAdd,
+    FpMult,
+    Load,
+    Store,
+    Branch,
+    Fence,    ///< explicit memory barrier / lfence
+    Clflush,  ///< cache-line flush (flush-based attacks)
+    Rdrand,   ///< hardware RNG read (RDRND covert channel)
+    Syscall,  ///< serializing kernel entry
+    Prefetch,
+    Nop,
+};
+
+/** Number of OpClass values (for tables). */
+constexpr unsigned NUM_OP_CLASSES = 14;
+
+/** Mitigation configurations the core can run under (Sec. VII). */
+enum class DefenseMode : uint8_t
+{
+    /** Performance mode: no mitigation active. */
+    None,
+    /** Fence after every branch: loads stall on unresolved branches. */
+    FenceSpectre,
+    /** Fence before every load: loads issue only at the ROB head. */
+    FenceFuturistic,
+    /** InvisiSpec, Spectre threat model (loads under branches). */
+    InvisiSpecSpectre,
+    /** InvisiSpec, Futuristic threat model (all speculative loads). */
+    InvisiSpecFuturistic,
+};
+
+/** Human-readable mitigation name. */
+const char *defenseModeName(DefenseMode mode);
+
+} // namespace evax
+
+#endif // EVAX_SIM_TYPES_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Dynamic micro-op model.
+ *
+ * Workloads are instruction-stream generators producing MicroOps.
+ * Attack kernels attach *transient blocks* to branches and faulting
+ * loads: the micro-ops an attacker arranges to execute down the
+ * wrong path / inside the fault window. The core injects those into
+ * the pipeline and squashes them when the triggering op resolves,
+ * bounded by the ROB — exactly the transient window the paper's
+ * detector races against.
+ */
+
+#ifndef EVAX_SIM_UOP_HH
+#define EVAX_SIM_UOP_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace evax
+{
+
+/** Number of architectural (logical) registers in the model. */
+constexpr int NUM_LOGICAL_REGS = 32;
+
+/** One micro-op as produced by a workload generator. */
+struct MicroOp
+{
+    Addr pc = 0;
+    /** Effective address for memory ops; target for taken branches. */
+    Addr addr = 0;
+    uint16_t size = 8; ///< access size in bytes
+
+    OpClass op = OpClass::IntAlu;
+
+    /** Logical source/destination registers; -1 = unused. */
+    int8_t src0 = -1;
+    int8_t src1 = -1;
+    int8_t dst = -1;
+
+    /** Branch outcome ground truth (predictor decides prediction). */
+    bool actualTaken = false;
+    /** Indirect branch / return (uses BTB / RAS paths). */
+    bool indirect = false;
+    bool isReturn = false;
+    bool isCall = false;
+
+    /** Meltdown-style access that will fault at commit. */
+    bool faults = false;
+    /** LVI-style load that receives a poisoned forwarded value. */
+    bool injected = false;
+    /** Transmitting access: address encodes the stolen secret. */
+    bool secretDependent = false;
+    /** Serializing op (drains the ROB before dispatch continues). */
+    bool serializing = false;
+
+    /**
+     * Micro-ops to execute transiently if this op mis-speculates:
+     * for a branch, the wrong-path gadget; for a faulting/injected
+     * load, the dependent window before the squash.
+     */
+    std::shared_ptr<std::vector<MicroOp>> transient;
+
+    bool isMemRef() const
+    { return op == OpClass::Load || op == OpClass::Store; }
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isBranch() const { return op == OpClass::Branch; }
+    bool
+    isSerializing() const
+    {
+        return serializing || op == OpClass::Syscall ||
+               op == OpClass::Fence;
+    }
+};
+
+/**
+ * Source of micro-ops for the core. Implemented by every benign
+ * kernel and attack kernel in src/workload and src/attacks.
+ */
+class InstStream
+{
+  public:
+    virtual ~InstStream() = default;
+
+    /**
+     * Produce the next micro-op in program order.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(MicroOp &op) = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void reset() = 0;
+
+    /** Stable stream name (for reports). */
+    virtual const char *name() const = 0;
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_UOP_HH

@@ -1,0 +1,116 @@
+#include "util/csv.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header_.size()) {
+        fatal("Table row arity %zu does not match header arity %zu",
+              cells.size(), header_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << (v * 100.0)
+       << "%";
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    size_t total = 1;
+    for (size_t w : width)
+        total += w + 3;
+
+    if (!title.empty()) {
+        os << std::string(total, '=') << "\n";
+        os << " " << title << "\n";
+    }
+    os << std::string(total, '-') << "\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c]
+               << std::string(width[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+    emit(header_);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    os << std::string(total, '-') << "\n";
+}
+
+void
+Table::writeCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            bool quote = row[c].find_first_of(",\"\n") !=
+                std::string::npos;
+            if (quote) {
+                os << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << row[c];
+            }
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+bool
+Table::saveCsv(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeCsv(f);
+    return (bool)f;
+}
+
+} // namespace evax

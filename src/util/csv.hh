@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Lightweight table / CSV emitters used by the benchmark harnesses to
+ * print the rows and series that correspond to the paper's tables and
+ * figures, and optionally persist them for plotting.
+ */
+
+#ifndef EVAX_UTIL_CSV_HH
+#define EVAX_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace evax
+{
+
+/**
+ * Accumulates rows of stringified cells and renders either an aligned
+ * ASCII table (for terminal output mirroring the paper's tables) or
+ * CSV (for downstream plotting).
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience cell formatting helpers. */
+    static std::string fmt(double v, int precision = 3);
+    static std::string pct(double v, int precision = 2);
+
+    /** Render as aligned ASCII with a title banner. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /** Render as CSV. */
+    void writeCsv(std::ostream &os) const;
+
+    /** Write CSV to a file path; returns false on I/O failure. */
+    bool saveCsv(const std::string &path) const;
+
+    size_t numRows() const { return rows_.size(); }
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    { return rows_; }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace evax
+
+#endif // EVAX_UTIL_CSV_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * gem5-style status / error reporting: inform(), warn(), fatal(),
+ * panic(). fatal() is for user/configuration errors (exit(1)); panic()
+ * is for internal invariant violations (abort()).
+ */
+
+#ifndef EVAX_UTIL_LOG_HH
+#define EVAX_UTIL_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace evax
+{
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Informative status message the user should see but not worry about. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Something works, but imperfectly; a hint for debugging oddities. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Unrecoverable condition that is the user's fault (bad config /
+ * arguments). Exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Internal invariant violation (a bug in this library). Aborts.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Toggle inform() output (benches silence it for clean tables). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace evax
+
+#endif // EVAX_UTIL_LOG_HH

@@ -1,0 +1,188 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evax
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / n_;
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    size_t total = n_ + other.n_;
+    m2_ += other.m2_ + delta * delta * ((double)n_ * other.n_ / total);
+    mean_ = (mean_ * n_ + other.mean_ * other.n_) / total;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = total;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ > 1 ? m2_ / n_ : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins), bins_(bins, 0)
+{
+}
+
+void
+Histogram::add(double x)
+{
+    double clamped = std::clamp(x, lo_, hi_);
+    size_t idx = (size_t)((clamped - lo_) / width_);
+    if (idx >= bins_.size())
+        idx = bins_.size() - 1;
+    ++bins_[idx];
+    ++total_;
+}
+
+double
+Histogram::cdfAt(double x) const
+{
+    if (total_ == 0)
+        return 0.0;
+    size_t acc = 0;
+    for (size_t i = 0; i < bins_.size(); ++i) {
+        double upper = lo_ + width_ * (i + 1);
+        if (upper > x)
+            break;
+        acc += bins_[i];
+    }
+    return (double)acc / total_;
+}
+
+double
+Histogram::binCenter(size_t i) const
+{
+    return lo_ + width_ * (i + 0.5);
+}
+
+double
+ConfusionCounts::accuracy() const
+{
+    uint64_t t = total();
+    return t ? (double)(tp + tn) / t : 0.0;
+}
+
+double
+ConfusionCounts::tpr() const
+{
+    uint64_t pos = tp + fn;
+    return pos ? (double)tp / pos : 0.0;
+}
+
+double
+ConfusionCounts::fpr() const
+{
+    uint64_t neg = fp + tn;
+    return neg ? (double)fp / neg : 0.0;
+}
+
+double
+ConfusionCounts::fnr() const
+{
+    uint64_t pos = tp + fn;
+    return pos ? (double)fn / pos : 0.0;
+}
+
+double
+ConfusionCounts::precision() const
+{
+    uint64_t pred = tp + fp;
+    return pred ? (double)tp / pred : 0.0;
+}
+
+double
+ConfusionCounts::f1() const
+{
+    double p = precision();
+    double r = tpr();
+    return (p + r) > 0 ? 2 * p * r / (p + r) : 0.0;
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / v.size();
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    double m = mean(v);
+    double s = 0.0;
+    for (double x : v)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / v.size());
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    double logsum = 0.0;
+    size_t n = 0;
+    for (double x : v) {
+        if (x > 0) {
+            logsum += std::log(x);
+            ++n;
+        }
+    }
+    return n ? std::exp(logsum / n) : 0.0;
+}
+
+double
+percentile(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    double rank = p / 100.0 * (v.size() - 1);
+    size_t lo = (size_t)rank;
+    size_t hi = std::min(lo + 1, v.size() - 1);
+    double frac = rank - lo;
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+} // namespace evax

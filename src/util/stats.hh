@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Small statistics helpers shared across the simulator, detector and
+ * benchmark harnesses: running moments, histograms, confusion counts.
+ */
+
+#ifndef EVAX_UTIL_STATS_HH
+#define EVAX_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace evax
+{
+
+/**
+ * Single-pass running mean / variance / min / max accumulator
+ * (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void merge(const RunningStat &other);
+    void reset();
+
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-range linear histogram. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double x);
+    size_t bin(size_t i) const { return bins_.at(i); }
+    size_t numBins() const { return bins_.size(); }
+    size_t total() const { return total_; }
+    /** Fraction of samples at or below x (empirical CDF on bins). */
+    double cdfAt(double x) const;
+    double binCenter(size_t i) const;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<size_t> bins_;
+    size_t total_ = 0;
+};
+
+/**
+ * Binary-classification confusion counts with the derived rates the
+ * paper reports (FP per window, FN per window, TPR, precision).
+ */
+struct ConfusionCounts
+{
+    uint64_t tp = 0;
+    uint64_t tn = 0;
+    uint64_t fp = 0;
+    uint64_t fn = 0;
+
+    void
+    add(bool predicted_positive, bool actually_positive)
+    {
+        if (predicted_positive && actually_positive)
+            ++tp;
+        else if (predicted_positive && !actually_positive)
+            ++fp;
+        else if (!predicted_positive && actually_positive)
+            ++fn;
+        else
+            ++tn;
+    }
+
+    uint64_t total() const { return tp + tn + fp + fn; }
+    double accuracy() const;
+    /** True positive rate (recall / sensitivity). */
+    double tpr() const;
+    /** False positive rate. */
+    double fpr() const;
+    /** False negative rate. */
+    double fnr() const;
+    double precision() const;
+    double f1() const;
+};
+
+/** Mean of a vector; 0 for empty. */
+double mean(const std::vector<double> &v);
+
+/** Population standard deviation of a vector; 0 for size < 2. */
+double stddev(const std::vector<double> &v);
+
+/** Geometric mean; ignores non-positive entries defensively. */
+double geomean(const std::vector<double> &v);
+
+/** Percentile via linear interpolation on a sorted copy, p in [0,100]. */
+double percentile(std::vector<double> v, double p);
+
+} // namespace evax
+
+#endif // EVAX_UTIL_STATS_HH

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The twelve benign kernels (SPEC-CPU-2006-style behaviour space:
+ * compression, search, discrete-event simulation, gene matching,
+ * dense linear algebra, pointer chasing, network simulation,
+ * AI planning, sorting, hash join, FFT, Monte-Carlo).
+ */
+
+#ifndef EVAX_WORKLOAD_KERNELS_HH
+#define EVAX_WORKLOAD_KERNELS_HH
+
+#include "workload/workload.hh"
+
+namespace evax
+{
+
+/** bzip2-style compression: table lookups, data-dependent branches. */
+class CompressKernel : public SyntheticWorkload
+{
+  public:
+    CompressKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "compress"; }
+
+  protected:
+    void refill() override;
+    void restart() override { cursor_ = 0; }
+
+  private:
+    Addr input_ = 0x10000000;
+    Addr dict_ = 0x20000000;
+    Addr out_ = 0x30000000;
+    uint64_t cursor_ = 0;
+};
+
+/** astar-style grid pathfinding: irregular loads, branchy. */
+class AStarKernel : public SyntheticWorkload
+{
+  public:
+    AStarKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "astar"; }
+
+  protected:
+    void refill() override;
+    void restart() override { node_ = 0; }
+
+  private:
+    Addr grid_ = 0x11000000;
+    Addr open_ = 0x21000000;
+    uint64_t node_ = 0;
+};
+
+/** Discrete-event simulator: heap churn, indirect handler dispatch. */
+class EventSimKernel : public SyntheticWorkload
+{
+  public:
+    EventSimKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "eventsim"; }
+
+  protected:
+    void refill() override;
+    void restart() override { heapSize_ = 64; }
+
+  private:
+    Addr heap_ = 0x12000000;
+    static constexpr unsigned numHandlers = 8;
+    Addr handlers_[numHandlers];
+    uint64_t heapSize_ = 64;
+};
+
+/** hmmer-style gene matching: regular DP loops, high IPC. */
+class GeneMatchKernel : public SyntheticWorkload
+{
+  public:
+    GeneMatchKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "genematch"; }
+
+  protected:
+    void refill() override;
+    void restart() override { col_ = 0; }
+
+  private:
+    Addr seqA_ = 0x13000000;
+    Addr seqB_ = 0x23000000;
+    Addr dpRow_ = 0x33000000;
+    uint64_t col_ = 0;
+};
+
+/** Dense matrix multiply: FP-heavy streaming, minimal branches. */
+class LinAlgKernel : public SyntheticWorkload
+{
+  public:
+    LinAlgKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "linalg"; }
+
+  protected:
+    void refill() override;
+    void restart() override { i_ = j_ = k_ = 0; }
+
+  private:
+    Addr a_ = 0x14000000, b_ = 0x24000000, c_ = 0x34000000;
+    uint64_t i_ = 0, j_ = 0, k_ = 0;
+    static constexpr uint64_t n_ = 128;
+};
+
+/** mcf-style pointer chasing: serialized cache-missing loads. */
+class PointerChaseKernel : public SyntheticWorkload
+{
+  public:
+    PointerChaseKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "pointerchase"; }
+
+  protected:
+    void refill() override;
+    void restart() override { cur_ = pool_; }
+
+  private:
+    Addr pool_ = 0x15000000;
+    uint64_t footprint_ = 8 * 1024 * 1024;
+    Addr cur_;
+};
+
+/** Ethernet network simulator: packet copies, queue management. */
+class NetSimKernel : public SyntheticWorkload
+{
+  public:
+    NetSimKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "netsim"; }
+
+  protected:
+    void refill() override;
+    void restart() override { pkt_ = 0; }
+
+  private:
+    Addr rxRing_ = 0x16000000;
+    Addr txRing_ = 0x26000000;
+    uint64_t pkt_ = 0;
+};
+
+/** Game-tree AI planner: deep call/return chains (RAS traffic). */
+class AiPlannerKernel : public SyntheticWorkload
+{
+  public:
+    AiPlannerKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "aiplanner"; }
+
+  protected:
+    void refill() override;
+
+  private:
+    void expand(unsigned depth, Addr frame);
+    Addr state_ = 0x17000000;
+};
+
+/** Quicksort on random keys: ~unpredictable compare branches. */
+class SortKernel : public SyntheticWorkload
+{
+  public:
+    SortKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "sort"; }
+
+  protected:
+    void refill() override;
+    void restart() override { idx_ = 0; }
+
+  private:
+    Addr keys_ = 0x18000000;
+    uint64_t idx_ = 0;
+};
+
+/** Hash join: random probes over a large footprint (TLB pressure). */
+class HashJoinKernel : public SyntheticWorkload
+{
+  public:
+    HashJoinKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "hashjoin"; }
+
+  protected:
+    void refill() override;
+
+  private:
+    Addr table_ = 0x19000000;
+    uint64_t buckets_ = 1 << 17;
+};
+
+/** Radix-2 FFT: strided FP butterflies. */
+class FftKernel : public SyntheticWorkload
+{
+  public:
+    FftKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "fft"; }
+
+  protected:
+    void refill() override;
+    void restart() override { stage_ = 0; pair_ = 0; }
+
+  private:
+    Addr data_ = 0x1a000000;
+    uint64_t stage_ = 0;
+    uint64_t pair_ = 0;
+    static constexpr uint64_t n_ = 4096;
+};
+
+/** Monte-Carlo pricing: ALU-dominated RNG with rare memory. */
+class MonteCarloKernel : public SyntheticWorkload
+{
+  public:
+    MonteCarloKernel(uint64_t seed, uint64_t length);
+    const char *name() const override { return "montecarlo"; }
+
+  protected:
+    void refill() override;
+    void restart() override { path_ = 0; }
+
+  private:
+    Addr accum_ = 0x1b000000;
+    uint64_t path_ = 0;
+};
+
+} // namespace evax
+
+#endif // EVAX_WORKLOAD_KERNELS_HH

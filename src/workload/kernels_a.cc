@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Benign kernels, part 1: compress, astar, eventsim, genematch.
+ */
+
+#include "workload/kernels.hh"
+
+namespace evax
+{
+
+CompressKernel::CompressKernel(uint64_t seed, uint64_t length)
+    : SyntheticWorkload(seed, length)
+{
+}
+
+void
+CompressKernel::refill()
+{
+    // Process one input byte group: load input, hash it, look up the
+    // dictionary, branch on match, emit literal or reference.
+    emitLoad(input_ + (cursor_ % (1 << 20)), 1);
+    emitAlu(2, 1);               // hash
+    emitMul(3, 2, 1);            // mix
+    Addr slot = dict_ + ((cursor_ * 2654435761ULL) % (1 << 16)) * 8;
+    emitLoad(slot, 4, 3);        // dictionary probe
+    emitAlu(5, 4, 1);            // compare
+    bool match = rng_.nextBool(0.85);
+    emitBranch(match, 0, 5);
+    if (match) {
+        emitLoad(slot + 8, 6, 4);     // match length
+        emitAlu(7, 6, 5);
+        emitStore(out_ + (cursor_ % (1 << 19)), 7);
+    } else {
+        emitStore(slot, 1);           // install in dictionary
+        emitStore(out_ + (cursor_ % (1 << 19)), 1);
+        emitAlu(8, 5);
+    }
+    // Inner RLE loop with a well-predicted backward branch.
+    unsigned run = 1 + (unsigned)rng_.nextBounded(4);
+    for (unsigned i = 0; i < run; ++i) {
+        emitAlu(9, 8, 2);
+        emitBranch(i + 1 < run, pc_ - 8, 9);
+    }
+    ++cursor_;
+}
+
+AStarKernel::AStarKernel(uint64_t seed, uint64_t length)
+    : SyntheticWorkload(seed, length)
+{
+}
+
+void
+AStarKernel::refill()
+{
+    // Pop the best node from the open list, expand 4 neighbors.
+    emitLoad(open_ + (node_ % 4096) * 16, 1);       // pop
+    emitLoad(open_ + (node_ % 4096) * 16 + 8, 2);   // priority
+    emitAlu(3, 1, 2);
+    for (unsigned nb = 0; nb < 4; ++nb) {
+        uint64_t cell = rng_.nextBounded(1 << 16);
+        emitLoad(grid_ + cell * 8, 4, 1);  // neighbor cost
+        emitAlu(5, 4, 3);                  // g + h
+        bool better = rng_.nextBool(0.78); // frontier improvement
+        emitBranch(better, 0, 5);
+        if (better) {
+            emitStore(grid_ + cell * 8, 5);
+            emitStore(open_ + ((node_ + nb) % 4096) * 16, 5);
+            emitAlu(6, 5);
+        }
+    }
+    // Heap-restore loop (log-ish, well predicted).
+    unsigned d = 1 + (unsigned)rng_.nextBounded(3);
+    for (unsigned i = 0; i < d; ++i) {
+        emitLoad(open_ + rng_.nextBounded(4096) * 16, 7);
+        emitAlu(8, 7, 5);
+        emitBranch(i + 1 < d, pc_ - 12, 8);
+    }
+    ++node_;
+}
+
+EventSimKernel::EventSimKernel(uint64_t seed, uint64_t length)
+    : SyntheticWorkload(seed, length)
+{
+    for (unsigned i = 0; i < numHandlers; ++i)
+        handlers_[i] = 0x40000000 + i * 0x1000;
+}
+
+void
+EventSimKernel::refill()
+{
+    // Pop the earliest event from the heap.
+    emitLoad(heap_, 1);
+    emitLoad(heap_ + 8, 2);
+    // Sift-down: data-dependent but shallow.
+    unsigned depth = 1 + (unsigned)rng_.nextBounded(4);
+    for (unsigned i = 0; i < depth; ++i) {
+        uint64_t child = rng_.nextBounded(heapSize_);
+        emitLoad(heap_ + child * 16, 3, 1);
+        emitAlu(4, 3, 2);
+        emitBranch(rng_.nextBool(0.68), 0, 4);
+        emitStore(heap_ + child * 16, 4);
+    }
+    // Dispatch to the event handler through an indirect jump: the
+    // realistic benign use of the BTB's indirect path.
+    unsigned h = (unsigned)rng_.nextBounded(numHandlers);
+    emitIndirect(handlers_[h]);
+    // Handler body.
+    for (unsigned i = 0; i < 6; ++i)
+        emitAlu(5 + (int)(i % 3), 2, 3);
+    // Schedule a follow-up event.
+    uint64_t slot = rng_.nextBounded(heapSize_);
+    emitStore(heap_ + slot * 16, 5);
+    emitStore(heap_ + slot * 16 + 8, 6);
+    heapSize_ = 64 + (heapSize_ + 1) % 1024;
+}
+
+GeneMatchKernel::GeneMatchKernel(uint64_t seed, uint64_t length)
+    : SyntheticWorkload(seed, length)
+{
+}
+
+void
+GeneMatchKernel::refill()
+{
+    // One DP cell: dp[j] = max(dp[j-1], dp[j] + score(a[i], b[j])).
+    uint64_t j = col_ % 2048;
+    emitLoad(seqA_ + (col_ / 2048) % 4096, 1);
+    emitLoad(seqB_ + j, 2);
+    emitAlu(3, 1, 2);             // score
+    emitLoad(dpRow_ + j * 4, 4);
+    emitLoad(dpRow_ + (j ? j - 1 : 0) * 4, 5);
+    emitAlu(6, 4, 3);
+    emitAlu(7, 6, 5);             // max
+    emitBranch(rng_.nextBool(0.95), 0, 7); // loop branch, predictable
+    emitStore(dpRow_ + j * 4, 7);
+    ++col_;
+}
+
+} // namespace evax

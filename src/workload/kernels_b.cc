@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Benign kernels, part 2: linalg, pointerchase, netsim, aiplanner.
+ */
+
+#include "workload/kernels.hh"
+
+namespace evax
+{
+
+LinAlgKernel::LinAlgKernel(uint64_t seed, uint64_t length)
+    : SyntheticWorkload(seed, length)
+{
+}
+
+void
+LinAlgKernel::refill()
+{
+    // One C[i][j] += A[i][k] * B[k][j] step, unrolled by 4.
+    for (unsigned u = 0; u < 4; ++u) {
+        emitLoad(a_ + (i_ * n_ + k_) * 8, 1);
+        emitLoad(b_ + (k_ * n_ + j_) * 8, 2);
+        emitFp(3, 1, 2, true);
+        emitFp(4, 4, 3, false);
+        if (++k_ == n_) {
+            k_ = 0;
+            emitStore(c_ + (i_ * n_ + j_) * 8, 4);
+            emitBranch(true, 0x14000000); // loop back edge
+            if (++j_ == n_) {
+                j_ = 0;
+                ++i_;
+            }
+        }
+    }
+}
+
+PointerChaseKernel::PointerChaseKernel(uint64_t seed,
+                                       uint64_t length)
+    : SyntheticWorkload(seed, length), cur_(pool_)
+{
+}
+
+void
+PointerChaseKernel::refill()
+{
+    // next = node->next (serialized, cache-hostile), light work on
+    // the payload in between.
+    Addr next = pool_ + (rng_.next() % footprint_ & ~0x3fULL);
+    emitLoad(cur_, 1);            // node->next
+    emitLoad(cur_ + 8, 2, 1);     // node->payload
+    emitAlu(3, 2, 3);
+    emitBranch(rng_.nextBool(0.9), 0, 1); // while (node)
+    cur_ = next;
+}
+
+NetSimKernel::NetSimKernel(uint64_t seed, uint64_t length)
+    : SyntheticWorkload(seed, length)
+{
+}
+
+void
+NetSimKernel::refill()
+{
+    // Receive one packet: header parse, checksum loop, copy to TX.
+    Addr rx = rxRing_ + (pkt_ % 256) * 2048;
+    Addr tx = txRing_ + (pkt_ % 256) * 2048;
+    emitLoad(rx, 1);              // header word
+    emitAlu(2, 1);                // proto field
+    emitBranch(rng_.nextBool(0.8), 0, 2); // proto == IPv4
+    unsigned words = 8 + (unsigned)rng_.nextBounded(24);
+    for (unsigned w = 0; w < words; ++w) {
+        emitLoad(rx + 64 + w * 8, 3);
+        emitAlu(4, 4, 3);          // checksum accumulate
+        emitStore(tx + 64 + w * 8, 3);
+        emitBranch(w + 1 < words, pc_ - 12, 4);
+    }
+    emitStore(tx, 4);
+    // Occasional kernel interaction (driver syscall).
+    if (rng_.nextBool(0.02)) {
+        MicroOp sc;
+        sc.op = OpClass::Syscall;
+        emit(sc);
+    }
+    ++pkt_;
+}
+
+AiPlannerKernel::AiPlannerKernel(uint64_t seed, uint64_t length)
+    : SyntheticWorkload(seed, length)
+{
+}
+
+void
+AiPlannerKernel::expand(unsigned depth, Addr frame)
+{
+    // Evaluate this node.
+    emitLoad(state_ + (frame % (1 << 20)), 1);
+    emitAlu(2, 1, 2);
+    emitMul(3, 2, 1);
+    emitBranch(rng_.nextBool(0.72), 0, 3);  // alpha-beta cut
+    if (depth == 0)
+        return;
+    unsigned children = 1 + (unsigned)rng_.nextBounded(3);
+    for (unsigned c = 0; c < children; ++c) {
+        Addr callee = 0x50000000 + (depth * 64 + c) * 0x100;
+        Addr ret = pc_ + 4;
+        emitCall(callee);
+        expand(depth - 1, frame + c * 64 + depth * 4096);
+        emitReturn(ret);
+    }
+    emitStore(state_ + (frame % (1 << 20)), 3);
+}
+
+void
+AiPlannerKernel::refill()
+{
+    expand(3, rng_.nextBounded(1 << 18));
+}
+
+} // namespace evax

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Benign kernels, part 3: sort, hashjoin, fft, montecarlo.
+ */
+
+#include "workload/kernels.hh"
+
+namespace evax
+{
+
+SortKernel::SortKernel(uint64_t seed, uint64_t length)
+    : SyntheticWorkload(seed, length)
+{
+}
+
+void
+SortKernel::refill()
+{
+    // One partition step on random keys: load two, compare with a
+    // genuinely unpredictable branch, swap on one side.
+    Addr lo = keys_ + (idx_ % (1 << 18)) * 8;
+    Addr hi = keys_ + ((idx_ * 7 + 13) % (1 << 18)) * 8;
+    emitLoad(lo, 1);
+    emitLoad(hi, 2);
+    emitAlu(3, 1, 2);               // compare
+    bool less = rng_.nextBool(0.5); // random data: ~50% mispredict
+    emitBranch(less, 0, 3);
+    if (less) {
+        emitStore(lo, 2);
+        emitStore(hi, 1);
+    } else {
+        emitAlu(4, 3);
+    }
+    emitAlu(5, 5);                  // index bump
+    emitBranch(rng_.nextBool(0.93), 0, 5); // loop branch
+    ++idx_;
+}
+
+HashJoinKernel::HashJoinKernel(uint64_t seed, uint64_t length)
+    : SyntheticWorkload(seed, length)
+{
+}
+
+void
+HashJoinKernel::refill()
+{
+    // Probe phase: hash a key, random bucket over a huge footprint
+    // (dTLB and LLC pressure), chain walk of 1-3 nodes.
+    emitLoad(table_ + rng_.nextBounded(1 << 16), 1); // probe key
+    emitMul(2, 1, 1);                                // hash
+    uint64_t bucket = rng_.nextBounded(buckets_);
+    Addr chain = table_ + bucket * 64;
+    unsigned n = 1 + (unsigned)rng_.nextBounded(3);
+    for (unsigned i = 0; i < n; ++i) {
+        emitLoad(chain + i * 64, 3, 2);
+        emitAlu(4, 3, 1);
+        bool match = rng_.nextBool(0.15);
+        emitBranch(match, 0, 4);
+        if (match) {
+            emitStore(table_ + (bucket % (1 << 14)) * 8, 4);
+            break;
+        }
+    }
+}
+
+FftKernel::FftKernel(uint64_t seed, uint64_t length)
+    : SyntheticWorkload(seed, length)
+{
+}
+
+void
+FftKernel::refill()
+{
+    // One butterfly at the current stage: strided paired accesses.
+    uint64_t span = 1ULL << (stage_ % 12);
+    uint64_t a = (pair_ * 2) % n_;
+    uint64_t b = (a + span) % n_;
+    emitLoad(data_ + a * 16, 1);
+    emitLoad(data_ + b * 16, 2);
+    emitFp(3, 1, 2, true);   // twiddle multiply
+    emitFp(4, 1, 3, false);  // sum
+    emitFp(5, 1, 3, false);  // diff
+    emitStore(data_ + a * 16, 4);
+    emitStore(data_ + b * 16, 5);
+    emitBranch(rng_.nextBool(0.97), 0, 5); // inner loop
+    if (++pair_ >= n_ / 2) {
+        pair_ = 0;
+        ++stage_;
+        emitBranch(true, 0x1a000000); // stage loop back edge
+    }
+}
+
+MonteCarloKernel::MonteCarloKernel(uint64_t seed, uint64_t length)
+    : SyntheticWorkload(seed, length)
+{
+}
+
+void
+MonteCarloKernel::refill()
+{
+    // One simulated path: xorshift chain (ALU), a few FP updates,
+    // rare accumulator store; occasionally a real RDRAND reseed —
+    // benign overlap with the RDRND covert channel's instrument.
+    for (unsigned step = 0; step < 8; ++step) {
+        emitAlu(1, 1);
+        emitAlu(2, 1, 2);
+        emitMul(3, 2, 1);
+        emitFp(4, 3, 4, true);
+        emitFp(5, 4, 5, false);
+        emitBranch(rng_.nextBool(0.85), 0, 5); // path-alive check
+    }
+    if (rng_.nextBool(0.01)) {
+        MicroOp rd;
+        rd.op = OpClass::Rdrand;
+        rd.dst = 1;
+        emit(rd);
+    }
+    if (path_ % 16 == 0)
+        emitStore(accum_ + (path_ % 1024) * 8, 5);
+    ++path_;
+}
+
+} // namespace evax

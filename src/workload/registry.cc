@@ -1,0 +1,51 @@
+#include "workload/registry.hh"
+
+#include "util/log.hh"
+#include "workload/kernels.hh"
+
+namespace evax
+{
+
+const std::vector<std::string> &
+WorkloadRegistry::names()
+{
+    static const std::vector<std::string> n = {
+        "compress", "astar", "eventsim", "genematch", "linalg",
+        "pointerchase", "netsim", "aiplanner", "sort", "hashjoin",
+        "fft", "montecarlo",
+    };
+    return n;
+}
+
+std::unique_ptr<SyntheticWorkload>
+WorkloadRegistry::create(const std::string &name, uint64_t seed,
+                         uint64_t length)
+{
+    if (name == "compress")
+        return std::make_unique<CompressKernel>(seed, length);
+    if (name == "astar")
+        return std::make_unique<AStarKernel>(seed, length);
+    if (name == "eventsim")
+        return std::make_unique<EventSimKernel>(seed, length);
+    if (name == "genematch")
+        return std::make_unique<GeneMatchKernel>(seed, length);
+    if (name == "linalg")
+        return std::make_unique<LinAlgKernel>(seed, length);
+    if (name == "pointerchase")
+        return std::make_unique<PointerChaseKernel>(seed, length);
+    if (name == "netsim")
+        return std::make_unique<NetSimKernel>(seed, length);
+    if (name == "aiplanner")
+        return std::make_unique<AiPlannerKernel>(seed, length);
+    if (name == "sort")
+        return std::make_unique<SortKernel>(seed, length);
+    if (name == "hashjoin")
+        return std::make_unique<HashJoinKernel>(seed, length);
+    if (name == "fft")
+        return std::make_unique<FftKernel>(seed, length);
+    if (name == "montecarlo")
+        return std::make_unique<MonteCarloKernel>(seed, length);
+    fatal("unknown workload: %s", name.c_str());
+}
+
+} // namespace evax

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Named factory for the benign kernels.
+ */
+
+#ifndef EVAX_WORKLOAD_REGISTRY_HH
+#define EVAX_WORKLOAD_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace evax
+{
+
+/** Factory for benign workloads by name. */
+class WorkloadRegistry
+{
+  public:
+    /** Names of all registered benign kernels. */
+    static const std::vector<std::string> &names();
+
+    /**
+     * Instantiate a kernel.
+     * @param name one of names()
+     * @param seed determinism seed
+     * @param length approximate micro-op count
+     */
+    static std::unique_ptr<SyntheticWorkload> create(
+        const std::string &name, uint64_t seed, uint64_t length);
+};
+
+} // namespace evax
+
+#endif // EVAX_WORKLOAD_REGISTRY_HH

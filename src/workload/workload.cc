@@ -1,0 +1,205 @@
+#include "workload/workload.hh"
+
+namespace evax
+{
+
+SyntheticWorkload::SyntheticWorkload(uint64_t seed, uint64_t length)
+    : rng_(seed), length_(length), pc_(0x400000), seed_(seed)
+{
+}
+
+bool
+SyntheticWorkload::next(MicroOp &op)
+{
+    if (emitted_ >= length_ && buf_.empty())
+        return false;
+    while (buf_.empty()) {
+        if (emitted_ >= length_)
+            return false;
+        // Each refill() is one iteration of the kernel's main loop:
+        // re-anchor the pc so static instructions keep stable
+        // addresses and the branch predictor can learn them.
+        pc_ = 0x400000;
+        refill();
+        if (rng_.nextBool(osNoiseProb_))
+            emitOsNoise();
+    }
+    op = buf_.front();
+    buf_.pop_front();
+    return true;
+}
+
+void
+SyntheticWorkload::reset()
+{
+    buf_.clear();
+    emitted_ = 0;
+    pc_ = 0x400000;
+    rng_.reseed(seed_);
+    restart();
+}
+
+void
+SyntheticWorkload::emit(MicroOp op)
+{
+    if (op.pc == 0) {
+        op.pc = pc_;
+        // Advance within a 16KB window of the current region: code
+        // is loopy, so the i-cache sees realistic reuse instead of
+        // an endless streaming footprint.
+        pc_ = (pc_ & ~(Addr)0x3fff) | ((pc_ + 4) & 0x3fff);
+    }
+    ++emitted_;
+    buf_.push_back(std::move(op));
+}
+
+void
+SyntheticWorkload::emitAlu(int dst, int src0, int src1)
+{
+    MicroOp op;
+    op.op = OpClass::IntAlu;
+    op.dst = (int8_t)dst;
+    op.src0 = (int8_t)src0;
+    op.src1 = (int8_t)src1;
+    emit(op);
+}
+
+void
+SyntheticWorkload::emitMul(int dst, int src0, int src1)
+{
+    MicroOp op;
+    op.op = OpClass::IntMult;
+    op.dst = (int8_t)dst;
+    op.src0 = (int8_t)src0;
+    op.src1 = (int8_t)src1;
+    emit(op);
+}
+
+void
+SyntheticWorkload::emitFp(int dst, int src0, int src1, bool mult)
+{
+    MicroOp op;
+    op.op = mult ? OpClass::FpMult : OpClass::FpAdd;
+    op.dst = (int8_t)dst;
+    op.src0 = (int8_t)src0;
+    op.src1 = (int8_t)src1;
+    emit(op);
+}
+
+void
+SyntheticWorkload::emitLoad(Addr addr, int dst, int addr_src)
+{
+    MicroOp op;
+    op.op = OpClass::Load;
+    op.addr = addr;
+    op.dst = (int8_t)dst;
+    op.src0 = (int8_t)addr_src;
+    emit(op);
+}
+
+void
+SyntheticWorkload::emitStore(Addr addr, int src)
+{
+    MicroOp op;
+    op.op = OpClass::Store;
+    op.addr = addr;
+    op.src0 = (int8_t)src;
+    emit(op);
+}
+
+void
+SyntheticWorkload::emitBranch(bool taken, Addr target, int src)
+{
+    MicroOp op;
+    op.op = OpClass::Branch;
+    op.actualTaken = taken;
+    op.addr = target ? target : pc_ + 64;
+    op.pc = pc_;
+    op.src0 = (int8_t)src;
+    emit(op);
+    if (taken)
+        pc_ = op.addr;
+    else
+        pc_ += 4;
+}
+
+void
+SyntheticWorkload::emitIndirect(Addr target)
+{
+    MicroOp op;
+    op.op = OpClass::Branch;
+    op.indirect = true;
+    op.actualTaken = true;
+    op.addr = target;
+    op.pc = pc_;
+    emit(op);
+    pc_ = target;
+}
+
+void
+SyntheticWorkload::emitCall(Addr target)
+{
+    MicroOp op;
+    op.op = OpClass::Branch;
+    op.isCall = true;
+    op.actualTaken = true;
+    op.addr = target;
+    op.pc = pc_;
+    emit(op);
+    pc_ = target;
+}
+
+void
+SyntheticWorkload::emitReturn(Addr target)
+{
+    MicroOp op;
+    op.op = OpClass::Branch;
+    op.isReturn = true;
+    op.actualTaken = true;
+    op.addr = target;
+    op.pc = pc_;
+    emit(op);
+    pc_ = target;
+}
+
+void
+SyntheticWorkload::emitOsNoise()
+{
+    // Kernel entry (serializing), a burst of kernel-space work,
+    // occasional cache-maintenance flush, return to user code.
+    MicroOp sc;
+    sc.op = OpClass::Syscall;
+    sc.pc = 0xffffffff81000000ULL;
+    emit(sc);
+    unsigned n = 3 + (unsigned)rng_.nextBounded(8);
+    for (unsigned i = 0; i < n; ++i) {
+        if (rng_.nextBool(0.5)) {
+            MicroOp ld;
+            ld.op = OpClass::Load;
+            ld.pc = 0xffffffff81000100ULL + 4 * i;
+            ld.addr = 0xffff880000000000ULL +
+                      rng_.nextBounded(1 << 18) * 64;
+            ld.dst = 29;
+            emit(ld);
+        } else {
+            emitAlu(29, 29);
+        }
+    }
+    if (rng_.nextBool(0.15)) {
+        // DMA-coherence / JIT icache maintenance.
+        MicroOp fl;
+        fl.op = OpClass::Clflush;
+        fl.addr = 0xffff880000000000ULL + rng_.nextBounded(64) * 64;
+        emit(fl);
+    }
+}
+
+void
+SyntheticWorkload::emitNop()
+{
+    MicroOp op;
+    op.op = OpClass::Nop;
+    emit(op);
+}
+
+} // namespace evax

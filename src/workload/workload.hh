@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic workload base class.
+ *
+ * Benign kernels stand in for the paper's SPEC CPU2006 Simpoints:
+ * what the detector needs from them is *diverse benign
+ * microarchitectural phases* — branchy, memory-bound, FP-dense,
+ * pointer-chasing, call-heavy — not SPEC's exact instruction mix.
+ * Each kernel procedurally generates a micro-op stream with a
+ * characteristic, phase-varying behaviour.
+ */
+
+#ifndef EVAX_WORKLOAD_WORKLOAD_HH
+#define EVAX_WORKLOAD_WORKLOAD_HH
+
+#include <deque>
+
+#include "sim/uop.hh"
+#include "util/rng.hh"
+
+namespace evax
+{
+
+/**
+ * Convenience InstStream base: kernels implement refill() to push
+ * micro-ops via the emit helpers; pc auto-advances.
+ */
+class SyntheticWorkload : public InstStream
+{
+  public:
+    /**
+     * @param seed deterministic behaviour seed
+     * @param length approximate stream length in micro-ops
+     */
+    SyntheticWorkload(uint64_t seed, uint64_t length);
+
+    bool next(MicroOp &op) override;
+    void reset() override;
+
+  protected:
+    /** Push more micro-ops into the buffer (at least one). */
+    virtual void refill() = 0;
+    /** Kernel-specific state reset on reset(). */
+    virtual void restart() {}
+
+    /**
+     * Full-system noise: timer interrupts and syscall service
+     * interleave kernel-space activity (serializing entry, kernel
+     * loads, occasional cache maintenance) into every program.
+     * This is the noise floor that makes detection non-trivial —
+     * the paper collects in full-system mode for the same reason.
+     * Probability is per main-loop iteration.
+     */
+    double osNoiseProb_ = 0.02;
+    void emitOsNoise();
+
+    // --- emit helpers (pc auto-advances by 4) ---
+    void emit(MicroOp op);
+    void emitAlu(int dst, int src0 = -1, int src1 = -1);
+    void emitMul(int dst, int src0, int src1);
+    void emitFp(int dst, int src0, int src1, bool mult = false);
+    void emitLoad(Addr addr, int dst, int addr_src = -1);
+    void emitStore(Addr addr, int src);
+    /**
+     * Conditional branch; on taken, pc jumps to target.
+     * @param src register the condition depends on (-1 = none);
+     *        real compare-and-branch resolves only after its
+     *        operand is produced, which is what gives speculation
+     *        windows their length
+     */
+    void emitBranch(bool taken, Addr target = 0, int src = -1);
+    /** Indirect jump (exercises BTB). */
+    void emitIndirect(Addr target);
+    void emitCall(Addr target);
+    void emitReturn(Addr target);
+    void emitNop();
+
+    Rng rng_;
+    uint64_t length_;
+    uint64_t emitted_ = 0;
+    Addr pc_;
+    uint64_t seed_;
+
+  private:
+    std::deque<MicroOp> buf_;
+};
+
+} // namespace evax
+
+#endif // EVAX_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Attack-kernel tests: every category runs, leaks where it should,
+ * produces its signature counters, and responds to evasion knobs
+ * and defenses. Parameterized over the whole registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/fuzzer.hh"
+#include "attacks/registry.hh"
+#include "sim/core.hh"
+
+namespace evax
+{
+namespace
+{
+
+SimResult
+runAttack(const std::string &name, DefenseMode mode,
+          CounterRegistry &reg, const EvasionKnobs &knobs = {},
+          uint64_t len = 25000)
+{
+    CoreParams params;
+    params.rowhammerThreshold = 400;
+    O3Core core(params, reg);
+    core.setDefenseMode(mode);
+    auto attack = AttackRegistry::create(name, 42, len, knobs);
+    return core.run(*attack);
+}
+
+class EveryAttack : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryAttack, RunsToCompletion)
+{
+    CounterRegistry reg;
+    SimResult res = runAttack(GetParam(), DefenseMode::None, reg);
+    EXPECT_GT(res.committedInsts, 10000u);
+    EXPECT_GT(res.ipc(), 0.01);
+}
+
+TEST_P(EveryAttack, EvasionKnobsPreserveTheAttack)
+{
+    EvasionKnobs knobs;
+    knobs.nopPadding = 40;
+    knobs.interleaveBenign = 0.5;
+    knobs.throttle = 8;
+    knobs.intensity = 0.5;
+    knobs.seed = 1;
+    CounterRegistry reg;
+    SimResult res =
+        runAttack(GetParam(), DefenseMode::None, reg, knobs);
+    EXPECT_GT(res.committedInsts, 10000u);
+}
+
+TEST_P(EveryAttack, DeterministicForFixedSeed)
+{
+    CounterRegistry r1, r2;
+    SimResult a = runAttack(GetParam(), DefenseMode::None, r1);
+    SimResult b = runAttack(GetParam(), DefenseMode::None, r2);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.leaks, b.leaks);
+    EXPECT_EQ(r1.valueByName("commit.committedInsts"),
+              r2.valueByName("commit.committedInsts"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAttacks, EveryAttack,
+    ::testing::ValuesIn(AttackRegistry::names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+/** Transient attacks must leak on an unprotected core. */
+class TransientAttack : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TransientAttack, LeaksWithoutDefense)
+{
+    CounterRegistry reg;
+    SimResult res = runAttack(GetParam(), DefenseMode::None, reg);
+    EXPECT_GT(res.leaks, 0u) << GetParam();
+}
+
+TEST_P(TransientAttack, FuturisticDefensesStopTheLeak)
+{
+    for (DefenseMode mode : {DefenseMode::FenceFuturistic,
+                             DefenseMode::InvisiSpecFuturistic}) {
+        CounterRegistry reg;
+        SimResult res = runAttack(GetParam(), mode, reg);
+        EXPECT_EQ(res.leaks, 0u)
+            << GetParam() << " under " << defenseModeName(mode);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transients, TransientAttack,
+    ::testing::Values("spectre-pht", "spectre-btb", "spectre-rsb",
+                      "meltdown", "medusa-cache-index",
+                      "medusa-unaligned-stl", "medusa-shadow-rep",
+                      "lvi", "fallout", "smotherspectre"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(AttackSignatures, MeltdownTraps)
+{
+    CounterRegistry reg;
+    runAttack("meltdown", DefenseMode::None, reg);
+    EXPECT_GT(reg.valueByName("commit.trapSquashes"), 50.0);
+    EXPECT_GT(reg.valueByName("sys.syscalls"), 50.0);
+}
+
+TEST(AttackSignatures, LviHitsWriteQueue)
+{
+    CounterRegistry reg;
+    runAttack("lvi", DefenseMode::None, reg);
+    EXPECT_GT(reg.valueByName("lsq.specLoadsHitWrQueue"), 100.0);
+    EXPECT_GT(reg.valueByName("lsq.ignoredResponses"), 100.0);
+}
+
+TEST(AttackSignatures, FlushAttacksFlush)
+{
+    for (const char *a : {"flush-reload", "flush-flush"}) {
+        CounterRegistry reg;
+        runAttack(a, DefenseMode::None, reg);
+        EXPECT_GT(reg.valueByName("sys.clflushes"), 1000.0) << a;
+    }
+}
+
+TEST(AttackSignatures, RowhammerFlipsBits)
+{
+    CounterRegistry reg;
+    SimResult res = runAttack("rowhammer", DefenseMode::None, reg,
+                              {}, 40000);
+    EXPECT_GT(res.bitFlips, 0u);
+    EXPECT_GT(reg.valueByName("dram.rowMisses"), 5000.0);
+}
+
+TEST(AttackSignatures, RdrndUsesHardwareRng)
+{
+    CounterRegistry reg;
+    runAttack("rdrnd-covert", DefenseMode::None, reg);
+    EXPECT_GT(reg.valueByName("sys.rdrands"), 1000.0);
+}
+
+TEST(AttackSignatures, SpectreStlViolatesMemoryOrder)
+{
+    CounterRegistry reg;
+    runAttack("spectre-stl", DefenseMode::None, reg);
+    EXPECT_GT(reg.valueByName("iew.memOrderViolations"), 10.0);
+}
+
+TEST(AttackSignatures, MicroscopeReplays)
+{
+    CounterRegistry reg;
+    runAttack("microscope", DefenseMode::None, reg);
+    EXPECT_GT(reg.valueByName("commit.trapSquashes"), 200.0);
+}
+
+TEST(AttackSignatures, BranchScopeThrashesPredictor)
+{
+    CounterRegistry reg_attack, reg_benign;
+    runAttack("branchscope", DefenseMode::None, reg_attack);
+    double atk_rate =
+        reg_attack.valueByName("bp.condIncorrect") /
+        reg_attack.valueByName("bp.lookups");
+    EXPECT_GT(atk_rate, 0.1);
+}
+
+TEST(Fuzzer, DomainsAreToolSpecific)
+{
+    AttackFuzzer t(FuzzTool::Transynther, 1);
+    for (const auto &n : t.domain())
+        EXPECT_TRUE(n.find("medusa") != std::string::npos ||
+                    n == "meltdown" || n == "fallout" || n == "lvi")
+            << n;
+    AttackFuzzer r(FuzzTool::TrrEspass, 1);
+    EXPECT_EQ(r.domain().size(), 2u);
+}
+
+TEST(Fuzzer, VariantsVary)
+{
+    AttackFuzzer f(FuzzTool::Osiris, 7);
+    EvasionKnobs a = f.randomKnobs();
+    EvasionKnobs b = f.randomKnobs();
+    EXPECT_TRUE(a.nopPadding != b.nopPadding ||
+                a.throttle != b.throttle ||
+                a.intensity != b.intensity);
+}
+
+TEST(Fuzzer, VariantsStillRun)
+{
+    for (FuzzTool tool : {FuzzTool::Transynther, FuzzTool::TrrEspass,
+                          FuzzTool::Osiris}) {
+        AttackFuzzer f(tool, 11);
+        for (int i = 0; i < 3; ++i) {
+            auto atk = f.nextVariant(8000);
+            CoreParams params;
+            CounterRegistry reg;
+            O3Core core(params, reg);
+            SimResult res = core.run(*atk);
+            EXPECT_GT(res.committedInsts, 4000u)
+                << fuzzToolName(tool);
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace evax

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Detector and defense-layer tests: PerSpectron/EVAX views,
+ * feature engineering from the Generator, adaptive controller
+ * state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "defense/adaptive.hh"
+#include "detect/evax_detector.hh"
+#include "detect/feature_engineer.hh"
+#include "detect/perspectron.hh"
+#include "util/stats.hh"
+
+namespace evax
+{
+namespace
+{
+
+Dataset
+syntheticCorpus(size_t n, uint64_t seed)
+{
+    // Attacks fire a block of the extended (security) features plus
+    // some of the common ones; benign only the common ones.
+    Dataset data;
+    data.classNames = {"benign", "attack"};
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+        Sample s;
+        s.malicious = i % 2 == 0;
+        s.attackClass = s.malicious ? 1 : 0;
+        s.x.assign(FeatureCatalog::numBase, 0.0);
+        for (size_t f = 0; f < 40; ++f)
+            s.x[f] = rng.nextDouble() * 0.5;
+        if (s.malicious) {
+            for (size_t f = 110; f < 130; ++f)
+                s.x[f] = 0.5 + 0.5 * rng.nextDouble();
+        }
+        data.add(std::move(s));
+    }
+    return data;
+}
+
+TEST(PerSpectron, SeesOnly106Features)
+{
+    PerSpectron det;
+    EXPECT_EQ(det.model().numFeatures(),
+              FeatureCatalog::numPerSpectron);
+}
+
+TEST(PerSpectron, BlindToExtendedFeatureAttack)
+{
+    // The synthetic attack signature lives in features 110-129,
+    // invisible to PerSpectron: its accuracy stays near chance
+    // while EVAX separates perfectly.
+    Dataset data = syntheticCorpus(600, 3);
+    Rng rng(5);
+
+    PerSpectron persp;
+    persp.train(data, 15, rng);
+    EvaxDetector evax;
+    evax.train(data, 15, rng);
+
+    ConfusionCounts cp, ce;
+    for (const auto &s : data.samples) {
+        cp.add(persp.score(s.x) >= 0, s.malicious);
+        ce.add(evax.score(s.x) >= 0, s.malicious);
+    }
+    EXPECT_LT(cp.accuracy(), 0.7);
+    EXPECT_GT(ce.accuracy(), 0.95);
+}
+
+TEST(EvaxDetector, ExpandAppendsEngineered)
+{
+    EvaxDetector det;
+    std::vector<double> base(FeatureCatalog::numBase, 0.5);
+    auto x = det.expand(base);
+    EXPECT_EQ(x.size(), FeatureCatalog::numEvax);
+    for (size_t i = FeatureCatalog::numBase; i < x.size(); ++i)
+        EXPECT_DOUBLE_EQ(x[i], 0.5); // min(0.5, 0.5)
+}
+
+TEST(EvaxDetector, CustomEngineeredSet)
+{
+    std::vector<EngineeredFeature> eng = {
+        {"t.a", FeatureCatalog::baseFeatures()[0],
+         FeatureCatalog::baseFeatures()[1]},
+    };
+    EvaxDetector det(eng);
+    std::vector<double> base(FeatureCatalog::numBase, 0.0);
+    base[0] = 0.8;
+    base[1] = 0.6;
+    auto x = det.expand(base);
+    EXPECT_EQ(x.size(), FeatureCatalog::numBase + 1);
+    EXPECT_DOUBLE_EQ(x.back(), 0.6);
+}
+
+TEST(FeatureEngineer, MinesRequestedCount)
+{
+    AmGanConfig cfg;
+    cfg.featureDim = FeatureCatalog::numBase;
+    cfg.numClasses = 2;
+    cfg.genHidden = {32, 24};
+    cfg.discHidden = {8};
+    AmGan gan(cfg);
+    FeatureEngineer engineer(12);
+    auto mined = engineer.mine(gan);
+    EXPECT_EQ(mined.size(), 12u);
+    for (const auto &e : mined) {
+        EXPECT_NE(e.a, e.b);
+        // sources must be valid base features
+        FeatureCatalog::baseIndex(e.a);
+        FeatureCatalog::baseIndex(e.b);
+    }
+}
+
+TEST(FeatureEngineer, RanksByWeightMass)
+{
+    AmGanConfig cfg;
+    cfg.featureDim = FeatureCatalog::numBase;
+    cfg.numClasses = 2;
+    cfg.genHidden = {16};
+    cfg.discHidden = {8};
+    AmGan gan(cfg);
+    // Hand-amplify hidden node 3's outgoing weights.
+    DenseLayer &out =
+        gan.generator().layer(gan.generator().numLayers() - 1);
+    for (size_t o = 0; o < out.outSize; ++o)
+        out.w[o * out.inSize + 3] = 10.0;
+    auto rank = FeatureEngineer::rankHiddenNodes(gan);
+    EXPECT_EQ(rank.front().first, 3u);
+}
+
+TEST(AdaptiveController, ArmsAndExpires)
+{
+    CoreParams params;
+    CounterRegistry reg;
+    O3Core core(params, reg);
+    AdaptiveConfig cfg;
+    cfg.secureMode = DefenseMode::FenceFuturistic;
+    cfg.secureWindowInsts = 1000;
+    AdaptiveController ctl(core, cfg);
+
+    EXPECT_EQ(core.defenseMode(), DefenseMode::None);
+    ctl.onDetection(100);
+    EXPECT_EQ(core.defenseMode(), DefenseMode::FenceFuturistic);
+    EXPECT_TRUE(ctl.secureActive());
+
+    ctl.tick(900); // still inside the window
+    EXPECT_EQ(core.defenseMode(), DefenseMode::FenceFuturistic);
+
+    ctl.tick(1101); // expired
+    EXPECT_EQ(core.defenseMode(), DefenseMode::None);
+    EXPECT_FALSE(ctl.secureActive());
+    EXPECT_EQ(ctl.activations(), 1u);
+    EXPECT_GE(ctl.secureInsts(), 1000u);
+}
+
+TEST(AdaptiveController, ReDetectionExtendsWindow)
+{
+    CoreParams params;
+    CounterRegistry reg;
+    O3Core core(params, reg);
+    AdaptiveConfig cfg;
+    cfg.secureWindowInsts = 1000;
+    AdaptiveController ctl(core, cfg);
+
+    ctl.onDetection(0);
+    ctl.onDetection(800); // re-arm
+    ctl.tick(1500);       // original window would have expired
+    EXPECT_NE(core.defenseMode(), DefenseMode::None);
+    ctl.tick(1801);
+    EXPECT_EQ(core.defenseMode(), DefenseMode::None);
+    EXPECT_EQ(ctl.activations(), 1u); // one continuous episode
+}
+
+} // anonymous namespace
+} // namespace evax

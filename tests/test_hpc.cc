@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the counter registry, feature catalog and sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hpc/counters.hh"
+#include "hpc/features.hh"
+#include "hpc/sampler.hh"
+
+namespace evax
+{
+namespace
+{
+
+TEST(CounterRegistry, GetOrAddIsIdempotent)
+{
+    CounterRegistry reg;
+    CounterId a = reg.getOrAdd("x.y");
+    CounterId b = reg.getOrAdd("x.y");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(CounterRegistry, IncAndValue)
+{
+    CounterRegistry reg;
+    CounterId a = reg.getOrAdd("ctr");
+    reg.inc(a);
+    reg.inc(a, 2.5);
+    EXPECT_DOUBLE_EQ(reg.value(a), 3.5);
+    EXPECT_DOUBLE_EQ(reg.valueByName("ctr"), 3.5);
+}
+
+TEST(CounterRegistry, FindMissing)
+{
+    CounterRegistry reg;
+    EXPECT_EQ(reg.find("nope"), INVALID_COUNTER);
+}
+
+TEST(CounterRegistry, ResetValuesKeepsIds)
+{
+    CounterRegistry reg;
+    CounterId a = reg.getOrAdd("ctr");
+    reg.inc(a, 7);
+    reg.resetValues();
+    EXPECT_DOUBLE_EQ(reg.value(a), 0.0);
+    EXPECT_EQ(reg.find("ctr"), a);
+}
+
+TEST(FeatureCatalog, Arity)
+{
+    EXPECT_EQ(FeatureCatalog::baseFeatures().size(),
+              FeatureCatalog::numBase);
+    EXPECT_EQ(FeatureCatalog::engineered().size(),
+              FeatureCatalog::numEngineered);
+    EXPECT_EQ(FeatureCatalog::evaxFeatureNames().size(),
+              FeatureCatalog::numEvax);
+    EXPECT_EQ(FeatureCatalog::numEvax, 145u);
+    EXPECT_EQ(FeatureCatalog::numPerSpectron, 106u);
+}
+
+TEST(FeatureCatalog, BaseNamesUnique)
+{
+    std::set<std::string> seen;
+    for (const auto &n : FeatureCatalog::baseFeatures())
+        EXPECT_TRUE(seen.insert(n).second) << "duplicate: " << n;
+}
+
+TEST(FeatureCatalog, EngineeredSourcesExist)
+{
+    for (const auto &e : FeatureCatalog::engineered()) {
+        EXPECT_LT(FeatureCatalog::baseIndex(e.a),
+                  FeatureCatalog::numBase);
+        EXPECT_LT(FeatureCatalog::baseIndex(e.b),
+                  FeatureCatalog::numBase);
+    }
+}
+
+TEST(FeatureCatalog, EngineeredIsAndLike)
+{
+    std::vector<double> base(FeatureCatalog::numBase, 0.0);
+    const auto &eng = FeatureCatalog::engineered();
+    // Only one half of the first pair fires: AND must stay 0.
+    base[FeatureCatalog::baseIndex(eng[0].a)] = 1.0;
+    auto out = FeatureCatalog::computeEngineered(base, eng);
+    EXPECT_DOUBLE_EQ(out[0], 0.0);
+    // Both halves fire: AND fires with the weaker strength.
+    base[FeatureCatalog::baseIndex(eng[0].b)] = 0.4;
+    out = FeatureCatalog::computeEngineered(base, eng);
+    EXPECT_DOUBLE_EQ(out[0], 0.4);
+}
+
+TEST(Normalizer, TracksMaxAndClamps)
+{
+    Normalizer n(2);
+    std::vector<double> v{10.0, 0.0};
+    n.normalize(v);
+    EXPECT_DOUBLE_EQ(v[0], 1.0); // first sighting defines the max
+    v = {5.0, 0.0};
+    n.normalize(v);
+    EXPECT_DOUBLE_EQ(v[0], 0.5);
+    v = {20.0, 0.0};
+    n.normalize(v);
+    EXPECT_DOUBLE_EQ(v[0], 1.0); // new max
+}
+
+TEST(Normalizer, FrozenMaxIsStable)
+{
+    Normalizer n(1);
+    std::vector<double> v{10.0};
+    n.normalize(v);
+    n.freeze();
+    v = {40.0};
+    n.normalize(v);
+    EXPECT_DOUBLE_EQ(v[0], 1.0); // clamped, max unchanged
+    EXPECT_DOUBLE_EQ(n.maxSeen()[0], 10.0);
+}
+
+TEST(Sampler, EmitsWindowsAtInterval)
+{
+    CounterRegistry reg;
+    Sampler sampler(reg, 100);
+    CounterId ctr = reg.getOrAdd(
+        FeatureCatalog::baseFeatures().front());
+
+    uint64_t windows = 0;
+    for (uint64_t insts = 10; insts <= 1000; insts += 10) {
+        reg.inc(ctr, 3);
+        if (sampler.tick(insts, insts * 2))
+            ++windows;
+    }
+    EXPECT_EQ(windows, 10u);
+    EXPECT_EQ(sampler.windowsClosed(), 10u);
+}
+
+TEST(Sampler, DeltasNotAbsolutes)
+{
+    CounterRegistry reg;
+    Sampler sampler(reg, 10);
+    CounterId ctr = reg.getOrAdd(
+        FeatureCatalog::baseFeatures().front());
+
+    reg.inc(ctr, 100);
+    ASSERT_TRUE(sampler.tick(10, 10));
+    double first = sampler.latest().base.front();
+    EXPECT_DOUBLE_EQ(first, 1.0);
+
+    // No counter activity in the second window: delta must be 0.
+    ASSERT_TRUE(sampler.tick(20, 20));
+    EXPECT_DOUBLE_EQ(sampler.latest().base.front(), 0.0);
+}
+
+TEST(Sampler, StraddledWindowsSkipAhead)
+{
+    CounterRegistry reg;
+    Sampler sampler(reg, 10);
+    // One big commit group jumps several boundaries.
+    EXPECT_TRUE(sampler.tick(55, 100));
+    EXPECT_FALSE(sampler.tick(58, 110));
+    EXPECT_TRUE(sampler.tick(60, 120));
+}
+
+} // anonymous namespace
+} // namespace evax

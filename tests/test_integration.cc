@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Integration tests across the whole stack: corpus collection,
+ * normalization profiles, vaccination, K-fold, gated end-to-end
+ * runs. These exercise the same paths the benches use, at a small
+ * scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/endtoend.hh"
+#include "core/experiment.hh"
+#include "core/kfold.hh"
+#include "core/vaccination.hh"
+#include "ml/metrics.hh"
+
+namespace evax
+{
+namespace
+{
+
+CollectorConfig
+tinyCollector()
+{
+    CollectorConfig c;
+    c.sampleInterval = 1000;
+    c.benignLength = 10000;
+    c.attackLength = 8000;
+    c.benignSeeds = 1;
+    c.attackSeeds = 1;
+    return c;
+}
+
+TEST(Collector, CorpusHasAllClasses)
+{
+    Collector collector(tinyCollector());
+    Dataset corpus = collector.collectCorpus();
+    EXPECT_EQ(corpus.classNames.size(),
+              1u + AttackRegistry::names().size());
+    EXPECT_GT(corpus.countClass(BENIGN_CLASS), 0u);
+    for (const auto &name : AttackRegistry::names()) {
+        EXPECT_GT(corpus.countClass(AttackRegistry::classId(name)),
+                  0u)
+            << name;
+    }
+}
+
+TEST(Collector, NormalizationIsUnitRangeAndReusable)
+{
+    Collector collector(tinyCollector());
+    Dataset corpus = collector.collectCorpus();
+    NormalizationProfile profile = Collector::normalize(corpus);
+    for (const auto &s : corpus.samples) {
+        for (double v : s.x) {
+            ASSERT_GE(v, 0.0);
+            ASSERT_LE(v, 1.0);
+        }
+    }
+    // Applying the frozen profile to new raw data stays in range.
+    Dataset fresh;
+    auto wl = WorkloadRegistry::create("sort", 99, 8000);
+    collector.collectStream(*wl, BENIGN_CLASS, false, fresh);
+    Collector::applyProfile(fresh, profile);
+    for (const auto &s : fresh.samples)
+        for (double v : s.x)
+            ASSERT_LE(v, 1.0);
+}
+
+TEST(Collector, AttackWindowsAreLabeled)
+{
+    Collector collector(tinyCollector());
+    Dataset data;
+    data.classNames = AttackRegistry::classNames();
+    auto atk = AttackRegistry::create("meltdown", 3, 8000);
+    SimResult res =
+        collector.collectStream(*atk, 6, true, data);
+    EXPECT_GT(res.committedInsts, 4000u);
+    EXPECT_GT(data.size(), 0u);
+    for (const auto &s : data.samples) {
+        EXPECT_TRUE(s.malicious);
+        EXPECT_EQ(s.attackClass, 6);
+    }
+}
+
+TEST(Pipeline, DetectorsSeparateCorpus)
+{
+    ExperimentScale scale = ExperimentScale::quick();
+    ExperimentSetup setup = buildExperiment(scale, 42);
+
+    std::vector<double> sp, se;
+    std::vector<bool> labels;
+    for (const auto &s : setup.corpus.samples) {
+        sp.push_back(setup.perspectron->score(s.x));
+        se.push_back(setup.evax->score(s.x));
+        labels.push_back(s.malicious);
+    }
+    EXPECT_GT(rocAuc(sp, labels), 0.9);
+    EXPECT_GT(rocAuc(se, labels), 0.95);
+}
+
+TEST(Pipeline, VaccinationGrowsTrainingSetWithValidLabels)
+{
+    Collector collector(tinyCollector());
+    Dataset corpus = collector.collectCorpus();
+    Collector::normalize(corpus);
+    VaccinationConfig vc = ExperimentScale::quick().vaccination;
+    vc.epochs = 2;
+    vc.itersPerEpoch = 150;
+    Vaccinator v(vc);
+    VaccinationResult vr = v.run(corpus);
+    EXPECT_GT(vr.augmented.size(), corpus.size());
+    EXPECT_EQ(vr.styleLossHistory.size(), 2u);
+    EXPECT_EQ(vr.minedFeatures.size(), vc.minedFeatures);
+    for (const auto &s : vr.augmented.samples) {
+        EXPECT_EQ(s.malicious, s.attackClass != BENIGN_CLASS);
+        for (double x : s.x) {
+            ASSERT_GE(x, 0.0);
+            ASSERT_LE(x, 1.0);
+        }
+    }
+}
+
+TEST(Pipeline, KfoldProducesOneFoldPerAttack)
+{
+    Collector collector(tinyCollector());
+    Dataset corpus = collector.collectCorpus();
+    Collector::normalize(corpus);
+    auto folds = leaveOneAttackOut(
+        corpus,
+        [] { return std::make_unique<PerSpectron>(3); },
+        [](Detector &d, const Dataset &train, Rng &rng) {
+            d.train(train, 6, rng);
+            d.tune(train, 0.01);
+        },
+        0.3, 7);
+    EXPECT_EQ(folds.size(), AttackRegistry::names().size());
+    for (const auto &f : folds) {
+        EXPECT_FALSE(f.attackName.empty());
+        EXPECT_GE(f.error, 0.0);
+        EXPECT_LE(f.error, 1.0);
+    }
+}
+
+TEST(EndToEnd, GatedAttackRunArmsSecureMode)
+{
+    ExperimentScale scale = ExperimentScale::quick();
+    ExperimentSetup setup = buildExperiment(scale, 13);
+
+    GatedRunConfig cfg;
+    cfg.profile = setup.profile;
+    cfg.adaptive.secureMode = DefenseMode::InvisiSpecFuturistic;
+    cfg.adaptive.secureWindowInsts = 50000;
+
+    auto atk = AttackRegistry::create("spectre-pht", 9, 25000);
+    GatedRunResult g = runGated(*atk, *setup.evax, cfg);
+    EXPECT_GT(g.flags, 0u);
+    EXPECT_GT(g.activations, 0u);
+    EXPECT_GT(g.secureInsts, 0u);
+}
+
+TEST(EndToEnd, GatedBenignRunStaysFast)
+{
+    ExperimentScale scale = ExperimentScale::quick();
+    ExperimentSetup setup = buildExperiment(scale, 13);
+
+    auto base_wl = WorkloadRegistry::create("eventsim", 9, 30000);
+    double base = runPlain(*base_wl, DefenseMode::None).ipc();
+
+    GatedRunConfig cfg;
+    cfg.profile = setup.profile;
+    cfg.adaptive.secureMode = DefenseMode::FenceFuturistic;
+    cfg.adaptive.secureWindowInsts = 50000;
+    auto wl = WorkloadRegistry::create("eventsim", 9, 30000);
+    GatedRunResult g = runGated(*wl, *setup.evax, cfg);
+    EXPECT_GT(g.sim.ipc(), base * 0.7)
+        << "benign work must not pay the always-on cost";
+}
+
+TEST(EndToEnd, WindowDecisionsMatchSampling)
+{
+    ExperimentScale scale = ExperimentScale::quick();
+    Collector collector(scale.collector);
+    Dataset corpus = collector.collectCorpus();
+    NormalizationProfile profile = Collector::normalize(corpus);
+    PerSpectron det;
+    Rng rng(3);
+    det.train(corpus, 6, rng);
+
+    GatedRunConfig cfg;
+    cfg.profile = profile;
+    cfg.sampleInterval = 1000;
+    auto wl = WorkloadRegistry::create("fft", 3, 20000);
+    auto decisions = windowDecisions(*wl, det, cfg);
+    EXPECT_NEAR((double)decisions.size(), 20.0, 3.0);
+}
+
+} // anonymous namespace
+} // namespace evax

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * ML library tests: matrix ops, MLP learning, perceptron,
+ * metrics, Gram/style loss, dataset folds, AM-GAN behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hh"
+#include "ml/gan.hh"
+#include "ml/gram.hh"
+#include "ml/matrix.hh"
+#include "ml/metrics.hh"
+#include "ml/mlp.hh"
+#include "ml/perceptron.hh"
+#include "util/stats.hh"
+
+namespace evax
+{
+namespace
+{
+
+TEST(Matrix, MultiplyTransposed)
+{
+    Matrix a(2, 3);
+    int v = 1;
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            a.at(i, j) = v++;
+    Matrix at = a.transposed();
+    Matrix g = a.multiply(at); // 2x2 gram
+    EXPECT_EQ(g.rows(), 2u);
+    EXPECT_EQ(g.cols(), 2u);
+    EXPECT_DOUBLE_EQ(g.at(0, 0), 1 + 4 + 9);
+    EXPECT_DOUBLE_EQ(g.at(0, 1), 4 + 10 + 18);
+    EXPECT_DOUBLE_EQ(g.at(1, 0), g.at(0, 1));
+}
+
+TEST(Matrix, SseAndAddScaled)
+{
+    Matrix a(1, 2), b(1, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    b.at(0, 0) = 3;
+    b.at(0, 1) = 0;
+    EXPECT_DOUBLE_EQ(a.sseWith(b), 4 + 4);
+    a.addScaled(b, 2.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 0), 7);
+}
+
+TEST(Mlp, LearnsXor)
+{
+    Mlp net({2, 8, 1}, Activation::Tanh, Activation::Sigmoid, 5);
+    std::vector<std::pair<std::vector<double>, double>> data = {
+        {{0, 0}, 0}, {{0, 1}, 1}, {{1, 0}, 1}, {{1, 1}, 0}};
+    for (int epoch = 0; epoch < 3000; ++epoch)
+        for (auto &[x, t] : data)
+            net.trainBce(x, t, 0.02);
+    for (auto &[x, t] : data) {
+        double y = net.forward(x)[0];
+        EXPECT_NEAR(y, t, 0.25) << x[0] << "," << x[1];
+    }
+}
+
+TEST(Mlp, InputGradientDoesNotChangeWeights)
+{
+    Mlp net({3, 4, 1}, Activation::Relu, Activation::Sigmoid, 9);
+    std::vector<double> before = net.layer(0).w;
+    net.forward({1.0, -1.0, 0.5});
+    auto grad = net.inputGradient({1.0});
+    EXPECT_EQ(grad.size(), 3u);
+    EXPECT_EQ(net.layer(0).w, before);
+}
+
+TEST(Mlp, InputGradientMatchesFiniteDifference)
+{
+    Mlp net({2, 5, 1}, Activation::Tanh, Activation::Sigmoid, 13);
+    std::vector<double> x{0.3, -0.7};
+    double y0 = net.forward(x)[0];
+    auto grad = net.inputGradient({1.0});
+    double eps = 1e-6;
+    for (size_t i = 0; i < x.size(); ++i) {
+        auto xp = x;
+        xp[i] += eps;
+        double y1 = net.forward(xp)[0];
+        EXPECT_NEAR(grad[i], (y1 - y0) / eps, 1e-4);
+    }
+}
+
+TEST(Perceptron, LearnsLinearlySeparable)
+{
+    Perceptron p(2, 3);
+    Rng rng(17);
+    Dataset data;
+    for (int i = 0; i < 400; ++i) {
+        Sample s;
+        double x = rng.nextDouble(), y = rng.nextDouble();
+        s.x = {x, y};
+        s.malicious = x + y > 1.0;
+        data.add(s);
+    }
+    p.fit(data, 60, 0.2, rng);
+    ConfusionCounts cm;
+    for (const auto &s : data.samples)
+        cm.add(p.score(s.x) >= 0, s.malicious);
+    EXPECT_GT(cm.accuracy(), 0.95);
+}
+
+TEST(Perceptron, QuantizeRange)
+{
+    Perceptron p(8, 3);
+    for (auto &w : p.weights())
+        w = 5.0;
+    p.quantizeWeights();
+    for (double w : p.weights()) {
+        EXPECT_LE(w, 1.0);
+        EXPECT_GE(w, -2.0);
+        // quarter-step grid
+        EXPECT_NEAR(std::round(w * 4) / 4, w, 1e-12);
+    }
+}
+
+TEST(Perceptron, SensitivityTuningFlagsNearlyAllAttacks)
+{
+    Perceptron p(1, 3);
+    p.weights()[0] = 1.0;
+    Dataset data;
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        Sample s;
+        s.malicious = i % 2 == 0;
+        s.x = {s.malicious ? 0.5 + 0.5 * rng.nextDouble()
+                           : 0.3 * rng.nextDouble()};
+        data.add(s);
+    }
+    p.tuneThreshold(data, 0.01);
+    ConfusionCounts cm;
+    for (const auto &s : data.samples)
+        cm.add(p.predict(s.x), s.malicious);
+    EXPECT_GT(cm.tpr(), 0.97);
+}
+
+TEST(Metrics, PerfectAndRandomAuc)
+{
+    std::vector<double> s{0.9, 0.8, 0.2, 0.1};
+    std::vector<bool> l{true, true, false, false};
+    EXPECT_DOUBLE_EQ(rocAuc(s, l), 1.0);
+
+    // Alternating labels: one of the two positives outranks both
+    // negatives, the other outranks one -> AUC = 3/4.
+    std::vector<bool> l2{true, false, true, false};
+    EXPECT_NEAR(rocAuc(s, l2), 0.75, 0.01);
+}
+
+TEST(Metrics, AucIsRankInvariant)
+{
+    Rng rng(5);
+    std::vector<double> s;
+    std::vector<bool> l;
+    for (int i = 0; i < 200; ++i) {
+        s.push_back(rng.nextDouble());
+        l.push_back(rng.nextBool(0.4));
+    }
+    double a = rocAuc(s, l);
+    for (auto &x : s)
+        x = x * 3.0 + 7.0; // monotone transform
+    EXPECT_NEAR(rocAuc(s, l), a, 1e-12);
+}
+
+TEST(Metrics, BestAccuracyBeatsFixedThreshold)
+{
+    std::vector<double> s{0.1, 0.2, 0.8, 0.9};
+    std::vector<bool> l{false, false, true, true};
+    EXPECT_DOUBLE_EQ(bestAccuracy(s, l), 1.0);
+}
+
+TEST(Gram, IdenticalSeriesZeroLoss)
+{
+    std::vector<std::vector<double>> series = {
+        {1, 0, 0.5}, {0.2, 0.8, 0.1}};
+    Matrix a = gramMatrix(series);
+    Matrix b = gramMatrix(series);
+    EXPECT_DOUBLE_EQ(styleLoss(a, b), 0.0);
+}
+
+TEST(Gram, CorrelatedFeaturesScoreHigher)
+{
+    // Features 0 and 1 always fire together; 2 never with them.
+    std::vector<std::vector<double>> series;
+    for (int t = 0; t < 10; ++t) {
+        double v = (t % 2) ? 1.0 : 0.0;
+        series.push_back({v, v, 1.0 - v});
+    }
+    Matrix g = gramMatrix(series);
+    EXPECT_GT(g.at(0, 1), g.at(0, 2));
+}
+
+TEST(Gram, DifferentStylesNonZeroLoss)
+{
+    std::vector<std::vector<double>> a = {{1, 0}, {1, 0}};
+    std::vector<std::vector<double>> b = {{0, 1}, {0, 1}};
+    EXPECT_GT(styleLoss(gramMatrix(a), gramMatrix(b)), 0.0);
+}
+
+TEST(Dataset, LeaveOneAttackOutExcludesHeldClass)
+{
+    Dataset data;
+    data.classNames = {"benign", "a", "b"};
+    Rng rng(9);
+    for (int i = 0; i < 300; ++i) {
+        Sample s;
+        s.attackClass = i % 3;
+        s.malicious = s.attackClass != 0;
+        s.x = {0.1};
+        data.add(s);
+    }
+    Dataset train, test;
+    data.leaveOneAttackOut(1, 0.25, rng, train, test);
+    EXPECT_EQ(train.countClass(1), 0u);
+    EXPECT_GT(test.countClass(1), 0u);
+    EXPECT_GT(train.countClass(2), 0u);
+    // some benign goes to test too
+    EXPECT_GT(test.countClass(0), 0u);
+}
+
+TEST(AmGan, GeneratesInUnitRange)
+{
+    AmGanConfig cfg;
+    cfg.featureDim = 8;
+    cfg.numClasses = 3;
+    cfg.noiseDim = 8;
+    cfg.genHidden = {16};
+    cfg.discHidden = {8};
+    AmGan gan(cfg);
+    for (int cls = 0; cls < 3; ++cls) {
+        auto x = gan.generate(cls);
+        ASSERT_EQ(x.size(), 8u);
+        for (double v : x) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(AmGan, LearnsClassConditioning)
+{
+    // Two far-apart classes: after training, generated samples of
+    // each class must be closer to their own class mean.
+    AmGanConfig cfg;
+    cfg.featureDim = 6;
+    cfg.numClasses = 2;
+    cfg.noiseDim = 6;
+    cfg.genHidden = {24, 16};
+    cfg.discHidden = {12};
+    cfg.seed = 77;
+    AmGan gan(cfg);
+
+    Dataset data;
+    data.classNames = {"zero", "one"};
+    Rng rng(8);
+    for (int i = 0; i < 200; ++i) {
+        Sample s;
+        s.attackClass = i % 2;
+        s.malicious = s.attackClass == 1;
+        s.x.assign(6, 0.0);
+        for (auto &v : s.x) {
+            v = s.attackClass ? 0.8 + 0.1 * rng.nextDouble()
+                              : 0.1 * rng.nextDouble();
+        }
+        data.add(s);
+    }
+    for (int e = 0; e < 12; ++e)
+        gan.trainEpoch(data, 300);
+
+    auto meanOf = [&](int cls) {
+        double m = 0;
+        for (int i = 0; i < 16; ++i) {
+            auto x = gan.generate(cls);
+            for (double v : x)
+                m += v;
+        }
+        return m / (16.0 * 6.0);
+    };
+    EXPECT_GT(meanOf(1), meanOf(0) + 0.2)
+        << "class conditioning must separate generated samples";
+}
+
+TEST(AmGan, AugmentationLabelsClasses)
+{
+    AmGanConfig cfg;
+    cfg.featureDim = 4;
+    cfg.numClasses = 2;
+    cfg.noiseDim = 4;
+    cfg.genHidden = {8};
+    cfg.discHidden = {6};
+    AmGan gan(cfg);
+    Dataset ref;
+    ref.classNames = {"benign", "attack"};
+    for (int i = 0; i < 40; ++i) {
+        Sample s;
+        s.attackClass = i % 2;
+        s.malicious = s.attackClass == 1;
+        s.x = {0.5, 0.5, 0.5, 0.5};
+        ref.add(s);
+    }
+    gan.trainEpoch(ref, 100);
+    Dataset aug = gan.generateAugmentation(ref, 10);
+    EXPECT_GT(aug.size(), 0u);
+    for (const auto &s : aug.samples)
+        EXPECT_EQ(s.malicious, s.attackClass == 1);
+}
+
+} // anonymous namespace
+} // namespace evax

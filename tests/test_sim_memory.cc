@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Memory-subsystem unit tests: cache geometry/LRU/MSHR, TLB,
+ * DRAM row-buffer + Rowhammer model, write queue, InvisiSpec
+ * invisibility, plus property sweeps over cache configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+#include "sim/dram.hh"
+#include "sim/memory.hh"
+#include "sim/tlb.hh"
+
+namespace evax
+{
+namespace
+{
+
+CacheConfig
+smallCache()
+{
+    return {"tc", 4096, 4, 64, 2, 4}; // 16 sets x 4 ways
+}
+
+TEST(Cache, HitAfterFill)
+{
+    CounterRegistry reg;
+    Cache c(smallCache(), reg);
+    auto m = c.access(0x1000, false, 0, 20);
+    EXPECT_FALSE(m.hit);
+    auto h = c.access(0x1000, false, 100, 20);
+    EXPECT_TRUE(h.hit);
+    EXPECT_EQ(h.latency, 2u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    CounterRegistry reg;
+    Cache c(smallCache(), reg);
+    // Fill one set (stride = 16 sets * 64B).
+    for (int w = 0; w < 4; ++w)
+        c.access(0x1000 + w * 1024, false, w * 100, 20);
+    // Touch way 0 again so way 1 is LRU.
+    c.access(0x1000, false, 500, 20);
+    // New line evicts way 1.
+    c.access(0x1000 + 4 * 1024, false, 600, 20);
+    EXPECT_TRUE(c.probe(0x1000));
+    EXPECT_FALSE(c.probe(0x1000 + 1 * 1024));
+}
+
+TEST(Cache, DirtyEvictIsWriteback)
+{
+    CounterRegistry reg;
+    Cache c(smallCache(), reg);
+    c.access(0x1000, true, 0, 20); // dirty line
+    for (int w = 1; w <= 4; ++w)
+        c.access(0x1000 + w * 1024, false, w * 100, 20);
+    EXPECT_GE(reg.valueByName("tc.writebacks"), 1.0);
+}
+
+TEST(Cache, CleanEvictCounted)
+{
+    CounterRegistry reg;
+    Cache c(smallCache(), reg);
+    for (int w = 0; w <= 4; ++w)
+        c.access(0x1000 + w * 1024, false, w * 100, 20);
+    EXPECT_GE(reg.valueByName("tc.cleanEvicts"), 1.0);
+}
+
+TEST(Cache, MshrMergesConcurrentMisses)
+{
+    // Non-allocating (InvisiSpec-style) accesses leave the miss in
+    // flight; a second access to the same line merges into it.
+    CounterRegistry reg;
+    Cache c(smallCache(), reg);
+    c.access(0x2000, false, 0, 50, /*allocate=*/false);
+    auto merged =
+        c.access(0x2010, false, 10, 50, /*allocate=*/false);
+    EXPECT_TRUE(merged.mshrMerge);
+    EXPECT_LT(merged.latency, 52u);
+    EXPECT_GE(reg.valueByName("tc.mshrMisses"), 1.0);
+}
+
+TEST(Cache, MshrFullBlocks)
+{
+    CounterRegistry reg;
+    Cache c(smallCache(), reg); // 4 MSHRs
+    for (int i = 0; i < 4; ++i)
+        c.access(0x10000 + i * 4096, false, 0, 200);
+    auto r = c.access(0x90000, false, 1, 200);
+    EXPECT_TRUE(r.mshrFull);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    CounterRegistry reg;
+    Cache c(smallCache(), reg);
+    c.access(0x3000, false, 0, 20);
+    EXPECT_TRUE(c.probe(0x3000));
+    EXPECT_TRUE(c.invalidate(0x3000));
+    EXPECT_FALSE(c.probe(0x3000));
+    EXPECT_FALSE(c.invalidate(0x3000));
+}
+
+TEST(Cache, NoAllocateLeavesNoFootprint)
+{
+    CounterRegistry reg;
+    Cache c(smallCache(), reg);
+    c.access(0x4000, false, 0, 20, /*allocate=*/false);
+    EXPECT_FALSE(c.probe(0x4000));
+}
+
+/** Property sweep: geometry invariants over configurations. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{
+};
+
+TEST_P(CacheGeometry, FillEntireCacheNoEvicts)
+{
+    auto [size, assoc] = GetParam();
+    CounterRegistry reg;
+    Cache c({"tc", size, assoc, 64, 2, 64}, reg);
+    uint32_t lines = size / 64;
+    for (uint32_t i = 0; i < lines; ++i)
+        c.access((Addr)i * 64, false, i, 20);
+    EXPECT_EQ(reg.valueByName("tc.replacements"), 0.0);
+    // Every line present.
+    for (uint32_t i = 0; i < lines; ++i)
+        ASSERT_TRUE(c.probe((Addr)i * 64)) << i;
+    // One more distinct line must evict.
+    c.access((Addr)lines * 64, false, lines, 20);
+    EXPECT_EQ(reg.valueByName("tc.replacements"), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(4096u, 1u),
+                      std::make_tuple(4096u, 4u),
+                      std::make_tuple(8192u, 8u),
+                      std::make_tuple(32768u, 4u),
+                      std::make_tuple(65536u, 8u)));
+
+TEST(Tlb, MissThenHitThenEvict)
+{
+    CounterRegistry reg;
+    Tlb tlb("tt", 2, 30, 4096, true, reg);
+    EXPECT_FALSE(tlb.translate(0x1000, false).hit);
+    EXPECT_TRUE(tlb.translate(0x1fff, false).hit); // same page
+    tlb.translate(0x10000, false);
+    tlb.translate(0x20000, false); // evicts LRU (page 1)
+    EXPECT_FALSE(tlb.translate(0x1000, false).hit);
+    EXPECT_GE(reg.valueByName("tt.rdMisses"), 3.0);
+}
+
+TEST(Tlb, FlushClears)
+{
+    CounterRegistry reg;
+    Tlb tlb("tt", 8, 30, 4096, true, reg);
+    tlb.translate(0x1000, false);
+    tlb.flush();
+    EXPECT_FALSE(tlb.translate(0x1000, false).hit);
+    EXPECT_EQ(reg.valueByName("tt.flushes"), 1.0);
+}
+
+TEST(Dram, RowBufferHitsAndMisses)
+{
+    CoreParams params;
+    CounterRegistry reg;
+    Dram dram(params, reg);
+    auto a = dram.access(0x1000, false, 0);
+    EXPECT_FALSE(a.rowHit);
+    auto b = dram.access(0x1040, false, 10); // same row
+    EXPECT_TRUE(b.rowHit);
+    EXPECT_LT(b.latency, a.latency);
+}
+
+TEST(Dram, HammeringFlipsBitsBenignDoesNot)
+{
+    CoreParams params;
+    params.rowhammerThreshold = 100;
+    CounterRegistry reg;
+    Dram dram(params, reg);
+    Addr row_a = 0;
+    Addr row_b = (Addr)params.dramRowSize * params.dramBanks;
+    for (int i = 0; i < 300; ++i) {
+        dram.access(row_a, false, i * 2);
+        dram.access(row_b, false, i * 2 + 1);
+    }
+    EXPECT_GT(dram.totalBitFlips(), 0u);
+
+    CounterRegistry reg2;
+    Dram calm(params, reg2);
+    for (int i = 0; i < 300; ++i)
+        calm.access(0x1000, false, i); // row-buffer hits only
+    EXPECT_EQ(calm.totalBitFlips(), 0u);
+}
+
+TEST(Dram, RefreshResetsHammerCount)
+{
+    CoreParams params;
+    params.rowhammerThreshold = 1000;
+    params.dramRefreshInterval = 100;
+    CounterRegistry reg;
+    Dram dram(params, reg);
+    Addr row_a = 0;
+    Addr row_b = (Addr)params.dramRowSize * params.dramBanks;
+    // Interleave rows but let refreshes clear the ledger.
+    for (uint64_t i = 0; i < 5000; ++i)
+        dram.access(i % 2 ? row_a : row_b, false, i * 60);
+    EXPECT_EQ(dram.totalBitFlips(), 0u);
+    EXPECT_GT(reg.valueByName("dram.refreshes"), 10.0);
+}
+
+TEST(MemorySystem, InvisibleLoadLeavesNoCacheState)
+{
+    CoreParams params;
+    CounterRegistry reg;
+    MemorySystem mem(params, reg);
+    mem.load(0x5000, 8, 0, /*invisible=*/true);
+    EXPECT_FALSE(mem.dcache().probe(0x5000));
+    EXPECT_FALSE(mem.l2().probe(0x5000));
+    // Expose makes it visible.
+    mem.expose(0x5000, 10);
+    EXPECT_TRUE(mem.dcache().probe(0x5000));
+}
+
+TEST(MemorySystem, WriteQueueServicesLoads)
+{
+    CoreParams params;
+    CounterRegistry reg;
+    MemorySystem mem(params, reg);
+    EXPECT_TRUE(mem.storeCommit(0x6000, 8, 0));
+    LoadResult r = mem.load(0x6008, 8, 1, false);
+    EXPECT_TRUE(r.hitWriteQueue);
+    EXPECT_GT(reg.valueByName("wq.bytesReadWrQ"), 0.0);
+}
+
+TEST(MemorySystem, WriteQueueCapacityAndDrain)
+{
+    CoreParams params;
+    CounterRegistry reg;
+    MemorySystem mem(params, reg);
+    unsigned accepted = 0;
+    for (unsigned i = 0; i < 20; ++i)
+        accepted += mem.storeCommit(0x7000 + i * 64, 8, 0) ? 1 : 0;
+    EXPECT_EQ(accepted, params.writeBuffers);
+    // Drain and retry.
+    for (Cycle t = 1; t < 200; ++t)
+        mem.tick(t);
+    EXPECT_TRUE(mem.storeCommit(0x9000, 8, 200));
+}
+
+TEST(MemorySystem, ClflushEvictsBothLevels)
+{
+    CoreParams params;
+    CounterRegistry reg;
+    MemorySystem mem(params, reg);
+    mem.load(0x8000, 8, 0, false);
+    EXPECT_TRUE(mem.dcache().probe(0x8000));
+    mem.clflush(0x8000, 10);
+    EXPECT_FALSE(mem.dcache().probe(0x8000));
+    EXPECT_FALSE(mem.l2().probe(0x8000));
+    EXPECT_EQ(reg.valueByName("sys.clflushes"), 1.0);
+}
+
+} // anonymous namespace
+} // namespace evax

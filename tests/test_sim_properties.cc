@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Property sweeps over core configurations: for any reasonable
+ * CoreParams, the machine must make progress, commit exactly the
+ * stream, never leak on benign work, and respect resource-scaling
+ * monotonicities (bigger ROB -> no slower; smaller ROB -> shorter
+ * transient window).
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/registry.hh"
+#include "sim/core.hh"
+#include "workload/registry.hh"
+
+namespace evax
+{
+namespace
+{
+
+struct ConfigCase
+{
+    const char *label;
+    unsigned rob;
+    unsigned width;
+    unsigned lq;
+    unsigned iq;
+};
+
+class CoreConfigs : public ::testing::TestWithParam<ConfigCase>
+{
+  protected:
+    CoreParams
+    params() const
+    {
+        CoreParams p;
+        const ConfigCase &c = GetParam();
+        p.robEntries = c.rob;
+        p.fetchWidth = p.dispatchWidth = p.issueWidth =
+            p.commitWidth = c.width;
+        p.lqEntries = p.sqEntries = c.lq;
+        p.iqEntries = c.iq;
+        return p;
+    }
+};
+
+TEST_P(CoreConfigs, BenignKernelCommitsEverything)
+{
+    CoreParams p = params();
+    CounterRegistry reg;
+    O3Core core(p, reg);
+    auto wl = WorkloadRegistry::create("compress", 3, 8000);
+    SimResult res = core.run(*wl);
+    EXPECT_GE(res.committedInsts, 8000u);
+    EXPECT_TRUE(res.streamExhausted);
+    EXPECT_EQ(res.leaks, 0u);
+}
+
+TEST_P(CoreConfigs, AttackRunsWithoutDeadlock)
+{
+    CoreParams p = params();
+    CounterRegistry reg;
+    O3Core core(p, reg);
+    auto atk = AttackRegistry::create("meltdown", 3, 8000);
+    SimResult res = core.run(*atk);
+    EXPECT_GT(res.committedInsts, 4000u);
+}
+
+TEST_P(CoreConfigs, DefensesNeverLeakRegardlessOfGeometry)
+{
+    for (DefenseMode m : {DefenseMode::FenceFuturistic,
+                          DefenseMode::InvisiSpecFuturistic}) {
+        CoreParams p = params();
+        CounterRegistry reg;
+        O3Core core(p, reg);
+        core.setDefenseMode(m);
+        auto atk = AttackRegistry::create("spectre-pht", 3, 8000);
+        SimResult res = core.run(*atk);
+        EXPECT_EQ(res.leaks, 0u)
+            << GetParam().label << " " << defenseModeName(m);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CoreConfigs,
+    ::testing::Values(
+        ConfigCase{"tiny", 32, 2, 8, 16},
+        ConfigCase{"small", 64, 4, 16, 32},
+        ConfigCase{"table2", 192, 8, 32, 64},
+        ConfigCase{"wide", 256, 8, 48, 96},
+        ConfigCase{"huge", 384, 8, 64, 128}),
+    [](const ::testing::TestParamInfo<ConfigCase> &info) {
+        return info.param.label;
+    });
+
+TEST(CoreScaling, BiggerRobDoesNotHurtIlp)
+{
+    auto ipc_with_rob = [](unsigned rob) {
+        CoreParams p;
+        p.robEntries = rob;
+        CounterRegistry reg;
+        O3Core core(p, reg);
+        auto wl = WorkloadRegistry::create("linalg", 3, 15000);
+        return core.run(*wl).ipc();
+    };
+    double small = ipc_with_rob(32);
+    double large = ipc_with_rob(256);
+    EXPECT_GE(large, small * 0.95);
+}
+
+TEST(CoreScaling, SmallRobShrinksTransientWindow)
+{
+    // Paper Sec. I: the transient window is bounded by the ROB; a
+    // small ROB defeats evasion attempts that need a long window.
+    auto leaks_with_rob = [](unsigned rob) {
+        CoreParams p;
+        p.robEntries = rob;
+        CounterRegistry reg;
+        O3Core core(p, reg);
+        auto atk = AttackRegistry::create("spectre-pht", 3, 25000);
+        return core.run(*atk).leaks;
+    };
+    uint64_t small = leaks_with_rob(24);
+    uint64_t large = leaks_with_rob(192);
+    EXPECT_LE(small, large);
+}
+
+TEST(CoreScaling, NarrowMachineIsSlower)
+{
+    auto ipc_with_width = [](unsigned w) {
+        CoreParams p;
+        p.fetchWidth = p.dispatchWidth = p.issueWidth =
+            p.commitWidth = w;
+        CounterRegistry reg;
+        O3Core core(p, reg);
+        auto wl = WorkloadRegistry::create("eventsim", 3, 15000);
+        return core.run(*wl).ipc();
+    };
+    EXPECT_GT(ipc_with_width(8), ipc_with_width(1));
+}
+
+TEST(CoreScaling, SamplerIntervalCountsWindows)
+{
+    for (uint64_t interval : {100ULL, 1000ULL, 5000ULL}) {
+        CoreParams p;
+        CounterRegistry reg;
+        O3Core core(p, reg);
+        Sampler sampler(reg, interval);
+        core.attachSampler(&sampler);
+        uint64_t windows = 0;
+        core.setSampleCallback(
+            [&](const FeatureSnapshot &) { ++windows; });
+        auto wl = WorkloadRegistry::create("fft", 3, 20000);
+        SimResult res = core.run(*wl);
+        uint64_t expected = res.committedInsts / interval;
+        EXPECT_NEAR((double)windows, (double)expected, 2.0)
+            << "interval " << interval;
+    }
+}
+
+} // anonymous namespace
+} // namespace evax

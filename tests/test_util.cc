@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for util: RNG determinism and distributions, running
+ * stats, histograms, confusion counts, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace evax
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, DoubleIsUnitInterval)
+{
+    Rng r(3);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(11);
+    RunningStat s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(r.nextGaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.03);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng r(5);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SplitIsIndependent)
+{
+    Rng a(9);
+    Rng c = a.split();
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a, b, all;
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.nextGaussian() * 3 + 1;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(Histogram, BinningAndCdf)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_EQ(h.total(), 10u);
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(h.bin(i), 1u);
+    EXPECT_NEAR(h.cdfAt(5.0), 0.5, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(99.0);
+    EXPECT_EQ(h.bin(0), 1u);
+    EXPECT_EQ(h.bin(3), 1u);
+}
+
+TEST(ConfusionCounts, Rates)
+{
+    ConfusionCounts c;
+    for (int i = 0; i < 90; ++i)
+        c.add(false, false); // TN
+    for (int i = 0; i < 10; ++i)
+        c.add(true, false); // FP
+    for (int i = 0; i < 80; ++i)
+        c.add(true, true); // TP
+    for (int i = 0; i < 20; ++i)
+        c.add(false, true); // FN
+    EXPECT_NEAR(c.fpr(), 0.1, 1e-12);
+    EXPECT_NEAR(c.tpr(), 0.8, 1e-12);
+    EXPECT_NEAR(c.fnr(), 0.2, 1e-12);
+    EXPECT_NEAR(c.accuracy(), 170.0 / 200.0, 1e-12);
+}
+
+TEST(VectorStats, MeanStdGeomeanPercentile)
+{
+    std::vector<double> v{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(mean(v), 3.0);
+    EXPECT_NEAR(stddev(v), std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(geomean({1, 100}), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Table, PrintAndCsv)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", Table::fmt(1.5)});
+    t.addRow({"beta", Table::pct(0.25)});
+    std::ostringstream os;
+    t.print(os, "demo");
+    EXPECT_NE(os.str().find("alpha"), std::string::npos);
+    EXPECT_NE(os.str().find("25.00%"), std::string::npos);
+
+    std::ostringstream csv;
+    t.writeCsv(csv);
+    EXPECT_NE(csv.str().find("name,value"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting)
+{
+    Table t({"a"});
+    t.addRow({"x,y\"z"});
+    std::ostringstream csv;
+    t.writeCsv(csv);
+    EXPECT_NE(csv.str().find("\"x,y\"\"z\""), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace evax
