@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_latency.dir/bench_detector_latency.cc.o"
+  "CMakeFiles/bench_detector_latency.dir/bench_detector_latency.cc.o.d"
+  "bench_detector_latency"
+  "bench_detector_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

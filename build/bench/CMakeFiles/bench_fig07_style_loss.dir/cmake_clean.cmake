@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_style_loss.dir/bench_fig07_style_loss.cc.o"
+  "CMakeFiles/bench_fig07_style_loss.dir/bench_fig07_style_loss.cc.o.d"
+  "bench_fig07_style_loss"
+  "bench_fig07_style_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_style_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

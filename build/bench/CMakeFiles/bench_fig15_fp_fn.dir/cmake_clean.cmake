@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_fp_fn.dir/bench_fig15_fp_fn.cc.o"
+  "CMakeFiles/bench_fig15_fp_fn.dir/bench_fig15_fp_fn.cc.o.d"
+  "bench_fig15_fp_fn"
+  "bench_fig15_fp_fn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_fp_fn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_kfold.dir/bench_fig19_kfold.cc.o"
+  "CMakeFiles/bench_fig19_kfold.dir/bench_fig19_kfold.cc.o.d"
+  "bench_fig19_kfold"
+  "bench_fig19_kfold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_kfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_dnn.dir/bench_fig20_dnn.cc.o"
+  "CMakeFiles/bench_fig20_dnn.dir/bench_fig20_dnn.cc.o.d"
+  "bench_fig20_dnn"
+  "bench_fig20_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_hpc_engineering.dir/bench_tab1_hpc_engineering.cc.o"
+  "CMakeFiles/bench_tab1_hpc_engineering.dir/bench_tab1_hpc_engineering.cc.o.d"
+  "bench_tab1_hpc_engineering"
+  "bench_tab1_hpc_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_hpc_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_zeroday_tpr.dir/bench_tab_zeroday_tpr.cc.o"
+  "CMakeFiles/bench_tab_zeroday_tpr.dir/bench_tab_zeroday_tpr.cc.o.d"
+  "bench_tab_zeroday_tpr"
+  "bench_tab_zeroday_tpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_zeroday_tpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

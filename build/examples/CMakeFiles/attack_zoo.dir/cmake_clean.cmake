@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_zoo.dir/attack_zoo.cpp.o"
+  "CMakeFiles/attack_zoo.dir/attack_zoo.cpp.o.d"
+  "attack_zoo"
+  "attack_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gram_inspect.dir/gram_inspect.cpp.o"
+  "CMakeFiles/gram_inspect.dir/gram_inspect.cpp.o.d"
+  "gram_inspect"
+  "gram_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gram_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

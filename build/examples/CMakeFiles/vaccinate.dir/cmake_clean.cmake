@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaccinate.dir/vaccinate.cpp.o"
+  "CMakeFiles/vaccinate.dir/vaccinate.cpp.o.d"
+  "vaccinate"
+  "vaccinate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaccinate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/attack.cc" "src/attacks/CMakeFiles/evax_attacks.dir/attack.cc.o" "gcc" "src/attacks/CMakeFiles/evax_attacks.dir/attack.cc.o.d"
+  "/root/repo/src/attacks/fault.cc" "src/attacks/CMakeFiles/evax_attacks.dir/fault.cc.o" "gcc" "src/attacks/CMakeFiles/evax_attacks.dir/fault.cc.o.d"
+  "/root/repo/src/attacks/fuzzer.cc" "src/attacks/CMakeFiles/evax_attacks.dir/fuzzer.cc.o" "gcc" "src/attacks/CMakeFiles/evax_attacks.dir/fuzzer.cc.o.d"
+  "/root/repo/src/attacks/memory_attacks.cc" "src/attacks/CMakeFiles/evax_attacks.dir/memory_attacks.cc.o" "gcc" "src/attacks/CMakeFiles/evax_attacks.dir/memory_attacks.cc.o.d"
+  "/root/repo/src/attacks/registry.cc" "src/attacks/CMakeFiles/evax_attacks.dir/registry.cc.o" "gcc" "src/attacks/CMakeFiles/evax_attacks.dir/registry.cc.o.d"
+  "/root/repo/src/attacks/sidechannel.cc" "src/attacks/CMakeFiles/evax_attacks.dir/sidechannel.cc.o" "gcc" "src/attacks/CMakeFiles/evax_attacks.dir/sidechannel.cc.o.d"
+  "/root/repo/src/attacks/speculation.cc" "src/attacks/CMakeFiles/evax_attacks.dir/speculation.cc.o" "gcc" "src/attacks/CMakeFiles/evax_attacks.dir/speculation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/evax_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/evax_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/evax_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evax_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evax_attacks.dir/attack.cc.o"
+  "CMakeFiles/evax_attacks.dir/attack.cc.o.d"
+  "CMakeFiles/evax_attacks.dir/fault.cc.o"
+  "CMakeFiles/evax_attacks.dir/fault.cc.o.d"
+  "CMakeFiles/evax_attacks.dir/fuzzer.cc.o"
+  "CMakeFiles/evax_attacks.dir/fuzzer.cc.o.d"
+  "CMakeFiles/evax_attacks.dir/memory_attacks.cc.o"
+  "CMakeFiles/evax_attacks.dir/memory_attacks.cc.o.d"
+  "CMakeFiles/evax_attacks.dir/registry.cc.o"
+  "CMakeFiles/evax_attacks.dir/registry.cc.o.d"
+  "CMakeFiles/evax_attacks.dir/sidechannel.cc.o"
+  "CMakeFiles/evax_attacks.dir/sidechannel.cc.o.d"
+  "CMakeFiles/evax_attacks.dir/speculation.cc.o"
+  "CMakeFiles/evax_attacks.dir/speculation.cc.o.d"
+  "libevax_attacks.a"
+  "libevax_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evax_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collector.cc" "src/core/CMakeFiles/evax_core.dir/collector.cc.o" "gcc" "src/core/CMakeFiles/evax_core.dir/collector.cc.o.d"
+  "/root/repo/src/core/endtoend.cc" "src/core/CMakeFiles/evax_core.dir/endtoend.cc.o" "gcc" "src/core/CMakeFiles/evax_core.dir/endtoend.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/evax_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/evax_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/kfold.cc" "src/core/CMakeFiles/evax_core.dir/kfold.cc.o" "gcc" "src/core/CMakeFiles/evax_core.dir/kfold.cc.o.d"
+  "/root/repo/src/core/vaccination.cc" "src/core/CMakeFiles/evax_core.dir/vaccination.cc.o" "gcc" "src/core/CMakeFiles/evax_core.dir/vaccination.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/evax_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/evax_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/evax_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/evax_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/evax_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/evax_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/evax_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evax_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evax_core.dir/collector.cc.o"
+  "CMakeFiles/evax_core.dir/collector.cc.o.d"
+  "CMakeFiles/evax_core.dir/endtoend.cc.o"
+  "CMakeFiles/evax_core.dir/endtoend.cc.o.d"
+  "CMakeFiles/evax_core.dir/experiment.cc.o"
+  "CMakeFiles/evax_core.dir/experiment.cc.o.d"
+  "CMakeFiles/evax_core.dir/kfold.cc.o"
+  "CMakeFiles/evax_core.dir/kfold.cc.o.d"
+  "CMakeFiles/evax_core.dir/vaccination.cc.o"
+  "CMakeFiles/evax_core.dir/vaccination.cc.o.d"
+  "libevax_core.a"
+  "libevax_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evax_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

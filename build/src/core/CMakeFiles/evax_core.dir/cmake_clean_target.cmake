@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevax_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evax_defense.dir/adaptive.cc.o"
+  "CMakeFiles/evax_defense.dir/adaptive.cc.o.d"
+  "libevax_defense.a"
+  "libevax_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evax_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/evax_detector.cc" "src/detect/CMakeFiles/evax_detect.dir/evax_detector.cc.o" "gcc" "src/detect/CMakeFiles/evax_detect.dir/evax_detector.cc.o.d"
+  "/root/repo/src/detect/feature_engineer.cc" "src/detect/CMakeFiles/evax_detect.dir/feature_engineer.cc.o" "gcc" "src/detect/CMakeFiles/evax_detect.dir/feature_engineer.cc.o.d"
+  "/root/repo/src/detect/perspectron.cc" "src/detect/CMakeFiles/evax_detect.dir/perspectron.cc.o" "gcc" "src/detect/CMakeFiles/evax_detect.dir/perspectron.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/evax_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/evax_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evax_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

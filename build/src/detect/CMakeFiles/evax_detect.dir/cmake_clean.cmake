@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evax_detect.dir/evax_detector.cc.o"
+  "CMakeFiles/evax_detect.dir/evax_detector.cc.o.d"
+  "CMakeFiles/evax_detect.dir/feature_engineer.cc.o"
+  "CMakeFiles/evax_detect.dir/feature_engineer.cc.o.d"
+  "CMakeFiles/evax_detect.dir/perspectron.cc.o"
+  "CMakeFiles/evax_detect.dir/perspectron.cc.o.d"
+  "libevax_detect.a"
+  "libevax_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evax_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpc/counters.cc" "src/hpc/CMakeFiles/evax_hpc.dir/counters.cc.o" "gcc" "src/hpc/CMakeFiles/evax_hpc.dir/counters.cc.o.d"
+  "/root/repo/src/hpc/features.cc" "src/hpc/CMakeFiles/evax_hpc.dir/features.cc.o" "gcc" "src/hpc/CMakeFiles/evax_hpc.dir/features.cc.o.d"
+  "/root/repo/src/hpc/sampler.cc" "src/hpc/CMakeFiles/evax_hpc.dir/sampler.cc.o" "gcc" "src/hpc/CMakeFiles/evax_hpc.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/evax_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evax_hpc.dir/counters.cc.o"
+  "CMakeFiles/evax_hpc.dir/counters.cc.o.d"
+  "CMakeFiles/evax_hpc.dir/features.cc.o"
+  "CMakeFiles/evax_hpc.dir/features.cc.o.d"
+  "CMakeFiles/evax_hpc.dir/sampler.cc.o"
+  "CMakeFiles/evax_hpc.dir/sampler.cc.o.d"
+  "libevax_hpc.a"
+  "libevax_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evax_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

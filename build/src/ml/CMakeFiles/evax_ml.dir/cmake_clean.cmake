@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evax_ml.dir/dataset.cc.o"
+  "CMakeFiles/evax_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/evax_ml.dir/gan.cc.o"
+  "CMakeFiles/evax_ml.dir/gan.cc.o.d"
+  "CMakeFiles/evax_ml.dir/gram.cc.o"
+  "CMakeFiles/evax_ml.dir/gram.cc.o.d"
+  "CMakeFiles/evax_ml.dir/matrix.cc.o"
+  "CMakeFiles/evax_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/evax_ml.dir/metrics.cc.o"
+  "CMakeFiles/evax_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/evax_ml.dir/mlp.cc.o"
+  "CMakeFiles/evax_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/evax_ml.dir/perceptron.cc.o"
+  "CMakeFiles/evax_ml.dir/perceptron.cc.o.d"
+  "libevax_ml.a"
+  "libevax_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evax_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch_predictor.cc" "src/sim/CMakeFiles/evax_sim.dir/branch_predictor.cc.o" "gcc" "src/sim/CMakeFiles/evax_sim.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/evax_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/evax_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/evax_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/evax_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/sim/CMakeFiles/evax_sim.dir/dram.cc.o" "gcc" "src/sim/CMakeFiles/evax_sim.dir/dram.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/evax_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/evax_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/sim/CMakeFiles/evax_sim.dir/tlb.cc.o" "gcc" "src/sim/CMakeFiles/evax_sim.dir/tlb.cc.o.d"
+  "/root/repo/src/sim/types.cc" "src/sim/CMakeFiles/evax_sim.dir/types.cc.o" "gcc" "src/sim/CMakeFiles/evax_sim.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpc/CMakeFiles/evax_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evax_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

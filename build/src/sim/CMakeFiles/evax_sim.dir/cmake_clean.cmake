@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evax_sim.dir/branch_predictor.cc.o"
+  "CMakeFiles/evax_sim.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/evax_sim.dir/cache.cc.o"
+  "CMakeFiles/evax_sim.dir/cache.cc.o.d"
+  "CMakeFiles/evax_sim.dir/core.cc.o"
+  "CMakeFiles/evax_sim.dir/core.cc.o.d"
+  "CMakeFiles/evax_sim.dir/dram.cc.o"
+  "CMakeFiles/evax_sim.dir/dram.cc.o.d"
+  "CMakeFiles/evax_sim.dir/memory.cc.o"
+  "CMakeFiles/evax_sim.dir/memory.cc.o.d"
+  "CMakeFiles/evax_sim.dir/tlb.cc.o"
+  "CMakeFiles/evax_sim.dir/tlb.cc.o.d"
+  "CMakeFiles/evax_sim.dir/types.cc.o"
+  "CMakeFiles/evax_sim.dir/types.cc.o.d"
+  "libevax_sim.a"
+  "libevax_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evax_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

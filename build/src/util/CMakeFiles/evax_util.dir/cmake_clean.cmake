@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evax_util.dir/csv.cc.o"
+  "CMakeFiles/evax_util.dir/csv.cc.o.d"
+  "CMakeFiles/evax_util.dir/log.cc.o"
+  "CMakeFiles/evax_util.dir/log.cc.o.d"
+  "CMakeFiles/evax_util.dir/rng.cc.o"
+  "CMakeFiles/evax_util.dir/rng.cc.o.d"
+  "CMakeFiles/evax_util.dir/stats.cc.o"
+  "CMakeFiles/evax_util.dir/stats.cc.o.d"
+  "libevax_util.a"
+  "libevax_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evax_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kernels_a.cc" "src/workload/CMakeFiles/evax_workload.dir/kernels_a.cc.o" "gcc" "src/workload/CMakeFiles/evax_workload.dir/kernels_a.cc.o.d"
+  "/root/repo/src/workload/kernels_b.cc" "src/workload/CMakeFiles/evax_workload.dir/kernels_b.cc.o" "gcc" "src/workload/CMakeFiles/evax_workload.dir/kernels_b.cc.o.d"
+  "/root/repo/src/workload/kernels_c.cc" "src/workload/CMakeFiles/evax_workload.dir/kernels_c.cc.o" "gcc" "src/workload/CMakeFiles/evax_workload.dir/kernels_c.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/workload/CMakeFiles/evax_workload.dir/registry.cc.o" "gcc" "src/workload/CMakeFiles/evax_workload.dir/registry.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/evax_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/evax_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/evax_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/evax_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evax_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evax_workload.dir/kernels_a.cc.o"
+  "CMakeFiles/evax_workload.dir/kernels_a.cc.o.d"
+  "CMakeFiles/evax_workload.dir/kernels_b.cc.o"
+  "CMakeFiles/evax_workload.dir/kernels_b.cc.o.d"
+  "CMakeFiles/evax_workload.dir/kernels_c.cc.o"
+  "CMakeFiles/evax_workload.dir/kernels_c.cc.o.d"
+  "CMakeFiles/evax_workload.dir/registry.cc.o"
+  "CMakeFiles/evax_workload.dir/registry.cc.o.d"
+  "CMakeFiles/evax_workload.dir/workload.cc.o"
+  "CMakeFiles/evax_workload.dir/workload.cc.o.d"
+  "libevax_workload.a"
+  "libevax_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evax_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

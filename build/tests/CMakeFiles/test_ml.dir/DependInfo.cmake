@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ml.cc" "tests/CMakeFiles/test_ml.dir/test_ml.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/test_ml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/evax_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/evax_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/evax_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/evax_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/evax_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/evax_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/evax_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/evax_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evax_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

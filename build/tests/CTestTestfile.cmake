@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_hpc[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_core[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_ml[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_detect[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_properties[1]_include.cmake")
