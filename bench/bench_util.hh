@@ -8,14 +8,52 @@
 #ifndef EVAX_BENCH_BENCH_UTIL_HH
 #define EVAX_BENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "util/csv.hh"
 #include "util/log.hh"
+#include "util/parallel.hh"
 
 namespace evax
 {
+
+/**
+ * Apply the standard bench thread flags: `--threads N` pins the
+ * pool to N lanes, `--serial` to 1. Without a flag the pool keeps
+ * its default (EVAX_THREADS env or hardware concurrency). Figure
+ * CSVs are byte-identical at any setting; only wall-clock changes.
+ */
+inline void
+configureBenchThreads(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--serial") {
+            setGlobalThreadCount(1);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            long v = std::strtol(argv[++i], nullptr, 10);
+            setGlobalThreadCount(v >= 1 ? (unsigned)v : 1);
+        }
+    }
+    std::cout << "[threads: " << globalThreadCount() << "]\n";
+}
+
+/**
+ * Fan independent trials out over the thread pool, returning
+ * results in trial order. Trials may themselves call parallel
+ * code (nested jobs share the pool without deadlocking), so a
+ * bench can fan out its top-level sweeps and still keep every
+ * lane busy inside the slowest one.
+ */
+template <typename Fn>
+auto
+fanOutTrials(std::size_t n, Fn &&fn)
+{
+    return parallelMap(n, std::forward<Fn>(fn));
+}
 
 /** Print the table and save it as <name>.csv. */
 inline void

@@ -4,6 +4,7 @@
 
 #include "hpc/sampler.hh"
 #include "util/log.hh"
+#include "util/parallel.hh"
 
 namespace evax
 {
@@ -20,7 +21,7 @@ NormalizationProfile::apply(std::vector<double> &raw) const
 }
 
 Collector::Collector(const CollectorConfig &config)
-    : config_(config), nextSeed_(config.seed * 0x9e3779b9ULL + 1)
+    : config_(config)
 {
 }
 
@@ -46,24 +47,46 @@ Collector::collectStream(InstStream &stream, int class_id,
 Dataset
 Collector::collectCorpus()
 {
-    Dataset data;
-    data.classNames = AttackRegistry::classNames();
-
-    for (const auto &name : WorkloadRegistry::names()) {
-        for (unsigned s = 0; s < config_.benignSeeds; ++s) {
-            auto wl = WorkloadRegistry::create(name, ++nextSeed_,
-                                               config_.benignLength);
-            collectStream(*wl, BENIGN_CLASS, false, data);
-        }
-    }
+    // One simulator window per task; the kernel seed depends only
+    // on (config.seed, task index), never on a shared counter, so
+    // any schedule produces the same corpus.
+    struct RunTask
+    {
+        const std::string *name;
+        bool attack;
+        int cls;
+    };
+    std::vector<RunTask> tasks;
+    for (const auto &name : WorkloadRegistry::names())
+        for (unsigned s = 0; s < config_.benignSeeds; ++s)
+            tasks.push_back({&name, false, BENIGN_CLASS});
     for (const auto &name : AttackRegistry::names()) {
         int cls = AttackRegistry::classId(name);
-        for (unsigned s = 0; s < config_.attackSeeds; ++s) {
-            auto atk = AttackRegistry::create(name, ++nextSeed_,
-                                              config_.attackLength);
-            collectStream(*atk, cls, true, data);
-        }
+        for (unsigned s = 0; s < config_.attackSeeds; ++s)
+            tasks.push_back({&name, true, cls});
     }
+
+    std::vector<Dataset> parts =
+        parallelMap(tasks.size(), [&](size_t i) {
+            const RunTask &t = tasks[i];
+            uint64_t seed = deriveTaskSeed(config_.seed, i);
+            Dataset part;
+            if (t.attack) {
+                auto atk = AttackRegistry::create(
+                    *t.name, seed, config_.attackLength);
+                collectStream(*atk, t.cls, true, part);
+            } else {
+                auto wl = WorkloadRegistry::create(
+                    *t.name, seed, config_.benignLength);
+                collectStream(*wl, t.cls, false, part);
+            }
+            return part;
+        });
+
+    Dataset data;
+    data.classNames = AttackRegistry::classNames();
+    for (auto &p : parts)
+        data.append(std::move(p));
     return data;
 }
 
@@ -71,12 +94,26 @@ Dataset
 Collector::collectFuzzerSamples(AttackFuzzer &fuzzer,
                                 unsigned variants, uint64_t length)
 {
+    // Draw every variant from the fuzzer's stream first — cheap
+    // RNG work, and it keeps the generated kernels identical to a
+    // serial run — then simulate them on the pool.
+    std::vector<std::unique_ptr<AttackKernel>> kernels;
+    kernels.reserve(variants);
+    for (unsigned v = 0; v < variants; ++v)
+        kernels.push_back(fuzzer.nextVariant(length));
+
+    std::vector<Dataset> parts =
+        parallelMap(kernels.size(), [&](size_t i) {
+            Dataset part;
+            collectStream(*kernels[i], kernels[i]->info().classId,
+                          true, part);
+            return part;
+        });
+
     Dataset data;
     data.classNames = AttackRegistry::classNames();
-    for (unsigned v = 0; v < variants; ++v) {
-        auto atk = fuzzer.nextVariant(length);
-        collectStream(*atk, atk->info().classId, true, data);
-    }
+    for (auto &p : parts)
+        data.append(std::move(p));
     return data;
 }
 

@@ -64,10 +64,20 @@ class Collector
      * Full corpus: every benign kernel and every attack category,
      * config.{benign,attack}Seeds runs each. Samples remain RAW;
      * call normalize() afterwards.
+     *
+     * Windows are simulated on the global thread pool, one run per
+     * task. Each run's kernel seed is derived from (config.seed,
+     * task index) and results are stitched in task order, so the
+     * corpus is byte-identical at any EVAX_THREADS.
      */
     Dataset collectCorpus();
 
-    /** Raw windows from @c variants fuzzer-generated streams. */
+    /**
+     * Raw windows from @c variants fuzzer-generated streams. The
+     * variants are drawn from the fuzzer's stream up-front (in
+     * order), then simulated on the global thread pool; output is
+     * identical to a serial run at any thread count.
+     */
     Dataset collectFuzzerSamples(AttackFuzzer &fuzzer,
                                  unsigned variants,
                                  uint64_t length);
@@ -86,7 +96,6 @@ class Collector
 
   private:
     CollectorConfig config_;
-    uint64_t nextSeed_;
 };
 
 } // namespace evax

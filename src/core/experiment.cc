@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include "util/log.hh"
+#include "util/parallel.hh"
 
 namespace evax
 {
@@ -62,17 +63,26 @@ fuzzAugment(const Dataset &train,
             const CollectorConfig &collector_config,
             unsigned variants_per_tool, uint64_t seed)
 {
-    Collector collector(collector_config);
+    // Each tool's fuzzer is seeded independently of the others, so
+    // the three collections are free to run concurrently; stitching
+    // in tool order keeps the augmented set schedule-independent.
+    const FuzzTool tools[] = {FuzzTool::Transynther,
+                              FuzzTool::TrrEspass, FuzzTool::Osiris};
+    std::vector<Dataset> parts =
+        parallelMap(std::size(tools), [&](size_t i) {
+            FuzzTool tool = tools[i];
+            Collector collector(collector_config);
+            AttackFuzzer fuzzer(tool, seed ^ (uint64_t)tool * 7919);
+            Dataset raw = collector.collectFuzzerSamples(
+                fuzzer, variants_per_tool,
+                collector_config.attackLength);
+            Collector::applyProfile(raw, profile);
+            return raw;
+        });
+
     Dataset augmented = train;
-    for (FuzzTool tool : {FuzzTool::Transynther, FuzzTool::TrrEspass,
-                          FuzzTool::Osiris}) {
-        AttackFuzzer fuzzer(tool, seed ^ (uint64_t)tool * 7919);
-        Dataset raw = collector.collectFuzzerSamples(
-            fuzzer, variants_per_tool,
-            collector_config.attackLength);
-        Collector::applyProfile(raw, profile);
-        augmented.append(raw);
-    }
+    for (auto &p : parts)
+        augmented.append(std::move(p));
     return augmented;
 }
 

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "ml/metrics.hh"
+#include "util/parallel.hh"
 #include "util/stats.hh"
 
 namespace evax
@@ -18,10 +19,18 @@ leaveOneAttackOut(const Dataset &data, const DetectorFactory &factory,
         if (s.malicious)
             attack_classes.insert(s.attackClass);
     }
+    std::vector<int> held_classes(attack_classes.begin(),
+                                  attack_classes.end());
 
-    std::vector<FoldResult> folds;
-    Rng rng(seed);
-    for (int held : attack_classes) {
+    // Folds are independent, so they run as one task each on the
+    // global pool. Each fold's randomness (benign test split +
+    // training) derives from (seed, held class id) — not from a
+    // stream shared across folds — so results match at any thread
+    // count and survive folds being added or removed.
+    return parallelMap(held_classes.size(), [&](size_t f) {
+        int held = held_classes[f];
+        Rng rng = Rng::forTask(seed, (uint64_t)held);
+
         Dataset train, test;
         data.leaveOneAttackOut(held, benign_test_frac, rng, train,
                                test);
@@ -48,9 +57,8 @@ leaveOneAttackOut(const Dataset &data, const DetectorFactory &factory,
         fold.fpr = cm.fpr();
         fold.error = 1.0 - cm.accuracy();
         fold.auc = rocAuc(scores, labels);
-        folds.push_back(fold);
-    }
-    return folds;
+        return fold;
+    });
 }
 
 double

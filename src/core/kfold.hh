@@ -43,7 +43,10 @@ using TrainFn =
     std::function<void(Detector &, const Dataset &train, Rng &)>;
 
 /**
- * Run the full leave-one-attack-out sweep.
+ * Run the full leave-one-attack-out sweep. Folds are trained in
+ * parallel on the global thread pool, one fold per task, each
+ * seeded from (seed, held-out class id); the fold vector is
+ * byte-identical at any EVAX_THREADS.
  * @param data normalized corpus with class labels
  * @param benign_test_frac benign share held out per fold
  */

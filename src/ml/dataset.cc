@@ -1,5 +1,7 @@
 #include "ml/dataset.hh"
 
+#include <iterator>
+
 namespace evax
 {
 
@@ -10,6 +12,16 @@ Dataset::append(const Dataset &other)
                    other.samples.end());
     if (classNames.size() < other.classNames.size())
         classNames = other.classNames;
+}
+
+void
+Dataset::append(Dataset &&other)
+{
+    samples.insert(samples.end(),
+                   std::make_move_iterator(other.samples.begin()),
+                   std::make_move_iterator(other.samples.end()));
+    if (classNames.size() < other.classNames.size())
+        classNames = std::move(other.classNames);
 }
 
 size_t

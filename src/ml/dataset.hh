@@ -40,6 +40,8 @@ struct Dataset
     size_t size() const { return samples.size(); }
     void add(Sample s) { samples.push_back(std::move(s)); }
     void append(const Dataset &other);
+    /** Steal @c other's samples (used when stitching shards). */
+    void append(Dataset &&other);
 
     size_t countMalicious() const;
     size_t countClass(int cls) const;

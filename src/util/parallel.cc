@@ -1,0 +1,199 @@
+#include "util/parallel.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace evax
+{
+
+unsigned
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("EVAX_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end && end != env && *end == '\0' && v >= 1)
+            return (unsigned)v;
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc ? hc : 1;
+}
+
+/**
+ * One parallelFor invocation. Indices are claimed with a single
+ * atomic counter; completion is tracked separately so the
+ * submitting thread can wait for in-flight tasks claimed by other
+ * lanes after the counter is exhausted.
+ */
+struct ThreadPool::Job
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex m;
+    std::condition_variable finished;
+    std::exception_ptr error;
+    std::size_t errorIndex = std::numeric_limits<std::size_t>::max();
+
+    /**
+     * Claim and run tasks until none are left. Any thread may call
+     * this for any job; the job is complete once done == n.
+     */
+    void
+    drain()
+    {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(m);
+                // Keep the lowest-index exception so the error a
+                // caller sees does not depend on scheduling.
+                if (i < errorIndex) {
+                    errorIndex = i;
+                    error = std::current_exception();
+                }
+            }
+            if (done.fetch_add(1) + 1 == n) {
+                std::lock_guard<std::mutex> g(m);
+                finished.notify_all();
+            }
+        }
+    }
+
+    bool
+    complete() const
+    {
+        return done.load() >= n;
+    }
+};
+
+struct ThreadPool::State
+{
+    std::mutex m;
+    std::condition_variable work;
+    std::deque<std::shared_ptr<Job>> jobs;
+    std::vector<std::thread> workers;
+    bool stopping = false;
+
+    void
+    workerLoop()
+    {
+        std::unique_lock<std::mutex> lk(m);
+        for (;;) {
+            std::shared_ptr<Job> job;
+            for (auto it = jobs.begin(); it != jobs.end();) {
+                if ((*it)->next.load() >= (*it)->n) {
+                    it = jobs.erase(it);
+                } else {
+                    job = *it;
+                    break;
+                }
+            }
+            if (!job) {
+                if (stopping)
+                    return;
+                work.wait(lk);
+                continue;
+            }
+            lk.unlock();
+            job->drain();
+            lk.lock();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned lanes)
+    : state_(std::make_shared<State>()), lanes_(lanes ? lanes : 1)
+{
+    State *st = state_.get();
+    for (unsigned i = 1; i < lanes_; ++i)
+        st->workers.emplace_back([st] { st->workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> g(state_->m);
+        state_->stopping = true;
+    }
+    state_->work.notify_all();
+    for (auto &w : state_->workers)
+        w.join();
+}
+
+void
+ThreadPool::forEach(std::size_t n,
+                    const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    auto job = std::make_shared<Job>();
+    job->n = n;
+    job->fn = &fn;
+    if (lanes_ <= 1 || n == 1) {
+        // Serial fast path: same claim loop, same caller thread.
+        job->drain();
+    } else {
+        {
+            std::lock_guard<std::mutex> g(state_->m);
+            state_->jobs.push_back(job);
+        }
+        state_->work.notify_all();
+        // The submitting thread always helps, which both uses the
+        // caller's lane and guarantees progress for nested jobs.
+        job->drain();
+        std::unique_lock<std::mutex> lk(job->m);
+        job->finished.wait(lk, [&] { return job->complete(); });
+    }
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+namespace
+{
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+} // anonymous namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> g(g_pool_mutex);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(defaultThreadCount());
+    return *g_pool;
+}
+
+unsigned
+globalThreadCount()
+{
+    return ThreadPool::global().lanes();
+}
+
+void
+setGlobalThreadCount(unsigned lanes)
+{
+    std::lock_guard<std::mutex> g(g_pool_mutex);
+    g_pool = std::make_unique<ThreadPool>(lanes ? lanes : 1);
+}
+
+void
+parallelFor(std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    ThreadPool::global().forEach(n, fn);
+}
+
+} // namespace evax

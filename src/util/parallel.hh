@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic parallel execution engine.
+ *
+ * A work-helping thread pool plus parallelFor / parallelMap
+ * primitives used by the experiment layers (corpus collection,
+ * k-fold sweeps, fuzz augmentation, bench trial fan-out).
+ *
+ * Determinism contract: results must not depend on the worker
+ * count or on scheduling order. The engine guarantees its half —
+ * every index in [0, n) runs exactly once and parallelMap stores
+ * result i in slot i — and callers guarantee theirs by deriving
+ * all per-task randomness from (base_seed, task_index) via
+ * deriveTaskSeed() / Rng::forTask() instead of sharing one stream.
+ *
+ * Nested parallelFor calls are safe: the calling thread always
+ * drives its own job to completion (so nesting can never
+ * deadlock), and idle workers help whichever jobs are pending.
+ */
+
+#ifndef EVAX_UTIL_PARALLEL_HH
+#define EVAX_UTIL_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace evax
+{
+
+/**
+ * Thread count the global pool is created with: the EVAX_THREADS
+ * environment variable if set to a positive integer, otherwise
+ * std::thread::hardware_concurrency() (minimum 1).
+ */
+unsigned defaultThreadCount();
+
+/** Lane count of the global pool (1 means fully serial). */
+unsigned globalThreadCount();
+
+/**
+ * Replace the global pool with one of @c lanes lanes (clamped to
+ * >= 1). Intended for test harnesses and bench --threads/--serial
+ * flags; call between parallel regions, not during one.
+ */
+void setGlobalThreadCount(unsigned lanes);
+
+/**
+ * Work-helping thread pool. A pool of L lanes runs jobs on L
+ * threads total: L-1 resident workers plus the thread that
+ * submitted the job, which always participates.
+ */
+class ThreadPool
+{
+  public:
+    /** Create a pool with @c lanes total lanes (clamped to >= 1). */
+    explicit ThreadPool(unsigned lanes);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned lanes() const { return lanes_; }
+
+    /**
+     * Run fn(i) for every i in [0, n), distributing indices over
+     * the pool, and block until all have finished. Exceptions are
+     * captured and the one thrown by the lowest index is rethrown
+     * here (deterministic regardless of scheduling). Safe to call
+     * from inside a running task (nested jobs cannot deadlock).
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+    /** The process-wide pool used by parallelFor/parallelMap. */
+    static ThreadPool &global();
+
+    struct Job;
+
+  private:
+    struct State;
+    std::shared_ptr<State> state_;
+    unsigned lanes_;
+};
+
+/** forEach on the global pool. */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * Map [0, n) through @c fn on the global pool; result i lands in
+ * slot i, so the output is identical at any thread count provided
+ * fn is index-deterministic. The result type must be default-
+ * constructible and movable.
+ */
+template <typename Fn>
+auto
+parallelMap(std::size_t n, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{0}))>
+{
+    std::vector<decltype(fn(std::size_t{0}))> out(n);
+    parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace evax
+
+#endif // EVAX_UTIL_PARALLEL_HH

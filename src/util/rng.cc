@@ -108,4 +108,22 @@ Rng::split()
     return Rng(next() ^ 0xd1b54a32d192ed03ULL);
 }
 
+Rng
+Rng::forTask(uint64_t base_seed, uint64_t task_index)
+{
+    return Rng(deriveTaskSeed(base_seed, task_index));
+}
+
+uint64_t
+deriveTaskSeed(uint64_t base_seed, uint64_t task_index)
+{
+    // Two full splitmix64 finalization rounds over the pair; one
+    // round alone leaves low-entropy (base, index) pairs visibly
+    // correlated in the high bits.
+    uint64_t x =
+        base_seed + (task_index + 1) * 0x9e3779b97f4a7c15ULL;
+    uint64_t z = splitmix64(x);
+    return splitmix64(x) ^ z;
+}
+
 } // namespace evax

@@ -64,11 +64,27 @@ class Rng
     /** Derive an independent child generator (for sub-components). */
     Rng split();
 
+    /**
+     * Generator for task @c task_index of a parallel region seeded
+     * with @c base_seed — equal to Rng(deriveTaskSeed(base_seed,
+     * task_index)). Independent of the order tasks execute in.
+     */
+    static Rng forTask(uint64_t base_seed, uint64_t task_index);
+
   private:
     uint64_t s_[4];
     bool hasSpare_ = false;
     double spare_ = 0.0;
 };
+
+/**
+ * Stateless splitmix-style mix of (base_seed, task_index) into a
+ * task-local seed. Parallel loops seed each task's Rng from this
+ * instead of advancing a shared stream, so the random draws a task
+ * sees depend only on its index — never on scheduling order or
+ * worker count.
+ */
+uint64_t deriveTaskSeed(uint64_t base_seed, uint64_t task_index);
 
 } // namespace evax
 

@@ -8,11 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <sstream>
+
 #include "core/endtoend.hh"
 #include "core/experiment.hh"
 #include "core/kfold.hh"
 #include "core/vaccination.hh"
 #include "ml/metrics.hh"
+#include "util/csv.hh"
+#include "util/parallel.hh"
 
 namespace evax
 {
@@ -29,6 +34,52 @@ tinyCollector()
     c.benignSeeds = 1;
     c.attackSeeds = 1;
     return c;
+}
+
+/** FNV-1a over a stream of doubles (bit-exact, not approximate). */
+uint64_t
+hashDoubles(uint64_t h, const double *v, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t bits;
+        std::memcpy(&bits, &v[i], sizeof(bits));
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+/** Bit-exact digest of every sample's features and labels. */
+uint64_t
+datasetDigest(const Dataset &data)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto &s : data.samples) {
+        h = hashDoubles(h, s.x.data(), s.x.size());
+        h ^= (uint64_t)s.attackClass * 0x9e3779b97f4a7c15ULL;
+        h ^= s.malicious ? 0x5bULL : 0xa4ULL;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Byte-identical comparison of two datasets. */
+void
+expectIdenticalDatasets(const Dataset &a, const Dataset &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.classNames, b.classNames);
+    for (size_t i = 0; i < a.size(); ++i) {
+        const Sample &sa = a.samples[i], &sb = b.samples[i];
+        ASSERT_EQ(sa.attackClass, sb.attackClass) << "sample " << i;
+        ASSERT_EQ(sa.malicious, sb.malicious) << "sample " << i;
+        ASSERT_EQ(sa.x.size(), sb.x.size()) << "sample " << i;
+        for (size_t f = 0; f < sa.x.size(); ++f)
+            ASSERT_EQ(sa.x[f], sb.x[f])
+                << "sample " << i << " feature " << f;
+    }
 }
 
 TEST(Collector, CorpusHasAllClasses)
@@ -192,6 +243,147 @@ TEST(EndToEnd, WindowDecisionsMatchSampling)
     auto wl = WorkloadRegistry::create("fft", 3, 20000);
     auto decisions = windowDecisions(*wl, det, cfg);
     EXPECT_NEAR((double)decisions.size(), 20.0, 3.0);
+}
+
+// ---------------------------------------------------------------
+// Serial-vs-parallel equivalence: the engine's headline guarantee
+// is that EVAX_THREADS never changes any experiment output.
+// ---------------------------------------------------------------
+
+TEST(Parallelism, CorpusIdenticalAcrossThreadCounts)
+{
+    setGlobalThreadCount(1);
+    Dataset serial = Collector(tinyCollector()).collectCorpus();
+    setGlobalThreadCount(4);
+    Dataset parallel = Collector(tinyCollector()).collectCorpus();
+    setGlobalThreadCount(1);
+    expectIdenticalDatasets(serial, parallel);
+}
+
+TEST(Parallelism, FuzzerSamplesIdenticalAcrossThreadCounts)
+{
+    auto collect = [] {
+        Collector collector(tinyCollector());
+        AttackFuzzer fuzzer(FuzzTool::Osiris, 41);
+        return collector.collectFuzzerSamples(fuzzer, 6, 6000);
+    };
+    setGlobalThreadCount(1);
+    Dataset serial = collect();
+    setGlobalThreadCount(4);
+    Dataset parallel = collect();
+    setGlobalThreadCount(1);
+    expectIdenticalDatasets(serial, parallel);
+}
+
+TEST(Parallelism, FuzzAugmentIdenticalAcrossThreadCounts)
+{
+    setGlobalThreadCount(1);
+    Collector collector(tinyCollector());
+    Dataset corpus = collector.collectCorpus();
+    NormalizationProfile profile = Collector::normalize(corpus);
+
+    auto augment = [&] {
+        return fuzzAugment(corpus, profile, tinyCollector(), 2, 17);
+    };
+    Dataset serial = augment();
+    setGlobalThreadCount(4);
+    Dataset parallel = augment();
+    setGlobalThreadCount(1);
+    expectIdenticalDatasets(serial, parallel);
+}
+
+TEST(Parallelism, KfoldIdenticalAcrossThreadCounts)
+{
+    setGlobalThreadCount(1);
+    Collector collector(tinyCollector());
+    Dataset corpus = collector.collectCorpus();
+    Collector::normalize(corpus);
+
+    auto sweep = [&] {
+        return leaveOneAttackOut(
+            corpus,
+            [] { return std::make_unique<PerSpectron>(3); },
+            [](Detector &d, const Dataset &train, Rng &rng) {
+                d.train(train, 4, rng);
+                d.tune(train, 0.01);
+            },
+            0.3, 7);
+    };
+    auto serial = sweep();
+    setGlobalThreadCount(4);
+    auto parallel = sweep();
+    setGlobalThreadCount(1);
+
+    // Fold metrics — and the CSV a bench would emit from them —
+    // must match byte-for-byte.
+    ASSERT_EQ(serial.size(), parallel.size());
+    auto to_csv = [](const std::vector<FoldResult> &folds) {
+        Table t({"held_out_attack", "tpr", "fpr", "error", "auc"});
+        for (const auto &f : folds)
+            t.addRow({f.attackName, Table::fmt(f.tpr, 6),
+                      Table::fmt(f.fpr, 6), Table::fmt(f.error, 6),
+                      Table::fmt(f.auc, 6)});
+        std::ostringstream os;
+        t.writeCsv(os);
+        return os.str();
+    };
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].heldOutClass, parallel[i].heldOutClass);
+        EXPECT_EQ(serial[i].tpr, parallel[i].tpr) << "fold " << i;
+        EXPECT_EQ(serial[i].fpr, parallel[i].fpr) << "fold " << i;
+        EXPECT_EQ(serial[i].error, parallel[i].error) << "fold " << i;
+        EXPECT_EQ(serial[i].auc, parallel[i].auc) << "fold " << i;
+    }
+    EXPECT_EQ(to_csv(serial), to_csv(parallel));
+}
+
+// ---------------------------------------------------------------
+// Golden digests: pin one bit-exact result per RNG-derivation path
+// (corpus, fuzzer, k-fold) so a change that silently reseeds or
+// reorders a random stream fails loudly instead of shifting every
+// figure. If a deliberate seeding change lands, re-pin these by
+// running the tests and copying the printed actual values.
+// ---------------------------------------------------------------
+
+TEST(GoldenSeeds, CorpusDigestIsPinned)
+{
+    setGlobalThreadCount(1);
+    Dataset corpus = Collector(tinyCollector()).collectCorpus();
+    ASSERT_GT(corpus.size(), 0u);
+    EXPECT_EQ(datasetDigest(corpus), 0xe5d65edb66d776ffULL);
+}
+
+TEST(GoldenSeeds, FuzzerDigestIsPinned)
+{
+    setGlobalThreadCount(1);
+    Collector collector(tinyCollector());
+    AttackFuzzer fuzzer(FuzzTool::Transynther, 23);
+    Dataset d = collector.collectFuzzerSamples(fuzzer, 4, 6000);
+    ASSERT_GT(d.size(), 0u);
+    EXPECT_EQ(datasetDigest(d), 0xd76158a4d06b7487ULL);
+}
+
+TEST(GoldenSeeds, KfoldMetricsDigestIsPinned)
+{
+    setGlobalThreadCount(1);
+    Collector collector(tinyCollector());
+    Dataset corpus = collector.collectCorpus();
+    Collector::normalize(corpus);
+    auto folds = leaveOneAttackOut(
+        corpus,
+        [] { return std::make_unique<PerSpectron>(3); },
+        [](Detector &d, const Dataset &train, Rng &rng) {
+            d.train(train, 4, rng);
+            d.tune(train, 0.01);
+        },
+        0.3, 7);
+    ASSERT_GT(folds.size(), 0u);
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto &f : folds) {
+        double m[4] = {f.tpr, f.fpr, f.error, f.auc};
+        h = hashDoubles(h, m, 4);
+    }
+    EXPECT_EQ(h, 0x523a003b8073dbb2ULL);
 }
 
 } // anonymous namespace
