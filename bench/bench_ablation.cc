@@ -35,15 +35,20 @@ detectorAuc(Detector &det, const Dataset &data)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    BenchObservability obs(argc, argv);
     banner("Ablations", "feature count, vaccination dose, secure "
                         "window, ROB size");
 
     ExperimentScale scale = ExperimentScale::quick();
     Collector collector(scale.collector);
-    Dataset corpus = collector.collectCorpus();
+    Dataset corpus = [&] {
+        ScopedPhaseTimer phase("setup.collectCorpus");
+        return collector.collectCorpus();
+    }();
+    ScopedPhaseTimer run_phase("run");
     NormalizationProfile profile = Collector::normalize(corpus);
     Rng rng(4);
     corpus.shuffle(rng);

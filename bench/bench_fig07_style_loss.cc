@@ -13,15 +13,20 @@
 using namespace evax;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    BenchObservability obs(argc, argv);
     banner("Figure 7 — attack style loss during AM-GAN training",
            "L_GM decreases with training epochs; harvest when small");
 
     ExperimentScale scale = ExperimentScale::standard();
     Collector collector(scale.collector);
-    Dataset corpus = collector.collectCorpus();
+    Dataset corpus = [&] {
+        ScopedPhaseTimer phase("setup.collectCorpus");
+        return collector.collectCorpus();
+    }();
+    ScopedPhaseTimer run_phase("run");
     Collector::normalize(corpus);
 
     Vaccinator vaccinator(scale.vaccination);

@@ -14,16 +14,21 @@
 using namespace evax;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    BenchObservability obs(argc, argv);
     banner("Figure 14 — IPC of the adaptive architecture",
            "EVAX keeps IPC near the unprotected baseline; "
            "PerSpectron gating loses IPC to false positives; "
            "always-on InvisiSpec is lowest");
 
     ExperimentScale scale = ExperimentScale::standard();
-    ExperimentSetup setup = buildExperiment(scale, 42);
+    ExperimentSetup setup = [&] {
+        ScopedPhaseTimer phase("setup.buildExperiment");
+        return buildExperiment(scale, 42);
+    }();
+    ScopedPhaseTimer run_phase("run");
 
     constexpr uint64_t run_len = 60000;
 

@@ -59,9 +59,10 @@ measure(Detector &det, const NormalizationProfile &profile,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    BenchObservability obs(argc, argv);
     banner("Figure 15 — FP/FN distribution per sampling window",
            "EVAX cuts PerSpectron's FP by ~85% and FN by ~72%; "
            "higher sampling frequency improves both");
@@ -69,7 +70,11 @@ main()
     // Train at the 1k interval (the detectors transfer across
     // intervals because features are max-normalized per window).
     ExperimentScale scale = ExperimentScale::standard();
-    ExperimentSetup setup = buildExperiment(scale, 42);
+    ExperimentSetup setup = [&] {
+        ScopedPhaseTimer phase("setup.buildExperiment");
+        return buildExperiment(scale, 42);
+    }();
+    ScopedPhaseTimer run_phase("run");
 
     Table t({"sampling_interval", "detector", "fp_per_window",
              "fn_per_window"});

@@ -29,14 +29,18 @@ struct Policy
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    BenchObservability obs(argc, argv);
     banner("Figure 16 — end-to-end defense performance",
            "EVAX gating cuts always-on mitigation overhead by ~95%");
 
     ExperimentScale scale = ExperimentScale::standard();
-    ExperimentSetup setup = buildExperiment(scale, 42);
+    ExperimentSetup setup = [&] {
+        ScopedPhaseTimer phase("setup.buildExperiment");
+        return buildExperiment(scale, 42);
+    }();
 
     const Policy policies[] = {
         {"Fence-Spectre", DefenseMode::FenceSpectre},
@@ -52,6 +56,7 @@ main()
              "reduction", "gated_flag_rate"});
 
     for (const Policy &p : policies) {
+        ScopedPhaseTimer phase(std::string("overhead.") + p.label);
         std::vector<double> always, gated, flag_rates;
         for (const auto &name : WorkloadRegistry::names()) {
             auto base_wl = WorkloadRegistry::create(name, 5, run_len);
@@ -67,6 +72,7 @@ main()
             cfg.sampleInterval = scale.collector.sampleInterval;
             cfg.adaptive.secureMode = p.mode;
             cfg.adaptive.secureWindowInsts = 1000000;
+            cfg.stats = obs.stats();
             auto gate_wl = WorkloadRegistry::create(name, 5,
                                                     run_len);
             GatedRunResult g = runGated(*gate_wl, *setup.evax, cfg);
@@ -85,6 +91,7 @@ main()
                "(geomean over the 12 benign kernels)");
 
     // Security side: under gating, attacks must still be stopped.
+    ScopedPhaseTimer security_phase("security.gatedAttacks");
     Table sec({"attack", "flags", "windows", "leaks_total",
                "leaks_after_detection"});
     for (const char *atk : {"spectre-pht", "meltdown", "lvi"}) {
@@ -93,6 +100,7 @@ main()
         cfg.adaptive.secureMode =
             DefenseMode::InvisiSpecFuturistic;
         cfg.adaptive.secureWindowInsts = 1000000;
+        cfg.stats = obs.stats();
         auto a = AttackRegistry::create(atk, 17, 40000);
         GatedRunResult g = runGated(*a, *setup.evax, cfg);
         // Leaks after the first flag would show up as growth during

@@ -59,15 +59,20 @@ survivesEvasion(Detector &det, const std::vector<double> &x,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    BenchObservability obs(argc, argv);
     banner("Figure 18 — filling the adversarial space",
            "accuracy on AML-perturbed attacks: fuzz-hardened "
            "baseline ~78%, EVAX ~93%");
 
     ExperimentScale scale = ExperimentScale::standard();
-    ExperimentSetup setup = buildExperiment(scale, 42);
+    ExperimentSetup setup = [&] {
+        ScopedPhaseTimer phase("setup.buildExperiment");
+        return buildExperiment(scale, 42);
+    }();
+    ScopedPhaseTimer run_phase("run");
 
     // Fuzz-hardened PerSpectron (the P.Fuzzer baseline).
     Dataset hardened =

@@ -24,6 +24,7 @@ main(int argc, char **argv)
            "EVAX generalization error ~an order of magnitude below "
            "PerSpectron and P.Fuzzer");
     configureBenchThreads(argc, argv);
+    BenchObservability obs(argc, argv);
 
     ExperimentScale scale = ExperimentScale::fold();
     // Corpus replicate for the sweep. At fold scale the hard-fold
@@ -34,7 +35,11 @@ main(int argc, char **argv)
     // changing the corpus stream moves it.
     scale.collector.seed = 13;
     Collector collector(scale.collector);
-    Dataset corpus = collector.collectCorpus();
+    Dataset corpus = [&] {
+        ScopedPhaseTimer phase("setup.collectCorpus");
+        return collector.collectCorpus();
+    }();
+    ScopedPhaseTimer run_phase("run");
     NormalizationProfile profile = Collector::normalize(corpus);
 
     auto run_sweep = [&](const DetectorFactory &factory,

@@ -56,16 +56,21 @@ trainDeep(unsigned hidden_layers, const Dataset &train,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    BenchObservability obs(argc, argv);
     banner("Figure 20 — improving other ML models with EVAX",
            "GAN-augmented training beats traditional training for "
            "deep detectors; deeper is not better with noisy data");
 
     ExperimentScale scale = ExperimentScale::quick();
     Collector collector(scale.collector);
-    Dataset corpus = collector.collectCorpus();
+    Dataset corpus = [&] {
+        ScopedPhaseTimer phase("setup.collectCorpus");
+        return collector.collectCorpus();
+    }();
+    ScopedPhaseTimer run_phase("run");
     Collector::normalize(corpus);
     Rng rng(2024);
     corpus.shuffle(rng);

@@ -34,16 +34,21 @@ separation(const EngineeredFeature &e, const Dataset &data)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    BenchObservability obs(argc, argv);
     banner("Table I — engineered security HPCs",
            "AND-combinations of base counters mined from the "
            "Generator's strongest hidden nodes");
 
     ExperimentScale scale = ExperimentScale::standard();
     Collector collector(scale.collector);
-    Dataset corpus = collector.collectCorpus();
+    Dataset corpus = [&] {
+        ScopedPhaseTimer phase("setup.collectCorpus");
+        return collector.collectCorpus();
+    }();
+    ScopedPhaseTimer run_phase("run");
     Collector::normalize(corpus);
 
     Vaccinator vaccinator(scale.vaccination);

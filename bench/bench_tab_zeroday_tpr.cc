@@ -36,9 +36,10 @@ tprOn(Detector &det, const Dataset &data, int class_id)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    BenchObservability obs(argc, argv);
     banner("Zero-day TPR for named attacks (Sec. VIII-C)",
            "EVAX generalizes to RDRND/FlushConflict/Medusa/DRAMA; "
            "MicroScope, Leaky Buddies and SMotherSpectre need "
@@ -46,7 +47,11 @@ main()
 
     ExperimentScale scale = ExperimentScale::fold();
     Collector collector(scale.collector);
-    Dataset corpus = collector.collectCorpus();
+    Dataset corpus = [&] {
+        ScopedPhaseTimer phase("setup.collectCorpus");
+        return collector.collectCorpus();
+    }();
+    ScopedPhaseTimer run_phase("run");
     Collector::normalize(corpus);
 
     const char *named[] = {

@@ -8,14 +8,23 @@
 #ifndef EVAX_BENCH_BENCH_UTIL_HH
 #define EVAX_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "util/csv.hh"
 #include "util/log.hh"
 #include "util/parallel.hh"
+#include "util/statreg.hh"
+#include "util/trace.hh"
 
 namespace evax
 {
@@ -74,6 +83,206 @@ banner(const std::string &experiment, const std::string &claim)
               << " ===\n";
     std::cout << "Paper claim: " << claim << "\n\n";
 }
+
+/** One finished bench phase (see ScopedPhaseTimer). */
+struct PhaseRecord
+{
+    std::string name;
+    double seconds = 0.0;
+    uint64_t traceRecords = 0;
+    /** Largest |delta| registry stats over the phase. */
+    std::vector<std::pair<std::string, double>> topDeltas;
+};
+
+namespace bench_detail
+{
+
+inline std::mutex &
+phaseMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+inline std::vector<PhaseRecord> &
+phaseLog()
+{
+    static std::vector<PhaseRecord> log;
+    return log;
+}
+
+} // namespace bench_detail
+
+/**
+ * RAII phase profiler: measures wall time and the stat deltas a
+ * bench phase produced, for the per-phase report every figure bench
+ * prints at exit. Phases append to a process-global log; nesting is
+ * allowed but phases must not run concurrently with each other
+ * (start them from the main thread around parallel regions).
+ */
+class ScopedPhaseTimer
+{
+  public:
+    explicit ScopedPhaseTimer(std::string name,
+                              StatRegistry *sr =
+                                  &StatRegistry::global())
+        : name_(std::move(name)), sr_(sr),
+          start_(std::chrono::steady_clock::now()),
+          traceStart_(trace::totalRecorded())
+    {
+        if (sr_)
+            before_ = sr_->numericValues();
+    }
+
+    ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+    ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+    ~ScopedPhaseTimer()
+    {
+        auto end = std::chrono::steady_clock::now();
+        PhaseRecord rec;
+        rec.name = name_;
+        rec.seconds =
+            std::chrono::duration<double>(end - start_).count();
+        rec.traceRecords = trace::totalRecorded() - traceStart_;
+        if (sr_) {
+            std::map<std::string, double> after =
+                sr_->numericValues();
+            for (const auto &kv : after) {
+                auto it = before_.find(kv.first);
+                double delta = kv.second -
+                    (it == before_.end() ? 0.0 : it->second);
+                if (delta != 0.0)
+                    rec.topDeltas.emplace_back(kv.first, delta);
+            }
+            std::sort(rec.topDeltas.begin(), rec.topDeltas.end(),
+                      [](const auto &a, const auto &b) {
+                          return std::fabs(a.second) >
+                                 std::fabs(b.second);
+                      });
+            if (rec.topDeltas.size() > 5)
+                rec.topDeltas.resize(5);
+            sr_->addAvg("bench.phase." + name_ + ".seconds",
+                        rec.seconds, "wall time of this phase");
+        }
+        std::lock_guard<std::mutex> lock(
+            bench_detail::phaseMutex());
+        bench_detail::phaseLog().push_back(std::move(rec));
+    }
+
+  private:
+    std::string name_;
+    StatRegistry *sr_;
+    std::chrono::steady_clock::time_point start_;
+    uint64_t traceStart_;
+    std::map<std::string, double> before_;
+};
+
+/** Print the per-phase wall-time / stat-delta report. */
+inline void
+reportPhases(std::ostream &os)
+{
+    std::lock_guard<std::mutex> lock(bench_detail::phaseMutex());
+    const auto &log = bench_detail::phaseLog();
+    if (log.empty())
+        return;
+    os << "\n--- Phase profile ---\n";
+    for (const auto &rec : log) {
+        os << std::left << std::setw(28) << rec.name
+           << std::right << std::fixed << std::setprecision(3)
+           << std::setw(10) << rec.seconds << " s";
+        if (rec.traceRecords)
+            os << "  (" << rec.traceRecords << " trace records)";
+        os << "\n";
+        for (const auto &kv : rec.topDeltas) {
+            os << "    " << std::left << std::setw(36) << kv.first
+               << std::right << " +" << kv.second << "\n";
+        }
+    }
+    os << "\n";
+}
+
+/**
+ * Standard observability flags for every figure bench:
+ *
+ *   --trace core,cache,detect   enable trace categories (or "all")
+ *   --trace-out FILE            dump the stitched trace as JSONL
+ *   --stats-out FILE            dump the stats registry (.json for
+ *                               JSON, anything else for text)
+ *
+ * Construct once at the top of main(); the destructor prints the
+ * phase report and writes the requested dumps. stats() is non-null
+ * only when --stats-out was given, so benches can gate the (serial)
+ * registry publication on it.
+ */
+class BenchObservability
+{
+  public:
+    BenchObservability(int argc, char **argv)
+    {
+        uint32_t mask = 0;
+        bool trace_requested = false;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--trace" && i + 1 < argc) {
+                trace_requested = true;
+                if (!trace::parseMask(argv[++i], mask)) {
+                    fatal("--trace: unknown category in '%s' "
+                          "(see docs/OBSERVABILITY.md)",
+                          argv[i]);
+                }
+            } else if (arg == "--trace-out" && i + 1 < argc) {
+                traceOut_ = argv[++i];
+            } else if (arg == "--stats-out" && i + 1 < argc) {
+                statsOut_ = argv[++i];
+            }
+        }
+        if (trace_requested && !trace::compiledIn()) {
+            warn("--trace requested but tracing was compiled out "
+                 "(rebuild with -DEVAX_TRACE=ON)");
+        }
+        trace::setMask(mask);
+    }
+
+    BenchObservability(const BenchObservability &) = delete;
+    BenchObservability &operator=(const BenchObservability &) =
+        delete;
+
+    ~BenchObservability()
+    {
+        reportPhases(std::cout);
+        if (!statsOut_.empty()) {
+            StatsFormat fmt =
+                statsOut_.size() >= 5 &&
+                        statsOut_.compare(statsOut_.size() - 5, 5,
+                                          ".json") == 0
+                    ? StatsFormat::Json
+                    : StatsFormat::Text;
+            if (StatRegistry::global().saveStats(statsOut_, fmt))
+                std::cout << "[stats: " << statsOut_ << "]\n";
+        }
+        if (!traceOut_.empty()) {
+            std::ofstream out(traceOut_);
+            if (out) {
+                trace::writeJsonl(out);
+                std::cout << "[trace: " << traceOut_ << " ("
+                          << trace::totalRecorded()
+                          << " records)]\n";
+            } else {
+                warn("cannot write trace to %s",
+                     traceOut_.c_str());
+            }
+        }
+    }
+
+    /** Stats sink for the run, or null when --stats-out is absent. */
+    StatRegistry *stats()
+    { return statsOut_.empty() ? nullptr : &StatRegistry::global(); }
+
+  private:
+    std::string traceOut_;
+    std::string statsOut_;
+};
 
 } // namespace evax
 

@@ -1,9 +1,61 @@
 #include "core/endtoend.hh"
 
+#include "detect/evax_detector.hh"
 #include "hpc/sampler.hh"
+#include "util/statreg.hh"
+#include "util/trace.hh"
 
 namespace evax
 {
+
+namespace
+{
+
+/**
+ * Emit the detector flag plus the pipeline context an analyst needs
+ * to replay the decision — all under CatDetect so `--trace detect`
+ * alone reconstructs the window (see docs/OBSERVABILITY.md).
+ */
+void
+traceFlagContext(const CounterRegistry &reg, uint64_t cycle,
+                 uint64_t inst_count)
+{
+#if EVAX_TRACE_ENABLED
+    if (!trace::categoryEnabled(trace::CatDetect))
+        return;
+    trace::record(trace::CatDetect, "detector", "flag", cycle,
+                  inst_count);
+    static const char *const kContext[] = {
+        "sys.leaks",          "commit.squashedInsts",
+        "lsq.squashedLoads",  "iew.branchMispredicts",
+        "sys.wrongPathInsts", "dcache.squashedFills",
+    };
+    for (const char *name : kContext) {
+        trace::record(trace::CatDetect, "detector.context",
+                      trace::internName(name), cycle,
+                      (uint64_t)reg.valueByName(name));
+    }
+#else
+    (void)reg;
+    (void)cycle;
+    (void)inst_count;
+#endif
+}
+
+void
+publishStats(StatRegistry *sr, const O3Core &core,
+             const Detector &detector,
+             const AdaptiveController &controller)
+{
+    if (!sr)
+        return;
+    core.regStats(*sr);
+    controller.regStats(*sr);
+    if (auto *ed = dynamic_cast<const EvaxDetector *>(&detector))
+        ed->regStats(*sr);
+}
+
+} // anonymous namespace
 
 GatedRunResult
 runGated(InstStream &stream, Detector &detector,
@@ -25,6 +77,7 @@ runGated(InstStream &stream, Detector &detector,
         controller.tick(snap.instCount);
         if (detector.flag(x)) {
             ++result.flags;
+            traceFlagContext(reg, core.cycle(), snap.instCount);
             controller.onDetection(snap.instCount);
         }
     });
@@ -34,6 +87,7 @@ runGated(InstStream &stream, Detector &detector,
                     config.adaptive.secureWindowInsts);
     result.activations = controller.activations();
     result.secureInsts = controller.secureInsts();
+    publishStats(config.stats, core, detector, controller);
     return result;
 }
 

@@ -18,6 +18,8 @@
 namespace evax
 {
 
+class StatRegistry;
+
 /** Gated-run configuration. */
 struct GatedRunConfig
 {
@@ -26,6 +28,11 @@ struct GatedRunConfig
     /** Frozen feature scaling from dataset collection. */
     NormalizationProfile profile;
     CoreParams coreParams;
+    /**
+     * Optional stats sink: when set, the core, detector and
+     * controller publish their full hierarchies here after the run.
+     */
+    StatRegistry *stats = nullptr;
 };
 
 /** Result of a gated (or plain) end-to-end run. */

@@ -1,5 +1,8 @@
 #include "defense/adaptive.hh"
 
+#include "util/statreg.hh"
+#include "util/trace.hh"
+
 namespace evax
 {
 
@@ -16,6 +19,8 @@ AdaptiveController::onDetection(uint64_t inst_count)
         ++activations_;
         secureStart_ = inst_count;
         core_.setDefenseMode(config_.secureMode);
+        EVAX_TRACE_EVENT(trace::CatDefense, "defense", "arm",
+                         core_.cycle(), inst_count);
     }
     // Re-arm: extend the window from the latest flag.
     secureUntil_ = inst_count + config_.secureWindowInsts;
@@ -28,7 +33,24 @@ AdaptiveController::tick(uint64_t inst_count)
         secureInsts_ += inst_count - secureStart_;
         secureUntil_ = 0;
         core_.setDefenseMode(DefenseMode::None);
+        EVAX_TRACE_EVENT(trace::CatDefense, "defense", "disarm",
+                         core_.cycle(), inst_count);
     }
+}
+
+void
+AdaptiveController::regStats(StatRegistry &sr) const
+{
+    sr.setScalar("defense.secureMode",
+                 (uint64_t)config_.secureMode,
+                 "DefenseMode armed on detection");
+    sr.setScalar("defense.secureWindowInsts",
+                 config_.secureWindowInsts);
+    sr.setScalar("defense.activations", activations_,
+                 "times secure mode was (re)armed");
+    sr.setScalar("defense.secureInsts", secureInsts_,
+                 "committed instructions spent in secure mode");
+    sr.setScalar("defense.secureActive", secureActive() ? 1 : 0);
 }
 
 } // namespace evax

@@ -21,6 +21,8 @@
 namespace evax
 {
 
+class StatRegistry;
+
 /** Adaptive controller configuration. */
 struct AdaptiveConfig
 {
@@ -50,6 +52,9 @@ class AdaptiveController
     uint64_t activations() const { return activations_; }
     /** Total committed instructions spent in secure mode. */
     uint64_t secureInsts() const { return secureInsts_; }
+
+    /** Publish activation counts and dwell under "defense.". */
+    void regStats(StatRegistry &sr) const;
 
   private:
     O3Core &core_;

@@ -1,5 +1,7 @@
 #include "detect/evax_detector.hh"
 
+#include "util/statreg.hh"
+
 namespace evax
 {
 
@@ -35,7 +37,25 @@ EvaxDetector::score(const std::vector<double> &base) const
 bool
 EvaxDetector::flag(const std::vector<double> &base) const
 {
-    return model_.predict(expand(base));
+    windows_.fetch_add(1, std::memory_order_relaxed);
+    bool raised = model_.predict(expand(base));
+    if (raised)
+        flags_.fetch_add(1, std::memory_order_relaxed);
+    return raised;
+}
+
+void
+EvaxDetector::regStats(StatRegistry &sr) const
+{
+    sr.setScalar("detector.features.base", FeatureCatalog::numBase);
+    sr.setScalar("detector.features.engineered",
+                 engineered_.size());
+    sr.setScalar("detector.features.total",
+                 FeatureCatalog::numBase + engineered_.size(),
+                 "perceptron input width");
+    sr.setScalar("detector.windows.scored", windowsScored(),
+                 "sample windows classified via flag()");
+    sr.setScalar("detector.flags.raised", flagsRaised());
 }
 
 void

@@ -10,12 +10,16 @@
 #ifndef EVAX_DETECT_EVAX_DETECTOR_HH
 #define EVAX_DETECT_EVAX_DETECTOR_HH
 
+#include <atomic>
+
 #include "detect/detector.hh"
 #include "hpc/features.hh"
 #include "ml/perceptron.hh"
 
 namespace evax
 {
+
+class StatRegistry;
 
 /** The paper's detector. */
 class EvaxDetector : public Detector
@@ -47,10 +51,23 @@ class EvaxDetector : public Detector
     { return engineered_; }
     Perceptron &model() { return model_; }
 
+    /** Windows scored via flag() since construction. */
+    uint64_t windowsScored() const
+    { return windows_.load(std::memory_order_relaxed); }
+    /** Flags raised via flag() since construction. */
+    uint64_t flagsRaised() const
+    { return flags_.load(std::memory_order_relaxed); }
+
+    /** Publish input width and flag totals under "detector.". */
+    void regStats(StatRegistry &sr) const;
+
   private:
     std::vector<EngineeredFeature> engineered_;
     Perceptron model_;
     double lr_ = 0.05;
+    /** Relaxed atomics: flag() is const and called from workers. */
+    mutable std::atomic<uint64_t> windows_{0};
+    mutable std::atomic<uint64_t> flags_{0};
 };
 
 } // namespace evax

@@ -1,5 +1,7 @@
 #include "sim/branch_predictor.hh"
 
+#include "util/statreg.hh"
+
 namespace evax
 {
 
@@ -149,6 +151,25 @@ BranchPredictor::update(Addr pc, bool taken, Addr target,
         be.tag = pc;
         be.target = target;
     }
+}
+
+void
+BranchPredictor::regStats(StatRegistry &sr) const
+{
+    sr.setScalar("bp.geometry.btbEntries", btb_.size());
+    sr.setScalar("bp.geometry.rasEntries", ras_.size());
+    sr.setScalar("bp.geometry.localEntries", localTable_.size());
+    sr.setScalar("bp.geometry.globalEntries", globalTable_.size());
+    double predicted = reg_.value(condPredicted_);
+    sr.setNumber("bp.condMispredictRate",
+                 predicted > 0 ? reg_.value(condIncorrect_) / predicted
+                               : 0.0,
+                 "condIncorrect / condPredicted over the run");
+    double btb_lookups = reg_.value(btbLookups_);
+    sr.setNumber("bp.btbHitRate",
+                 btb_lookups > 0 ? reg_.value(btbHits_) / btb_lookups
+                                 : 0.0,
+                 "btbHits / btbLookups over the run");
 }
 
 void

@@ -23,6 +23,8 @@
 namespace evax
 {
 
+class StatRegistry;
+
 /** Outcome of a lookup: direction plus target knowledge. */
 struct BranchPrediction
 {
@@ -55,6 +57,9 @@ class BranchPredictor
 
     /** Squash recovery: restore RAS top (simplified checkpointing). */
     void squashRas();
+
+    /** Publish table geometry and accuracy rates under "bp.". */
+    void regStats(StatRegistry &sr) const;
 
   private:
     unsigned localIndex(Addr pc) const;

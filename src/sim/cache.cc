@@ -1,6 +1,8 @@
 #include "sim/cache.hh"
 
 #include "util/log.hh"
+#include "util/statreg.hh"
+#include "util/trace.hh"
 
 namespace evax
 {
@@ -17,7 +19,8 @@ isPow2(uint32_t v)
 } // anonymous namespace
 
 Cache::Cache(const CacheConfig &config, CounterRegistry &reg)
-    : config_(config), reg_(reg)
+    : config_(config), reg_(reg),
+      traceName_(trace::internName(config.prefix))
 {
     if (config_.lineSize == 0 || config_.assoc == 0)
         fatal("cache %s: bad geometry", config_.prefix.c_str());
@@ -141,6 +144,8 @@ Cache::access(Addr addr, bool is_write, Cycle now,
         res.latency = config_.latency;
         reg_.inc(mshrFullEvents_);
         reg_.inc(blockedCycles_);
+        EVAX_TRACE_EVENT(trace::CatCache, traceName_, "mshr.full",
+                         now, addr);
         return res;
     }
 
@@ -217,6 +222,31 @@ Cache::flushAll()
     for (auto &l : lines_)
         l.valid = false;
     mshrs_.clear();
+}
+
+void
+Cache::regStats(StatRegistry &sr) const
+{
+    const std::string &p = config_.prefix;
+    sr.setScalar(p + ".geometry.sizeBytes", config_.size);
+    sr.setScalar(p + ".geometry.assoc", config_.assoc);
+    sr.setScalar(p + ".geometry.sets", numSets_);
+    sr.setScalar(p + ".geometry.lineSize", config_.lineSize);
+    sr.setScalar(p + ".geometry.mshrs", config_.mshrs);
+    sr.setScalar(p + ".mshr.outstanding", mshrs_.size(),
+                 "in-flight misses at dump time");
+
+    double accesses = reg_.value(aggAccesses_);
+    double hits = reg_.value(aggHits_);
+    sr.setNumber(p + ".demandHitRate",
+                 accesses > 0 ? hits / accesses : 0.0,
+                 "hits / accesses over the run");
+    double misses = reg_.value(readMisses_) +
+                    reg_.value(writeMisses_);
+    sr.setNumber(p + ".avgMissLatency",
+                 misses > 0 ? reg_.value(mshrMissLatency_) / misses
+                            : 0.0,
+                 "mshrMissLatency / total misses");
 }
 
 } // namespace evax

@@ -22,6 +22,8 @@
 namespace evax
 {
 
+class StatRegistry;
+
 /** Configuration for one cache level. */
 struct CacheConfig
 {
@@ -87,6 +89,13 @@ class Cache
     uint32_t numSets() const { return numSets_; }
     uint32_t assoc() const { return config_.assoc; }
 
+    /**
+     * Publish geometry and derived rates (hit rate, MSHR pressure)
+     * under "<prefix>." in @c sr (raw event counters are exported
+     * wholesale by O3Core::regStats via the counter registry).
+     */
+    void regStats(StatRegistry &sr) const;
+
   private:
     struct Line
     {
@@ -118,6 +127,7 @@ class Cache
     std::unordered_map<Addr, Cycle> mshrs_;
 
     CounterRegistry &reg_;
+    const char *traceName_; ///< interned prefix for trace records
     CounterId readAccesses_, writeAccesses_, readHits_, writeHits_;
     CounterId readMisses_, writeMisses_, mshrMisses_, mshrMissLatency_;
     CounterId mshrFullEvents_, cleanEvicts_, writebacks_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/log.hh"
+#include "util/statreg.hh"
+#include "util/trace.hh"
 
 namespace evax
 {
@@ -282,6 +284,8 @@ O3Core::issueLoad(RobEntry &e)
         reg_.inc(ids_->sysLeaks);
         if (result_.firstLeakInst == 0)
             result_.firstLeakInst = committedInsts_ + 1;
+        EVAX_TRACE_EVENT(trace::CatCore, "core", "leak", cycle_,
+                         e.op.addr);
     }
 }
 
@@ -310,6 +314,8 @@ void
 O3Core::squashFrom(SeqNum from_seq, bool replay_good_path)
 {
     ++result_.squashes;
+    EVAX_TRACE_EVENT(trace::CatCore, "core", "squash", cycle_,
+                     from_seq);
     std::vector<MicroOp> replay; // ROB walk appends youngest-first
 
     while (!rob_.empty() && rob_.back().seq >= from_seq) {
@@ -398,6 +404,8 @@ O3Core::resolveBranch(RobEntry &e)
     if (!e.mispredicted)
         return;
     reg_.inc(ids_->iewBranchMispredicts);
+    EVAX_TRACE_EVENT(trace::CatCore, "core", "branch.mispredict",
+                     cycle_, e.op.pc);
     reg_.inc(e.op.actualTaken ? ids_->iewPredNotTakenWrong
                               : ids_->iewPredTakenWrong);
     // Squash everything younger (the wrong path) and redirect the
@@ -488,6 +496,8 @@ O3Core::commitStage()
             }
             // Trap: the access was never architecturally permitted.
             reg_.inc(ids_->sysFaults);
+            EVAX_TRACE_EVENT(trace::CatCore, "core", "commit.trap",
+                             cycle_, e.op.pc);
             reg_.inc(ids_->commitTrapSquashes);
             reg_.inc(ids_->fetchQuiesceStall,
                      params_.squashRecoveryCycles);
@@ -513,6 +523,8 @@ O3Core::commitStage()
             // LVI visibility point: bogus forwarded data detected,
             // response ignored, younger ops squashed and replayed.
             reg_.inc(ids_->lsqIgnoredResponses);
+            EVAX_TRACE_EVENT(trace::CatCore, "core", "lvi.ignored",
+                             cycle_, e.op.addr);
             squashFrom(e.seq + 1, true);
             transientBuffer_.clear();
             transientCause_ = 0;
@@ -556,8 +568,12 @@ O3Core::commitStage()
         reg_.inc(ids_->commitIdle);
 
     if (sampler_ && committed > 0) {
-        if (sampler_->tick(committedInsts_, cycle_) && onSample_)
-            onSample_(sampler_->latest());
+        if (sampler_->tick(committedInsts_, cycle_)) {
+            EVAX_TRACE_EVENT(trace::CatCore, "core", "window.close",
+                             cycle_, committedInsts_);
+            if (onSample_)
+                onSample_(sampler_->latest());
+        }
     }
 }
 
@@ -928,6 +944,33 @@ O3Core::fetchStage(InstStream &stream)
 
     if (fetched > 0)
         reg_.inc(ids_->fetchCycles);
+}
+
+void
+O3Core::regStats(StatRegistry &sr) const
+{
+    // Every raw counter in the shared registry (pipeline, caches,
+    // TLBs, DRAM, membus, bp — all components register into reg_).
+    sr.importCounters(reg_);
+
+    sr.setScalar("core.cycles", cycle_);
+    sr.setScalar("core.committedInsts", committedInsts_);
+    sr.setNumber("core.ipc",
+                 cycle_ ? (double)committedInsts_ / (double)cycle_
+                        : 0.0,
+                 "committed instructions per cycle");
+    sr.setScalar("core.defenseMode", (uint64_t)defense_,
+                 "active DefenseMode at dump time");
+    sr.setScalar("core.geometry.robEntries", params_.robEntries);
+    sr.setScalar("core.geometry.iqEntries", params_.iqEntries);
+    sr.setScalar("core.geometry.lqEntries", params_.lqEntries);
+    sr.setScalar("core.geometry.sqEntries", params_.sqEntries);
+    sr.setScalar("core.geometry.fetchWidth", params_.fetchWidth);
+    sr.setScalar("core.geometry.issueWidth", params_.issueWidth);
+    sr.setScalar("core.geometry.commitWidth", params_.commitWidth);
+
+    mem_.regStats(sr);
+    bp_.regStats(sr);
 }
 
 SimResult

@@ -83,6 +83,13 @@ class O3Core
     SimResult run(InstStream &stream, uint64_t max_insts = 0,
                   uint64_t max_cycles = 0);
 
+    /**
+     * Publish the full core hierarchy into a stats registry: every
+     * raw counter plus derived rates, delegating to the memory
+     * system and branch predictor.
+     */
+    void regStats(StatRegistry &sr) const;
+
     MemorySystem &memory() { return mem_; }
     BranchPredictor &branchPredictor() { return bp_; }
     CounterRegistry &counters() { return reg_; }

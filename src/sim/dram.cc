@@ -1,5 +1,8 @@
 #include "sim/dram.hh"
 
+#include "util/statreg.hh"
+#include "util/trace.hh"
+
 namespace evax
 {
 
@@ -41,6 +44,8 @@ Dram::maybeRefresh(Cycle now)
     if (now - lastRefresh_ < params_.dramRefreshInterval)
         return;
     lastRefresh_ = now;
+    EVAX_TRACE_EVENT(trace::CatDram, "dram", "refresh", now,
+                     rowActs_.size());
     rowActs_.clear();
     maxRowActs_ = 0;
     reg_.inc(refreshes_);
@@ -92,8 +97,26 @@ Dram::access(Addr addr, bool is_write, Cycle now)
         res.bitFlips = 1;
         ++totalBitFlips_;
         reg_.inc(bitFlips_);
+        EVAX_TRACE_EVENT(trace::CatDram, "dram", "rowhammer.flip",
+                         now, row);
     }
     return res;
+}
+
+void
+Dram::regStats(StatRegistry &sr) const
+{
+    sr.setScalar("dram.geometry.banks", params_.dramBanks);
+    sr.setScalar("dram.geometry.rowSize", params_.dramRowSize);
+    double hits = reg_.value(rowHits_);
+    double misses = reg_.value(rowMisses_);
+    sr.setNumber("dram.rowHitRate",
+                 hits + misses > 0 ? hits / (hits + misses) : 0.0,
+                 "row-buffer hits / bursts over the run");
+    sr.setScalar("dram.hammer.maxRowActs", maxRowActs_,
+                 "activations of the hottest row this epoch");
+    sr.setScalar("dram.hammer.trackedRows", rowActs_.size());
+    sr.setScalar("dram.hammer.totalBitFlips", totalBitFlips_);
 }
 
 } // namespace evax

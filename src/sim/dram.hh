@@ -26,6 +26,8 @@
 namespace evax
 {
 
+class StatRegistry;
+
 /** Result of a DRAM access. */
 struct DramResult
 {
@@ -57,6 +59,9 @@ class Dram
 
     /** Rows currently tracked this epoch (diagnostics). */
     size_t trackedRows() const { return rowActs_.size(); }
+
+    /** Publish row-buffer rates and hammer state under "dram.". */
+    void regStats(StatRegistry &sr) const;
 
   private:
     uint32_t bankOf(Addr addr) const;

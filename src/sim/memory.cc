@@ -1,5 +1,7 @@
 #include "sim/memory.hh"
 
+#include "util/statreg.hh"
+
 namespace evax
 {
 
@@ -195,6 +197,24 @@ MemorySystem::tick(Cycle now)
     if (!r.hit)
         accessBackside(e.addr, true, now, true);
     nextDrain_ = now + 4;
+}
+
+void
+MemorySystem::regStats(StatRegistry &sr) const
+{
+    icache_.regStats(sr);
+    dcache_.regStats(sr);
+    l2_.regStats(sr);
+    dram_.regStats(sr);
+    dtlb_.regStats(sr);
+    itlb_.regStats(sr);
+
+    sr.setScalar("wq.geometry.entries", params_.writeBuffers);
+    sr.setScalar("wq.depth", writeQueue_.size(),
+                 "pending post-commit stores at dump time");
+    sr.setScalar("specBuffer.geometry.entries", specBufferEntries_);
+    sr.setScalar("specBuffer.occupancy", specBuffer_.size(),
+                 "invisibly-fetched lines held at dump time");
 }
 
 void

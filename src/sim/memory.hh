@@ -24,6 +24,8 @@
 namespace evax
 {
 
+class StatRegistry;
+
 /** Result of a data-side load. */
 struct LoadResult
 {
@@ -78,6 +80,9 @@ class MemorySystem
 
     /** Rowhammer bit flips induced so far. */
     uint64_t bitFlips() const { return dram_.totalBitFlips(); }
+
+    /** Publish hierarchy stats; delegates to every sub-component. */
+    void regStats(StatRegistry &sr) const;
 
   private:
     /** L2 + DRAM chain, returns miss latency beyond L1. */

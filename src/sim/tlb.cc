@@ -1,13 +1,17 @@
 #include "sim/tlb.hh"
 
+#include "util/statreg.hh"
+#include "util/trace.hh"
+
 namespace evax
 {
 
 Tlb::Tlb(const std::string &prefix, uint32_t entries,
          uint32_t walk_latency, uint32_t page_bytes, bool split_rw,
          CounterRegistry &reg)
-    : entries_(entries), walkLatency_(walk_latency),
-      pageBytes_(page_bytes), splitRw_(split_rw), reg_(reg)
+    : prefix_(prefix), entries_(entries),
+      walkLatency_(walk_latency), pageBytes_(page_bytes),
+      splitRw_(split_rw), reg_(reg)
 {
     auto c = [&](const char *suffix) {
         return reg.getOrAdd(prefix + "." + suffix);
@@ -65,8 +69,24 @@ Tlb::translate(Addr addr, bool is_write)
 void
 Tlb::flush()
 {
+    EVAX_TRACE_EVENT(trace::CatTlb,
+                     trace::internName(prefix_), "flush", 0,
+                     map_.size());
     map_.clear();
     reg_.inc(flushes_);
+}
+
+void
+Tlb::regStats(StatRegistry &sr) const
+{
+    sr.setScalar(prefix_ + ".geometry.entries", entries_);
+    sr.setScalar(prefix_ + ".occupancy", map_.size(),
+                 "valid translations at dump time");
+    double accesses = reg_.value(accesses_);
+    sr.setNumber(prefix_ + ".missRate",
+                 accesses > 0 ? reg_.value(misses_) / accesses
+                              : 0.0,
+                 "misses / accesses over the run");
 }
 
 } // namespace evax

@@ -15,6 +15,8 @@
 namespace evax
 {
 
+class StatRegistry;
+
 /** TLB lookup result. */
 struct TlbResult
 {
@@ -48,10 +50,14 @@ class Tlb
 
     uint32_t entries() const { return entries_; }
 
+    /** Publish capacity, occupancy and miss rate under "<prefix>.". */
+    void regStats(StatRegistry &sr) const;
+
   private:
     Addr pageOf(Addr addr) const { return addr / pageBytes_; }
     void insert(Addr page);
 
+    std::string prefix_;
     uint32_t entries_;
     uint32_t walkLatency_;
     uint32_t pageBytes_;

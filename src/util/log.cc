@@ -1,7 +1,9 @@
 #include "util/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace evax
@@ -9,7 +11,7 @@ namespace evax
 
 namespace
 {
-bool verbose_ = true;
+std::atomic<bool> verbose_{true};
 
 std::string
 vstrfmt(const char *fmt, va_list ap)
@@ -21,6 +23,27 @@ vstrfmt(const char *fmt, va_list ap)
     std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
     va_end(ap2);
     return std::string(buf.data(), n);
+}
+
+/**
+ * Single locked sink: every message is composed into one complete
+ * line and written with one fwrite under a process-wide mutex, so
+ * parallel workers never interleave partial lines on stderr.
+ */
+void
+emitLine(const char *level, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 8);
+    line += level;
+    line += ": ";
+    line += msg;
+    line += '\n';
+
+    static std::mutex sink_mutex;
+    std::lock_guard<std::mutex> lk(sink_mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
 }
 } // anonymous namespace
 
@@ -37,13 +60,13 @@ strfmt(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!verbose_)
+    if (!verbose_.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", s.c_str());
+    emitLine("info", s);
 }
 
 void
@@ -53,7 +76,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", s.c_str());
+    emitLine("warn", s);
 }
 
 void
@@ -63,7 +86,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s\n", s.c_str());
+    emitLine("fatal", s);
     std::exit(1);
 }
 
@@ -74,20 +97,20 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", s.c_str());
+    emitLine("panic", s);
     std::abort();
 }
 
 void
 setVerbose(bool verbose)
 {
-    verbose_ = verbose;
+    verbose_.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return verbose_;
+    return verbose_.load(std::memory_order_relaxed);
 }
 
 } // namespace evax

@@ -1,0 +1,247 @@
+#include "util/statreg.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <typeinfo>
+
+#include "hpc/counters.hh"
+#include "util/log.hh"
+
+namespace evax
+{
+
+namespace
+{
+
+/** JSON-escape a string (names are tame, but be correct). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+void
+StatAvg::dumpValueText(std::ostream &os) const
+{
+    os << rs_.mean() << " +/- " << rs_.stddev()
+       << " (n=" << rs_.count() << ", min=" << rs_.min()
+       << ", max=" << rs_.max() << ")";
+}
+
+void
+StatAvg::dumpValueJson(std::ostream &os) const
+{
+    os << "{\"count\":" << rs_.count() << ",\"mean\":" << rs_.mean()
+       << ",\"stddev\":" << rs_.stddev() << ",\"min\":" << rs_.min()
+       << ",\"max\":" << rs_.max() << ",\"sum\":" << rs_.sum()
+       << "}";
+}
+
+void
+StatDist::dumpValueText(std::ostream &os) const
+{
+    os << "total=" << hist_.total() << " range=[" << lo_ << ","
+       << hi_ << ") bins=[";
+    for (size_t i = 0; i < hist_.numBins(); ++i)
+        os << (i ? " " : "") << hist_.bin(i);
+    os << "]";
+}
+
+void
+StatDist::dumpValueJson(std::ostream &os) const
+{
+    os << "{\"total\":" << hist_.total() << ",\"lo\":" << lo_
+       << ",\"hi\":" << hi_ << ",\"bins\":[";
+    for (size_t i = 0; i < hist_.numBins(); ++i)
+        os << (i ? "," : "") << hist_.bin(i);
+    os << "]}";
+}
+
+template <typename S, typename... Args>
+S &
+StatRegistry::getOrCreate(const std::string &path,
+                          const std::string &desc, Args &&...args)
+{
+    auto it = stats_.find(path);
+    if (it != stats_.end()) {
+        S *s = dynamic_cast<S *>(it->second.get());
+        if (!s) {
+            fatal("stat '%s' re-registered with a different kind",
+                  path.c_str());
+        }
+        if (!desc.empty() && s->desc().empty())
+            s->setDesc(desc);
+        return *s;
+    }
+    auto owned = std::make_unique<S>(path, desc,
+                                     std::forward<Args>(args)...);
+    S &ref = *owned;
+    stats_.emplace(path, std::move(owned));
+    return ref;
+}
+
+Stat<uint64_t> &
+StatRegistry::scalar(const std::string &path, const std::string &desc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return getOrCreate<Stat<uint64_t>>(path, desc);
+}
+
+Stat<double> &
+StatRegistry::number(const std::string &path, const std::string &desc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return getOrCreate<Stat<double>>(path, desc);
+}
+
+StatAvg &
+StatRegistry::avg(const std::string &path, const std::string &desc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return getOrCreate<StatAvg>(path, desc);
+}
+
+StatDist &
+StatRegistry::dist(const std::string &path, double lo, double hi,
+                   size_t bins, const std::string &desc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return getOrCreate<StatDist>(path, desc, lo, hi, bins);
+}
+
+void
+StatRegistry::setNumber(const std::string &path, double v,
+                        const std::string &desc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    getOrCreate<Stat<double>>(path, desc).set(v);
+}
+
+void
+StatRegistry::setScalar(const std::string &path, uint64_t v,
+                        const std::string &desc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    getOrCreate<Stat<uint64_t>>(path, desc).set(v);
+}
+
+void
+StatRegistry::addAvg(const std::string &path, double v,
+                     const std::string &desc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    getOrCreate<StatAvg>(path, desc).add(v);
+}
+
+const StatBase *
+StatRegistry::find(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = stats_.find(path);
+    return it == stats_.end() ? nullptr : it->second.get();
+}
+
+bool
+StatRegistry::has(const std::string &path) const
+{
+    return find(path) != nullptr;
+}
+
+void
+StatRegistry::importCounters(const CounterRegistry &reg)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (CounterId id = 0; id < (CounterId)reg.size(); ++id)
+        getOrCreate<Stat<double>>(reg.name(id), "").set(
+            reg.value(id));
+}
+
+std::map<std::string, double>
+StatRegistry::numericValues() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::map<std::string, double> out;
+    for (const auto &[path, stat] : stats_) {
+        if (auto *d = dynamic_cast<const Stat<double> *>(stat.get()))
+            out.emplace(path, d->value());
+        else if (auto *u =
+                     dynamic_cast<const Stat<uint64_t> *>(stat.get()))
+            out.emplace(path, (double)u->value());
+    }
+    return out;
+}
+
+size_t
+StatRegistry::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_.size();
+}
+
+void
+StatRegistry::dumpStats(std::ostream &os, StatsFormat fmt) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fmt == StatsFormat::Json) {
+        os << "{\n";
+        bool first = true;
+        for (const auto &[path, stat] : stats_) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << "  \"" << jsonEscape(path) << "\": ";
+            stat->dumpValueJson(os);
+        }
+        os << "\n}\n";
+        return;
+    }
+    os << "---------- Begin Simulation Statistics ----------\n";
+    for (const auto &[path, stat] : stats_) {
+        os << std::left << std::setw(44) << path << " ";
+        stat->dumpValueText(os);
+        if (!stat->desc().empty())
+            os << "  # " << stat->desc();
+        os << "\n";
+    }
+    os << "---------- End Simulation Statistics   ----------\n";
+}
+
+bool
+StatRegistry::saveStats(const std::string &path,
+                        StatsFormat fmt) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    dumpStats(f, fmt);
+    return (bool)f;
+}
+
+void
+StatRegistry::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.clear();
+}
+
+StatRegistry &
+StatRegistry::global()
+{
+    static StatRegistry reg;
+    return reg;
+}
+
+} // namespace evax

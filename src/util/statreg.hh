@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Hierarchical named-stats registry (gem5 Stats-style).
+ *
+ * Components publish statistics under dotted paths
+ * ("core.ipc", "dcache.demandHitRate", "detector.flags.raised") and
+ * a single dumpStats() renders the whole registry as aligned text or
+ * JSON — replacing the ad-hoc per-component struct copying the
+ * harnesses used to do. Four stat kinds cover the repo's needs:
+ *
+ *  - Stat<T>:  a plain scalar (counts, configuration values)
+ *  - StatAvg:  running mean/stddev/min/max (wraps RunningStat)
+ *  - StatDist: fixed-range histogram (wraps Histogram)
+ *
+ * Registration and the locked set/add helpers are thread-safe;
+ * mutating a Stat through a returned reference is single-writer by
+ * contract (each component owns its own paths).
+ */
+
+#ifndef EVAX_UTIL_STATREG_HH
+#define EVAX_UTIL_STATREG_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace evax
+{
+
+class CounterRegistry;
+
+/** Output renderings of a stats dump. */
+enum class StatsFormat { Text, Json };
+
+/** Base class of every registered statistic. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {
+    }
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+    void setDesc(const std::string &desc) { desc_ = desc; }
+
+    /** Render just the value(s), without the name column. */
+    virtual void dumpValueText(std::ostream &os) const = 0;
+    /** Render the value(s) as a JSON value (number or object). */
+    virtual void dumpValueJson(std::ostream &os) const = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Plain scalar statistic. */
+template <typename T>
+class Stat : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Stat &operator+=(T v) { value_ += v; return *this; }
+    Stat &operator++() { ++value_; return *this; }
+    void set(T v) { value_ = v; }
+    T value() const { return value_; }
+
+    void
+    dumpValueText(std::ostream &os) const override
+    {
+        os << value_;
+    }
+
+    void
+    dumpValueJson(std::ostream &os) const override
+    {
+        os << value_;
+    }
+
+  private:
+    T value_{};
+};
+
+/** Running mean / stddev / min / max statistic. */
+class StatAvg : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void add(double x) { rs_.add(x); }
+    const RunningStat &running() const { return rs_; }
+
+    void dumpValueText(std::ostream &os) const override;
+    void dumpValueJson(std::ostream &os) const override;
+
+  private:
+    RunningStat rs_;
+};
+
+/** Fixed-range linear-histogram statistic. */
+class StatDist : public StatBase
+{
+  public:
+    StatDist(std::string name, std::string desc, double lo,
+             double hi, size_t bins)
+        : StatBase(std::move(name), std::move(desc)),
+          hist_(lo, hi, bins), lo_(lo), hi_(hi)
+    {
+    }
+
+    void add(double x) { hist_.add(x); }
+    const Histogram &histogram() const { return hist_; }
+
+    void dumpValueText(std::ostream &os) const override;
+    void dumpValueJson(std::ostream &os) const override;
+
+  private:
+    Histogram hist_;
+    double lo_, hi_;
+};
+
+/**
+ * The registry: dotted-path -> owned stat, dumped in path order.
+ * scalar()/number()/avg()/dist() create on first use and return the
+ * existing stat afterwards; asking for an existing path with a
+ * different kind is a fatal() (paths are typed).
+ */
+class StatRegistry
+{
+  public:
+    Stat<uint64_t> &scalar(const std::string &path,
+                           const std::string &desc = "");
+    Stat<double> &number(const std::string &path,
+                         const std::string &desc = "");
+    StatAvg &avg(const std::string &path,
+                 const std::string &desc = "");
+    StatDist &dist(const std::string &path, double lo, double hi,
+                   size_t bins, const std::string &desc = "");
+
+    /** Locked create-or-set; safe from parallel regStats calls. */
+    void setNumber(const std::string &path, double v,
+                   const std::string &desc = "");
+    void setScalar(const std::string &path, uint64_t v,
+                   const std::string &desc = "");
+    /** Locked create-or-add into a StatAvg. */
+    void addAvg(const std::string &path, double v,
+                const std::string &desc = "");
+
+    /** Lookup without creating; nullptr if absent. */
+    const StatBase *find(const std::string &path) const;
+    bool has(const std::string &path) const;
+
+    /**
+     * Snapshot every counter of @c reg into number stats named by
+     * the counter names (set semantics: a later import refreshes).
+     */
+    void importCounters(const CounterRegistry &reg);
+
+    /**
+     * Current values of every scalar/number stat (used by the
+     * bench phase profiler to compute per-phase stat deltas).
+     */
+    std::map<std::string, double> numericValues() const;
+
+    size_t size() const;
+
+    /** Render the whole registry, sorted by path. */
+    void dumpStats(std::ostream &os, StatsFormat fmt) const;
+    /** dumpStats to a file; returns false on I/O failure. */
+    bool saveStats(const std::string &path, StatsFormat fmt) const;
+
+    /** Drop every stat (paths and values). */
+    void clear();
+
+    /** Process-wide registry used by the bench harness. */
+    static StatRegistry &global();
+
+  private:
+    template <typename S, typename... Args>
+    S &getOrCreate(const std::string &path, const std::string &desc,
+                   Args &&...args);
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<StatBase>> stats_;
+};
+
+} // namespace evax
+
+#endif // EVAX_UTIL_STATREG_HH

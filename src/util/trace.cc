@@ -1,0 +1,250 @@
+#include "util/trace.hh"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+namespace evax
+{
+namespace trace
+{
+
+namespace
+{
+
+struct CategoryEntry
+{
+    Category cat;
+    const char *name;
+};
+
+constexpr CategoryEntry kCategories[] = {
+    {CatCore, "core"},       {CatCache, "cache"},
+    {CatMem, "mem"},         {CatBp, "bp"},
+    {CatTlb, "tlb"},         {CatDram, "dram"},
+    {CatDetect, "detect"},   {CatDefense, "defense"},
+    {CatBench, "bench"},
+};
+
+} // anonymous namespace
+
+const char *
+categoryName(Category cat)
+{
+    for (const auto &e : kCategories) {
+        if (e.cat == cat)
+            return e.name;
+    }
+    return "?";
+}
+
+bool
+parseMask(const std::string &csv, uint32_t &mask_out)
+{
+    mask_out = 0;
+    size_t pos = 0;
+    while (pos <= csv.size()) {
+        size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string tok = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+        if (tok == "all") {
+            mask_out = CatAll;
+            continue;
+        }
+        bool found = false;
+        for (const auto &e : kCategories) {
+            if (tok == e.name) {
+                mask_out |= e.cat;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    // An all-empty spec ("" or ",,") enables nothing: reject it so
+    // callers can distinguish a typo'd flag from a real selection.
+    return mask_out != 0;
+}
+
+#if EVAX_TRACE_ENABLED
+
+namespace detail
+{
+std::atomic<uint32_t> mask_{0};
+} // namespace detail
+
+namespace
+{
+
+/** One thread's private ring buffer. */
+struct Ring
+{
+    std::mutex mu;
+    std::vector<Record> buf; ///< capacity-bounded
+    size_t capacity = 0;
+    size_t head = 0;         ///< next write slot once full
+    uint64_t written = 0;    ///< total accepted (>= buf.size())
+};
+
+struct Shared
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<Ring>> rings;
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> total{0};
+    std::atomic<size_t> capacity{1u << 14};
+    std::unordered_set<std::string> interned;
+};
+
+Shared &
+shared()
+{
+    static Shared s;
+    return s;
+}
+
+Ring &
+localRing()
+{
+    thread_local std::shared_ptr<Ring> ring = [] {
+        auto r = std::make_shared<Ring>();
+        Shared &s = shared();
+        r->capacity =
+            s.capacity.load(std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(s.mu);
+        s.rings.push_back(r);
+        return r;
+    }();
+    return *ring;
+}
+
+} // anonymous namespace
+
+void
+setMask(uint32_t mask)
+{
+    detail::mask_.store(mask, std::memory_order_relaxed);
+}
+
+uint32_t
+mask()
+{
+    return detail::mask_.load(std::memory_order_relaxed);
+}
+
+void
+record(Category cat, const char *component, const char *event,
+       uint64_t cycle, uint64_t arg)
+{
+    if (!categoryEnabled(cat))
+        return;
+    Shared &s = shared();
+    Record rec;
+    rec.cycle = cycle;
+    rec.arg = arg;
+    rec.seq = s.seq.fetch_add(1, std::memory_order_relaxed);
+    rec.component = component;
+    rec.event = event;
+    rec.category = cat;
+
+    Ring &r = localRing();
+    std::lock_guard<std::mutex> lk(r.mu);
+    ++r.written;
+    s.total.fetch_add(1, std::memory_order_relaxed);
+    if (r.buf.size() < r.capacity) {
+        r.buf.push_back(rec);
+        return;
+    }
+    // Full: overwrite the oldest slot.
+    r.buf[r.head] = rec;
+    r.head = (r.head + 1) % r.buf.size();
+}
+
+const char *
+internName(const std::string &name)
+{
+    Shared &s = shared();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.interned.insert(name).first->c_str();
+}
+
+void
+setRingCapacity(size_t records)
+{
+    shared().capacity.store(std::max<size_t>(1, records),
+                            std::memory_order_relaxed);
+}
+
+size_t
+ringCapacity()
+{
+    return shared().capacity.load(std::memory_order_relaxed);
+}
+
+void
+clear()
+{
+    Shared &s = shared();
+    std::lock_guard<std::mutex> lk(s.mu);
+    size_t cap = s.capacity.load(std::memory_order_relaxed);
+    for (auto &ring : s.rings) {
+        std::lock_guard<std::mutex> rlk(ring->mu);
+        ring->buf.clear();
+        ring->head = 0;
+        ring->written = 0;
+        ring->capacity = cap; // apply capacity changes on clear
+    }
+    s.total.store(0, std::memory_order_relaxed);
+}
+
+uint64_t
+totalRecorded()
+{
+    return shared().total.load(std::memory_order_relaxed);
+}
+
+std::vector<Record>
+snapshot()
+{
+    Shared &s = shared();
+    std::vector<Record> out;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        for (auto &ring : s.rings) {
+            std::lock_guard<std::mutex> rlk(ring->mu);
+            // Oldest-first: [head, end) then [0, head).
+            for (size_t i = 0; i < ring->buf.size(); ++i) {
+                size_t idx = (ring->head + i) % ring->buf.size();
+                out.push_back(ring->buf[idx]);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Record &a, const Record &b) {
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+void
+writeJsonl(std::ostream &os)
+{
+    for (const Record &r : snapshot()) {
+        os << "{\"seq\":" << r.seq << ",\"cycle\":" << r.cycle
+           << ",\"cat\":\"" << categoryName((Category)r.category)
+           << "\",\"component\":\"" << r.component
+           << "\",\"event\":\"" << r.event << "\",\"arg\":" << r.arg
+           << "}\n";
+    }
+}
+
+#endif // EVAX_TRACE_ENABLED
+
+} // namespace trace
+} // namespace evax

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Low-overhead structured event trace.
+ *
+ * Components emit fixed-size {cycle, component, event, arg} records
+ * into per-thread ring buffers; a dump stitches the buffers into one
+ * seq-ordered stream and renders it as JSONL, so a flagged detection
+ * window can be replayed cycle by cycle (docs/OBSERVABILITY.md).
+ *
+ * Two gates keep the cost honest:
+ *  - compile time: the EVAX_TRACE CMake option defines
+ *    EVAX_TRACE_ENABLED; at 0 every hook compiles to nothing and the
+ *    simulator carries no tracing code at all;
+ *  - run time: a category bitmask (off by default) checked with one
+ *    relaxed atomic load before any record is built. Benches set it
+ *    from --trace core,cache,detect (see bench/bench_util.hh).
+ *
+ * Thread model: each thread owns a private ring guarded by its own
+ * (uncontended) mutex, so recording from pool workers is TSan-clean;
+ * snapshot()/writeJsonl() lock each ring briefly while stitching.
+ * Component-name strings must outlive the dump: pass string
+ * literals, or intern dynamic names once via internName().
+ */
+
+#ifndef EVAX_UTIL_TRACE_HH
+#define EVAX_UTIL_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#ifndef EVAX_TRACE_ENABLED
+#define EVAX_TRACE_ENABLED 1
+#endif
+
+namespace evax
+{
+namespace trace
+{
+
+/** Event categories (bitmask values for the runtime gate). */
+enum Category : uint32_t
+{
+    CatCore = 1u << 0,    ///< pipeline: squash, mispredict, leak
+    CatCache = 1u << 1,   ///< cache structural events
+    CatMem = 1u << 2,     ///< memory system / write queue
+    CatBp = 1u << 3,      ///< branch predictor
+    CatTlb = 1u << 4,     ///< TLB flush / walk events
+    CatDram = 1u << 5,    ///< refresh, Rowhammer bit flips
+    CatDetect = 1u << 6,  ///< detector windows and flags
+    CatDefense = 1u << 7, ///< adaptive controller transitions
+    CatBench = 1u << 8,   ///< bench harness phases
+    CatAll = 0xffffffffu,
+};
+
+/** One trace record. POD, fixed size. */
+struct Record
+{
+    uint64_t cycle = 0;      ///< simulator cycle (component clock)
+    uint64_t arg = 0;        ///< event-specific payload
+    uint64_t seq = 0;        ///< global record order stamp
+    const char *component = ""; ///< emitting component (static str)
+    const char *event = "";  ///< event name (static string)
+    uint32_t category = 0;   ///< one Category bit
+};
+
+/** Name for one category bit ("core", "cache", ...). */
+const char *categoryName(Category cat);
+
+/**
+ * Parse a comma-separated category list ("core,cache,detect" or
+ * "all") into a mask. @return false on an unknown category name.
+ */
+bool parseMask(const std::string &csv, uint32_t &mask_out);
+
+#if EVAX_TRACE_ENABLED
+
+namespace detail
+{
+/** Runtime gate; read with one relaxed load on the hot path. */
+extern std::atomic<uint32_t> mask_;
+} // namespace detail
+
+/** True when tracing was compiled in (EVAX_TRACE=ON). */
+constexpr bool compiledIn() { return true; }
+
+/** Enable the given categories (replaces the whole mask). */
+void setMask(uint32_t mask);
+uint32_t mask();
+
+/** Hot-path gate: is this category being recorded? */
+inline bool
+categoryEnabled(Category cat)
+{
+    return (detail::mask_.load(std::memory_order_relaxed) & cat)
+           != 0;
+}
+
+/**
+ * Append one record to the calling thread's ring (drops the oldest
+ * record when full). No-op when the category is not enabled.
+ */
+void record(Category cat, const char *component, const char *event,
+            uint64_t cycle, uint64_t arg);
+
+/**
+ * Intern a dynamic component name, returning a pointer that stays
+ * valid for the process lifetime (call once at construction).
+ */
+const char *internName(const std::string &name);
+
+/** Per-thread ring capacity for rings created after this call. */
+void setRingCapacity(size_t records);
+size_t ringCapacity();
+
+/** Drop all buffered records in every thread's ring. */
+void clear();
+
+/** Records ever accepted into a ring (survives wraparound). */
+uint64_t totalRecorded();
+
+/** Stitch all rings into one stream ordered by seq. */
+std::vector<Record> snapshot();
+
+/** Render snapshot() as JSON Lines (one object per record). */
+void writeJsonl(std::ostream &os);
+
+#else // !EVAX_TRACE_ENABLED — every hook is a no-op
+
+constexpr bool compiledIn() { return false; }
+inline void setMask(uint32_t) {}
+inline uint32_t mask() { return 0; }
+constexpr bool categoryEnabled(Category) { return false; }
+inline void record(Category, const char *, const char *, uint64_t,
+                   uint64_t) {}
+inline const char *internName(const std::string &) { return ""; }
+inline void setRingCapacity(size_t) {}
+inline size_t ringCapacity() { return 0; }
+inline void clear() {}
+inline uint64_t totalRecorded() { return 0; }
+inline std::vector<Record> snapshot() { return {}; }
+inline void writeJsonl(std::ostream &) {}
+
+#endif // EVAX_TRACE_ENABLED
+
+} // namespace trace
+} // namespace evax
+
+/**
+ * Call-site hook: gates on the category mask before evaluating any
+ * argument expression, and vanishes entirely when compiled out.
+ */
+#if EVAX_TRACE_ENABLED
+#define EVAX_TRACE_EVENT(cat, component, event, cycle, arg)          \
+    do {                                                             \
+        if (::evax::trace::categoryEnabled(cat)) {                   \
+            ::evax::trace::record(cat, component, event,             \
+                                  (uint64_t)(cycle),                 \
+                                  (uint64_t)(arg));                  \
+        }                                                            \
+    } while (0)
+#else
+#define EVAX_TRACE_EVENT(cat, component, event, cycle, arg)          \
+    ((void)0)
+#endif
+
+#endif // EVAX_UTIL_TRACE_HH

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Documentation consistency tests (ctest label "docs"):
+ *
+ *  - every relative markdown link and intra-document anchor in the
+ *    repo's *.md files resolves;
+ *  - the docs/COUNTERS.md catalog lists exactly the detector's 145
+ *    feature names, in registry order, so the table cannot rot as
+ *    the feature set evolves.
+ *
+ * Compiled with EVAX_SOURCE_DIR pointing at the repo root.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hpc/features.hh"
+
+#ifndef EVAX_SOURCE_DIR
+#error "test_docs requires EVAX_SOURCE_DIR"
+#endif
+
+using namespace evax;
+
+namespace
+{
+
+struct MarkdownFile
+{
+    std::string relPath; ///< path relative to the repo root
+    std::vector<std::string> lines;
+};
+
+bool
+readLines(const std::string &path, std::vector<std::string> &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return true;
+}
+
+/** The repo's markdown set: top-level *.md plus docs/*.md. */
+std::vector<MarkdownFile>
+markdownFiles()
+{
+    static const char *const kFiles[] = {
+        "README.md",          "ROADMAP.md",
+        "DESIGN.md",          "EXPERIMENTS.md",
+        "PAPER.md",           "CHANGES.md",
+        "docs/OBSERVABILITY.md", "docs/COUNTERS.md",
+    };
+    std::vector<MarkdownFile> files;
+    for (const char *rel : kFiles) {
+        MarkdownFile f;
+        f.relPath = rel;
+        if (readLines(std::string(EVAX_SOURCE_DIR) + "/" + rel,
+                      f.lines)) {
+            files.push_back(std::move(f));
+        }
+    }
+    return files;
+}
+
+/** GitHub-style anchor slug for a heading text. */
+std::string
+slugify(const std::string &heading)
+{
+    std::string slug;
+    for (char c : heading) {
+        unsigned char u = (unsigned char)c;
+        if (std::isalnum(u)) {
+            slug += (char)std::tolower(u);
+        } else if (c == ' ' || c == '-') {
+            slug += '-';
+        } // other punctuation is dropped
+    }
+    return slug;
+}
+
+/** Anchors defined by a file's headings (skipping code fences). */
+std::set<std::string>
+collectAnchors(const MarkdownFile &f)
+{
+    std::set<std::string> anchors;
+    bool in_fence = false;
+    for (const std::string &line : f.lines) {
+        if (line.rfind("```", 0) == 0) {
+            in_fence = !in_fence;
+            continue;
+        }
+        if (in_fence || line.empty() || line[0] != '#')
+            continue;
+        size_t level = line.find_first_not_of('#');
+        if (level == std::string::npos ||
+            level >= line.size() || line[level] != ' ') {
+            continue;
+        }
+        std::string text = line.substr(level + 1);
+        std::string slug = slugify(text);
+        // GitHub dedups repeats as slug-1, slug-2; headings in these
+        // docs are unique, so plain slugs suffice.
+        anchors.insert(slug);
+    }
+    return anchors;
+}
+
+/** Extract every inline markdown link target in one line. */
+std::vector<std::string>
+linkTargets(const std::string &line)
+{
+    std::vector<std::string> targets;
+    for (size_t i = 0; i + 1 < line.size(); ++i) {
+        if (line[i] != ']' || line[i + 1] != '(')
+            continue;
+        size_t close = line.find(')', i + 2);
+        if (close == std::string::npos)
+            continue;
+        targets.push_back(line.substr(i + 2, close - i - 2));
+    }
+    return targets;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+std::string
+dirOf(const std::string &relPath)
+{
+    size_t slash = relPath.rfind('/');
+    return slash == std::string::npos ? ""
+                                      : relPath.substr(0, slash + 1);
+}
+
+/** Normalize "docs/../README.md" style paths. */
+std::string
+normalize(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::stringstream ss(path);
+    std::string part;
+    while (std::getline(ss, part, '/')) {
+        if (part.empty() || part == ".")
+            continue;
+        if (part == "..") {
+            if (!parts.empty())
+                parts.pop_back();
+            continue;
+        }
+        parts.push_back(part);
+    }
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i)
+        out += (i ? "/" : "") + parts[i];
+    return out;
+}
+
+} // anonymous namespace
+
+TEST(Docs, CoreDocumentsPresent)
+{
+    std::set<std::string> present;
+    for (const auto &f : markdownFiles())
+        present.insert(f.relPath);
+    for (const char *required :
+         {"README.md", "DESIGN.md", "EXPERIMENTS.md",
+          "docs/OBSERVABILITY.md", "docs/COUNTERS.md"}) {
+        EXPECT_TRUE(present.count(required))
+            << required << " is missing";
+    }
+}
+
+TEST(Docs, RelativeLinksResolve)
+{
+    std::vector<MarkdownFile> files = markdownFiles();
+    std::map<std::string, std::set<std::string>> anchorsByFile;
+    for (const auto &f : files)
+        anchorsByFile[normalize(f.relPath)] = collectAnchors(f);
+
+    for (const auto &f : files) {
+        bool in_fence = false;
+        for (size_t ln = 0; ln < f.lines.size(); ++ln) {
+            const std::string &line = f.lines[ln];
+            if (line.rfind("```", 0) == 0) {
+                in_fence = !in_fence;
+                continue;
+            }
+            if (in_fence)
+                continue;
+            for (const std::string &target : linkTargets(line)) {
+                if (target.rfind("http://", 0) == 0 ||
+                    target.rfind("https://", 0) == 0 ||
+                    target.rfind("mailto:", 0) == 0) {
+                    continue; // external: not checked offline
+                }
+                std::string where = f.relPath + ":" +
+                                    std::to_string(ln + 1);
+                std::string path = target, anchor;
+                size_t hash = target.find('#');
+                if (hash != std::string::npos) {
+                    path = target.substr(0, hash);
+                    anchor = target.substr(hash + 1);
+                }
+                std::string resolved =
+                    path.empty()
+                        ? normalize(f.relPath)
+                        : normalize(dirOf(f.relPath) + path);
+                if (!path.empty()) {
+                    EXPECT_TRUE(fileExists(
+                        std::string(EVAX_SOURCE_DIR) + "/" +
+                        resolved))
+                        << where << ": broken link -> " << target;
+                }
+                if (!anchor.empty() &&
+                    anchorsByFile.count(resolved)) {
+                    EXPECT_TRUE(
+                        anchorsByFile[resolved].count(anchor))
+                        << where << ": dangling anchor -> #"
+                        << anchor;
+                }
+            }
+        }
+    }
+}
+
+TEST(Docs, CountersCatalogMatchesFeatureRegistry)
+{
+    std::vector<std::string> lines;
+    ASSERT_TRUE(readLines(
+        std::string(EVAX_SOURCE_DIR) + "/docs/COUNTERS.md", lines))
+        << "docs/COUNTERS.md missing";
+
+    // Catalog rows: "| `name` | ... |" — first cell is the counter
+    // name in backticks, rows appear in registry order.
+    std::vector<std::string> documented;
+    for (const std::string &line : lines) {
+        if (line.rfind("| `", 0) != 0)
+            continue;
+        size_t start = line.find('`') + 1;
+        size_t end = line.find('`', start);
+        ASSERT_NE(end, std::string::npos) << "bad row: " << line;
+        documented.push_back(line.substr(start, end - start));
+        // Every row must fill all four columns.
+        EXPECT_GE((size_t)std::count(line.begin(), line.end(), '|'),
+                  5u)
+            << "row with missing cells: " << line;
+    }
+
+    const std::vector<std::string> &expected =
+        FeatureCatalog::evaxFeatureNames();
+    ASSERT_EQ(expected.size(), FeatureCatalog::numEvax);
+    ASSERT_EQ(documented.size(), expected.size())
+        << "docs/COUNTERS.md must document every detector feature";
+    for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(documented[i], expected[i])
+            << "row " << i
+            << " out of sync with FeatureCatalog order";
+    }
+}

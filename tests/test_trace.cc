@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Structured event trace tests: ring wraparound, category gating,
+ * stitching across pool workers, JSONL rendering, and the
+ * compiled-out zero-overhead contract.
+ */
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.hh"
+#include "util/trace.hh"
+
+using namespace evax;
+
+namespace
+{
+
+/** Reset mask + rings so tests don't see each other's records. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        trace::clear();
+        trace::setMask(0);
+    }
+
+    void
+    TearDown() override
+    {
+        trace::setMask(0);
+        trace::clear();
+    }
+};
+
+} // anonymous namespace
+
+TEST_F(TraceTest, RecordIsFixedSizePod)
+{
+    static_assert(std::is_trivially_copyable<trace::Record>::value,
+                  "trace records must stay POD");
+    // 3x u64 + 2 pointers + u32 (padded): the record must stay one
+    // small fixed-size struct so the ring is cache-friendly.
+    EXPECT_LE(sizeof(trace::Record), 48u);
+}
+
+TEST_F(TraceTest, ParseMaskKnownCategories)
+{
+    uint32_t mask = 0;
+    EXPECT_TRUE(trace::parseMask("core", mask));
+    EXPECT_EQ(mask, (uint32_t)trace::CatCore);
+
+    EXPECT_TRUE(trace::parseMask("core,cache,detect", mask));
+    EXPECT_EQ(mask, (uint32_t)(trace::CatCore | trace::CatCache |
+                               trace::CatDetect));
+
+    EXPECT_TRUE(trace::parseMask("all", mask));
+    EXPECT_EQ(mask, (uint32_t)trace::CatAll);
+
+    EXPECT_FALSE(trace::parseMask("core,nonsense", mask));
+    EXPECT_FALSE(trace::parseMask("", mask));
+}
+
+TEST_F(TraceTest, CategoryNamesRoundTrip)
+{
+    for (trace::Category cat :
+         {trace::CatCore, trace::CatCache, trace::CatMem,
+          trace::CatBp, trace::CatTlb, trace::CatDram,
+          trace::CatDetect, trace::CatDefense, trace::CatBench}) {
+        uint32_t mask = 0;
+        ASSERT_TRUE(trace::parseMask(trace::categoryName(cat),
+                                     mask));
+        EXPECT_EQ(mask, (uint32_t)cat);
+    }
+}
+
+#if EVAX_TRACE_ENABLED
+
+TEST_F(TraceTest, MaskGatesRecording)
+{
+    EXPECT_FALSE(trace::categoryEnabled(trace::CatCore));
+    EVAX_TRACE_EVENT(trace::CatCore, "t", "masked", 1, 2);
+    EXPECT_EQ(trace::snapshot().size(), 0u);
+
+    trace::setMask(trace::CatCore);
+    EXPECT_TRUE(trace::categoryEnabled(trace::CatCore));
+    EXPECT_FALSE(trace::categoryEnabled(trace::CatCache));
+    EVAX_TRACE_EVENT(trace::CatCore, "t", "kept", 1, 2);
+    EVAX_TRACE_EVENT(trace::CatCache, "t", "dropped", 1, 2);
+
+    std::vector<trace::Record> recs = trace::snapshot();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_STREQ(recs[0].event, "kept");
+    EXPECT_EQ(recs[0].category, (uint32_t)trace::CatCore);
+}
+
+TEST_F(TraceTest, RecordFieldsPreserved)
+{
+    trace::setMask(trace::CatDram);
+    trace::record(trace::CatDram, "dram", "rowhammer.flip", 12345,
+                  0xdeadbeefull);
+    std::vector<trace::Record> recs = trace::snapshot();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].cycle, 12345u);
+    EXPECT_EQ(recs[0].arg, 0xdeadbeefull);
+    EXPECT_STREQ(recs[0].component, "dram");
+    EXPECT_STREQ(recs[0].event, "rowhammer.flip");
+}
+
+TEST_F(TraceTest, WraparoundKeepsNewestRecords)
+{
+    trace::setRingCapacity(8);
+    trace::clear(); // re-create this thread's ring at capacity 8
+    trace::setMask(trace::CatCore);
+    for (uint64_t i = 0; i < 20; ++i)
+        trace::record(trace::CatCore, "t", "e", i, i);
+
+    EXPECT_EQ(trace::totalRecorded(), 20u);
+    std::vector<trace::Record> recs = trace::snapshot();
+    ASSERT_EQ(recs.size(), 8u);
+    // Oldest records overwritten: args 12..19 survive, in order.
+    for (size_t i = 0; i < recs.size(); ++i)
+        EXPECT_EQ(recs[i].arg, 12 + i);
+
+    trace::setRingCapacity(1u << 14);
+    trace::clear();
+}
+
+TEST_F(TraceTest, InternedNamesStable)
+{
+    std::string name = "dcache";
+    const char *a = trace::internName(name);
+    name[0] = 'X'; // interned copy must not alias the argument
+    const char *b = trace::internName("dcache");
+    EXPECT_EQ(a, b);
+    EXPECT_STREQ(a, "dcache");
+}
+
+TEST_F(TraceTest, SnapshotOrderedBySeq)
+{
+    trace::setMask(trace::CatCore | trace::CatBench);
+    for (uint64_t i = 0; i < 50; ++i) {
+        trace::record(i % 2 ? trace::CatCore : trace::CatBench, "t",
+                      "e", i, i);
+    }
+    std::vector<trace::Record> recs = trace::snapshot();
+    ASSERT_EQ(recs.size(), 50u);
+    for (size_t i = 1; i < recs.size(); ++i)
+        EXPECT_LT(recs[i - 1].seq, recs[i].seq);
+}
+
+TEST_F(TraceTest, ParallelRecordingLosesNothing)
+{
+    // Workers record concurrently into per-thread rings; the stitch
+    // must surface every record exactly once. Also the tsan-label
+    // proof that recording races with nothing.
+    trace::setMask(trace::CatBench);
+    constexpr size_t kJobs = 64, kPerJob = 16;
+    parallelFor(kJobs, [](size_t i) {
+        for (size_t j = 0; j < kPerJob; ++j) {
+            trace::record(trace::CatBench, "worker", "tick",
+                          /*cycle=*/i, /*arg=*/i * kPerJob + j);
+        }
+    });
+
+    std::vector<trace::Record> recs = trace::snapshot();
+    ASSERT_EQ(recs.size(), kJobs * kPerJob);
+    EXPECT_EQ(trace::totalRecorded(), kJobs * kPerJob);
+    std::set<uint64_t> args;
+    for (const auto &r : recs)
+        args.insert(r.arg);
+    EXPECT_EQ(args.size(), kJobs * kPerJob); // no dup, no loss
+}
+
+TEST_F(TraceTest, SerialAndParallelDumpsAgree)
+{
+    // The stitched record *set* must not depend on the thread count
+    // (per-thread interleavings differ, content must not).
+    auto run = [](unsigned lanes) {
+        setGlobalThreadCount(lanes);
+        trace::clear();
+        trace::setMask(trace::CatBench);
+        parallelFor(32, [](size_t i) {
+            trace::record(trace::CatBench, "worker", "tick", i, i);
+        });
+        std::vector<uint64_t> args;
+        for (const auto &r : trace::snapshot())
+            args.push_back(r.arg);
+        std::sort(args.begin(), args.end());
+        return args;
+    };
+    std::vector<uint64_t> serial = run(1);
+    std::vector<uint64_t> parallel4 = run(4);
+    EXPECT_EQ(serial, parallel4);
+    setGlobalThreadCount(1);
+}
+
+TEST_F(TraceTest, JsonlOneValidObjectPerRecord)
+{
+    trace::setMask(trace::CatDetect);
+    trace::record(trace::CatDetect, "detector", "flag", 7, 3);
+    trace::record(trace::CatDetect, "detector.context",
+                  "sys.leaks", 7, 11);
+
+    std::ostringstream os;
+    trace::writeJsonl(os);
+    std::istringstream is(os.str());
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(is, line)) {
+        ++lines;
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+        EXPECT_NE(line.find("\"cycle\":"), std::string::npos);
+        EXPECT_NE(line.find("\"cat\":\"detect\""),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"component\":"), std::string::npos);
+        EXPECT_NE(line.find("\"event\":"), std::string::npos);
+        EXPECT_NE(line.find("\"arg\":"), std::string::npos);
+    }
+    EXPECT_EQ(lines, 2u);
+}
+
+TEST_F(TraceTest, ClearDropsBufferedRecords)
+{
+    trace::setMask(trace::CatCore);
+    trace::record(trace::CatCore, "t", "e", 1, 1);
+    ASSERT_EQ(trace::snapshot().size(), 1u);
+    trace::clear();
+    EXPECT_EQ(trace::snapshot().size(), 0u);
+}
+
+#else // !EVAX_TRACE_ENABLED
+
+TEST_F(TraceTest, CompiledOutHooksAreNoOps)
+{
+    EXPECT_FALSE(trace::compiledIn());
+    trace::setMask(trace::CatAll);
+    EXPECT_EQ(trace::mask(), 0u);
+    EXPECT_FALSE(trace::categoryEnabled(trace::CatCore));
+    EVAX_TRACE_EVENT(trace::CatCore, "t", "e", 1, 2);
+    trace::record(trace::CatCore, "t", "e", 1, 2);
+    EXPECT_EQ(trace::totalRecorded(), 0u);
+    EXPECT_TRUE(trace::snapshot().empty());
+    std::ostringstream os;
+    trace::writeJsonl(os);
+    EXPECT_TRUE(os.str().empty());
+}
+
+#endif // EVAX_TRACE_ENABLED
