@@ -71,8 +71,9 @@ BM_SamplerWindow(benchmark::State &state)
     Sampler sampler(reg, 1);
     uint64_t insts = 0;
     for (auto _ : state) {
+        ++insts;
         benchmark::DoNotOptimize(
-            sampler.sampleNow(++insts, insts * 2));
+            sampler.sampleNow(insts, insts * 2));
     }
 }
 BENCHMARK(BM_SamplerWindow);

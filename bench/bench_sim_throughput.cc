@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmarks (google-benchmark): ticks/sec
+ * and committed instructions/sec for every benign workload kernel and
+ * every attack class, plus the figure-15 corpus-collection
+ * configuration (100-instruction sampling, one seed per kernel) that
+ * dominates the repo's worst-case bench runtime.
+ *
+ * The JSON emitted with --benchmark_out=... is the committed
+ * BENCH_sim.json baseline; bench/check_bench_regression.py compares
+ * a fresh run against it so a PR that slows the tick loop down
+ * fails loudly. Counters:
+ *
+ *   ticks_per_sec  simulated core cycles per wall-clock second
+ *   insts_per_sec  committed instructions per wall-clock second
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "attacks/registry.hh"
+#include "bench/bench_util.hh"
+#include "core/collector.hh"
+#include "core/experiment.hh"
+#include "sim/core.hh"
+#include "workload/registry.hh"
+
+using namespace evax;
+
+namespace
+{
+
+/** Stream length for the per-kernel throughput runs. */
+constexpr uint64_t kKernelLength = 20000;
+
+void
+reportRates(benchmark::State &state, uint64_t cycles,
+            uint64_t insts)
+{
+    state.counters["ticks_per_sec"] = benchmark::Counter(
+        (double)cycles, benchmark::Counter::kIsRate);
+    state.counters["insts_per_sec"] = benchmark::Counter(
+        (double)insts, benchmark::Counter::kIsRate);
+}
+
+/** One fresh core per iteration, sampler attached as the corpus
+ *  path does, so the measured loop is the real collection path. */
+template <typename MakeStream>
+void
+runKernelThroughput(benchmark::State &state, MakeStream make,
+                    uint64_t interval)
+{
+    uint64_t cycles = 0, insts = 0;
+    for (auto _ : state) {
+        CounterRegistry reg;
+        CoreParams params; // O3Core keeps a reference
+        O3Core core(params, reg);
+        Sampler sampler(reg, interval);
+        sampler.setNormalizeEnabled(false);
+        core.attachSampler(&sampler);
+        auto stream = make();
+        SimResult res = core.run(*stream);
+        benchmark::DoNotOptimize(res);
+        cycles += res.cycles;
+        insts += res.committedInsts;
+    }
+    reportRates(state, cycles, insts);
+}
+
+void
+workloadThroughput(benchmark::State &state, const std::string &name)
+{
+    runKernelThroughput(
+        state,
+        [&] { return WorkloadRegistry::create(name, 7,
+                                              kKernelLength); },
+        1000);
+}
+
+void
+attackThroughput(benchmark::State &state, const std::string &name)
+{
+    runKernelThroughput(
+        state,
+        [&] { return AttackRegistry::create(name, 7,
+                                            kKernelLength); },
+        1000);
+}
+
+/**
+ * The figure-15 worst case: a full corpus collection at
+ * 100-instruction sampling with one seed per kernel — exactly the
+ * configuration bench_fig15_fp_fn rebuilds for its third row.
+ */
+void
+fig15CorpusCollection(benchmark::State &state)
+{
+    ExperimentScale scale = ExperimentScale::standard();
+    CollectorConfig cfg = scale.collector;
+    cfg.sampleInterval = 100;
+    cfg.benignSeeds = 1;
+    cfg.attackSeeds = 1;
+
+    uint64_t cycles = 0, insts = 0;
+    for (auto _ : state) {
+        Collector collector(cfg);
+        Dataset data;
+        data.classNames = AttackRegistry::classNames();
+        for (const auto &name : WorkloadRegistry::names()) {
+            auto wl = WorkloadRegistry::create(name, 11,
+                                               cfg.benignLength);
+            SimResult r = collector.collectStream(
+                *wl, BENIGN_CLASS, false, data);
+            cycles += r.cycles;
+            insts += r.committedInsts;
+        }
+        for (const auto &name : AttackRegistry::names()) {
+            auto atk = AttackRegistry::create(name, 13,
+                                              cfg.attackLength);
+            SimResult r = collector.collectStream(
+                *atk, AttackRegistry::classId(name), true, data);
+            cycles += r.cycles;
+            insts += r.committedInsts;
+        }
+        benchmark::DoNotOptimize(data.samples.data());
+    }
+    reportRates(state, cycles, insts);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    printBuildInfo(std::cout);
+
+    for (const auto &name : WorkloadRegistry::names()) {
+        benchmark::RegisterBenchmark(
+            ("workload/" + name).c_str(),
+            [name](benchmark::State &s) {
+                workloadThroughput(s, name);
+            })
+            ->Unit(benchmark::kMillisecond);
+    }
+    for (const auto &name : AttackRegistry::names()) {
+        benchmark::RegisterBenchmark(
+            ("attack/" + name).c_str(),
+            [name](benchmark::State &s) {
+                attackThroughput(s, name);
+            })
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark("corpus/fig15_interval100",
+                                 fig15CorpusCollection)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

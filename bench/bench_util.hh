@@ -30,6 +30,32 @@ namespace evax
 {
 
 /**
+ * One-line build-info header so perf numbers in any log are always
+ * attributable to a configuration: git revision, build type,
+ * sanitizer preset, whether trace hooks are compiled in, and the
+ * thread-pool width at print time.
+ */
+inline void
+printBuildInfo(std::ostream &os)
+{
+#ifndef EVAX_GIT_DESCRIBE
+#define EVAX_GIT_DESCRIBE "unknown"
+#endif
+#ifndef EVAX_SANITIZE_NAME
+#define EVAX_SANITIZE_NAME ""
+#endif
+#ifndef EVAX_BUILD_TYPE
+#define EVAX_BUILD_TYPE "unknown"
+#endif
+    const char *san = EVAX_SANITIZE_NAME;
+    os << "[build: " << EVAX_GIT_DESCRIBE
+       << " " << EVAX_BUILD_TYPE
+       << " sanitizer=" << (*san ? san : "none")
+       << " trace=" << (trace::compiledIn() ? "on" : "off")
+       << " threads=" << globalThreadCount() << "]\n";
+}
+
+/**
  * Apply the standard bench thread flags: `--threads N` pins the
  * pool to N lanes, `--serial` to 1. Without a flag the pool keeps
  * its default (EVAX_THREADS env or hardware concurrency). Figure
@@ -220,6 +246,7 @@ class BenchObservability
   public:
     BenchObservability(int argc, char **argv)
     {
+        printBuildInfo(std::cout);
         uint32_t mask = 0;
         bool trace_requested = false;
         for (int i = 1; i < argc; ++i) {

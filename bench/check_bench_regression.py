@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_sim_throughput run against a committed
+baseline (google-benchmark JSON, e.g. BENCH_sim.json).
+
+Every benchmark present in BOTH files is compared on its rate
+counters (ticks_per_sec, insts_per_sec): the current run must reach
+at least baseline/tolerance.  The default tolerance of 2.0 is
+deliberately generous so CI machine noise never blocks a PR; a real
+hot-path regression is far bigger than 2x on these counters.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--tolerance X]
+    check_bench_regression.py BASELINE.json CURRENT.json --min-speedup X \
+        [--filter SUBSTR]
+
+--min-speedup inverts the check: the current run must be at least X
+times FASTER than the baseline on every compared benchmark (used to
+assert the committed pre-optimization baseline was actually beaten).
+--filter restricts the comparison to benchmark names containing the
+substring.
+"""
+
+import argparse
+import json
+import sys
+
+RATE_COUNTERS = ("ticks_per_sec", "insts_per_sec")
+
+
+def load_rates(path):
+    """benchmark name -> {counter: value} for aggregate-free runs."""
+    with open(path) as f:
+        doc = json.load(f)
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        counters = {c: b[c] for c in RATE_COUNTERS if c in b}
+        if counters:
+            rates[b["name"]] = counters
+    return rates
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="compare bench_sim_throughput runs")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=2.0,
+                    help="allowed slowdown factor (default 2.0)")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="require current >= baseline * X instead")
+    ap.add_argument("--filter", default="",
+                    help="only compare benchmarks containing this")
+    args = ap.parse_args()
+
+    base = load_rates(args.baseline)
+    cur = load_rates(args.current)
+    shared = sorted(set(base) & set(cur))
+    if args.filter:
+        shared = [n for n in shared if args.filter in n]
+    if not shared:
+        print("error: no comparable benchmarks between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in shared:
+        for counter in RATE_COUNTERS:
+            if counter not in base[name] or counter not in cur[name]:
+                continue
+            b, c = base[name][counter], cur[name][counter]
+            if b <= 0:
+                continue
+            ratio = c / b
+            if args.min_speedup is not None:
+                ok = ratio >= args.min_speedup
+                want = f">= {args.min_speedup:.2f}x baseline"
+            else:
+                ok = ratio >= 1.0 / args.tolerance
+                want = f">= 1/{args.tolerance:.2f} of baseline"
+            status = "ok  " if ok else "FAIL"
+            print(f"{status} {name:40s} {counter:14s} "
+                  f"baseline={b:14.0f} current={c:14.0f} "
+                  f"ratio={ratio:6.3f} ({want})")
+            if not ok:
+                failures.append((name, counter, ratio))
+
+    if failures:
+        print(f"\n{len(failures)} benchmark counter(s) out of bounds",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {len(shared)} compared benchmarks within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

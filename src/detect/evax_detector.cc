@@ -15,30 +15,48 @@ EvaxDetector::EvaxDetector(std::vector<EngineeredFeature> engineered,
     // (replicated) features is what keeps diluted/evasive attack
     // windows above the boundary (see Perceptron::setWeightDecay).
     model_.setWeightDecay(3e-3);
+    engineeredIdx_.reserve(engineered_.size());
+    for (const auto &e : engineered_)
+        engineeredIdx_.emplace_back(FeatureCatalog::baseIndex(e.a),
+                                    FeatureCatalog::baseIndex(e.b));
+}
+
+void
+EvaxDetector::expandInto(const std::vector<double> &base,
+                         std::vector<double> &out) const
+{
+    size_t n = std::min(base.size(), FeatureCatalog::numBase);
+    out.assign(base.begin(), base.begin() + n);
+    out.resize(FeatureCatalog::numBase, 0.0);
+    for (const auto &[ia, ib] : engineeredIdx_)
+        out.push_back(std::min(out[ia], out[ib]));
 }
 
 std::vector<double>
 EvaxDetector::expand(const std::vector<double> &base) const
 {
-    std::vector<double> x = base;
-    x.resize(FeatureCatalog::numBase, 0.0);
-    std::vector<double> eng =
-        FeatureCatalog::computeEngineered(x, engineered_);
-    x.insert(x.end(), eng.begin(), eng.end());
+    std::vector<double> x;
+    expandInto(base, x);
     return x;
 }
 
 double
 EvaxDetector::score(const std::vector<double> &base) const
 {
-    return model_.score(expand(base));
+    // thread_local scratch: flag()/score() run on worker threads in
+    // the parallel engine, so the reused buffer must be per-thread.
+    thread_local std::vector<double> scratch;
+    expandInto(base, scratch);
+    return model_.score(scratch);
 }
 
 bool
 EvaxDetector::flag(const std::vector<double> &base) const
 {
     windows_.fetch_add(1, std::memory_order_relaxed);
-    bool raised = model_.predict(expand(base));
+    thread_local std::vector<double> scratch;
+    expandInto(base, scratch);
+    bool raised = model_.predict(scratch);
     if (raised)
         flags_.fetch_add(1, std::memory_order_relaxed);
     return raised;

@@ -47,6 +47,10 @@ class EvaxDetector : public Detector
     std::vector<double> expand(const std::vector<double> &base)
         const;
 
+    /** expand() into caller-owned storage (allocation-free reuse). */
+    void expandInto(const std::vector<double> &base,
+                    std::vector<double> &out) const;
+
     const std::vector<EngineeredFeature> &engineered() const
     { return engineered_; }
     Perceptron &model() { return model_; }
@@ -63,6 +67,9 @@ class EvaxDetector : public Detector
 
   private:
     std::vector<EngineeredFeature> engineered_;
+    /** Base-feature index pairs for engineered_, resolved once so
+     *  the per-window expand skips the name-map lookups. */
+    std::vector<std::pair<size_t, size_t>> engineeredIdx_;
     Perceptron model_;
     double lr_ = 0.05;
     /** Relaxed atomics: flag() is const and called from workers. */

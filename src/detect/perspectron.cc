@@ -20,13 +20,15 @@ PerSpectron::view(const std::vector<double> &base) const
 double
 PerSpectron::score(const std::vector<double> &base) const
 {
-    return model_.score(view(base));
+    // No view() copy: Perceptron::score truncates the dot product to
+    // its own weight width, so the extra tail features are inert.
+    return model_.score(base);
 }
 
 bool
 PerSpectron::flag(const std::vector<double> &base) const
 {
-    return model_.predict(view(base));
+    return model_.predict(base);
 }
 
 void

@@ -75,13 +75,19 @@ FeatureSnapshot
 Sampler::sampleNow(uint64_t committed_insts, uint64_t cycle)
 {
     FeatureSnapshot snap;
-    snap.base = rawDeltas();
+    // One dense pass: each counter is read once, producing the delta
+    // and advancing the per-window baseline together (rawDeltas()
+    // followed by a second refresh loop read every counter twice).
+    snap.base.resize(ids_.size());
+    for (size_t i = 0; i < ids_.size(); ++i) {
+        double cur = reg_.value(ids_[i]);
+        snap.base[i] = std::max(0.0, cur - lastValues_[i]);
+        lastValues_[i] = cur;
+    }
     if (normalizeEnabled_)
         norm_.normalize(snap.base);
     snap.instCount = committed_insts;
     snap.cycle = cycle;
-    for (size_t i = 0; i < ids_.size(); ++i)
-        lastValues_[i] = reg_.value(ids_[i]);
     ++windows_;
     return snap;
 }

@@ -109,10 +109,10 @@ Cache::access(Addr addr, bool is_write, Cycle now,
     reg_.inc(is_write ? writeAccesses_ : readAccesses_);
     reg_.inc(aggAccesses_);
 
-    expireMshrs(now);
-
     Line *line = findLine(addr);
     if (line) {
+        // Hit fast path: never touches the MSHRs, so expiry can wait
+        // for the next miss without changing any counter or latency.
         line->lruStamp = ++lruClock_;
         if (is_write)
             line->dirty = true;
@@ -122,6 +122,8 @@ Cache::access(Addr addr, bool is_write, Cycle now,
         res.latency = config_.latency;
         return res;
     }
+
+    expireMshrs(now);
 
     reg_.inc(is_write ? writeMisses_ : readMisses_);
     reg_.inc(aggMisses_);
@@ -176,6 +178,21 @@ Cache::access(Addr addr, bool is_write, Cycle now,
         victim.lruStamp = ++lruClock_;
     }
     return res;
+}
+
+std::vector<Addr>
+Cache::residentLines() const
+{
+    std::vector<Addr> out;
+    for (uint32_t set = 0; set < numSets_; ++set) {
+        for (uint32_t w = 0; w < config_.assoc; ++w) {
+            const Line &l = lines_[(size_t)set * config_.assoc + w];
+            if (l.valid)
+                out.push_back((l.tag * numSets_ + set) *
+                              config_.lineSize);
+        }
+    }
+    return out;
 }
 
 bool

@@ -89,6 +89,14 @@ class Cache
     uint32_t numSets() const { return numSets_; }
     uint32_t assoc() const { return config_.assoc; }
 
+    // Test introspection (property tests assert structural
+    // invariants over these; not used by the simulation itself).
+    /** Outstanding-miss registers currently allocated. */
+    size_t mshrsInFlight() const { return mshrs_.size(); }
+    uint32_t mshrCapacity() const { return config_.mshrs; }
+    /** Line addresses of every valid line. */
+    std::vector<Addr> residentLines() const;
+
     /**
      * Publish geometry and derived rates (hit rate, MSHR pressure)
      * under "<prefix>." in @c sr (raw event counters are exported

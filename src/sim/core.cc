@@ -107,6 +107,7 @@ O3Core::O3Core(const CoreParams &params, CounterRegistry &reg)
       ids_(std::make_unique<Ids>(reg))
 {
     freeIntRegs_ = params.numPhysIntRegs;
+    rob_.reset(params.robEntries);
 }
 
 O3Core::~O3Core() = default;
@@ -124,6 +125,14 @@ O3Core::resetRunState()
     std::fill(lastWriter_.begin(), lastWriter_.end(), 0);
     freeIntRegs_ = params_.numPhysIntRegs;
     lqOccupancy_ = sqOccupancy_ = iqOccupancy_ = 0;
+    unresolvedBranches_.clear();
+    nonFinal_.clear();
+    loadSeqs_.clear();
+    storeSeqs_.clear();
+    dispatchedSeqs_.clear();
+    issuedSeqs_.clear();
+    dispatchedCount_ = issuedCount_ = unexposedInvisible_ = 0;
+    minIssuedReady_ = 0;
     fetchStallUntil_ = 0;
     lastFetchLine_ = (Addr)-1;
     serializeWait_ = false;
@@ -131,21 +140,11 @@ O3Core::resetRunState()
     result_ = SimResult();
 }
 
-O3Core::RobEntry *
-O3Core::entryBySeq(SeqNum seq)
-{
-    if (rob_.empty())
-        return nullptr;
-    SeqNum head = rob_.front().seq;
-    if (seq < head || seq >= head + rob_.size())
-        return nullptr;
-    RobEntry &e = rob_[seq - head];
-    return e.seq == seq ? &e : nullptr;
-}
-
 bool
-O3Core::sourcesReady(const RobEntry &e)
+O3Core::sourcesReady(RobEntry &e)
 {
+    if (e.srcsReady)
+        return true;
     for (SeqNum p : {e.src0Producer, e.src1Producer}) {
         if (p == 0)
             continue;
@@ -153,36 +152,46 @@ O3Core::sourcesReady(const RobEntry &e)
         if (prod && prod->state != EntryState::Complete)
             return false;
     }
+    e.srcsReady = true;
     return true;
 }
 
 bool
 O3Core::olderUnresolvedBranch(SeqNum seq) const
 {
-    for (const RobEntry &e : rob_) {
-        if (e.seq >= seq)
+    // unresolvedBranches_ holds exactly the incomplete branches in
+    // program order, so the oldest one answers for every caller.
+    return !unresolvedBranches_.empty() &&
+           unresolvedBranches_.front() < seq;
+}
+
+void
+O3Core::pruneNonFinalFront()
+{
+    // nonFinal_ records may go stale in place (an entry completes
+    // without faulting) — finality is monotonic, so popping stale
+    // records off the head keeps front() the oldest live non-final
+    // entry at amortized O(1).
+    while (!nonFinal_.empty()) {
+        RobEntry *e = entryBySeq(nonFinal_.front());
+        if (e &&
+            (e->state != EntryState::Complete || e->op.faults ||
+             e->op.injected)) {
             break;
-        if (e.op.isBranch() && e.state != EntryState::Complete)
-            return true;
+        }
+        nonFinal_.pop_front();
     }
-    return false;
 }
 
 bool
-O3Core::allOlderComplete(SeqNum seq) const
+O3Core::allOlderComplete(SeqNum seq)
 {
-    for (const RobEntry &e : rob_) {
-        if (e.seq >= seq)
-            break;
-        // A faulting or poisoned access is never architecturally
-        // final before retirement: its "completion" is exactly the
-        // transient state the futuristic threat model distrusts.
-        if (e.state != EntryState::Complete || e.op.faults ||
-            e.op.injected) {
-            return false;
-        }
-    }
-    return true;
+    // A faulting or poisoned access is never architecturally final
+    // before retirement: its "completion" is exactly the transient
+    // state the futuristic threat model distrusts. nonFinal_ tracks
+    // those entries, so the oldest one answers the query.
+    pruneNonFinalFront();
+    return nonFinal_.empty() || nonFinal_.front() >= seq;
 }
 
 bool
@@ -192,7 +201,7 @@ O3Core::loadIsSpeculative(const RobEntry &e) const
 }
 
 bool
-O3Core::defenseBlocksLoad(const RobEntry &e) const
+O3Core::defenseBlocksLoad(const RobEntry &e)
 {
     switch (defense_) {
       case DefenseMode::FenceSpectre:
@@ -203,16 +212,23 @@ O3Core::defenseBlocksLoad(const RobEntry &e) const
         // Fence before every load: the load waits until every
         // older memory or control operation has executed and no
         // older access can still fault or replay. Wrong-path and
-        // fault-window loads never satisfy this.
+        // fault-window loads never satisfy this. Every blocking
+        // entry is by definition non-final, so only the nonFinal_
+        // index needs scanning (records that completed in place
+        // are skipped).
         if (e.badPathCause != 0)
             return true;
-        for (const RobEntry &older : rob_) {
-            if (older.seq >= e.seq)
+        pruneNonFinalFront();
+        for (SeqNum s : nonFinal_) {
+            if (s >= e.seq)
                 break;
-            if (older.op.faults || older.op.injected)
+            const RobEntry *older = entryBySeq(s);
+            if (!older)
+                continue;
+            if (older->op.faults || older->op.injected)
                 return true;
-            if ((older.op.isMemRef() || older.op.isBranch()) &&
-                older.state != EntryState::Complete) {
+            if ((older->op.isMemRef() || older->op.isBranch()) &&
+                older->state != EntryState::Complete) {
                 return true;
             }
         }
@@ -220,6 +236,22 @@ O3Core::defenseBlocksLoad(const RobEntry &e) const
       default:
         return false;
     }
+}
+
+void
+O3Core::markIssued(RobEntry &e, Cycle ready)
+{
+    e.state = EntryState::Issued;
+    e.readyCycle = ready;
+    --dispatchedCount_;
+    ++issuedCount_;
+    if (issuedCount_ == 1 || ready < minIssuedReady_)
+        minIssuedReady_ = ready;
+    // Sorted insert (usually at the back: the newly issued entry is
+    // most often the youngest in flight).
+    auto it = std::lower_bound(issuedSeqs_.begin(),
+                               issuedSeqs_.end(), e.seq);
+    issuedSeqs_.insert(it, e.seq);
 }
 
 void
@@ -231,24 +263,24 @@ O3Core::issueLoad(RobEntry &e)
     if (e.op.injected) {
         reg_.inc(ids_->lsqSpecLoadsWrQ);
         reg_.inc(ids_->wqBytesRead, e.op.size);
-        e.state = EntryState::Issued;
-        e.readyCycle = cycle_ + 1;
+        markIssued(e, cycle_ + 1);
         return;
     }
 
-    // Store-to-load forwarding from older in-flight stores.
+    // Store-to-load forwarding from older in-flight stores; the
+    // storeSeqs_ index walks only the stores, in program order.
     Addr line = e.op.addr & ~(Addr)(params_.lineSize - 1);
-    for (const RobEntry &older : rob_) {
-        if (older.seq >= e.seq)
+    for (SeqNum s : storeSeqs_) {
+        if (s >= e.seq)
             break;
-        if (!older.op.isStore() || !older.addrReady)
+        const RobEntry *older = entryBySeq(s);
+        if (!older || !older->addrReady)
             continue;
-        Addr sline = older.op.addr & ~(Addr)(params_.lineSize - 1);
+        Addr sline = older->op.addr & ~(Addr)(params_.lineSize - 1);
         if (sline == line) {
             reg_.inc(ids_->lsqForwLoads);
             reg_.inc(ids_->lsqBytesForwarded, e.op.size);
-            e.state = EntryState::Issued;
-            e.readyCycle = cycle_ + 1;
+            markIssued(e, cycle_ + 1);
             return;
         }
     }
@@ -272,9 +304,10 @@ O3Core::issueLoad(RobEntry &e)
         reg_.inc(ids_->lsqSpecLoadsWrQ);
 
     e.invisible = invisible;
+    if (invisible)
+        ++unexposedInvisible_;
     e.completedFill = !invisible && !lr.hitWriteQueue;
-    e.state = EntryState::Issued;
-    e.readyCycle = cycle_ + std::max<uint32_t>(1, lr.latency);
+    markIssued(e, cycle_ + std::max<uint32_t>(1, lr.latency));
 
     // Transmission: a secret-dependent access that touches the real
     // cache hierarchy leaves an observable footprint the attacker
@@ -292,19 +325,24 @@ O3Core::issueLoad(RobEntry &e)
 void
 O3Core::checkMemOrderViolation(const RobEntry &store)
 {
+    // Only loads can violate; walk the load index (program order,
+    // so the oldest matching load is squashed, as before).
+    if (loadSeqs_.empty() || loadSeqs_.back() <= store.seq)
+        return;
     Addr sline = store.op.addr & ~(Addr)(params_.lineSize - 1);
-    for (const RobEntry &e : rob_) {
-        if (e.seq <= store.seq)
+    for (SeqNum s : loadSeqs_) {
+        if (s <= store.seq)
             continue;
-        if (!e.op.isLoad() || e.state == EntryState::Dispatched)
+        const RobEntry *e = entryBySeq(s);
+        if (!e || e->state == EntryState::Dispatched)
             continue;
-        if (e.badPathCause != 0)
+        if (e->badPathCause != 0)
             continue;
-        Addr lline = e.op.addr & ~(Addr)(params_.lineSize - 1);
+        Addr lline = e->op.addr & ~(Addr)(params_.lineSize - 1);
         if (lline == sline) {
             reg_.inc(ids_->iewMemOrderViolations);
             reg_.inc(ids_->lsqRescheduledLoads);
-            squashFrom(e.seq, true);
+            squashFrom(s, true);
             return;
         }
     }
@@ -329,6 +367,12 @@ O3Core::squashFrom(SeqNum from_seq, bool replay_good_path)
         reg_.inc(ids_->robSquashed);
         reg_.inc(ids_->commitSquashed);
         reg_.inc(ids_->renameSquashed);
+        if (e.state == EntryState::Dispatched && dispatchedCount_ > 0)
+            --dispatchedCount_;
+        if (e.state == EntryState::Issued && issuedCount_ > 0)
+            --issuedCount_;
+        if (e.invisible && !e.exposed && unexposedInvisible_ > 0)
+            --unexposedInvisible_;
         if (e.state != EntryState::Complete && iqOccupancy_ > 0)
             --iqOccupancy_; // still held an IQ slot
         if (e.state == EntryState::Dispatched) {
@@ -359,6 +403,23 @@ O3Core::squashFrom(SeqNum from_seq, bool replay_good_path)
             replay.push_back(e.op);
         rob_.pop_back();
     }
+    // Squash recovery on the seq indexes is a suffix pop: every
+    // index is sorted by seq, and the squash removed exactly the
+    // suffix >= from_seq.
+    while (!unresolvedBranches_.empty() &&
+           unresolvedBranches_.back() >= from_seq)
+        unresolvedBranches_.pop_back();
+    while (!nonFinal_.empty() && nonFinal_.back() >= from_seq)
+        nonFinal_.pop_back();
+    while (!loadSeqs_.empty() && loadSeqs_.back() >= from_seq)
+        loadSeqs_.pop_back();
+    while (!storeSeqs_.empty() && storeSeqs_.back() >= from_seq)
+        storeSeqs_.pop_back();
+    while (!dispatchedSeqs_.empty() &&
+           dispatchedSeqs_.back() >= from_seq)
+        dispatchedSeqs_.pop_back();
+    while (!issuedSeqs_.empty() && issuedSeqs_.back() >= from_seq)
+        issuedSeqs_.pop_back();
     // Restore program order for the ROB-resident squashed ops.
     std::reverse(replay.begin(), replay.end());
 
@@ -427,12 +488,15 @@ O3Core::exposeScan()
     // the Futuristic model the visibility point is retirement, so
     // validation happens at the commit head instead (see
     // commitStage).
+    if (unexposedInvisible_ == 0)
+        return; // the scan below has no effect without candidates
     bool futuristic = defense_ == DefenseMode::InvisiSpecFuturistic;
     unsigned exposes = 0;
     bool unresolved_branch = false;
     bool older_incomplete = false;
     unsigned scanned = 0;
-    for (RobEntry &e : rob_) {
+    for (size_t i = 0, n = rob_.size(); i < n; ++i) {
+        RobEntry &e = rob_[i];
         if (++scanned > 48 || exposes >= 4)
             break;
         bool unsafe = futuristic ? (older_incomplete ||
@@ -449,6 +513,8 @@ O3Core::exposeScan()
             break; // in-order validation: younger loads must wait
         }
         e.exposed = true;
+        if (unexposedInvisible_ > 0)
+            --unexposedInvisible_;
         bool present = mem_.dcache().probe(e.op.addr);
         mem_.expose(e.op.addr, cycle_);
         // The Futuristic model validates every load against the
@@ -460,6 +526,21 @@ O3Core::exposeScan()
         e.readyCycle = std::max(e.readyCycle, cycle_ + cost);
         ++exposes;
     }
+}
+
+void
+O3Core::dropHeadFromIndexes(const RobEntry &e)
+{
+    // The popped head is the oldest entry, so any index record for
+    // it (and any stale record older than it) sits at the front.
+    if (e.op.isLoad() && !loadSeqs_.empty() &&
+        loadSeqs_.front() == e.seq)
+        loadSeqs_.pop_front();
+    if (e.op.isStore() && !storeSeqs_.empty() &&
+        storeSeqs_.front() == e.seq)
+        storeSeqs_.pop_front();
+    while (!nonFinal_.empty() && nonFinal_.front() <= e.seq)
+        nonFinal_.pop_front();
 }
 
 void
@@ -479,6 +560,8 @@ O3Core::commitStage()
         // round-trip otherwise.
         if (e.invisible && !e.exposed) {
             e.exposed = true;
+            if (unexposedInvisible_ > 0)
+                --unexposedInvisible_;
             bool present = mem_.dcache().probe(e.op.addr);
             mem_.expose(e.op.addr, cycle_);
             e.readyCycle = cycle_ +
@@ -514,6 +597,7 @@ O3Core::commitStage()
                 }
                 if (f.op.isLoad() && lqOccupancy_ > 0)
                     --lqOccupancy_;
+                dropHeadFromIndexes(f);
                 rob_.pop_front();
             }
             break; // pipeline flush ends this commit group
@@ -561,6 +645,7 @@ O3Core::commitStage()
         reg_.inc(ids_->commitOps);
         ++committedInsts_;
         ++committed;
+        dropHeadFromIndexes(e);
         rob_.pop_front();
     }
 
@@ -580,11 +665,39 @@ O3Core::commitStage()
 void
 O3Core::completeStage()
 {
-    for (size_t i = 0; i < rob_.size(); ++i) {
-        RobEntry &e = rob_[i];
-        if (e.state != EntryState::Issued || e.readyCycle > cycle_)
+    // Early-out: nothing in flight, or nothing can retire yet.
+    // minIssuedReady_ is a lower bound (a squash can leave it
+    // stale-low, costing at most one wasted scan).
+    if (issuedCount_ == 0 || minIssuedReady_ > cycle_)
+        return;
+    Cycle new_min = (Cycle)-1;
+    // issuedSeqs_ is exactly the Issued entries in program order, so
+    // this walk visits the same entries as the old whole-ROB scan.
+    // Completed records are erased in place (erase-at-i keeps the
+    // walk position); a squash suffix-pops, and we return right
+    // after, so the index stays coherent.
+    for (size_t i = 0; i < issuedSeqs_.size();) {
+        RobEntry *pe = entryBySeq(issuedSeqs_[i]);
+        if (!pe || pe->state != EntryState::Issued) {
+            issuedSeqs_.erase(issuedSeqs_.begin() + (long)i);
+            continue; // defensive: invariant says this can't happen
+        }
+        RobEntry &e = *pe;
+        if (e.readyCycle > cycle_) {
+            new_min = std::min(new_min, e.readyCycle);
+            ++i;
             continue;
+        }
+        issuedSeqs_.erase(issuedSeqs_.begin() + (long)i);
         e.state = EntryState::Complete;
+        if (issuedCount_ > 0)
+            --issuedCount_;
+        if (e.op.isBranch() && !unresolvedBranches_.empty()) {
+            auto it = std::find(unresolvedBranches_.begin(),
+                                unresolvedBranches_.end(), e.seq);
+            if (it != unresolvedBranches_.end())
+                unresolvedBranches_.erase(it);
+        }
         if (iqOccupancy_ > 0)
             --iqOccupancy_;
         reg_.inc(ids_->iewExecuted);
@@ -597,9 +710,14 @@ O3Core::completeStage()
             resolveBranch(e);
         if (e.op.isStore())
             checkMemOrderViolation(e);
-        if (rob_.size() != size_before)
-            break; // a squash invalidated the iteration state
+        if (rob_.size() != size_before) {
+            // A squash invalidated the iteration state; rescan next
+            // cycle rather than trusting the partial minimum.
+            minIssuedReady_ = 0;
+            return;
+        }
     }
+    minIssuedReady_ = new_min;
 }
 
 void
@@ -608,19 +726,37 @@ O3Core::issueStage()
     reg_.inc(ids_->iqOccupancy, (double)iqOccupancy_);
     reg_.inc(ids_->robOccupancy, (double)rob_.size());
 
+    // Early-out: an empty issue window scans (and counts) nothing.
+    if (dispatchedCount_ == 0)
+        return;
+
     unsigned issued = 0;
     // Simple per-cycle FU pools.
     unsigned alu_slots = 6, mem_slots = 4, long_slots = 2;
-    unsigned examined = 0;
     bool defense_blocked = false;
 
-    for (size_t i = 0; i < rob_.size() && issued < params_.issueWidth;
-         ++i) {
-        if (++examined > 64)
-            break; // bounded wakeup scan
-        RobEntry &e = rob_[i];
+    // Walk the dispatched-seq index instead of the whole ROB.
+    // Records go stale when their entry issues: the front ones are
+    // popped here, mid-deque ones skipped until they surface. The
+    // old scan's 64-entries-examined bound examined exactly ROB
+    // slots 0..63, which the index walk reproduces as a position
+    // bound relative to the head seq.
+    while (!dispatchedSeqs_.empty()) {
+        RobEntry *f = entryBySeq(dispatchedSeqs_.front());
+        if (f && f->state == EntryState::Dispatched)
+            break;
+        dispatchedSeqs_.pop_front();
+    }
+    const SeqNum head_seq = rob_.head_;
+
+    for (SeqNum s : dispatchedSeqs_) {
+        if (issued >= params_.issueWidth)
+            break;
+        if (s - head_seq >= 64)
+            break; // bounded wakeup scan window
+        RobEntry &e = rob_.bySeq(s);
         if (e.state != EntryState::Dispatched)
-            continue;
+            continue; // stale record (already issued)
         if (!sourcesReady(e)) {
             reg_.inc(ids_->iqReadyConflicts);
             continue;
@@ -699,8 +835,7 @@ O3Core::issueStage()
             break;
         }
 
-        e.state = EntryState::Issued;
-        e.readyCycle = cycle_ + latency;
+        markIssued(e, cycle_ + latency);
         ++issued;
         reg_.inc(ids_->iqIssued);
     }
@@ -776,10 +911,19 @@ O3Core::dispatchStage()
         reg_.inc(ids_->decodeDecoded);
         reg_.inc(ids_->iqAdded);
         ++iqOccupancy_;
-        if (f.op.isLoad())
+        if (f.op.isLoad()) {
             ++lqOccupancy_;
-        if (f.op.isStore())
+            loadSeqs_.push_back(e.seq);
+        }
+        if (f.op.isStore()) {
             ++sqOccupancy_;
+            storeSeqs_.push_back(e.seq);
+        }
+        if (f.op.isBranch())
+            unresolvedBranches_.push_back(e.seq);
+        nonFinal_.push_back(e.seq);
+        dispatchedSeqs_.push_back(e.seq);
+        ++dispatchedCount_;
 
         rob_.push_back(std::move(e));
         fetchQueue_.pop_front();

@@ -114,9 +114,64 @@ class O3Core
         bool trapPending = false;  ///< fault seen at head, delaying
         bool addrReady = false;    ///< store address computed
         bool completedFill = false; ///< load installed a cache line
+        /** Cached sourcesReady() verdict. Monotonic: producers only
+         *  move toward Complete, and a squash that removes a
+         *  producer removes its (younger) consumers too. */
+        bool srcsReady = false;
         SeqNum src0Producer = 0;
         SeqNum src1Producer = 0;
         SeqNum prevWriter = 0;     ///< rename undo map
+    };
+
+    /**
+     * The ROB as a fixed-capacity ring keyed by seq (DESIGN.md §10).
+     * Entries are seq-dense — the slot of seq is buf_[seq & mask_] —
+     * so entryBySeq and the wakeup walks are a masked index into one
+     * contiguous array instead of a segmented-deque traversal.
+     * Popped slots are reclaimed lazily on overwrite.
+     */
+    struct RobRing
+    {
+        std::vector<RobEntry> buf_;
+        SeqNum mask_ = 0;
+        SeqNum head_ = 1; ///< seq of the oldest entry
+        SeqNum tail_ = 1; ///< one past the youngest entry's seq
+
+        void
+        reset(size_t capacity)
+        {
+            size_t n = 1;
+            while (n < capacity)
+                n <<= 1;
+            buf_.assign(n, RobEntry());
+            mask_ = n - 1;
+            head_ = tail_ = 1;
+        }
+        void
+        clear()
+        {
+            // Cold path: release held transient blocks too.
+            buf_.assign(buf_.size(), RobEntry());
+            head_ = tail_ = 1;
+        }
+        bool empty() const { return head_ == tail_; }
+        size_t size() const { return (size_t)(tail_ - head_); }
+        RobEntry &operator[](size_t i)
+        { return buf_[(head_ + i) & mask_]; }
+        RobEntry &front() { return buf_[head_ & mask_]; }
+        RobEntry &back() { return buf_[(tail_ - 1) & mask_]; }
+        /** Unchecked slot lookup; caller guarantees seq in range. */
+        RobEntry &bySeq(SeqNum seq) { return buf_[seq & mask_]; }
+        void
+        push_back(RobEntry &&e)
+        {
+            if (empty())
+                head_ = tail_ = e.seq; // resync after a drain
+            buf_[tail_ & mask_] = std::move(e);
+            ++tail_;
+        }
+        void pop_front() { ++head_; }
+        void pop_back() { --tail_; }
     };
 
     struct FetchedOp
@@ -136,13 +191,26 @@ class O3Core
     void fetchStage(InstStream &stream);
 
     // Helpers.
-    RobEntry *entryBySeq(SeqNum seq);
-    bool sourcesReady(const RobEntry &e);
+    /** O(1) ROB lookup (dense by seq); hot enough to live inline. */
+    RobEntry *
+    entryBySeq(SeqNum seq)
+    {
+        if (seq < rob_.head_ || seq >= rob_.tail_)
+            return nullptr;
+        return &rob_.bySeq(seq);
+    }
+    bool sourcesReady(RobEntry &e);
     bool olderUnresolvedBranch(SeqNum seq) const;
-    bool allOlderComplete(SeqNum seq) const;
-    bool defenseBlocksLoad(const RobEntry &e) const;
+    bool allOlderComplete(SeqNum seq);
+    bool defenseBlocksLoad(const RobEntry &e);
     bool loadIsSpeculative(const RobEntry &e) const;
     void issueLoad(RobEntry &e);
+    /** Transition @p e Dispatched -> Issued (index bookkeeping). */
+    void markIssued(RobEntry &e, Cycle ready);
+    /** Drop finalized records off the nonFinal_ index head. */
+    void pruneNonFinalFront();
+    /** Commit-side cleanup of the seq indexes for a popped head. */
+    void dropHeadFromIndexes(const RobEntry &e);
     void resolveBranch(RobEntry &e);
     void checkMemOrderViolation(const RobEntry &store);
     /**
@@ -169,7 +237,7 @@ class O3Core
     Cycle cycle_ = 0;
     uint64_t committedInsts_ = 0;
     SeqNum nextSeq_ = 1;
-    std::deque<RobEntry> rob_;
+    RobRing rob_;
     std::deque<FetchedOp> fetchQueue_;
     std::deque<MicroOp> pendingReplay_;
     std::vector<SeqNum> lastWriter_;
@@ -177,6 +245,30 @@ class O3Core
     unsigned lqOccupancy_ = 0;
     unsigned sqOccupancy_ = 0;
     unsigned iqOccupancy_ = 0;
+
+    // Hot-path seq indexes over the ROB (DESIGN.md §10). Each deque
+    // holds seq numbers in program (= ascending) order, so the
+    // per-cycle scans that used to walk the whole ROB become a
+    // front/back comparison or a walk over just the relevant
+    // entries. Maintained at dispatch / issue / complete / squash /
+    // commit; squash recovery is a suffix pop, commit a head pop.
+    std::deque<SeqNum> unresolvedBranches_; ///< incomplete branches
+    std::deque<SeqNum> nonFinal_;   ///< not architecturally final
+    std::deque<SeqNum> loadSeqs_;   ///< loads in the ROB
+    std::deque<SeqNum> storeSeqs_;  ///< stores in the ROB
+    /** Entries awaiting issue; records go stale once issued and are
+     *  lazily dropped (front-pruned / skipped) by issueStage. */
+    std::deque<SeqNum> dispatchedSeqs_;
+    /** Exactly the Issued entries, sorted by seq: inserted by
+     *  markIssued, erased at completion, suffix-popped on squash.
+     *  (Commit never pops a non-Complete head, so no stale records.) */
+    std::deque<SeqNum> issuedSeqs_;
+    unsigned dispatchedCount_ = 0;  ///< entries awaiting issue
+    unsigned issuedCount_ = 0;      ///< entries awaiting completion
+    unsigned unexposedInvisible_ = 0; ///< invisible loads to expose
+    /** Lower bound on the earliest readyCycle of any Issued entry
+     *  (stale-low is safe: it only costs a wasted scan). */
+    Cycle minIssuedReady_ = 0;
 
     // Wrong-path / transient-injection fetch state.
     std::deque<MicroOp> wrongPathBuffer_;

@@ -237,6 +237,36 @@ TEST(Docs, RelativeLinksResolve)
     }
 }
 
+TEST(Docs, HotPathSectionAnchorsItsContract)
+{
+    // DESIGN.md §10 is the written contract for the tick-loop
+    // optimizations: anyone touching the hot path must find the
+    // byte-identical-CSV invariant and the guard-rail suites from
+    // there. Pin the anchor and the load-bearing references so the
+    // section cannot silently rot or be renamed away.
+    MarkdownFile design;
+    design.relPath = "DESIGN.md";
+    ASSERT_TRUE(readLines(
+        std::string(EVAX_SOURCE_DIR) + "/DESIGN.md", design.lines));
+
+    std::set<std::string> anchors = collectAnchors(design);
+    EXPECT_TRUE(anchors.count("10-hot-path-layout"))
+        << "DESIGN.md must keep the '## 10. Hot-path layout' "
+           "heading";
+
+    std::string body;
+    for (const std::string &line : design.lines)
+        body += line + "\n";
+    for (const char *required :
+         {"byte-identical", "RobRing", "srcsReady",
+          "tests/test_golden.cc", "BENCH_sim.json",
+          "bench/check_bench_regression.py"}) {
+        EXPECT_NE(body.find(required), std::string::npos)
+            << "DESIGN.md hot-path section lost reference to '"
+            << required << "'";
+    }
+}
+
 TEST(Docs, CountersCatalogMatchesFeatureRegistry)
 {
     std::vector<std::string> lines;

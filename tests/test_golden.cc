@@ -1,0 +1,567 @@
+/**
+ * @file
+ * Pinned golden digests for every figure bench's CSV-producing
+ * computation, at test scale. The full-size figure CSVs are
+ * regenerated (not committed), so these digests are the tripwire
+ * that keeps hot-path work semantics-preserving: each test runs a
+ * shrunken version of one bench's pipeline and compares a bit-exact
+ * FNV-1a digest of the numbers that feed its CSV rows against a
+ * pinned constant. Any change to simulator counters, sampler
+ * windows, detector scores or training — however small — moves at
+ * least one digest.
+ *
+ * Figure 19's K-fold digest is pinned in test_integration.cc
+ * (GoldenSeeds.KfoldMetricsDigestIsPinned); everything else is
+ * here.
+ *
+ * When a digest moves *intentionally* (a semantic change to the
+ * simulator or models), re-pin it and say so in the commit message;
+ * the figure CSVs must be re-baselined in the same PR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+
+#include "attacks/registry.hh"
+#include "core/endtoend.hh"
+#include "core/experiment.hh"
+#include "core/kfold.hh"
+#include "core/vaccination.hh"
+#include "detect/evax_detector.hh"
+#include "detect/perspectron.hh"
+#include "hpc/features.hh"
+#include "ml/metrics.hh"
+#include "ml/mlp.hh"
+#include "sim/core.hh"
+#include "util/stats.hh"
+#include "workload/registry.hh"
+
+namespace evax
+{
+namespace
+{
+
+/** FNV-1a over a stream of doubles (bit-exact, not approximate). */
+uint64_t
+hashDoubles(uint64_t h, const double *v, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t bits;
+        std::memcpy(&bits, &v[i], sizeof(bits));
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+uint64_t
+hashU64(uint64_t h, uint64_t bits)
+{
+    for (int b = 0; b < 8; ++b) {
+        h ^= (bits >> (8 * b)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+
+uint64_t
+hashDouble(uint64_t h, double v)
+{
+    return hashDoubles(h, &v, 1);
+}
+
+/** Digest a SimResult's externally visible fields. */
+uint64_t
+hashSimResult(uint64_t h, const SimResult &r)
+{
+    h = hashU64(h, r.cycles);
+    h = hashU64(h, r.committedInsts);
+    h = hashU64(h, r.leaks);
+    h = hashU64(h, r.firstLeakInst);
+    h = hashU64(h, r.bitFlips);
+    h = hashU64(h, r.squashes);
+    h = hashU64(h, r.streamExhausted ? 1 : 0);
+    return h;
+}
+
+uint64_t
+datasetDigest(const Dataset &data)
+{
+    uint64_t h = kFnvSeed;
+    for (const auto &s : data.samples) {
+        h = hashDoubles(h, s.x.data(), s.x.size());
+        h ^= (uint64_t)s.attackClass * 0x9e3779b97f4a7c15ULL;
+        h ^= s.malicious ? 0x5bULL : 0xa4ULL;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** EXPECT with a hex print so re-pinning is copy-paste. */
+void
+expectDigest(uint64_t actual, uint64_t pinned, const char *label)
+{
+    EXPECT_EQ(actual, pinned)
+        << label << " digest moved: actual 0x" << std::hex << actual
+        << " (pinned 0x" << pinned << ")";
+}
+
+/**
+ * The quick-scale experiment every detector-level golden shares
+ * (corpus + profile + trained PerSpectron and EVAX detectors).
+ * Built once; tests must not mutate it.
+ */
+const ExperimentSetup &
+sharedSetup()
+{
+    static const ExperimentSetup setup =
+        buildExperiment(ExperimentScale::quick(), 42);
+    return setup;
+}
+
+const Dataset &
+quickCorpus()
+{
+    return sharedSetup().corpus;
+}
+
+// ---------------------------------------------------------------
+// Core-level digests: the most direct tripwire for tick-loop work.
+// Every stream x defense-mode combination digests the full counter
+// register file plus the SimResult, so a single extra or missing
+// counter increment anywhere in the pipeline moves it.
+// ---------------------------------------------------------------
+
+uint64_t
+coreRunDigest(const std::string &stream_name, bool is_attack,
+              DefenseMode mode)
+{
+    CounterRegistry reg;
+    CoreParams params; // O3Core keeps a reference; must outlive it
+    O3Core core(params, reg);
+    core.setDefenseMode(mode);
+    Sampler sampler(reg, 1000);
+    sampler.setNormalizeEnabled(false);
+    core.attachSampler(&sampler);
+    auto stream = is_attack
+                      ? AttackRegistry::create(stream_name, 3, 6000)
+                      : WorkloadRegistry::create(stream_name, 3,
+                                                 6000);
+    SimResult res = core.run(*stream);
+    std::vector<double> snap = reg.snapshot();
+    uint64_t h = hashDoubles(kFnvSeed, snap.data(), snap.size());
+    h = hashSimResult(h, res);
+    h = hashU64(h, sampler.windowsClosed());
+    return h;
+}
+
+struct CoreCase
+{
+    const char *stream;
+    bool attack;
+    DefenseMode mode;
+    uint64_t pinned;
+};
+
+TEST(GoldenCore, CounterDigestsBenignStreams)
+{
+    const CoreCase cases[] = {
+        {"compress", false, DefenseMode::None, 0x6b84392a76f46220ULL},
+        {"fft", false, DefenseMode::None, 0xa7156221cc8bec08ULL},
+        {"linalg", false, DefenseMode::None, 0x55d3709835d2b8f8ULL},
+        {"eventsim", false, DefenseMode::None, 0x88da3a8a882f5bd8ULL},
+        {"sort", false, DefenseMode::None, 0x55e4be3da17fde88ULL},
+    };
+    for (const auto &c : cases) {
+        expectDigest(coreRunDigest(c.stream, c.attack, c.mode),
+                     c.pinned, c.stream);
+    }
+}
+
+TEST(GoldenCore, CounterDigestsAttackStreams)
+{
+    const CoreCase cases[] = {
+        {"spectre-pht", true, DefenseMode::None, 0x828d0b846d7baa20ULL},
+        {"spectre-stl", true, DefenseMode::None, 0x56c7208d509cc5d2ULL},
+        {"meltdown", true, DefenseMode::None, 0x6906cd11ab964df7ULL},
+        {"lvi", true, DefenseMode::None, 0x7077dffbc0289e39ULL},
+        {"rowhammer", true, DefenseMode::None, 0x6dc0e0138d1984caULL},
+        {"smotherspectre", true, DefenseMode::None, 0x555b4d343d0260c5ULL},
+        {"flush-reload", true, DefenseMode::None, 0xbd0d4bda7f0f5359ULL},
+        {"medusa-shadow-rep", true, DefenseMode::None, 0xeea05e9305907f83ULL},
+    };
+    for (const auto &c : cases) {
+        expectDigest(coreRunDigest(c.stream, c.attack, c.mode),
+                     c.pinned, c.stream);
+    }
+}
+
+TEST(GoldenCore, CounterDigestsDefenseModes)
+{
+    const CoreCase cases[] = {
+        {"compress", false, DefenseMode::FenceSpectre, 0xf49a9e7110b0f661ULL},
+        {"compress", false, DefenseMode::FenceFuturistic, 0x140e6b1e8ac1ccc1ULL},
+        {"compress", false, DefenseMode::InvisiSpecSpectre, 0xc07b4475b3f6f794ULL},
+        {"compress", false, DefenseMode::InvisiSpecFuturistic,
+         0xfdd1eb1b4575ec67ULL},
+        {"spectre-pht", true, DefenseMode::FenceSpectre, 0x2028aa15c60c5479ULL},
+        {"spectre-pht", true, DefenseMode::FenceFuturistic, 0x126daac6865fb9e0ULL},
+        {"spectre-pht", true, DefenseMode::InvisiSpecSpectre,
+         0x1153b060c17663feULL},
+        {"spectre-pht", true, DefenseMode::InvisiSpecFuturistic,
+         0x8cfd36e8c984787eULL},
+        {"meltdown", true, DefenseMode::InvisiSpecFuturistic,
+         0x5769607e58486f7bULL},
+    };
+    for (const auto &c : cases) {
+        std::string label = std::string(c.stream) + "/mode" +
+                            std::to_string((int)c.mode);
+        expectDigest(coreRunDigest(c.stream, c.attack, c.mode),
+                     c.pinned, label.c_str());
+    }
+}
+
+/** The fig15 third-row configuration: 100-instruction sampling. */
+TEST(GoldenCore, Interval100CorpusDigest)
+{
+    CollectorConfig cfg;
+    cfg.sampleInterval = 100;
+    cfg.benignLength = 5000;
+    cfg.attackLength = 4000;
+    cfg.benignSeeds = 1;
+    cfg.attackSeeds = 1;
+    Collector collector(cfg);
+    Dataset data;
+    data.classNames = AttackRegistry::classNames();
+    auto wl = WorkloadRegistry::create("compress", 11, 5000);
+    collector.collectStream(*wl, BENIGN_CLASS, false, data);
+    auto atk = AttackRegistry::create("spectre-stl", 13, 4000);
+    collector.collectStream(*atk, AttackRegistry::classId(
+                                      "spectre-stl"),
+                            true, data);
+    expectDigest(datasetDigest(data), 0xb2dcf17c5a982463ULL, "interval100corpus");
+}
+
+// ---------------------------------------------------------------
+// Figure-level digests (shrunken pipelines, same code paths).
+// ---------------------------------------------------------------
+
+/** Figure 7: AM-GAN style/disc/gen loss per epoch. */
+TEST(GoldenFigures, Fig07StyleLossDigest)
+{
+    ExperimentScale scale = ExperimentScale::quick();
+    Dataset corpus = quickCorpus(); // already normalized
+    Vaccinator vaccinator(scale.vaccination);
+    VaccinationResult vr = vaccinator.run(corpus);
+    ASSERT_FALSE(vr.styleLossHistory.empty());
+    uint64_t h = hashDoubles(kFnvSeed, vr.styleLossHistory.data(),
+                             vr.styleLossHistory.size());
+    for (const auto &l : vr.lossHistory) {
+        h = hashDouble(h, l.discLoss);
+        h = hashDouble(h, l.genLoss);
+    }
+    expectDigest(h, 0xee8ce1cf8954431fULL, "fig07");
+}
+
+/** Figure 14: per-policy IPC on benign kernels. */
+TEST(GoldenFigures, Fig14IpcDigest)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    constexpr uint64_t run_len = 12000;
+    uint64_t h = kFnvSeed;
+    for (const char *name : {"compress", "fft"}) {
+        auto mk = [&] {
+            return WorkloadRegistry::create(name, 5, run_len);
+        };
+        h = hashDouble(h,
+                       runPlain(*mk(), DefenseMode::None).ipc());
+        h = hashDouble(
+            h, runPlain(*mk(), DefenseMode::InvisiSpecSpectre)
+                   .ipc());
+
+        GatedRunConfig cfg;
+        cfg.profile = setup.profile;
+        cfg.adaptive.secureMode = DefenseMode::InvisiSpecSpectre;
+        cfg.adaptive.secureWindowInsts = 100000;
+        h = hashDouble(h, runGated(*mk(), *setup.perspectron, cfg)
+                              .sim.ipc());
+        h = hashDouble(h,
+                       runGated(*mk(), *setup.evax, cfg).sim.ipc());
+        cfg.adaptive.secureMode = DefenseMode::FenceFuturistic;
+        h = hashDouble(h,
+                       runGated(*mk(), *setup.evax, cfg).sim.ipc());
+    }
+    expectDigest(h, 0x4c7fe64838ebc504ULL, "fig14");
+}
+
+/** Figure 15: per-window detector decisions (FP/FN study). */
+TEST(GoldenFigures, Fig15WindowDecisionsDigest)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    GatedRunConfig cfg;
+    cfg.profile = setup.profile;
+    cfg.sampleInterval = 1000;
+
+    uint64_t h = kFnvSeed;
+    Detector *dets[2] = {setup.perspectron.get(),
+                         setup.evax.get()};
+    for (Detector *det : dets) {
+        for (const char *name : {"compress", "eventsim"}) {
+            auto wl = WorkloadRegistry::create(name, 31, 10000);
+            for (bool d : windowDecisions(*wl, *det, cfg))
+                h = hashU64(h, d ? 1 : 0);
+        }
+        for (const char *name : {"spectre-pht", "meltdown"}) {
+            auto atk = AttackRegistry::create(name, 37, 8000);
+            for (bool d : windowDecisions(*atk, *det, cfg))
+                h = hashU64(h, d ? 1 : 0);
+        }
+    }
+    expectDigest(h, 0xd1004cfaf7ad3085ULL, "fig15");
+}
+
+/** Figure 16: always-on vs gated overhead + gated security. */
+TEST(GoldenFigures, Fig16OverheadDigest)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    constexpr uint64_t run_len = 12000;
+    uint64_t h = kFnvSeed;
+    for (DefenseMode mode : {DefenseMode::FenceSpectre,
+                             DefenseMode::InvisiSpecSpectre}) {
+        auto base_wl = WorkloadRegistry::create("compress", 5,
+                                                run_len);
+        h = hashDouble(h,
+                       runPlain(*base_wl, DefenseMode::None).ipc());
+        auto on_wl = WorkloadRegistry::create("compress", 5,
+                                              run_len);
+        h = hashDouble(h, runPlain(*on_wl, mode).ipc());
+
+        GatedRunConfig cfg;
+        cfg.profile = setup.profile;
+        cfg.sampleInterval = 1000;
+        cfg.adaptive.secureMode = mode;
+        cfg.adaptive.secureWindowInsts = 1000000;
+        auto gate_wl = WorkloadRegistry::create("compress", 5,
+                                                run_len);
+        GatedRunResult g = runGated(*gate_wl, *setup.evax, cfg);
+        h = hashDouble(h, g.sim.ipc());
+        h = hashDouble(h, g.flagRate());
+    }
+    // Security side: gated attacks must still be detected/stopped.
+    for (const char *atk : {"spectre-pht", "meltdown"}) {
+        GatedRunConfig cfg;
+        cfg.profile = setup.profile;
+        cfg.adaptive.secureMode = DefenseMode::InvisiSpecFuturistic;
+        cfg.adaptive.secureWindowInsts = 1000000;
+        auto a = AttackRegistry::create(atk, 17, 10000);
+        GatedRunResult g = runGated(*a, *setup.evax, cfg);
+        h = hashU64(h, g.flags);
+        h = hashU64(h, g.windows);
+        h = hashU64(h, g.sim.leaks);
+        h = hashU64(h, g.activations);
+        h = hashU64(h, g.secureInsts);
+    }
+    expectDigest(h, 0x54bc6adc1cb3a493ULL, "fig16");
+}
+
+/** Figure 17: detector scores + ROC on fuzzer-generated attacks. */
+TEST(GoldenFigures, Fig17RocDigest)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    CollectorConfig ccfg = ExperimentScale::quick().collector;
+    Collector collector(ccfg);
+    Dataset benign;
+    benign.classNames = AttackRegistry::classNames();
+    for (const char *name : {"compress", "fft"}) {
+        auto wl = WorkloadRegistry::create(name, 71, 10000);
+        collector.collectStream(*wl, BENIGN_CLASS, false, benign);
+    }
+    Collector::applyProfile(benign, setup.profile);
+
+    AttackFuzzer fuzzer(FuzzTool::Transynther, 1000);
+    Dataset evasive = collector.collectFuzzerSamples(fuzzer, 4,
+                                                     8000);
+    Collector::applyProfile(evasive, setup.profile);
+
+    uint64_t h = kFnvSeed;
+    const Detector *dets[2] = {setup.perspectron.get(),
+                               setup.evax.get()};
+    for (const Detector *det : dets) {
+        std::vector<double> scores;
+        std::vector<bool> labels;
+        for (const auto &s : evasive.samples) {
+            scores.push_back(det->score(s.x));
+            labels.push_back(true);
+        }
+        for (const auto &s : benign.samples) {
+            scores.push_back(det->score(s.x));
+            labels.push_back(false);
+        }
+        h = hashDoubles(h, scores.data(), scores.size());
+        h = hashDouble(h, rocAuc(scores, labels));
+    }
+    expectDigest(h, 0xbaec5a31e9afb76dULL, "fig17");
+}
+
+/** Figure 18: detector scores across the feasible AML plane. */
+TEST(GoldenFigures, Fig18AmlDigest)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    const Dataset &corpus = quickCorpus();
+
+    std::vector<const Sample *> attacks;
+    std::vector<double> benign_mean(FeatureCatalog::numBase, 0.0);
+    size_t benign_count = 0;
+    for (const auto &s : corpus.samples) {
+        if (s.malicious) {
+            if (attacks.size() < 5)
+                attacks.push_back(&s);
+        } else {
+            for (size_t i = 0;
+                 i < benign_mean.size() && i < s.x.size(); ++i)
+                benign_mean[i] += s.x[i];
+            ++benign_count;
+        }
+    }
+    ASSERT_GE(attacks.size(), 1u);
+    ASSERT_GE(benign_count, 1u);
+    for (auto &v : benign_mean)
+        v /= (double)benign_count;
+
+    uint64_t h = kFnvSeed;
+    std::vector<double> adv;
+    for (const Sample *s : attacks) {
+        adv.assign(s->x.size(), 0.0);
+        for (double alpha = 1.0; alpha >= 0.4 - 1e-9;
+             alpha -= 0.2) {
+            for (double beta = 0.0; beta <= 0.6 + 1e-9;
+                 beta += 0.2) {
+                for (size_t i = 0; i < adv.size(); ++i) {
+                    double b = i < benign_mean.size()
+                                   ? benign_mean[i]
+                                   : 0.0;
+                    adv[i] = std::min(1.0,
+                                      alpha * s->x[i] + beta * b);
+                }
+                h = hashDouble(h, setup.evax->score(adv));
+                h = hashU64(h, setup.evax->flag(adv) ? 1 : 0);
+                h = hashDouble(h, setup.perspectron->score(adv));
+            }
+        }
+    }
+    expectDigest(h, 0xbb856f82171fd483ULL, "fig18");
+}
+
+/** Figure 20: MLP detector accuracy, traditional vs augmented. */
+TEST(GoldenFigures, Fig20DnnDigest)
+{
+    Dataset corpus = quickCorpus();
+    Rng rng(2024);
+    corpus.shuffle(rng);
+    Dataset train, test;
+    corpus.split(0.7, train, test);
+    ASSERT_FALSE(train.samples.empty());
+    ASSERT_FALSE(test.samples.empty());
+
+    std::vector<size_t> sizes{train.samples.front().x.size(), 24,
+                              1};
+    Mlp net(sizes, Activation::Relu, Activation::Sigmoid, 11);
+    Rng order_rng(11 * 31 + 7);
+    std::vector<size_t> order(train.samples.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (unsigned e = 0; e < 3; ++e) {
+        order_rng.shuffle(order);
+        for (size_t idx : order) {
+            const Sample &s = train.samples[idx];
+            net.trainBce(s.x, s.malicious ? 1.0 : 0.0, 5e-4);
+        }
+    }
+    std::vector<double> scores;
+    std::vector<bool> labels;
+    for (const auto &s : test.samples) {
+        scores.push_back(net.forward(s.x)[0]);
+        labels.push_back(s.malicious);
+    }
+    uint64_t h = hashDoubles(kFnvSeed, scores.data(),
+                             scores.size());
+    h = hashDouble(h, accuracyAt(scores, labels, 0.5));
+    expectDigest(h, 0x2e68bf4c36e47c26ULL, "fig20");
+}
+
+/** Table I: engineered-feature separations over the corpus. */
+TEST(GoldenFigures, Tab1EngineeredSeparationDigest)
+{
+    const Dataset &corpus = quickCorpus();
+    uint64_t h = kFnvSeed;
+    for (const auto &e : FeatureCatalog::engineered()) {
+        RunningStat atk, ben;
+        std::vector<EngineeredFeature> one{e};
+        for (const auto &s : corpus.samples) {
+            double v =
+                FeatureCatalog::computeEngineered(s.x, one)[0];
+            (s.malicious ? atk : ben).add(v);
+        }
+        h = hashDouble(h, atk.mean());
+        h = hashDouble(h, ben.mean());
+    }
+    expectDigest(h, 0xe4a9670ae016d952ULL, "tab1");
+}
+
+/** Zero-day table: one leave-one-attack-out fold end to end. */
+TEST(GoldenFigures, ZerodayFoldDigest)
+{
+    ExperimentScale scale = ExperimentScale::quick();
+    Dataset corpus = quickCorpus();
+
+    int cls = AttackRegistry::classId("flush-conflict");
+    Rng rng(51);
+    Dataset train, test;
+    corpus.leaveOneAttackOut(cls, 0.2, rng, train, test);
+
+    PerSpectron persp(7);
+    trainTraditional(persp, train, scale.trainEpochs, scale.maxFpr,
+                     rng);
+    persp.tuneSensitivity(train, 0.05);
+
+    uint64_t h = kFnvSeed;
+    ConfusionCounts cm;
+    for (const auto &s : test.samples) {
+        if (s.attackClass == cls && s.malicious)
+            cm.add(persp.flag(s.x), true);
+    }
+    h = hashDouble(h, cm.tpr());
+    for (const auto &s : test.samples)
+        h = hashDouble(h, persp.score(s.x));
+    expectDigest(h, 0xbd28ae52ac6581f4ULL, "zeroday");
+}
+
+/** Ablation: secure-window dwell sweep through the controller. */
+TEST(GoldenFigures, AblationSecureWindowDigest)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    uint64_t h = kFnvSeed;
+    for (uint64_t window : {10000ULL, 100000ULL}) {
+        GatedRunConfig cfg;
+        cfg.profile = setup.profile;
+        cfg.adaptive.secureMode = DefenseMode::InvisiSpecSpectre;
+        cfg.adaptive.secureWindowInsts = window;
+        auto atk = AttackRegistry::create("spectre-pht", 23, 12000);
+        GatedRunResult g = runGated(*atk, *setup.evax, cfg);
+        h = hashSimResult(h, g.sim);
+        h = hashU64(h, g.flags);
+        h = hashU64(h, g.activations);
+        h = hashU64(h, g.secureInsts);
+    }
+    expectDigest(h, 0xae45bad0374a8cddULL, "ablation");
+}
+
+} // anonymous namespace
+} // namespace evax

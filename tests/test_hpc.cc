@@ -164,5 +164,65 @@ TEST(Sampler, StraddledWindowsSkipAhead)
     EXPECT_TRUE(sampler.tick(60, 120));
 }
 
+TEST(Sampler, ClosesAtExactIntervalBoundaries)
+{
+    // The single-pass window close must fire exactly when the
+    // committed count reaches the boundary — not one tick early,
+    // not twice on the same count — at every deployed interval.
+    for (uint64_t interval :
+         {100ULL, 1000ULL, 10000ULL, 100000ULL}) {
+        CounterRegistry reg;
+        Sampler sampler(reg, interval);
+        EXPECT_FALSE(sampler.tick(interval - 1, 1)) << interval;
+        EXPECT_TRUE(sampler.tick(interval, 2)) << interval;
+        EXPECT_FALSE(sampler.tick(interval, 3))
+            << interval << ": same count must not re-close";
+        EXPECT_FALSE(sampler.tick(2 * interval - 1, 4)) << interval;
+        EXPECT_TRUE(sampler.tick(2 * interval, 5)) << interval;
+        EXPECT_EQ(sampler.windowsClosed(), 2u) << interval;
+    }
+}
+
+TEST(Sampler, ExactBoundaryDeltasAreDense)
+{
+    // A boundary close snapshots deltas for the full base-feature
+    // vector in one pass; counters bumped since the last close show
+    // their delta, untouched ones show zero.
+    CounterRegistry reg;
+    Sampler sampler(reg, 100);
+    const auto &names = FeatureCatalog::baseFeatures();
+    CounterId first = reg.getOrAdd(names.front());
+    CounterId last = reg.getOrAdd(names.back());
+    reg.inc(first, 42);
+    reg.inc(last, 7);
+    ASSERT_TRUE(sampler.tick(100, 50));
+    const FeatureSnapshot &snap = sampler.latest();
+    ASSERT_EQ(snap.base.size(), names.size());
+    EXPECT_DOUBLE_EQ(snap.base.front(), 1.0); // normalized max
+    EXPECT_DOUBLE_EQ(snap.base.back(), 1.0);
+    size_t nonzero = 0;
+    for (double v : snap.base) {
+        if (v != 0.0)
+            ++nonzero;
+    }
+    EXPECT_EQ(nonzero, 2u);
+}
+
+TEST(Sampler, RestartResetsBoundaryAndBaseline)
+{
+    CounterRegistry reg;
+    Sampler sampler(reg, 1000);
+    CounterId ctr = reg.getOrAdd(
+        FeatureCatalog::baseFeatures().front());
+    reg.inc(ctr, 5);
+    ASSERT_TRUE(sampler.tick(1000, 10));
+    sampler.restart();
+    EXPECT_EQ(sampler.windowsClosed(), 0u);
+    // The baseline moved to the current counter values: an idle
+    // first window after restart has an all-zero delta.
+    ASSERT_TRUE(sampler.tick(1000, 20));
+    EXPECT_DOUBLE_EQ(sampler.latest().base.front(), 0.0);
+}
+
 } // anonymous namespace
 } // namespace evax

@@ -9,8 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "attacks/registry.hh"
 #include "sim/core.hh"
+#include "sim/memory.hh"
+#include "util/rng.hh"
 #include "workload/registry.hh"
 
 namespace evax
@@ -137,6 +142,201 @@ TEST(CoreScaling, NarrowMachineIsSlower)
         return core.run(*wl).ipc();
     };
     EXPECT_GT(ipc_with_width(8), ipc_with_width(1));
+}
+
+// ---------------------------------------------------------------
+// Cache-hierarchy invariants under random benign stimulus. These
+// guard the L1-hit fast path and MSHR bookkeeping reorder in
+// Cache::access: no access sequence may overcommit MSHRs, and the
+// hierarchy stays inclusive as long as the L2 never evicts.
+// ---------------------------------------------------------------
+
+TEST(CacheProperties, MshrCountNeverExceedsCapacity)
+{
+    CounterRegistry reg;
+    Cache cache({"dcache", 4 * 1024, 2, 64, 2, 4}, reg);
+    Rng rng(0xfeed);
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = rng.nextBounded(1 << 16);
+        bool write = rng.nextBool(0.3);
+        Cycle now = (Cycle)i; // monotonic clock, slow drain
+        CacheAccessResult r = cache.access(addr, write, now, 40);
+        ASSERT_LE(cache.mshrsInFlight(), cache.mshrCapacity());
+        if (r.mshrFull) {
+            // A structural stall must mean every register is busy.
+            ASSERT_EQ(cache.mshrsInFlight(), cache.mshrCapacity());
+        }
+        if (r.hit)
+            ASSERT_TRUE(cache.probe(addr));
+    }
+}
+
+TEST(CacheProperties, MshrFullEventuallyDrains)
+{
+    CounterRegistry reg;
+    Cache cache({"dcache", 4 * 1024, 2, 64, 2, 2}, reg);
+    // Saturate the MSHRs with distinct-line misses at time 0.
+    unsigned full = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (cache.access((Addr)i * 4096, false, 0, 50).mshrFull)
+            ++full;
+    }
+    EXPECT_GT(full, 0u);
+    // Far in the future every miss has returned: a fresh miss must
+    // get a register again.
+    CacheAccessResult r = cache.access(1 << 20, false, 10000, 50);
+    EXPECT_FALSE(r.mshrFull);
+    EXPECT_FALSE(r.hit);
+}
+
+TEST(CacheProperties, InclusionHoldsWhileL2DoesNotEvict)
+{
+    CoreParams p;
+    CounterRegistry reg;
+    MemorySystem mem(p, reg);
+    // Working set: 4x the L1 capacity (forces L1 evictions) but
+    // well under the L2, so the L2 never replaces anything and the
+    // no-back-invalidation hierarchy must stay strictly inclusive.
+    const Addr span = (Addr)p.dcacheSize * 4;
+    ASSERT_LT(span * 2, (Addr)p.l2Size);
+    Rng rng(0xcafe);
+    for (int i = 0; i < 5000; ++i) {
+        Addr addr = rng.nextBounded(span);
+        mem.load(addr, 8, (Cycle)i * 4, false);
+    }
+    for (Addr line : mem.dcache().residentLines()) {
+        ASSERT_TRUE(mem.l2().probe(line))
+            << "dcache line 0x" << std::hex << line
+            << " missing from l2";
+    }
+}
+
+TEST(CacheProperties, MissFillsBothLevelsInvisibleFillsNeither)
+{
+    CoreParams p;
+    CounterRegistry reg;
+    MemorySystem mem(p, reg);
+    const Addr a = 0x1234500;
+    LoadResult r = mem.load(a, 8, 10, false);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(mem.dcache().probe(a));
+    EXPECT_TRUE(mem.l2().probe(a));
+
+    // An InvisiSpec (invisible) load must not install new state.
+    const Addr b = 0x9876500;
+    mem.load(b, 8, 20, true);
+    EXPECT_FALSE(mem.dcache().probe(b));
+
+    // clflush invalidates the whole hierarchy.
+    mem.clflush(a, 30);
+    EXPECT_FALSE(mem.dcache().probe(a));
+    EXPECT_FALSE(mem.l2().probe(a));
+}
+
+// ---------------------------------------------------------------
+// Commit-order / squash-window invariants across the fast paths:
+// the seq-index structures in O3Core must never change what
+// commits, only how fast the scans find it.
+// ---------------------------------------------------------------
+
+TEST(CommitProperties, CommitCountInvariantAcrossDefenseModes)
+{
+    auto committed_with_mode = [](DefenseMode m) {
+        CoreParams p;
+        CounterRegistry reg;
+        O3Core core(p, reg);
+        core.setDefenseMode(m);
+        auto wl = WorkloadRegistry::create("sort", 5, 6000);
+        SimResult res = core.run(*wl);
+        EXPECT_TRUE(res.streamExhausted);
+        EXPECT_EQ(res.leaks, 0u);
+        return res.committedInsts;
+    };
+    uint64_t baseline = committed_with_mode(DefenseMode::None);
+    for (DefenseMode m : {DefenseMode::FenceSpectre,
+                          DefenseMode::FenceFuturistic,
+                          DefenseMode::InvisiSpecSpectre,
+                          DefenseMode::InvisiSpecFuturistic}) {
+        EXPECT_EQ(committed_with_mode(m), baseline)
+            << defenseModeName(m)
+            << ": defenses may change timing, never the committed "
+               "architectural stream";
+    }
+}
+
+TEST(CommitProperties, RunsAreDeterministicReplays)
+{
+    auto snapshot = [](const char *kind, const char *name,
+                       DefenseMode m) {
+        CoreParams p;
+        CounterRegistry reg;
+        O3Core core(p, reg);
+        core.setDefenseMode(m);
+        auto stream = std::string(kind) == "attack"
+                          ? AttackRegistry::create(name, 9, 5000)
+                          : WorkloadRegistry::create(name, 9, 5000);
+        SimResult res = core.run(*stream);
+        std::vector<double> snap = reg.snapshot();
+        snap.push_back((double)res.cycles);
+        snap.push_back((double)res.committedInsts);
+        snap.push_back((double)res.squashes);
+        snap.push_back((double)res.leaks);
+        return snap;
+    };
+    EXPECT_EQ(snapshot("workload", "compress", DefenseMode::None),
+              snapshot("workload", "compress", DefenseMode::None));
+    EXPECT_EQ(snapshot("attack", "spectre-pht", DefenseMode::None),
+              snapshot("attack", "spectre-pht", DefenseMode::None));
+    EXPECT_EQ(
+        snapshot("attack", "meltdown",
+                 DefenseMode::InvisiSpecFuturistic),
+        snapshot("attack", "meltdown",
+                 DefenseMode::InvisiSpecFuturistic));
+}
+
+TEST(CommitProperties, SquashWindowRespectsRobBound)
+{
+    // The transient window is bounded by the ROB: every squash can
+    // kill at most robEntries in-flight ops, so the total number of
+    // squashed ops can't exceed squashes * robEntries.
+    CoreParams p;
+    p.robEntries = 48;
+    CounterRegistry reg;
+    O3Core core(p, reg);
+    auto atk = AttackRegistry::create("spectre-pht", 7, 10000);
+    SimResult res = core.run(*atk);
+    EXPECT_GT(res.squashes, 0u);
+    double squash_insts = reg.valueByName("commit.squashedInsts");
+    EXPECT_LE(squash_insts,
+              (double)res.squashes * (double)p.robEntries);
+}
+
+TEST(CommitProperties, BenignStreamCommitsExactlyOncePerOp)
+{
+    // Random benign stimulus across kernels: replayed (squashed)
+    // ops commit exactly once — committed count equals the stream's
+    // architectural length, independent of wrong-path noise.
+    Rng rng(0x5eed);
+    for (const auto &name : WorkloadRegistry::names()) {
+        uint64_t len = 3000 + rng.nextBounded(3000);
+        // Generators round up to whole kernel iterations, so count
+        // the true architectural length by draining a twin stream.
+        auto twin = WorkloadRegistry::create(name, 17, len);
+        MicroOp op;
+        uint64_t arch_len = 0;
+        while (twin->next(op))
+            ++arch_len;
+        ASSERT_GE(arch_len, len) << name;
+
+        CoreParams p;
+        CounterRegistry reg;
+        O3Core core(p, reg);
+        auto wl = WorkloadRegistry::create(name, 17, len);
+        SimResult res = core.run(*wl);
+        EXPECT_TRUE(res.streamExhausted) << name;
+        EXPECT_EQ(res.committedInsts, arch_len) << name;
+        EXPECT_EQ(res.leaks, 0u) << name;
+    }
 }
 
 TEST(CoreScaling, SamplerIntervalCountsWindows)

@@ -11,6 +11,7 @@
 
 #include "util/csv.hh"
 #include "util/rng.hh"
+#include "util/statreg.hh"
 #include "util/stats.hh"
 
 namespace evax
@@ -178,6 +179,73 @@ TEST(Table, CsvQuoting)
     std::ostringstream csv;
     t.writeCsv(csv);
     EXPECT_NE(csv.str().find("\"x,y\"\"z\""), std::string::npos);
+}
+
+TEST(StatRegistry, DuplicateDottedPathIsOneStat)
+{
+    StatRegistry sr;
+    sr.scalar("sim.commit.insts").set(5);
+    // Re-registering the same dotted path returns the same stat:
+    // the value persists and no second entry appears.
+    Stat<uint64_t> &again = sr.scalar("sim.commit.insts");
+    EXPECT_EQ(again.value(), 5u);
+    again.set(7);
+    EXPECT_EQ(sr.scalar("sim.commit.insts").value(), 7u);
+    EXPECT_EQ(sr.size(), 1u);
+}
+
+TEST(StatRegistry, LateDescriptionFillsEmptySlot)
+{
+    StatRegistry sr;
+    sr.scalar("a.b");
+    Stat<uint64_t> &s = sr.scalar("a.b", "described later");
+    EXPECT_EQ(s.desc(), "described later");
+    // A second description never overwrites the first.
+    EXPECT_EQ(sr.scalar("a.b", "ignored").desc(),
+              "described later");
+}
+
+TEST(StatRegistryDeathTest, KindMismatchOnSamePathIsFatal)
+{
+    StatRegistry sr;
+    sr.scalar("typed.path");
+    EXPECT_DEATH(sr.number("typed.path"), "different kind");
+}
+
+TEST(StatRegistry, JsonDumpEscapesAwkwardPaths)
+{
+    StatRegistry sr;
+    sr.setScalar("plain.path", 1);
+    sr.setScalar("odd\"quote", 2);
+    sr.setScalar("back\\slash", 3);
+    sr.setScalar("tab\there", 4);
+    std::ostringstream os;
+    sr.dumpStats(os, StatsFormat::Json);
+    std::string j = os.str();
+    EXPECT_NE(j.find("\"odd\\\"quote\""), std::string::npos);
+    EXPECT_NE(j.find("\"back\\\\slash\""), std::string::npos);
+    EXPECT_NE(j.find("\"tab\\there\""), std::string::npos);
+    // No raw control characters or naked quotes may survive.
+    EXPECT_EQ(j.find('\t'), std::string::npos);
+}
+
+TEST(StatRegistry, DumpIsSortedByDottedPath)
+{
+    StatRegistry sr;
+    sr.setScalar("z.last", 1);
+    sr.setScalar("a.first", 2);
+    sr.setScalar("m.middle", 3);
+    std::ostringstream os;
+    sr.dumpStats(os, StatsFormat::Text);
+    std::string t = os.str();
+    size_t a = t.find("a.first");
+    size_t m = t.find("m.middle");
+    size_t z = t.find("z.last");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(m, std::string::npos);
+    ASSERT_NE(z, std::string::npos);
+    EXPECT_LT(a, m);
+    EXPECT_LT(m, z);
 }
 
 } // anonymous namespace
