@@ -1,13 +1,32 @@
 #include "attacks/registry.hh"
 
+#include <algorithm>
+
 #include "attacks/kernels.hh"
 #include "util/log.hh"
 
 namespace evax
 {
 
+namespace
+{
+
+/** Attacks added through registerAttack(), parallel vectors. */
+struct ExtraAttacks
+{
+    std::vector<std::string> names;
+    std::vector<AttackRegistry::Factory> factories;
+};
+
+ExtraAttacks &
+extras()
+{
+    static ExtraAttacks e;
+    return e;
+}
+
 const std::vector<std::string> &
-AttackRegistry::names()
+builtinNames()
 {
     static const std::vector<std::string> n = {
         "spectre-pht",        // 1
@@ -33,6 +52,36 @@ AttackRegistry::names()
         "drama",              // 21
     };
     return n;
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+AttackRegistry::names()
+{
+    std::vector<std::string> all = builtinNames();
+    const ExtraAttacks &e = extras();
+    all.insert(all.end(), e.names.begin(), e.names.end());
+    return all;
+}
+
+bool
+AttackRegistry::isRegistered(const std::string &name)
+{
+    const std::vector<std::string> all = names();
+    return std::find(all.begin(), all.end(), name) != all.end();
+}
+
+void
+AttackRegistry::registerAttack(const std::string &name,
+                               Factory factory)
+{
+    if (!factory)
+        fatal("empty factory for attack: %s", name.c_str());
+    if (name == "benign" || isRegistered(name))
+        fatal("duplicate attack registration: %s", name.c_str());
+    extras().names.push_back(name);
+    extras().factories.push_back(std::move(factory));
 }
 
 std::vector<std::string>
@@ -127,8 +176,13 @@ AttackRegistry::createById(int class_id, uint64_t seed,
                                                  knobs);
       case 21:
         return std::make_unique<DramaAttack>(seed, length, knobs);
-      default:
+      default: {
+        const ExtraAttacks &e = extras();
+        int idx = class_id - 1 - (int)builtinNames().size();
+        if (idx >= 0 && (size_t)idx < e.factories.size())
+            return e.factories[idx](seed, length, knobs);
         fatal("unknown attack class id: %d", class_id);
+      }
     }
 }
 

@@ -6,6 +6,7 @@
 #ifndef EVAX_ATTACKS_REGISTRY_HH
 #define EVAX_ATTACKS_REGISTRY_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,8 +20,26 @@ namespace evax
 class AttackRegistry
 {
   public:
-    /** All attack names; index i holds classId i+1. */
-    static const std::vector<std::string> &names();
+    /** Factory signature for externally registered attacks. */
+    using Factory = std::function<std::unique_ptr<AttackKernel>(
+        uint64_t seed, uint64_t length, const EvasionKnobs &knobs)>;
+
+    /** All attack names; index i holds classId i+1. Built-ins
+     *  first, then extras in registration order. */
+    static std::vector<std::string> names();
+
+    /** Whether @p name resolves to an attack kernel. */
+    static bool isRegistered(const std::string &name);
+
+    /**
+     * Register an additional attack; it receives the next class id
+     * after the existing ones. Fatal if @p name collides with a
+     * built-in, a prior registration, or the reserved "benign"
+     * class, or if the factory is empty. Not thread-safe: register
+     * during single-threaded setup.
+     */
+    static void registerAttack(const std::string &name,
+                               Factory factory);
 
     /** Dataset class names: ["benign", <attack names>...]. */
     static std::vector<std::string> classNames();

@@ -56,11 +56,15 @@ Collector::collectCorpus()
         bool attack;
         int cls;
     };
+    // The registries return their name lists by value; keep them
+    // alive for as long as the tasks point into them.
+    const std::vector<std::string> benign = WorkloadRegistry::names();
+    const std::vector<std::string> attacks = AttackRegistry::names();
     std::vector<RunTask> tasks;
-    for (const auto &name : WorkloadRegistry::names())
+    for (const auto &name : benign)
         for (unsigned s = 0; s < config_.benignSeeds; ++s)
             tasks.push_back({&name, false, BENIGN_CLASS});
-    for (const auto &name : AttackRegistry::names()) {
+    for (const auto &name : attacks) {
         int cls = AttackRegistry::classId(name);
         for (unsigned s = 0; s < config_.attackSeeds; ++s)
             tasks.push_back({&name, true, cls});

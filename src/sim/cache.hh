@@ -96,6 +96,18 @@ class Cache
     uint32_t mshrCapacity() const { return config_.mshrs; }
     /** Line addresses of every valid line. */
     std::vector<Addr> residentLines() const;
+    /** Valid-line count without materializing the address list
+     *  (cheap enough for the diff runner's periodic checkpoints). */
+    size_t
+    validLineCount() const
+    {
+        size_t n = 0;
+        for (const Line &l : lines_)
+            n += l.valid ? 1 : 0;
+        return n;
+    }
+    /** Total line slots (sets * assoc): cap for validLineCount. */
+    size_t lineCapacity() const { return lines_.size(); }
 
     /**
      * Publish geometry and derived rates (hit rate, MSHR pressure)

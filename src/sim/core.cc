@@ -9,6 +9,16 @@
 namespace evax
 {
 
+/*
+ * EVAX_MUTATION_* blocks: seeded bugs for the mutation-testing
+ * harness (tests/test_diff_oracle.cc). Each define recompiles this
+ * translation unit with one known defect so the differential oracle
+ * in src/verify can prove it detects that class of bug. All blocks
+ * live in function *bodies* here — never in core.hh inline code —
+ * so a mutated test target can override the archive's core.o
+ * without any ODR hazard. Production builds define none of them.
+ */
+
 /** Cached counter ids, resolved once. */
 struct O3Core::Ids
 {
@@ -137,6 +147,7 @@ O3Core::resetRunState()
     lastFetchLine_ = (Addr)-1;
     serializeWait_ = false;
     streamDone_ = false;
+    stopRequested_ = false;
     result_ = SimResult();
 }
 
@@ -252,6 +263,22 @@ O3Core::markIssued(RobEntry &e, Cycle ready)
     auto it = std::lower_bound(issuedSeqs_.begin(),
                                issuedSeqs_.end(), e.seq);
     issuedSeqs_.insert(it, e.seq);
+
+    if (issueHook_) {
+        // A producer absent from the ROB has committed (or the
+        // consumer would have been squashed with it), so only an
+        // in-ROB producer still short of Complete violates the
+        // readiness invariant.
+        bool srcs_complete = true;
+        for (SeqNum p : {e.src0Producer, e.src1Producer}) {
+            if (p == 0)
+                continue;
+            RobEntry *prod = entryBySeq(p);
+            if (prod && prod->state != EntryState::Complete)
+                srcs_complete = false;
+        }
+        issueHook_(e.op, e.seq, srcs_complete);
+    }
 }
 
 void
@@ -269,6 +296,10 @@ O3Core::issueLoad(RobEntry &e)
 
     // Store-to-load forwarding from older in-flight stores; the
     // storeSeqs_ index walks only the stores, in program order.
+#ifndef EVAX_MUTATION_DROP_FORWARD
+    // Seeded bug DROP_FORWARD: compiling this walk out makes every
+    // load take the memory path even when an older in-flight store
+    // to the same line must supply the data.
     Addr line = e.op.addr & ~(Addr)(params_.lineSize - 1);
     for (SeqNum s : storeSeqs_) {
         if (s >= e.seq)
@@ -284,6 +315,7 @@ O3Core::issueLoad(RobEntry &e)
             return;
         }
     }
+#endif
 
     bool speculative = loadIsSpeculative(e);
     bool invisible = false;
@@ -585,7 +617,14 @@ O3Core::commitStage()
             reg_.inc(ids_->fetchQuiesceStall,
                      params_.squashRecoveryCycles);
             SeqNum seq = e.seq;
+#ifdef EVAX_MUTATION_NO_TRAP_REPLAY
+            // Seeded bug NO_TRAP_REPLAY: the post-trap squash drops
+            // the younger architectural ops instead of replaying
+            // them, so part of the committed stream goes missing.
+            squashFrom(seq + 1, false);
+#else
             squashFrom(seq + 1, true);
+#endif
             transientBuffer_.clear();
             transientCause_ = 0;
             // The faulting op itself is removed without committing.
@@ -645,8 +684,12 @@ O3Core::commitStage()
         reg_.inc(ids_->commitOps);
         ++committedInsts_;
         ++committed;
+        if (commitHook_)
+            commitHook_(e.op, e.seq, cycle_);
         dropHeadFromIndexes(e);
         rob_.pop_front();
+        if (stopRequested_)
+            break; // hook asked to stop: end this commit group
     }
 
     if (committed == 0)
@@ -864,7 +907,14 @@ O3Core::dispatchStage()
             reg_.inc(ids_->renameSerializing);
             break;
         }
+#ifdef EVAX_MUTATION_ROB_WRAP
+        // Seeded bug ROB_WRAP: the off-by-one fullness check lets
+        // dispatch push one entry past capacity; with a power-of-two
+        // robEntries the ring wraps and the head slot is clobbered.
+        if (rob_.size() > params_.robEntries) {
+#else
         if (rob_.size() >= params_.robEntries) {
+#endif
             reg_.inc(ids_->robFull);
             reg_.inc(ids_->renameRobFull);
             reg_.inc(ids_->renameBlock);
@@ -898,6 +948,11 @@ O3Core::dispatchStage()
         e.badPathCause = f.badPathCause;
         e.mispredicted = f.mispredicted;
         e.state = EntryState::Dispatched;
+#ifdef EVAX_MUTATION_STALE_SRCSREADY
+        // Seeded bug STALE_SRCSREADY: pre-seeding the readiness memo
+        // lets an op issue before its producers complete.
+        e.srcsReady = true;
+#endif
         if (f.op.src0 >= 0)
             e.src0Producer = lastWriter_[f.op.src0];
         if (f.op.src1 >= 0)
@@ -1150,6 +1205,8 @@ O3Core::run(InstStream &stream, uint64_t max_insts,
             break;
         }
         if (max_cycles && result_.cycles >= max_cycles)
+            break;
+        if (stopRequested_)
             break;
         if (streamDone_ && rob_.empty() && fetchQueue_.empty() &&
             pendingReplay_.empty() && wrongPathBuffer_.empty() &&

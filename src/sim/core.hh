@@ -97,6 +97,39 @@ class O3Core
     uint64_t committedInsts() const { return committedInsts_; }
     uint64_t cycle() const { return cycle_; }
 
+    /**
+     * Verification hooks (src/verify): observe every architectural
+     * commit as it retires. Null by default; the hot path pays one
+     * branch on the std::function's bool conversion.
+     */
+    using CommitHook =
+        std::function<void(const MicroOp &, SeqNum, Cycle)>;
+    void setCommitHook(CommitHook h) { commitHook_ = std::move(h); }
+
+    /**
+     * Issue-side probe: fired when an entry transitions to Issued.
+     * @p srcs_complete is true iff every in-ROB producer of the op
+     * was already Complete — the pipeline invariant the srcsReady
+     * memo (DESIGN.md §10) must preserve.
+     */
+    using IssueHook =
+        std::function<void(const MicroOp &, SeqNum,
+                           bool /* srcs_complete */)>;
+    void setIssueHook(IssueHook h) { issueHook_ = std::move(h); }
+
+    /** Ask the in-progress run() to return at the end of the cycle
+     *  (used by the differential runner to stop at first mismatch
+     *  before the deadlock guard can fire). */
+    void requestStop() { stopRequested_ = true; }
+
+    // Occupancy introspection for counter sanity envelopes: cheap
+    // reads of bookkeeping the pipeline already maintains.
+    size_t robSize() const { return rob_.size(); }
+    unsigned lqOccupancy() const { return lqOccupancy_; }
+    unsigned sqOccupancy() const { return sqOccupancy_; }
+    unsigned iqOccupancy() const { return iqOccupancy_; }
+    unsigned freeIntRegs() const { return freeIntRegs_; }
+
   private:
     enum class EntryState : uint8_t { Dispatched, Issued, Complete };
 
@@ -232,6 +265,9 @@ class O3Core
     DefenseMode defense_ = DefenseMode::None;
     Sampler *sampler_ = nullptr;
     SampleCallback onSample_;
+    CommitHook commitHook_;
+    IssueHook issueHook_;
+    bool stopRequested_ = false;
 
     // Machine state.
     Cycle cycle_ = 0;

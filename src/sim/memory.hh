@@ -81,6 +81,13 @@ class MemorySystem
     /** Rowhammer bit flips induced so far. */
     uint64_t bitFlips() const { return dram_.totalBitFlips(); }
 
+    // Introspection for the differential runner's sanity envelopes
+    // (src/verify): structural occupancies with hard capacity caps.
+    size_t writeQueueDepth() const { return writeQueue_.size(); }
+    size_t specBufferDepth() const { return specBuffer_.size(); }
+    static constexpr size_t specBufferCapacity()
+    { return specBufferEntries_; }
+
     /** Publish hierarchy stats; delegates to every sub-component. */
     void regStats(StatRegistry &sr) const;
 

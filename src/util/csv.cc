@@ -113,4 +113,63 @@ Table::saveCsv(const std::string &path) const
     return (bool)f;
 }
 
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> records;
+    std::vector<std::string> record;
+    std::string field;
+    bool quoted = false;
+    // Distinguishes "no data on this line yet" from "a record that
+    // happens to end in an empty field", so a trailing newline adds
+    // nothing but `a,` still yields two fields.
+    bool fieldStarted = false;
+
+    auto endField = [&]() {
+        record.push_back(std::move(field));
+        field.clear();
+        fieldStarted = false;
+    };
+    auto endRecord = [&]() {
+        if (fieldStarted || !record.empty()) {
+            endField();
+            records.push_back(std::move(record));
+            record.clear();
+        }
+    };
+
+    for (size_t i = 0; i < text.size(); ++i) {
+        char ch = text[i];
+        if (quoted) {
+            if (ch == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"'; // escaped quote
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += ch; // commas and newlines verbatim
+            }
+        } else if (ch == '"') {
+            quoted = true;
+            fieldStarted = true;
+        } else if (ch == ',') {
+            fieldStarted = true; // `a,` has a (second, empty) field
+            endField();
+        } else if (ch == '\n') {
+            endRecord();
+        } else if (ch == '\r' && i + 1 < text.size() &&
+                   text[i + 1] == '\n') {
+            endRecord();
+            ++i;
+        } else {
+            field += ch;
+            fieldStarted = true;
+        }
+    }
+    endRecord(); // final record without trailing newline
+    return records;
+}
+
 } // namespace evax

@@ -51,6 +51,15 @@ class Table
     std::vector<std::vector<std::string>> rows_;
 };
 
+/**
+ * Parse CSV text (RFC 4180 flavor) into records of fields. Quoted
+ * fields may contain commas, doubled quotes and embedded newlines;
+ * both LF and CRLF end a record; a trailing newline does not yield
+ * an extra empty record. Inverse of Table::writeCsv for any table.
+ */
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text);
+
 } // namespace evax
 
 #endif // EVAX_UTIL_CSV_HH

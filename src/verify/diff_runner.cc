@@ -1,0 +1,330 @@
+#include "verify/diff_runner.hh"
+
+#include <sstream>
+
+#include "attacks/registry.hh"
+#include "sim/core.hh"
+#include "verify/ref_core.hh"
+#include "workload/registry.hh"
+
+namespace evax
+{
+
+std::unique_ptr<InstStream>
+makeStream(const StreamSpec &spec)
+{
+    if (spec.kind == StreamSpec::Kind::Attack)
+        return AttackRegistry::create(spec.name, spec.seed,
+                                      spec.length);
+    return WorkloadRegistry::create(spec.name, spec.seed,
+                                    spec.length);
+}
+
+std::string
+DiffReport::summary() const
+{
+    std::ostringstream os;
+    os << (ok() ? "OK" : "MISMATCH") << " commits ooo/ref "
+       << committedOoo << "/" << committedRef << " trapped "
+       << trappedRef << " cycles ooo/ref " << cyclesOoo << "/"
+       << cyclesRef << " checkpoints " << checkpoints << " leaks "
+       << leaks;
+    for (const DiffMismatch &m : mismatches) {
+        os << "\n  [" << m.check << "@" << m.commitIndex << "] "
+           << m.detail;
+    }
+    return os.str();
+}
+
+DiffRunner::DiffRunner(const CoreParams &params, DefenseMode defense,
+                       const DiffOptions &opts)
+    : params_(params), defense_(defense), opts_(opts)
+{
+}
+
+DiffReport
+DiffRunner::run(
+    const std::function<std::unique_ptr<InstStream>()> &factory)
+{
+    reg_.resetValues();
+    DiffReport rep;
+
+    std::unique_ptr<InstStream> oooStream = factory();
+    std::unique_ptr<InstStream> refStream = factory();
+    O3Core core(params_, reg_);
+    core.setDefenseMode(defense_);
+    RefCore ref(params_, *refStream);
+    ArchState oooArch;
+
+    // Every recorded mismatch asks the core to stop: once the
+    // streams diverge each further commit compares garbage, and a
+    // corrupted pipeline may never commit again (the deadlock guard
+    // would abort the process before a buffered check could run).
+    auto mismatch = [&](const char *check, uint64_t idx,
+                        std::string detail) {
+        if (rep.mismatches.size() < opts_.maxMismatches)
+            rep.mismatches.push_back({check, idx,
+                                      std::move(detail)});
+        core.requestStop();
+    };
+
+    // Integer read of a counter (all counters are whole doubles).
+    auto cval = [this](const char *name) {
+        return (uint64_t)(reg_.valueByName(name) + 0.5);
+    };
+
+    // Counter sanity envelopes: invariants that hold at any commit
+    // boundary of a correct pipeline. Cheap string lookups; runs
+    // only every checkIntervalInsts commits and once at the end.
+    auto envelopes = [&]() {
+        ++rep.checkpoints;
+        MemorySystem &mem = core.memory();
+        struct CacheRef { const char *p; Cache &c; };
+        CacheRef caches[] = {{"icache", mem.icache()},
+                             {"dcache", mem.dcache()},
+                             {"l2", mem.l2()}};
+        for (const CacheRef &cr : caches) {
+            std::string p(cr.p);
+            uint64_t ra = cval((p + ".readAccesses").c_str());
+            uint64_t rh = cval((p + ".readHits").c_str());
+            uint64_t rm = cval((p + ".readMisses").c_str());
+            uint64_t wa = cval((p + ".writeAccesses").c_str());
+            uint64_t wh = cval((p + ".writeHits").c_str());
+            uint64_t wm = cval((p + ".writeMisses").c_str());
+            uint64_t agg = cval((p + ".accesses").c_str());
+            uint64_t hits = cval((p + ".hits").c_str());
+            uint64_t misses = cval((p + ".misses").c_str());
+            if (rh + rm != ra || wh + wm != wa ||
+                hits + misses != agg || ra + wa != agg) {
+                std::ostringstream os;
+                os << p << " hit/miss/access identity broken: reads "
+                   << rh << "+" << rm << "!=" << ra << " or writes "
+                   << wh << "+" << wm << "!=" << wa << " or agg "
+                   << hits << "+" << misses << "!=" << agg;
+                mismatch("envelope.cache", oooArch.committed,
+                         os.str());
+            }
+            if (cr.c.mshrsInFlight() > cr.c.mshrCapacity()) {
+                mismatch("envelope.mshr", oooArch.committed,
+                         p + " MSHRs over capacity");
+            }
+            if (cr.c.validLineCount() > cr.c.lineCapacity()) {
+                mismatch("envelope.cache", oooArch.committed,
+                         p + " more valid lines than slots");
+            }
+        }
+
+        if (core.robSize() > params_.robEntries ||
+            core.lqOccupancy() > params_.lqEntries ||
+            core.sqOccupancy() > params_.sqEntries ||
+            core.iqOccupancy() > params_.iqEntries ||
+            core.freeIntRegs() > params_.numPhysIntRegs ||
+            mem.writeQueueDepth() > params_.writeBuffers ||
+            mem.specBufferDepth() >
+                MemorySystem::specBufferCapacity()) {
+            std::ostringstream os;
+            os << "structural occupancy over capacity: rob "
+               << core.robSize() << "/" << params_.robEntries
+               << " lq " << core.lqOccupancy() << "/"
+               << params_.lqEntries << " sq " << core.sqOccupancy()
+               << "/" << params_.sqEntries << " iq "
+               << core.iqOccupancy() << "/" << params_.iqEntries
+               << " freeRegs " << core.freeIntRegs() << "/"
+               << params_.numPhysIntRegs << " wq "
+               << mem.writeQueueDepth() << "/"
+               << params_.writeBuffers;
+            mismatch("envelope.occupancy", oooArch.committed,
+                     os.str());
+        }
+
+        // Commit counter attribution must equal the architectural
+        // per-class counts applied through the commit hook.
+        struct Attr { const char *name; uint64_t want; };
+        Attr attrs[] = {
+            {"commit.committedInsts", oooArch.committed},
+            {"commit.committedLoads", oooArch.loads},
+            {"commit.committedStores", oooArch.stores},
+            {"commit.committedBranches", oooArch.branches},
+            {"commit.committedMembars", oooArch.fences},
+            {"sys.fences", oooArch.fences},
+            {"sys.syscalls", oooArch.syscalls},
+            {"sys.rdrands", oooArch.rdrands},
+        };
+        for (const Attr &a : attrs) {
+            uint64_t got = cval(a.name);
+            if (got != a.want) {
+                std::ostringstream os;
+                os << a.name << "=" << got
+                   << " != committed-stream count " << a.want;
+                mismatch("envelope.commitAttr", oooArch.committed,
+                         os.str());
+            }
+        }
+
+        // Fetch-path accounting: every fetched op is eventually
+        // committed, squashed (ROB or decode), or trap-removed; the
+        // remainder is in flight and bounded by ROB + fetch queue.
+        uint64_t fetched = cval("fetch.insts");
+        uint64_t removed = cval("commit.committedInsts") +
+                           cval("rob.squashedInsts") +
+                           cval("decode.squashedInsts") +
+                           cval("commit.trapSquashes");
+        uint64_t inflight_cap =
+            params_.robEntries + params_.fetchQueueEntries;
+        if (fetched < removed ||
+            fetched - removed > inflight_cap) {
+            std::ostringstream os;
+            os << "fetch.insts=" << fetched
+               << " vs removed=" << removed
+               << " (in-flight bound " << inflight_cap << ")";
+            mismatch("envelope.fetch", oooArch.committed, os.str());
+        }
+
+        if (cval("iew.executedInsts") > cval("iq.instsIssued")) {
+            mismatch("envelope.issue", oooArch.committed,
+                     "more instructions executed than issued");
+        }
+    };
+
+    bool refExhausted = false;
+    uint64_t nextCheck = opts_.checkIntervalInsts;
+    core.setCommitHook([&](const MicroOp &op, SeqNum, Cycle) {
+        if (refExhausted) {
+            mismatch("commit.stream", oooArch.committed,
+                     "O3 committed past reference stream end: " +
+                         opToString(op));
+            return;
+        }
+        MicroOp want;
+        if (!ref.commitNext(want)) {
+            refExhausted = true;
+            mismatch("commit.stream", oooArch.committed,
+                     "O3 committed op after reference stream "
+                     "end: " + opToString(op));
+            return;
+        }
+        if (opDigest(want) != opDigest(op)) {
+            mismatch("commit.stream", oooArch.committed,
+                     "commit divergence: ooo=" + opToString(op) +
+                         " ref=" + opToString(want));
+            return;
+        }
+        oooArch.apply(op, params_.lineSize);
+        if (oooArch.committed >= nextCheck) {
+            nextCheck += opts_.checkIntervalInsts;
+            envelopes();
+        }
+    });
+
+    core.setIssueHook([&](const MicroOp &op, SeqNum seq,
+                          bool srcs_complete) {
+        if (!srcs_complete) {
+            mismatch("issue.sourcesReady", oooArch.committed,
+                     "op issued before its producers completed: " +
+                         opToString(op) + " seq=" +
+                         std::to_string(seq));
+        }
+    });
+
+    SimResult res = core.run(*oooStream, 0, opts_.maxCycles);
+
+    rep.committedOoo = res.committedInsts;
+    rep.committedRef = ref.committed();
+    rep.trappedRef = ref.trapped();
+    rep.cyclesOoo = res.cycles;
+    rep.cyclesRef = ref.cycles();
+    rep.leaks = res.leaks;
+    rep.streamExhausted = res.streamExhausted;
+
+    if (rep.ok() && !res.streamExhausted) {
+        // No divergence was recorded, so the only way out of run()
+        // was the explicit cycle cap: the case stalled.
+        std::ostringstream os;
+        os << "run hit the cycle cap (" << opts_.maxCycles
+           << ") before exhausting its stream";
+        mismatch("run.cycleBudget", oooArch.committed, os.str());
+    }
+
+    if (rep.ok()) {
+        MicroOp tail;
+        if (ref.commitNext(tail)) {
+            mismatch("commit.stream", oooArch.committed,
+                     "O3 under-committed: reference still has " +
+                         opToString(tail));
+        }
+    }
+
+    if (rep.ok()) {
+        if (res.committedInsts != oooArch.committed ||
+            res.committedInsts != ref.committed()) {
+            std::ostringstream os;
+            os << "commit counts disagree: SimResult "
+               << res.committedInsts << " hook " << oooArch.committed
+               << " ref " << ref.committed();
+            mismatch("commit.count", oooArch.committed, os.str());
+        }
+        if (oooArch.digest() != ref.arch().digest()) {
+            std::ostringstream os;
+            os << "final architectural state diverged:";
+            for (int r = 0; r < NUM_LOGICAL_REGS; ++r) {
+                if (oooArch.regs[r] != ref.arch().regs[r]) {
+                    os << " r" << r << " ooo=0x" << std::hex
+                       << oooArch.regs[r] << " ref=0x"
+                       << ref.arch().regs[r] << std::dec;
+                    break;
+                }
+            }
+            os << " (mem lines ooo " << oooArch.mem.size()
+               << " ref " << ref.arch().mem.size() << ")";
+            mismatch("arch.finalState", oooArch.committed, os.str());
+        }
+
+        envelopes();
+
+        if (res.leaks != cval("sys.leaks")) {
+            mismatch("envelope.leaks", oooArch.committed,
+                     "SimResult leaks disagree with sys.leaks");
+        }
+        if (cval("rob.squashedInsts") >
+                res.squashes * params_.robEntries ||
+            cval("decode.squashedInsts") >
+                res.squashes * params_.fetchQueueEntries) {
+            mismatch("envelope.squash", oooArch.committed,
+                     "more squashed instructions than " +
+                         std::to_string(res.squashes) +
+                         " squashes can explain");
+        }
+
+        // Forwarding envelope: with no defense delaying loads, a
+        // stream full of adjacent same-line store->load pairs must
+        // produce at least one LSQ forward. Only checked when the
+        // reference counted enough guaranteed pairs that zero
+        // forwards is implausible rather than unlucky.
+        if (defense_ == DefenseMode::None &&
+            ref.guaranteedForwardPairs() >=
+                opts_.forwardPairThreshold &&
+            cval("lsq.forwLoads") == 0) {
+            std::ostringstream os;
+            os << "no store-to-load forwarding despite "
+               << ref.guaranteedForwardPairs()
+               << " guaranteed adjacent same-line pairs";
+            mismatch("envelope.forwarding", oooArch.committed,
+                     os.str());
+        }
+    }
+
+    // Detach the hooks: they capture locals of this frame.
+    core.setCommitHook(nullptr);
+    core.setIssueHook(nullptr);
+    return rep;
+}
+
+DiffReport
+runDiffSpec(const CoreParams &params, DefenseMode defense,
+            const StreamSpec &spec, const DiffOptions &opts)
+{
+    DiffRunner runner(params, defense, opts);
+    return runner.run([&spec] { return makeStream(spec); });
+}
+
+} // namespace evax

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Differential runner: co-executes the O3 core against the in-order
+ * reference model (verify/ref_core.hh) over one instruction stream
+ * and cross-checks them while both run.
+ *
+ * Checks, in order of strength:
+ *  - commit-stream equality: every O3 commit is compared, in
+ *    lockstep from the commit hook, against the next reference
+ *    commit (per-op digest); divergence stops the run immediately;
+ *  - pipeline invariants: the issue probe flags any op issued
+ *    before its in-ROB producers completed (srcsReady memo);
+ *  - final architectural state: registers + memory image digests
+ *    under the shared value interpretation must match;
+ *  - counter sanity envelopes, every checkIntervalInsts commits and
+ *    at the end: cache hit/miss/access identities, structural
+ *    occupancies within capacity, commit counter attribution equal
+ *    to the reference's per-class counts, fetch-path accounting,
+ *    squashed <= issued style bounds, and (DefenseMode::None only)
+ *    a store-to-load forwarding envelope.
+ *
+ * The runner owns nothing about where streams come from: run()
+ * takes a factory invoked once per side, so each side consumes its
+ * own deterministic twin. StreamSpec + runDiffSpec() wrap the
+ * registry-backed workloads/attacks for the fuzzer and tests.
+ */
+
+#ifndef EVAX_VERIFY_DIFF_RUNNER_HH
+#define EVAX_VERIFY_DIFF_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hpc/counters.hh"
+#include "sim/params.hh"
+#include "sim/types.hh"
+#include "sim/uop.hh"
+
+namespace evax
+{
+
+/** Registry-backed stream description (serializable by the fuzzer). */
+struct StreamSpec
+{
+    enum class Kind { Benign, Attack };
+    Kind kind = Kind::Benign;
+    std::string name = "compress"; ///< registry name for the kind
+    uint64_t seed = 1;
+    uint64_t length = 20000;
+};
+
+/** Instantiate the stream a spec describes (fatal on bad name). */
+std::unique_ptr<InstStream> makeStream(const StreamSpec &spec);
+
+struct DiffOptions
+{
+    /** Counter-envelope checkpoint period, in commits. */
+    uint64_t checkIntervalInsts = 8192;
+    /** Hard cycle cap; 0 derives a generous cap from the stream. */
+    uint64_t maxCycles = 0;
+    /** Stop collecting after this many mismatches. */
+    size_t maxMismatches = 8;
+    /** Reference-side guaranteed forward pairs required before the
+     *  forwarding envelope applies (see RefCore). */
+    uint64_t forwardPairThreshold = 32;
+};
+
+struct DiffMismatch
+{
+    std::string check; ///< e.g. "commit.stream", "envelope.cache"
+    uint64_t commitIndex = 0;
+    std::string detail;
+};
+
+struct DiffReport
+{
+    std::vector<DiffMismatch> mismatches;
+    uint64_t committedOoo = 0;
+    uint64_t committedRef = 0;
+    uint64_t trappedRef = 0;
+    uint64_t cyclesOoo = 0;
+    uint64_t cyclesRef = 0;
+    uint64_t checkpoints = 0;
+    uint64_t leaks = 0;
+    bool streamExhausted = false;
+
+    bool ok() const { return mismatches.empty(); }
+    std::string summary() const;
+};
+
+/** Co-executes one (params, defense, stream) case. Reusable. */
+class DiffRunner
+{
+  public:
+    DiffRunner(const CoreParams &params, DefenseMode defense,
+               const DiffOptions &opts = {});
+
+    /**
+     * Run the differential case. @p factory is called exactly twice
+     * (O3 side, reference side) and must return identical twin
+     * streams — i.e. construction must be deterministic.
+     */
+    DiffReport run(
+        const std::function<std::unique_ptr<InstStream>()> &factory);
+
+    /** Counter state left by the last run (fuzzer coverage). */
+    const CounterRegistry &counters() const { return reg_; }
+
+  private:
+    CoreParams params_;
+    DefenseMode defense_;
+    DiffOptions opts_;
+    CounterRegistry reg_;
+};
+
+/** Convenience: run one registry-backed case. */
+DiffReport runDiffSpec(const CoreParams &params, DefenseMode defense,
+                       const StreamSpec &spec,
+                       const DiffOptions &opts = {});
+
+} // namespace evax
+
+#endif // EVAX_VERIFY_DIFF_RUNNER_HH

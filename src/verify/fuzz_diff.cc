@@ -1,0 +1,719 @@
+#include "verify/fuzz_diff.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "attacks/registry.hh"
+#include "util/log.hh"
+#include "verify/ref_core.hh"
+#include "util/trace.hh"
+#include "workload/registry.hh"
+
+namespace evax
+{
+
+namespace
+{
+
+const char *
+defenseName(DefenseMode m)
+{
+    return defenseModeName(m);
+}
+
+bool
+parseDefense(const std::string &s, DefenseMode &out)
+{
+    static const DefenseMode kModes[] = {
+        DefenseMode::None, DefenseMode::FenceSpectre,
+        DefenseMode::FenceFuturistic, DefenseMode::InvisiSpecSpectre,
+        DefenseMode::InvisiSpecFuturistic,
+    };
+    for (DefenseMode m : kModes) {
+        if (s == defenseModeName(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+uint64_t
+strHash(const char *s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (; *s; ++s) {
+        h ^= (unsigned char)*s;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+unsigned
+log2Bucket(uint64_t v)
+{
+    unsigned b = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+std::string
+DiffCase::toText() const
+{
+    std::ostringstream os;
+    os << "# evax diff case v1\n";
+    os << "stream.kind="
+       << (stream.kind == StreamSpec::Kind::Attack ? "attack"
+                                                   : "benign")
+       << "\n";
+    os << "stream.name=" << stream.name << "\n";
+    os << "stream.seed=" << stream.seed << "\n";
+    os << "stream.length=" << stream.length << "\n";
+    os << "defense=" << defenseName(defense) << "\n";
+    os << "rob=" << params.robEntries << "\n";
+    os << "iq=" << params.iqEntries << "\n";
+    os << "lq=" << params.lqEntries << "\n";
+    os << "sq=" << params.sqEntries << "\n";
+    os << "physregs=" << params.numPhysIntRegs << "\n";
+    os << "fetchq=" << params.fetchQueueEntries << "\n";
+    os << "width=" << params.issueWidth << "\n";
+    os << "btb=" << params.btbEntries << "\n";
+    os << "ras=" << params.rasEntries << "\n";
+    os << "icache.size=" << params.icacheSize << "\n";
+    os << "icache.assoc=" << params.icacheAssoc << "\n";
+    os << "dcache.size=" << params.dcacheSize << "\n";
+    os << "dcache.assoc=" << params.dcacheAssoc << "\n";
+    os << "dcache.mshrs=" << params.dcacheMshrs << "\n";
+    os << "wbuf=" << params.writeBuffers << "\n";
+    os << "l2.size=" << params.l2Size << "\n";
+    os << "l2.assoc=" << params.l2Assoc << "\n";
+    os << "l2.mshrs=" << params.l2Mshrs << "\n";
+    return os.str();
+}
+
+bool
+DiffCase::fromText(const std::string &text, DiffCase &out,
+                   std::string *err)
+{
+    DiffCase c; // defaults
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = "line " + std::to_string(lineno) + ": " + msg;
+        return false;
+    };
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return fail("expected key=value, got '" + line + "'");
+        std::string key = line.substr(0, eq);
+        std::string val = line.substr(eq + 1);
+        auto num = [&](auto &field) {
+            char *end = nullptr;
+            unsigned long long v =
+                std::strtoull(val.c_str(), &end, 10);
+            if (!end || *end != '\0')
+                return false;
+            field = (std::decay_t<decltype(field)>)v;
+            return true;
+        };
+        bool ok = true;
+        if (key == "stream.kind") {
+            if (val == "benign")
+                c.stream.kind = StreamSpec::Kind::Benign;
+            else if (val == "attack")
+                c.stream.kind = StreamSpec::Kind::Attack;
+            else
+                ok = false;
+        } else if (key == "stream.name") {
+            c.stream.name = val;
+        } else if (key == "stream.seed") {
+            ok = num(c.stream.seed);
+        } else if (key == "stream.length") {
+            ok = num(c.stream.length);
+        } else if (key == "defense") {
+            ok = parseDefense(val, c.defense);
+        } else if (key == "rob") {
+            ok = num(c.params.robEntries);
+        } else if (key == "iq") {
+            ok = num(c.params.iqEntries);
+        } else if (key == "lq") {
+            ok = num(c.params.lqEntries);
+        } else if (key == "sq") {
+            ok = num(c.params.sqEntries);
+        } else if (key == "physregs") {
+            ok = num(c.params.numPhysIntRegs);
+        } else if (key == "fetchq") {
+            ok = num(c.params.fetchQueueEntries);
+        } else if (key == "width") {
+            unsigned w = 0;
+            ok = num(w);
+            if (ok) {
+                c.params.fetchWidth = c.params.dispatchWidth = w;
+                c.params.issueWidth = c.params.commitWidth = w;
+            }
+        } else if (key == "btb") {
+            ok = num(c.params.btbEntries);
+        } else if (key == "ras") {
+            ok = num(c.params.rasEntries);
+        } else if (key == "icache.size") {
+            ok = num(c.params.icacheSize);
+        } else if (key == "icache.assoc") {
+            ok = num(c.params.icacheAssoc);
+        } else if (key == "dcache.size") {
+            ok = num(c.params.dcacheSize);
+        } else if (key == "dcache.assoc") {
+            ok = num(c.params.dcacheAssoc);
+        } else if (key == "dcache.mshrs") {
+            ok = num(c.params.dcacheMshrs);
+        } else if (key == "wbuf") {
+            ok = num(c.params.writeBuffers);
+        } else if (key == "l2.size") {
+            ok = num(c.params.l2Size);
+        } else if (key == "l2.assoc") {
+            ok = num(c.params.l2Assoc);
+        } else if (key == "l2.mshrs") {
+            ok = num(c.params.l2Mshrs);
+        } else {
+            return fail("unknown key '" + key + "'");
+        }
+        if (!ok)
+            return fail("bad value for '" + key + "': " + val);
+    }
+    if (!validate(c, err))
+        return false;
+    out = c;
+    return true;
+}
+
+bool
+DiffCase::validate(const DiffCase &c, std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    const auto &names = c.stream.kind == StreamSpec::Kind::Attack
+                            ? AttackRegistry::names()
+                            : WorkloadRegistry::names();
+    if (std::find(names.begin(), names.end(), c.stream.name) ==
+        names.end()) {
+        return fail("unknown stream name '" + c.stream.name + "'");
+    }
+    if (c.stream.length < 100 || c.stream.length > 5000000)
+        return fail("stream.length out of range [100, 5000000]");
+    const CoreParams &p = c.params;
+    if (p.robEntries < 8 || p.robEntries > 1024)
+        return fail("rob out of range [8, 1024]");
+    if (p.iqEntries < 4 || p.lqEntries < 2 || p.sqEntries < 2)
+        return fail("iq/lq/sq too small");
+    if (p.numPhysIntRegs < 48)
+        return fail("physregs too small (< 48)");
+    if (p.fetchQueueEntries < 4)
+        return fail("fetchq too small (< 4)");
+    if (p.issueWidth < 1 || p.issueWidth > 16)
+        return fail("width out of range [1, 16]");
+    if (!isPow2(p.btbEntries) || p.rasEntries < 2)
+        return fail("bad predictor geometry");
+    if (p.writeBuffers < 1)
+        return fail("wbuf must be >= 1");
+    struct Geom { const char *n; uint64_t size, assoc; };
+    Geom geoms[] = {{"icache", p.icacheSize, p.icacheAssoc},
+                    {"dcache", p.dcacheSize, p.dcacheAssoc},
+                    {"l2", p.l2Size, p.l2Assoc}};
+    for (const Geom &g : geoms) {
+        if (!isPow2(g.size) || !isPow2(g.assoc) ||
+            g.size < (uint64_t)p.lineSize * g.assoc) {
+            return fail(std::string(g.n) + " geometry invalid");
+        }
+    }
+    if (p.dcacheMshrs < 1 || p.l2Mshrs < 1)
+        return fail("mshrs must be >= 1");
+    return true;
+}
+
+uint64_t
+DiffCase::digest() const
+{
+    std::string t = toText();
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char ch : t) {
+        h ^= (unsigned char)ch;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+DiffFuzzer::DiffFuzzer(const FuzzOptions &opts)
+    : opts_(opts), rng_(opts.seed ? opts.seed : 1)
+{
+}
+
+size_t
+DiffFuzzer::loadCorpus()
+{
+    if (opts_.corpusDir.empty())
+        return 0;
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(opts_.corpusDir, ec))
+        return 0;
+    std::vector<std::string> paths;
+    for (const auto &e : fs::directory_iterator(opts_.corpusDir)) {
+        if (e.path().extension() == ".case")
+            paths.push_back(e.path().string());
+    }
+    // Directory order is filesystem-dependent; sort for determinism.
+    std::sort(paths.begin(), paths.end());
+    size_t loaded = 0;
+    for (const std::string &p : paths) {
+        std::ifstream in(p);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        DiffCase c;
+        std::string err;
+        if (!DiffCase::fromText(ss.str(), c, &err)) {
+            warn("difffuzz: skipping %s: %s", p.c_str(),
+                 err.c_str());
+            continue;
+        }
+        if (knownCases_.insert(c.digest()).second) {
+            corpus_.push_back(std::move(c));
+            ++loaded;
+        }
+    }
+    return loaded;
+}
+
+void
+DiffFuzzer::seedDefaultCorpus()
+{
+    // A deterministic spread over stream kinds and defense modes;
+    // params stay at Table II defaults so the seeds are always
+    // valid even as the fuzzable ranges evolve.
+    struct Seed { StreamSpec::Kind kind; const char *name;
+                  DefenseMode defense; uint64_t length; };
+    static const Seed kSeeds[] = {
+        {StreamSpec::Kind::Benign, "compress", DefenseMode::None,
+         20000},
+        {StreamSpec::Kind::Benign, "pointerchase",
+         DefenseMode::FenceFuturistic, 12000},
+        {StreamSpec::Kind::Benign, "hashjoin",
+         DefenseMode::InvisiSpecSpectre, 16000},
+        {StreamSpec::Kind::Attack, "meltdown", DefenseMode::None,
+         12000},
+        {StreamSpec::Kind::Attack, "spectre-pht",
+         DefenseMode::FenceSpectre, 16000},
+        {StreamSpec::Kind::Attack, "lvi",
+         DefenseMode::InvisiSpecFuturistic, 12000},
+    };
+    for (const Seed &s : kSeeds) {
+        DiffCase c;
+        c.stream.kind = s.kind;
+        c.stream.name = s.name;
+        c.stream.seed = 7;
+        c.stream.length = s.length;
+        c.defense = s.defense;
+        if (knownCases_.insert(c.digest()).second)
+            corpus_.push_back(std::move(c));
+    }
+}
+
+DiffCase
+DiffFuzzer::mutate(const DiffCase &base)
+{
+    DiffCase c = base;
+    unsigned edits = 1 + (unsigned)rng_.nextBounded(3);
+    for (unsigned i = 0; i < edits; ++i) {
+        switch (rng_.nextBounded(12)) {
+          case 0: { // stream identity
+            if (rng_.nextBool(0.4)) {
+                c.stream.kind = StreamSpec::Kind::Attack;
+                const auto &n = AttackRegistry::names();
+                c.stream.name = n[rng_.nextBounded(n.size())];
+            } else {
+                c.stream.kind = StreamSpec::Kind::Benign;
+                const auto &n = WorkloadRegistry::names();
+                c.stream.name = n[rng_.nextBounded(n.size())];
+            }
+            break;
+          }
+          case 1:
+            c.stream.seed = 1 + rng_.nextBounded(1u << 20);
+            break;
+          case 2:
+            c.stream.length =
+                2000 + rng_.nextBounded(opts_.maxStreamLength >
+                                                2000
+                                            ? opts_.maxStreamLength
+                                                  - 2000
+                                            : 1);
+            break;
+          case 3: {
+            static const DefenseMode kModes[] = {
+                DefenseMode::None, DefenseMode::FenceSpectre,
+                DefenseMode::FenceFuturistic,
+                DefenseMode::InvisiSpecSpectre,
+                DefenseMode::InvisiSpecFuturistic,
+            };
+            c.defense = kModes[rng_.nextBounded(5)];
+            break;
+          }
+          case 4: {
+            static const unsigned kRob[] = {16, 24, 32, 48, 64,
+                                            96, 128, 192, 256};
+            c.params.robEntries = kRob[rng_.nextBounded(9)];
+            break;
+          }
+          case 5: {
+            static const unsigned kIq[] = {8, 16, 32, 64, 128};
+            c.params.iqEntries = kIq[rng_.nextBounded(5)];
+            break;
+          }
+          case 6: {
+            static const unsigned kLsq[] = {4, 8, 16, 32, 64};
+            c.params.lqEntries = kLsq[rng_.nextBounded(5)];
+            c.params.sqEntries = kLsq[rng_.nextBounded(5)];
+            break;
+          }
+          case 7: {
+            static const unsigned kRegs[] = {64, 96, 128, 192,
+                                             256};
+            c.params.numPhysIntRegs = kRegs[rng_.nextBounded(5)];
+            static const unsigned kFq[] = {8, 16, 32};
+            c.params.fetchQueueEntries = kFq[rng_.nextBounded(3)];
+            break;
+          }
+          case 8: {
+            static const unsigned kW[] = {1, 2, 4, 8};
+            unsigned w = kW[rng_.nextBounded(4)];
+            c.params.fetchWidth = c.params.dispatchWidth = w;
+            c.params.issueWidth = c.params.commitWidth = w;
+            break;
+          }
+          case 9: {
+            static const uint32_t kSize[] = {16384, 32768, 65536,
+                                             131072};
+            static const uint32_t kAssoc[] = {2, 4, 8};
+            c.params.dcacheSize = kSize[rng_.nextBounded(4)];
+            c.params.dcacheAssoc = kAssoc[rng_.nextBounded(3)];
+            static const uint32_t kMshrs[] = {2, 4, 10, 20};
+            c.params.dcacheMshrs = kMshrs[rng_.nextBounded(4)];
+            static const uint32_t kWbuf[] = {2, 4, 8, 16};
+            c.params.writeBuffers = kWbuf[rng_.nextBounded(4)];
+            break;
+          }
+          case 10: {
+            static const uint32_t kSize[] = {16384, 32768, 65536};
+            static const uint32_t kAssoc[] = {2, 4, 8};
+            c.params.icacheSize = kSize[rng_.nextBounded(3)];
+            c.params.icacheAssoc = kAssoc[rng_.nextBounded(3)];
+            static const uint32_t kL2[] = {262144, 1048576,
+                                           2097152};
+            c.params.l2Size = kL2[rng_.nextBounded(3)];
+            c.params.l2Assoc = kAssoc[rng_.nextBounded(3)];
+            static const uint32_t kMshrs[] = {4, 10, 20};
+            c.params.l2Mshrs = kMshrs[rng_.nextBounded(3)];
+            break;
+          }
+          default: {
+            static const unsigned kBtb[] = {512, 1024, 4096};
+            c.params.btbEntries = kBtb[rng_.nextBounded(3)];
+            static const unsigned kRas[] = {4, 8, 16, 32};
+            c.params.rasEntries = kRas[rng_.nextBounded(4)];
+            break;
+          }
+        }
+    }
+    std::string err;
+    if (!DiffCase::validate(c, &err))
+        return base; // should not happen: menus are all valid
+    return c;
+}
+
+uint64_t
+DiffFuzzer::harvestCoverage(const CounterRegistry &reg)
+{
+    uint64_t fresh = 0;
+    auto add = [&](uint64_t feature) {
+        if (coverage_.insert(feature).second)
+            ++fresh;
+    };
+
+    // Event-trace features: (component, event, log2 count). The
+    // branch/squash/MSHR trace categories light these up on the
+    // paths the oracle most cares about.
+    if (trace::compiledIn()) {
+        struct Key { const char *c, *e; };
+        std::vector<std::pair<uint64_t, uint64_t>> counts;
+        for (const trace::Record &r : trace::snapshot()) {
+            uint64_t k = mix64(strHash(r.component) ^
+                               (strHash(r.event) * 3));
+            bool found = false;
+            for (auto &kv : counts) {
+                if (kv.first == k) {
+                    ++kv.second;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                counts.push_back({k, 1});
+        }
+        for (const auto &kv : counts)
+            add(mix64(kv.first ^ (0x10000ULL +
+                                  log2Bucket(kv.second))));
+    }
+
+    // Counter features: (name, log2 value) for every non-zero HPC.
+    for (CounterId id = 0; id < (CounterId)reg.size(); ++id) {
+        double v = reg.value(id);
+        if (v <= 0)
+            continue;
+        add(mix64(strHash(reg.name(id).c_str()) ^
+                  (0x20000ULL + log2Bucket((uint64_t)v))));
+    }
+    stats_.coverageFeatures = coverage_.size();
+    return fresh;
+}
+
+DiffReport
+DiffFuzzer::execute(const DiffCase &c, uint64_t *new_features)
+{
+    uint32_t prev_mask = trace::mask();
+    trace::setMask(trace::CatCore | trace::CatCache |
+                   trace::CatMem | trace::CatBp | trace::CatTlb |
+                   trace::CatDram);
+    trace::clear();
+
+    DiffRunner runner(c.params, c.defense, opts_.diff);
+    StreamSpec spec = c.stream;
+    DiffReport rep =
+        runner.run([&spec] { return makeStream(spec); });
+
+    if (new_features)
+        *new_features = harvestCoverage(runner.counters());
+    trace::setMask(prev_mask);
+    trace::clear();
+    return rep;
+}
+
+void
+DiffFuzzer::recordCrash(const DiffCase &c, const DiffReport &rep)
+{
+    ++stats_.mismatches;
+    if (opts_.crashDir.empty())
+        return;
+    std::filesystem::create_directories(opts_.crashDir);
+    char name[64];
+    std::snprintf(name, sizeof(name), "crash-%016llx.case",
+                  (unsigned long long)c.digest());
+    std::string path = opts_.crashDir + "/" + name;
+    std::ofstream out(path);
+    out << c.toText();
+    std::istringstream sum(rep.summary());
+    std::string line;
+    while (std::getline(sum, line))
+        out << "# " << line << "\n";
+    if (opts_.verbose)
+        inform("difffuzz: wrote %s", path.c_str());
+}
+
+void
+DiffFuzzer::saveCorpusCase(const DiffCase &c)
+{
+    if (opts_.corpusDir.empty())
+        return;
+    std::filesystem::create_directories(opts_.corpusDir);
+    char name[64];
+    std::snprintf(name, sizeof(name), "corpus-%016llx.case",
+                  (unsigned long long)c.digest());
+    std::ofstream out(opts_.corpusDir + "/" + name);
+    out << c.toText();
+}
+
+FuzzStats
+DiffFuzzer::run()
+{
+    loadCorpus();
+    if (corpus_.empty())
+        seedDefaultCorpus();
+
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point deadline = Clock::time_point::max();
+    if (opts_.seconds > 0) {
+        deadline = Clock::now() +
+                   std::chrono::milliseconds(
+                       (int64_t)(opts_.seconds * 1000.0));
+    }
+    uint64_t iter_budget = opts_.iterations;
+    if (iter_budget == 0 && opts_.seconds <= 0)
+        iter_budget = 50; // neither budget set: stay bounded
+
+    std::string pending = opts_.crashDir.empty()
+                              ? std::string()
+                              : opts_.crashDir + "/pending.case";
+    if (!pending.empty())
+        std::filesystem::create_directories(opts_.crashDir);
+
+    uint64_t iter = 0;
+    while ((iter_budget == 0 || iter < iter_budget) &&
+           Clock::now() < deadline) {
+        // Warm the coverage map with the corpus itself first, so
+        // mutants only earn corpus slots for genuinely new
+        // behavior.
+        DiffCase c =
+            iter < corpus_.size()
+                ? corpus_[iter]
+                : mutate(corpus_[rng_.nextBounded(
+                      corpus_.size())]);
+        ++iter;
+        ++stats_.execs;
+
+        if (!pending.empty()) {
+            // Crash safety: persist before executing, so even an
+            // abort (deadlock panic) leaves a reproducer.
+            std::ofstream out(pending);
+            out << c.toText();
+        }
+
+        uint64_t fresh = 0;
+        DiffReport rep = execute(c, &fresh);
+        if (!rep.ok()) {
+            recordCrash(c, rep);
+            if (opts_.verbose)
+                inform("difffuzz: MISMATCH %s",
+                       rep.summary().c_str());
+        } else if (fresh > 0 &&
+                   knownCases_.insert(c.digest()).second) {
+            corpus_.push_back(c);
+            ++stats_.corpusAdds;
+            saveCorpusCase(c);
+        }
+        if (opts_.verbose && (iter % 10 == 0)) {
+            inform("difffuzz: %llu execs, %zu corpus, %llu "
+                   "features, %llu mismatches",
+                   (unsigned long long)stats_.execs,
+                   corpus_.size(),
+                   (unsigned long long)coverage_.size(),
+                   (unsigned long long)stats_.mismatches);
+        }
+    }
+
+    if (!pending.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(pending, ec);
+    }
+    stats_.coverageFeatures = coverage_.size();
+    return stats_;
+}
+
+DiffCase
+DiffFuzzer::minimize(const DiffCase &c,
+                     const std::function<bool(const DiffCase &)>
+                         &stillFails,
+                     int budget)
+{
+    DiffCase best = c;
+    bool progress = true;
+    while (progress && budget > 0) {
+        progress = false;
+        std::vector<DiffCase> candidates;
+        const CoreParams defaults;
+
+        if (best.stream.length > 1000) {
+            DiffCase d = best;
+            d.stream.length = std::max<uint64_t>(
+                1000, best.stream.length / 2);
+            candidates.push_back(d);
+        }
+        if (best.defense != DefenseMode::None) {
+            DiffCase d = best;
+            d.defense = DefenseMode::None;
+            candidates.push_back(d);
+        }
+        if (best.stream.seed != 1) {
+            DiffCase d = best;
+            d.stream.seed = 1;
+            candidates.push_back(d);
+        }
+        // Reset each fuzzed param group to Table II defaults.
+        auto tryReset = [&](auto set) {
+            DiffCase d = best;
+            set(d.params);
+            if (d.toText() != best.toText())
+                candidates.push_back(d);
+        };
+        tryReset([&](CoreParams &p) {
+            p.robEntries = defaults.robEntries;
+        });
+        tryReset([&](CoreParams &p) {
+            p.iqEntries = defaults.iqEntries;
+            p.lqEntries = defaults.lqEntries;
+            p.sqEntries = defaults.sqEntries;
+        });
+        tryReset([&](CoreParams &p) {
+            p.numPhysIntRegs = defaults.numPhysIntRegs;
+            p.fetchQueueEntries = defaults.fetchQueueEntries;
+        });
+        tryReset([&](CoreParams &p) {
+            p.fetchWidth = defaults.fetchWidth;
+            p.dispatchWidth = defaults.dispatchWidth;
+            p.issueWidth = defaults.issueWidth;
+            p.commitWidth = defaults.commitWidth;
+        });
+        tryReset([&](CoreParams &p) {
+            p.dcacheSize = defaults.dcacheSize;
+            p.dcacheAssoc = defaults.dcacheAssoc;
+            p.dcacheMshrs = defaults.dcacheMshrs;
+            p.writeBuffers = defaults.writeBuffers;
+        });
+        tryReset([&](CoreParams &p) {
+            p.icacheSize = defaults.icacheSize;
+            p.icacheAssoc = defaults.icacheAssoc;
+            p.l2Size = defaults.l2Size;
+            p.l2Assoc = defaults.l2Assoc;
+            p.l2Mshrs = defaults.l2Mshrs;
+        });
+        tryReset([&](CoreParams &p) {
+            p.btbEntries = defaults.btbEntries;
+            p.rasEntries = defaults.rasEntries;
+        });
+
+        for (const DiffCase &cand : candidates) {
+            if (budget-- <= 0)
+                break;
+            if (stillFails(cand)) {
+                best = cand;
+                progress = true;
+                break;
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace evax

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Coverage-guided configuration/stream fuzzer over the differential
+ * oracle (verify/diff_runner.hh).
+ *
+ * A fuzz case is (CoreParams subset, DefenseMode, StreamSpec),
+ * serialized as a commented key=value text file so crashes are
+ * reproducible and committable. The fuzzer mutates cases drawn from
+ * a corpus, executes each under the differential runner, and uses
+ * the PR 2 event trace (branch/squash/MSHR categories) plus the HPC
+ * registry as its coverage signal: a case that lights up a new
+ * (component, event, log2-count) or (counter, log2-value) feature
+ * joins the corpus.
+ *
+ * Failure handling is crash-safe: the case about to execute is
+ * written to <crashDir>/pending.case *before* the run, so even a
+ * simulator abort (deadlock panic) leaves a reproducer behind;
+ * oracle mismatches additionally produce crash-<digest>.case files
+ * and a greedy minimizer shrinks them.
+ *
+ * Everything is deterministic from FuzzOptions::seed and the corpus
+ * (directory entries are sorted before loading).
+ */
+
+#ifndef EVAX_VERIFY_FUZZ_DIFF_HH
+#define EVAX_VERIFY_FUZZ_DIFF_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/params.hh"
+#include "sim/types.hh"
+#include "util/rng.hh"
+#include "verify/diff_runner.hh"
+
+namespace evax
+{
+
+/** One fuzzable differential case. */
+struct DiffCase
+{
+    CoreParams params;
+    DefenseMode defense = DefenseMode::None;
+    StreamSpec stream;
+
+    /** Serialize as commented key=value lines (stable order). */
+    std::string toText() const;
+
+    /**
+     * Parse a serialized case; unknown keys and malformed values
+     * fail with a message in @p err. Missing keys keep defaults.
+     */
+    static bool fromText(const std::string &text, DiffCase &out,
+                         std::string *err);
+
+    /** Structural validity (registry names, cache geometry...). */
+    static bool validate(const DiffCase &c, std::string *err);
+
+    /** Stable digest of the serialized form (file naming). */
+    uint64_t digest() const;
+};
+
+struct FuzzOptions
+{
+    uint64_t seed = 1;
+    /** Iteration budget; 0 = no iteration bound. */
+    uint64_t iterations = 0;
+    /** Wall-clock budget in seconds; 0 = no time bound. When both
+     *  budgets are 0, a small default iteration budget applies. */
+    double seconds = 0;
+    /** Corpus directory (loaded at run start, new entries saved);
+     *  empty = in-memory corpus only. */
+    std::string corpusDir;
+    /** Crash/pending reproducer directory; empty = don't write. */
+    std::string crashDir;
+    /** Cap on fuzzed stream lengths. */
+    uint64_t maxStreamLength = 60000;
+    DiffOptions diff;
+    bool verbose = false;
+};
+
+struct FuzzStats
+{
+    uint64_t execs = 0;
+    uint64_t mismatches = 0;
+    uint64_t corpusAdds = 0;
+    uint64_t coverageFeatures = 0;
+};
+
+class DiffFuzzer
+{
+  public:
+    explicit DiffFuzzer(const FuzzOptions &opts);
+
+    /** Load the corpus directory's .case files (sorted); bad files
+     *  are skipped with a warning. @return cases loaded. */
+    size_t loadCorpus();
+
+    /** Built-in deterministic seed cases (used when empty). */
+    void seedDefaultCorpus();
+
+    /** Fuzz until a budget expires. */
+    FuzzStats run();
+
+    /**
+     * Execute one case under the differential oracle, harvesting
+     * coverage. @p new_features (optional) receives the number of
+     * features this case lit up for the first time.
+     */
+    DiffReport execute(const DiffCase &c,
+                       uint64_t *new_features = nullptr);
+
+    /** Derive a mutant of @p base (deterministic from the rng). */
+    DiffCase mutate(const DiffCase &base);
+
+    /**
+     * Greedy minimizer: repeatedly applies the largest reduction
+     * that keeps @p stillFails true, up to @p budget predicate
+     * evaluations.
+     */
+    DiffCase minimize(const DiffCase &c,
+                      const std::function<bool(const DiffCase &)>
+                          &stillFails,
+                      int budget = 64);
+
+    const std::vector<DiffCase> &corpus() const { return corpus_; }
+    const FuzzStats &stats() const { return stats_; }
+
+  private:
+    uint64_t harvestCoverage(const CounterRegistry &reg);
+    void recordCrash(const DiffCase &c, const DiffReport &rep);
+    void saveCorpusCase(const DiffCase &c);
+
+    FuzzOptions opts_;
+    Rng rng_;
+    std::vector<DiffCase> corpus_;
+    std::unordered_set<uint64_t> coverage_;
+    std::unordered_set<uint64_t> knownCases_;
+    FuzzStats stats_;
+};
+
+} // namespace evax
+
+#endif // EVAX_VERIFY_FUZZ_DIFF_HH

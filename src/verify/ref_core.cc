@@ -1,0 +1,221 @@
+#include "verify/ref_core.hh"
+
+#include <sstream>
+
+namespace evax
+{
+
+uint64_t
+mix64(uint64_t x)
+{
+    // splitmix64 finalizer: cheap, well-distributed, deterministic.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+opDigest(const MicroOp &op)
+{
+    // FNV-1a over the architectural fields. Timing-irrelevant
+    // attributes (transient block pointer) are excluded; everything
+    // that defines the op's identity and effect participates.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto fold = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    fold(op.pc);
+    fold(op.addr);
+    fold(op.size);
+    fold((uint64_t)op.op);
+    fold((uint64_t)(int64_t)op.src0);
+    fold((uint64_t)(int64_t)op.src1);
+    fold((uint64_t)(int64_t)op.dst);
+    uint64_t flags = (op.actualTaken ? 1u : 0u) |
+                     (op.indirect ? 2u : 0u) |
+                     (op.isReturn ? 4u : 0u) |
+                     (op.isCall ? 8u : 0u) |
+                     (op.faults ? 16u : 0u) |
+                     (op.injected ? 32u : 0u) |
+                     (op.secretDependent ? 64u : 0u) |
+                     (op.serializing ? 128u : 0u);
+    fold(flags);
+    return h;
+}
+
+std::string
+opToString(const MicroOp &op)
+{
+    static const char *const kNames[] = {
+        "IntAlu", "IntMult", "IntDiv",  "FpAdd",   "FpMult",
+        "Load",   "Store",   "Branch",  "Fence",   "Clflush",
+        "Rdrand", "Syscall", "Prefetch", "Nop",
+    };
+    std::ostringstream os;
+    unsigned cls = (unsigned)op.op;
+    os << (cls < NUM_OP_CLASSES ? kNames[cls] : "?") << "{pc=0x"
+       << std::hex << op.pc << " addr=0x" << op.addr << std::dec
+       << " d=" << (int)op.dst << " s=" << (int)op.src0 << ","
+       << (int)op.src1;
+    if (op.actualTaken)
+        os << " taken";
+    if (op.faults)
+        os << " faults";
+    if (op.injected)
+        os << " injected";
+    os << "}";
+    return os.str();
+}
+
+uint64_t
+ArchState::readLine(Addr line) const
+{
+    auto it = mem.find(line);
+    return it != mem.end()
+               ? it->second
+               : mix64(line ^ 0xa0761d6478bd642fULL);
+}
+
+void
+ArchState::apply(const MicroOp &op, uint32_t line_size)
+{
+    switch (op.op) {
+      case OpClass::Load:
+        ++loads;
+        break;
+      case OpClass::Store:
+        ++stores;
+        break;
+      case OpClass::Branch:
+        ++branches;
+        break;
+      case OpClass::Fence:
+        ++fences;
+        break;
+      case OpClass::Syscall:
+        ++syscalls;
+        break;
+      case OpClass::Rdrand:
+        ++rdrands;
+        break;
+      default:
+        break;
+    }
+
+    Addr line = op.addr & ~(Addr)(line_size - 1);
+    uint64_t s0 = op.src0 >= 0 ? regs[op.src0] : 0;
+    uint64_t s1 = op.src1 >= 0 ? regs[op.src1] : 0;
+    if (op.isStore()) {
+        // Store "data" folds the old line value, the source operand
+        // and the address, so reordered or dropped stores diverge.
+        mem[line] = mix64(readLine(line) ^ s0 ^
+                          (op.addr + 0x2545f4914f6cdd1dULL));
+    } else if (op.isLoad()) {
+        if (op.dst >= 0)
+            regs[op.dst] = mix64(readLine(line) ^ op.addr);
+    } else if (op.dst >= 0) {
+        // Every other producing class: a class-tagged mix of the
+        // operands and the pc. (Rdrand is architecturally random on
+        // real hardware; the model defines it deterministically so
+        // both sides agree.)
+        regs[op.dst] = mix64(((uint64_t)op.op << 56) ^ s0 ^
+                             (s1 * 0x9e3779b97f4a7c15ULL) ^ op.pc);
+    }
+    ++committed;
+}
+
+uint64_t
+ArchState::digest() const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t r : regs)
+        h = mix64(h ^ r);
+    // The memory image lives in an unordered_map: accumulate with a
+    // commutative operation so iteration order cannot matter.
+    uint64_t memAcc = 0;
+    for (const auto &kv : mem)
+        memAcc += mix64(kv.first ^ mix64(kv.second));
+    h = mix64(h ^ memAcc);
+    h = mix64(h ^ committed);
+    h = mix64(h ^ (loads * 3 + stores * 5 + branches * 7 +
+                   fences * 11 + syscalls * 13 + rdrands * 17));
+    return h;
+}
+
+RefCore::RefCore(const CoreParams &params, InstStream &stream)
+    : params_(params), stream_(stream),
+      l1Tags_(1024, (Addr)-1)
+{
+}
+
+uint32_t
+RefCore::loadLatency(Addr addr)
+{
+    Addr line = addr / params_.lineSize;
+    size_t idx = (size_t)(line % l1Tags_.size());
+    if (l1Tags_[idx] == line)
+        return params_.dcacheLatency;
+    l1Tags_[idx] = line;
+    return params_.dcacheLatency + params_.l2Latency;
+}
+
+uint32_t
+RefCore::opLatency(const MicroOp &op)
+{
+    switch (op.op) {
+      case OpClass::Load:
+        return loadLatency(op.addr);
+      case OpClass::Store:
+        return 1;
+      case OpClass::IntMult:
+        return params_.intMultLatency;
+      case OpClass::IntDiv:
+        return params_.intDivLatency;
+      case OpClass::FpAdd:
+        return params_.fpAddLatency;
+      case OpClass::FpMult:
+        return params_.fpMultLatency;
+      case OpClass::Rdrand:
+        return params_.rdrandLatency;
+      case OpClass::Syscall:
+        return params_.syscallLatency;
+      default:
+        return params_.intAluLatency;
+    }
+}
+
+bool
+RefCore::commitNext(MicroOp &out)
+{
+    MicroOp op;
+    while (stream_.next(op)) {
+        cycles_ += opLatency(op);
+        if (op.faults) {
+            // Trapped at the head: delivered, squashed, never
+            // committed. A trap also breaks store->load adjacency.
+            ++trapped_;
+            cycles_ += params_.trapDeliveryLatency +
+                       params_.squashRecoveryCycles;
+            lastStoreLine_ = (Addr)-1;
+            continue;
+        }
+        Addr line = op.addr & ~(Addr)(params_.lineSize - 1);
+        if (op.isLoad() && !op.injected && lastStoreLine_ == line &&
+            lastStoreSrc_ >= 0 &&
+            (op.src0 == lastStoreSrc_ || op.src1 == lastStoreSrc_)) {
+            ++fwdPairs_;
+        }
+        lastStoreLine_ = op.isStore() ? line : (Addr)-1;
+        lastStoreSrc_ = op.isStore() ? op.src0 : (int8_t)-1;
+        arch_.apply(op, params_.lineSize);
+        out = op;
+        return true;
+    }
+    return false;
+}
+
+} // namespace evax

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * In-order architectural reference model for differential testing.
+ *
+ * The O3 core (sim/core.hh) is timing-directed: micro-ops carry no
+ * data values, so "architectural state" is defined here, once, as a
+ * deterministic value interpretation of the op stream — registers
+ * and a line-granular memory image updated by pure mixing functions.
+ * Both sides of a differential run (verify/diff_runner.hh) apply the
+ * same interpretation to the ops they commit; any divergence in the
+ * commit stream therefore shows up as a register/memory mismatch as
+ * well as a per-op digest mismatch.
+ *
+ * The commit-stream contract the reference encodes (and the oracle
+ * enforces): the O3 core commits exactly the architectural stream in
+ * program order, minus faulting ops (trapped and removed without
+ * committing). Wrong-path and transient-window ops never commit;
+ * LVI-injected loads do commit (their poisoned response is squashed
+ * *after* them); replays (trap, memory-order violation) preserve
+ * exactly-once commit.
+ *
+ * Timing is intentionally simple — in-order, single-issue, with a
+ * direct-mapped L1 sketch — and is reported for context only; the
+ * differential runner never compares cycle counts.
+ */
+
+#ifndef EVAX_VERIFY_REF_CORE_HH
+#define EVAX_VERIFY_REF_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/params.hh"
+#include "sim/types.hh"
+#include "sim/uop.hh"
+
+namespace evax
+{
+
+/** Deterministic 64-bit finalizer (splitmix64). */
+uint64_t mix64(uint64_t x);
+
+/** FNV-1a digest of one op's architectural fields (no timing). */
+uint64_t opDigest(const MicroOp &op);
+
+/** Compact one-line rendering of an op for mismatch reports. */
+std::string opToString(const MicroOp &op);
+
+/**
+ * Architectural state under the reference value interpretation:
+ * 32 logical registers and a sparse line-granular memory image.
+ * Untouched lines read as a deterministic function of their address,
+ * so both sides agree without materializing memory up front.
+ */
+struct ArchState
+{
+    std::array<uint64_t, NUM_LOGICAL_REGS> regs{};
+    std::unordered_map<Addr, uint64_t> mem; ///< line addr -> value
+
+    uint64_t committed = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+    uint64_t fences = 0;
+    uint64_t syscalls = 0;
+    uint64_t rdrands = 0;
+
+    /** Value of a memory line (initial value derived from address). */
+    uint64_t readLine(Addr line) const;
+
+    /** Apply one committed op's architectural effect. */
+    void apply(const MicroOp &op, uint32_t line_size);
+
+    /** Order-independent digest of registers + memory + counts. */
+    uint64_t digest() const;
+};
+
+/**
+ * The reference core: consumes an InstStream in program order and
+ * produces the architectural commit sequence one op at a time, so a
+ * differential runner can co-execute it in lockstep from the O3
+ * core's commit hook without buffering either stream.
+ */
+class RefCore
+{
+  public:
+    /** @p stream must outlive the RefCore; params are copied. */
+    RefCore(const CoreParams &params, InstStream &stream);
+
+    /**
+     * Advance to the next architectural commit.
+     * @return false when the stream is exhausted.
+     */
+    bool commitNext(MicroOp &out);
+
+    const ArchState &arch() const { return arch_; }
+    uint64_t committed() const { return arch_.committed; }
+    /** Faulting ops consumed (trapped, never committed). */
+    uint64_t trapped() const { return trapped_; }
+    /** Simple in-order cycle estimate (context only). */
+    uint64_t cycles() const { return cycles_; }
+
+    /**
+     * Count of committed loads immediately preceded (in the
+     * architectural stream) by a store to the same line *and*
+     * data-dependent on the store's source register. The dependency
+     * means the load cannot issue before the store's address is
+     * known to the LSQ, so with no defense delaying loads the O3
+     * must service such pairs by store-to-load forwarding. A load
+     * without that dependency can legally race ahead of the store
+     * and be replayed after it drains, so mere same-line adjacency
+     * is not counted. Drives the forwarding envelope in the
+     * differential runner.
+     */
+    uint64_t guaranteedForwardPairs() const { return fwdPairs_; }
+
+  private:
+    uint32_t opLatency(const MicroOp &op);
+    uint32_t loadLatency(Addr addr);
+
+    const CoreParams params_;
+    InstStream &stream_;
+    ArchState arch_;
+    uint64_t trapped_ = 0;
+    uint64_t cycles_ = 0;
+    uint64_t fwdPairs_ = 0;
+    Addr lastStoreLine_ = (Addr)-1;
+    int8_t lastStoreSrc_ = -1;
+    std::vector<Addr> l1Tags_; ///< direct-mapped timing sketch
+};
+
+} // namespace evax
+
+#endif // EVAX_VERIFY_REF_CORE_HH

@@ -1,20 +1,63 @@
 #include "workload/registry.hh"
 
+#include <algorithm>
+
 #include "util/log.hh"
 #include "workload/kernels.hh"
 
 namespace evax
 {
 
-const std::vector<std::string> &
+namespace
+{
+
+/** Kernels added through registerKernel(), parallel vectors. */
+struct ExtraKernels
+{
+    std::vector<std::string> names;
+    std::vector<WorkloadRegistry::Factory> factories;
+};
+
+ExtraKernels &
+extras()
+{
+    static ExtraKernels e;
+    return e;
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
 WorkloadRegistry::names()
 {
-    static const std::vector<std::string> n = {
+    static const std::vector<std::string> builtins = {
         "compress", "astar", "eventsim", "genematch", "linalg",
         "pointerchase", "netsim", "aiplanner", "sort", "hashjoin",
         "fft", "montecarlo",
     };
-    return n;
+    std::vector<std::string> all = builtins;
+    const ExtraKernels &e = extras();
+    all.insert(all.end(), e.names.begin(), e.names.end());
+    return all;
+}
+
+bool
+WorkloadRegistry::isRegistered(const std::string &name)
+{
+    const std::vector<std::string> all = names();
+    return std::find(all.begin(), all.end(), name) != all.end();
+}
+
+void
+WorkloadRegistry::registerKernel(const std::string &name,
+                                 Factory factory)
+{
+    if (!factory)
+        fatal("empty factory for workload: %s", name.c_str());
+    if (isRegistered(name))
+        fatal("duplicate workload registration: %s", name.c_str());
+    extras().names.push_back(name);
+    extras().factories.push_back(std::move(factory));
 }
 
 std::unique_ptr<SyntheticWorkload>
@@ -45,6 +88,11 @@ WorkloadRegistry::create(const std::string &name, uint64_t seed,
         return std::make_unique<FftKernel>(seed, length);
     if (name == "montecarlo")
         return std::make_unique<MonteCarloKernel>(seed, length);
+    const ExtraKernels &e = extras();
+    for (size_t i = 0; i < e.names.size(); ++i) {
+        if (e.names[i] == name)
+            return e.factories[i](seed, length);
+    }
     fatal("unknown workload: %s", name.c_str());
 }
 

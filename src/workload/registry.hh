@@ -6,6 +6,7 @@
 #ifndef EVAX_WORKLOAD_REGISTRY_HH
 #define EVAX_WORKLOAD_REGISTRY_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,8 +20,24 @@ namespace evax
 class WorkloadRegistry
 {
   public:
-    /** Names of all registered benign kernels. */
-    static const std::vector<std::string> &names();
+    /** Factory signature for externally registered kernels. */
+    using Factory = std::function<std::unique_ptr<SyntheticWorkload>(
+        uint64_t seed, uint64_t length)>;
+
+    /** Names of all registered benign kernels (built-ins first,
+     *  then extras in registration order). */
+    static std::vector<std::string> names();
+
+    /** Whether @p name resolves to a kernel. */
+    static bool isRegistered(const std::string &name);
+
+    /**
+     * Register an additional kernel. Fatal if @p name collides with
+     * a built-in or a prior registration, or the factory is empty.
+     * Not thread-safe: register during single-threaded setup.
+     */
+    static void registerKernel(const std::string &name,
+                               Factory factory);
 
     /**
      * Instantiate a kernel.

@@ -217,5 +217,66 @@ TEST(Fuzzer, VariantsStillRun)
     }
 }
 
+TEST(AttackRegistryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(AttackRegistry::create("no-such-attack", 1, 100),
+                ::testing::ExitedWithCode(1),
+                "unknown attack: no-such-attack");
+}
+
+TEST(AttackRegistryDeathTest, UnknownClassIdIsFatal)
+{
+    int bad_id = (int)AttackRegistry::names().size() + 10;
+    EXPECT_EXIT(AttackRegistry::createById(bad_id, 1, 100),
+                ::testing::ExitedWithCode(1),
+                "unknown attack class id");
+    EXPECT_EXIT(AttackRegistry::createById(0, 1, 100),
+                ::testing::ExitedWithCode(1),
+                "unknown attack class id: 0");
+}
+
+TEST(AttackRegistryDeathTest, DuplicateRegistrationIsFatal)
+{
+    AttackRegistry::Factory twin = [](uint64_t seed, uint64_t length,
+                                      const EvasionKnobs &knobs) {
+        return AttackRegistry::create("meltdown", seed, length,
+                                      knobs);
+    };
+    EXPECT_EXIT(AttackRegistry::registerAttack("meltdown", twin),
+                ::testing::ExitedWithCode(1),
+                "duplicate attack registration: meltdown");
+    // "benign" is the reserved class-0 name, never instantiable.
+    EXPECT_EXIT(AttackRegistry::registerAttack("benign", twin),
+                ::testing::ExitedWithCode(1),
+                "duplicate attack registration: benign");
+}
+
+TEST(AttackRegistryExtras, RegisteredAttackGetsNextClassId)
+{
+    size_t before = AttackRegistry::names().size();
+    ASSERT_FALSE(AttackRegistry::isRegistered("meltdown-twin"));
+    AttackRegistry::registerAttack(
+        "meltdown-twin",
+        [](uint64_t seed, uint64_t length,
+           const EvasionKnobs &knobs) {
+            return AttackRegistry::create("meltdown", seed, length,
+                                          knobs);
+        });
+    EXPECT_TRUE(AttackRegistry::isRegistered("meltdown-twin"));
+    EXPECT_EQ(AttackRegistry::names().size(), before + 1);
+    EXPECT_EQ(AttackRegistry::classId("meltdown-twin"),
+              (int)before + 1);
+    // Resolvable both by name and by its class id.
+    auto byName = AttackRegistry::create("meltdown-twin", 5, 4000);
+    auto byId = AttackRegistry::createById((int)before + 1, 5, 4000);
+    MicroOp a, b;
+    ASSERT_TRUE(byName->next(a));
+    ASSERT_TRUE(byId->next(b));
+    EXPECT_EQ(a.pc, b.pc);
+    // classNames() (benign + attacks) picks the extra up too.
+    auto classes = AttackRegistry::classNames();
+    EXPECT_EQ(classes.back(), "meltdown-twin");
+}
+
 } // anonymous namespace
 } // namespace evax

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * AdaptiveController window semantics: the secure-mode dwell is
+ * measured in committed instructions from the latest detector flag,
+ * re-arms extend it, and expiry is inclusive at the window edge.
+ */
+
+#include <gtest/gtest.h>
+
+#include "defense/adaptive.hh"
+#include "hpc/counters.hh"
+#include "sim/core.hh"
+
+using namespace evax;
+
+namespace
+{
+
+class AdaptiveWindowTest : public ::testing::Test
+{
+  protected:
+    AdaptiveWindowTest() : core_(params_, reg_)
+    {
+        config_.secureMode = DefenseMode::InvisiSpecSpectre;
+        config_.secureWindowInsts = 1000;
+    }
+
+    CoreParams params_;
+    CounterRegistry reg_;
+    O3Core core_;
+    AdaptiveConfig config_;
+};
+
+} // anonymous namespace
+
+TEST_F(AdaptiveWindowTest, ArmsOnDetectionAndSwitchesMode)
+{
+    AdaptiveController ctrl(core_, config_);
+    EXPECT_FALSE(ctrl.secureActive());
+    EXPECT_EQ(core_.defenseMode(), DefenseMode::None);
+
+    ctrl.onDetection(500);
+    EXPECT_TRUE(ctrl.secureActive());
+    EXPECT_EQ(core_.defenseMode(), DefenseMode::InvisiSpecSpectre);
+    EXPECT_EQ(ctrl.activations(), 1u);
+}
+
+TEST_F(AdaptiveWindowTest, StaysArmedStrictlyInsideWindow)
+{
+    AdaptiveController ctrl(core_, config_);
+    ctrl.onDetection(500); // window covers [500, 1500)
+
+    ctrl.tick(1499);
+    EXPECT_TRUE(ctrl.secureActive());
+    EXPECT_EQ(core_.defenseMode(), DefenseMode::InvisiSpecSpectre);
+    EXPECT_EQ(ctrl.secureInsts(), 0u) << "dwell counted early";
+}
+
+TEST_F(AdaptiveWindowTest, ExpiresExactlyAtWindowEdge)
+{
+    AdaptiveController ctrl(core_, config_);
+    ctrl.onDetection(500);
+
+    ctrl.tick(1500); // inst_count >= secureUntil_: boundary expires
+    EXPECT_FALSE(ctrl.secureActive());
+    EXPECT_EQ(core_.defenseMode(), DefenseMode::None);
+    EXPECT_EQ(ctrl.secureInsts(), 1000u);
+}
+
+TEST_F(AdaptiveWindowTest, OverlappingFlagsExtendWithoutRearming)
+{
+    AdaptiveController ctrl(core_, config_);
+    ctrl.onDetection(500);
+    ctrl.tick(900);
+    ctrl.onDetection(1200); // still armed: extends to 2200
+    EXPECT_EQ(ctrl.activations(), 1u)
+        << "overlapping flag must not count as a new activation";
+
+    ctrl.tick(1500); // old edge: must NOT expire any more
+    EXPECT_TRUE(ctrl.secureActive());
+    ctrl.tick(2200);
+    EXPECT_FALSE(ctrl.secureActive());
+    // Dwell spans first flag to final expiry: 500 -> 2200.
+    EXPECT_EQ(ctrl.secureInsts(), 1700u);
+}
+
+TEST_F(AdaptiveWindowTest, RearmsAfterExpiry)
+{
+    AdaptiveController ctrl(core_, config_);
+    ctrl.onDetection(500);
+    ctrl.tick(1500);
+    EXPECT_FALSE(ctrl.secureActive());
+
+    ctrl.onDetection(5000); // fresh flag after expiry: new episode
+    EXPECT_TRUE(ctrl.secureActive());
+    EXPECT_EQ(ctrl.activations(), 2u);
+    EXPECT_EQ(core_.defenseMode(), DefenseMode::InvisiSpecSpectre);
+    ctrl.tick(6000);
+    EXPECT_FALSE(ctrl.secureActive());
+    EXPECT_EQ(ctrl.secureInsts(), 2000u);
+}
+
+TEST_F(AdaptiveWindowTest, FlagAtZeroInstructionsArms)
+{
+    // A detection at inst_count 0 must still arm: the controller
+    // encodes "inactive" as secureUntil_ == 0, and 0 + window > 0
+    // keeps the two states distinguishable.
+    AdaptiveController ctrl(core_, config_);
+    ctrl.onDetection(0);
+    EXPECT_TRUE(ctrl.secureActive());
+    ctrl.tick(999);
+    EXPECT_TRUE(ctrl.secureActive());
+    ctrl.tick(1000);
+    EXPECT_FALSE(ctrl.secureActive());
+    EXPECT_EQ(ctrl.secureInsts(), 1000u);
+}

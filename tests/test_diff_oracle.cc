@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Differential-oracle tests (ctest label "diff").
+ *
+ * Built two ways by tests/CMakeLists.txt:
+ *  - test_diff_oracle: the unmutated simulator must survive the
+ *    oracle — clean diff runs (including the 1M-instruction pinned-
+ *    seed randomized run), fuzzer smoke, serializer round-trips and
+ *    the minimizer unit test.
+ *  - test_mut_<bug> (EVAX_MUTATION_ACTIVE + one EVAX_MUTATION_*
+ *    define, core.cc recompiled with the seeded bug): only the
+ *    matching detection test is compiled, and it asserts the oracle
+ *    FLAGS the bug. That is the mutation-testing proof: every
+ *    seeded bug must turn a green oracle red.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "verify/fuzz_diff.hh"
+#include "verify/ref_core.hh"
+
+using namespace evax;
+
+namespace
+{
+
+/**
+ * Guaranteed store->load forwarding pairs, one per quad:
+ * {div r9; alu r1; store [A] r1; load [A] src r1}. The load shares
+ * the store's data register, so it cannot issue before the store's
+ * address reaches the LSQ, and the long-latency divide pins the ROB
+ * head so the store cannot commit out from under it — the load MUST
+ * be serviced by forwarding on a correct pipeline.
+ */
+class PairStream : public InstStream
+{
+  public:
+    explicit PairStream(uint64_t quads) : quads_(quads) {}
+
+    bool
+    next(MicroOp &op) override
+    {
+        if (pos_ >= quads_ * 4)
+            return false;
+        uint64_t quad = pos_ / 4;
+        Addr line = 0x10000 + (quad % 64) * 64;
+        op = MicroOp{};
+        op.pc = 0x400000 + pos_ * 4;
+        switch (pos_ % 4) {
+          case 0:
+            op.op = OpClass::IntDiv;
+            op.src0 = 9;
+            op.dst = 9;
+            break;
+          case 1:
+            op.op = OpClass::IntAlu;
+            op.src0 = 1;
+            op.dst = 1;
+            break;
+          case 2:
+            op.op = OpClass::Store;
+            op.addr = line;
+            op.src0 = 1;
+            break;
+          default:
+            op.op = OpClass::Load;
+            op.addr = line;
+            op.src0 = 1;
+            op.dst = 2;
+            break;
+        }
+        ++pos_;
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+    const char *name() const override { return "pair-stream"; }
+
+  private:
+    uint64_t quads_;
+    uint64_t pos_ = 0;
+};
+
+/**
+ * A serial dependency chain through long-latency producers: every
+ * consumer reads the register its 12-cycle IntDiv predecessor
+ * writes, so issuing any op before its producer completes is a
+ * scheduling bug the issue probe must flag.
+ */
+class ChainStream : public InstStream
+{
+  public:
+    explicit ChainStream(uint64_t length) : length_(length) {}
+
+    bool
+    next(MicroOp &op) override
+    {
+        if (pos_ >= length_)
+            return false;
+        op = MicroOp{};
+        op.pc = 0x500000 + pos_ * 4;
+        op.op = (pos_ % 2 == 0) ? OpClass::IntDiv : OpClass::IntAlu;
+        op.src0 = 3;
+        op.dst = 3;
+        ++pos_;
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+    const char *name() const override { return "chain-stream"; }
+
+  private:
+    uint64_t length_;
+    uint64_t pos_ = 0;
+};
+
+[[maybe_unused]] DiffCase
+defaultCase()
+{
+    DiffCase c;
+    c.stream.kind = StreamSpec::Kind::Benign;
+    c.stream.name = "compress";
+    c.stream.seed = 7;
+    c.stream.length = 8000;
+    return c;
+}
+
+} // anonymous namespace
+
+#ifndef EVAX_MUTATION_ACTIVE
+
+TEST(DiffOracle, CleanWorkloadRuns)
+{
+    CoreParams params;
+    for (const char *wl : {"compress", "pointerchase", "hashjoin"}) {
+        StreamSpec spec;
+        spec.name = wl;
+        spec.seed = 7;
+        spec.length = 12000;
+        DiffReport rep =
+            runDiffSpec(params, DefenseMode::None, spec);
+        EXPECT_TRUE(rep.ok()) << wl << ": " << rep.summary();
+        EXPECT_EQ(rep.committedOoo, rep.committedRef);
+        EXPECT_GT(rep.checkpoints, 0u);
+    }
+}
+
+TEST(DiffOracle, CleanAttackRunsAcrossDefenses)
+{
+    CoreParams params;
+    struct Case { const char *atk; DefenseMode def; };
+    Case cases[] = {
+        {"meltdown", DefenseMode::None},
+        {"spectre-pht", DefenseMode::FenceSpectre},
+        {"lvi", DefenseMode::InvisiSpecFuturistic},
+    };
+    for (const Case &c : cases) {
+        StreamSpec spec;
+        spec.kind = StreamSpec::Kind::Attack;
+        spec.name = c.atk;
+        spec.seed = 11;
+        spec.length = 10000;
+        DiffReport rep = runDiffSpec(params, c.def, spec);
+        EXPECT_TRUE(rep.ok()) << c.atk << ": " << rep.summary();
+    }
+}
+
+TEST(DiffOracle, CleanSmallConfigurations)
+{
+    // Tight windows stress wrap/stall paths without any bug to find.
+    CoreParams params;
+    params.robEntries = 16;
+    params.iqEntries = 8;
+    params.lqEntries = 4;
+    params.sqEntries = 4;
+    params.fetchQueueEntries = 8;
+    params.numPhysIntRegs = 64;
+    StreamSpec spec;
+    spec.name = "pointerchase";
+    spec.seed = 3;
+    spec.length = 9000;
+    DiffReport rep = runDiffSpec(params, DefenseMode::None, spec);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(DiffOracle, MillionInstructionRandomizedRun)
+{
+    // Acceptance gate: the unmutated simulator survives a
+    // 1M-instruction randomized differential run, pinned seed, with
+    // zero mismatches.
+    CoreParams params;
+    StreamSpec spec;
+    spec.name = "hashjoin";
+    spec.seed = 12345;
+    spec.length = 1000000;
+    DiffReport rep = runDiffSpec(params, DefenseMode::None, spec);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_GE(rep.committedOoo, 1000000u);
+    EXPECT_EQ(rep.committedOoo, rep.committedRef);
+    EXPECT_GE(rep.checkpoints, 100u);
+}
+
+TEST(DiffOracle, ForwardingEnvelopeSeesForwardsWhenClean)
+{
+    CoreParams params;
+    DiffRunner runner(params, DefenseMode::None);
+    DiffReport rep = runner.run(
+        [] { return std::make_unique<PairStream>(2000); });
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    // The envelope is only meaningful if the clean pipeline really
+    // does forward on this stream.
+    EXPECT_GT(runner.counters().valueByName("lsq.forwLoads"), 0.0);
+}
+
+TEST(DiffOracle, IssueProbeCleanOnDependencyChain)
+{
+    CoreParams params;
+    DiffRunner runner(params, DefenseMode::None);
+    DiffReport rep = runner.run(
+        [] { return std::make_unique<ChainStream>(4000); });
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(DiffOracle, ReferenceStateIsDeterministic)
+{
+    ArchState a, b;
+    MicroOp st;
+    st.op = OpClass::Store;
+    st.addr = 0x1040;
+    st.src0 = 5;
+    MicroOp ld;
+    ld.op = OpClass::Load;
+    ld.addr = 0x1048; // same 64B line
+    ld.dst = 6;
+    for (ArchState *s : {&a, &b}) {
+        s->apply(st, 64);
+        s->apply(ld, 64);
+    }
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_EQ(a.regs[6], b.regs[6]);
+    // The load must observe the store through the line image.
+    ArchState c;
+    c.apply(ld, 64);
+    EXPECT_NE(c.regs[6], a.regs[6]);
+}
+
+TEST(DiffCaseIo, RoundTrip)
+{
+    DiffCase c = defaultCase();
+    c.params.robEntries = 48;
+    c.params.dcacheSize = 16 * 1024;
+    c.params.dcacheAssoc = 2;
+    c.defense = DefenseMode::InvisiSpecSpectre;
+    c.stream.kind = StreamSpec::Kind::Attack;
+    c.stream.name = "meltdown";
+    c.stream.seed = 99;
+    c.stream.length = 5000;
+
+    DiffCase parsed;
+    std::string err;
+    ASSERT_TRUE(DiffCase::fromText(c.toText(), parsed, &err)) << err;
+    EXPECT_EQ(parsed.toText(), c.toText());
+    EXPECT_EQ(parsed.digest(), c.digest());
+}
+
+TEST(DiffCaseIo, CommentsAndCrlfIgnored)
+{
+    // Crash reproducers carry '#' report lines and may cross
+    // platforms; both must parse.
+    std::string text = "# a crash report line\r\n"
+                       "stream.name=meltdown\r\n"
+                       "stream.kind=attack\n"
+                       "\n"
+                       "# trailing comment\n";
+    DiffCase parsed;
+    std::string err;
+    ASSERT_TRUE(DiffCase::fromText(text, parsed, &err)) << err;
+    EXPECT_EQ(parsed.stream.name, "meltdown");
+    EXPECT_EQ(parsed.stream.kind, StreamSpec::Kind::Attack);
+}
+
+TEST(DiffCaseIo, RejectsMalformedInput)
+{
+    DiffCase parsed;
+    std::string err;
+    EXPECT_FALSE(DiffCase::fromText("bogus=1\n", parsed, &err));
+    EXPECT_NE(err.find("unknown key"), std::string::npos) << err;
+    EXPECT_FALSE(DiffCase::fromText("rob=banana\n", parsed, &err));
+    EXPECT_FALSE(
+        DiffCase::fromText("defense=Moat\n", parsed, &err));
+    EXPECT_FALSE(DiffCase::fromText("stream.name=no-such-kernel\n",
+                                    parsed, &err));
+    EXPECT_FALSE(
+        DiffCase::fromText("stream.length=10\n", parsed, &err));
+    EXPECT_FALSE(DiffCase::fromText("no equals sign", parsed, &err));
+}
+
+TEST(DiffCaseIo, ValidateRejectsBadGeometry)
+{
+    DiffCase c = defaultCase();
+    c.params.dcacheSize = 3000; // not a power of two
+    std::string err;
+    EXPECT_FALSE(DiffCase::validate(c, &err));
+    EXPECT_NE(err.find("dcache"), std::string::npos) << err;
+}
+
+TEST(DiffFuzzerTest, SmokeRunIsCleanAndDeterministic)
+{
+    FuzzOptions opts;
+    opts.seed = 5;
+    opts.iterations = 10;
+    opts.maxStreamLength = 8000;
+
+    DiffFuzzer a(opts), b(opts);
+    FuzzStats sa = a.run();
+    FuzzStats sb = b.run();
+    EXPECT_EQ(sa.execs, 10u);
+    EXPECT_EQ(sa.mismatches, 0u);
+    // Determinism: identical options must reproduce the run exactly.
+    EXPECT_EQ(sa.coverageFeatures, sb.coverageFeatures);
+    EXPECT_EQ(sa.corpusAdds, sb.corpusAdds);
+    ASSERT_EQ(a.corpus().size(), b.corpus().size());
+    for (size_t i = 0; i < a.corpus().size(); ++i)
+        EXPECT_EQ(a.corpus()[i].digest(), b.corpus()[i].digest());
+}
+
+TEST(DiffFuzzerTest, MutantsStayValid)
+{
+    FuzzOptions opts;
+    opts.seed = 17;
+    DiffFuzzer fuzzer(opts);
+    DiffCase base = defaultCase();
+    std::string err;
+    for (int i = 0; i < 200; ++i) {
+        DiffCase m = fuzzer.mutate(base);
+        EXPECT_TRUE(DiffCase::validate(m, &err)) << err;
+        base = m;
+    }
+}
+
+TEST(DiffFuzzerTest, MinimizerShrinksWhilePreservingFailure)
+{
+    FuzzOptions opts;
+    DiffFuzzer fuzzer(opts);
+    DiffCase c = defaultCase();
+    c.stream.length = 32000;
+    c.stream.seed = 40;
+    c.defense = DefenseMode::FenceSpectre;
+    c.params.robEntries = 96;
+
+    // Synthetic failure predicate (no simulation): the "bug" needs
+    // a long-enough stream and survives every config reduction.
+    auto stillFails = [](const DiffCase &cand) {
+        return cand.stream.length >= 2000;
+    };
+    DiffCase small = fuzzer.minimize(c, stillFails);
+    EXPECT_TRUE(stillFails(small));
+    EXPECT_LE(small.stream.length, 2000u * 2);
+    EXPECT_EQ(small.defense, DefenseMode::None);
+    EXPECT_EQ(small.stream.seed, 1u);
+    EXPECT_EQ(small.params.robEntries, CoreParams{}.robEntries);
+}
+
+#else // EVAX_MUTATION_ACTIVE: exactly one seeded-bug detection test
+
+#ifdef EVAX_MUTATION_ROB_WRAP
+TEST(MutationDetection, RobWrapOverwriteIsFlagged)
+{
+    // The seeded off-by-one lets dispatch overwrite the ROB head
+    // slot once the ring wraps. robEntries=32 keeps the clobbering
+    // young op inside the issue scan window so it commits and the
+    // commit streams diverge (instead of deadlocking).
+    CoreParams params;
+    params.robEntries = 32;
+    StreamSpec spec;
+    spec.name = "pointerchase";
+    spec.seed = 7;
+    spec.length = 20000;
+    DiffReport rep = runDiffSpec(params, DefenseMode::None, spec);
+    EXPECT_FALSE(rep.ok())
+        << "seeded ROB wrap bug escaped the oracle";
+}
+#endif
+
+#ifdef EVAX_MUTATION_DROP_FORWARD
+TEST(MutationDetection, DroppedStoreForwardIsFlagged)
+{
+    // With the LSQ forwarding walk deleted, a stream made of
+    // guaranteed same-line store->load pairs executes with zero
+    // forwards; the forwarding envelope calls that implausible.
+    CoreParams params;
+    DiffRunner runner(params, DefenseMode::None);
+    DiffReport rep = runner.run(
+        [] { return std::make_unique<PairStream>(2000); });
+    ASSERT_FALSE(rep.ok())
+        << "seeded forwarding bug escaped the oracle";
+    bool sawForwarding = std::any_of(
+        rep.mismatches.begin(), rep.mismatches.end(),
+        [](const DiffMismatch &m) {
+            return m.check == "envelope.forwarding";
+        });
+    EXPECT_TRUE(sawForwarding) << rep.summary();
+}
+#endif
+
+#ifdef EVAX_MUTATION_STALE_SRCSREADY
+TEST(MutationDetection, StaleSourcesReadyMemoIsFlagged)
+{
+    // Pre-seeding the readiness memo lets consumers issue while
+    // their 12-cycle divide producers are still in flight; the
+    // issue probe checks producer state independently of the memo.
+    CoreParams params;
+    DiffRunner runner(params, DefenseMode::None);
+    DiffReport rep = runner.run(
+        [] { return std::make_unique<ChainStream>(4000); });
+    ASSERT_FALSE(rep.ok())
+        << "seeded scheduling bug escaped the oracle";
+    bool sawIssue = std::any_of(
+        rep.mismatches.begin(), rep.mismatches.end(),
+        [](const DiffMismatch &m) {
+            return m.check == "issue.sourcesReady";
+        });
+    EXPECT_TRUE(sawIssue) << rep.summary();
+}
+#endif
+
+#ifdef EVAX_MUTATION_NO_TRAP_REPLAY
+TEST(MutationDetection, DroppedTrapReplayIsFlagged)
+{
+    // Squashing a trap as wrong-path discards the good-path ops
+    // younger than the faulting load instead of replaying them, so
+    // part of the committed stream goes missing relative to the
+    // reference.
+    CoreParams params;
+    StreamSpec spec;
+    spec.kind = StreamSpec::Kind::Attack;
+    spec.name = "meltdown";
+    spec.seed = 11;
+    spec.length = 10000;
+    DiffReport rep = runDiffSpec(params, DefenseMode::None, spec);
+    EXPECT_FALSE(rep.ok())
+        << "seeded trap-replay bug escaped the oracle";
+}
+#endif
+
+#endif // EVAX_MUTATION_ACTIVE

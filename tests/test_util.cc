@@ -248,5 +248,64 @@ TEST(StatRegistry, DumpIsSortedByDottedPath)
     EXPECT_LT(m, z);
 }
 
+TEST(ParseCsv, QuotedFieldKeepsComma)
+{
+    auto rows = parseCsv("name,desc\nfoo,\"a, b\"\n");
+    ASSERT_EQ(rows.size(), 2u);
+    ASSERT_EQ(rows[1].size(), 2u);
+    EXPECT_EQ(rows[1][0], "foo");
+    EXPECT_EQ(rows[1][1], "a, b");
+}
+
+TEST(ParseCsv, CrlfRecordsParseLikeLf)
+{
+    auto crlf = parseCsv("a,b\r\n1,2\r\n");
+    auto lf = parseCsv("a,b\n1,2\n");
+    EXPECT_EQ(crlf, lf);
+    ASSERT_EQ(crlf.size(), 2u);
+    EXPECT_EQ(crlf[1][1], "2");
+}
+
+TEST(ParseCsv, TrailingNewlineAddsNoRecord)
+{
+    EXPECT_EQ(parseCsv("a,b\n1,2").size(), 2u);
+    EXPECT_EQ(parseCsv("a,b\n1,2\n").size(), 2u);
+    EXPECT_EQ(parseCsv("a,b\n1,2\r\n").size(), 2u);
+}
+
+TEST(ParseCsv, EmptyAndEscapedFields)
+{
+    auto rows = parseCsv("x,,z\n\"he said \"\"hi\"\"\",\"\"\n");
+    ASSERT_EQ(rows.size(), 2u);
+    ASSERT_EQ(rows[0].size(), 3u);
+    EXPECT_EQ(rows[0][1], "");
+    ASSERT_EQ(rows[1].size(), 2u);
+    EXPECT_EQ(rows[1][0], "he said \"hi\"");
+    EXPECT_EQ(rows[1][1], "");
+}
+
+TEST(ParseCsv, QuotedFieldKeepsEmbeddedNewline)
+{
+    auto rows = parseCsv("\"two\nlines\",tail\n");
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].size(), 2u);
+    EXPECT_EQ(rows[0][0], "two\nlines");
+    EXPECT_EQ(rows[0][1], "tail");
+}
+
+TEST(ParseCsv, RoundTripsTableOutput)
+{
+    Table t({"name", "value"});
+    t.addRow({"plain", "1"});
+    t.addRow({"comma, inside", "quote \" inside"});
+    std::ostringstream os;
+    t.writeCsv(os);
+    auto rows = parseCsv(os.str());
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0], t.header());
+    EXPECT_EQ(rows[1], t.rows()[0]);
+    EXPECT_EQ(rows[2], t.rows()[1]);
+}
+
 } // anonymous namespace
 } // namespace evax

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/core.hh"
 #include "workload/registry.hh"
 
@@ -146,6 +148,62 @@ TEST(WorkloadBehaviour, OsNoiseInjectsSyscalls)
     core.run(*wl);
     EXPECT_GT(reg.valueByName("sys.syscalls"), 0.0)
         << "full-system noise floor must be present";
+}
+
+TEST(WorkloadRegistryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(WorkloadRegistry::create("no-such-kernel", 1, 100),
+                ::testing::ExitedWithCode(1),
+                "unknown workload: no-such-kernel");
+}
+
+TEST(WorkloadRegistryDeathTest, DuplicateRegistrationIsFatal)
+{
+    EXPECT_EXIT(WorkloadRegistry::registerKernel(
+                    "compress",
+                    [](uint64_t seed, uint64_t length) {
+                        return WorkloadRegistry::create("compress",
+                                                        seed, length);
+                    }),
+                ::testing::ExitedWithCode(1),
+                "duplicate workload registration: compress");
+}
+
+TEST(WorkloadRegistryDeathTest, EmptyFactoryIsFatal)
+{
+    EXPECT_EXIT(WorkloadRegistry::registerKernel("hollow", nullptr),
+                ::testing::ExitedWithCode(1),
+                "empty factory for workload: hollow");
+}
+
+TEST(WorkloadRegistryExtras, RegisteredKernelResolves)
+{
+    ASSERT_FALSE(WorkloadRegistry::isRegistered("compress-twin"));
+    WorkloadRegistry::registerKernel(
+        "compress-twin", [](uint64_t seed, uint64_t length) {
+            return WorkloadRegistry::create("compress", seed, length);
+        });
+    EXPECT_TRUE(WorkloadRegistry::isRegistered("compress-twin"));
+    const auto all = WorkloadRegistry::names();
+    EXPECT_NE(std::find(all.begin(), all.end(), "compress-twin"),
+              all.end());
+
+    auto wl = WorkloadRegistry::create("compress-twin", 3, 2000);
+    MicroOp op;
+    uint64_t n = 0;
+    while (wl->next(op))
+        ++n;
+    EXPECT_GE(n, 2000u);
+
+    // Registering the same extra twice must also be rejected.
+    EXPECT_EXIT(WorkloadRegistry::registerKernel(
+                    "compress-twin",
+                    [](uint64_t seed, uint64_t length) {
+                        return WorkloadRegistry::create("compress",
+                                                        seed, length);
+                    }),
+                ::testing::ExitedWithCode(1),
+                "duplicate workload registration: compress-twin");
 }
 
 } // anonymous namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Differential fuzzer CLI. Three modes:
+ *
+ *   evax_difffuzz [--corpus DIR] [--crashes DIR] [--seconds S]
+ *                 [--iters N] [--seed S] [--max-len N] [-v]
+ *       Fuzz until a budget expires. Exit 0 if no mismatch was
+ *       found, 1 otherwise.
+ *
+ *   evax_difffuzz --repro FILE [-v]
+ *       Re-execute one serialized case. Exit 0 if it passes the
+ *       differential oracle, 1 if it still mismatches.
+ *
+ *   evax_difffuzz --minimize FILE [--out FILE] [-v]
+ *       Shrink a mismatching case, preserving failure. Writes the
+ *       minimized case to --out (default: stdout). Exit 1 if the
+ *       input did not fail to begin with.
+ *
+ * Usage errors exit 2.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "verify/fuzz_diff.hh"
+
+using namespace evax;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s [--corpus DIR] [--crashes DIR] [--seconds S]\n"
+        "          [--iters N] [--seed S] [--max-len N] [-v]\n"
+        "       %s --repro FILE [-v]\n"
+        "       %s --minimize FILE [--out FILE] [-v]\n",
+        argv0, argv0, argv0);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    FuzzOptions opts;
+    std::string repro, minimize, outPath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs an argument\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--corpus") {
+            opts.corpusDir = next();
+        } else if (a == "--crashes") {
+            opts.crashDir = next();
+        } else if (a == "--seconds") {
+            opts.seconds = std::atof(next());
+        } else if (a == "--iters") {
+            opts.iterations = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--seed") {
+            opts.seed = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--max-len") {
+            opts.maxStreamLength =
+                std::strtoull(next(), nullptr, 10);
+        } else if (a == "--repro") {
+            repro = next();
+        } else if (a == "--minimize") {
+            minimize = next();
+        } else if (a == "--out") {
+            outPath = next();
+        } else if (a == "-v" || a == "--verbose") {
+            opts.verbose = true;
+        } else if (a == "-h" || a == "--help") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (!repro.empty() && !minimize.empty()) {
+        std::fprintf(stderr,
+                     "--repro and --minimize are exclusive\n");
+        return 2;
+    }
+
+    if (!repro.empty() || !minimize.empty()) {
+        const std::string &path = repro.empty() ? minimize : repro;
+        std::string text;
+        if (!readFile(path, text)) {
+            std::fprintf(stderr, "cannot read %s\n", path.c_str());
+            return 2;
+        }
+        DiffCase c;
+        std::string err;
+        if (!DiffCase::fromText(text, c, &err)) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        DiffFuzzer fuzzer(opts);
+        if (!minimize.empty()) {
+            DiffReport first = fuzzer.execute(c);
+            if (first.ok()) {
+                std::fprintf(stderr,
+                             "%s passes the oracle; nothing to "
+                             "minimize\n", path.c_str());
+                return 1;
+            }
+            DiffCase small = fuzzer.minimize(
+                c, [&fuzzer](const DiffCase &cand) {
+                    return !fuzzer.execute(cand).ok();
+                });
+            std::string out = small.toText();
+            if (outPath.empty()) {
+                std::fputs(out.c_str(), stdout);
+            } else {
+                std::ofstream of(outPath);
+                of << out;
+                std::printf("minimized case written to %s\n",
+                            outPath.c_str());
+            }
+            return 0;
+        }
+        DiffReport rep = fuzzer.execute(c);
+        std::printf("%s\n", rep.summary().c_str());
+        return rep.ok() ? 0 : 1;
+    }
+
+    DiffFuzzer fuzzer(opts);
+    FuzzStats stats = fuzzer.run();
+    std::printf("difffuzz: %llu execs, %llu corpus adds, %llu "
+                "coverage features, %llu mismatches\n",
+                (unsigned long long)stats.execs,
+                (unsigned long long)stats.corpusAdds,
+                (unsigned long long)stats.coverageFeatures,
+                (unsigned long long)stats.mismatches);
+    return stats.mismatches == 0 ? 0 : 1;
+}
