@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.hh"
 #include "core/experiment.hh"
+#include "util/timeline.hh"
 
 using namespace evax;
 
@@ -41,6 +42,14 @@ main(int argc, char **argv)
     }
     emitResult(t, "fig07_style_loss",
                "AM-GAN style loss per training epoch");
+
+    // The same trajectories as queryable telemetry (evax_inspect
+    // timeline fig07_timeline.json).
+    Timeline training;
+    appendTrainingTimeline(vr, training);
+    if (training.saveJson("fig07_timeline.json"))
+        obs.manifest().addArtifact("fig07_timeline.json");
+    obs.manifest().addSeed(scale.vaccination.seed);
 
     double first = vr.styleLossHistory.front();
     double last = vr.styleLossHistory.back();

@@ -10,6 +10,8 @@
 #include "core/endtoend.hh"
 #include "core/experiment.hh"
 #include "util/stats.hh"
+#include "util/timeline.hh"
+#include "util/trace_export.hh"
 
 using namespace evax;
 
@@ -68,6 +70,30 @@ main(int argc, char **argv)
     }
     emitResult(t, "fig14_ipc",
                "IPC per benign workload under each policy");
+
+    // Time-resolved companion artifact: one representative gated
+    // run with the timeline sampler attached (per-interval IPC,
+    // occupancies, detector score) plus its Perfetto export. New
+    // files only — the figure CSV above is untouched.
+    {
+        ScopedPhaseTimer phase("timeline");
+        Timeline tl;
+        GatedRunConfig cfg;
+        cfg.profile = setup.profile;
+        cfg.adaptive.secureMode = DefenseMode::InvisiSpecSpectre;
+        cfg.adaptive.secureWindowInsts = 100000;
+        cfg.timeline = &tl;
+        auto stream = WorkloadRegistry::create(
+            WorkloadRegistry::names().front(), 5, run_len);
+        runGated(*stream, *setup.evax, cfg);
+        if (tl.saveCsv("fig14_timeline.csv"))
+            obs.manifest().addArtifact("fig14_timeline.csv");
+        if (tl.saveJson("fig14_timeline.json"))
+            obs.manifest().addArtifact("fig14_timeline.json");
+        if (savePerfetto("fig14_perfetto.json", tl,
+                         trace::snapshot()))
+            obs.manifest().addArtifact("fig14_perfetto.json");
+    }
 
     std::cout << "relative IPC (vs. unprotected, mean): "
               << "invisispec-always=" << Table::fmt(mean(rel_always))

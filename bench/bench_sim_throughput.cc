@@ -137,6 +137,17 @@ main(int argc, char **argv)
     setVerbose(false);
     printBuildInfo(std::cout);
 
+    // Provenance for CI artifact upload: note the benchmark JSON
+    // baseline path when one is requested.
+    RunManifest manifest = RunManifest::forTool(
+        argc > 0 ? argv[0] : "bench_sim_throughput", argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        const std::string kOut = "--benchmark_out=";
+        if (arg.rfind(kOut, 0) == 0)
+            manifest.addArtifact(arg.substr(kOut.size()));
+    }
+
     for (const auto &name : WorkloadRegistry::names()) {
         benchmark::RegisterBenchmark(
             ("workload/" + name).c_str(),
@@ -163,5 +174,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    if (manifest.save("manifest.json"))
+        std::cout << "[manifest: manifest.json]\n";
     return 0;
 }

@@ -22,6 +22,7 @@
 
 #include "util/csv.hh"
 #include "util/log.hh"
+#include "util/manifest.hh"
 #include "util/parallel.hh"
 #include "util/statreg.hh"
 #include "util/trace.hh"
@@ -90,26 +91,6 @@ fanOutTrials(std::size_t n, Fn &&fn)
     return parallelMap(n, std::forward<Fn>(fn));
 }
 
-/** Print the table and save it as <name>.csv. */
-inline void
-emitResult(Table &table, const std::string &name,
-           const std::string &title)
-{
-    table.print(std::cout, title);
-    std::string path = name + ".csv";
-    if (table.saveCsv(path))
-        std::cout << "[saved " << path << "]\n\n";
-}
-
-/** Standard banner so bench output is self-describing. */
-inline void
-banner(const std::string &experiment, const std::string &claim)
-{
-    std::cout << "\n=== EVAX reproduction: " << experiment
-              << " ===\n";
-    std::cout << "Paper claim: " << claim << "\n\n";
-}
-
 /** One finished bench phase (see ScopedPhaseTimer). */
 struct PhaseRecord
 {
@@ -137,7 +118,44 @@ phaseLog()
     return log;
 }
 
+/** Paths of artifacts written this run (manifest provenance). */
+inline std::vector<std::string> &
+artifactLog()
+{
+    static std::vector<std::string> log;
+    return log;
+}
+
+inline void
+noteArtifact(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(phaseMutex());
+    artifactLog().push_back(path);
+}
+
 } // namespace bench_detail
+
+/** Print the table and save it as <name>.csv. */
+inline void
+emitResult(Table &table, const std::string &name,
+           const std::string &title)
+{
+    table.print(std::cout, title);
+    std::string path = name + ".csv";
+    if (table.saveCsv(path)) {
+        std::cout << "[saved " << path << "]\n\n";
+        bench_detail::noteArtifact(path);
+    }
+}
+
+/** Standard banner so bench output is self-describing. */
+inline void
+banner(const std::string &experiment, const std::string &claim)
+{
+    std::cout << "\n=== EVAX reproduction: " << experiment
+              << " ===\n";
+    std::cout << "Paper claim: " << claim << "\n\n";
+}
 
 /**
  * RAII phase profiler: measures wall time and the stat deltas a
@@ -235,16 +253,23 @@ reportPhases(std::ostream &os)
  *   --trace-out FILE            dump the stitched trace as JSONL
  *   --stats-out FILE            dump the stats registry (.json for
  *                               JSON, anything else for text)
+ *   --manifest-out FILE         provenance manifest path (default
+ *                               manifest.json; "-" disables)
  *
  * Construct once at the top of main(); the destructor prints the
- * phase report and writes the requested dumps. stats() is non-null
- * only when --stats-out was given, so benches can gate the (serial)
+ * phase report and writes the requested dumps plus the run
+ * manifest (git revision, command line, threads, wall time, and
+ * every artifact emitResult()/the dumps produced — see
+ * docs/OBSERVABILITY.md#run-manifests). stats() is non-null only
+ * when --stats-out was given, so benches can gate the (serial)
  * registry publication on it.
  */
 class BenchObservability
 {
   public:
     BenchObservability(int argc, char **argv)
+        : manifest_(RunManifest::forTool(
+              argc > 0 ? argv[0] : "bench", argc, argv))
     {
         printBuildInfo(std::cout);
         uint32_t mask = 0;
@@ -262,6 +287,8 @@ class BenchObservability
                 traceOut_ = argv[++i];
             } else if (arg == "--stats-out" && i + 1 < argc) {
                 statsOut_ = argv[++i];
+            } else if (arg == "--manifest-out" && i + 1 < argc) {
+                manifestOut_ = argv[++i];
             }
         }
         if (trace_requested && !trace::compiledIn()) {
@@ -285,8 +312,10 @@ class BenchObservability
                                           ".json") == 0
                     ? StatsFormat::Json
                     : StatsFormat::Text;
-            if (StatRegistry::global().saveStats(statsOut_, fmt))
+            if (StatRegistry::global().saveStats(statsOut_, fmt)) {
                 std::cout << "[stats: " << statsOut_ << "]\n";
+                manifest_.addArtifact(statsOut_);
+            }
         }
         if (!traceOut_.empty()) {
             std::ofstream out(traceOut_);
@@ -295,10 +324,21 @@ class BenchObservability
                 std::cout << "[trace: " << traceOut_ << " ("
                           << trace::totalRecorded()
                           << " records)]\n";
+                manifest_.addArtifact(traceOut_);
             } else {
                 warn("cannot write trace to %s",
                      traceOut_.c_str());
             }
+        }
+        if (manifestOut_ != "-") {
+            {
+                std::lock_guard<std::mutex> lock(
+                    bench_detail::phaseMutex());
+                for (const auto &p : bench_detail::artifactLog())
+                    manifest_.addArtifact(p);
+            }
+            if (manifest_.save(manifestOut_))
+                std::cout << "[manifest: " << manifestOut_ << "]\n";
         }
     }
 
@@ -306,9 +346,14 @@ class BenchObservability
     StatRegistry *stats()
     { return statsOut_.empty() ? nullptr : &StatRegistry::global(); }
 
+    /** The run's provenance record (add seeds/config as you go). */
+    RunManifest &manifest() { return manifest_; }
+
   private:
     std::string traceOut_;
     std::string statsOut_;
+    std::string manifestOut_ = "manifest.json";
+    RunManifest manifest_;
 };
 
 } // namespace evax

@@ -18,6 +18,10 @@ times FASTER than the baseline on every compared benchmark (used to
 assert the committed pre-optimization baseline was actually beaten).
 --filter restricts the comparison to benchmark names containing the
 substring.
+--json-out FILE writes the full comparison (every compared counter
+with its ratio and pass/fail, plus the overall verdict) as a
+machine-readable report; CI uploads it as an artifact next to the
+run's manifest.json.
 """
 
 import argparse
@@ -52,6 +56,8 @@ def main():
                     help="require current >= baseline * X instead")
     ap.add_argument("--filter", default="",
                     help="only compare benchmarks containing this")
+    ap.add_argument("--json-out", default=None,
+                    help="write a machine-readable comparison report")
     args = ap.parse_args()
 
     base = load_rates(args.baseline)
@@ -65,6 +71,7 @@ def main():
         return 2
 
     failures = []
+    compared = []
     for name in shared:
         for counter in RATE_COUNTERS:
             if counter not in base[name] or counter not in cur[name]:
@@ -83,8 +90,28 @@ def main():
             print(f"{status} {name:40s} {counter:14s} "
                   f"baseline={b:14.0f} current={c:14.0f} "
                   f"ratio={ratio:6.3f} ({want})")
+            compared.append({"name": name, "counter": counter,
+                             "baseline": b, "current": c,
+                             "ratio": ratio, "ok": ok})
             if not ok:
                 failures.append((name, counter, ratio))
+
+    if args.json_out:
+        report = {
+            "schema": "evax-bench-regression-v1",
+            "baseline": args.baseline,
+            "current": args.current,
+            "tolerance": args.tolerance,
+            "min_speedup": args.min_speedup,
+            "filter": args.filter,
+            "compared": compared,
+            "failures": len(failures),
+            "ok": not failures,
+        }
+        with open(args.json_out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"[report: {args.json_out}]")
 
     if failures:
         print(f"\n{len(failures)} benchmark counter(s) out of bounds",

@@ -1,5 +1,7 @@
 #include "core/endtoend.hh"
 
+#include <memory>
+
 #include "detect/evax_detector.hh"
 #include "hpc/sampler.hh"
 #include "util/statreg.hh"
@@ -70,19 +72,69 @@ runGated(InstStream &stream, Detector &detector,
 
     AdaptiveController controller(core, config.adaptive);
 
+    // Optional timeline: built on the stack so the zero-telemetry
+    // path allocates nothing and ticks nothing.
+    std::unique_ptr<TimelineSampler> tsampler;
+    if (config.timeline) {
+        tsampler = std::make_unique<TimelineSampler>(
+            reg, *config.timeline, config.timelineSampler);
+        tsampler->addGauge(
+            "core.rob.occupancy",
+            [&core] { return (double)core.robSize(); }, "entries");
+        tsampler->addGauge(
+            "core.iq.occupancy",
+            [&core] { return (double)core.iqOccupancy(); },
+            "entries");
+        tsampler->addGauge(
+            "core.lsq.occupancy",
+            [&core] {
+                return (double)(core.lqOccupancy() +
+                                core.sqOccupancy());
+            },
+            "entries");
+        config.timeline->series("detector.score", "score");
+        config.timeline->series("detector.verdict", "flag");
+        core.attachTimelineSampler(tsampler.get());
+        controller.attachTimeline(config.timeline);
+    }
+
     core.setSampleCallback([&](const FeatureSnapshot &snap) {
         ++result.windows;
         std::vector<double> x = snap.base;
         config.profile.apply(x);
         controller.tick(snap.instCount);
-        if (detector.flag(x)) {
+        bool flagged = detector.flag(x);
+        if (config.timeline) {
+            config.timeline->addPoint("detector.score",
+                                      snap.instCount, core.cycle(),
+                                      detector.score(x));
+            config.timeline->addPoint("detector.verdict",
+                                      snap.instCount, core.cycle(),
+                                      flagged ? 1.0 : 0.0);
+        }
+        if (flagged) {
             ++result.flags;
             traceFlagContext(reg, core.cycle(), snap.instCount);
+            if (config.timeline) {
+                config.timeline->addInstant("detector.flag",
+                                            detector.name(),
+                                            snap.instCount,
+                                            core.cycle());
+            }
             controller.onDetection(snap.instCount);
         }
     });
 
     result.sim = core.run(stream);
+    // Telemetry closes at the real end-of-run point; the final
+    // accounting tick below uses an inflated instruction count and
+    // must not leak it into span end coordinates (endSpan on a
+    // closed span is a no-op).
+    if (tsampler) {
+        tsampler->finish(core.committedInsts(), core.cycle());
+        config.timeline->closeOpenSpans(core.committedInsts(),
+                                        core.cycle());
+    }
     controller.tick(core.committedInsts() +
                     config.adaptive.secureWindowInsts);
     result.activations = controller.activations();

@@ -13,6 +13,7 @@
 #include "core/collector.hh"
 #include "defense/adaptive.hh"
 #include "detect/detector.hh"
+#include "hpc/timeline_sampler.hh"
 #include "sim/core.hh"
 
 namespace evax
@@ -33,6 +34,16 @@ struct GatedRunConfig
      * controller publish their full hierarchies here after the run.
      */
     StatRegistry *stats = nullptr;
+    /**
+     * Optional timeline sink: when set, the run records per-interval
+     * IPC and pipeline occupancies, the per-window detector score and
+     * verdict series, detector-flag instants, and secure-mode dwell
+     * spans. Null (the default) costs one pointer check per commit
+     * group and per sample window.
+     */
+    Timeline *timeline = nullptr;
+    /** Cadence/subset knobs for the timeline sampler. */
+    TimelineSamplerConfig timelineSampler;
 };
 
 /** Result of a gated (or plain) end-to-end run. */

@@ -4,6 +4,7 @@
 
 #include "ml/gram.hh"
 #include "util/log.hh"
+#include "util/timeline.hh"
 
 namespace evax
 {
@@ -136,6 +137,25 @@ Vaccinator::run(const Dataset &train)
     result.minedFeatures = engineer.mine(*result.gan);
 
     return result;
+}
+
+void
+appendTrainingTimeline(const VaccinationResult &result,
+                       Timeline &timeline)
+{
+    timeline.series("train.style_loss", "loss");
+    timeline.series("train.gan.disc_loss", "loss");
+    timeline.series("train.gan.gen_loss", "loss");
+    for (size_t e = 0; e < result.styleLossHistory.size(); ++e) {
+        timeline.addPoint("train.style_loss", e, e,
+                          result.styleLossHistory[e]);
+    }
+    for (size_t e = 0; e < result.lossHistory.size(); ++e) {
+        timeline.addPoint("train.gan.disc_loss", e, e,
+                          result.lossHistory[e].discLoss);
+        timeline.addPoint("train.gan.gen_loss", e, e,
+                          result.lossHistory[e].genLoss);
+    }
 }
 
 } // namespace evax

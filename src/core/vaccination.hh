@@ -20,6 +20,8 @@
 namespace evax
 {
 
+class Timeline;
+
 /** Vaccination pipeline configuration. */
 struct VaccinationConfig
 {
@@ -85,6 +87,16 @@ class Vaccinator
   private:
     VaccinationConfig config_;
 };
+
+/**
+ * Record a vaccination run's per-epoch loss trajectories as timeline
+ * series ("train.style_loss", "train.gan.disc_loss",
+ * "train.gan.gen_loss"; the epoch index stands in for both the inst
+ * and cycle axes) — Figure 7's convergence curve as queryable
+ * telemetry instead of bespoke bench code.
+ */
+void appendTrainingTimeline(const VaccinationResult &result,
+                            Timeline &timeline);
 
 } // namespace evax
 

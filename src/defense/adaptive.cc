@@ -1,6 +1,7 @@
 #include "defense/adaptive.hh"
 
 #include "util/statreg.hh"
+#include "util/timeline.hh"
 #include "util/trace.hh"
 
 namespace evax
@@ -21,6 +22,12 @@ AdaptiveController::onDetection(uint64_t inst_count)
         core_.setDefenseMode(config_.secureMode);
         EVAX_TRACE_EVENT(trace::CatDefense, "defense", "arm",
                          core_.cycle(), inst_count);
+        if (timeline_) {
+            modeSpan_ = timeline_->beginSpan(
+                "defense.mode", defenseModeName(config_.secureMode),
+                inst_count, core_.cycle());
+            spanOpen_ = true;
+        }
     }
     // Re-arm: extend the window from the latest flag.
     secureUntil_ = inst_count + config_.secureWindowInsts;
@@ -35,6 +42,11 @@ AdaptiveController::tick(uint64_t inst_count)
         core_.setDefenseMode(DefenseMode::None);
         EVAX_TRACE_EVENT(trace::CatDefense, "defense", "disarm",
                          core_.cycle(), inst_count);
+        if (timeline_ && spanOpen_) {
+            timeline_->endSpan(modeSpan_, inst_count,
+                               core_.cycle());
+            spanOpen_ = false;
+        }
     }
 }
 

@@ -22,6 +22,7 @@ namespace evax
 {
 
 class StatRegistry;
+class Timeline;
 
 /** Adaptive controller configuration. */
 struct AdaptiveConfig
@@ -56,6 +57,13 @@ class AdaptiveController
     /** Publish activation counts and dwell under "defense.". */
     void regStats(StatRegistry &sr) const;
 
+    /**
+     * Record every secure-mode dwell as a span on the "defense.mode"
+     * timeline track (label = mitigation name). Null detaches.
+     */
+    void attachTimeline(Timeline *timeline)
+    { timeline_ = timeline; }
+
   private:
     O3Core &core_;
     AdaptiveConfig config_;
@@ -63,6 +71,9 @@ class AdaptiveController
     uint64_t secureStart_ = 0;
     uint64_t activations_ = 0;
     uint64_t secureInsts_ = 0;
+    Timeline *timeline_ = nullptr;
+    size_t modeSpan_ = 0;
+    bool spanOpen_ = false;
 };
 
 } // namespace evax

@@ -1,0 +1,77 @@
+#include "hpc/timeline_sampler.hh"
+
+namespace evax
+{
+
+TimelineSampler::TimelineSampler(CounterRegistry &reg,
+                                 Timeline &timeline,
+                                 TimelineSamplerConfig config)
+    : reg_(reg), timeline_(timeline), config_(std::move(config)),
+      nextBoundary_(config_.intervalInsts)
+{
+    if (config_.intervalInsts == 0)
+        config_.intervalInsts = nextBoundary_ = 1000;
+    for (const auto &name : config_.counters) {
+        CounterId id = reg_.find(name);
+        if (id == INVALID_COUNTER)
+            continue;
+        tracked_.push_back({id, "counter." + name, reg_.value(id)});
+        timeline_.series(tracked_.back().series, "events",
+                         config_.delta);
+    }
+    if (config_.ipc)
+        timeline_.series("core.ipc", "insts/cycle", true);
+}
+
+void
+TimelineSampler::addGauge(const std::string &series,
+                          std::function<double()> poll,
+                          const std::string &unit)
+{
+    timeline_.series(series, unit, false);
+    gauges_.push_back({series, std::move(poll)});
+}
+
+bool
+TimelineSampler::tick(uint64_t inst, uint64_t cycle)
+{
+    if (inst < nextBoundary_)
+        return false;
+    // Commit groups can jump several instructions past the boundary;
+    // one window absorbs the overshoot rather than emitting backfill.
+    closeWindow(inst, cycle);
+    nextBoundary_ = inst + config_.intervalInsts;
+    return true;
+}
+
+void
+TimelineSampler::finish(uint64_t inst, uint64_t cycle)
+{
+    if (inst > lastInst_)
+        closeWindow(inst, cycle);
+}
+
+void
+TimelineSampler::closeWindow(uint64_t inst, uint64_t cycle)
+{
+    if (config_.ipc) {
+        uint64_t dInst = inst - lastInst_;
+        uint64_t dCycle = cycle - lastCycle_;
+        timeline_.addPoint("core.ipc", inst, cycle,
+                           dCycle ? (double)dInst / (double)dCycle
+                                  : 0.0);
+    }
+    for (auto &t : tracked_) {
+        double now = reg_.value(t.id);
+        timeline_.addPoint(t.series, inst, cycle,
+                           config_.delta ? now - t.last : now);
+        t.last = now;
+    }
+    for (const auto &g : gauges_)
+        timeline_.addPoint(g.series, inst, cycle, g.poll());
+    lastInst_ = inst;
+    lastCycle_ = cycle;
+    ++windows_;
+}
+
+} // namespace evax

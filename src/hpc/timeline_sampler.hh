@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Interval sampler that fills a Timeline from a CounterRegistry.
+ *
+ * The hpc::Sampler snapshots the full register file for the detector;
+ * this sampler instead tracks a *configured subset* of counters (plus
+ * arbitrary gauge callbacks for occupancies) and appends one
+ * TimelinePoint per series every N committed instructions. Off by
+ * default: a core with no sampler attached pays one null-pointer
+ * check per commit group (see O3Core::commitStage).
+ *
+ * Determinism: the sampler is driven by (inst, cycle) pairs from the
+ * owning run's thread only, so serial and parallel experiments emit
+ * byte-identical timelines.
+ */
+
+#ifndef EVAX_HPC_TIMELINE_SAMPLER_HH
+#define EVAX_HPC_TIMELINE_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hpc/counters.hh"
+#include "util/timeline.hh"
+
+namespace evax
+{
+
+/** What a TimelineSampler records and how often. */
+struct TimelineSamplerConfig
+{
+    /** Sample every this many committed instructions. */
+    uint64_t intervalInsts = 1000;
+    /** Registry counter names to track (missing names ignored). */
+    std::vector<std::string> counters;
+    /** Record per-interval deltas (true) or running totals. */
+    bool delta = true;
+    /** Record the built-in "core.ipc" series (Δinst / Δcycle). */
+    bool ipc = true;
+};
+
+/**
+ * Drives a Timeline at a fixed committed-instruction cadence.
+ *
+ * tick() is the hot-path entry: it no-ops until the next interval
+ * boundary, then closes the window — one point per tracked counter
+ * and gauge. finish() closes a final partial window so short runs
+ * still produce data.
+ */
+class TimelineSampler
+{
+  public:
+    TimelineSampler(CounterRegistry &reg, Timeline &timeline,
+                    TimelineSamplerConfig config = {});
+
+    /**
+     * Register a polled gauge (occupancy, score, ...) sampled at
+     * every window boundary alongside the counters.
+     */
+    void addGauge(const std::string &series,
+                  std::function<double()> poll,
+                  const std::string &unit = "");
+
+    /**
+     * Advance to @p inst committed instructions at @p cycle.
+     * @return true when a window closed (callers may piggyback).
+     */
+    bool tick(uint64_t inst, uint64_t cycle);
+
+    /** Flush the final partial window (if any progress was made). */
+    void finish(uint64_t inst, uint64_t cycle);
+
+    uint64_t windowsClosed() const { return windows_; }
+    uint64_t interval() const { return config_.intervalInsts; }
+    Timeline &timeline() { return timeline_; }
+
+  private:
+    struct Tracked
+    {
+        CounterId id;
+        std::string series; ///< "counter.<name>"
+        double last = 0.0;  ///< value at the previous boundary
+    };
+
+    struct Gauge
+    {
+        std::string series;
+        std::function<double()> poll;
+    };
+
+    void closeWindow(uint64_t inst, uint64_t cycle);
+
+    CounterRegistry &reg_;
+    Timeline &timeline_;
+    TimelineSamplerConfig config_;
+    std::vector<Tracked> tracked_;
+    std::vector<Gauge> gauges_;
+    uint64_t nextBoundary_;
+    uint64_t lastInst_ = 0;
+    uint64_t lastCycle_ = 0;
+    uint64_t windows_ = 0;
+};
+
+} // namespace evax
+
+#endif // EVAX_HPC_TIMELINE_SAMPLER_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hpc/timeline_sampler.hh"
 #include "util/log.hh"
 #include "util/statreg.hh"
 #include "util/trace.hh"
@@ -703,6 +704,8 @@ O3Core::commitStage()
                 onSample_(sampler_->latest());
         }
     }
+    if (timelineSampler_ && committed > 0)
+        timelineSampler_->tick(committedInsts_, cycle_);
 }
 
 void

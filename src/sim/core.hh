@@ -34,6 +34,8 @@
 namespace evax
 {
 
+class TimelineSampler;
+
 /** Summary of one simulation run. */
 struct SimResult
 {
@@ -68,6 +70,14 @@ class O3Core
 
     /** Attach a sampler ticked at every commit group (may be null). */
     void attachSampler(Sampler *sampler) { sampler_ = sampler; }
+
+    /**
+     * Attach a timeline sampler (hpc/timeline_sampler.hh) ticked at
+     * every commit group. Null by default: the hot path pays one
+     * pointer check per commit group and nothing else.
+     */
+    void attachTimelineSampler(TimelineSampler *ts)
+    { timelineSampler_ = ts; }
 
     /** Called whenever an attached sampler closes a window. */
     using SampleCallback =
@@ -264,6 +274,7 @@ class O3Core
 
     DefenseMode defense_ = DefenseMode::None;
     Sampler *sampler_ = nullptr;
+    TimelineSampler *timelineSampler_ = nullptr;
     SampleCallback onSample_;
     CommitHook commitHook_;
     IssueHook issueHook_;

@@ -1,0 +1,500 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace evax
+{
+namespace json
+{
+
+namespace
+{
+
+/** Recursive-descent parser over one in-memory document. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, bool lenient)
+        : text_(text), lenient_(lenient)
+    {
+    }
+
+    bool
+    run(Value &out, std::string *err)
+    {
+        bool ok = parseValue(out) && (skipWs(), pos_ == text_.size());
+        if (!ok && err) {
+            if (error_.empty())
+                error_ = "trailing characters after document";
+            *err = where() + ": " + error_;
+        }
+        return ok;
+    }
+
+  private:
+    std::string
+    where() const
+    {
+        size_t line = 1, col = 1;
+        for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        std::ostringstream os;
+        os << line << ":" << col;
+        return os.str();
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_.empty())
+            error_ = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"': {
+              out.kind = Value::Kind::String;
+              return parseString(out.str);
+          }
+          case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return true;
+          case 'n':
+            if (literal("null")) {
+                out.kind = Value::Kind::Null;
+                return true;
+            }
+            if (lenient_ && literal("nan")) {
+                out.kind = Value::Kind::Number;
+                out.number =
+                    std::numeric_limits<double>::quiet_NaN();
+                return true;
+            }
+            return fail("bad literal");
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        out.kind = Value::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after key");
+            ++pos_;
+            Value member;
+            if (!parseValue(member))
+                return false;
+            out.object.emplace_back(std::move(key),
+                                    std::move(member));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        out.kind = Value::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Value elem;
+            if (!parseValue(elem))
+                return false;
+            out.array.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (pos_ + 4 > text_.size())
+                      return fail("truncated \\u escape");
+                  unsigned code = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      char h = text_[pos_++];
+                      code <<= 4;
+                      if (h >= '0' && h <= '9')
+                          code |= (unsigned)(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          code |= (unsigned)(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          code |= (unsigned)(h - 'A' + 10);
+                      else
+                          return fail("bad \\u escape");
+                  }
+                  // UTF-8 encode the BMP code point (names in our
+                  // dumps are ASCII; this is completeness, not use).
+                  if (code < 0x80) {
+                      out += (char)code;
+                  } else if (code < 0x800) {
+                      out += (char)(0xc0 | (code >> 6));
+                      out += (char)(0x80 | (code & 0x3f));
+                  } else {
+                      out += (char)(0xe0 | (code >> 12));
+                      out += (char)(0x80 | ((code >> 6) & 0x3f));
+                      out += (char)(0x80 | (code & 0x3f));
+                  }
+                  break;
+              }
+              default: return fail("bad escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        size_t start = pos_;
+        if (lenient_) {
+            // Accept the tokens our pre-fix dumps produced via
+            // operator<<: nan, inf, -inf (handled here because of
+            // the leading '-'; bare nan is caught in parseValue).
+            if (literal("inf")) {
+                out.kind = Value::Kind::Number;
+                out.number = std::numeric_limits<double>::infinity();
+                return true;
+            }
+            if (literal("-inf")) {
+                out.kind = Value::Kind::Number;
+                out.number =
+                    -std::numeric_limits<double>::infinity();
+                return true;
+            }
+        }
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        size_t digits = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit((unsigned char)text_[pos_])) {
+            ++pos_;
+            ++digits;
+        }
+        if (digits == 0)
+            return fail("expected a number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit((unsigned char)text_[pos_])) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit((unsigned char)text_[pos_])) {
+                ++pos_;
+            }
+        }
+        out.kind = Value::Kind::Number;
+        out.number =
+            std::strtod(text_.substr(start, pos_ - start).c_str(),
+                        nullptr);
+        return true;
+    }
+
+    const std::string &text_;
+    bool lenient_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+void
+flattenInto(const Value &v, const std::string &prefix,
+            std::map<std::string, double> &out)
+{
+    switch (v.kind) {
+      case Value::Kind::Number:
+        out[prefix] = v.number;
+        break;
+      case Value::Kind::Bool:
+        out[prefix] = v.boolean ? 1.0 : 0.0;
+        break;
+      case Value::Kind::Object:
+        for (const auto &[key, member] : v.object) {
+            flattenInto(member,
+                        prefix.empty() ? key : prefix + "." + key,
+                        out);
+        }
+        break;
+      case Value::Kind::Array:
+        for (size_t i = 0; i < v.array.size(); ++i) {
+            std::string p = prefix.empty()
+                                ? std::to_string(i)
+                                : prefix + "." + std::to_string(i);
+            flattenInto(v.array[i], p, out);
+        }
+        break;
+      case Value::Kind::Null:
+      case Value::Kind::String:
+        break; // not numeric
+    }
+}
+
+} // anonymous namespace
+
+const Value *
+Value::find(const std::string &key) const
+{
+    for (const auto &[name, member] : object) {
+        if (name == key)
+            return &member;
+    }
+    return nullptr;
+}
+
+bool
+parse(const std::string &text, Value &out, std::string *err)
+{
+    return Parser(text, /*lenient=*/false).run(out, err);
+}
+
+bool
+parseLenient(const std::string &text, Value &out, std::string *err)
+{
+    return Parser(text, /*lenient=*/true).run(out, err);
+}
+
+bool
+parseFile(const std::string &path, Value &out, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseLenient(buf.str(), out, err);
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if ((unsigned char)c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              (unsigned)(unsigned char)c);
+                out += buf;
+            } else {
+                out += c;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+void
+writeNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    // Integral doubles print without an exponent or trailing ".0"
+    // so counters keep their familiar form.
+    if (v == (double)(int64_t)v &&
+        std::fabs(v) < 9.0e15) {
+        os << (int64_t)v;
+        return;
+    }
+    std::ostringstream tmp;
+    tmp << std::setprecision(
+               std::numeric_limits<double>::max_digits10)
+        << v;
+    os << tmp.str();
+}
+
+std::map<std::string, double>
+flattenNumeric(const Value &v)
+{
+    std::map<std::string, double> out;
+    flattenInto(v, "", out);
+    return out;
+}
+
+DiffReport
+diffNumeric(const Value &a, const Value &b, const DiffOptions &opt)
+{
+    std::map<std::string, double> fa = flattenNumeric(a);
+    std::map<std::string, double> fb = flattenNumeric(b);
+    DiffReport report;
+
+    auto matches = [&](const std::string &path) {
+        return opt.filter.empty() ||
+               path.find(opt.filter) != std::string::npos;
+    };
+
+    for (const auto &[path, va] : fa) {
+        if (!matches(path))
+            continue;
+        DiffEntry e;
+        e.path = path;
+        e.a = va;
+        auto it = fb.find(path);
+        if (it == fb.end()) {
+            e.missingInB = true;
+            e.ok = opt.allowMissing;
+        } else {
+            e.b = it->second;
+            ++report.compared;
+            double scale =
+                std::max(std::fabs(va), std::fabs(it->second));
+            double diff = std::fabs(va - it->second);
+            e.ok = (diff == 0.0) || (diff <= opt.tolerance * scale);
+            e.ratio = va != 0.0 ? it->second / va
+                                : (it->second == 0.0 ? 1.0 : 0.0);
+        }
+        if (!e.ok)
+            ++report.failures;
+        report.entries.push_back(std::move(e));
+    }
+    for (const auto &[path, vb] : fb) {
+        if (!matches(path) || fa.count(path))
+            continue;
+        DiffEntry e;
+        e.path = path;
+        e.b = vb;
+        e.missingInA = true;
+        e.ok = opt.allowMissing;
+        if (!e.ok)
+            ++report.failures;
+        report.entries.push_back(std::move(e));
+    }
+    return report;
+}
+
+} // namespace json
+} // namespace evax

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Minimal JSON reader shared by the analysis tooling.
+ *
+ * The repo's dumps (stats registry, timeline, manifests, benchmark
+ * JSON) are all small configuration-sized documents, so a simple
+ * recursive-descent parser into one variant Value type is enough —
+ * no external dependency, no streaming. On top of the parser sit the
+ * two operations `evax_inspect` is built from:
+ *
+ *  - flattenNumeric(): every numeric leaf as a dotted path
+ *    ("benchmarks.3.ticks_per_sec"), so structurally different
+ *    documents compare through one flat map;
+ *  - diffNumeric(): relative-tolerance comparison of two flattened
+ *    documents, the engine behind `evax_inspect diff`.
+ *
+ * parse() is strict RFC-8259 JSON (the round-trip tests use it to
+ * prove our dumps are legal); parseLenient() additionally accepts
+ * bare nan/inf tokens so dumps written before the statreg
+ * non-finite fix stay readable.
+ */
+
+#ifndef EVAX_UTIL_JSON_HH
+#define EVAX_UTIL_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace evax
+{
+namespace json
+{
+
+/** One parsed JSON value (object members keep document order). */
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** First member named @p key, or nullptr. */
+    const Value *find(const std::string &key) const;
+
+    /** Number value, or @p dflt when this is not a number. */
+    double asNumber(double dflt = 0.0) const
+    { return isNumber() ? number : dflt; }
+
+    /** String value, or @p dflt when this is not a string. */
+    const std::string &asString(const std::string &dflt = "") const
+    { return isString() ? str : dflt; }
+};
+
+/**
+ * Parse strict JSON. @return false (with a "line:col: reason"
+ * message in @p err when given) on any syntax error or trailing
+ * garbage.
+ */
+bool parse(const std::string &text, Value &out,
+           std::string *err = nullptr);
+
+/** parse(), but also accepting nan / inf / -inf number tokens. */
+bool parseLenient(const std::string &text, Value &out,
+                  std::string *err = nullptr);
+
+/** Read and parse a whole file (lenient; pre-fix dumps readable). */
+bool parseFile(const std::string &path, Value &out,
+               std::string *err = nullptr);
+
+/** JSON-escape a string body (no surrounding quotes). */
+std::string escape(const std::string &s);
+
+/**
+ * Emit a double as a legal JSON token: non-finite values render as
+ * null (JSON has no nan/inf), everything else round-trips at
+ * max_digits10 precision.
+ */
+void writeNumber(std::ostream &os, double v);
+
+/**
+ * Every numeric leaf as dotted-path -> value. Object members
+ * contribute their key, array elements their index; null leaves
+ * (non-finite placeholders) are skipped. Booleans count as 0/1.
+ */
+std::map<std::string, double> flattenNumeric(const Value &v);
+
+/** One compared path in a diffNumeric() report. */
+struct DiffEntry
+{
+    std::string path;
+    double a = 0.0;
+    double b = 0.0;
+    /** b relative to a (1.0 = identical; 0 when a == 0 != b). */
+    double ratio = 1.0;
+    bool ok = true;
+    /** Path present in only one document. */
+    bool missingInA = false;
+    bool missingInB = false;
+};
+
+/** diffNumeric() options. */
+struct DiffOptions
+{
+    /**
+     * Allowed relative difference: |a-b| <= tolerance*max(|a|,|b|).
+     * 0 demands bit-equal values.
+     */
+    double tolerance = 0.0;
+    /** Only compare paths containing this substring (empty: all). */
+    std::string filter;
+    /** Paths present in one document only are not failures. */
+    bool allowMissing = false;
+};
+
+/** Full diffNumeric() result. */
+struct DiffReport
+{
+    std::vector<DiffEntry> entries; ///< path order; failures + ok
+    size_t compared = 0;            ///< paths present in both
+    size_t failures = 0;            ///< out-of-tolerance + missing
+
+    bool ok() const { return failures == 0; }
+};
+
+/** Compare every numeric leaf of two documents. */
+DiffReport diffNumeric(const Value &a, const Value &b,
+                       const DiffOptions &opt = {});
+
+} // namespace json
+} // namespace evax
+
+#endif // EVAX_UTIL_JSON_HH

@@ -1,0 +1,145 @@
+#include "util/manifest.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/parallel.hh"
+#include "util/trace.hh"
+
+namespace evax
+{
+
+RunManifest
+RunManifest::forTool(const std::string &tool, int argc, char **argv)
+{
+#ifndef EVAX_GIT_DESCRIBE
+#define EVAX_GIT_DESCRIBE "unknown"
+#endif
+#ifndef EVAX_BUILD_TYPE
+#define EVAX_BUILD_TYPE "unknown"
+#endif
+#ifndef EVAX_SANITIZE_NAME
+#define EVAX_SANITIZE_NAME ""
+#endif
+    RunManifest m;
+    m.tool_ = tool;
+    m.gitDescribe_ = EVAX_GIT_DESCRIBE;
+    m.buildType_ = EVAX_BUILD_TYPE;
+    m.sanitizer_ = EVAX_SANITIZE_NAME;
+    m.traceCompiledIn_ = trace::compiledIn();
+    for (int i = 0; i < argc; ++i)
+        m.args_.emplace_back(argv[i]);
+    m.start_ = std::chrono::steady_clock::now();
+    return m;
+}
+
+void
+RunManifest::setConfig(const std::string &key,
+                       const std::string &value)
+{
+    for (auto &kv : config_) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    config_.emplace_back(key, value);
+}
+
+void
+RunManifest::setConfig(const std::string &key, double value)
+{
+    std::ostringstream os;
+    json::writeNumber(os, value);
+    setConfig(key, os.str());
+}
+
+void
+RunManifest::setConfig(const std::string &key, uint64_t value)
+{
+    setConfig(key, std::to_string(value));
+}
+
+void
+RunManifest::addArtifact(const std::string &path)
+{
+    for (const auto &p : artifacts_) {
+        if (p == path)
+            return;
+    }
+    artifacts_.push_back(path);
+}
+
+double
+RunManifest::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+void
+RunManifest::writeJson(std::ostream &os) const
+{
+    os << "{\n";
+    os << "  \"schema\": \"evax-manifest-v1\",\n";
+    os << "  \"tool\": \"" << json::escape(tool_) << "\",\n";
+    os << "  \"git\": \"" << json::escape(gitDescribe_) << "\",\n";
+    os << "  \"build_type\": \"" << json::escape(buildType_)
+       << "\",\n";
+    os << "  \"sanitizer\": \"" << json::escape(sanitizer_)
+       << "\",\n";
+    os << "  \"trace_compiled_in\": "
+       << (traceCompiledIn_ ? "true" : "false") << ",\n";
+    // Stamped at write time: tools parse --threads/--serial after
+    // constructing their manifest, and the width in effect when the
+    // run finished is the provenance that matters.
+    os << "  \"threads\": " << globalThreadCount() << ",\n";
+    os << "  \"args\": [";
+    for (size_t i = 0; i < args_.size(); ++i) {
+        os << (i ? ", " : "") << "\"" << json::escape(args_[i])
+           << "\"";
+    }
+    os << "],\n";
+    os << "  \"seeds\": [";
+    for (size_t i = 0; i < seeds_.size(); ++i)
+        os << (i ? ", " : "") << seeds_[i];
+    os << "],\n";
+    os << "  \"config\": {";
+    for (size_t i = 0; i < config_.size(); ++i) {
+        // Values are pre-stringified; numbers were rendered through
+        // json::writeNumber, so only quote the non-numeric ones.
+        const auto &kv = config_[i];
+        os << (i ? ", " : "") << "\"" << json::escape(kv.first)
+           << "\": ";
+        json::Value probe;
+        if (json::parse(kv.second, probe) && probe.isNumber())
+            os << kv.second;
+        else
+            os << "\"" << json::escape(kv.second) << "\"";
+    }
+    os << "},\n";
+    os << "  \"wall_seconds\": ";
+    json::writeNumber(os, elapsedSeconds());
+    os << ",\n";
+    os << "  \"artifacts\": [";
+    for (size_t i = 0; i < artifacts_.size(); ++i) {
+        os << (i ? ", " : "") << "\"" << json::escape(artifacts_[i])
+           << "\"";
+    }
+    os << "]\n";
+    os << "}\n";
+}
+
+bool
+RunManifest::save(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeJson(f);
+    return (bool)f;
+}
+
+} // namespace evax

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Run provenance manifest.
+ *
+ * Every bench/tool run can emit a small `manifest.json` answering
+ * "what exactly produced these artifacts": the git revision and
+ * build configuration baked into the binary, the command line, the
+ * thread-pool width, the seeds the run consumed, free-form config
+ * key/values, wall time, and the paths of every artifact the run
+ * wrote. CI uploads the manifest next to the artifacts so a perf
+ * number in a dashboard is always attributable to a configuration
+ * (docs/OBSERVABILITY.md#run-manifests).
+ */
+
+#ifndef EVAX_UTIL_MANIFEST_HH
+#define EVAX_UTIL_MANIFEST_HH
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace evax
+{
+
+/**
+ * Provenance for one run. Construct via RunManifest::forTool() at
+ * the top of main() — it stamps build info, command line, threads,
+ * and starts the wall clock — then note seeds/config/artifacts as
+ * the run produces them and save() at exit.
+ */
+class RunManifest
+{
+  public:
+    /** Capture build info + command line + start time. */
+    static RunManifest forTool(const std::string &tool, int argc = 0,
+                               char **argv = nullptr);
+
+    /** Record a seed the run consumed. */
+    void addSeed(uint64_t seed) { seeds_.push_back(seed); }
+
+    /** Record a free-form config key (stringified value). */
+    void setConfig(const std::string &key, const std::string &value);
+    void setConfig(const std::string &key, double value);
+    void setConfig(const std::string &key, uint64_t value);
+
+    /** Record the path of an artifact this run wrote. */
+    void addArtifact(const std::string &path);
+
+    const std::vector<std::string> &artifacts() const
+    { return artifacts_; }
+    const std::string &tool() const { return tool_; }
+
+    /** Wall seconds since forTool(). */
+    double elapsedSeconds() const;
+
+    /** The manifest JSON document (strict JSON, parse()-clean). */
+    void writeJson(std::ostream &os) const;
+
+    /** writeJson() to @p path; false on I/O failure. */
+    bool save(const std::string &path) const;
+
+  private:
+    std::string tool_;
+    std::string gitDescribe_;
+    std::string buildType_;
+    std::string sanitizer_;
+    bool traceCompiledIn_ = false;
+    std::vector<std::string> args_;
+    std::vector<uint64_t> seeds_;
+    std::vector<std::pair<std::string, std::string>> config_;
+    std::vector<std::string> artifacts_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace evax
+
+#endif // EVAX_UTIL_MANIFEST_HH

@@ -5,10 +5,22 @@
 #include <typeinfo>
 
 #include "hpc/counters.hh"
+#include "util/json.hh"
 #include "util/log.hh"
 
 namespace evax
 {
+
+namespace statreg_detail
+{
+
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    json::writeNumber(os, v);
+}
+
+} // namespace statreg_detail
 
 namespace
 {
@@ -17,18 +29,7 @@ namespace
 std::string
 jsonEscape(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default: out += c; break;
-        }
-    }
-    return out;
+    return json::escape(s);
 }
 
 } // anonymous namespace
@@ -44,10 +45,21 @@ StatAvg::dumpValueText(std::ostream &os) const
 void
 StatAvg::dumpValueJson(std::ostream &os) const
 {
-    os << "{\"count\":" << rs_.count() << ",\"mean\":" << rs_.mean()
-       << ",\"stddev\":" << rs_.stddev() << ",\"min\":" << rs_.min()
-       << ",\"max\":" << rs_.max() << ",\"sum\":" << rs_.sum()
-       << "}";
+    // "samples" mirrors "count" explicitly so a reader checking for
+    // the zero-sample case has an unambiguous field; every double
+    // goes through the non-finite-safe writer (nan/inf -> null).
+    os << "{\"count\":" << rs_.count()
+       << ",\"samples\":" << rs_.count() << ",\"mean\":";
+    json::writeNumber(os, rs_.mean());
+    os << ",\"stddev\":";
+    json::writeNumber(os, rs_.stddev());
+    os << ",\"min\":";
+    json::writeNumber(os, rs_.min());
+    os << ",\"max\":";
+    json::writeNumber(os, rs_.max());
+    os << ",\"sum\":";
+    json::writeNumber(os, rs_.sum());
+    os << "}";
 }
 
 void
@@ -63,8 +75,11 @@ StatDist::dumpValueText(std::ostream &os) const
 void
 StatDist::dumpValueJson(std::ostream &os) const
 {
-    os << "{\"total\":" << hist_.total() << ",\"lo\":" << lo_
-       << ",\"hi\":" << hi_ << ",\"bins\":[";
+    os << "{\"total\":" << hist_.total() << ",\"lo\":";
+    json::writeNumber(os, lo_);
+    os << ",\"hi\":";
+    json::writeNumber(os, hi_);
+    os << ",\"bins\":[";
     for (size_t i = 0; i < hist_.numBins(); ++i)
         os << (i ? "," : "") << hist_.bin(i);
     os << "]}";

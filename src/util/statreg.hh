@@ -37,6 +37,24 @@ class CounterRegistry;
 /** Output renderings of a stats dump. */
 enum class StatsFormat { Text, Json };
 
+namespace statreg_detail
+{
+/**
+ * Non-finite-safe JSON number writer (defined in statreg.cc on top
+ * of json::writeNumber): nan/inf render as null so a dump is always
+ * legal RFC-8259 JSON. Integral stats keep the plain fast path.
+ */
+void writeJsonNumber(std::ostream &os, double v);
+
+inline void jsonValue(std::ostream &os, double v)
+{ writeJsonNumber(os, v); }
+inline void jsonValue(std::ostream &os, float v)
+{ writeJsonNumber(os, v); }
+template <typename T>
+inline void jsonValue(std::ostream &os, T v)
+{ os << v; }
+} // namespace statreg_detail
+
 /** Base class of every registered statistic. */
 class StatBase
 {
@@ -82,7 +100,7 @@ class Stat : public StatBase
     void
     dumpValueJson(std::ostream &os) const override
     {
-        os << value_;
+        statreg_detail::jsonValue(os, value_);
     }
 
   private:

@@ -1,0 +1,277 @@
+#include "util/timeline.hh"
+
+#include <fstream>
+
+#include "util/json.hh"
+
+namespace evax
+{
+
+namespace
+{
+
+/** CSV-quote a field the RFC-4180 way (names are tame, be safe). */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
+TimelineSeries &
+Timeline::series(const std::string &name, const std::string &unit,
+                 bool delta)
+{
+    for (auto &s : series_) {
+        if (s.name == name)
+            return s;
+    }
+    TimelineSeries s;
+    s.name = name;
+    s.unit = unit;
+    s.delta = delta;
+    series_.push_back(std::move(s));
+    return series_.back();
+}
+
+void
+Timeline::addPoint(const std::string &name, uint64_t inst,
+                   uint64_t cycle, double value)
+{
+    series(name).points.push_back({inst, cycle, value});
+}
+
+void
+Timeline::addInstant(const std::string &track,
+                     const std::string &label, uint64_t inst,
+                     uint64_t cycle)
+{
+    instants_.push_back({track, label, inst, cycle});
+}
+
+size_t
+Timeline::beginSpan(const std::string &track,
+                    const std::string &label, uint64_t inst,
+                    uint64_t cycle)
+{
+    TimelineSpan span;
+    span.track = track;
+    span.label = label;
+    span.beginInst = inst;
+    span.beginCycle = cycle;
+    spans_.push_back(std::move(span));
+    return spans_.size() - 1;
+}
+
+void
+Timeline::endSpan(size_t id, uint64_t inst, uint64_t cycle)
+{
+    if (id >= spans_.size() || !spans_[id].open)
+        return;
+    spans_[id].endInst = inst;
+    spans_[id].endCycle = cycle;
+    spans_[id].open = false;
+}
+
+void
+Timeline::closeOpenSpans(uint64_t inst, uint64_t cycle)
+{
+    for (auto &span : spans_) {
+        if (span.open) {
+            span.endInst = inst;
+            span.endCycle = cycle;
+            span.open = false;
+        }
+    }
+}
+
+const TimelineSeries *
+Timeline::findSeries(const std::string &name) const
+{
+    for (const auto &s : series_) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+void
+Timeline::clear()
+{
+    series_.clear();
+    spans_.clear();
+    instants_.clear();
+}
+
+void
+Timeline::writeCsv(std::ostream &os) const
+{
+    os << "kind,track,label,inst,cycle,end_inst,end_cycle,value\n";
+    for (const auto &s : series_) {
+        for (const auto &p : s.points) {
+            os << "point," << csvField(s.name) << ","
+               << csvField(s.unit) << "," << p.inst << ","
+               << p.cycle << ",,,";
+            json::writeNumber(os, p.value);
+            os << "\n";
+        }
+    }
+    for (const auto &span : spans_) {
+        os << "span," << csvField(span.track) << ","
+           << csvField(span.label) << "," << span.beginInst << ","
+           << span.beginCycle << "," << span.endInst << ","
+           << span.endCycle << ",\n";
+    }
+    for (const auto &i : instants_) {
+        os << "instant," << csvField(i.track) << ","
+           << csvField(i.label) << "," << i.inst << "," << i.cycle
+           << ",,,\n";
+    }
+}
+
+void
+Timeline::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"schema\": \"evax-timeline-v1\",\n";
+    os << "  \"series\": [";
+    for (size_t si = 0; si < series_.size(); ++si) {
+        const TimelineSeries &s = series_[si];
+        os << (si ? ",\n    " : "\n    ");
+        os << "{\"name\":\"" << json::escape(s.name)
+           << "\",\"unit\":\"" << json::escape(s.unit)
+           << "\",\"delta\":" << (s.delta ? "true" : "false")
+           << ",\"points\":[";
+        for (size_t i = 0; i < s.points.size(); ++i) {
+            const TimelinePoint &p = s.points[i];
+            os << (i ? "," : "") << "[" << p.inst << "," << p.cycle
+               << ",";
+            json::writeNumber(os, p.value);
+            os << "]";
+        }
+        os << "]}";
+    }
+    os << (series_.empty() ? "],\n" : "\n  ],\n");
+    os << "  \"spans\": [";
+    for (size_t i = 0; i < spans_.size(); ++i) {
+        const TimelineSpan &s = spans_[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"track\":\"" << json::escape(s.track)
+           << "\",\"label\":\"" << json::escape(s.label)
+           << "\",\"begin_inst\":" << s.beginInst
+           << ",\"begin_cycle\":" << s.beginCycle
+           << ",\"end_inst\":" << s.endInst
+           << ",\"end_cycle\":" << s.endCycle << "}";
+    }
+    os << (spans_.empty() ? "],\n" : "\n  ],\n");
+    os << "  \"instants\": [";
+    for (size_t i = 0; i < instants_.size(); ++i) {
+        const TimelineInstant &t = instants_[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"track\":\"" << json::escape(t.track)
+           << "\",\"label\":\"" << json::escape(t.label)
+           << "\",\"inst\":" << t.inst << ",\"cycle\":" << t.cycle
+           << "}";
+    }
+    os << (instants_.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
+}
+
+bool
+Timeline::saveCsv(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeCsv(f);
+    return (bool)f;
+}
+
+bool
+Timeline::saveJson(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeJson(f);
+    return (bool)f;
+}
+
+bool
+Timeline::fromJson(const json::Value &doc, Timeline &out,
+                   std::string *err)
+{
+    auto failWith = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    if (!doc.isObject())
+        return failWith("timeline document is not an object");
+    const json::Value *schema = doc.find("schema");
+    if (!schema || schema->asString() != "evax-timeline-v1")
+        return failWith("missing/unknown timeline schema");
+
+    out.clear();
+    if (const json::Value *series = doc.find("series")) {
+        for (const json::Value &s : series->array) {
+            const json::Value *name = s.find("name");
+            if (!name)
+                return failWith("series without a name");
+            const json::Value *unit = s.find("unit");
+            const json::Value *delta = s.find("delta");
+            TimelineSeries &dst = out.series(
+                name->asString(), unit ? unit->asString() : "",
+                delta && delta->boolean);
+            if (const json::Value *points = s.find("points")) {
+                for (const json::Value &p : points->array) {
+                    if (p.array.size() != 3)
+                        return failWith("bad point in series '" +
+                                        dst.name + "'");
+                    dst.points.push_back(
+                        {(uint64_t)p.array[0].asNumber(),
+                         (uint64_t)p.array[1].asNumber(),
+                         p.array[2].asNumber()});
+                }
+            }
+        }
+    }
+    if (const json::Value *spans = doc.find("spans")) {
+        for (const json::Value &s : spans->array) {
+            const json::Value *track = s.find("track");
+            const json::Value *label = s.find("label");
+            if (!track || !label)
+                return failWith("span without track/label");
+            size_t id = out.beginSpan(
+                track->asString(), label->asString(),
+                (uint64_t)s.find("begin_inst")->asNumber(),
+                (uint64_t)s.find("begin_cycle")->asNumber());
+            out.endSpan(id,
+                        (uint64_t)s.find("end_inst")->asNumber(),
+                        (uint64_t)s.find("end_cycle")->asNumber());
+        }
+    }
+    if (const json::Value *instants = doc.find("instants")) {
+        for (const json::Value &t : instants->array) {
+            const json::Value *track = t.find("track");
+            const json::Value *label = t.find("label");
+            if (!track || !label)
+                return failWith("instant without track/label");
+            out.addInstant(track->asString(), label->asString(),
+                           (uint64_t)t.find("inst")->asNumber(),
+                           (uint64_t)t.find("cycle")->asNumber());
+        }
+    }
+    return true;
+}
+
+} // namespace evax

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Timeline telemetry: time-resolved series over one simulation run.
+ *
+ * The stats registry answers "what happened over the whole run"; a
+ * Timeline answers "when". Three record shapes cover the paper's
+ * temporal claims:
+ *
+ *  - series: numeric samples {inst, cycle, value} on a named track
+ *    (per-interval IPC, ROB occupancy, detector score, GAN losses);
+ *  - spans: labelled intervals (secure-mode dwell, bench phases);
+ *  - instants: point events (detector flags).
+ *
+ * Timelines are per-run objects owned and filled by the run's own
+ * thread, so serial and parallel experiment execution produce
+ * byte-identical dumps (the PR-1 determinism contract; pinned by
+ * tests/test_timeline.cc). The interval sampler that fills one from
+ * a CounterRegistry lives in hpc/timeline_sampler.hh.
+ *
+ * Writers: one long-format CSV and a JSON document (schema in
+ * docs/OBSERVABILITY.md). trace_export.hh turns a Timeline into
+ * Perfetto counter tracks and slices.
+ */
+
+#ifndef EVAX_UTIL_TIMELINE_HH
+#define EVAX_UTIL_TIMELINE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace evax
+{
+
+namespace json
+{
+struct Value;
+}
+
+/** One sample on a timeline series. */
+struct TimelinePoint
+{
+    uint64_t inst = 0;  ///< committed instructions at the sample
+    uint64_t cycle = 0; ///< core cycle at the sample
+    double value = 0.0;
+};
+
+/** A named numeric track. */
+struct TimelineSeries
+{
+    std::string name; ///< dotted, owner-first ("core.ipc")
+    std::string unit; ///< free-form ("insts/cycle", "loss")
+    bool delta = false; ///< values are per-interval deltas
+    std::vector<TimelinePoint> points;
+};
+
+/** A labelled interval on a named track. */
+struct TimelineSpan
+{
+    std::string track; ///< "defense.mode"
+    std::string label; ///< "InvisiSpecSpectre"
+    uint64_t beginInst = 0;
+    uint64_t beginCycle = 0;
+    uint64_t endInst = 0;
+    uint64_t endCycle = 0;
+    bool open = true; ///< endSpan()/closeOpenSpans() not yet seen
+};
+
+/** A point event on a named track. */
+struct TimelineInstant
+{
+    std::string track; ///< "detector.flag"
+    std::string label; ///< event-specific detail
+    uint64_t inst = 0;
+    uint64_t cycle = 0;
+};
+
+/**
+ * The per-run store. Single-writer by contract: the run that owns
+ * the timeline fills it from its own thread (parallel experiments
+ * give every trial its own Timeline).
+ */
+class Timeline
+{
+  public:
+    /** Find-or-create a series by name. */
+    TimelineSeries &series(const std::string &name,
+                           const std::string &unit = "",
+                           bool delta = false);
+
+    /** Append one sample to @p name (creating the series). */
+    void addPoint(const std::string &name, uint64_t inst,
+                  uint64_t cycle, double value);
+
+    /** Record a point event. */
+    void addInstant(const std::string &track,
+                    const std::string &label, uint64_t inst,
+                    uint64_t cycle);
+
+    /**
+     * Open a labelled span; @return its index for endSpan().
+     * Unclosed spans are finalized by closeOpenSpans().
+     */
+    size_t beginSpan(const std::string &track,
+                     const std::string &label, uint64_t inst,
+                     uint64_t cycle);
+    /** Close span @p id; no-op if already closed (first end wins). */
+    void endSpan(size_t id, uint64_t inst, uint64_t cycle);
+
+    /** Close every still-open span at end of run. */
+    void closeOpenSpans(uint64_t inst, uint64_t cycle);
+
+    const std::vector<TimelineSeries> &allSeries() const
+    { return series_; }
+    const std::vector<TimelineSpan> &spans() const { return spans_; }
+    const std::vector<TimelineInstant> &instants() const
+    { return instants_; }
+
+    /** Series lookup without creation; nullptr if absent. */
+    const TimelineSeries *findSeries(const std::string &name) const;
+
+    bool empty() const
+    { return series_.empty() && spans_.empty() && instants_.empty(); }
+
+    void clear();
+
+    /**
+     * Long-format CSV, one row per record:
+     * kind,track,label,inst,cycle,end_inst,end_cycle,value
+     * (points leave end_*, spans leave value, instants leave both).
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** JSON document: {schema, series, spans, instants}. */
+    void writeJson(std::ostream &os) const;
+
+    /** writeCsv/writeJson to a file; false on I/O failure. */
+    bool saveCsv(const std::string &path) const;
+    bool saveJson(const std::string &path) const;
+
+    /** Rebuild from a parsed writeJson() document. */
+    static bool fromJson(const json::Value &doc, Timeline &out,
+                         std::string *err = nullptr);
+
+  private:
+    std::vector<TimelineSeries> series_;
+    std::vector<TimelineSpan> spans_;
+    std::vector<TimelineInstant> instants_;
+};
+
+} // namespace evax
+
+#endif // EVAX_UTIL_TIMELINE_HH

@@ -1,0 +1,180 @@
+#include "util/trace_export.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "util/json.hh"
+
+namespace evax
+{
+
+namespace
+{
+
+/**
+ * Streams the traceEvents array, handing out tids per track in
+ * first-appearance order so the export is deterministic.
+ */
+class Emitter
+{
+  public:
+    explicit Emitter(std::ostream &os, const PerfettoOptions &opt)
+        : os_(os)
+    {
+        os_ << "{\n\"displayTimeUnit\": \"ms\",\n"
+            << "\"traceEvents\": [\n";
+        os_ << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+               "\"args\":{\"name\":\""
+            << json::escape(opt.processName) << "\"}}";
+    }
+
+    void
+    finish()
+    {
+        os_ << "\n]\n}\n";
+    }
+
+    int
+    tidFor(const std::string &track)
+    {
+        for (const auto &t : tids_) {
+            if (t.first == track)
+                return t.second;
+        }
+        int tid = (int)tids_.size() + 1;
+        tids_.emplace_back(track, tid);
+        next();
+        os_ << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+            << json::escape(track) << "\"}}";
+        return tid;
+    }
+
+    void
+    counter(const std::string &name, uint64_t ts, double value)
+    {
+        next();
+        os_ << "{\"ph\":\"C\",\"pid\":1,\"name\":\""
+            << json::escape(name) << "\",\"ts\":" << ts
+            << ",\"args\":{\"value\":";
+        json::writeNumber(os_, value);
+        os_ << "}}";
+    }
+
+    void
+    slice(const std::string &track, const std::string &name,
+          uint64_t ts, uint64_t dur, uint64_t beginInst,
+          uint64_t endInst)
+    {
+        int tid = tidFor(track);
+        next();
+        os_ << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+            << ",\"name\":\"" << json::escape(name)
+            << "\",\"ts\":" << ts << ",\"dur\":" << dur
+            << ",\"args\":{\"begin_inst\":" << beginInst
+            << ",\"end_inst\":" << endInst << "}}";
+    }
+
+    void
+    instant(const std::string &track, const std::string &name,
+            uint64_t ts, uint64_t arg)
+    {
+        int tid = tidFor(track);
+        next();
+        os_ << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tid
+            << ",\"name\":\"" << json::escape(name)
+            << "\",\"ts\":" << ts
+            << ",\"s\":\"t\",\"args\":{\"arg\":" << arg << "}}";
+    }
+
+  private:
+    void
+    next()
+    {
+        os_ << ",\n";
+    }
+
+    std::ostream &os_;
+    std::vector<std::pair<std::string, int>> tids_;
+};
+
+} // anonymous namespace
+
+void
+writePerfetto(std::ostream &os, const Timeline &timeline,
+              const std::vector<trace::Record> &records,
+              const PerfettoOptions &opt)
+{
+    Emitter em(os, opt);
+
+    for (const auto &s : timeline.allSeries()) {
+        for (const auto &p : s.points)
+            em.counter(s.name, p.cycle, p.value);
+    }
+    for (const auto &span : timeline.spans()) {
+        uint64_t dur = span.endCycle > span.beginCycle
+                           ? span.endCycle - span.beginCycle
+                           : 1;
+        em.slice(span.track, span.label, span.beginCycle, dur,
+                 span.beginInst, span.endInst);
+    }
+    for (const auto &i : timeline.instants())
+        em.instant(i.track, i.label, i.cycle, i.inst);
+
+    if (opt.includeTraceRecords) {
+        uint64_t lastCycle = 0;
+        for (const auto &r : records)
+            lastCycle = std::max(lastCycle, r.cycle);
+
+        // Defense arm/disarm pairs read better as one slice; pair
+        // them up front so an unmatched arm still renders (to EOT).
+        std::vector<uint64_t> armStack;
+        for (const auto &r : records) {
+            std::string component = r.component;
+            std::string track =
+                "trace." +
+                std::string(
+                    trace::categoryName((trace::Category)r.category));
+            if (r.category == trace::CatDefense) {
+                if (component == "defense" &&
+                    std::string(r.event) == "arm") {
+                    armStack.push_back(r.cycle);
+                    continue;
+                }
+                if (component == "defense" &&
+                    std::string(r.event) == "disarm" &&
+                    !armStack.empty()) {
+                    uint64_t begin = armStack.back();
+                    armStack.pop_back();
+                    em.slice(track, "secure-mode", begin,
+                             std::max<uint64_t>(r.cycle - begin, 1),
+                             0, r.arg);
+                    continue;
+                }
+            }
+            em.instant(track, component + "." + r.event, r.cycle,
+                       r.arg);
+        }
+        for (uint64_t begin : armStack) {
+            em.slice("trace.defense", "secure-mode", begin,
+                     std::max<uint64_t>(lastCycle - begin, 1), 0, 0);
+        }
+    }
+
+    em.finish();
+}
+
+bool
+savePerfetto(const std::string &path, const Timeline &timeline,
+             const std::vector<trace::Record> &records,
+             const PerfettoOptions &opt)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writePerfetto(f, timeline, records, opt);
+    return (bool)f;
+}
+
+} // namespace evax

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Chrome/Perfetto trace-event exporter.
+ *
+ * Converts a Timeline plus a trace:: snapshot into the trace-event
+ * JSON format that ui.perfetto.dev (and chrome://tracing) loads
+ * directly:
+ *
+ *  - timeline series  -> counter tracks   (ph "C")
+ *  - timeline spans   -> complete slices  (ph "X")
+ *  - timeline instants-> instant events   (ph "i")
+ *  - trace records    -> instant events, except defense arm/disarm
+ *    pairs which become begin/end slices (ph "B"/"E") so the
+ *    secure-mode dwell reads as a bar, not two ticks.
+ *
+ * Timestamps are simulated cycles written as microseconds: Perfetto
+ * needs *a* time unit and cycles are the only clock the simulator
+ * has, so 1 cycle renders as 1 us and the UI's time axis reads as a
+ * cycle axis. Output is deterministic for a given (timeline,
+ * records) input: tids are assigned in first-appearance order.
+ */
+
+#ifndef EVAX_UTIL_TRACE_EXPORT_HH
+#define EVAX_UTIL_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/timeline.hh"
+#include "util/trace.hh"
+
+namespace evax
+{
+
+/** Knobs for writePerfetto(). */
+struct PerfettoOptions
+{
+    /** Perfetto process name (shown as the top-level group). */
+    std::string processName = "evax";
+    /** Include raw trace:: records (instants / defense slices). */
+    bool includeTraceRecords = true;
+};
+
+/**
+ * Write one self-contained trace-event JSON document. Either input
+ * may be empty; an empty export is still a valid (loadable) trace.
+ */
+void writePerfetto(std::ostream &os, const Timeline &timeline,
+                   const std::vector<trace::Record> &records,
+                   const PerfettoOptions &opt = {});
+
+/** writePerfetto() to a file; false on I/O failure. */
+bool savePerfetto(const std::string &path, const Timeline &timeline,
+                  const std::vector<trace::Record> &records,
+                  const PerfettoOptions &opt = {});
+
+} // namespace evax
+
+#endif // EVAX_UTIL_TRACE_EXPORT_HH

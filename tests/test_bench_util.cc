@@ -1,0 +1,207 @@
+/**
+ * @file
+ * bench_util.hh coverage: ScopedPhaseTimer phase accounting and
+ * BenchObservability flag parsing / artifact + manifest emission.
+ * These helpers sit under every figure bench, so regressions here
+ * corrupt provenance for the whole reproduction suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "util/json.hh"
+#include "util/statreg.hh"
+#include "util/trace.hh"
+
+namespace evax
+{
+namespace
+{
+
+/** Build a mutable argv for BenchObservability. */
+struct Argv
+{
+    explicit Argv(std::vector<std::string> words)
+        : words_(std::move(words))
+    {
+        for (auto &w : words_)
+            ptrs_.push_back(w.data());
+    }
+
+    int argc() { return (int)ptrs_.size(); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> words_;
+    std::vector<char *> ptrs_;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream f(path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+const PhaseRecord *
+findPhase(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(bench_detail::phaseMutex());
+    for (const auto &rec : bench_detail::phaseLog()) {
+        if (rec.name == name)
+            return &rec;
+    }
+    return nullptr;
+}
+
+TEST(ScopedPhaseTimer, LogsPhaseWithSecondsAndStatDeltas)
+{
+    StatRegistry sr;
+    {
+        ScopedPhaseTimer phase("unit-phase-a", &sr);
+        sr.setNumber("unit.phase.metric", 42.0);
+    }
+    const PhaseRecord *rec = findPhase("unit-phase-a");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GE(rec->seconds, 0.0);
+
+    bool saw_delta = false;
+    for (const auto &kv : rec->topDeltas) {
+        if (kv.first == "unit.phase.metric" && kv.second == 42.0)
+            saw_delta = true;
+    }
+    EXPECT_TRUE(saw_delta);
+
+    // The phase also feeds a wall-time StatAvg into the registry.
+    const StatBase *avg =
+        sr.find("bench.phase.unit-phase-a.seconds");
+    ASSERT_NE(avg, nullptr);
+    std::ostringstream os;
+    sr.dumpStats(os, StatsFormat::Json);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    const json::Value *v =
+        doc.find("bench.phase.unit-phase-a.seconds");
+    ASSERT_NE(v, nullptr);
+    EXPECT_DOUBLE_EQ(v->find("samples")->asNumber(-1), 1.0);
+}
+
+TEST(ScopedPhaseTimer, NullRegistrySkipsStatsButStillLogs)
+{
+    {
+        ScopedPhaseTimer phase("unit-phase-null", nullptr);
+    }
+    const PhaseRecord *rec = findPhase("unit-phase-null");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->topDeltas.empty());
+}
+
+TEST(BenchObservability, StatsSinkGatedOnFlag)
+{
+    Argv no_stats({"bench", "--manifest-out", "-"});
+    BenchObservability obs(no_stats.argc(), no_stats.argv());
+    EXPECT_EQ(obs.stats(), nullptr);
+    trace::setMask(0);
+}
+
+TEST(BenchObservability, ParsesFlagsAndWritesManifest)
+{
+    const std::string stats_path = "test_bench_util_stats.json";
+    const std::string manifest_path = "test_bench_util_manifest.json";
+    std::remove(stats_path.c_str());
+    std::remove(manifest_path.c_str());
+    {
+        Argv args({"bench", "--trace", "detect,defense",
+                   "--stats-out", stats_path, "--manifest-out",
+                   manifest_path});
+        BenchObservability obs(args.argc(), args.argv());
+        EXPECT_NE(obs.stats(), nullptr);
+        if (trace::compiledIn()) {
+            EXPECT_EQ(trace::mask(),
+                      (uint32_t)(trace::CatDetect |
+                                 trace::CatDefense));
+        }
+        obs.manifest().addSeed(77);
+        obs.manifest().setConfig("unit", "bench-util");
+        // Destructor saves the stats dump and the manifest.
+    }
+    trace::setMask(0);
+
+    json::Value stats;
+    std::string err;
+    ASSERT_TRUE(json::parse(slurp(stats_path), stats, &err)) << err;
+
+    json::Value manifest;
+    ASSERT_TRUE(json::parse(slurp(manifest_path), manifest, &err))
+        << err;
+    EXPECT_EQ(manifest.find("schema")->asString(),
+              "evax-manifest-v1");
+    ASSERT_NE(manifest.find("args"), nullptr);
+    EXPECT_EQ(manifest.find("args")->array.size(), 7u);
+    EXPECT_DOUBLE_EQ(manifest.find("seeds")->array.at(0).asNumber(),
+                     77.0);
+    EXPECT_EQ(manifest.find("config")->find("unit")->asString(),
+              "bench-util");
+    // The stats dump the destructor wrote is listed as an artifact.
+    bool stats_listed = false;
+    for (const auto &a : manifest.find("artifacts")->array) {
+        if (a.asString() == stats_path)
+            stats_listed = true;
+    }
+    EXPECT_TRUE(stats_listed);
+
+    std::remove(stats_path.c_str());
+    std::remove(manifest_path.c_str());
+}
+
+TEST(BenchObservability, EmitResultArtifactsReachTheManifest)
+{
+    const std::string manifest_path =
+        "test_bench_util_artifacts.json";
+    std::remove(manifest_path.c_str());
+    {
+        Argv args({"bench", "--manifest-out", manifest_path});
+        BenchObservability obs(args.argc(), args.argv());
+        Table t({"x"});
+        t.addRow({"1"});
+        emitResult(t, "test_bench_util_table", "unit table");
+    }
+    trace::setMask(0);
+
+    json::Value manifest;
+    std::string err;
+    ASSERT_TRUE(json::parse(slurp(manifest_path), manifest, &err))
+        << err;
+    bool csv_listed = false;
+    for (const auto &a : manifest.find("artifacts")->array) {
+        if (a.asString() == "test_bench_util_table.csv")
+            csv_listed = true;
+    }
+    EXPECT_TRUE(csv_listed);
+
+    std::remove(manifest_path.c_str());
+    std::remove("test_bench_util_table.csv");
+}
+
+TEST(BenchObservabilityDeathTest, UnknownTraceCategoryIsFatal)
+{
+    Argv args({"bench", "--trace", "nonsense", "--manifest-out",
+               "-"});
+    EXPECT_EXIT(
+        {
+            BenchObservability obs(args.argc(), args.argv());
+        },
+        ::testing::ExitedWithCode(1), "unknown category");
+}
+
+} // anonymous namespace
+} // namespace evax

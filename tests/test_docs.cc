@@ -268,6 +268,42 @@ TEST(Docs, HotPathSectionAnchorsItsContract)
     }
 }
 
+TEST(Docs, ObservabilityAnchorsItsTelemetryContract)
+{
+    // Source files point users at these anchors
+    // (src/util/manifest.hh, bench/bench_util.hh,
+    // tools/evax_inspect.cc), and README.md/docs/TESTING.md link
+    // them; pin them so a heading rename cannot strand the
+    // references. Also pin the load-bearing schema names.
+    MarkdownFile obs;
+    obs.relPath = "docs/OBSERVABILITY.md";
+    ASSERT_TRUE(readLines(std::string(EVAX_SOURCE_DIR) +
+                              "/docs/OBSERVABILITY.md",
+                          obs.lines));
+
+    std::set<std::string> anchors = collectAnchors(obs);
+    for (const char *required :
+         {"timeline-telemetry", "run-manifests", "perfetto-export",
+          "evax-inspect"}) {
+        EXPECT_TRUE(anchors.count(required))
+            << "docs/OBSERVABILITY.md lost the #" << required
+            << " heading";
+    }
+
+    std::string body;
+    for (const std::string &line : obs.lines)
+        body += line + "\n";
+    for (const char *required :
+         {"evax-timeline-v1", "evax-manifest-v1",
+          "kind,track,label,inst,cycle,end_inst,end_cycle,value",
+          "ui.perfetto.dev", "tests/test_timeline.cc",
+          "--manifest-out", "export-perfetto"}) {
+        EXPECT_NE(body.find(required), std::string::npos)
+            << "docs/OBSERVABILITY.md lost reference to '"
+            << required << "'";
+    }
+}
+
 TEST(Docs, CountersCatalogMatchesFeatureRegistry)
 {
     std::vector<std::string> lines;

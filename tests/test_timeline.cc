@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Timeline telemetry tests: the Timeline store and its writers, the
+ * JSON reader/differ underneath evax_inspect, the interval sampler,
+ * Perfetto export structure, statreg JSON validity, manifests, and
+ * the determinism + attack-visibility acceptance criteria
+ * (detector-flag instant followed by a defense-mode span).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "core/endtoend.hh"
+#include "core/experiment.hh"
+#include "core/vaccination.hh"
+#include "hpc/timeline_sampler.hh"
+#include "util/json.hh"
+#include "util/manifest.hh"
+#include "util/parallel.hh"
+#include "util/statreg.hh"
+#include "util/timeline.hh"
+#include "util/trace_export.hh"
+
+namespace evax
+{
+namespace
+{
+
+/** FNV-1a over raw bytes (pinned-digest idiom, test_integration). */
+uint64_t
+hashBytes(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+TEST(Timeline, SeriesFindOrCreateAndPoints)
+{
+    Timeline tl;
+    EXPECT_TRUE(tl.empty());
+    tl.addPoint("core.ipc", 1000, 2500, 0.4);
+    tl.addPoint("core.ipc", 2000, 5200, 0.37);
+    tl.addPoint("other", 1000, 2500, 7.0);
+    EXPECT_FALSE(tl.empty());
+    ASSERT_EQ(tl.allSeries().size(), 2u);
+    const TimelineSeries *s = tl.findSeries("core.ipc");
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->points.size(), 2u);
+    EXPECT_EQ(s->points[1].inst, 2000u);
+    EXPECT_DOUBLE_EQ(s->points[1].value, 0.37);
+    EXPECT_EQ(tl.findSeries("missing"), nullptr);
+    // Re-requesting a series must not duplicate it.
+    tl.series("core.ipc");
+    EXPECT_EQ(tl.allSeries().size(), 2u);
+}
+
+TEST(Timeline, SpansCloseOnceAndOpenSpansAreFinalized)
+{
+    Timeline tl;
+    size_t a = tl.beginSpan("defense.mode", "fence", 100, 300);
+    size_t b = tl.beginSpan("defense.mode", "fence", 900, 2700);
+    tl.endSpan(a, 500, 1500);
+    // Second end on the same span must not move it.
+    tl.endSpan(a, 999, 9999);
+    tl.closeOpenSpans(1000, 3000);
+    ASSERT_EQ(tl.spans().size(), 2u);
+    EXPECT_EQ(tl.spans()[a].endInst, 500u);
+    EXPECT_FALSE(tl.spans()[a].open);
+    EXPECT_EQ(tl.spans()[b].endInst, 1000u);
+    EXPECT_EQ(tl.spans()[b].endCycle, 3000u);
+    EXPECT_FALSE(tl.spans()[b].open);
+}
+
+TEST(Timeline, CsvHasHeaderAndOneRowPerRecord)
+{
+    Timeline tl;
+    tl.addPoint("core.ipc", 1000, 2500, 0.5);
+    size_t id = tl.beginSpan("defense.mode", "invisi", 10, 20);
+    tl.endSpan(id, 30, 60);
+    tl.addInstant("detector.flag", "evax", 1000, 2500);
+    std::ostringstream os;
+    tl.writeCsv(os);
+    std::string csv = os.str();
+    EXPECT_NE(csv.find("kind,track,label,inst,cycle,end_inst,"
+                       "end_cycle,value"),
+              std::string::npos);
+    EXPECT_NE(csv.find("point,core.ipc"), std::string::npos);
+    EXPECT_NE(csv.find("span,defense.mode,invisi,10,20,30,60,"),
+              std::string::npos);
+    EXPECT_NE(csv.find("instant,detector.flag,evax,1000,2500"),
+              std::string::npos);
+}
+
+TEST(Timeline, JsonRoundTripIsByteIdentical)
+{
+    Timeline tl;
+    tl.series("core.ipc", "insts/cycle", true);
+    tl.addPoint("core.ipc", 1000, 2500, 0.4217391304347826);
+    tl.addPoint("core.ipc", 2000, 5200, 0.372);
+    size_t id = tl.beginSpan("defense.mode", "invisi", 10, 20);
+    tl.endSpan(id, 30, 60);
+    tl.addInstant("detector.flag", "evax \"quoted\"", 1000, 2500);
+
+    std::ostringstream os;
+    tl.writeJson(os);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+
+    Timeline back;
+    ASSERT_TRUE(Timeline::fromJson(doc, back, &err)) << err;
+    std::ostringstream os2;
+    back.writeJson(os2);
+    EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(Json, StrictRejectsNanLenientAccepts)
+{
+    json::Value v;
+    EXPECT_FALSE(json::parse("{\"x\": nan}", v));
+    std::string err;
+    ASSERT_TRUE(json::parseLenient("{\"x\": nan, \"y\": -inf}", v,
+                                   &err))
+        << err;
+    ASSERT_TRUE(std::isnan(v.find("x")->number));
+    ASSERT_TRUE(std::isinf(v.find("y")->number));
+}
+
+TEST(Json, WriteNumberEmitsNullForNonFinite)
+{
+    std::ostringstream os;
+    json::writeNumber(os, std::numeric_limits<double>::quiet_NaN());
+    os << " ";
+    json::writeNumber(os, std::numeric_limits<double>::infinity());
+    os << " ";
+    json::writeNumber(os, 42.0);
+    os << " ";
+    json::writeNumber(os, 0.5);
+    EXPECT_EQ(os.str(), "null null 42 0.5");
+}
+
+TEST(Json, FlattenAndDiffDetectTenPercentRegression)
+{
+    json::Value a, b;
+    ASSERT_TRUE(json::parse(
+        "{\"core\":{\"ipc\":1.0,\"cycles\":100}}", a));
+    ASSERT_TRUE(json::parse(
+        "{\"core\":{\"ipc\":0.9,\"cycles\":100}}", b));
+    auto flat = json::flattenNumeric(a);
+    ASSERT_EQ(flat.size(), 2u);
+    EXPECT_DOUBLE_EQ(flat.at("core.ipc"), 1.0);
+
+    json::DiffOptions opt;
+    opt.tolerance = 0.05;
+    json::DiffReport r = json::diffNumeric(a, b, opt);
+    EXPECT_EQ(r.failures, 1u);
+    EXPECT_FALSE(r.ok());
+
+    opt.tolerance = 0.15;
+    EXPECT_TRUE(json::diffNumeric(a, b, opt).ok());
+
+    // Identical documents are clean at zero tolerance.
+    EXPECT_TRUE(json::diffNumeric(a, a, json::DiffOptions{}).ok());
+}
+
+TEST(Json, DiffFlagsMissingPathsUnlessAllowed)
+{
+    json::Value a, b;
+    ASSERT_TRUE(json::parse("{\"x\":1,\"y\":2}", a));
+    ASSERT_TRUE(json::parse("{\"x\":1}", b));
+    EXPECT_FALSE(json::diffNumeric(a, b, {}).ok());
+    json::DiffOptions opt;
+    opt.allowMissing = true;
+    EXPECT_TRUE(json::diffNumeric(a, b, opt).ok());
+}
+
+TEST(StatRegJson, NonFiniteStatsStillDumpLegalJson)
+{
+    StatRegistry sr;
+    sr.number("bad.rate").set(
+        std::numeric_limits<double>::quiet_NaN());
+    sr.number("bad.inf").set(
+        std::numeric_limits<double>::infinity());
+    sr.avg("empty.avg"); // zero samples: mean/stddev are nan-prone
+    sr.avg("fed.avg").add(2.5);
+    sr.setScalar("plain", 7);
+
+    std::ostringstream os;
+    sr.dumpStats(os, StatsFormat::Json);
+    json::Value doc;
+    std::string err;
+    // Strict RFC-8259 parse: bare nan/inf tokens would fail here.
+    ASSERT_TRUE(json::parse(os.str(), doc, &err))
+        << err << "\n" << os.str();
+
+    EXPECT_TRUE(doc.find("bad.rate")->isNull());
+    EXPECT_TRUE(doc.find("bad.inf")->isNull());
+    const json::Value *avg = doc.find("empty.avg");
+    ASSERT_NE(avg, nullptr);
+    EXPECT_DOUBLE_EQ(avg->find("samples")->asNumber(-1), 0.0);
+    EXPECT_DOUBLE_EQ(doc.find("fed.avg")->find("mean")->asNumber(),
+                     2.5);
+    EXPECT_DOUBLE_EQ(doc.find("plain")->asNumber(), 7.0);
+}
+
+TEST(TimelineSampler, DeltaCountersIpcAndGauges)
+{
+    CounterRegistry reg;
+    CounterId ctr = reg.getOrAdd("test.events");
+    Timeline tl;
+    TimelineSamplerConfig cfg;
+    cfg.intervalInsts = 100;
+    cfg.counters = {"test.events", "not.a.counter"};
+    TimelineSampler ts(reg, tl, cfg);
+    double gauge = 5.0;
+    ts.addGauge("test.gauge", [&gauge] { return gauge; }, "units");
+
+    reg.inc(ctr, 10.0);
+    EXPECT_FALSE(ts.tick(50, 120));    // before the boundary
+    EXPECT_TRUE(ts.tick(105, 260));    // window 1 (overshoot ok)
+    reg.inc(ctr, 4.0);
+    gauge = 9.0;
+    EXPECT_TRUE(ts.tick(210, 500));    // window 2
+    ts.finish(250, 600);               // partial final window
+    EXPECT_EQ(ts.windowsClosed(), 3u);
+
+    const TimelineSeries *ipc = tl.findSeries("core.ipc");
+    ASSERT_NE(ipc, nullptr);
+    ASSERT_EQ(ipc->points.size(), 3u);
+    EXPECT_DOUBLE_EQ(ipc->points[0].value, 105.0 / 260.0);
+    EXPECT_DOUBLE_EQ(ipc->points[1].value,
+                     (210.0 - 105.0) / (500.0 - 260.0));
+
+    const TimelineSeries *ev = tl.findSeries("counter.test.events");
+    ASSERT_NE(ev, nullptr);
+    EXPECT_TRUE(ev->delta);
+    ASSERT_EQ(ev->points.size(), 3u);
+    EXPECT_DOUBLE_EQ(ev->points[0].value, 10.0);
+    EXPECT_DOUBLE_EQ(ev->points[1].value, 4.0);
+    EXPECT_DOUBLE_EQ(ev->points[2].value, 0.0);
+
+    // The unknown counter name was ignored, not registered.
+    EXPECT_EQ(tl.findSeries("counter.not.a.counter"), nullptr);
+
+    const TimelineSeries *g = tl.findSeries("test.gauge");
+    ASSERT_NE(g, nullptr);
+    EXPECT_DOUBLE_EQ(g->points[0].value, 5.0);
+    EXPECT_DOUBLE_EQ(g->points[1].value, 9.0);
+}
+
+TEST(Manifest, SaveIsStrictJsonWithProvenanceFields)
+{
+    RunManifest m = RunManifest::forTool("unit-test");
+    m.addSeed(13);
+    m.addSeed(9);
+    m.setConfig("attack", "spectre-pht");
+    m.setConfig("window", (uint64_t)50000);
+    m.addArtifact("a.csv");
+    m.addArtifact("a.csv"); // duplicates collapse
+    m.addArtifact("b.json");
+
+    std::ostringstream os;
+    m.writeJson(os);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    EXPECT_EQ(doc.find("schema")->asString(), "evax-manifest-v1");
+    EXPECT_EQ(doc.find("tool")->asString(), "unit-test");
+    EXPECT_FALSE(doc.find("git")->asString().empty());
+    ASSERT_EQ(doc.find("seeds")->array.size(), 2u);
+    EXPECT_DOUBLE_EQ(doc.find("seeds")->array[0].asNumber(), 13.0);
+    EXPECT_EQ(doc.find("config")->find("attack")->asString(),
+              "spectre-pht");
+    EXPECT_DOUBLE_EQ(
+        doc.find("config")->find("window")->asNumber(), 50000.0);
+    ASSERT_EQ(doc.find("artifacts")->array.size(), 2u);
+    EXPECT_GE(doc.find("wall_seconds")->asNumber(-1.0), 0.0);
+    EXPECT_GE(doc.find("threads")->asNumber(), 1.0);
+}
+
+TEST(PerfettoExport, EmptyInputsStillProduceLoadableJson)
+{
+    Timeline tl;
+    std::ostringstream os;
+    writePerfetto(os, tl, {});
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    ASSERT_NE(doc.find("traceEvents"), nullptr);
+    // Just the process_name metadata record.
+    EXPECT_EQ(doc.find("traceEvents")->array.size(), 1u);
+}
+
+TEST(PerfettoExport, CountersSlicesAndInstantsAreEmitted)
+{
+    Timeline tl;
+    tl.addPoint("core.ipc", 1000, 2500, 0.4);
+    size_t id = tl.beginSpan("defense.mode", "invisi", 10, 20);
+    tl.endSpan(id, 30, 60);
+    tl.addInstant("detector.flag", "evax", 1000, 2500);
+
+    std::ostringstream os;
+    writePerfetto(os, tl, {});
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+
+    size_t counters = 0, slices = 0, instants = 0;
+    for (const auto &e : doc.find("traceEvents")->array) {
+        const std::string &ph = e.find("ph")->asString();
+        if (ph == "C")
+            ++counters;
+        else if (ph == "X")
+            ++slices;
+        else if (ph == "i")
+            ++instants;
+    }
+    EXPECT_EQ(counters, 1u);
+    EXPECT_EQ(slices, 1u);
+    EXPECT_EQ(instants, 1u);
+}
+
+/**
+ * Quick-scale trained experiment shared by the gated-run tests
+ * (corpus + detector training takes seconds; do it once).
+ */
+const ExperimentSetup &
+sharedSetup()
+{
+    static ExperimentSetup setup =
+        buildExperiment(ExperimentScale::quick(), 13);
+    return setup;
+}
+
+GatedRunConfig
+gatedTimelineConfig(const ExperimentSetup &setup, Timeline *tl)
+{
+    GatedRunConfig cfg;
+    cfg.profile = setup.profile;
+    cfg.adaptive.secureMode = DefenseMode::InvisiSpecFuturistic;
+    cfg.adaptive.secureWindowInsts = 50000;
+    cfg.timeline = tl;
+    return cfg;
+}
+
+TEST(TimelineEndToEnd, SpectrePhtRunShowsFlagThenDefenseSpan)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    Timeline tl;
+    GatedRunConfig cfg = gatedTimelineConfig(setup, &tl);
+    auto atk = AttackRegistry::create("spectre-pht", 9, 25000);
+    GatedRunResult g = runGated(*atk, *setup.evax, cfg);
+    ASSERT_GT(g.flags, 0u);
+
+    // The detector-flag instant exists...
+    const TimelineInstant *flag = nullptr;
+    for (const auto &in : tl.instants()) {
+        if (in.track == "detector.flag" && !flag)
+            flag = &in;
+    }
+    ASSERT_NE(flag, nullptr);
+
+    // ...and the defense-mode span begins within one sampling
+    // window of it (the controller arms inside the same callback).
+    const TimelineSpan *span = nullptr;
+    for (const auto &sp : tl.spans()) {
+        if (sp.track == "defense.mode" && !span)
+            span = &sp;
+    }
+    ASSERT_NE(span, nullptr);
+    EXPECT_EQ(span->label,
+              std::string(
+                  defenseModeName(DefenseMode::InvisiSpecFuturistic)));
+    EXPECT_GE(span->beginInst, flag->inst);
+    EXPECT_LE(span->beginInst - flag->inst, cfg.sampleInterval);
+    EXPECT_FALSE(span->open);
+    EXPECT_GT(span->endInst, span->beginInst);
+
+    // Per-window score/verdict series cover every window, and the
+    // verdict is 1 at the flag instant's window.
+    const TimelineSeries *score = tl.findSeries("detector.score");
+    const TimelineSeries *verdict =
+        tl.findSeries("detector.verdict");
+    ASSERT_NE(score, nullptr);
+    ASSERT_NE(verdict, nullptr);
+    EXPECT_EQ(score->points.size(), g.windows);
+    EXPECT_EQ(verdict->points.size(), g.windows);
+    bool saw_flagged_window = false;
+    for (const auto &p : verdict->points) {
+        if (p.inst == flag->inst && p.value == 1.0)
+            saw_flagged_window = true;
+    }
+    EXPECT_TRUE(saw_flagged_window);
+
+    // Occupancy gauges and per-interval IPC rode along.
+    EXPECT_NE(tl.findSeries("core.ipc"), nullptr);
+    EXPECT_NE(tl.findSeries("core.rob.occupancy"), nullptr);
+
+    // The whole run exports to a Perfetto trace with at least one
+    // counter track and the flag instant, and parses strictly.
+    std::ostringstream os;
+    writePerfetto(os, tl, trace::snapshot());
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    bool has_counter = false, has_flag_instant = false;
+    for (const auto &e : doc.find("traceEvents")->array) {
+        const std::string &ph = e.find("ph")->asString();
+        if (ph == "C")
+            has_counter = true;
+        if (ph == "i" &&
+            e.find("name")->asString() == setup.evax->name()) {
+            has_flag_instant = true;
+        }
+    }
+    EXPECT_TRUE(has_counter);
+    EXPECT_TRUE(has_flag_instant);
+}
+
+/** One gated trial -> its timeline rendered as CSV + JSON. */
+std::string
+timelineDumpForTrial(const ExperimentSetup &setup, size_t trial)
+{
+    Timeline tl;
+    GatedRunConfig cfg = gatedTimelineConfig(setup, &tl);
+    const char *attack = trial % 2 ? "spectre-pht" : "meltdown";
+    auto atk =
+        AttackRegistry::create(attack, 9 + (unsigned)trial, 20000);
+    runGated(*atk, *setup.evax, cfg);
+    std::ostringstream os;
+    tl.writeCsv(os);
+    tl.writeJson(os);
+    return os.str();
+}
+
+TEST(TimelineDeterminism, SerialAndParallelDumpsAreByteIdentical)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    constexpr size_t kTrials = 4;
+
+    unsigned before = globalThreadCount();
+    setGlobalThreadCount(1);
+    std::vector<std::string> serial = parallelMap(
+        kTrials,
+        [&](size_t i) { return timelineDumpForTrial(setup, i); });
+    setGlobalThreadCount(4);
+    std::vector<std::string> parallel = parallelMap(
+        kTrials,
+        [&](size_t i) { return timelineDumpForTrial(setup, i); });
+    setGlobalThreadCount(before);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    std::string all;
+    for (size_t i = 0; i < kTrials; ++i) {
+        EXPECT_EQ(serial[i], parallel[i]) << "trial " << i;
+        all += serial[i];
+    }
+
+    // GoldenSeeds-style pin: any change to timeline content or
+    // formatting must be deliberate (update the digest if so).
+    uint64_t digest = hashBytes(all);
+    EXPECT_EQ(digest, 0x5021139acbf63999ULL)
+        << "actual digest: 0x" << std::hex << digest;
+}
+
+TEST(VaccinationTimeline, TrainingLossesBecomeSeries)
+{
+    VaccinationResult vr;
+    vr.styleLossHistory = {0.9, 0.5, 0.2};
+    vr.lossHistory = {{0.7, 1.2}, {0.6, 1.0}, {0.5, 0.9}};
+    Timeline tl;
+    appendTrainingTimeline(vr, tl);
+    const TimelineSeries *style = tl.findSeries("train.style_loss");
+    const TimelineSeries *disc =
+        tl.findSeries("train.gan.disc_loss");
+    const TimelineSeries *gen = tl.findSeries("train.gan.gen_loss");
+    ASSERT_NE(style, nullptr);
+    ASSERT_NE(disc, nullptr);
+    ASSERT_NE(gen, nullptr);
+    ASSERT_EQ(style->points.size(), 3u);
+    EXPECT_DOUBLE_EQ(style->points[2].value, 0.2);
+    EXPECT_DOUBLE_EQ(disc->points[1].value, 0.6);
+    EXPECT_DOUBLE_EQ(gen->points[0].value, 1.2);
+    EXPECT_EQ(gen->points[2].inst, 2u);
+}
+
+} // anonymous namespace
+} // namespace evax

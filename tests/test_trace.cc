@@ -141,6 +141,29 @@ TEST_F(TraceTest, InternedNamesStable)
     EXPECT_STREQ(a, "dcache");
 }
 
+TEST_F(TraceTest, InternNameIsThreadSafe)
+{
+    // Pool workers intern the same and distinct names concurrently
+    // (the Perfetto re-hydration path in evax_inspect does exactly
+    // this). Pointers for equal strings must converge and stay
+    // stable; runs under the tsan ctest label.
+    constexpr size_t kJobs = 64;
+    std::vector<const char *> shared(kJobs);
+    std::vector<const char *> distinct(kJobs);
+    parallelFor(kJobs, [&](size_t i) {
+        shared[i] = trace::internName("intern.shared");
+        distinct[i] =
+            trace::internName("intern.n" + std::to_string(i % 8));
+    });
+    for (size_t i = 0; i < kJobs; ++i) {
+        EXPECT_EQ(shared[i], shared[0]);
+        EXPECT_STREQ(shared[i], "intern.shared");
+        EXPECT_EQ(distinct[i],
+                  trace::internName("intern.n" +
+                                    std::to_string(i % 8)));
+    }
+}
+
 TEST_F(TraceTest, SnapshotOrderedBySeq)
 {
     trace::setMask(trace::CatCore | trace::CatBench);

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * evax_inspect — offline analysis CLI for the repo's observability
+ * artifacts (docs/OBSERVABILITY.md#evax-inspect).
+ *
+ *   summarize FILE           pretty-print a stats/manifest JSON dump
+ *   timeline FILE            per-interval tables from a timeline JSON
+ *   diff A B [flags]         relative-tolerance numeric comparison;
+ *                            exit 1 on regression (CI gate)
+ *   export-perfetto [flags]  trace JSONL + timeline JSON -> Perfetto
+ *   demo [--out-dir D]       short Spectre-PHT gated sim emitting
+ *                            one of every artifact (CI smoke)
+ *
+ * Exit codes: 0 ok, 1 comparison failed (diff only), 2 usage or
+ * input error.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.hh"
+#include "core/endtoend.hh"
+#include "core/experiment.hh"
+#include "util/json.hh"
+#include "util/log.hh"
+#include "util/manifest.hh"
+#include "util/statreg.hh"
+#include "util/timeline.hh"
+#include "util/trace_export.hh"
+
+using namespace evax;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: evax_inspect <command> [args]\n"
+        "\n"
+        "  summarize FILE.json\n"
+        "      flatten a stats/manifest/benchmark dump into sorted\n"
+        "      path = value lines\n"
+        "  timeline FILE.json [--series NAME]\n"
+        "      print per-interval tables, spans and instants\n"
+        "  diff A.json B.json [--tolerance F] [--filter SUBSTR]\n"
+        "       [--allow-missing]\n"
+        "      compare every numeric leaf; exit 1 when any path\n"
+        "      moves more than the relative tolerance\n"
+        "  export-perfetto --out FILE [--trace FILE.jsonl]\n"
+        "       [--timeline FILE.json]\n"
+        "      convert dumps to Chrome trace-event JSON\n"
+        "      (load at ui.perfetto.dev)\n"
+        "  demo [--out-dir DIR]\n"
+        "      run a short Spectre-PHT gated sim and emit stats,\n"
+        "      timeline, trace, Perfetto and manifest artifacts\n";
+    return 2;
+}
+
+bool
+loadJson(const std::string &path, json::Value &out)
+{
+    std::string err;
+    if (!json::parseFile(path, out, &err)) {
+        std::cerr << "evax_inspect: " << path << ": " << err
+                  << "\n";
+        return false;
+    }
+    return true;
+}
+
+int
+cmdSummarize(const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage();
+    json::Value doc;
+    if (!loadJson(args[0], doc))
+        return 2;
+    std::map<std::string, double> flat = json::flattenNumeric(doc);
+    size_t width = 0;
+    for (const auto &kv : flat)
+        width = std::max(width, kv.first.size());
+    for (const auto &kv : flat) {
+        std::cout << std::left << std::setw((int)width + 2)
+                  << kv.first << kv.second << "\n";
+    }
+    std::cout << "[" << flat.size() << " numeric paths in "
+              << args[0] << "]\n";
+    return 0;
+}
+
+int
+cmdTimeline(const std::vector<std::string> &args)
+{
+    std::string path, only;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--series" && i + 1 < args.size())
+            only = args[++i];
+        else if (path.empty())
+            path = args[i];
+        else
+            return usage();
+    }
+    if (path.empty())
+        return usage();
+    json::Value doc;
+    if (!loadJson(path, doc))
+        return 2;
+    Timeline tl;
+    std::string err;
+    if (!Timeline::fromJson(doc, tl, &err)) {
+        std::cerr << "evax_inspect: " << path << ": " << err
+                  << "\n";
+        return 2;
+    }
+    for (const auto &s : tl.allSeries()) {
+        if (!only.empty() && s.name != only)
+            continue;
+        std::cout << "series " << s.name;
+        if (!s.unit.empty())
+            std::cout << " (" << s.unit << ")";
+        if (s.delta)
+            std::cout << " [delta]";
+        std::cout << "  " << s.points.size() << " points\n";
+        std::cout << "  inst        cycle       value\n";
+        for (const auto &p : s.points) {
+            std::cout << "  " << std::left << std::setw(12)
+                      << p.inst << std::setw(12) << p.cycle
+                      << p.value << "\n";
+        }
+    }
+    if (only.empty()) {
+        for (const auto &sp : tl.spans()) {
+            std::cout << "span " << sp.track << " '" << sp.label
+                      << "' insts [" << sp.beginInst << ", "
+                      << sp.endInst << "] cycles ["
+                      << sp.beginCycle << ", " << sp.endCycle
+                      << "]\n";
+        }
+        for (const auto &in : tl.instants()) {
+            std::cout << "instant " << in.track << " '" << in.label
+                      << "' at inst " << in.inst << " cycle "
+                      << in.cycle << "\n";
+        }
+    }
+    return 0;
+}
+
+int
+cmdDiff(const std::vector<std::string> &args)
+{
+    std::string a, b;
+    json::DiffOptions opt;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--tolerance" && i + 1 < args.size())
+            opt.tolerance = std::strtod(args[++i].c_str(), nullptr);
+        else if (args[i] == "--filter" && i + 1 < args.size())
+            opt.filter = args[++i];
+        else if (args[i] == "--allow-missing")
+            opt.allowMissing = true;
+        else if (a.empty())
+            a = args[i];
+        else if (b.empty())
+            b = args[i];
+        else
+            return usage();
+    }
+    if (a.empty() || b.empty())
+        return usage();
+    json::Value da, db;
+    if (!loadJson(a, da) || !loadJson(b, db))
+        return 2;
+    json::DiffReport report = json::diffNumeric(da, db, opt);
+    for (const auto &e : report.entries) {
+        if (e.ok)
+            continue;
+        if (e.missingInA || e.missingInB) {
+            std::cout << "MISSING " << e.path << " (only in "
+                      << (e.missingInA ? "B" : "A") << ")\n";
+            continue;
+        }
+        std::cout << "FAIL " << e.path << "  a=" << e.a
+                  << "  b=" << e.b << "  ratio=" << e.ratio << "\n";
+    }
+    std::cout << "[compared " << report.compared << " paths, "
+              << report.failures << " failure"
+              << (report.failures == 1 ? "" : "s")
+              << " at tolerance " << opt.tolerance << "]\n";
+    return report.ok() ? 0 : 1;
+}
+
+int
+cmdExportPerfetto(const std::vector<std::string> &args)
+{
+    std::string out, tracePath, timelinePath;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--out" && i + 1 < args.size())
+            out = args[++i];
+        else if (args[i] == "--trace" && i + 1 < args.size())
+            tracePath = args[++i];
+        else if (args[i] == "--timeline" && i + 1 < args.size())
+            timelinePath = args[++i];
+        else
+            return usage();
+    }
+    if (out.empty() || (tracePath.empty() && timelinePath.empty()))
+        return usage();
+
+    Timeline tl;
+    if (!timelinePath.empty()) {
+        json::Value doc;
+        if (!loadJson(timelinePath, doc))
+            return 2;
+        std::string err;
+        if (!Timeline::fromJson(doc, tl, &err)) {
+            std::cerr << "evax_inspect: " << timelinePath << ": "
+                      << err << "\n";
+            return 2;
+        }
+    }
+
+    // Re-hydrate trace JSONL records; names are re-owned through
+    // the intern table so the Records' const char* stay valid.
+    std::vector<trace::Record> records;
+    if (!tracePath.empty()) {
+        std::ifstream in(tracePath);
+        if (!in) {
+            std::cerr << "evax_inspect: cannot read " << tracePath
+                      << "\n";
+            return 2;
+        }
+        std::string line;
+        size_t lineno = 0;
+        while (std::getline(in, line)) {
+            ++lineno;
+            if (line.empty())
+                continue;
+            json::Value rec;
+            std::string err;
+            if (!json::parse(line, rec, &err)) {
+                std::cerr << "evax_inspect: " << tracePath << ":"
+                          << lineno << ": " << err << "\n";
+                return 2;
+            }
+            trace::Record r;
+            if (const json::Value *v = rec.find("seq"))
+                r.seq = (uint64_t)v->asNumber();
+            if (const json::Value *v = rec.find("cycle"))
+                r.cycle = (uint64_t)v->asNumber();
+            if (const json::Value *v = rec.find("arg"))
+                r.arg = (uint64_t)v->asNumber();
+            if (const json::Value *v = rec.find("component"))
+                r.component = trace::internName(v->asString());
+            if (const json::Value *v = rec.find("event"))
+                r.event = trace::internName(v->asString());
+            if (const json::Value *v = rec.find("cat")) {
+                uint32_t mask = 0;
+                if (trace::parseMask(v->asString(), mask))
+                    r.category = mask;
+            }
+            records.push_back(r);
+        }
+    }
+
+    if (!savePerfetto(out, tl, records)) {
+        std::cerr << "evax_inspect: cannot write " << out << "\n";
+        return 2;
+    }
+    std::cout << "[perfetto: " << out << " ("
+              << tl.allSeries().size() << " series, "
+              << records.size() << " trace records)]\n";
+    return 0;
+}
+
+int
+cmdDemo(const std::vector<std::string> &args)
+{
+    std::string dir = ".";
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--out-dir" && i + 1 < args.size())
+            dir = args[++i];
+        else
+            return usage();
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::cerr << "evax_inspect: cannot create " << dir << ": "
+                  << ec.message() << "\n";
+        return 2;
+    }
+    auto at = [&dir](const std::string &name) {
+        return dir + "/" + name;
+    };
+
+    RunManifest manifest = RunManifest::forTool("evax_inspect-demo");
+    manifest.addSeed(13);
+    manifest.addSeed(9);
+    manifest.setConfig("attack", "spectre-pht");
+    manifest.setConfig("attack_len", (uint64_t)25000);
+    manifest.setConfig("secure_window_insts", (uint64_t)50000);
+
+    // The fig15-style quick configuration: collect a corpus, train
+    // the EVAX detector, then gate a Spectre-PHT stream — seconds,
+    // not minutes, and it flags reliably (see test_integration).
+    ExperimentScale scale = ExperimentScale::quick();
+    ExperimentSetup setup = buildExperiment(scale, 13);
+
+    // Trace only the gated run, not the setup collection.
+    trace::setMask(trace::CatDetect | trace::CatDefense |
+                   trace::CatCore);
+    trace::clear();
+
+    Timeline tl;
+    StatRegistry stats;
+    GatedRunConfig cfg;
+    cfg.profile = setup.profile;
+    cfg.adaptive.secureMode = DefenseMode::InvisiSpecFuturistic;
+    cfg.adaptive.secureWindowInsts = 50000;
+    cfg.stats = &stats;
+    cfg.timeline = &tl;
+
+    auto atk = AttackRegistry::create("spectre-pht", 9, 25000);
+    GatedRunResult g = runGated(*atk, *setup.evax, cfg);
+    std::cout << "[demo: " << g.windows << " windows, " << g.flags
+              << " flags, " << g.activations << " activations]\n";
+
+    bool ok = true;
+    auto emit = [&](const std::string &name, bool saved) {
+        if (saved) {
+            manifest.addArtifact(at(name));
+            std::cout << "[wrote " << at(name) << "]\n";
+        } else {
+            std::cerr << "evax_inspect: cannot write " << at(name)
+                      << "\n";
+            ok = false;
+        }
+    };
+
+    emit("demo_stats.json",
+         stats.saveStats(at("demo_stats.json"),
+                         StatsFormat::Json));
+    emit("demo_timeline.json", tl.saveJson(at("demo_timeline.json")));
+    emit("demo_timeline.csv", tl.saveCsv(at("demo_timeline.csv")));
+    {
+        std::ofstream out(at("demo_trace.jsonl"));
+        if (out)
+            trace::writeJsonl(out);
+        emit("demo_trace.jsonl", (bool)out);
+    }
+    emit("demo_perfetto.json",
+         savePerfetto(at("demo_perfetto.json"), tl,
+                      trace::snapshot()));
+    emit("manifest.json", manifest.save(at("manifest.json")));
+    return ok ? 0 : 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (cmd == "summarize")
+        return cmdSummarize(args);
+    if (cmd == "timeline")
+        return cmdTimeline(args);
+    if (cmd == "diff")
+        return cmdDiff(args);
+    if (cmd == "export-perfetto")
+        return cmdExportPerfetto(args);
+    if (cmd == "demo")
+        return cmdDemo(args);
+    std::cerr << "evax_inspect: unknown command '" << cmd << "'\n";
+    return usage();
+}
