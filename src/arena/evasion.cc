@@ -1,0 +1,329 @@
+#include "arena/evasion.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+#include "util/parallel.hh"
+#include "verify/diff_runner.hh"
+
+namespace evax
+{
+
+const char *
+evasionStrategyName(EvasionStrategy s)
+{
+    switch (s) {
+      case EvasionStrategy::Dilute:
+        return "dilute";
+      case EvasionStrategy::Throttle:
+        return "throttle";
+      case EvasionStrategy::GradientMask:
+        return "gradient";
+    }
+    return "?";
+}
+
+EvasionStrategy
+evasionStrategyFromName(const std::string &name)
+{
+    if (name == "dilute")
+        return EvasionStrategy::Dilute;
+    if (name == "throttle")
+        return EvasionStrategy::Throttle;
+    if (name == "gradient")
+        return EvasionStrategy::GradientMask;
+    fatal("unknown evasion strategy '%s' "
+          "(know dilute, throttle, gradient)",
+          name.c_str());
+}
+
+bool
+EvasionBudget::withinKnobs(const EvasionKnobs &k) const
+{
+    return k.nopPadding <= maxPadding &&
+           k.interleaveBenign <= maxInterleave &&
+           k.throttle <= maxThrottle && k.intensity >= minIntensity &&
+           k.intensity <= 1.0;
+}
+
+const EvasionCandidate &
+EvasionReport::best() const
+{
+    if (bestIndex < 0 || (size_t)bestIndex >= candidates.size())
+        fatal("EvasionReport: no evader for '%s'", attack.c_str());
+    return candidates[bestIndex];
+}
+
+EvasionAttacker::EvasionAttacker(const EvasionConfig &config,
+                                 const NormalizationProfile &profile)
+    : config_(config), profile_(profile)
+{
+    if (config_.strategies.empty())
+        fatal("EvasionAttacker: no strategies configured");
+    if (config_.candidatesPerStrategy == 0)
+        fatal("EvasionAttacker: zero candidates per strategy");
+}
+
+uint64_t
+EvasionAttacker::streamSeed(const std::string &attack_name) const
+{
+    // Stable per (config seed, attack class): the same attack
+    // probes with the same base stream across rounds; variant
+    // diversity comes from knobs.seed.
+    return deriveTaskSeed(config_.seed,
+                          (uint64_t)AttackRegistry::classId(
+                              attack_name));
+}
+
+WindowCapture
+EvasionAttacker::probe(const std::string &attack_name,
+                       const EvasionKnobs &knobs,
+                       const Detector *detector) const
+{
+    auto kernel = AttackRegistry::create(
+        attack_name, streamSeed(attack_name), config_.attackLength,
+        knobs);
+    GatedRunConfig grc;
+    grc.sampleInterval = config_.sampleInterval;
+    grc.profile = profile_;
+    grc.coreParams = config_.coreParams;
+    return captureWindows(*kernel, detector, grc);
+}
+
+bool
+EvasionAttacker::verifyVariant(const std::string &attack_name,
+                               const EvasionKnobs &knobs,
+                               uint64_t *effect_out) const
+{
+    if (effect_out) {
+        WindowCapture cap = probe(attack_name, knobs, nullptr);
+        *effect_out = cap.sim.leaks + cap.sim.bitFlips;
+    }
+    DiffRunner runner(config_.coreParams, DefenseMode::None);
+    uint64_t seed = streamSeed(attack_name);
+    DiffReport report = runner.run([&] {
+        return AttackRegistry::create(attack_name, seed,
+                                      config_.attackLength, knobs);
+    });
+    return report.ok();
+}
+
+EvasionCandidate
+EvasionAttacker::evaluate(const std::string &attack_name,
+                          const EvasionKnobs &knobs,
+                          const Detector &detector,
+                          EvasionStrategy strategy) const
+{
+    EvasionCandidate cand;
+    cand.attack = attack_name;
+    cand.strategy = strategy;
+    cand.knobs = knobs;
+
+    WindowCapture cap = probe(attack_name, knobs, &detector);
+    cand.flagRate = cap.flagRate();
+    cand.detected = cap.detected();
+    cand.effect = cap.sim.leaks + cap.sim.bitFlips;
+
+    double sum = 0.0;
+    for (const auto &s : cap.windows.samples) {
+        std::vector<double> x = s.x;
+        profile_.apply(x);
+        sum += detector.score(x);
+    }
+    cand.meanScore = cap.windows.samples.empty()
+                         ? 0.0
+                         : sum / (double)cap.windows.samples.size();
+
+    // The oracle is the expensive half; only candidates that
+    // actually slipped past the detector earn a co-run with the
+    // reference core.
+    if (!cand.detected) {
+        cand.oracleOk = !config_.verifyEffect ||
+                        verifyVariant(attack_name, knobs);
+    }
+    cand.effectPreserved =
+        cand.oracleOk && cand.effect >= config_.budget.minEffect;
+    return cand;
+}
+
+EvasionKnobs
+EvasionAttacker::ladderKnobs(EvasionStrategy s, unsigned rung,
+                             unsigned round) const
+{
+    // Deterministic escalation ladder: rung r applies fraction
+    // (r+1)/N of the budget. The attacker starts subtle and
+    // escalates until something slips past.
+    const EvasionBudget &b = config_.budget;
+    double frac =
+        (double)(rung + 1) / (double)config_.candidatesPerStrategy;
+    EvasionKnobs k;
+    k.seed = deriveTaskSeed(config_.seed ^ 0x1add3d,
+                            ((uint64_t)round << 16) |
+                                ((uint64_t)s << 8) | rung);
+    switch (s) {
+      case EvasionStrategy::Dilute:
+        k.nopPadding = (unsigned)std::lround(frac * b.maxPadding);
+        k.interleaveBenign = frac * b.maxInterleave;
+        break;
+      case EvasionStrategy::Throttle:
+        k.throttle = (unsigned)std::lround(frac * b.maxThrottle);
+        k.intensity = 1.0 - frac * (1.0 - b.minIntensity);
+        break;
+      case EvasionStrategy::GradientMask:
+        fatal("GradientMask has no ladder");
+    }
+    return k;
+}
+
+double
+EvasionAttacker::surrogateScore(const std::string &attack_name,
+                                const EvasionKnobs &knobs,
+                                const EvaxDetector &surrogate) const
+{
+    WindowCapture cap = probe(attack_name, knobs, nullptr);
+    if (cap.windows.samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : cap.windows.samples) {
+        std::vector<double> x = s.x;
+        profile_.apply(x);
+        sum += surrogate.score(x);
+    }
+    return sum / (double)cap.windows.samples.size();
+}
+
+std::vector<EvasionKnobs>
+EvasionAttacker::gradientTrajectory(const std::string &attack_name,
+                                    const EvaxDetector &surrogate,
+                                    unsigned round) const
+{
+    // White-box hill-climb: descend the stolen perceptron's mean
+    // window score along the knob axes. Each iteration proposes
+    // one step per axis (sized so gradientIters steps can span the
+    // budget), keeps the proposal that lowers the surrogate score
+    // most, and stops when no axis helps — projected gradient
+    // descent over the attacker's physical control surface.
+    const EvasionBudget &b = config_.budget;
+    unsigned iters = std::max(1u, config_.gradientIters);
+    unsigned pad_step =
+        std::max(1u, (unsigned)(b.maxPadding / iters));
+    double il_step = b.maxInterleave / (double)iters;
+    unsigned thr_step =
+        std::max(1u, (unsigned)(b.maxThrottle / iters));
+    double int_step = (1.0 - b.minIntensity) / (double)iters;
+
+    EvasionKnobs cur;
+    cur.seed = deriveTaskSeed(config_.seed ^ 0x9aad, round);
+    double cur_score =
+        surrogateScore(attack_name, cur, surrogate);
+    std::vector<EvasionKnobs> trajectory;
+    for (unsigned it = 0; it < iters; ++it) {
+        std::vector<EvasionKnobs> moves;
+        EvasionKnobs m = cur;
+        m.nopPadding =
+            std::min(b.maxPadding, m.nopPadding + pad_step);
+        moves.push_back(m);
+        m = cur;
+        m.interleaveBenign = std::min(
+            b.maxInterleave, m.interleaveBenign + il_step);
+        moves.push_back(m);
+        m = cur;
+        m.throttle = std::min(b.maxThrottle, m.throttle + thr_step);
+        moves.push_back(m);
+        m = cur;
+        m.intensity =
+            std::max(b.minIntensity, m.intensity - int_step);
+        moves.push_back(m);
+
+        std::vector<double> scores = parallelMap(
+            moves.size(), [&](size_t i) {
+                return surrogateScore(attack_name, moves[i],
+                                      surrogate);
+            });
+        size_t best = 0;
+        for (size_t i = 1; i < scores.size(); ++i) {
+            if (scores[i] < scores[best])
+                best = i;
+        }
+        if (scores[best] >= cur_score)
+            break; // no axis lowers the stolen model's score
+        cur = moves[best];
+        cur_score = scores[best];
+        trajectory.push_back(cur);
+    }
+    return trajectory;
+}
+
+EvasionReport
+EvasionAttacker::search(const std::string &attack_name,
+                        const Detector &detector,
+                        const EvaxDetector &surrogate,
+                        unsigned round) const
+{
+    EvasionReport report;
+    report.attack = attack_name;
+
+    // Assemble the candidate list deterministically, then fan the
+    // (independent) evaluations out over the pool.
+    std::vector<std::pair<EvasionStrategy, EvasionKnobs>> cands;
+    for (EvasionStrategy s : config_.strategies) {
+        if (s == EvasionStrategy::GradientMask) {
+            for (const EvasionKnobs &k :
+                 gradientTrajectory(attack_name, surrogate, round))
+                cands.emplace_back(s, k);
+        } else {
+            for (unsigned r = 0; r < config_.candidatesPerStrategy;
+                 ++r)
+                cands.emplace_back(s, ladderKnobs(s, r, round));
+        }
+    }
+
+    report.candidates = parallelMap(cands.size(), [&](size_t i) {
+        return evaluate(attack_name, cands[i].second, detector,
+                        cands[i].first);
+    });
+
+    // Winner: the confirmed evader the detector is most wrong
+    // about (min flag rate, then min mean score, then first).
+    for (size_t i = 0; i < report.candidates.size(); ++i) {
+        const EvasionCandidate &c = report.candidates[i];
+        if (!c.evaded())
+            continue;
+        if (report.bestIndex < 0)
+            report.bestIndex = (int)i;
+        else {
+            const EvasionCandidate &b =
+                report.candidates[report.bestIndex];
+            if (c.flagRate < b.flagRate ||
+                (c.flagRate == b.flagRate &&
+                 c.meanScore < b.meanScore))
+                report.bestIndex = (int)i;
+        }
+    }
+
+    // Harvest the evader corpus: the near-boundary windows of
+    // every confirmed evader, labeled for retraining (see
+    // EvasionConfig::harvestScoreFraction).
+    int class_id = AttackRegistry::classId(attack_name);
+    report.evaderWindows.classNames = AttackRegistry::classNames();
+    double floor = config_.harvestScoreFraction *
+                   surrogate.model().threshold();
+    for (const EvasionCandidate &c : report.candidates) {
+        if (!c.evaded())
+            continue;
+        WindowCapture cap = probe(attack_name, c.knobs, nullptr);
+        for (auto &s : cap.windows.samples) {
+            std::vector<double> x = s.x;
+            profile_.apply(x);
+            if (surrogate.score(x) < floor)
+                continue;
+            s.attackClass = class_id;
+            s.malicious = true;
+            report.evaderWindows.add(std::move(s));
+        }
+    }
+    return report;
+}
+
+} // namespace evax

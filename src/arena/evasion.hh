@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The attacker side of the adversarial arms-race arena: searches
+ * the structural evasion space (EvasionKnobs) of a registered
+ * attack kernel for variants the deployed detector misses while
+ * the differential oracle (verify/diff_runner.hh) confirms the
+ * variant still has its architectural effect — an evasion that
+ * also destroys the leak is not an evasion, it is a patch.
+ *
+ * Three strategies, escalating in knowledge of the defender:
+ *
+ *  - Dilute: benign micro-op padding plus benign-burst
+ *    interleaving — the black-box "hide in benign work" move.
+ *  - Throttle: probe-rate throttling plus intensity reduction —
+ *    the black-box "go low and slow" move.
+ *  - GradientMask: white-box feature masking. The attacker steals
+ *    the deployed perceptron (the arena hands it member 0 of the
+ *    ensemble as a surrogate) and hill-climbs the knob space
+ *    against the stolen model's mean window score — projected
+ *    gradient descent on w.x + b over the only directions the
+ *    attacker physically controls. Features with large positive
+ *    weights (squashed loads, flush bursts) are what padding,
+ *    interleaving and attenuation dilute.
+ *
+ * Reproducibility contract: every candidate's knobs and kernel
+ * seeds derive from (config.seed, attack class, round, index) via
+ * deriveTaskSeed, and candidates are evaluated with parallelMap,
+ * so a search is byte-identical at any thread count.
+ */
+
+#ifndef EVAX_ARENA_EVASION_HH
+#define EVAX_ARENA_EVASION_HH
+
+#include <string>
+#include <vector>
+
+#include "attacks/registry.hh"
+#include "core/collector.hh"
+#include "core/endtoend.hh"
+#include "detect/evax_detector.hh"
+
+namespace evax
+{
+
+/** Attacker playbook entries. */
+enum class EvasionStrategy
+{
+    Dilute,       ///< padding + benign interleave
+    Throttle,     ///< rate throttling + intensity reduction
+    GradientMask, ///< white-box hill-climb vs. stolen weights
+};
+
+/** Stable name for CSV/CLI ("dilute", "throttle", "gradient"). */
+const char *evasionStrategyName(EvasionStrategy s);
+
+/** Parse a strategy name (fatal on unknown). */
+EvasionStrategy evasionStrategyFromName(const std::string &name);
+
+/**
+ * Hard limits on the perturbations an evader may apply — the
+ * arena's stand-in for "the attack must still fit its delivery
+ * vector". Property tests pin that no searched candidate ever
+ * exceeds them.
+ */
+struct EvasionBudget
+{
+    unsigned maxPadding = 128;
+    double maxInterleave = 0.8;
+    unsigned maxThrottle = 32;
+    /** Intensity may be reduced to this floor, never below. */
+    double minIntensity = 0.25;
+    /** Leaks+bit-flips the probe run must still exhibit. */
+    uint64_t minEffect = 1;
+
+    /** Knob-space check (effect is checked separately). */
+    bool withinKnobs(const EvasionKnobs &k) const;
+};
+
+/** Evasion search configuration. */
+struct EvasionConfig
+{
+    std::vector<EvasionStrategy> strategies = {
+        EvasionStrategy::Dilute,
+        EvasionStrategy::Throttle,
+        EvasionStrategy::GradientMask,
+    };
+    /**
+     * Ladder rungs per black-box strategy. The defaults are the
+     * demonstration configuration the acceptance gates are pinned
+     * on; more rungs / hill-climb steps (CLI --candidates/--iters)
+     * buy a stronger attacker whose evaders the defender no longer
+     * fully recovers at window level.
+     */
+    unsigned candidatesPerStrategy = 4;
+    /** Hill-climb steps for GradientMask. */
+    unsigned gradientIters = 3;
+    EvasionBudget budget;
+    /** Micro-ops per probe run. */
+    uint64_t attackLength = 8000;
+    uint64_t sampleInterval = 1000;
+    CoreParams coreParams;
+    /** Run the diff oracle on undetected candidates. */
+    bool verifyEffect = true;
+    /**
+     * Harvest gate for the defender's retraining corpus: an
+     * evader run's window is kept only when its surrogate score
+     * is at least this fraction of the surrogate's threshold —
+     * i.e. it is near-boundary, attack-ish but sub-threshold.
+     * Diluted runs are mostly benign filler windows; labeling
+     * those malicious poisons retraining (the tuned FP budget
+     * forces the threshold up), so only the windows the evasion
+     * actually slipped under the wire are harvested.
+     */
+    double harvestScoreFraction = 0.5;
+    uint64_t seed = 0xa77ac;
+};
+
+/** One evaluated attack variant. */
+struct EvasionCandidate
+{
+    std::string attack;
+    EvasionStrategy strategy = EvasionStrategy::Dilute;
+    EvasionKnobs knobs;
+    /** Flagged fraction of the probe run's windows. */
+    double flagRate = 1.0;
+    /** Mean detector score over the probe run's windows. */
+    double meanScore = 0.0;
+    /** Run-level verdict (>= 1 window flagged). */
+    bool detected = true;
+    /** Leaks + bit flips the probe run exhibited. */
+    uint64_t effect = 0;
+    /** Diff oracle passed (vacuously true when skipped). */
+    bool oracleOk = false;
+    /** oracleOk && effect >= budget.minEffect. */
+    bool effectPreserved = false;
+
+    /** A confirmed evasion: slipped past AND still an attack. */
+    bool evaded() const { return !detected && effectPreserved; }
+};
+
+/** Outcome of one attack's evasion search. */
+struct EvasionReport
+{
+    std::string attack;
+    /** Every evaluated candidate, in deterministic order. */
+    std::vector<EvasionCandidate> candidates;
+    /** Winner index in candidates, or -1 (no confirmed evader). */
+    int bestIndex = -1;
+    /**
+     * RAW windows captured from confirmed evaders' probe runs,
+     * labeled with the attack's class — the corpus the defender's
+     * vaccination retraining consumes.
+     */
+    Dataset evaderWindows;
+
+    bool hasEvader() const { return bestIndex >= 0; }
+    /** Winner accessor (fatal when hasEvader() is false). */
+    const EvasionCandidate &best() const;
+};
+
+/** Searches the evasion space of one attack against one detector. */
+class EvasionAttacker
+{
+  public:
+    /**
+     * @param profile frozen normalization the deployed detector
+     *        scores under (the attacker observes deployment)
+     */
+    EvasionAttacker(const EvasionConfig &config,
+                    const NormalizationProfile &profile);
+
+    /**
+     * Run every configured strategy against @p detector.
+     * @param surrogate the stolen model for GradientMask (the
+     *        arena passes ensemble member 0)
+     * @param round salts candidate seeds so each arms-race round
+     *        explores fresh variants
+     */
+    EvasionReport search(const std::string &attack_name,
+                         const Detector &detector,
+                         const EvaxDetector &surrogate,
+                         unsigned round) const;
+
+    /** Evaluate one concrete variant against a detector. */
+    EvasionCandidate evaluate(const std::string &attack_name,
+                              const EvasionKnobs &knobs,
+                              const Detector &detector,
+                              EvasionStrategy strategy) const;
+
+    /**
+     * Diff-oracle check alone: co-run the variant on the O3 core
+     * and the in-order reference. @return oracle verdict (ok())
+     * and, via @p effect_out, the probe run's leak+flip count.
+     */
+    bool verifyVariant(const std::string &attack_name,
+                       const EvasionKnobs &knobs,
+                       uint64_t *effect_out = nullptr) const;
+
+    /**
+     * One probe simulation of a variant (null detector skips
+     * scoring). The tournament reuses this to re-score surviving
+     * evader variants against a retrained detector.
+     */
+    WindowCapture probe(const std::string &attack_name,
+                        const EvasionKnobs &knobs,
+                        const Detector *detector) const;
+
+    const EvasionConfig &config() const { return config_; }
+
+  private:
+    /** Deterministic kernel seed for one attack's probe runs. */
+    uint64_t streamSeed(const std::string &attack_name) const;
+    /** Candidate knob sets for one black-box strategy rung. */
+    EvasionKnobs ladderKnobs(EvasionStrategy s, unsigned rung,
+                             unsigned round) const;
+    /** White-box hill-climb trajectory (GradientMask). */
+    std::vector<EvasionKnobs> gradientTrajectory(
+        const std::string &attack_name,
+        const EvaxDetector &surrogate, unsigned round) const;
+    /** Mean surrogate score of a variant's windows. */
+    double surrogateScore(const std::string &attack_name,
+                          const EvasionKnobs &knobs,
+                          const EvaxDetector &surrogate) const;
+
+    EvasionConfig config_;
+    NormalizationProfile profile_;
+};
+
+} // namespace evax
+
+#endif // EVAX_ARENA_EVASION_HH

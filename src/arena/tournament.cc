@@ -1,0 +1,309 @@
+#include "arena/tournament.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "util/log.hh"
+#include "util/parallel.hh"
+#include "util/timeline.hh"
+
+namespace evax
+{
+
+Tournament::Tournament(const TournamentConfig &config)
+    : config_(config)
+{
+    if (config_.rounds == 0)
+        fatal("Tournament: zero rounds");
+    if (config_.attacks.empty())
+        fatal("Tournament: empty attack roster");
+    if (config_.probesPerAttack == 0)
+        fatal("Tournament: zero probes per attack");
+    for (const auto &name : config_.attacks) {
+        if (!AttackRegistry::isRegistered(name))
+            fatal("Tournament: unknown attack '%s'", name.c_str());
+    }
+}
+
+std::unique_ptr<DetectorEnsemble>
+Tournament::makeEnsemble(
+    unsigned round,
+    const std::vector<EngineeredFeature> *mined) const
+{
+    EnsembleConfig ec = config_.ensemble;
+    ec.seed = deriveTaskSeed(config_.seed ^ 0xde7ec7, round);
+    if (mined && !mined->empty()) {
+        // Union, not replacement: the static catalog carries the
+        // stock-attack separations; the freshly mined HPCs add
+        // the directions the evaders hid along.
+        for (const auto &f : *mined)
+            ec.engineered.push_back(f);
+    }
+    return std::make_unique<DetectorEnsemble>(ec);
+}
+
+TournamentResult
+Tournament::run()
+{
+    TournamentResult result;
+
+    // --- Setup: corpus, profile, round-0 (traditional) defender.
+    // The arms race starts from the traditionally-trained detector
+    // the paper's evasion study targets; vaccination is the
+    // defender's *move*, made in response to confirmed evaders.
+    CollectorConfig ccfg = config_.scale.collector;
+    ccfg.seed = deriveTaskSeed(config_.seed, 1);
+    Collector collector(ccfg);
+    Dataset corpus = collector.collectCorpus();
+    result.profile = Collector::normalize(corpus);
+
+    std::shared_ptr<DetectorEnsemble> detector =
+        makeEnsemble(0, nullptr);
+    {
+        Rng rng(deriveTaskSeed(config_.seed, 2));
+        detector->train(corpus, config_.scale.trainEpochs, rng);
+        detector->tune(corpus, config_.scale.maxFpr);
+    }
+
+    // The attacker probes under deployment conditions: same core,
+    // same sampling cadence, same frozen normalization.
+    EvasionConfig ecfg = config_.evasion;
+    ecfg.coreParams = ccfg.coreParams;
+    ecfg.sampleInterval = ccfg.sampleInterval;
+    EvasionAttacker attacker(ecfg, result.profile);
+
+    // Accumulated evader corpus (raw windows + variant specs).
+    Dataset evader_windows;
+    evader_windows.classNames = AttackRegistry::classNames();
+
+    Timeline *tl = config_.timeline;
+    if (tl) {
+        tl->series("arena.stock_detection", "rate");
+        tl->series("arena.evasion_rate", "rate");
+        tl->series("arena.recovered_detection", "rate");
+        tl->series("arena.evader_windows", "windows");
+    }
+
+    for (unsigned round = 0; round < config_.rounds; ++round) {
+        size_t span = 0;
+        if (tl) {
+            span = tl->beginSpan("arena.round",
+                                 "round " + std::to_string(round),
+                                 round, round);
+        }
+
+        // --- 1. Measure the deployed detector on stock kernels.
+        unsigned probes = config_.probesPerAttack;
+        struct StockStats
+        {
+            double flagRate = 0.0;
+            double detection = 0.0;
+        };
+        std::vector<StockStats> stock = parallelMap(
+            config_.attacks.size(), [&](size_t a) {
+                StockStats st;
+                for (unsigned p = 0; p < probes; ++p) {
+                    EvasionKnobs pk; // stock: only the seed varies
+                    pk.seed = deriveTaskSeed(
+                        config_.seed ^ 0x57c0, (uint64_t)p);
+                    WindowCapture cap = attacker.probe(
+                        config_.attacks[a], pk, detector.get());
+                    st.flagRate += cap.flagRate();
+                    st.detection += cap.detected() ? 1.0 : 0.0;
+                }
+                st.flagRate /= probes;
+                st.detection /= probes;
+                return st;
+            });
+
+        // --- 2. Attacker adapts.
+        std::vector<EvasionReport> reports;
+        reports.reserve(config_.attacks.size());
+        for (const auto &name : config_.attacks) {
+            reports.push_back(attacker.search(
+                name, *detector, detector->member(0), round));
+        }
+
+        RoundSummary summary;
+        summary.round = round;
+        size_t round_first_variant = result.evaderVariants.size();
+        std::vector<int> best_variant(config_.attacks.size(), -1);
+        size_t new_windows = 0;
+        for (size_t a = 0; a < config_.attacks.size(); ++a) {
+            summary.stockDetection += stock[a].detection;
+            const EvasionReport &rep = reports[a];
+            if (rep.hasEvader()) {
+                summary.evasionRate += 1.0;
+                best_variant[a] = (int)result.evaderVariants.size();
+                EvaderVariant v;
+                v.attack = rep.attack;
+                v.knobs = rep.best().knobs;
+                v.foundInRound = round;
+                result.evaderVariants.push_back(std::move(v));
+                new_windows += rep.evaderWindows.size();
+                evader_windows.append(rep.evaderWindows);
+                if (tl) {
+                    tl->addInstant(
+                        "arena.evader",
+                        rep.attack + "/" +
+                            evasionStrategyName(
+                                rep.best().strategy),
+                        round, round);
+                }
+            } else {
+                // No confirmed evader: the detector holds this
+                // attack, so the roster's evader-detection term
+                // counts it as caught.
+                summary.evaderDetection += 1.0;
+            }
+        }
+        summary.stockDetection /= config_.attacks.size();
+        summary.evasionRate /= config_.attacks.size();
+        summary.evaderDetection /= config_.attacks.size();
+        summary.evaderWindows = new_windows;
+
+        // --- 3. Defender retrains (vaccination consumes evaders).
+        std::shared_ptr<DetectorEnsemble> retrained = detector;
+        if (!evader_windows.samples.empty()) {
+            Dataset evaders_norm = evader_windows;
+            Collector::applyProfile(evaders_norm, result.profile);
+            VaccinationConfig vcfg = config_.scale.vaccination;
+            vcfg.seed =
+                deriveTaskSeed(config_.seed ^ 0xacc1, round);
+            Vaccinator vac(vcfg);
+            VaccinationResult vr =
+                vac.run(corpus, evaders_norm, config_.evaderBoost);
+            retrained =
+                makeEnsemble(round + 1, &vr.minedFeatures);
+            Rng rng(deriveTaskSeed(config_.seed ^ 0x7a11, round));
+            retrained->train(vr.augmented,
+                             config_.scale.trainEpochs, rng);
+            retrained->tune(corpus, config_.scale.maxFpr);
+        }
+
+        // --- 4. Verify recovery on the evader corpus: the
+        // fraction of all harvested evader windows the retrained
+        // detector now flags (the samples vaccination consumed —
+        // the acceptance gate's >= 90% number). The per-variant
+        // re-simulations below feed the CSV's post_* columns.
+        if (evader_windows.samples.empty()) {
+            summary.recoveredDetection = 1.0; // nothing to recover
+        } else {
+            std::vector<char> flags = parallelMap(
+                evader_windows.samples.size(), [&](size_t i) {
+                    std::vector<double> x =
+                        evader_windows.samples[i].x;
+                    result.profile.apply(x);
+                    return (char)(retrained->flag(x) ? 1 : 0);
+                });
+            for (char f : flags)
+                summary.recoveredDetection += f ? 1.0 : 0.0;
+            summary.recoveredDetection /= flags.size();
+        }
+        std::vector<std::pair<double, bool>> post = parallelMap(
+            result.evaderVariants.size(), [&](size_t v) {
+                WindowCapture cap = attacker.probe(
+                    result.evaderVariants[v].attack,
+                    result.evaderVariants[v].knobs,
+                    retrained.get());
+                return std::make_pair(cap.flagRate(),
+                                      cap.detected());
+            });
+
+        // --- Record.
+        for (size_t a = 0; a < config_.attacks.size(); ++a) {
+            const EvasionReport &rep = reports[a];
+            RoundAttackRecord rec;
+            rec.round = round;
+            rec.attack = config_.attacks[a];
+            rec.stockFlagRate = stock[a].flagRate;
+            rec.stockDetection = stock[a].detection;
+            rec.hasEvader = rep.hasEvader();
+            if (rec.hasEvader) {
+                const EvasionCandidate &best = rep.best();
+                rec.strategy = evasionStrategyName(best.strategy);
+                rec.knobs = best.knobs.summary();
+                rec.evaderFlagRate = best.flagRate;
+                rec.effect = best.effect;
+                rec.postFlagRate = post[best_variant[a]].first;
+                rec.postDetected = post[best_variant[a]].second;
+            }
+            result.attackRows.push_back(std::move(rec));
+        }
+        result.rounds.push_back(summary);
+        (void)round_first_variant;
+
+        if (tl) {
+            tl->addPoint("arena.stock_detection", round, round,
+                         summary.stockDetection);
+            tl->addPoint("arena.evasion_rate", round, round,
+                         summary.evasionRate);
+            tl->addPoint("arena.recovered_detection", round, round,
+                         summary.recoveredDetection);
+            tl->addPoint("arena.evader_windows", round, round,
+                         (double)summary.evaderWindows);
+            tl->endSpan(span, round + 1, round + 1);
+        }
+        inform("arena round %u: stock=%.2f evaded=%.2f "
+               "recovered=%.2f (+%zu evader windows)",
+               round, summary.stockDetection, summary.evasionRate,
+               summary.recoveredDetection, new_windows);
+
+        detector = retrained;
+    }
+
+    result.finalDetector = detector;
+    return result;
+}
+
+Table
+TournamentResult::roundLog() const
+{
+    Table t({"round", "attack", "strategy", "knobs", "stock_flag",
+             "stock_det", "evader_flag", "evaded", "effect",
+             "post_flag", "post_det", "recovered"});
+    size_t row = 0;
+    for (const auto &summary : rounds) {
+        while (row < attackRows.size() &&
+               attackRows[row].round == summary.round) {
+            const RoundAttackRecord &r = attackRows[row];
+            t.addRow({std::to_string(r.round), r.attack, r.strategy,
+                      r.knobs, Table::fmt(r.stockFlagRate, 4),
+                      Table::fmt(r.stockDetection, 4),
+                      r.hasEvader ? Table::fmt(r.evaderFlagRate, 4)
+                                  : "-",
+                      r.hasEvader ? "1" : "0",
+                      std::to_string(r.effect),
+                      r.hasEvader ? Table::fmt(r.postFlagRate, 4)
+                                  : "-",
+                      r.hasEvader ? (r.postDetected ? "1" : "0")
+                                  : "-",
+                      "-"});
+            ++row;
+        }
+        t.addRow({std::to_string(summary.round), "ALL", "-", "-",
+                  "-", Table::fmt(summary.stockDetection, 4),
+                  Table::fmt(summary.evaderDetection, 4),
+                  Table::fmt(summary.evasionRate, 4),
+                  std::to_string(summary.evaderWindows), "-", "-",
+                  Table::fmt(summary.recoveredDetection, 4)});
+    }
+    return t;
+}
+
+std::string
+TournamentResult::roundLogCsv() const
+{
+    std::ostringstream os;
+    roundLog().writeCsv(os);
+    return os.str();
+}
+
+double
+TournamentResult::finalRecovery() const
+{
+    return rounds.empty() ? 0.0
+                          : rounds.back().recoveredDetection;
+}
+
+} // namespace evax

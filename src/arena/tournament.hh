@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The arms-race tournament: alternating attacker-adapts /
+ * defender-retrains rounds over a fixed attack roster.
+ *
+ * Round structure (one iteration of the paper's Fig. 2 arms race):
+ *
+ *  1. measure — detection rate of the deployed detector on stock
+ *     (unperturbed) attack kernels;
+ *  2. attack — the EvasionAttacker searches each attack's knob
+ *     space against the deployed detector (white-box surrogate:
+ *     ensemble member 0), keeping diff-oracle-confirmed evaders;
+ *  3. retrain — AM-GAN vaccination consumes the accumulated
+ *     evader corpus (Vaccinator::run(train, evaders, boost)) and a
+ *     fresh hardened ensemble is trained on the augmented set,
+ *     threshold-tuned on the real corpus;
+ *  4. verify — the retrained detector is re-scored against every
+ *     evader variant found so far (the recovery number the
+ *     acceptance gate pins: >= 90% after <= 3 rounds).
+ *
+ * Every round appends per-attack rows and one summary row to the
+ * round log (CSV via Table), points on "arena.*" timeline series,
+ * and a span per round — so `evax_inspect`/Perfetto render the
+ * arms race the same way they render a single gated run.
+ *
+ * Determinism: all seeds derive from TournamentConfig::seed via
+ * deriveTaskSeed; all fan-out goes through parallelMap. A serial
+ * tournament and a --threads N tournament emit byte-identical CSV
+ * (pinned by tests/test_arena.cc).
+ */
+
+#ifndef EVAX_ARENA_TOURNAMENT_HH
+#define EVAX_ARENA_TOURNAMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arena/evasion.hh"
+#include "core/experiment.hh"
+#include "detect/hardened.hh"
+#include "util/csv.hh"
+
+namespace evax
+{
+
+class Timeline;
+
+/** Arms-race tournament configuration. */
+struct TournamentConfig
+{
+    /**
+     * Attack roster. Defaults to the leak-bearing kernels whose
+     * architectural effect the diff oracle can watch end-to-end.
+     */
+    std::vector<std::string> attacks = {"spectre-pht", "spectre-stl",
+                                        "meltdown"};
+    /** Attacker-adapts / defender-retrains iterations. */
+    unsigned rounds = 3;
+    /** Stock probe runs per attack for detection-rate estimates. */
+    unsigned probesPerAttack = 2;
+    EvasionConfig evasion;
+    /** Defender shape (members, stochastic sigma, vote rule). */
+    EnsembleConfig ensemble;
+    /** Corpus + vaccination scale (quick() keeps tests fast). */
+    ExperimentScale scale = ExperimentScale::quick();
+    /**
+     * Evader oversampling fed to Vaccinator::run. The harvested
+     * evader corpus is small (near-boundary windows only); the
+     * boost makes it heavy enough to move the augmented set's
+     * decision boundary in one retraining round.
+     */
+    size_t evaderBoost = 16;
+    uint64_t seed = 0xa2e4a;
+    /** Optional telemetry sink ("arena.*" series + round spans). */
+    Timeline *timeline = nullptr;
+};
+
+/** One (round, attack) row of the arms race. */
+struct RoundAttackRecord
+{
+    unsigned round = 0;
+    std::string attack;
+    /** Window flag rate on the stock kernel, mean over probes. */
+    double stockFlagRate = 0.0;
+    /** Stock probes detected / probes run. */
+    double stockDetection = 0.0;
+    bool hasEvader = false;
+    std::string strategy = "-"; ///< winning strategy or "-"
+    std::string knobs = "-";    ///< winning knobs summary or "-"
+    double evaderFlagRate = 0.0;
+    uint64_t effect = 0;
+    /** Best evader vs. the retrained detector. */
+    double postFlagRate = 0.0;
+    bool postDetected = false;
+};
+
+/** Per-round aggregate (the acceptance-gate numbers). */
+struct RoundSummary
+{
+    unsigned round = 0;
+    /** Stock detection rate at round start (attacks x probes). */
+    double stockDetection = 0.0;
+    /** Fraction of the roster with a confirmed evader. */
+    double evasionRate = 0.0;
+    /** Detection rate on this round's best evaders (pre-retrain). */
+    double evaderDetection = 0.0;
+    /** Detection rate on ALL evaders so far, post-retrain. */
+    double recoveredDetection = 0.0;
+    /** Evader windows fed to vaccination this round. */
+    size_t evaderWindows = 0;
+};
+
+/** One accumulated evader variant (for recovery re-scoring). */
+struct EvaderVariant
+{
+    std::string attack;
+    EvasionKnobs knobs;
+    unsigned foundInRound = 0;
+};
+
+/** Everything a tournament run produced. */
+struct TournamentResult
+{
+    std::vector<RoundAttackRecord> attackRows;
+    std::vector<RoundSummary> rounds;
+    std::vector<EvaderVariant> evaderVariants;
+    /** The surviving (last retrained) detector. */
+    std::shared_ptr<DetectorEnsemble> finalDetector;
+    NormalizationProfile profile;
+
+    /**
+     * The round log: per-attack rows plus one "ALL" summary row
+     * per round. Columns are stable (golden-pinned):
+     * round,attack,strategy,knobs,stock_flag,stock_det,
+     * evader_flag,evaded,effect,post_flag,post_det
+     */
+    Table roundLog() const;
+    /** roundLog() rendered as CSV text (digest target). */
+    std::string roundLogCsv() const;
+
+    /** Last round's recoveredDetection (0 when roundless). */
+    double finalRecovery() const;
+};
+
+/** Runs the arms race. */
+class Tournament
+{
+  public:
+    /**
+     * Fatal on: zero rounds, an empty roster, an unknown attack
+     * name, or zero probes.
+     */
+    explicit Tournament(const TournamentConfig &config);
+
+    TournamentResult run();
+
+    const TournamentConfig &config() const { return config_; }
+
+  private:
+    /**
+     * Fresh ensemble with round-derived member seeds. Retrained
+     * generations monitor the engineered HPCs freshly mined by
+     * that round's vaccination (@p mined; null keeps the config's
+     * catalog) — the mined features are what separate evader
+     * windows a linear model over the static set cannot.
+     */
+    std::unique_ptr<DetectorEnsemble> makeEnsemble(
+        unsigned round,
+        const std::vector<EngineeredFeature> *mined) const;
+
+    TournamentConfig config_;
+};
+
+} // namespace evax
+
+#endif // EVAX_ARENA_TOURNAMENT_HH

@@ -1,9 +1,20 @@
 #include "attacks/attack.hh"
 
 #include <cmath>
+#include <cstdio>
 
 namespace evax
 {
+
+std::string
+EvasionKnobs::summary() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "pad=%u il=%.2f thr=%u int=%.2f", nopPadding,
+                  interleaveBenign, throttle, intensity);
+    return buf;
+}
 
 AttackKernel::AttackKernel(uint64_t seed, uint64_t length,
                            const EvasionKnobs &knobs)

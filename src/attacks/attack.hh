@@ -45,6 +45,13 @@ struct EvasionKnobs
     /** Scale on per-iteration intensity (probe counts etc.). */
     double intensity = 1.0;
     uint64_t seed = 0;
+
+    /**
+     * Compact human/CSV-friendly rendering, e.g.
+     * "pad=32 il=0.60 thr=8 int=0.50" (seed omitted — it selects a
+     * variant, not a perturbation shape).
+     */
+    std::string summary() const;
 };
 
 /** Base class for all attack kernels. */

@@ -153,6 +153,47 @@ runPlain(InstStream &stream, DefenseMode mode,
     return core.run(stream);
 }
 
+size_t
+WindowCapture::flagged() const
+{
+    size_t n = 0;
+    for (bool d : decisions)
+        n += d ? 1 : 0;
+    return n;
+}
+
+double
+WindowCapture::flagRate() const
+{
+    return decisions.empty()
+               ? 0.0
+               : (double)flagged() / (double)decisions.size();
+}
+
+WindowCapture
+captureWindows(InstStream &stream, const Detector *detector,
+               const GatedRunConfig &config)
+{
+    WindowCapture cap;
+    CounterRegistry reg;
+    O3Core core(config.coreParams, reg);
+    Sampler sampler(reg, config.sampleInterval);
+    sampler.setNormalizeEnabled(false);
+    core.attachSampler(&sampler);
+    core.setSampleCallback([&](const FeatureSnapshot &snap) {
+        Sample s;
+        s.x = snap.base;
+        cap.windows.samples.push_back(std::move(s));
+        if (detector) {
+            std::vector<double> x = snap.base;
+            config.profile.apply(x);
+            cap.decisions.push_back(detector->flag(x));
+        }
+    });
+    cap.sim = core.run(stream);
+    return cap;
+}
+
 std::vector<bool>
 windowDecisions(InstStream &stream, Detector &detector,
                 const GatedRunConfig &config)

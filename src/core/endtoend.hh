@@ -81,6 +81,35 @@ std::vector<bool> windowDecisions(InstStream &stream,
                                   Detector &detector,
                                   const GatedRunConfig &config);
 
+/** One simulated run with its sampled windows kept. */
+struct WindowCapture
+{
+    /** RAW (unnormalized) base windows, unlabeled. */
+    Dataset windows;
+    /** Per-window verdicts (empty when no detector was given). */
+    std::vector<bool> decisions;
+    SimResult sim;
+
+    size_t flagged() const;
+    /** Flagged fraction of windows (0 when windowless). */
+    double flagRate() const;
+    /** Run-level verdict: at least one window flagged. */
+    bool detected() const { return flagged() > 0; }
+};
+
+/**
+ * Run a stream once, harvesting every sample window alongside the
+ * detector's per-window verdict (config.profile is applied to the
+ * detector's view; the stored windows stay raw so they can be
+ * relabeled and consumed by retraining). The arena's evasion
+ * search and tournament evaluations use this to avoid simulating
+ * each candidate twice.
+ * @param detector optional; null skips scoring
+ */
+WindowCapture captureWindows(InstStream &stream,
+                             const Detector *detector,
+                             const GatedRunConfig &config);
+
 } // namespace evax
 
 #endif // EVAX_CORE_ENDTOEND_HH

@@ -132,11 +132,27 @@ Vaccinator::run(const Dataset &train)
         }
     }
 
-    // Mine new security HPCs from the trained Generator.
-    FeatureEngineer engineer(config_.minedFeatures);
-    result.minedFeatures = engineer.mine(*result.gan);
+    // Mine new security HPCs from the trained Generator (skipped
+    // when none are requested, e.g. feature spaces narrower than
+    // the HPC catalog).
+    if (config_.minedFeatures > 0) {
+        FeatureEngineer engineer(config_.minedFeatures);
+        result.minedFeatures = engineer.mine(*result.gan);
+    }
 
     return result;
+}
+
+VaccinationResult
+Vaccinator::run(const Dataset &train, const Dataset &evaders,
+                size_t boost)
+{
+    if (boost == 0)
+        fatal("Vaccinator: zero evader boost");
+    Dataset combined = train;
+    for (size_t b = 0; b < boost; ++b)
+        combined.append(evaders);
+    return run(combined);
 }
 
 void

@@ -74,6 +74,20 @@ class Vaccinator
     VaccinationResult run(const Dataset &train);
 
     /**
+     * Arms-race retraining: vaccinate with the adversary's winning
+     * samples folded in. @c evaders holds labeled windows captured
+     * from attack variants that slipped past the deployed detector
+     * (the arena's successful evasions); each is oversampled
+     * @c boost times so the small evader corpus actually moves the
+     * GAN's style target and the augmented set's decision boundary.
+     * Evaders with an attackClass unknown to @c train are kept —
+     * labels are the caller's contract.
+     */
+    VaccinationResult run(const Dataset &train,
+                          const Dataset &evaders,
+                          size_t boost = 4);
+
+    /**
      * Mean Gram-matrix style loss of generated vs. real samples
      * across all attack classes present in @c data.
      */

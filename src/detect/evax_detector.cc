@@ -50,6 +50,15 @@ EvaxDetector::score(const std::vector<double> &base) const
     return model_.score(scratch);
 }
 
+double
+EvaxDetector::scoreStochastic(const std::vector<double> &base,
+                              double sigma, uint64_t key) const
+{
+    thread_local std::vector<double> scratch;
+    expandInto(base, scratch);
+    return model_.scorePerturbed(scratch, sigma, key);
+}
+
 bool
 EvaxDetector::flag(const std::vector<double> &base) const
 {

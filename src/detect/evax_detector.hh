@@ -51,9 +51,18 @@ class EvaxDetector : public Detector
     void expandInto(const std::vector<double> &base,
                     std::vector<double> &out) const;
 
+    /**
+     * Stochastic-inference score: expand, then score with
+     * key-seeded weight noise (Perceptron::scorePerturbed). Used
+     * by the hardened detectors (detect/hardened.hh).
+     */
+    double scoreStochastic(const std::vector<double> &base,
+                           double sigma, uint64_t key) const;
+
     const std::vector<EngineeredFeature> &engineered() const
     { return engineered_; }
     Perceptron &model() { return model_; }
+    const Perceptron &model() const { return model_; }
 
     /** Windows scored via flag() since construction. */
     uint64_t windowsScored() const

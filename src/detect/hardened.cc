@@ -1,0 +1,169 @@
+#include "detect/hardened.hh"
+
+#include <cstring>
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+uint64_t
+windowNoiseKey(const std::vector<double> &base, uint64_t seed)
+{
+    uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+    for (double v : base) {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+// --- StochasticDetector ----------------------------------------
+
+StochasticDetector::StochasticDetector(
+    std::unique_ptr<EvaxDetector> inner,
+    const StochasticConfig &config)
+    : inner_(std::move(inner)), config_(config)
+{
+    if (!inner_)
+        fatal("StochasticDetector: null inner detector");
+}
+
+double
+StochasticDetector::score(const std::vector<double> &base) const
+{
+    return inner_->scoreStochastic(
+        base, config_.sigma, windowNoiseKey(base, config_.seed));
+}
+
+bool
+StochasticDetector::flag(const std::vector<double> &base) const
+{
+    return score(base) >= inner_->model().threshold();
+}
+
+void
+StochasticDetector::train(const Dataset &data, unsigned epochs,
+                          Rng &rng)
+{
+    inner_->train(data, epochs, rng);
+}
+
+void
+StochasticDetector::tune(const Dataset &data, double max_fpr)
+{
+    inner_->tune(data, max_fpr);
+}
+
+void
+StochasticDetector::tuneSensitivity(const Dataset &data,
+                                    double quantile)
+{
+    inner_->tuneSensitivity(data, quantile);
+}
+
+// --- DetectorEnsemble ------------------------------------------
+
+DetectorEnsemble::DetectorEnsemble(const EnsembleConfig &config)
+    : config_(config)
+{
+    if (config_.members == 0)
+        fatal("DetectorEnsemble: zero members");
+    if (config_.votesToFlag > config_.members) {
+        fatal("DetectorEnsemble: votesToFlag %u > %u members",
+              config_.votesToFlag, config_.members);
+    }
+    members_.reserve(config_.members);
+    for (unsigned m = 0; m < config_.members; ++m) {
+        members_.push_back(std::make_unique<EvaxDetector>(
+            config_.engineered,
+            deriveTaskSeed(config_.seed, m)));
+    }
+}
+
+unsigned
+DetectorEnsemble::votesNeeded() const
+{
+    return config_.votesToFlag
+               ? config_.votesToFlag
+               : (unsigned)members_.size() / 2 + 1;
+}
+
+double
+DetectorEnsemble::memberScore(size_t i,
+                              const std::vector<double> &base)
+    const
+{
+    if (config_.stochasticSigma > 0.0) {
+        // Each member draws an independent noise stream for the
+        // same window (member index folded into the key).
+        uint64_t key = windowNoiseKey(
+            base, deriveTaskSeed(config_.noiseSeed, i));
+        return members_[i]->scoreStochastic(
+            base, config_.stochasticSigma, key);
+    }
+    return members_[i]->score(base);
+}
+
+double
+DetectorEnsemble::score(const std::vector<double> &base) const
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < members_.size(); ++i)
+        sum += memberScore(i, base);
+    return sum / (double)members_.size();
+}
+
+unsigned
+DetectorEnsemble::countVotes(const std::vector<double> &base) const
+{
+    unsigned votes = 0;
+    for (size_t i = 0; i < members_.size(); ++i) {
+        if (memberScore(i, base) >=
+            members_[i]->model().threshold())
+            ++votes;
+    }
+    return votes;
+}
+
+bool
+DetectorEnsemble::flag(const std::vector<double> &base) const
+{
+    return countVotes(base) >= votesNeeded();
+}
+
+void
+DetectorEnsemble::train(const Dataset &data, unsigned epochs,
+                        Rng &rng)
+{
+    // Per-member derived streams: training is reproducible and
+    // independent of both the caller's rng state afterwards and
+    // the member count ordering. The caller's rng advances once so
+    // successive train() calls see fresh member streams.
+    uint64_t base_seed = rng.next();
+    for (size_t m = 0; m < members_.size(); ++m) {
+        Rng member_rng = Rng::forTask(base_seed, m);
+        members_[m]->train(data, epochs, member_rng);
+    }
+}
+
+void
+DetectorEnsemble::tune(const Dataset &data, double max_fpr)
+{
+    for (auto &m : members_)
+        m->tune(data, max_fpr);
+}
+
+void
+DetectorEnsemble::tuneSensitivity(const Dataset &data,
+                                  double quantile)
+{
+    for (auto &m : members_)
+        m->tuneSensitivity(data, quantile);
+}
+
+} // namespace evax

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Hardened detector configurations from the adversarial-HMD
+ * literature, the defense side of the arms-race arena
+ * (src/arena/):
+ *
+ *  - StochasticDetector: stochastic inference — every window is
+ *    scored with seeded Gaussian weight noise, the randomized-
+ *    weights defense of Stochastic-HMDs (modeled after voltage
+ *    over-scaling). A gradient-guided evader probing the detector
+ *    sees a jittered decision surface, so its estimated descent
+ *    directions degrade.
+ *  - DetectorEnsemble: N independently-initialized EVAX detectors
+ *    with majority vote (optionally each member under stochastic
+ *    inference). One evaded member is not an evaded verdict.
+ *
+ * Reproducibility contract: the per-inference noise stream is
+ * derived from a keyed hash of the window bits, never from shared
+ * mutable state, so scoring is thread-safe and serial/parallel
+ * tournaments produce byte-identical results (the same window
+ * always draws the same noise — the deterministic-replay analog of
+ * true per-query randomization; see docs/ARENA.md).
+ */
+
+#ifndef EVAX_DETECT_HARDENED_HH
+#define EVAX_DETECT_HARDENED_HH
+
+#include <memory>
+#include <vector>
+
+#include "detect/evax_detector.hh"
+
+namespace evax
+{
+
+/** Keyed FNV-1a over a feature window's double bits. */
+uint64_t windowNoiseKey(const std::vector<double> &base,
+                        uint64_t seed);
+
+/** Stochastic-inference configuration. */
+struct StochasticConfig
+{
+    /** Per-weight Gaussian noise sigma at inference time. */
+    double sigma = 0.05;
+    /** Noise stream seed (keyed with the window hash). */
+    uint64_t seed = 0xd15ea5e0;
+};
+
+/** One EVAX detector under stochastic inference. */
+class StochasticDetector : public Detector
+{
+  public:
+    StochasticDetector(std::unique_ptr<EvaxDetector> inner,
+                       const StochasticConfig &config);
+
+    double score(const std::vector<double> &base) const override;
+    bool flag(const std::vector<double> &base) const override;
+    void train(const Dataset &data, unsigned epochs,
+               Rng &rng) override;
+    void tune(const Dataset &data, double max_fpr) override;
+    void tuneSensitivity(const Dataset &data,
+                         double quantile) override;
+    const char *name() const override { return "stochastic-evax"; }
+
+    EvaxDetector &inner() { return *inner_; }
+    const EvaxDetector &inner() const { return *inner_; }
+    const StochasticConfig &config() const { return config_; }
+
+  private:
+    std::unique_ptr<EvaxDetector> inner_;
+    StochasticConfig config_;
+};
+
+/** Majority-vote ensemble configuration. */
+struct EnsembleConfig
+{
+    /** Member detectors (independent weight inits + shuffles). */
+    unsigned members = 3;
+    /** >0 runs every member under stochastic inference. */
+    double stochasticSigma = 0.0;
+    /** Noise stream seed for stochastic members. */
+    uint64_t noiseSeed = 0xd15ea5e0;
+    /** Votes required to flag; 0 means strict majority. */
+    unsigned votesToFlag = 0;
+    /** Base seed for member weight initialization/training. */
+    uint64_t seed = 0x5eed;
+    /** Engineered security HPCs every member monitors. */
+    std::vector<EngineeredFeature> engineered =
+        FeatureCatalog::engineered();
+};
+
+/** N EVAX detectors with majority vote. */
+class DetectorEnsemble : public Detector
+{
+  public:
+    explicit DetectorEnsemble(const EnsembleConfig &config);
+
+    /** Mean member score (stochastic when sigma > 0). */
+    double score(const std::vector<double> &base) const override;
+    /** Majority vote over member decisions. */
+    bool flag(const std::vector<double> &base) const override;
+    /** Train every member (per-member Rng::forTask streams). */
+    void train(const Dataset &data, unsigned epochs,
+               Rng &rng) override;
+    void tune(const Dataset &data, double max_fpr) override;
+    void tuneSensitivity(const Dataset &data,
+                         double quantile) override;
+    const char *name() const override { return "evax-ensemble"; }
+
+    size_t members() const { return members_.size(); }
+    EvaxDetector &member(size_t i) { return *members_[i]; }
+    const EvaxDetector &member(size_t i) const
+    { return *members_[i]; }
+
+    /** Votes needed for flag() to raise. */
+    unsigned votesNeeded() const;
+
+    /** Member votes for one window (diagnostics/tests). */
+    unsigned countVotes(const std::vector<double> &base) const;
+
+    /**
+     * The clean (un-noised) perceptron a white-box attacker would
+     * steal: member 0's model. The arena's gradient-guided evader
+     * masks features against these weights.
+     */
+    const Perceptron &surrogate() const
+    { return members_.front()->model(); }
+
+    const EnsembleConfig &config() const { return config_; }
+
+  private:
+    double memberScore(size_t i,
+                       const std::vector<double> &base) const;
+
+    EnsembleConfig config_;
+    std::vector<std::unique_ptr<EvaxDetector>> members_;
+};
+
+} // namespace evax
+
+#endif // EVAX_DETECT_HARDENED_HH

@@ -25,6 +25,18 @@ Perceptron::score(const std::vector<double> &x) const
 }
 
 double
+Perceptron::scorePerturbed(const std::vector<double> &x,
+                           double sigma, uint64_t key) const
+{
+    Rng rng(key);
+    double s = b_;
+    size_t n = std::min(w_.size(), x.size());
+    for (size_t i = 0; i < n; ++i)
+        s += (w_[i] + sigma * rng.nextGaussian()) * x[i];
+    return s;
+}
+
+double
 Perceptron::probability(const std::vector<double> &x) const
 {
     return 1.0 / (1.0 + std::exp(-score(x)));

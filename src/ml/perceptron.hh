@@ -30,6 +30,18 @@ class Perceptron
     /** Raw score w.x + b. */
     double score(const std::vector<double> &x) const;
 
+    /**
+     * Stochastic-inference score: w is perturbed with seeded
+     * Gaussian noise (sigma per weight) before the dot product —
+     * the randomized-weights defense of Stochastic-HMDs, modeled
+     * after voltage over-scaling. The noise stream is derived
+     * entirely from @p key, so the same (x, sigma, key) always
+     * produces the same score (reproducibility contract); callers
+     * vary the key per inference (e.g. keyed on the window bits).
+     */
+    double scorePerturbed(const std::vector<double> &x,
+                          double sigma, uint64_t key) const;
+
     /** Sigmoid(score): probability-like output for ROC sweeps. */
     double probability(const std::vector<double> &x) const;
 

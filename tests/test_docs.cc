@@ -60,7 +60,7 @@ markdownFiles()
         "DESIGN.md",          "EXPERIMENTS.md",
         "PAPER.md",           "CHANGES.md",
         "docs/OBSERVABILITY.md", "docs/COUNTERS.md",
-        "docs/TESTING.md",
+        "docs/TESTING.md",       "docs/ARENA.md",
     };
     std::vector<MarkdownFile> files;
     for (const char *rel : kFiles) {

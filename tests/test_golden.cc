@@ -25,6 +25,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "arena/tournament.hh"
 #include "attacks/registry.hh"
 #include "core/endtoend.hh"
 #include "core/experiment.hh"
@@ -75,6 +76,18 @@ uint64_t
 hashDouble(uint64_t h, double v)
 {
     return hashDoubles(h, &v, 1);
+}
+
+/** FNV-1a over a byte string (CSV-text digests). */
+uint64_t
+hashBytes(const std::string &bytes)
+{
+    uint64_t h = kFnvSeed;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
 }
 
 /** Digest a SimResult's externally visible fields. */
@@ -541,6 +554,27 @@ TEST(GoldenFigures, ZerodayFoldDigest)
     for (const auto &s : test.samples)
         h = hashDouble(h, persp.score(s.x));
     expectDigest(h, 0xbd28ae52ac6581f4ULL, "zeroday");
+}
+
+/** Arms-race arena: one-round tournament round-log CSV bytes. */
+TEST(GoldenFigures, ArenaRoundCsvDigest)
+{
+    // The whole arena pipeline in one digest — corpus, ensemble
+    // training, evasion search (all three strategies), diff-oracle
+    // confirmation, harvest, vaccination retraining, recovery
+    // re-scoring — hashed as the literal CSV bytes the round log
+    // renders to. tests/test_arena.cc pins the 2-round log and its
+    // serial/threaded byte-identity; this smaller pin lives with
+    // the other figure digests so a sim/detector change that moves
+    // everything is caught in one suite.
+    TournamentConfig cfg;
+    cfg.rounds = 1;
+    cfg.evasion.candidatesPerStrategy = 3;
+    cfg.evasion.gradientIters = 2;
+    Tournament tournament(cfg);
+    TournamentResult result = tournament.run();
+    expectDigest(hashBytes(result.roundLogCsv()),
+                 0x4c63e95a5f031b61ULL, "arena");
 }
 
 /** Ablation: secure-window dwell sweep through the controller. */

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/vaccination.hh"
 #include "ml/dataset.hh"
 #include "ml/gan.hh"
 #include "ml/gram.hh"
@@ -386,6 +387,121 @@ TEST(GoldenSeeds, GanTrainingDigestIsPinnedAndThreadInvariant)
     EXPECT_EQ(serial, kPinned)
         << "GAN digest moved: actual 0x" << std::hex << serial
         << " (pinned 0x" << kPinned << ")";
+}
+
+// ---------------------------------------------------------------
+// Arms-race retraining round trip: vaccination consumes the
+// adversary's successful samples (Vaccinator::run(train, evaders,
+// boost)) and the retrained model's flag rate on the evader corpus
+// strictly improves. All seeds pinned — the numbers are exactly
+// reproducible.
+// ---------------------------------------------------------------
+
+/** Fraction of @p data the perceptron flags malicious. */
+double
+perceptronFlagRate(const Perceptron &p, const Dataset &data)
+{
+    size_t flagged = 0;
+    for (const auto &s : data.samples)
+        flagged += p.predict(s.x) ? 1 : 0;
+    return data.samples.empty()
+               ? 0.0
+               : (double)flagged / data.samples.size();
+}
+
+TEST(Vaccination, RetrainingOnEvaderSamplesImprovesFlagRate)
+{
+    // Synthetic two-signature world, the arena's geometry in
+    // miniature. Stock attacks light up feature group A (dims
+    // 0-7); the evader masks group A down to benign levels and
+    // leaks through group B (dims 8-15) instead — a direction the
+    // traditionally-trained model never learned to weight because
+    // group B is uninformative in the original corpus.
+    constexpr size_t dim = 16;
+    Rng gen(0x1234);
+    auto benignish = [&](Sample &s, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            s.x[i] = 0.35 * gen.nextDouble();
+    };
+    auto attackish = [&](Sample &s, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            s.x[i] = 0.55 + 0.4 * gen.nextDouble();
+    };
+
+    Dataset train;
+    train.classNames = {"benign", "attack"};
+    for (int i = 0; i < 140; ++i) {
+        Sample s;
+        s.x.assign(dim, 0.0);
+        s.malicious = i % 2 == 1;
+        s.attackClass = s.malicious ? 1 : 0;
+        if (s.malicious) {
+            attackish(s, 0, 8);
+            benignish(s, 8, dim);
+        } else {
+            benignish(s, 0, dim);
+        }
+        train.add(s);
+    }
+    Dataset evaders;
+    evaders.classNames = train.classNames;
+    for (int i = 0; i < 48; ++i) {
+        Sample s;
+        s.x.assign(dim, 0.0);
+        s.malicious = true;
+        s.attackClass = 1;
+        benignish(s, 0, 8);  // group A masked to benign levels
+        attackish(s, 8, dim); // the unmonitored leak direction
+        evaders.add(s);
+    }
+
+    auto train_and_tune = [&](const Dataset &data) {
+        Perceptron p(dim, 7);
+        Rng rng(11);
+        p.fit(data, 20, 0.05, rng);
+        p.tuneThreshold(train, 0.002);
+        return p;
+    };
+
+    Perceptron before = train_and_tune(train);
+    double flag_before = perceptronFlagRate(before, evaders);
+    EXPECT_LT(flag_before, 0.50)
+        << "evader corpus must actually evade the pre-retrain "
+           "model for the round trip to mean anything";
+
+    VaccinationConfig vcfg;
+    vcfg.epochs = 4;
+    vcfg.itersPerEpoch = 250;
+    vcfg.augmentPerClass = 40;
+    vcfg.adversarialPerClass = 40;
+    vcfg.gan.noiseDim = 8;
+    vcfg.gan.genHidden = {16, 12};
+    vcfg.gan.discHidden = {8};
+    vcfg.minedFeatures = 0; // 16-dim toy space: no HPC mining
+    vcfg.seed = 2024;
+    Vaccinator vac(vcfg);
+    VaccinationResult vr = vac.run(train, evaders, 8);
+
+    // The evaders (and their oversampled copies) are in the
+    // augmented set, still labeled malicious.
+    EXPECT_GE(vr.augmented.samples.size(),
+              train.samples.size() + 8 * evaders.samples.size());
+
+    Perceptron after = train_and_tune(vr.augmented);
+    double flag_after = perceptronFlagRate(after, evaders);
+    EXPECT_GT(flag_after, flag_before)
+        << "retraining on the evader corpus must strictly improve "
+           "evader detection";
+    EXPECT_GE(flag_after, 0.90);
+    // The benign FP budget still holds on the original corpus.
+    size_t benign_fp = 0, benign_n = 0;
+    for (const auto &s : train.samples) {
+        if (s.malicious)
+            continue;
+        ++benign_n;
+        benign_fp += after.predict(s.x) ? 1 : 0;
+    }
+    EXPECT_LE((double)benign_fp / benign_n, 0.002 + 1e-9);
 }
 
 } // anonymous namespace

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * evax_arena: arms-race tournament driver.
+ *
+ *   evax_arena [flags]
+ *
+ *     --rounds N            attacker/defender iterations (default 3)
+ *     --attacks a,b,c       roster (default spectre-pht,spectre-stl,
+ *                           meltdown)
+ *     --strategies s,t      subset of dilute,throttle,gradient
+ *     --candidates N        ladder rungs per black-box strategy
+ *     --iters N             gradient hill-climb steps
+ *     --members N           ensemble size
+ *     --sigma S             stochastic-inference noise (0 = off)
+ *     --boost N             evader oversampling for retraining
+ *     --probes N            stock probe runs per attack
+ *     --seed S              tournament base seed
+ *     --full                standard experiment scale (default quick)
+ *     --out FILE.csv        round-log CSV (default arena_rounds.csv)
+ *     --timeline FILE.json  arena timeline (series/spans/instants)
+ *     --check               exit 1 unless the arms-race gates hold
+ *                           (round-0 stock >= 0.95, round-0 evader
+ *                           detection < 0.50, final recovery >= 0.90)
+ *     --threads N/--serial  thread-pool width (CSV is byte-identical
+ *                           at any setting)
+ *     --manifest-out FILE   provenance manifest (default
+ *                           manifest.json; "-" disables)
+ *
+ * Exit codes: 0 ok, 1 --check gate failed, 2 usage error.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arena/tournament.hh"
+#include "bench/bench_util.hh"
+#include "util/timeline.hh"
+
+using namespace evax;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: evax_arena [--rounds N] [--attacks a,b,c]\n"
+        << "       [--strategies dilute,throttle,gradient]\n"
+        << "       [--candidates N] [--iters N] [--members N]\n"
+        << "       [--sigma S] [--boost N] [--probes N] [--seed S]\n"
+        << "       [--full] [--out FILE.csv] [--timeline FILE.json]\n"
+        << "       [--check] [--threads N|--serial]\n"
+        << "       [--manifest-out FILE]\n";
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchObservability obs(argc, argv);
+    configureBenchThreads(argc, argv);
+
+    TournamentConfig cfg;
+    std::string out_csv = "arena_rounds.csv";
+    std::string timeline_out;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--rounds") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.rounds = (unsigned)std::strtoul(v, nullptr, 10);
+        } else if (arg == "--attacks") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.attacks = splitList(v);
+        } else if (arg == "--strategies") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.evasion.strategies.clear();
+            for (const auto &name : splitList(v)) {
+                cfg.evasion.strategies.push_back(
+                    evasionStrategyFromName(name));
+            }
+        } else if (arg == "--candidates") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.evasion.candidatesPerStrategy =
+                (unsigned)std::strtoul(v, nullptr, 10);
+        } else if (arg == "--iters") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.evasion.gradientIters =
+                (unsigned)std::strtoul(v, nullptr, 10);
+        } else if (arg == "--members") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.ensemble.members =
+                (unsigned)std::strtoul(v, nullptr, 10);
+        } else if (arg == "--sigma") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.ensemble.stochasticSigma = std::atof(v);
+        } else if (arg == "--boost") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.evaderBoost = std::strtoul(v, nullptr, 10);
+        } else if (arg == "--probes") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.probesPerAttack =
+                (unsigned)std::strtoul(v, nullptr, 10);
+        } else if (arg == "--seed") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.seed = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--full") {
+            cfg.scale = ExperimentScale::standard();
+        } else if (arg == "--out") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            out_csv = v;
+        } else if (arg == "--timeline") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            timeline_out = v;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--serial" || arg == "--threads" ||
+                   arg == "--trace" || arg == "--trace-out" ||
+                   arg == "--stats-out" || arg == "--manifest-out") {
+            // Handled by configureBenchThreads/BenchObservability;
+            // skip their value.
+            if (arg != "--serial")
+                ++i;
+        } else {
+            std::cerr << "evax_arena: unknown flag '" << arg
+                      << "'\n";
+            return usage();
+        }
+    }
+
+    Timeline timeline;
+    cfg.timeline = &timeline;
+    obs.manifest().addSeed(cfg.seed);
+    obs.manifest().setConfig("rounds", (uint64_t)cfg.rounds);
+    obs.manifest().setConfig("evader_boost",
+                             (uint64_t)cfg.evaderBoost);
+    obs.manifest().setConfig("ensemble_members",
+                             (uint64_t)cfg.ensemble.members);
+    obs.manifest().setConfig("stochastic_sigma",
+                             cfg.ensemble.stochasticSigma);
+    for (size_t a = 0; a < cfg.attacks.size(); ++a) {
+        obs.manifest().setConfig("attack" + std::to_string(a),
+                                 cfg.attacks[a]);
+    }
+
+    Tournament tournament(cfg);
+    TournamentResult result = tournament.run();
+
+    Table log = result.roundLog();
+    log.print(std::cout, "Arms race round log");
+    if (log.saveCsv(out_csv)) {
+        std::cout << "[saved " << out_csv << "]\n";
+        obs.manifest().addArtifact(out_csv);
+    }
+    if (!timeline_out.empty() && timeline.saveJson(timeline_out)) {
+        std::cout << "[timeline: " << timeline_out << "]\n";
+        obs.manifest().addArtifact(timeline_out);
+    }
+
+    if (check) {
+        const RoundSummary &first = result.rounds.front();
+        double recovery = result.finalRecovery();
+        bool ok = first.stockDetection >= 0.95 &&
+                  first.evaderDetection < 0.50 &&
+                  first.evasionRate > 0.0 && recovery >= 0.90;
+        std::cout << "[check: stock0=" << first.stockDetection
+                  << " evader_det0=" << first.evaderDetection
+                  << " evasion0=" << first.evasionRate
+                  << " recovery=" << recovery << " -> "
+                  << (ok ? "PASS" : "FAIL") << "]\n";
+        if (!ok)
+            return 1;
+    }
+    return 0;
+}
