@@ -5,22 +5,74 @@
  * window — Sec. VI-B argues a serial adder finishes in a few
  * hundred cycles), engineered-feature computation, sampler window
  * close, GAN sample generation, and raw simulator throughput.
+ *
+ * Each latency benchmark self-times every iteration and reports
+ * tail percentiles alongside google-benchmark's mean:
+ *
+ *   p50_ns / p99_ns   per-call latency percentiles
+ *
+ * The percentile summary is also written as a timeline JSON
+ * (bench_detector_latency_timeline.json) and the run emits a
+ * provenance manifest, like every other bench
+ * (docs/OBSERVABILITY.md, docs/PERFORMANCE.md).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.hh"
 #include "core/collector.hh"
 #include "detect/evax_detector.hh"
 #include "detect/perspectron.hh"
 #include "hpc/sampler.hh"
 #include "ml/gan.hh"
 #include "sim/core.hh"
+#include "util/stats.hh"
+#include "util/timeline.hh"
 #include "workload/registry.hh"
 
 using namespace evax;
 
 namespace
 {
+
+/** name -> (p50_ns, p99_ns) of the last completed run. */
+std::map<std::string, std::pair<double, double>> &
+percentileLog()
+{
+    static std::map<std::string, std::pair<double, double>> log;
+    return log;
+}
+
+/**
+ * Run @p fn once per benchmark iteration, timing each call, and
+ * report p50/p99 per-call latency as counters (and into the
+ * percentile log for the timeline dump).
+ */
+template <typename Fn>
+void
+runLatency(benchmark::State &state, const char *name, Fn &&fn)
+{
+    std::vector<double> ns;
+    for (auto _ : state) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        ns.push_back(
+            std::chrono::duration<double, std::nano>(t1 - t0)
+                .count());
+    }
+    double p50 = percentile(ns, 50.0);
+    double p99 = percentile(ns, 99.0);
+    state.counters["p50_ns"] = p50;
+    state.counters["p99_ns"] = p99;
+    percentileLog()[name] = {p50, p99};
+}
 
 std::vector<double>
 someWindow()
@@ -37,8 +89,9 @@ BM_PerceptronScore(benchmark::State &state)
 {
     PerSpectron det(1);
     auto x = someWindow();
-    for (auto _ : state)
+    runLatency(state, "perceptron_score", [&] {
         benchmark::DoNotOptimize(det.score(x));
+    });
 }
 BENCHMARK(BM_PerceptronScore);
 
@@ -47,8 +100,9 @@ BM_EvaxScore(benchmark::State &state)
 {
     EvaxDetector det;
     auto x = someWindow();
-    for (auto _ : state)
+    runLatency(state, "evax_score", [&] {
         benchmark::DoNotOptimize(det.score(x));
+    });
 }
 BENCHMARK(BM_EvaxScore);
 
@@ -57,10 +111,10 @@ BM_EngineeredFeatures(benchmark::State &state)
 {
     auto x = someWindow();
     const auto &eng = FeatureCatalog::engineered();
-    for (auto _ : state) {
+    runLatency(state, "engineered_features", [&] {
         benchmark::DoNotOptimize(
             FeatureCatalog::computeEngineered(x, eng));
-    }
+    });
 }
 BENCHMARK(BM_EngineeredFeatures);
 
@@ -70,11 +124,11 @@ BM_SamplerWindow(benchmark::State &state)
     CounterRegistry reg;
     Sampler sampler(reg, 1);
     uint64_t insts = 0;
-    for (auto _ : state) {
+    runLatency(state, "sampler_window", [&] {
         ++insts;
         benchmark::DoNotOptimize(
             sampler.sampleNow(insts, insts * 2));
-    }
+    });
 }
 BENCHMARK(BM_SamplerWindow);
 
@@ -84,8 +138,9 @@ BM_GanGenerate(benchmark::State &state)
     AmGanConfig cfg;
     cfg.numClasses = 22;
     AmGan gan(cfg);
-    for (auto _ : state)
+    runLatency(state, "gan_generate", [&] {
         benchmark::DoNotOptimize(gan.generate(1));
+    });
 }
 BENCHMARK(BM_GanGenerate);
 
@@ -105,4 +160,45 @@ BENCHMARK(BM_SimulatorKiloOps);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    printBuildInfo(std::cout);
+
+    RunManifest manifest = RunManifest::forTool(
+        argc > 0 ? argv[0] : "bench_detector_latency", argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        const std::string kOut = "--benchmark_out=";
+        if (arg.rfind(kOut, 0) == 0)
+            manifest.addArtifact(arg.substr(kOut.size()));
+    }
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Percentile summary: one point per benchmark on the p50/p99
+    // tracks (inst = benchmark index).
+    Timeline timeline;
+    uint64_t idx = 0;
+    for (const auto &kv : percentileLog()) {
+        timeline.addInstant("bench.name", kv.first, idx, 0);
+        timeline.addPoint("bench.latency_p50_ns", idx, 0,
+                          kv.second.first);
+        timeline.addPoint("bench.latency_p99_ns", idx, 0,
+                          kv.second.second);
+        ++idx;
+    }
+    const std::string tl_out =
+        "bench_detector_latency_timeline.json";
+    if (!timeline.empty() && timeline.saveJson(tl_out)) {
+        std::cout << "[timeline: " << tl_out << "]\n";
+        manifest.addArtifact(tl_out);
+    }
+    if (manifest.save("manifest.json"))
+        std::cout << "[manifest: manifest.json]\n";
+    return 0;
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Fleet-serving throughput microbenchmarks (google-benchmark):
+ * batched SoA detector scoring versus the scalar path, the
+ * hardened-detector batch kernels, and the full evax_serve replay
+ * loop (docs/SERVING.md, docs/PERFORMANCE.md).
+ *
+ * The JSON emitted with --benchmark_out=... merges into the
+ * committed BENCH_sim.json baseline; check_bench_regression.py
+ * compares fresh runs against it on the windows_per_sec counter,
+ * so a PR that slows the batched scoring kernels down fails
+ * loudly.
+ *
+ *   windows_per_sec  feature windows scored per wall-clock second
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "core/serve.hh"
+#include "detect/batch.hh"
+#include "detect/hardened.hh"
+#include "detect/perspectron.hh"
+
+using namespace evax;
+
+namespace
+{
+
+/** Windows per measured batch. */
+constexpr size_t kBatchRows = 8192;
+
+ServeConfig
+benchConfig()
+{
+    ServeConfig cfg;
+    cfg.tenants = 1024;
+    cfg.windowsPerTenant = 8;
+    cfg.batchRows = kBatchRows;
+    return cfg;
+}
+
+/** Corpus + trained detector + replay bank, built once. */
+const ServeSetup &
+sharedSetup()
+{
+    static ServeSetup setup = buildServeSetup(benchConfig());
+    return setup;
+}
+
+/** One synthesized kBatchRows-window batch, built once. */
+const WindowBatch &
+sharedBatch()
+{
+    static WindowBatch batch = [] {
+        WindowBatch b;
+        fillServeBatch(benchConfig(), sharedSetup().bank, 0,
+                       kBatchRows, b);
+        return b;
+    }();
+    return batch;
+}
+
+void
+reportWindowsRate(benchmark::State &state, uint64_t windows)
+{
+    state.counters["windows_per_sec"] = benchmark::Counter(
+        (double)windows, benchmark::Counter::kIsRate);
+}
+
+/** Batched SoA scoring of one detector over the shared batch. */
+void
+scoreBatchThroughput(benchmark::State &state, const Detector &det)
+{
+    const WindowBatch &batch = sharedBatch();
+    std::vector<double> scores(batch.rows());
+    uint64_t windows = 0;
+    for (auto _ : state) {
+        det.scoreBatch(batch, 0, batch.rows(), scores.data());
+        benchmark::DoNotOptimize(scores.data());
+        windows += batch.rows();
+    }
+    reportWindowsRate(state, windows);
+}
+
+void
+evaxBatch(benchmark::State &state)
+{
+    scoreBatchThroughput(state, *sharedSetup().detector);
+}
+
+void
+evaxScalar(benchmark::State &state)
+{
+    // The pre-batching path: one window copy + one scalar score
+    // per row. Kept as the denominator of the batching speedup
+    // (docs/PERFORMANCE.md).
+    const Detector &det = *sharedSetup().detector;
+    const WindowBatch &batch = sharedBatch();
+    std::vector<double> window;
+    uint64_t windows = 0;
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (size_t r = 0; r < batch.rows(); ++r) {
+            window = batch.rowVector(r);
+            sum += det.score(window);
+        }
+        benchmark::DoNotOptimize(sum);
+        windows += batch.rows();
+    }
+    reportWindowsRate(state, windows);
+}
+
+void
+evaxSharded(benchmark::State &state)
+{
+    const Detector &det = *sharedSetup().detector;
+    const WindowBatch &batch = sharedBatch();
+    std::vector<double> scores;
+    uint64_t windows = 0;
+    for (auto _ : state) {
+        scoreBatchSharded(det, batch, scores, 1024);
+        benchmark::DoNotOptimize(scores.data());
+        windows += batch.rows();
+    }
+    reportWindowsRate(state, windows);
+}
+
+void
+perspectronBatch(benchmark::State &state)
+{
+    PerSpectron det(1);
+    scoreBatchThroughput(state, det);
+}
+
+void
+stochasticBatch(benchmark::State &state)
+{
+    auto inner = std::make_unique<EvaxDetector>();
+    StochasticDetector det(std::move(inner), StochasticConfig{});
+    scoreBatchThroughput(state, det);
+}
+
+void
+ensembleBatch(benchmark::State &state)
+{
+    EnsembleConfig cfg;
+    cfg.members = 3;
+    DetectorEnsemble det(cfg);
+    scoreBatchThroughput(state, det);
+}
+
+/** The whole replay loop: generate + score + flag every batch. */
+void
+replayLoop(benchmark::State &state)
+{
+    ServeConfig cfg = benchConfig();
+    const ServeSetup &setup = sharedSetup();
+    uint64_t windows = 0;
+    for (auto _ : state) {
+        ServeResult res = runServe(cfg, setup);
+        benchmark::DoNotOptimize(res.scoreDigest);
+        windows += res.windows;
+    }
+    reportWindowsRate(state, windows);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    printBuildInfo(std::cout);
+
+    RunManifest manifest = RunManifest::forTool(
+        argc > 0 ? argv[0] : "bench_serve", argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        const std::string kOut = "--benchmark_out=";
+        if (arg.rfind(kOut, 0) == 0)
+            manifest.addArtifact(arg.substr(kOut.size()));
+    }
+
+    benchmark::RegisterBenchmark("serve/score_batch/evax",
+                                 evaxBatch)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("serve/score_scalar/evax",
+                                 evaxScalar)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("serve/score_sharded/evax",
+                                 evaxSharded)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("serve/score_batch/perspectron",
+                                 perspectronBatch)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("serve/score_batch/stochastic",
+                                 stochasticBatch)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("serve/score_batch/ensemble3",
+                                 ensembleBatch)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("serve/replay_loop", replayLoop)
+        ->Unit(benchmark::kMillisecond);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (manifest.save("manifest.json"))
+        std::cout << "[manifest: manifest.json]\n";
+    return 0;
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_sim_throughput run against a committed
-baseline (google-benchmark JSON, e.g. BENCH_sim.json).
+"""Compare a fresh bench_sim_throughput or bench_serve run against
+a committed baseline (google-benchmark JSON, e.g. BENCH_sim.json).
 
 Every benchmark present in BOTH files is compared on its rate
-counters (ticks_per_sec, insts_per_sec): the current run must reach
+counters (ticks_per_sec, insts_per_sec, windows_per_sec): the
+current run must reach
 at least baseline/tolerance.  The default tolerance of 2.0 is
 deliberately generous so CI machine noise never blocks a PR; a real
 hot-path regression is far bigger than 2x on these counters.
@@ -28,7 +29,8 @@ import argparse
 import json
 import sys
 
-RATE_COUNTERS = ("ticks_per_sec", "insts_per_sec")
+RATE_COUNTERS = ("ticks_per_sec", "insts_per_sec",
+                 "windows_per_sec")
 
 
 def load_rates(path):

@@ -1,0 +1,270 @@
+#include "core/serve.hh"
+
+#include <chrono>
+#include <sstream>
+
+#include "detect/hardened.hh"
+#include "hpc/features.hh"
+#include "util/log.hh"
+#include "util/parallel.hh"
+#include "util/stats.hh"
+#include "util/timeline.hh"
+
+namespace evax
+{
+
+namespace
+{
+
+/** Salt so tenant assignment and window draws are independent. */
+constexpr uint64_t kAttackerSalt = 0xa77ac4e27ULL;
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** FNV-1a continuation over raw bytes (decision digests). */
+uint64_t
+fnvBytes(const uint8_t *bytes, size_t count, uint64_t h)
+{
+    for (size_t i = 0; i < count; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+hexDigest(uint64_t v)
+{
+    std::ostringstream ss;
+    ss << "0x" << std::hex << v;
+    return ss.str();
+}
+
+} // anonymous namespace
+
+WindowBank
+buildWindowBank(const Dataset &corpus)
+{
+    WindowBank bank;
+    bank.benign.setWidth(FeatureCatalog::numBase);
+    bank.attack.setWidth(FeatureCatalog::numBase);
+    for (const auto &s : corpus.samples)
+        (s.malicious ? bank.attack : bank.benign).append(s.x);
+    if (bank.benign.empty())
+        fatal("buildWindowBank: corpus has no benign windows");
+    return bank;
+}
+
+bool
+tenantIsAttacker(const ServeConfig &config, uint64_t tenant)
+{
+    if (config.attackFraction <= 0.0)
+        return false;
+    Rng rng = Rng::forTask(config.seed ^ kAttackerSalt, tenant);
+    return rng.nextDouble() < config.attackFraction;
+}
+
+void
+fillServeBatch(const ServeConfig &config, const WindowBank &bank,
+               uint64_t g0, uint64_t g1, WindowBatch &out)
+{
+    const size_t width = bank.benign.width();
+    if (out.width() != width)
+        out.setWidth(width);
+    out.resize(g1 - g0);
+    parallelChunks(g1 - g0, config.shardRows,
+                   [&](size_t lo, size_t hi) {
+        for (size_t r = lo; r < hi; ++r) {
+            uint64_t g = g0 + r;
+            uint64_t tenant = g / config.windowsPerTenant;
+            const WindowBatch &src =
+                tenantIsAttacker(config, tenant) &&
+                        !bank.attack.empty()
+                    ? bank.attack
+                    : bank.benign;
+            // One generator per window index: the draw depends on
+            // g alone, never on batch boundaries or threads.
+            Rng rng = Rng::forTask(config.seed, g);
+            size_t idx = (size_t)rng.nextBounded(src.rows());
+            double scale = 1.0 + config.jitter *
+                                     (2.0 * rng.nextDouble() - 1.0);
+            const double *srow = src.row(idx);
+            double *dst = out.row(r);
+            for (size_t i = 0; i < width; ++i)
+                dst[i] = srow[i] * scale;
+        }
+    });
+}
+
+ServeSetup
+buildServeSetup(const ServeConfig &config)
+{
+    ServeSetup setup;
+    Collector collector(config.scale.collector);
+    setup.corpus = collector.collectCorpus();
+    setup.profile = Collector::normalize(setup.corpus);
+    Rng rng(config.seed);
+    setup.corpus.shuffle(rng);
+
+    if (config.members > 1) {
+        EnsembleConfig ec;
+        ec.members = config.members;
+        ec.stochasticSigma = config.sigma;
+        ec.seed = deriveTaskSeed(config.seed, 1);
+        setup.detector = std::make_shared<DetectorEnsemble>(ec);
+    } else if (config.sigma > 0.0) {
+        auto inner = std::make_unique<EvaxDetector>(
+            FeatureCatalog::engineered(),
+            deriveTaskSeed(config.seed, 2));
+        StochasticConfig sc;
+        sc.sigma = config.sigma;
+        setup.detector = std::make_shared<StochasticDetector>(
+            std::move(inner), sc);
+    } else {
+        setup.detector = std::make_shared<EvaxDetector>(
+            FeatureCatalog::engineered(),
+            deriveTaskSeed(config.seed, 2));
+    }
+    trainTraditional(*setup.detector, setup.corpus,
+                     config.scale.trainEpochs, config.scale.maxFpr,
+                     rng);
+    setup.bank = buildWindowBank(setup.corpus);
+    return setup;
+}
+
+Table
+ServeResult::summaryTable() const
+{
+    Table t({"metric", "value"});
+    t.addRow({"detector", detectorName});
+    t.addRow({"tenants", std::to_string(tenants)});
+    t.addRow({"attack_tenants", std::to_string(attackTenants)});
+    t.addRow({"windows", std::to_string(windows)});
+    t.addRow({"attack_windows", std::to_string(attackWindows)});
+    t.addRow({"batches", std::to_string(batches)});
+    t.addRow({"flags", std::to_string(flags)});
+    t.addRow({"attack_flags", std::to_string(attackFlags)});
+    t.addRow({"benign_flags", std::to_string(benignFlags)});
+    t.addRow({"score_digest", hexDigest(scoreDigest)});
+    t.addRow({"flag_digest", hexDigest(flagDigest)});
+    return t;
+}
+
+Table
+ServeResult::timingTable() const
+{
+    Table t({"metric", "value"});
+    t.addRow({"gen_seconds", Table::fmt(genSeconds, 4)});
+    t.addRow({"score_seconds", Table::fmt(scoreSeconds, 4)});
+    t.addRow({"flag_seconds", Table::fmt(flagSeconds, 4)});
+    t.addRow({"windows_per_sec", Table::fmt(windowsPerSec, 0)});
+    t.addRow({"p50_batch_us", Table::fmt(p50BatchUs, 1)});
+    t.addRow({"p99_batch_us", Table::fmt(p99BatchUs, 1)});
+    return t;
+}
+
+ServeResult
+runServe(const ServeConfig &config, const ServeSetup &setup,
+         Timeline *timeline)
+{
+    if (!setup.detector)
+        fatal("runServe: setup has no detector");
+    if (config.windowsPerTenant == 0)
+        fatal("runServe: windowsPerTenant must be >= 1");
+    const size_t batch_rows =
+        config.batchRows ? config.batchRows : 1;
+
+    ServeResult res;
+    res.tenants = config.tenants;
+    res.windows = config.tenants * config.windowsPerTenant;
+    res.detectorName = setup.detector->name();
+    res.scoreDigest = 0xcbf29ce484222325ULL;
+    res.flagDigest =
+        config.decisions ? 0xcbf29ce484222325ULL : 0;
+    for (uint64_t t = 0; t < config.tenants; ++t)
+        res.attackTenants += tenantIsAttacker(config, t) ? 1 : 0;
+
+    size_t replay_span = 0;
+    if (timeline) {
+        replay_span =
+            timeline->beginSpan("serve.phase", "replay", 0, 0);
+    }
+
+    WindowBatch batch(setup.bank.benign.width());
+    std::vector<double> scores;
+    std::vector<uint8_t> flags;
+    std::vector<double> batch_us;
+    const Detector &det = *setup.detector;
+    for (uint64_t g0 = 0; g0 < res.windows; g0 += batch_rows) {
+        uint64_t g1 = std::min<uint64_t>(g0 + batch_rows,
+                                         res.windows);
+        ServeBatchStat stat;
+        stat.rows = g1 - g0;
+
+        auto t0 = std::chrono::steady_clock::now();
+        fillServeBatch(config, setup.bank, g0, g1, batch);
+        auto t1 = std::chrono::steady_clock::now();
+        scoreBatchSharded(det, batch, scores, config.shardRows);
+        auto t2 = std::chrono::steady_clock::now();
+        if (config.decisions)
+            flagBatchSharded(det, batch, flags, config.shardRows);
+        auto t3 = std::chrono::steady_clock::now();
+
+        stat.genSeconds = seconds(t0, t1);
+        stat.scoreSeconds = seconds(t1, t2);
+        stat.flagSeconds = seconds(t2, t3);
+        res.scoreDigest = batchDigest(scores.data(), scores.size(),
+                                      res.scoreDigest);
+        for (uint64_t g = g0; g < g1; ++g) {
+            bool atk = tenantIsAttacker(
+                config, g / config.windowsPerTenant);
+            res.attackWindows += atk ? 1 : 0;
+            if (config.decisions && flags[g - g0]) {
+                ++res.flags;
+                (atk ? res.attackFlags : res.benignFlags) += 1;
+            }
+        }
+        if (config.decisions) {
+            res.flagDigest = fnvBytes(flags.data(), flags.size(),
+                                      res.flagDigest);
+        }
+        ++res.batches;
+        res.genSeconds += stat.genSeconds;
+        res.scoreSeconds += stat.scoreSeconds;
+        res.flagSeconds += stat.flagSeconds;
+        batch_us.push_back(stat.scoreSeconds * 1e6);
+        if (timeline) {
+            double wps = stat.scoreSeconds > 0.0
+                             ? (double)stat.rows /
+                                   stat.scoreSeconds
+                             : 0.0;
+            timeline->addPoint("serve.windows_per_sec", g1,
+                               res.batches, wps);
+            timeline->addPoint("serve.batch_score_us", g1,
+                               res.batches,
+                               stat.scoreSeconds * 1e6);
+        }
+        res.batchStats.push_back(stat);
+    }
+
+    if (res.scoreSeconds > 0.0) {
+        res.windowsPerSec =
+            (double)res.windows / res.scoreSeconds;
+    }
+    if (!batch_us.empty()) {
+        res.p50BatchUs = percentile(batch_us, 50.0);
+        res.p99BatchUs = percentile(batch_us, 99.0);
+    }
+    if (timeline) {
+        timeline->endSpan(replay_span, res.windows, res.batches);
+        timeline->closeOpenSpans(res.windows, res.batches);
+    }
+    return res;
+}
+
+} // namespace evax

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fleet-scale detector serving: the multi-tenant replay driver
+ * behind tools/evax_serve.cc and bench/bench_serve.cc
+ * (docs/SERVING.md).
+ *
+ * A WindowBank holds the normalized corpus windows split into
+ * benign and attack pools. The replay loop synthesizes a window
+ * stream for T simulated tenants — each tenant replays
+ * windowsPerTenant windows drawn from its pool with a per-window
+ * amplitude jitter — packs them into WindowBatch blocks, and
+ * scores every block through the detector's batched SoA kernels,
+ * sharded over the thread pool (detect/batch.hh).
+ *
+ * Determinism contract: window g of the stream depends only on
+ * (config, g) — tenant attack assignment is a hash of the tenant
+ * id, the per-window draw comes from Rng::forTask(seed, g) — and
+ * the batched kernels bit-match the scalar detectors, so scores,
+ * flags and the summary digests are byte-identical at any thread
+ * count and any batch size (tests/test_serve.cc). Timing metrics
+ * (windows/sec, per-batch latency percentiles) are reported
+ * separately and never enter the summary CSV.
+ */
+
+#ifndef EVAX_CORE_SERVE_HH
+#define EVAX_CORE_SERVE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "detect/batch.hh"
+#include "hpc/window_batch.hh"
+#include "util/csv.hh"
+
+namespace evax
+{
+
+class Timeline;
+
+/** Replay-driver configuration. */
+struct ServeConfig
+{
+    /** Simulated tenants in the fleet. */
+    uint64_t tenants = 1024;
+    /** Windows each tenant replays. */
+    unsigned windowsPerTenant = 8;
+    /** Windows generated and scored per batch. */
+    size_t batchRows = 8192;
+    /** Rows per thread-pool shard inside a batch. */
+    size_t shardRows = kDefaultShardRows;
+    /** Fraction of tenants replaying attack windows. */
+    double attackFraction = 0.02;
+    /** Per-window amplitude jitter (one draw per window). */
+    double jitter = 0.05;
+    /** >0 serves a StochasticDetector at this sigma. */
+    double sigma = 0.0;
+    /** >1 serves a majority-vote DetectorEnsemble. */
+    unsigned members = 1;
+    /** Also run the thresholded decision pass per batch. */
+    bool decisions = true;
+    uint64_t seed = 42;
+    /** Corpus collection + detector training scale. */
+    ExperimentScale scale = ExperimentScale::quick();
+};
+
+/** Normalized corpus windows split into replay pools. */
+struct WindowBank
+{
+    WindowBatch benign; ///< numBase-wide benign windows
+    WindowBatch attack; ///< numBase-wide attack windows
+};
+
+/** Partition a normalized corpus into replay pools. */
+WindowBank buildWindowBank(const Dataset &corpus);
+
+/** True if tenant @p tenant replays attack windows. */
+bool tenantIsAttacker(const ServeConfig &config, uint64_t tenant);
+
+/**
+ * Synthesize stream windows [g0, g1) into @p out (row g - g0 holds
+ * window g). Depends only on (config, bank, g) — never on batch
+ * boundaries — so any batching of the stream produces the same
+ * windows.
+ */
+void fillServeBatch(const ServeConfig &config,
+                    const WindowBank &bank, uint64_t g0,
+                    uint64_t g1, WindowBatch &out);
+
+/** Everything the replay loop needs, built once. */
+struct ServeSetup
+{
+    Dataset corpus; ///< normalized, shuffled
+    NormalizationProfile profile;
+    WindowBank bank;
+    std::shared_ptr<Detector> detector;
+};
+
+/**
+ * Collect the corpus at config.scale, train the configured
+ * detector (EVAX; stochastic EVAX when sigma > 0; ensemble when
+ * members > 1), and build the replay bank.
+ */
+ServeSetup buildServeSetup(const ServeConfig &config);
+
+/** Per-batch replay timing (wall clock; not deterministic). */
+struct ServeBatchStat
+{
+    uint64_t rows = 0;
+    double genSeconds = 0.0;
+    double scoreSeconds = 0.0;
+    double flagSeconds = 0.0;
+};
+
+/** Replay outcome: deterministic totals plus timing. */
+struct ServeResult
+{
+    // Deterministic at any thread count / batch size.
+    uint64_t tenants = 0;
+    uint64_t windows = 0;
+    uint64_t batches = 0;
+    uint64_t attackTenants = 0;
+    uint64_t attackWindows = 0;
+    uint64_t flags = 0;
+    uint64_t attackFlags = 0;
+    uint64_t benignFlags = 0;
+    uint64_t scoreDigest = 0; ///< batchDigest over every score
+    uint64_t flagDigest = 0;  ///< FNV-1a over every decision byte
+    std::string detectorName;
+
+    // Wall-clock metrics (machine-dependent; never in the CSV).
+    double genSeconds = 0.0;
+    double scoreSeconds = 0.0;
+    double flagSeconds = 0.0;
+    double windowsPerSec = 0.0; ///< windows / scoreSeconds
+    double p50BatchUs = 0.0;    ///< per-batch scoring latency
+    double p99BatchUs = 0.0;
+    std::vector<ServeBatchStat> batchStats;
+
+    /** Deterministic columns only (the pinned-digest CSV). */
+    Table summaryTable() const;
+    /** Timing report for stdout (not for the summary CSV). */
+    Table timingTable() const;
+};
+
+/**
+ * Replay the whole stream through @p setup's detector in
+ * config.batchRows blocks. @p timeline (optional) receives
+ * replay-phase spans and a per-batch windows/sec series.
+ */
+ServeResult runServe(const ServeConfig &config,
+                     const ServeSetup &setup,
+                     Timeline *timeline = nullptr);
+
+} // namespace evax
+
+#endif // EVAX_CORE_SERVE_HH

@@ -1,0 +1,32 @@
+#include "detect/batch.hh"
+
+#include "util/parallel.hh"
+
+namespace evax
+{
+
+void
+scoreBatchSharded(const Detector &det, const WindowBatch &base,
+                  std::vector<double> &out, size_t shard)
+{
+    out.resize(base.rows());
+    parallelChunks(base.rows(), shard,
+                   [&](size_t lo, size_t hi) {
+                       det.scoreBatch(base, lo, hi,
+                                      out.data() + lo);
+                   });
+}
+
+void
+flagBatchSharded(const Detector &det, const WindowBatch &base,
+                 std::vector<uint8_t> &out, size_t shard)
+{
+    out.resize(base.rows());
+    parallelChunks(base.rows(), shard,
+                   [&](size_t lo, size_t hi) {
+                       det.flagBatch(base, lo, hi,
+                                     out.data() + lo);
+                   });
+}
+
+} // namespace evax

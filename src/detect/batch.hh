@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Thread-pool sharding for batched detector scoring.
+ *
+ * A WindowBatch is split into fixed-size row shards
+ * (parallelChunks) and each shard is scored independently through
+ * the detector's scoreBatch/flagBatch kernel into its own slice of
+ * the output. Shard boundaries depend only on (rows, shard), every
+ * kernel writes results by row index, and all per-window
+ * randomness is keyed off the window bits (windowNoiseKey) — so
+ * the output is byte-identical at any thread count, including
+ * fully serial (tests/test_serve.cc pins this).
+ */
+
+#ifndef EVAX_DETECT_BATCH_HH
+#define EVAX_DETECT_BATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector.hh"
+#include "hpc/window_batch.hh"
+
+namespace evax
+{
+
+/** Default rows per shard for the sharded scoring helpers. */
+constexpr size_t kDefaultShardRows = 4096;
+
+/**
+ * Score every row of @p base into @p out (resized to base.rows()),
+ * sharding over the global thread pool in chunks of @p shard rows.
+ */
+void scoreBatchSharded(const Detector &det, const WindowBatch &base,
+                       std::vector<double> &out,
+                       size_t shard = kDefaultShardRows);
+
+/** flagBatch counterpart of scoreBatchSharded(). */
+void flagBatchSharded(const Detector &det, const WindowBatch &base,
+                      std::vector<uint8_t> &out,
+                      size_t shard = kDefaultShardRows);
+
+} // namespace evax
+
+#endif // EVAX_DETECT_BATCH_HH

@@ -1,0 +1,48 @@
+#include "detect/detector.hh"
+
+namespace evax
+{
+
+void
+Detector::scoreBatch(const WindowBatch &base, size_t row0,
+                     size_t row1, double *out) const
+{
+    // Fallback for detectors without an SoA kernel: the scalar
+    // path per row, through a reused per-thread window copy.
+    thread_local std::vector<double> window;
+    for (size_t r = row0; r < row1; ++r) {
+        const double *row = base.row(r);
+        window.assign(row, row + base.width());
+        out[r - row0] = score(window);
+    }
+}
+
+void
+Detector::flagBatch(const WindowBatch &base, size_t row0,
+                    size_t row1, uint8_t *out) const
+{
+    thread_local std::vector<double> window;
+    for (size_t r = row0; r < row1; ++r) {
+        const double *row = base.row(r);
+        window.assign(row, row + base.width());
+        out[r - row0] = flag(window) ? 1 : 0;
+    }
+}
+
+void
+Detector::scoreAll(const WindowBatch &base,
+                   std::vector<double> &out) const
+{
+    out.resize(base.rows());
+    scoreBatch(base, 0, base.rows(), out.data());
+}
+
+void
+Detector::flagAll(const WindowBatch &base,
+                  std::vector<uint8_t> &out) const
+{
+    out.resize(base.rows());
+    flagBatch(base, 0, base.rows(), out.data());
+}
+
+} // namespace evax

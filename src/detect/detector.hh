@@ -11,9 +11,11 @@
 #ifndef EVAX_DETECT_DETECTOR_HH
 #define EVAX_DETECT_DETECTOR_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "hpc/window_batch.hh"
 #include "ml/dataset.hh"
 #include "util/rng.hh"
 
@@ -31,6 +33,30 @@ class Detector
 
     /** Thresholded decision. */
     virtual bool flag(const std::vector<double> &base) const = 0;
+
+    /**
+     * Batched scoring over rows [row0, row1) of a base-feature
+     * batch: out[r - row0] = score(row r). The default walks the
+     * scalar path row by row; the deployed detectors override it
+     * with allocation-free SoA kernels. All implementations must
+     * return bit-identical scores to the scalar path and must be
+     * safe to call concurrently on disjoint row ranges (the
+     * sharding contract of detect/batch.hh).
+     */
+    virtual void scoreBatch(const WindowBatch &base, size_t row0,
+                            size_t row1, double *out) const;
+
+    /** Batched decisions: out[r - row0] = flag(row r) ? 1 : 0. */
+    virtual void flagBatch(const WindowBatch &base, size_t row0,
+                           size_t row1, uint8_t *out) const;
+
+    /** scoreBatch over the whole batch into a vector. */
+    void scoreAll(const WindowBatch &base,
+                  std::vector<double> &out) const;
+
+    /** flagBatch over the whole batch into a vector. */
+    void flagAll(const WindowBatch &base,
+                 std::vector<uint8_t> &out) const;
 
     /**
      * Train on a dataset of base-feature samples.

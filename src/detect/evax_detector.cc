@@ -1,5 +1,6 @@
 #include "detect/evax_detector.hh"
 
+#include "detect/hardened.hh"
 #include "util/statreg.hh"
 
 namespace evax
@@ -38,6 +39,131 @@ EvaxDetector::expand(const std::vector<double> &base) const
     std::vector<double> x;
     expandInto(base, x);
     return x;
+}
+
+void
+EvaxDetector::expandBatch(const WindowBatch &base, size_t row0,
+                          size_t row1, WindowBatch &out) const
+{
+    const size_t ewidth = FeatureCatalog::numBase +
+                          engineered_.size();
+    if (out.width() != ewidth)
+        out.setWidth(ewidth);
+    out.resize(row1 - row0);
+    const size_t n = std::min(base.width(),
+                              FeatureCatalog::numBase);
+    for (size_t r = row0; r < row1; ++r) {
+        const double *src = base.row(r);
+        double *dst = out.row(r - row0);
+        for (size_t i = 0; i < n; ++i)
+            dst[i] = src[i];
+        for (size_t i = n; i < FeatureCatalog::numBase; ++i)
+            dst[i] = 0.0;
+        size_t e = FeatureCatalog::numBase;
+        for (const auto &[ia, ib] : engineeredIdx_)
+            dst[e++] = std::min(dst[ia], dst[ib]);
+    }
+}
+
+void
+EvaxDetector::scoreBatch(const WindowBatch &base, size_t row0,
+                         size_t row1, double *out) const
+{
+    if (base.width() < FeatureCatalog::numBase) {
+        // Narrow rows need the zero-padding of the expand path.
+        // thread_local scratch: shards score disjoint row ranges
+        // on worker threads (detect/batch.hh), so the reused
+        // expanded batch must be per-thread.
+        thread_local WindowBatch expanded;
+        expandBatch(base, row0, row1, expanded);
+        model_.scoreBatch(expanded.data(), expanded.rows(),
+                          expanded.width(), out);
+        return;
+    }
+    // Fused expand+score: the engineered min() terms are folded
+    // into the dot product, so the 145-wide expanded batch is
+    // never materialized — half the memory traffic of
+    // expandBatch + Perceptron::scoreBatch. Each row's sum keeps
+    // the scalar accumulation order (base features in index
+    // order, then the engineered terms), and rows go four at a
+    // time with independent accumulators, exactly like
+    // Perceptron::scoreBatch — scores stay bit-identical to
+    // score() (tests/test_serve.cc).
+    const double *w = model_.weights().data();
+    const double bias = model_.bias();
+    const size_t nb = FeatureCatalog::numBase;
+    size_t r = row0;
+    for (; r + 4 <= row1; r += 4) {
+        const double *x0 = base.row(r);
+        const double *x1 = base.row(r + 1);
+        const double *x2 = base.row(r + 2);
+        const double *x3 = base.row(r + 3);
+        double s0 = bias, s1 = bias, s2 = bias, s3 = bias;
+        for (size_t i = 0; i < nb; ++i) {
+            double wi = w[i];
+            s0 += wi * x0[i];
+            s1 += wi * x1[i];
+            s2 += wi * x2[i];
+            s3 += wi * x3[i];
+        }
+        size_t e = nb;
+        for (const auto &[ia, ib] : engineeredIdx_) {
+            double wi = w[e++];
+            s0 += wi * std::min(x0[ia], x0[ib]);
+            s1 += wi * std::min(x1[ia], x1[ib]);
+            s2 += wi * std::min(x2[ia], x2[ib]);
+            s3 += wi * std::min(x3[ia], x3[ib]);
+        }
+        out[r - row0] = s0;
+        out[r - row0 + 1] = s1;
+        out[r - row0 + 2] = s2;
+        out[r - row0 + 3] = s3;
+    }
+    for (; r < row1; ++r) {
+        const double *x = base.row(r);
+        double s = bias;
+        for (size_t i = 0; i < nb; ++i)
+            s += w[i] * x[i];
+        size_t e = nb;
+        for (const auto &[ia, ib] : engineeredIdx_)
+            s += w[e++] * std::min(x[ia], x[ib]);
+        out[r - row0] = s;
+    }
+}
+
+void
+EvaxDetector::flagBatch(const WindowBatch &base, size_t row0,
+                        size_t row1, uint8_t *out) const
+{
+    const size_t n = row1 - row0;
+    thread_local std::vector<double> scores;
+    scores.resize(n);
+    scoreBatch(base, row0, row1, scores.data());
+    uint64_t raised = 0;
+    const double t = model_.threshold();
+    for (size_t i = 0; i < n; ++i) {
+        out[i] = scores[i] >= t ? 1 : 0;
+        raised += out[i];
+    }
+    windows_.fetch_add(n, std::memory_order_relaxed);
+    flags_.fetch_add(raised, std::memory_order_relaxed);
+}
+
+void
+EvaxDetector::scoreStochasticBatch(const WindowBatch &base,
+                                   size_t row0, size_t row1,
+                                   double sigma,
+                                   uint64_t noise_seed,
+                                   double *out) const
+{
+    thread_local WindowBatch expanded;
+    expandBatch(base, row0, row1, expanded);
+    for (size_t r = row0; r < row1; ++r) {
+        uint64_t key = windowNoiseKey(base.row(r), base.width(),
+                                      noise_seed);
+        out[r - row0] = model_.scorePerturbedRow(
+            expanded.row(r - row0), expanded.width(), sigma, key);
+    }
 }
 
 double

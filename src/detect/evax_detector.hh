@@ -52,6 +52,32 @@ class EvaxDetector : public Detector
                     std::vector<double> &out) const;
 
     /**
+     * Batched expand: rows [row0, row1) of a base-feature batch
+     * become contiguous 145-wide rows of @p out (width numBase +
+     * engineered). Same truncate/zero-pad convention as
+     * expandInto(), so the expanded rows are bit-identical to the
+     * scalar expansion of each row.
+     */
+    void expandBatch(const WindowBatch &base, size_t row0,
+                     size_t row1, WindowBatch &out) const;
+
+    void scoreBatch(const WindowBatch &base, size_t row0,
+                    size_t row1, double *out) const override;
+    void flagBatch(const WindowBatch &base, size_t row0,
+                   size_t row1, uint8_t *out) const override;
+
+    /**
+     * Batched stochastic inference: expand once, then score each
+     * row with scorePerturbedRow() under the per-window noise key
+     * windowNoiseKey(row, noise_seed) — the exact scalar
+     * StochasticDetector recipe, row by row.
+     */
+    void scoreStochasticBatch(const WindowBatch &base, size_t row0,
+                              size_t row1, double sigma,
+                              uint64_t noise_seed,
+                              double *out) const;
+
+    /**
      * Stochastic-inference score: expand, then score with
      * key-seeded weight noise (Perceptron::scorePerturbed). Used
      * by the hardened detectors (detect/hardened.hh).

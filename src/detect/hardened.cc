@@ -1,5 +1,6 @@
 #include "detect/hardened.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/log.hh"
@@ -8,18 +9,24 @@ namespace evax
 {
 
 uint64_t
-windowNoiseKey(const std::vector<double> &base, uint64_t seed)
+windowNoiseKey(const double *base, size_t n, uint64_t seed)
 {
     uint64_t h = 0xcbf29ce484222325ULL ^ seed;
-    for (double v : base) {
+    for (size_t i = 0; i < n; ++i) {
         uint64_t bits;
-        std::memcpy(&bits, &v, sizeof(bits));
+        std::memcpy(&bits, &base[i], sizeof(bits));
         for (int b = 0; b < 8; ++b) {
             h ^= (bits >> (8 * b)) & 0xff;
             h *= 0x100000001b3ULL;
         }
     }
     return h;
+}
+
+uint64_t
+windowNoiseKey(const std::vector<double> &base, uint64_t seed)
+{
+    return windowNoiseKey(base.data(), base.size(), seed);
 }
 
 // --- StochasticDetector ----------------------------------------
@@ -44,6 +51,27 @@ bool
 StochasticDetector::flag(const std::vector<double> &base) const
 {
     return score(base) >= inner_->model().threshold();
+}
+
+void
+StochasticDetector::scoreBatch(const WindowBatch &base, size_t row0,
+                               size_t row1, double *out) const
+{
+    inner_->scoreStochasticBatch(base, row0, row1, config_.sigma,
+                                 config_.seed, out);
+}
+
+void
+StochasticDetector::flagBatch(const WindowBatch &base, size_t row0,
+                              size_t row1, uint8_t *out) const
+{
+    const size_t n = row1 - row0;
+    thread_local std::vector<double> scores;
+    scores.resize(n);
+    scoreBatch(base, row0, row1, scores.data());
+    const double t = inner_->model().threshold();
+    for (size_t i = 0; i < n; ++i)
+        out[i] = scores[i] >= t ? 1 : 0;
 }
 
 void
@@ -116,6 +144,62 @@ DetectorEnsemble::score(const std::vector<double> &base) const
     for (size_t i = 0; i < members_.size(); ++i)
         sum += memberScore(i, base);
     return sum / (double)members_.size();
+}
+
+void
+DetectorEnsemble::memberScoreBatch(size_t i, const WindowBatch &base,
+                                   size_t row0, size_t row1,
+                                   double *out) const
+{
+    if (config_.stochasticSigma > 0.0) {
+        members_[i]->scoreStochasticBatch(
+            base, row0, row1, config_.stochasticSigma,
+            deriveTaskSeed(config_.noiseSeed, i), out);
+    } else {
+        members_[i]->scoreBatch(base, row0, row1, out);
+    }
+}
+
+void
+DetectorEnsemble::scoreBatch(const WindowBatch &base, size_t row0,
+                             size_t row1, double *out) const
+{
+    const size_t n = row1 - row0;
+    // Member-major accumulation: out[i] sums member scores in the
+    // same order as the scalar score() loop, then divides — no
+    // reassociation, so the mean bit-matches the scalar path.
+    thread_local std::vector<double> member_scores;
+    member_scores.resize(n);
+    std::fill(out, out + n, 0.0);
+    for (size_t m = 0; m < members_.size(); ++m) {
+        memberScoreBatch(m, base, row0, row1,
+                         member_scores.data());
+        for (size_t i = 0; i < n; ++i)
+            out[i] += member_scores[i];
+    }
+    for (size_t i = 0; i < n; ++i)
+        out[i] /= (double)members_.size();
+}
+
+void
+DetectorEnsemble::flagBatch(const WindowBatch &base, size_t row0,
+                            size_t row1, uint8_t *out) const
+{
+    const size_t n = row1 - row0;
+    thread_local std::vector<double> member_scores;
+    thread_local std::vector<unsigned> votes;
+    member_scores.resize(n);
+    votes.assign(n, 0);
+    for (size_t m = 0; m < members_.size(); ++m) {
+        memberScoreBatch(m, base, row0, row1,
+                         member_scores.data());
+        const double t = members_[m]->model().threshold();
+        for (size_t i = 0; i < n; ++i)
+            votes[i] += member_scores[i] >= t ? 1 : 0;
+    }
+    const unsigned needed = votesNeeded();
+    for (size_t i = 0; i < n; ++i)
+        out[i] = votes[i] >= needed ? 1 : 0;
 }
 
 unsigned

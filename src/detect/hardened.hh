@@ -37,6 +37,10 @@ namespace evax
 uint64_t windowNoiseKey(const std::vector<double> &base,
                         uint64_t seed);
 
+/** windowNoiseKey over a raw row (batched scoring path). */
+uint64_t windowNoiseKey(const double *base, size_t n,
+                        uint64_t seed);
+
 /** Stochastic-inference configuration. */
 struct StochasticConfig
 {
@@ -61,6 +65,11 @@ class StochasticDetector : public Detector
     void tuneSensitivity(const Dataset &data,
                          double quantile) override;
     const char *name() const override { return "stochastic-evax"; }
+
+    void scoreBatch(const WindowBatch &base, size_t row0,
+                    size_t row1, double *out) const override;
+    void flagBatch(const WindowBatch &base, size_t row0,
+                   size_t row1, uint8_t *out) const override;
 
     EvaxDetector &inner() { return *inner_; }
     const EvaxDetector &inner() const { return *inner_; }
@@ -107,6 +116,13 @@ class DetectorEnsemble : public Detector
                          double quantile) override;
     const char *name() const override { return "evax-ensemble"; }
 
+    /** Member-major batched mean score (bit-matches score()). */
+    void scoreBatch(const WindowBatch &base, size_t row0,
+                    size_t row1, double *out) const override;
+    /** Member-major batched majority vote. */
+    void flagBatch(const WindowBatch &base, size_t row0,
+                   size_t row1, uint8_t *out) const override;
+
     size_t members() const { return members_.size(); }
     EvaxDetector &member(size_t i) { return *members_[i]; }
     const EvaxDetector &member(size_t i) const
@@ -131,6 +147,9 @@ class DetectorEnsemble : public Detector
   private:
     double memberScore(size_t i,
                        const std::vector<double> &base) const;
+    void memberScoreBatch(size_t i, const WindowBatch &base,
+                          size_t row0, size_t row1,
+                          double *out) const;
 
     EnsembleConfig config_;
     std::vector<std::unique_ptr<EvaxDetector>> members_;

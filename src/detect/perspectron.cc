@@ -32,6 +32,16 @@ PerSpectron::flag(const std::vector<double> &base) const
 }
 
 void
+PerSpectron::scoreBatch(const WindowBatch &base, size_t row0,
+                        size_t row1, double *out) const
+{
+    // Same truncating dot product as score(): the perceptron only
+    // reads its 106 weight slots out of each row.
+    model_.scoreBatch(base.row(row0), row1 - row0, base.width(),
+                      out);
+}
+
+void
 PerSpectron::train(const Dataset &data, unsigned epochs, Rng &rng)
 {
     Dataset truncated;

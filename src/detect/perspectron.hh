@@ -30,6 +30,9 @@ class PerSpectron : public Detector
                          double quantile) override;
     const char *name() const override { return "perspectron"; }
 
+    void scoreBatch(const WindowBatch &base, size_t row0,
+                    size_t row1, double *out) const override;
+
     Perceptron &model() { return model_; }
 
   private:

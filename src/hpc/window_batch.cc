@@ -1,0 +1,67 @@
+#include "hpc/window_batch.hh"
+
+#include <cstring>
+
+#include "util/log.hh"
+
+namespace evax
+{
+
+void
+WindowBatch::setWidth(size_t width)
+{
+    width_ = width;
+    data_.clear();
+    rows_ = 0;
+}
+
+void
+WindowBatch::resize(size_t rows)
+{
+    data_.assign(rows * width_, 0.0);
+    rows_ = rows;
+}
+
+void
+WindowBatch::append(const std::vector<double> &window)
+{
+    size_t n = window.size() < width_ ? window.size() : width_;
+    data_.insert(data_.end(), window.begin(), window.begin() + n);
+    data_.resize(data_.size() + (width_ - n), 0.0);
+    ++rows_;
+}
+
+void
+WindowBatch::appendRow(const double *values, size_t n)
+{
+    if (n != width_) {
+        fatal("WindowBatch::appendRow: row width %zu != batch "
+              "width %zu", n, width_);
+    }
+    data_.insert(data_.end(), values, values + n);
+    ++rows_;
+}
+
+std::vector<double>
+WindowBatch::rowVector(size_t i) const
+{
+    const double *r = row(i);
+    return std::vector<double>(r, r + width_);
+}
+
+uint64_t
+batchDigest(const double *values, size_t count, uint64_t seed)
+{
+    uint64_t h = seed;
+    for (size_t i = 0; i < count; ++i) {
+        uint64_t bits;
+        std::memcpy(&bits, &values[i], sizeof(bits));
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+} // namespace evax

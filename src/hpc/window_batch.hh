@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Structure-of-arrays feature-window batch for fleet-scale
+ * detector serving (docs/SERVING.md).
+ *
+ * The scalar detector path hands each window around as its own
+ * std::vector<double> — one allocation and one pointer chase per
+ * window, which caps scoring at a few million windows/sec. A
+ * WindowBatch stores B windows as one contiguous buffer of B rows
+ * of a fixed width (133 base features on the way in, 145 expanded
+ * features after EvaxDetector::expandBatch), so batched scoring
+ * kernels stream rows linearly and the inner dot-product loops
+ * vectorize across rows without reassociating any per-row sum —
+ * batched scores stay bit-identical to the scalar path
+ * (tests/test_serve.cc pins this).
+ */
+
+#ifndef EVAX_HPC_WINDOW_BATCH_HH
+#define EVAX_HPC_WINDOW_BATCH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace evax
+{
+
+/**
+ * A batch of fixed-width feature windows in one contiguous buffer.
+ * Row i occupies [data() + i*width(), data() + (i+1)*width()).
+ */
+class WindowBatch
+{
+  public:
+    WindowBatch() = default;
+    explicit WindowBatch(size_t width) : width_(width) {}
+
+    size_t width() const { return width_; }
+    size_t rows() const { return rows_; }
+    bool empty() const { return rows_ == 0; }
+
+    /** Reset the row width; discards all rows. */
+    void setWidth(size_t width);
+
+    void reserve(size_t rows) { data_.reserve(rows * width_); }
+    void clear() { data_.clear(); rows_ = 0; }
+
+    /** Grow to exactly @p rows zero-filled rows. */
+    void resize(size_t rows);
+
+    const double *data() const { return data_.data(); }
+    double *data() { return data_.data(); }
+
+    const double *row(size_t i) const
+    { return data_.data() + i * width_; }
+    double *row(size_t i) { return data_.data() + i * width_; }
+
+    /**
+     * Append one window, truncating or zero-padding to width() —
+     * the same convention as the scalar expand path
+     * (EvaxDetector::expandInto), so a batch filled from arbitrary-
+     * length vectors scores identically to the scalar calls.
+     */
+    void append(const std::vector<double> &window);
+
+    /** Append @p n doubles as one row; n must equal width(). */
+    void appendRow(const double *values, size_t n);
+
+    /** Copy row @p i out as a vector (test/diagnostic helper). */
+    std::vector<double> rowVector(size_t i) const;
+
+  private:
+    size_t width_ = 0;
+    size_t rows_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * FNV-1a over the raw double bits of rows [row0, row1) — the
+ * serving pipeline's deterministic content digest (summary CSVs
+ * pin scores through this, independent of batch size or thread
+ * count).
+ */
+uint64_t batchDigest(const double *values, size_t count,
+                     uint64_t seed = 0xcbf29ce484222325ULL);
+
+} // namespace evax
+
+#endif // EVAX_HPC_WINDOW_BATCH_HH

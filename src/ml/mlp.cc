@@ -165,6 +165,41 @@ Mlp::forward(const std::vector<double> &x)
 }
 
 void
+Mlp::scoreBatch(const double *x, size_t rows, size_t width,
+                double *out) const
+{
+    if (layers_.empty() || layers_.back().outSize != 1) {
+        fatal("Mlp::scoreBatch: requires a single-output network "
+              "(outputSize %zu)", outputSize());
+    }
+    if (width < inputSize()) {
+        fatal("Mlp::scoreBatch: row width %zu < input size %zu",
+              width, inputSize());
+    }
+    // Per-row forward through two thread_local ping-pong buffers;
+    // the o/i loops mirror DenseLayer::forward exactly, so every
+    // activation is computed in the scalar accumulation order.
+    thread_local std::vector<double> buf_a, buf_b;
+    for (size_t r = 0; r < rows; ++r) {
+        const double *in = x + r * width;
+        std::vector<double> *dst = &buf_a, *spare = &buf_b;
+        for (const DenseLayer &layer : layers_) {
+            dst->resize(layer.outSize);
+            for (size_t o = 0; o < layer.outSize; ++o) {
+                double z = layer.b[o];
+                const double *wr = &layer.w[o * layer.inSize];
+                for (size_t i = 0; i < layer.inSize; ++i)
+                    z += wr[i] * in[i];
+                (*dst)[o] = applyActivation(layer.act, z);
+            }
+            in = dst->data();
+            std::swap(dst, spare);
+        }
+        out[r] = in[0];
+    }
+}
+
+void
 Mlp::backward(const std::vector<double> &grad_out, double lr)
 {
     ++step_;

@@ -84,6 +84,19 @@ class Mlp
     const std::vector<double> &forward(const std::vector<double> &x);
 
     /**
+     * Batched single-output inference over @p rows contiguous
+     * feature rows of @p width values each (width >= inputSize()):
+     * out[r] = forward(row r)[0], computed with the exact
+     * per-layer arithmetic order of forward() so batched scores
+     * are bit-identical to the scalar path. Unlike forward() this
+     * is const — it never touches the training scratch — so it is
+     * safe to call from worker threads (the serving shard path).
+     * Requires outputSize() == 1.
+     */
+    void scoreBatch(const double *x, size_t rows, size_t width,
+                    double *out) const;
+
+    /**
      * One SGD/Adam step on a single sample with MSE-style output
      * gradient supplied by the caller (dL/dy_out).
      */

@@ -17,8 +17,14 @@ Perceptron::Perceptron(size_t num_features, uint64_t seed)
 double
 Perceptron::score(const std::vector<double> &x) const
 {
+    return scoreRow(x.data(), x.size());
+}
+
+double
+Perceptron::scoreRow(const double *x, size_t n) const
+{
     double s = b_;
-    size_t n = std::min(w_.size(), x.size());
+    n = std::min(w_.size(), n);
     for (size_t i = 0; i < n; ++i)
         s += w_[i] * x[i];
     return s;
@@ -28,12 +34,51 @@ double
 Perceptron::scorePerturbed(const std::vector<double> &x,
                            double sigma, uint64_t key) const
 {
+    return scorePerturbedRow(x.data(), x.size(), sigma, key);
+}
+
+double
+Perceptron::scorePerturbedRow(const double *x, size_t n,
+                              double sigma, uint64_t key) const
+{
     Rng rng(key);
     double s = b_;
-    size_t n = std::min(w_.size(), x.size());
+    n = std::min(w_.size(), n);
     for (size_t i = 0; i < n; ++i)
         s += (w_[i] + sigma * rng.nextGaussian()) * x[i];
     return s;
+}
+
+void
+Perceptron::scoreBatch(const double *x, size_t rows, size_t width,
+                       double *out) const
+{
+    const size_t n = std::min(w_.size(), width);
+    const double *w = w_.data();
+    size_t r = 0;
+    // Four rows per block: one accumulator per row, feature-major
+    // inner loop. Each accumulator sums in exactly the scalar
+    // order, so the lanes vectorize without reassociation.
+    for (; r + 4 <= rows; r += 4) {
+        const double *x0 = x + (r + 0) * width;
+        const double *x1 = x + (r + 1) * width;
+        const double *x2 = x + (r + 2) * width;
+        const double *x3 = x + (r + 3) * width;
+        double s0 = b_, s1 = b_, s2 = b_, s3 = b_;
+        for (size_t i = 0; i < n; ++i) {
+            double wi = w[i];
+            s0 += wi * x0[i];
+            s1 += wi * x1[i];
+            s2 += wi * x2[i];
+            s3 += wi * x3[i];
+        }
+        out[r + 0] = s0;
+        out[r + 1] = s1;
+        out[r + 2] = s2;
+        out[r + 3] = s3;
+    }
+    for (; r < rows; ++r)
+        out[r] = scoreRow(x + r * width, width);
 }
 
 double

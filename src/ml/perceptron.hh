@@ -30,6 +30,25 @@ class Perceptron
     /** Raw score w.x + b. */
     double score(const std::vector<double> &x) const;
 
+    /** score() over a raw feature row of @p n values. */
+    double scoreRow(const double *x, size_t n) const;
+
+    /** scorePerturbed() over a raw feature row of @p n values. */
+    double scorePerturbedRow(const double *x, size_t n,
+                             double sigma, uint64_t key) const;
+
+    /**
+     * Batched scoring over @p rows contiguous feature rows of
+     * @p width values each (SoA layout, see hpc/window_batch.hh):
+     * out[r] = scoreRow(x + r*width, width). Rows are processed
+     * four at a time with one accumulator per row, so the inner
+     * loop vectorizes across rows while every per-row sum keeps
+     * the scalar path's accumulation order — results are
+     * bit-identical to score() (tests/test_serve.cc).
+     */
+    void scoreBatch(const double *x, size_t rows, size_t width,
+                    double *out) const;
+
     /**
      * Stochastic-inference score: w is perturbed with seeded
      * Gaussian noise (sigma per weight) before the dot product —

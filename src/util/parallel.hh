@@ -89,6 +89,31 @@ void parallelFor(std::size_t n,
                  const std::function<void(std::size_t)> &fn);
 
 /**
+ * Run fn(lo, hi) over consecutive chunks of [0, n) of at most
+ * @c chunk indices each, distributed over the global pool. The
+ * chunk boundaries depend only on (n, chunk) — never on the worker
+ * count — so callers that write results by index produce identical
+ * output at any thread count (the batched-scoring sharding path in
+ * src/detect/batch.hh relies on this).
+ */
+inline void
+parallelChunks(std::size_t n, std::size_t chunk,
+               const std::function<void(std::size_t,
+                                        std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (chunk == 0)
+        chunk = 1;
+    std::size_t num_chunks = (n + chunk - 1) / chunk;
+    parallelFor(num_chunks, [&](std::size_t c) {
+        std::size_t lo = c * chunk;
+        std::size_t hi = lo + chunk < n ? lo + chunk : n;
+        fn(lo, hi);
+    });
+}
+
+/**
  * Map [0, n) through @c fn on the global pool; result i lands in
  * slot i, so the output is identical at any thread count provided
  * fn is index-deterministic. The result type must be default-

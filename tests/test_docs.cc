@@ -61,6 +61,7 @@ markdownFiles()
         "PAPER.md",           "CHANGES.md",
         "docs/OBSERVABILITY.md", "docs/COUNTERS.md",
         "docs/TESTING.md",       "docs/ARENA.md",
+        "docs/SERVING.md",       "docs/PERFORMANCE.md",
     };
     std::vector<MarkdownFile> files;
     for (const char *rel : kFiles) {
@@ -300,6 +301,72 @@ TEST(Docs, ObservabilityAnchorsItsTelemetryContract)
           "--manifest-out", "export-perfetto"}) {
         EXPECT_NE(body.find(required), std::string::npos)
             << "docs/OBSERVABILITY.md lost reference to '"
+            << required << "'";
+    }
+}
+
+TEST(Docs, ServingDocsAnchorTheirContracts)
+{
+    // docs/SERVING.md is the written contract for the batched
+    // scoring stack (bit-identical kernels, deterministic summary,
+    // the evax_serve gates) and docs/PERFORMANCE.md for the
+    // baseline/regression workflow. Source files and CI point at
+    // these anchors; pin them plus the load-bearing schema and
+    // tool references so neither document can silently rot.
+    MarkdownFile serving;
+    serving.relPath = "docs/SERVING.md";
+    ASSERT_TRUE(readLines(
+        std::string(EVAX_SOURCE_DIR) + "/docs/SERVING.md",
+        serving.lines));
+
+    std::set<std::string> anchors = collectAnchors(serving);
+    for (const char *required :
+         {"architecture", "the-serve-cli",
+          "worked-example-one-million-tenants", "metrics-schema",
+          "determinism-guarantees"}) {
+        EXPECT_TRUE(anchors.count(required))
+            << "docs/SERVING.md lost the #" << required
+            << " heading";
+    }
+
+    std::string body;
+    for (const std::string &line : serving.lines)
+        body += line + "\n";
+    for (const char *required :
+         {"WindowBatch", "scoreBatchSharded", "bit-identical",
+          "score_digest", "flag_digest", "serve.windows_per_sec",
+          "serve.batch_score_us", "metric,value",
+          "tests/test_serve.cc", "--check"}) {
+        EXPECT_NE(body.find(required), std::string::npos)
+            << "docs/SERVING.md lost reference to '" << required
+            << "'";
+    }
+
+    MarkdownFile perf;
+    perf.relPath = "docs/PERFORMANCE.md";
+    ASSERT_TRUE(readLines(
+        std::string(EVAX_SOURCE_DIR) + "/docs/PERFORMANCE.md",
+        perf.lines));
+
+    std::set<std::string> perf_anchors = collectAnchors(perf);
+    for (const char *required :
+         {"batched-vs-scalar", "the-regression-comparator",
+          "reading-a-ci-perf-failure"}) {
+        EXPECT_TRUE(perf_anchors.count(required))
+            << "docs/PERFORMANCE.md lost the #" << required
+            << " heading";
+    }
+
+    std::string perf_body;
+    for (const std::string &line : perf.lines)
+        perf_body += line + "\n";
+    for (const char *required :
+         {"BENCH_sim.json", "check_bench_regression.py",
+          "--tolerance", "--min-speedup", "--filter", "--json-out",
+          "windows_per_sec", "evax-bench-regression-v1",
+          "bench_detector_latency"}) {
+        EXPECT_NE(perf_body.find(required), std::string::npos)
+            << "docs/PERFORMANCE.md lost reference to '"
             << required << "'";
     }
 }

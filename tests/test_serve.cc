@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Batched-scoring and fleet-serving properties (docs/SERVING.md):
+ * every scoreBatch/flagBatch kernel must bit-match the scalar
+ * detector path at any batch size, sharded scoring must be
+ * byte-identical at any thread count, and the evax_serve replay
+ * summary must be deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/serve.hh"
+#include "detect/batch.hh"
+#include "detect/evax_detector.hh"
+#include "detect/hardened.hh"
+#include "detect/perspectron.hh"
+#include "hpc/window_batch.hh"
+#include "ml/mlp.hh"
+#include "ml/perceptron.hh"
+#include "util/parallel.hh"
+
+using namespace evax;
+
+namespace
+{
+
+/** Batch sizes exercising remainder rows, blocks, and sharding. */
+const size_t kBatchSizes[] = {1, 7, 4096};
+
+WindowBatch
+randomBatch(size_t rows, size_t width, uint64_t seed)
+{
+    WindowBatch batch(width);
+    batch.reserve(rows);
+    Rng rng(seed);
+    std::vector<double> row(width);
+    for (size_t r = 0; r < rows; ++r) {
+        for (auto &v : row)
+            v = rng.nextDouble();
+        batch.append(row);
+    }
+    return batch;
+}
+
+/** The serving fixture is expensive; build it once per process. */
+const ServeSetup &
+quickSetup()
+{
+    static ServeConfig cfg = [] {
+        ServeConfig c;
+        c.tenants = 512;
+        c.attackFraction = 0.05;
+        return c;
+    }();
+    static ServeSetup setup = buildServeSetup(cfg);
+    return setup;
+}
+
+ServeConfig
+quickConfig()
+{
+    ServeConfig c;
+    c.tenants = 512;
+    c.attackFraction = 0.05;
+    return c;
+}
+
+} // anonymous namespace
+
+TEST(WindowBatch, AppendTruncatesAndZeroPads)
+{
+    WindowBatch batch(4);
+    batch.append({1.0, 2.0});               // pad
+    batch.append({1.0, 2.0, 3.0, 4.0, 5.0}); // truncate
+    ASSERT_EQ(batch.rows(), 2u);
+    EXPECT_EQ(batch.rowVector(0),
+              (std::vector<double>{1.0, 2.0, 0.0, 0.0}));
+    EXPECT_EQ(batch.rowVector(1),
+              (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(WindowBatch, DigestChainsAcrossSplits)
+{
+    WindowBatch batch = randomBatch(100, 9, 11);
+    uint64_t whole =
+        batchDigest(batch.data(), batch.rows() * batch.width());
+    // Chaining the digest over any split of the rows reproduces
+    // the whole-stream digest (the serve summary relies on this
+    // for batch-size invariance).
+    for (size_t cut : {1u, 37u, 99u}) {
+        uint64_t h = batchDigest(batch.data(), cut * 9);
+        h = batchDigest(batch.row(cut), (100 - cut) * 9, h);
+        EXPECT_EQ(h, whole) << "cut at " << cut;
+    }
+}
+
+TEST(ScoreBatch, PerceptronBitMatchesScalar)
+{
+    Perceptron model(145, 5);
+    for (size_t rows : kBatchSizes) {
+        WindowBatch batch = randomBatch(rows, 145, rows);
+        std::vector<double> out(rows);
+        model.scoreBatch(batch.data(), rows, 145, out.data());
+        for (size_t r = 0; r < rows; ++r) {
+            EXPECT_EQ(out[r], model.score(batch.rowVector(r)))
+                << "row " << r << " of " << rows;
+        }
+    }
+}
+
+TEST(ScoreBatch, MlpBitMatchesForward)
+{
+    Mlp net({12, 8, 1}, Activation::Relu, Activation::Sigmoid, 3);
+    for (size_t rows : kBatchSizes) {
+        WindowBatch batch = randomBatch(rows, 12, rows + 1);
+        std::vector<double> out(rows);
+        net.scoreBatch(batch.data(), rows, 12, out.data());
+        for (size_t r = 0; r < rows; ++r) {
+            EXPECT_EQ(out[r], net.forward(batch.rowVector(r))[0])
+                << "row " << r << " of " << rows;
+        }
+    }
+}
+
+TEST(ScoreBatch, PerSpectronBitMatchesScalar)
+{
+    PerSpectron det(9);
+    for (size_t rows : kBatchSizes) {
+        WindowBatch batch =
+            randomBatch(rows, FeatureCatalog::numBase, rows + 2);
+        std::vector<double> out;
+        det.scoreAll(batch, out);
+        for (size_t r = 0; r < rows; ++r)
+            EXPECT_EQ(out[r], det.score(batch.rowVector(r)));
+    }
+}
+
+TEST(ScoreBatch, EvaxBitMatchesScalar)
+{
+    EvaxDetector det;
+    for (size_t rows : kBatchSizes) {
+        WindowBatch batch =
+            randomBatch(rows, FeatureCatalog::numBase, rows + 3);
+        std::vector<double> scores;
+        std::vector<uint8_t> flags;
+        det.scoreAll(batch, scores);
+        det.flagAll(batch, flags);
+        for (size_t r = 0; r < rows; ++r) {
+            auto row = batch.rowVector(r);
+            EXPECT_EQ(scores[r], det.score(row));
+            EXPECT_EQ(flags[r] != 0, det.flag(row));
+        }
+    }
+}
+
+TEST(ScoreBatch, EvaxNarrowRowsUseExpandPath)
+{
+    // Rows narrower than numBase exercise the zero-padding branch
+    // (the fused kernel requires full-width rows).
+    EvaxDetector det;
+    WindowBatch batch = randomBatch(33, 100, 17);
+    std::vector<double> scores;
+    det.scoreAll(batch, scores);
+    for (size_t r = 0; r < batch.rows(); ++r)
+        EXPECT_EQ(scores[r], det.score(batch.rowVector(r)));
+}
+
+TEST(ScoreBatch, ExpandBatchMatchesExpandInto)
+{
+    EvaxDetector det;
+    WindowBatch batch =
+        randomBatch(40, FeatureCatalog::numBase, 23);
+    WindowBatch expanded;
+    det.expandBatch(batch, 5, 40, expanded);
+    ASSERT_EQ(expanded.rows(), 35u);
+    ASSERT_EQ(expanded.width(),
+              FeatureCatalog::numBase + det.engineered().size());
+    for (size_t r = 5; r < 40; ++r) {
+        EXPECT_EQ(expanded.rowVector(r - 5),
+                  det.expand(batch.rowVector(r)));
+    }
+}
+
+TEST(ScoreBatch, FlagBatchUpdatesCounters)
+{
+    EvaxDetector det;
+    WindowBatch batch =
+        randomBatch(64, FeatureCatalog::numBase, 29);
+    std::vector<uint8_t> flags;
+    det.flagAll(batch, flags);
+    uint64_t raised = 0;
+    for (uint8_t f : flags)
+        raised += f;
+    EXPECT_EQ(det.windowsScored(), 64u);
+    EXPECT_EQ(det.flagsRaised(), raised);
+}
+
+TEST(ScoreBatch, StochasticBitMatchesScalar)
+{
+    auto inner = std::make_unique<EvaxDetector>();
+    StochasticDetector det(std::move(inner), StochasticConfig{});
+    for (size_t rows : kBatchSizes) {
+        WindowBatch batch =
+            randomBatch(rows, FeatureCatalog::numBase, rows + 4);
+        std::vector<double> scores;
+        std::vector<uint8_t> flags;
+        det.scoreAll(batch, scores);
+        det.flagAll(batch, flags);
+        for (size_t r = 0; r < rows; ++r) {
+            auto row = batch.rowVector(r);
+            EXPECT_EQ(scores[r], det.score(row));
+            EXPECT_EQ(flags[r] != 0, det.flag(row));
+        }
+    }
+}
+
+TEST(ScoreBatch, EnsembleBitMatchesScalar)
+{
+    EnsembleConfig cfg;
+    cfg.members = 3;
+    cfg.stochasticSigma = 0.05;
+    DetectorEnsemble det(cfg);
+    for (size_t rows : kBatchSizes) {
+        WindowBatch batch =
+            randomBatch(rows, FeatureCatalog::numBase, rows + 5);
+        std::vector<double> scores;
+        std::vector<uint8_t> flags;
+        det.scoreAll(batch, scores);
+        det.flagAll(batch, flags);
+        for (size_t r = 0; r < rows; ++r) {
+            auto row = batch.rowVector(r);
+            EXPECT_EQ(scores[r], det.score(row));
+            EXPECT_EQ(flags[r] != 0, det.flag(row));
+        }
+    }
+}
+
+TEST(ScoreBatch, ShardedIdenticalAtAnyThreadCount)
+{
+    EvaxDetector det;
+    WindowBatch batch =
+        randomBatch(10000, FeatureCatalog::numBase, 31);
+
+    setGlobalThreadCount(1);
+    std::vector<double> serial_scores;
+    std::vector<uint8_t> serial_flags;
+    scoreBatchSharded(det, batch, serial_scores, 512);
+    flagBatchSharded(det, batch, serial_flags, 512);
+
+    for (unsigned threads : {2u, 4u}) {
+        setGlobalThreadCount(threads);
+        std::vector<double> scores;
+        std::vector<uint8_t> flags;
+        scoreBatchSharded(det, batch, scores, 512);
+        flagBatchSharded(det, batch, flags, 512);
+        EXPECT_EQ(scores, serial_scores)
+            << threads << " threads";
+        EXPECT_EQ(flags, serial_flags) << threads << " threads";
+    }
+    setGlobalThreadCount(defaultThreadCount());
+}
+
+TEST(Serve, FillBatchIndependentOfBatchBoundaries)
+{
+    ServeConfig cfg = quickConfig();
+    const ServeSetup &setup = quickSetup();
+    WindowBatch whole;
+    fillServeBatch(cfg, setup.bank, 0, 300, whole);
+    WindowBatch part;
+    fillServeBatch(cfg, setup.bank, 128, 192, part);
+    for (size_t r = 0; r < part.rows(); ++r)
+        EXPECT_EQ(part.rowVector(r), whole.rowVector(128 + r));
+}
+
+TEST(Serve, SummaryCsvByteIdenticalSerialVsFourThreads)
+{
+    ServeConfig cfg = quickConfig();
+    const ServeSetup &setup = quickSetup();
+
+    setGlobalThreadCount(1);
+    ServeResult serial = runServe(cfg, setup);
+    std::ostringstream serial_csv;
+    serial.summaryTable().writeCsv(serial_csv);
+
+    setGlobalThreadCount(4);
+    ServeResult threaded = runServe(cfg, setup);
+    std::ostringstream threaded_csv;
+    threaded.summaryTable().writeCsv(threaded_csv);
+    setGlobalThreadCount(defaultThreadCount());
+
+    EXPECT_EQ(serial_csv.str(), threaded_csv.str());
+    EXPECT_EQ(serial.scoreDigest, threaded.scoreDigest);
+    EXPECT_EQ(serial.flagDigest, threaded.flagDigest);
+}
+
+TEST(Serve, DigestsInvariantToBatchSize)
+{
+    ServeConfig cfg = quickConfig();
+    const ServeSetup &setup = quickSetup();
+    ServeResult base = runServe(cfg, setup);
+    for (size_t rows : {64u, 1000u, 100000u}) {
+        ServeConfig alt = cfg;
+        alt.batchRows = rows;
+        ServeResult res = runServe(alt, setup);
+        EXPECT_EQ(res.scoreDigest, base.scoreDigest)
+            << "batchRows " << rows;
+        EXPECT_EQ(res.flagDigest, base.flagDigest)
+            << "batchRows " << rows;
+        EXPECT_EQ(res.flags, base.flags) << "batchRows " << rows;
+    }
+}
+
+TEST(Serve, ReplayDetectsAttackTenants)
+{
+    ServeConfig cfg = quickConfig();
+    const ServeSetup &setup = quickSetup();
+    ServeResult res = runServe(cfg, setup);
+    EXPECT_EQ(res.windows,
+              cfg.tenants * cfg.windowsPerTenant);
+    ASSERT_GT(res.attackWindows, 0u);
+    uint64_t benign_windows = res.windows - res.attackWindows;
+    double detection =
+        (double)res.attackFlags / (double)res.attackWindows;
+    double fpr =
+        (double)res.benignFlags / (double)benign_windows;
+    EXPECT_GE(detection, 0.8);
+    EXPECT_LE(fpr, 0.05);
+}
+
+TEST(Serve, SummaryTableListsDeterministicMetricsOnly)
+{
+    ServeResult res;
+    res.detectorName = "evax";
+    Table t = res.summaryTable();
+    for (const auto &row : t.rows()) {
+        EXPECT_EQ(row[0].find("seconds"), std::string::npos);
+        EXPECT_EQ(row[0].find("_us"), std::string::npos);
+        EXPECT_EQ(row[0].find("per_sec"), std::string::npos);
+    }
+}
+

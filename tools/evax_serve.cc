@@ -1,0 +1,232 @@
+/**
+ * @file
+ * evax_serve: multi-tenant fleet-serving replay driver
+ * (docs/SERVING.md).
+ *
+ *   evax_serve [flags]
+ *
+ *     --tenants N           simulated tenants (default 1000000)
+ *     --windows-per-tenant N  windows each tenant replays
+ *                           (default 8)
+ *     --batch N             windows per scoring batch
+ *                           (default 8192)
+ *     --shard N             rows per thread-pool shard
+ *                           (default 4096)
+ *     --attack-frac F       attacker-tenant fraction (default 0.02)
+ *     --jitter F            per-window amplitude jitter
+ *                           (default 0.05)
+ *     --sigma S             stochastic-inference noise (0 = off)
+ *     --members N           ensemble size (1 = single EVAX)
+ *     --no-decisions        score-only replay (skip the flag pass)
+ *     --seed S              replay base seed
+ *     --full                standard experiment scale
+ *                           (default quick)
+ *     --out FILE.csv        deterministic summary CSV
+ *                           (default serve_summary.csv)
+ *     --timeline FILE.json  replay timeline (per-batch series)
+ *     --check               exit 1 unless the serving gates hold
+ *                           (attack detection >= 0.80, benign FP
+ *                           <= 0.05, every window scored)
+ *     --threads N/--serial  thread-pool width (summary CSV is
+ *                           byte-identical at any setting)
+ *     --manifest-out FILE   provenance manifest (default
+ *                           manifest.json; "-" disables)
+ *
+ * Exit codes: 0 ok, 1 --check gate failed, 2 usage error.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.hh"
+#include "core/serve.hh"
+#include "util/timeline.hh"
+
+using namespace evax;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: evax_serve [--tenants N]"
+        << " [--windows-per-tenant N]\n"
+        << "       [--batch N] [--shard N] [--attack-frac F]\n"
+        << "       [--jitter F] [--sigma S] [--members N]\n"
+        << "       [--no-decisions] [--seed S] [--full]\n"
+        << "       [--out FILE.csv] [--timeline FILE.json]\n"
+        << "       [--check] [--threads N|--serial]\n"
+        << "       [--manifest-out FILE]\n";
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchObservability obs(argc, argv);
+    configureBenchThreads(argc, argv);
+
+    ServeConfig cfg;
+    cfg.tenants = 1000000;
+    std::string out_csv = "serve_summary.csv";
+    std::string timeline_out;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--tenants") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.tenants = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--windows-per-tenant") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.windowsPerTenant =
+                (unsigned)std::strtoul(v, nullptr, 10);
+        } else if (arg == "--batch") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.batchRows = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--shard") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.shardRows = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--attack-frac") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.attackFraction = std::atof(v);
+        } else if (arg == "--jitter") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.jitter = std::atof(v);
+        } else if (arg == "--sigma") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.sigma = std::atof(v);
+        } else if (arg == "--members") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.members = (unsigned)std::strtoul(v, nullptr, 10);
+        } else if (arg == "--no-decisions") {
+            cfg.decisions = false;
+        } else if (arg == "--seed") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.seed = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--full") {
+            cfg.scale = ExperimentScale::standard();
+        } else if (arg == "--out") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            out_csv = v;
+        } else if (arg == "--timeline") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            timeline_out = v;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--serial" || arg == "--threads" ||
+                   arg == "--trace" || arg == "--trace-out" ||
+                   arg == "--stats-out" || arg == "--manifest-out") {
+            // Handled by configureBenchThreads/BenchObservability;
+            // skip their value.
+            if (arg != "--serial")
+                ++i;
+        } else {
+            std::cerr << "evax_serve: unknown flag '" << arg
+                      << "'\n";
+            return usage();
+        }
+    }
+
+    obs.manifest().addSeed(cfg.seed);
+    obs.manifest().setConfig("tenants", (uint64_t)cfg.tenants);
+    obs.manifest().setConfig("windows_per_tenant",
+                             (uint64_t)cfg.windowsPerTenant);
+    obs.manifest().setConfig("batch_rows",
+                             (uint64_t)cfg.batchRows);
+    obs.manifest().setConfig("shard_rows",
+                             (uint64_t)cfg.shardRows);
+    obs.manifest().setConfig("attack_fraction",
+                             cfg.attackFraction);
+    obs.manifest().setConfig("sigma", cfg.sigma);
+    obs.manifest().setConfig("members", (uint64_t)cfg.members);
+
+    ServeSetup setup;
+    {
+        ScopedPhaseTimer timer("setup");
+        setup = buildServeSetup(cfg);
+    }
+    std::cout << "[detector: " << setup.detector->name()
+              << ", bank: " << setup.bank.benign.rows()
+              << " benign / " << setup.bank.attack.rows()
+              << " attack windows]\n";
+
+    Timeline timeline;
+    ServeResult res;
+    {
+        ScopedPhaseTimer timer("replay");
+        res = runServe(cfg, setup, &timeline);
+    }
+
+    Table summary = res.summaryTable();
+    summary.print(std::cout, "Serve replay summary");
+    if (summary.saveCsv(out_csv)) {
+        std::cout << "[saved " << out_csv << "]\n";
+        obs.manifest().addArtifact(out_csv);
+    }
+    Table timing = res.timingTable();
+    timing.print(std::cout, "Serve replay timing");
+    obs.manifest().setConfig("windows_per_sec",
+                             res.windowsPerSec);
+    obs.manifest().setConfig("p50_batch_us", res.p50BatchUs);
+    obs.manifest().setConfig("p99_batch_us", res.p99BatchUs);
+
+    if (!timeline_out.empty() && timeline.saveJson(timeline_out)) {
+        std::cout << "[timeline: " << timeline_out << "]\n";
+        obs.manifest().addArtifact(timeline_out);
+    }
+
+    if (check) {
+        uint64_t benign_windows = res.windows - res.attackWindows;
+        double detection =
+            res.attackWindows
+                ? (double)res.attackFlags / res.attackWindows
+                : 0.0;
+        double benign_fpr =
+            benign_windows
+                ? (double)res.benignFlags / benign_windows
+                : 0.0;
+        uint64_t scored = 0;
+        for (const auto &b : res.batchStats)
+            scored += b.rows;
+        bool ok = scored == res.windows &&
+                  res.attackWindows > 0 && detection >= 0.80 &&
+                  benign_fpr <= 0.05;
+        std::cout << "[check: scored=" << scored << "/"
+                  << res.windows << " detection=" << detection
+                  << " benign_fpr=" << benign_fpr << " -> "
+                  << (ok ? "PASS" : "FAIL") << "]\n";
+        if (!ok)
+            return 1;
+    }
+    return 0;
+}
