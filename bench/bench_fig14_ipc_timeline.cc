@@ -6,14 +6,47 @@
  * over the benign workloads.
  */
 
+#include <cstring>
+
 #include "bench/bench_util.hh"
 #include "core/endtoend.hh"
 #include "core/experiment.hh"
 #include "util/stats.hh"
 #include "util/timeline.hh"
 #include "util/trace_export.hh"
+#include "verify/diff_runner.hh"
+#include "verify/fast_forward.hh"
 
 using namespace evax;
+
+namespace
+{
+
+/** FNV-1a over a timeline series' (inst, cycle, value) triples. */
+uint64_t
+seriesDigest(const Timeline &tl, const char *name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t bits) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    const TimelineSeries *s = tl.findSeries(name);
+    if (!s)
+        return 0;
+    for (const TimelinePoint &p : s->points) {
+        mix(p.inst);
+        mix(p.cycle);
+        uint64_t vb;
+        std::memcpy(&vb, &p.value, sizeof(vb));
+        mix(vb);
+    }
+    return h;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -93,6 +126,69 @@ main(int argc, char **argv)
         if (savePerfetto("fig14_perfetto.json", tl,
                          trace::snapshot()))
             obs.manifest().addArtifact("fig14_perfetto.json");
+    }
+
+    // Execution-mode identity: the per-window IPC series (and every
+    // other timeline series) must be byte-identical between the
+    // tick loop and the event-driven scheduler, and a fast-forwarded
+    // run must emit no points inside its skipped region.
+    {
+        ScopedPhaseTimer phase("mode_equivalence");
+        auto timelineIpcDigest = [&](RunMode mode) {
+            Timeline tl;
+            GatedRunConfig cfg;
+            cfg.profile = setup.profile;
+            cfg.adaptive.secureMode = DefenseMode::InvisiSpecSpectre;
+            cfg.adaptive.secureWindowInsts = 100000;
+            cfg.coreParams.runMode = mode;
+            cfg.timeline = &tl;
+            auto stream = WorkloadRegistry::create(
+                WorkloadRegistry::names().front(), 5, run_len);
+            runGated(*stream, *setup.evax, cfg);
+            return seriesDigest(tl, "core.ipc");
+        };
+        uint64_t tick_ipc = timelineIpcDigest(RunMode::TickLoop);
+        uint64_t event_ipc = timelineIpcDigest(RunMode::EventDriven);
+        bool mode_ok = tick_ipc == event_ipc && tick_ipc != 0;
+        std::cout << (mode_ok
+                          ? "MODE OK: per-window IPC series "
+                            "byte-identical in tick-loop and "
+                            "event-driven modes\n"
+                          : "MODE WARNING: IPC timeline diverged "
+                            "across execution modes\n");
+
+        Timeline ff_tl;
+        FfOptions ff_opts;
+        ff_opts.skipInsts = run_len / 2;
+        ff_opts.sampleInterval = 1000;
+        ff_opts.timeline = &ff_tl;
+        FastForwardRunner runner(CoreParams(), DefenseMode::None,
+                                 ff_opts);
+        StreamSpec spec;
+        spec.name = WorkloadRegistry::names().front();
+        spec.seed = 5;
+        spec.length = run_len;
+        FfResult ff =
+            runner.run([&spec] { return makeStream(spec); });
+        const TimelineSeries *ipc = ff_tl.findSeries("core.ipc");
+        bool ff_ok = ipc && !ipc->points.empty();
+        if (ff_ok) {
+            for (const TimelinePoint &p : ipc->points) {
+                // Every point must sit strictly inside the detailed
+                // region: the skipped windows emit nothing.
+                if (p.inst <= ff.checkpoint.skippedCommits) {
+                    ff_ok = false;
+                    break;
+                }
+            }
+        }
+        std::cout << (ff_ok
+                          ? "MODE OK: fast-forward emitted no "
+                            "timeline points in its skipped region\n"
+                          : "MODE WARNING: fast-forward leaked "
+                            "points into the skipped region\n");
+        if (ff_tl.saveCsv("fig14_timeline_ff.csv"))
+            obs.manifest().addArtifact("fig14_timeline_ff.csv");
     }
 
     std::cout << "relative IPC (vs. unprotected, mean): "

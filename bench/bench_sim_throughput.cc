@@ -93,15 +93,20 @@ attackThroughput(benchmark::State &state, const std::string &name)
  * The figure-15 worst case: a full corpus collection at
  * 100-instruction sampling with one seed per kernel — exactly the
  * configuration bench_fig15_fp_fn rebuilds for its third row.
+ * Parameterized on the execution mode so the event-driven
+ * scheduler's idle-skip speedup is pinned against the tick loop on
+ * the same configuration (tests/test_equivalence.cc pins that both
+ * modes produce byte-identical corpora).
  */
 void
-fig15CorpusCollection(benchmark::State &state)
+fig15CorpusCollection(benchmark::State &state, RunMode mode)
 {
     ExperimentScale scale = ExperimentScale::standard();
     CollectorConfig cfg = scale.collector;
     cfg.sampleInterval = 100;
     cfg.benignSeeds = 1;
     cfg.attackSeeds = 1;
+    cfg.coreParams.runMode = mode;
 
     uint64_t cycles = 0, insts = 0;
     for (auto _ : state) {
@@ -164,8 +169,18 @@ main(int argc, char **argv)
             })
             ->Unit(benchmark::kMillisecond);
     }
-    benchmark::RegisterBenchmark("corpus/fig15_interval100",
-                                 fig15CorpusCollection)
+    benchmark::RegisterBenchmark(
+        "corpus/fig15_interval100",
+        [](benchmark::State &s) {
+            fig15CorpusCollection(s, RunMode::TickLoop);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        "corpus/fig15_interval100_event",
+        [](benchmark::State &s) {
+            fig15CorpusCollection(s, RunMode::EventDriven);
+        })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
 

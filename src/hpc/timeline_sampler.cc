@@ -39,7 +39,7 @@ TimelineSampler::tick(uint64_t inst, uint64_t cycle)
         return false;
     // Commit groups can jump several instructions past the boundary;
     // one window absorbs the overshoot rather than emitting backfill.
-    closeWindow(inst, cycle);
+    closeWindow(inst + instOffset_, cycle + cycleOffset_);
     nextBoundary_ = inst + config_.intervalInsts;
     return true;
 }
@@ -47,8 +47,23 @@ TimelineSampler::tick(uint64_t inst, uint64_t cycle)
 void
 TimelineSampler::finish(uint64_t inst, uint64_t cycle)
 {
-    if (inst > lastInst_)
-        closeWindow(inst, cycle);
+    if (inst + instOffset_ > lastInst_)
+        closeWindow(inst + instOffset_, cycle + cycleOffset_);
+}
+
+void
+TimelineSampler::skipTo(uint64_t inst, uint64_t cycle)
+{
+    instOffset_ = inst;
+    cycleOffset_ = cycle;
+    lastInst_ = inst;
+    lastCycle_ = cycle;
+    // Boundaries stay in the resumed run's local coordinates: the
+    // next window closes after one full interval of detailed
+    // commits, exactly at global position inst + interval.
+    nextBoundary_ = config_.intervalInsts;
+    for (auto &t : tracked_)
+        t.last = reg_.value(t.id);
 }
 
 void

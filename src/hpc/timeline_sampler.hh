@@ -72,6 +72,18 @@ class TimelineSampler
     /** Flush the final partial window (if any progress was made). */
     void finish(uint64_t inst, uint64_t cycle);
 
+    /**
+     * Fast-forward handoff: place the sampler at global position
+     * (@p inst, @p cycle) without emitting a single point for the
+     * skipped region. Subsequent tick()/finish() coordinates are
+     * treated as *local to the resumed run* (a fresh detailed core
+     * counts from zero) and are shifted by the skip offset, so
+     * emitted points land at full-run positions. Counter baselines
+     * are re-snapshotted so the first detailed window's delta
+     * excludes warm-up traffic.
+     */
+    void skipTo(uint64_t inst, uint64_t cycle);
+
     uint64_t windowsClosed() const { return windows_; }
     uint64_t interval() const { return config_.intervalInsts; }
     Timeline &timeline() { return timeline_; }
@@ -101,6 +113,9 @@ class TimelineSampler
     uint64_t lastInst_ = 0;
     uint64_t lastCycle_ = 0;
     uint64_t windows_ = 0;
+    /** Global-position shift applied after skipTo (0 = identity). */
+    uint64_t instOffset_ = 0;
+    uint64_t cycleOffset_ = 0;
 };
 
 } // namespace evax

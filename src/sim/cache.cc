@@ -153,6 +153,8 @@ Cache::access(Addr addr, bool is_write, Cycle now,
 
     uint32_t total = config_.latency + miss_latency;
     mshrs_.emplace(la, now + total);
+    if (sched_)
+        sched_->post(now + total, WakeSource::MshrFill);
     reg_.inc(mshrMissLatency_, total);
     if (!is_write)
         reg_.inc(readMshrMissLatency_, total);

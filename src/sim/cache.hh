@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "hpc/counters.hh"
+#include "sim/scheduler.hh"
 #include "sim/types.hh"
 
 namespace evax
@@ -110,6 +111,30 @@ class Cache
     size_t lineCapacity() const { return lines_.size(); }
 
     /**
+     * Event-driven mode: post a wake marker when an MSHR is
+     * registered, so an idle skip can never jump past the fill's
+     * data-ready cycle. Null (the default) posts nothing.
+     */
+    void setScheduler(EventScheduler *sched) { sched_ = sched; }
+
+    /**
+     * Earliest MSHR data-ready cycle strictly after @c now
+     * (EventScheduler::kNoEvent if none). MSHRs expire lazily, so
+     * entries at or before @c now may still be resident; the skip
+     * property tests only care about still-pending fills.
+     */
+    Cycle
+    earliestMshrReadyAfter(Cycle now) const
+    {
+        Cycle best = EventScheduler::kNoEvent;
+        for (const auto &m : mshrs_) {
+            if (m.second > now && m.second < best)
+                best = m.second;
+        }
+        return best;
+    }
+
+    /**
      * Publish geometry and derived rates (hit rate, MSHR pressure)
      * under "<prefix>." in @c sr (raw event counters are exported
      * wholesale by O3Core::regStats via the counter registry).
@@ -147,6 +172,7 @@ class Cache
     std::unordered_map<Addr, Cycle> mshrs_;
 
     CounterRegistry &reg_;
+    EventScheduler *sched_ = nullptr; ///< event-mode wake posts
     const char *traceName_; ///< interned prefix for trace records
     CounterId readAccesses_, writeAccesses_, readHits_, writeHits_;
     CounterId readMisses_, writeMisses_, mshrMisses_, mshrMissLatency_;

@@ -119,6 +119,21 @@ O3Core::O3Core(const CoreParams &params, CounterRegistry &reg)
 {
     freeIntRegs_ = params.numPhysIntRegs;
     rob_.reset(params.robEntries);
+    eventMode_ = params.runMode == RunMode::EventDriven;
+    if (eventMode_)
+        mem_.setScheduler(&sched_);
+}
+
+void
+O3Core::postWake(Cycle when, WakeSource src)
+{
+    // A wake at or before cycle_ + 1 can never gate a future idle
+    // skip: the machine steps through cycle_ + 1 normally before
+    // any skip, and the probe re-derives such thresholds directly
+    // from the structures. Eliding them keeps the heap small on
+    // busy code (most ALU completions never touch it).
+    if (eventMode_ && when > cycle_ + 1)
+        sched_.post(when, src);
 }
 
 O3Core::~O3Core() = default;
@@ -264,6 +279,15 @@ O3Core::markIssued(RobEntry &e, Cycle ready)
     auto it = std::lower_bound(issuedSeqs_.begin(),
                                issuedSeqs_.end(), e.seq);
     issuedSeqs_.insert(it, e.seq);
+#ifdef EVAX_MUTATION_LOST_WAKEUP
+    // Seeded bug LOST_WAKEUP: long-latency completions never arm
+    // their wake marker, so an event-driven run that goes inert on
+    // one stalls to its cycle cap instead of waking at readyCycle.
+    if (ready <= cycle_ + 50)
+        postWake(ready, WakeSource::IssueReady);
+#else
+    postWake(ready, WakeSource::IssueReady);
+#endif
 
     if (issueHook_) {
         // A producer absent from the ROB has committed (or the
@@ -487,6 +511,7 @@ O3Core::squashFrom(SeqNum from_seq, bool replay_good_path)
     fetchStallUntil_ =
         std::max(fetchStallUntil_,
                  cycle_ + params_.squashRecoveryCycles);
+    postWake(fetchStallUntil_, WakeSource::FetchStall);
     reg_.inc(ids_->fetchSquashCycles, params_.squashRecoveryCycles);
     bp_.squashRas();
     lastFetchLine_ = (Addr)-1;
@@ -557,6 +582,7 @@ O3Core::exposeScan()
                             ? params_.invisiSpecExposeLatency
                             : 1;
         e.readyCycle = std::max(e.readyCycle, cycle_ + cost);
+        postWake(e.readyCycle, WakeSource::Expose);
         ++exposes;
     }
 }
@@ -599,6 +625,7 @@ O3Core::commitStage()
             mem_.expose(e.op.addr, cycle_);
             e.readyCycle = cycle_ +
                 (present ? 1 : params_.invisiSpecExposeLatency);
+            postWake(e.readyCycle, WakeSource::Expose);
             break;
         }
 
@@ -608,6 +635,7 @@ O3Core::commitStage()
             if (!e.trapPending) {
                 e.trapPending = true;
                 e.readyCycle = cycle_ + params_.trapDeliveryLatency;
+                postWake(e.readyCycle, WakeSource::Trap);
                 break;
             }
             // Trap: the access was never architecturally permitted.
@@ -1091,6 +1119,7 @@ O3Core::fetchStage(InstStream &stream)
             if (lat > params_.icacheLatency) {
                 fetchStallUntil_ = cycle_ + (lat -
                                              params_.icacheLatency);
+                postWake(fetchStallUntil_, WakeSource::FetchStall);
                 reg_.inc(ids_->fetchIcacheStall);
             }
         }
@@ -1148,6 +1177,181 @@ O3Core::fetchStage(InstStream &stream)
         reg_.inc(ids_->fetchCycles);
 }
 
+uint64_t
+O3Core::idleSkip(Cycle last_progress, uint64_t max_cycles)
+{
+    // Wake target: the next pending marker, capped so the deadlock
+    // panic and the caller's cycle budget trigger at exactly the
+    // cycle the tick loop would reach them. Nothing here is derived
+    // from pipeline state: the scheduler is load-bearing, which is
+    // what lets the equivalence tier catch a lost wakeup.
+    Cycle target = sched_.nextEventCycle();
+    Cycle deadlock_cap = last_progress + kDeadlockWindow + 1;
+    if (deadlock_cap < target)
+        target = deadlock_cap;
+    if (max_cycles) {
+        Cycle budget_cap = cycle_ + (max_cycles - result_.cycles);
+        if (budget_cap < target)
+            target = budget_cap;
+    }
+    // Profitability gate: a one-cycle skip replicates the idle
+    // counters and pays the full probe for less than it saves (the
+    // tick loop's early-outs make short inert gaps nearly free).
+    // Declining a skip is always equivalent — the stages then run
+    // and record the same counters naturally — so this threshold
+    // only trades coverage for speed, never accuracy.
+    if (target - cycle_ < kMinSkipCycles)
+        return 0;
+
+    // Inertness probe: would every stage be a no-op this cycle?
+    // Each check mirrors its stage's early-outs in source order,
+    // cheapest stage first; the counters a no-op cycle still
+    // records are collected here and replicated per skipped cycle
+    // on success. Every activation threshold visible below has a
+    // pending wake marker at or before it (or sits at cycle_ + 1,
+    // where the probe itself vetoes), so a cycle that is inert now
+    // stays inert through target - 1.
+    struct PerCycle
+    {
+        CounterId id;
+        double weight;
+    };
+    PerCycle accum[12];
+    unsigned n = 0;
+
+    // exposeScan: only a candidate-free scan is a guaranteed no-op.
+    if (unexposedInvisible_ != 0)
+        return 0;
+
+    // commitStage: the head must be unable to make progress.
+    if (!rob_.empty()) {
+        RobEntry &h = rob_.front();
+        if (h.state == EntryState::Complete && h.readyCycle <= cycle_)
+            return 0; // would commit / trap / stall on the WQ
+    }
+    accum[n++] = {ids_->commitIdle, 1.0};
+
+    // completeStage early-out (minIssuedReady_ is a lower bound;
+    // stale-low only costs one unskipped cycle, never a wrong skip).
+    if (issuedCount_ != 0 && minIssuedReady_ <= cycle_)
+        return 0;
+
+    // MemorySystem::tick: a due write-queue drain is real work.
+    if (mem_.writeQueueDepth() != 0 &&
+        mem_.nextDrainCycle() <= cycle_) {
+        return 0;
+    }
+
+    // dispatchStage: idle, or blocked on its first op for a reason
+    // that cannot clear while the machine is inert.
+    if (fetchQueue_.empty()) {
+        accum[n++] = {ids_->renameIdle, 1.0};
+        accum[n++] = {ids_->decodeIdle, 1.0};
+    } else {
+        const FetchedOp &f = fetchQueue_.front();
+        if (f.op.isSerializing() && !rob_.empty()) {
+            accum[n++] = {ids_->commitNonSpecStalls, 1.0};
+            accum[n++] = {ids_->renameSerializing, 1.0};
+        }
+#ifdef EVAX_MUTATION_ROB_WRAP
+        else if (rob_.size() > params_.robEntries) {
+#else
+        else if (rob_.size() >= params_.robEntries) {
+#endif
+            accum[n++] = {ids_->robFull, 1.0};
+            accum[n++] = {ids_->renameRobFull, 1.0};
+            accum[n++] = {ids_->renameBlock, 1.0};
+            accum[n++] = {ids_->decodeBlocked, 1.0};
+        } else if (iqOccupancy_ >= params_.iqEntries) {
+            accum[n++] = {ids_->iqFull, 1.0};
+            accum[n++] = {ids_->renameBlock, 1.0};
+        } else if (f.op.isLoad() &&
+                   lqOccupancy_ >= params_.lqEntries) {
+            accum[n++] = {ids_->iewLsqFull, 1.0};
+            accum[n++] = {ids_->renameBlock, 1.0};
+        } else if (f.op.isStore() &&
+                   sqOccupancy_ >= params_.sqEntries) {
+            accum[n++] = {ids_->iewLsqFull, 1.0};
+            accum[n++] = {ids_->renameBlock, 1.0};
+        } else if (f.op.dst >= 0 && freeIntRegs_ == 0) {
+            accum[n++] = {ids_->renameIntFull, 1.0};
+            accum[n++] = {ids_->renameBlock, 1.0};
+        } else {
+            return 0; // the op would dispatch
+        }
+    }
+
+    // fetchStage ladder, in source order.
+    if (cycle_ < fetchStallUntil_) {
+        accum[n++] = {ids_->fetchIcacheStall, 1.0};
+    } else if (fetchQueue_.size() >= params_.fetchQueueEntries) {
+        accum[n++] = {ids_->fetchBlockedCycles, 1.0};
+    } else if (!wrongPathBuffer_.empty()) {
+        return 0; // would fetch down the wrong path
+    } else if (wrongPathCause_ != 0) {
+        accum[n++] = {ids_->fetchIdleCycles, 1.0};
+    } else if (!transientBuffer_.empty() || !pendingReplay_.empty() ||
+               !streamDone_) {
+        // A live source would fetch (or flip streamDone_, which is
+        // itself a state change the probe must not pre-empt).
+        return 0;
+    } else {
+        accum[n++] = {ids_->fetchIdleCycles, 1.0};
+    }
+
+    // issueStage last: the only probe that walks a structure. The
+    // front-prune and the sourcesReady memo writes below are
+    // exactly what the real stage would do this cycle, and both
+    // are idempotent — safe even when a later check vetoes.
+    accum[n++] = {ids_->iqOccupancy, (double)iqOccupancy_};
+    accum[n++] = {ids_->robOccupancy, (double)rob_.size()};
+    if (dispatchedCount_ != 0) {
+        while (!dispatchedSeqs_.empty()) {
+            RobEntry *f = entryBySeq(dispatchedSeqs_.front());
+            if (f && f->state == EntryState::Dispatched)
+                break;
+            dispatchedSeqs_.pop_front();
+        }
+        const SeqNum head_seq = rob_.head_;
+        double conflicts = 0.0;
+        bool defense_blocked = false;
+        for (SeqNum s : dispatchedSeqs_) {
+            if (s - head_seq >= 64)
+                break; // bounded wakeup scan window
+            RobEntry &e = rob_.bySeq(s);
+            if (e.state != EntryState::Dispatched)
+                continue; // stale record
+            if (!sourcesReady(e)) {
+                conflicts += 1.0;
+                continue;
+            }
+            if (e.op.op == OpClass::Load && defenseBlocksLoad(e)) {
+                defense_blocked = true;
+                continue;
+            }
+            // Any other ready entry would issue (or, for a load
+            // with the MSHRs full, burn a retry cycle with its own
+            // counters) — either way this cycle is not inert.
+            return 0;
+        }
+        if (conflicts != 0.0)
+            accum[n++] = {ids_->iqReadyConflicts, conflicts};
+        if (defense_blocked)
+            accum[n++] = {ids_->iewBlockCycles, 1.0};
+    }
+
+    // The machine is inert from cycle_ through target - 1: jump.
+    Cycle from = cycle_;
+    uint64_t delta = target - cycle_;
+    for (unsigned i = 0; i < n; ++i)
+        reg_.inc(accum[i].id, accum[i].weight * (double)delta);
+    cycle_ = target;
+    result_.cycles += delta;
+    if (skipHook_)
+        skipHook_(from, target);
+    return delta;
+}
+
 void
 O3Core::regStats(StatRegistry &sr) const
 {
@@ -1197,7 +1401,7 @@ O3Core::run(InstStream &stream, uint64_t max_insts,
         if (committedInsts_ != last_committed) {
             last_committed = committedInsts_;
             last_progress = cycle_;
-        } else if (cycle_ - last_progress > 500000) {
+        } else if (cycle_ - last_progress > kDeadlockWindow) {
             panic("core deadlock: no commit in 500000 cycles "
                   "(rob=%zu fq=%zu)", rob_.size(),
                   fetchQueue_.size());
@@ -1216,6 +1420,24 @@ O3Core::run(InstStream &stream, uint64_t max_insts,
             transientBuffer_.empty()) {
             result_.streamExhausted = true;
             break;
+        }
+
+        if (eventMode_) {
+            // Markers strictly behind the clock are spent; one
+            // exactly at cycle_ survives to pin target == cycle_
+            // (no skip) below.
+            sched_.retireBefore(cycle_);
+            if (idleSkip(last_progress, max_cycles) > 0) {
+                // Same per-iteration order as the checks above:
+                // the deadlock guard outranks the cycle budget.
+                if (cycle_ - last_progress > kDeadlockWindow) {
+                    panic("core deadlock: no commit in 500000 cycles "
+                          "(rob=%zu fq=%zu)", rob_.size(),
+                          fetchQueue_.size());
+                }
+                if (max_cycles && result_.cycles >= max_cycles)
+                    break;
+            }
         }
     }
 

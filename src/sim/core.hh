@@ -27,6 +27,7 @@
 #include "sim/branch_predictor.hh"
 #include "sim/memory.hh"
 #include "sim/params.hh"
+#include "sim/scheduler.hh"
 #include "sim/types.hh"
 #include "sim/uop.hh"
 #include "util/rng.hh"
@@ -131,6 +132,18 @@ class O3Core
      *  (used by the differential runner to stop at first mismatch
      *  before the deadlock guard can fire). */
     void requestStop() { stopRequested_ = true; }
+
+    /**
+     * Event-driven mode hook: fired after every idle skip with the
+     * cycle jumped from and to. The property tests in
+     * tests/test_scheduler.cc assert over each (from, to] window
+     * that no pending MSHR fill or DRAM refresh was jumped over.
+     */
+    using SkipHook = std::function<void(Cycle from, Cycle to)>;
+    void setSkipHook(SkipHook h) { skipHook_ = std::move(h); }
+
+    /** Wake-marker queue (event-mode stats / test introspection). */
+    const EventScheduler &scheduler() const { return sched_; }
 
     // Occupancy introspection for counter sanity envelopes: cheap
     // reads of bookkeeping the pipeline already maintains.
@@ -266,6 +279,25 @@ class O3Core
     void injectTransients(const MicroOp &op, SeqNum cause);
     void resetRunState();
 
+    // Event-driven mode (src/sim/scheduler.hh; DESIGN.md §10).
+    /** Arm a wake marker; elides wakes at or before cycle_ + 1
+     *  (the next single step always re-probes those). */
+    void postWake(Cycle when, WakeSource src);
+    /**
+     * Try to jump the clock from the end of the current cycle to
+     * the next pending wake marker. Only fires when every stage is
+     * provably a no-op for the whole window; replicates the idle
+     * counters those no-op cycles would have recorded.
+     * @return cycles skipped (0 = machine not inert, no jump)
+     */
+    uint64_t idleSkip(Cycle last_progress, uint64_t max_cycles);
+
+    /** No-commit window before run() declares a deadlock. */
+    static constexpr Cycle kDeadlockWindow = 500000;
+
+    /** Shortest inert window worth jumping over (see idleSkip). */
+    static constexpr Cycle kMinSkipCycles = 2;
+
     const CoreParams &params_;
     CounterRegistry &reg_;
     MemorySystem mem_;
@@ -278,7 +310,13 @@ class O3Core
     SampleCallback onSample_;
     CommitHook commitHook_;
     IssueHook issueHook_;
+    SkipHook skipHook_;
     bool stopRequested_ = false;
+
+    // Event-driven mode state. sched_ is always constructed but
+    // only populated when eventMode_ (the tick loop never posts).
+    EventScheduler sched_;
+    bool eventMode_ = false;
 
     // Machine state.
     Cycle cycle_ = 0;

@@ -41,6 +41,15 @@ Dram::rowOf(Addr addr) const
 void
 Dram::maybeRefresh(Cycle now)
 {
+    // Refresh is evaluated lazily on access, so skipping idle
+    // cycles over an epoch boundary is architecturally transparent.
+    // The wake marker still pins idle skips to the boundary, which
+    // keeps the "never skip past a pending refresh" property simple
+    // enough to assert in tests/test_scheduler.cc.
+    if (sched_ && nextRefreshEpoch() != lastPostedEpoch_) {
+        lastPostedEpoch_ = nextRefreshEpoch();
+        sched_->post(lastPostedEpoch_, WakeSource::DramRefresh);
+    }
     if (now - lastRefresh_ < params_.dramRefreshInterval)
         return;
     lastRefresh_ = now;

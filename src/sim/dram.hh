@@ -21,6 +21,7 @@
 
 #include "hpc/counters.hh"
 #include "sim/params.hh"
+#include "sim/scheduler.hh"
 #include "sim/types.hh"
 
 namespace evax
@@ -60,6 +61,20 @@ class Dram
     /** Rows currently tracked this epoch (diagnostics). */
     size_t trackedRows() const { return rowActs_.size(); }
 
+    /**
+     * Event-driven mode: post a wake marker for the next refresh
+     * epoch boundary, so an idle skip can never jump over a pending
+     * refresh. Null (the default) posts nothing.
+     */
+    void setScheduler(EventScheduler *sched) { sched_ = sched; }
+
+    /** First cycle at which the next refresh can trigger. */
+    Cycle
+    nextRefreshEpoch() const
+    {
+        return lastRefresh_ + params_.dramRefreshInterval;
+    }
+
     /** Publish row-buffer rates and hammer state under "dram.". */
     void regStats(StatRegistry &sr) const;
 
@@ -77,6 +92,10 @@ class Dram
     Cycle lastRefresh_ = 0;
     uint32_t maxRowActs_ = 0;
     uint64_t totalBitFlips_ = 0;
+
+    EventScheduler *sched_ = nullptr; ///< event-mode wake posts
+    /** Last refresh epoch posted (dedupes per-access reposts). */
+    Cycle lastPostedEpoch_ = (Cycle)-1;
 
     CounterRegistry &reg_;
     CounterId readBursts_, writeBursts_, activations_, precharges_;

@@ -188,8 +188,17 @@ void
 MemorySystem::tick(Cycle now)
 {
     // Drain one write per 4 cycles toward the D-cache.
-    if (writeQueue_.empty() || now < nextDrain_)
+    if (writeQueue_.empty() || now < nextDrain_) {
+        // A store can enter the queue while the drain timer is
+        // still running (its commit cycle is never skipped, so this
+        // tick sees it); arm the pending drain exactly once.
+        if (sched_ && !writeQueue_.empty() &&
+            nextDrain_ != lastPostedDrain_) {
+            lastPostedDrain_ = nextDrain_;
+            sched_->post(nextDrain_, WakeSource::WriteDrain);
+        }
         return;
+    }
     WqEntry e = writeQueue_.front();
     writeQueue_.pop_front();
     reg_.inc(wqDrains_);
@@ -197,6 +206,10 @@ MemorySystem::tick(Cycle now)
     if (!r.hit)
         accessBackside(e.addr, true, now, true);
     nextDrain_ = now + 4;
+    if (sched_ && !writeQueue_.empty()) {
+        lastPostedDrain_ = nextDrain_;
+        sched_->post(nextDrain_, WakeSource::WriteDrain);
+    }
 }
 
 void

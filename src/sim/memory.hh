@@ -81,6 +81,25 @@ class MemorySystem
     /** Rowhammer bit flips induced so far. */
     uint64_t bitFlips() const { return dram_.totalBitFlips(); }
 
+    /**
+     * Event-driven mode: wire the wake-marker scheduler through the
+     * whole hierarchy (caches post MSHR fills, DRAM posts refresh
+     * epochs, the write queue posts its drain timer). Null (the
+     * default) posts nothing and costs one predictable branch.
+     */
+    void
+    setScheduler(EventScheduler *sched)
+    {
+        sched_ = sched;
+        icache_.setScheduler(sched);
+        dcache_.setScheduler(sched);
+        l2_.setScheduler(sched);
+        dram_.setScheduler(sched);
+    }
+
+    /** Next cycle the write queue may drain (idle-skip probe). */
+    Cycle nextDrainCycle() const { return nextDrain_; }
+
     // Introspection for the differential runner's sanity envelopes
     // (src/verify): structural occupancies with hard capacity caps.
     size_t writeQueueDepth() const { return writeQueue_.size(); }
@@ -113,6 +132,9 @@ class MemorySystem
     };
     std::deque<WqEntry> writeQueue_;
     Cycle nextDrain_ = 0;
+    EventScheduler *sched_ = nullptr; ///< event-mode wake posts
+    /** Last drain cycle posted (dedupes the waiting-timer repost). */
+    Cycle lastPostedDrain_ = (Cycle)-1;
 
     /** InvisiSpec SpecBuffer: lines fetched invisibly (FIFO). */
     std::deque<Addr> specBuffer_;

@@ -12,11 +12,28 @@ namespace evax
 {
 
 /**
+ * How O3Core::run advances the clock (docs/PERFORMANCE.md
+ * "Execution modes"). Both modes are byte-identical on every
+ * counter, digest and SimResult field; EventDriven only changes
+ * how fast wall-clock time passes.
+ */
+enum class RunMode : uint8_t
+{
+    /** Tick every unit every cycle (the reference behaviour). */
+    TickLoop,
+    /** Skip provably-inert cycles to the next pending wake event. */
+    EventDriven,
+};
+
+/**
  * Core and memory-hierarchy configuration. Defaults reproduce the
  * paper's Table II: X86-style O3 core, single thread, 2.0 GHz.
  */
 struct CoreParams
 {
+    /** Clock-advance strategy; TickLoop is the reference mode. */
+    RunMode runMode = RunMode::TickLoop;
+
     // Pipeline widths (fetch/dispatch/issue/commit 8 wide).
     unsigned fetchWidth = 8;
     unsigned dispatchWidth = 8;

@@ -1,0 +1,54 @@
+#include "sim/scheduler.hh"
+
+#include <utility>
+
+namespace evax
+{
+
+const char *
+wakeSourceName(WakeSource src)
+{
+    switch (src) {
+      case WakeSource::IssueReady: return "issueReady";
+      case WakeSource::Expose: return "expose";
+      case WakeSource::Trap: return "trap";
+      case WakeSource::FetchStall: return "fetchStall";
+      case WakeSource::WriteDrain: return "writeDrain";
+      case WakeSource::MshrFill: return "mshrFill";
+      case WakeSource::DramRefresh: return "dramRefresh";
+    }
+    return "unknown";
+}
+
+void
+EventScheduler::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!before(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+EventScheduler::siftDown(std::size_t i)
+{
+    std::size_t n = heap_.size();
+    while (true) {
+        std::size_t l = 2 * i + 1;
+        std::size_t r = l + 1;
+        std::size_t best = i;
+        if (l < n && before(heap_[l], heap_[best]))
+            best = l;
+        if (r < n && before(heap_[r], heap_[best]))
+            best = r;
+        if (best == i)
+            break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+}
+
+} // namespace evax

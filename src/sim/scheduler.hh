@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Deterministic wake-event scheduler for the event-driven run mode.
+ *
+ * Components do not run callbacks off this queue — the pipeline
+ * stages still execute in their fixed order every *simulated* cycle.
+ * Instead, any component that arms a future activation threshold
+ * (an issued op's readyCycle, an MSHR fill, the write-queue drain
+ * timer, a fetch stall, a DRAM refresh epoch) posts a wake marker
+ * here. When the whole machine is provably inert for the current
+ * cycle, O3Core::run jumps the clock straight to the next pending
+ * marker instead of ticking through the dead cycles one by one.
+ *
+ * Spurious or stale markers are harmless (the core re-probes and
+ * skips again); a *missing* marker is a lost wakeup, which the
+ * equivalence tier (ctest -L sched) is built to catch.
+ *
+ * Implementation: a timing wheel. The run loop posts one or two
+ * markers per simulated cycle and retires them a handful of cycles
+ * later, so a comparison-based heap spends most of the event-driven
+ * mode's overhead sifting (it was the top profile entry). Markers
+ * within kWheelSpan cycles of the wheel base land in a per-cycle
+ * bucket ring with an occupancy bitmap — post, retire and
+ * next-event are then O(1) bit operations. Markers beyond the
+ * horizon (DRAM refresh epochs, mostly) overflow into a small
+ * binary heap; every public operation merges the two by
+ * (cycle, insertion-seq), so the observable drain order is
+ * identical to a single ordered queue.
+ */
+
+#ifndef EVAX_SIM_SCHEDULER_HH
+#define EVAX_SIM_SCHEDULER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace evax
+{
+
+/** Which component armed a wake marker (stats / test diagnostics). */
+enum class WakeSource : uint8_t
+{
+    IssueReady,   ///< an issued op's readyCycle
+    Expose,       ///< InvisiSpec expose/validation completion
+    Trap,         ///< lazy fault delivery at the ROB head
+    FetchStall,   ///< fetchStallUntil_ (icache miss, squash recovery)
+    WriteDrain,   ///< write-queue drain timer
+    MshrFill,     ///< an in-flight cache miss's data-ready cycle
+    DramRefresh,  ///< next DRAM refresh epoch boundary
+};
+
+/** Number of WakeSource values (for per-source stats tables). */
+constexpr unsigned NUM_WAKE_SOURCES = 7;
+
+/** Human-readable source name. */
+const char *wakeSourceName(WakeSource src);
+
+/**
+ * Wake-marker queue ordered by (cycle, insertion sequence).
+ * The insertion-sequence tiebreak makes same-cycle ordering
+ * deterministic: two runs that post the same markers in the same
+ * order drain them in the same order, regardless of source.
+ */
+class EventScheduler
+{
+  public:
+    /** Sentinel returned by nextEventCycle() on an empty queue. */
+    static constexpr Cycle kNoEvent = (Cycle)-1;
+
+    struct Event
+    {
+        Cycle cycle = 0;
+        uint64_t seq = 0; ///< insertion order (same-cycle tiebreak)
+        WakeSource source = WakeSource::IssueReady;
+    };
+
+    /** Arm a wake marker at @c when (duplicates are fine). */
+    void
+    post(Cycle when, WakeSource src)
+    {
+        Event e{when, nextSeq_++, src};
+        if (when >= base_ && when - base_ < kWheelSpan) {
+            unsigned slot = (unsigned)(when & kWheelMask);
+            wheel_[slot].push_back(e);
+            bits_[slot >> 6] |= 1ULL << (slot & 63);
+            ++wheelCount_;
+        } else {
+            heap_.push_back(e);
+            siftUp(heap_.size() - 1);
+        }
+        ++posted_;
+        ++postedBySource_[(unsigned)src];
+    }
+
+    /** Cycle of the earliest pending marker (kNoEvent if none). */
+    Cycle
+    nextEventCycle() const
+    {
+        unsigned slot = nextWheelSlot();
+        Cycle w = slot == kNoSlot ? kNoEvent
+                                  : wheel_[slot].front().cycle;
+        Cycle h = heap_.empty() ? kNoEvent : heap_.front().cycle;
+        return w < h ? w : h;
+    }
+
+    /** Pop the earliest pending marker. @return false if empty. */
+    bool
+    pop(Event &out)
+    {
+        unsigned slot = nextWheelSlot();
+        bool have_wheel = slot != kNoSlot;
+        bool have_heap = !heap_.empty();
+        if (!have_wheel && !have_heap)
+            return false;
+        // A heap marker can tie a wheel bucket on cycle after the
+        // base advances past an overflow marker's horizon, so the
+        // merge compares the full (cycle, seq) key.
+        bool use_wheel =
+            have_wheel &&
+            (!have_heap ||
+             before(wheel_[slot].front(), heap_.front()));
+        if (use_wheel) {
+            auto &bucket = wheel_[slot];
+            out = bucket.front();
+            bucket.erase(bucket.begin());
+            --wheelCount_;
+            if (bucket.empty())
+                bits_[slot >> 6] &= ~(1ULL << (slot & 63));
+        } else {
+            out = heap_.front();
+            heap_.front() = heap_.back();
+            heap_.pop_back();
+            if (!heap_.empty())
+                siftDown(0);
+        }
+        ++retired_;
+        return true;
+    }
+
+    /**
+     * Drop every marker strictly before @c now. A marker exactly at
+     * @c now survives: it is the one that must pin the next skip
+     * target to "no skip at all".
+     */
+    void
+    retireBefore(Cycle now)
+    {
+        if (now > base_) {
+            if (wheelCount_ == 0) {
+                base_ = now;
+            } else {
+                Cycle end = now - base_ < kWheelSpan
+                                ? now
+                                : base_ + kWheelSpan;
+                for (Cycle c = base_; c < end; ++c) {
+                    unsigned slot = (unsigned)(c & kWheelMask);
+                    if (!(bits_[slot >> 6] &
+                          (1ULL << (slot & 63)))) {
+                        continue;
+                    }
+                    auto &bucket = wheel_[slot];
+                    retired_ += bucket.size();
+                    wheelCount_ -= bucket.size();
+                    bucket.clear();
+                    bits_[slot >> 6] &= ~(1ULL << (slot & 63));
+                    if (wheelCount_ == 0)
+                        break;
+                }
+                base_ = now;
+            }
+        }
+        while (!heap_.empty() && heap_.front().cycle < now) {
+            heap_.front() = heap_.back();
+            heap_.pop_back();
+            if (!heap_.empty())
+                siftDown(0);
+            ++retired_;
+        }
+    }
+
+    bool empty() const { return wheelCount_ == 0 && heap_.empty(); }
+
+    std::size_t
+    pending() const
+    {
+        return wheelCount_ + heap_.size();
+    }
+
+    // Lifetime stats (test / bench introspection).
+    uint64_t posted() const { return posted_; }
+    uint64_t retired() const { return retired_; }
+    uint64_t
+    postedBySource(WakeSource src) const
+    {
+        return postedBySource_[(unsigned)src];
+    }
+
+    void
+    clear()
+    {
+        for (unsigned w = 0; w < kWheelWords; ++w) {
+            uint64_t m = bits_[w];
+            while (m) {
+                unsigned slot = w * 64 + ctz(m);
+                wheel_[slot].clear();
+                m &= m - 1;
+            }
+            bits_[w] = 0;
+        }
+        wheelCount_ = 0;
+        heap_.clear();
+        // posted_/retired_/nextSeq_/base_ deliberately survive:
+        // the first three are lifetime stats (seq only needs to
+        // stay monotonic), and the base is just a wheel origin.
+    }
+
+  private:
+    /** log2 of the wheel horizon; 512 cycles covers every fixed
+     *  component latency in CoreParams, so only refresh-epoch
+     *  markers overflow into the heap. */
+    static constexpr unsigned kWheelBits = 9;
+    static constexpr Cycle kWheelSpan = (Cycle)1 << kWheelBits;
+    static constexpr Cycle kWheelMask = kWheelSpan - 1;
+    static constexpr unsigned kWheelWords = kWheelSpan / 64;
+    static constexpr unsigned kNoSlot = (unsigned)-1;
+
+    static bool
+    before(const Event &a, const Event &b)
+    {
+        return a.cycle != b.cycle ? a.cycle < b.cycle : a.seq < b.seq;
+    }
+
+    static unsigned
+    ctz(uint64_t x)
+    {
+        return (unsigned)__builtin_ctzll(x);
+    }
+
+    /**
+     * Slot of the earliest occupied bucket, scanning the bitmap in
+     * ring order from the base slot (the window is exactly one
+     * wheel span, so ring order from the base IS cycle order).
+     */
+    unsigned
+    nextWheelSlot() const
+    {
+        if (wheelCount_ == 0)
+            return kNoSlot;
+        unsigned s0 = (unsigned)(base_ & kWheelMask);
+        unsigned w0 = s0 >> 6;
+        // Bits at or after the base slot in its own word...
+        uint64_t m = bits_[w0] & (~0ULL << (s0 & 63));
+        if (m)
+            return w0 * 64 + ctz(m);
+        // ...then whole words around the ring...
+        for (unsigned i = 1; i < kWheelWords; ++i) {
+            unsigned w = (w0 + i) & (kWheelWords - 1);
+            if (bits_[w])
+                return w * 64 + ctz(bits_[w]);
+        }
+        // ...then the base word's bits before the base slot.
+        m = bits_[w0] & ~(~0ULL << (s0 & 63));
+        if (m)
+            return w0 * 64 + ctz(m);
+        return kNoSlot;
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    std::vector<Event> wheel_[kWheelSpan];
+    uint64_t bits_[kWheelWords] = {};
+    std::size_t wheelCount_ = 0;
+    Cycle base_ = 0;
+
+    std::vector<Event> heap_; ///< overflow: beyond-horizon markers
+    uint64_t nextSeq_ = 0;
+    uint64_t posted_ = 0;
+    uint64_t retired_ = 0;
+    uint64_t postedBySource_[NUM_WAKE_SOURCES] = {};
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_SCHEDULER_HH

@@ -1,0 +1,236 @@
+#include "verify/fast_forward.hh"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "hpc/counters.hh"
+#include "hpc/sampler.hh"
+#include "sim/core.hh"
+#include "util/timeline.hh"
+
+namespace evax
+{
+
+namespace
+{
+
+/** FNV-1a step over one 64-bit value (commit digest chaining). */
+uint64_t
+chainStep(uint64_t h, uint64_t bits)
+{
+    for (int b = 0; b < 8; ++b) {
+        h ^= (bits >> (8 * b)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+constexpr uint64_t kChainSeed = 0xcbf29ce484222325ULL;
+
+/**
+ * Bounded recency tracker: remembers the touch order of every
+ * distinct line, emits the most recent @c keep in oldest-first
+ * order (the fill order that leaves the warmest lines most
+ * recently used).
+ */
+class RecencySet
+{
+  public:
+    void
+    touch(Addr line)
+    {
+        lastTouch_[line] = ++clock_;
+    }
+
+    std::vector<Addr>
+    recent(size_t keep) const
+    {
+        std::vector<std::pair<uint64_t, Addr>> order;
+        order.reserve(lastTouch_.size());
+        for (const auto &kv : lastTouch_)
+            order.push_back({kv.second, kv.first});
+        std::sort(order.begin(), order.end());
+        size_t start = order.size() > keep ? order.size() - keep : 0;
+        std::vector<Addr> out;
+        out.reserve(order.size() - start);
+        for (size_t i = start; i < order.size(); ++i)
+            out.push_back(order[i].second);
+        return out;
+    }
+
+  private:
+    std::unordered_map<Addr, uint64_t> lastTouch_;
+    uint64_t clock_ = 0;
+};
+
+} // namespace
+
+FfReference
+refFullRun(const CoreParams &params,
+           const std::function<std::unique_ptr<InstStream>()> &factory)
+{
+    auto stream = factory();
+    RefCore ref(params, *stream);
+    FfReference out;
+    out.chainDigest = kChainSeed;
+    MicroOp op;
+    while (ref.commitNext(op))
+        out.chainDigest = chainStep(out.chainDigest, opDigest(op));
+    out.archDigest = ref.arch().digest();
+    out.committed = ref.committed();
+    out.trapped = ref.trapped();
+    return out;
+}
+
+FastForwardRunner::FastForwardRunner(const CoreParams &params,
+                                     DefenseMode defense,
+                                     const FfOptions &opts)
+    : params_(params), defense_(defense), opts_(opts)
+{
+}
+
+FfCheckpoint
+FastForwardRunner::capturePrefix(InstStream &stream)
+{
+    FfCheckpoint cp;
+    cp.chainDigest = kChainSeed;
+
+    uint64_t interval =
+        opts_.sampleInterval ? opts_.sampleInterval : 1;
+    // Quantize DOWN so the checkpoint lands exactly on a sampling
+    // window boundary — the detailed region's windows then align
+    // with a full run's windows by construction.
+    uint64_t target = (opts_.skipInsts / interval) * interval;
+    if (target == 0)
+        return cp;
+
+    RefCore ref(params_, stream);
+    RecencySet dataLines, codeLines;
+    std::vector<FfCheckpoint::BranchRecord> branches;
+
+#ifdef EVAX_MUTATION_STALE_CHECKPOINT
+    // Seeded bug for the mutation tier: the architectural snapshot
+    // is taken one full sampling window before the checkpoint
+    // boundary, so the detailed region resumes from stale state.
+    ArchState staleArch;
+    bool staleCaptured = false;
+#endif
+
+    MicroOp op;
+    while (ref.committed() < target && ref.commitNext(op)) {
+        cp.chainDigest = chainStep(cp.chainDigest, opDigest(op));
+        codeLines.touch(op.pc & ~(Addr)(params_.lineSize - 1));
+        if (op.isMemRef())
+            dataLines.touch(op.addr & ~(Addr)(params_.lineSize - 1));
+        if (op.isBranch()) {
+            branches.push_back({op.pc, op.addr, op.actualTaken,
+                                op.indirect, op.isCall,
+                                op.isReturn});
+        }
+#ifdef EVAX_MUTATION_STALE_CHECKPOINT
+        if (target > interval && ref.committed() == target - interval) {
+            staleArch = ref.arch();
+            staleCaptured = true;
+        }
+#endif
+    }
+
+#ifdef EVAX_MUTATION_STALE_CHECKPOINT
+    cp.arch = staleCaptured ? staleArch : ref.arch();
+#else
+    cp.arch = ref.arch();
+#endif
+    cp.skippedCommits = ref.committed();
+    cp.trapped = ref.trapped();
+    cp.windowsSkipped = cp.skippedCommits / interval;
+    cp.refCycles = ref.cycles();
+    cp.dataLines = dataLines.recent(opts_.warmLines);
+    cp.codeLines = codeLines.recent(opts_.warmLines);
+    if (branches.size() > opts_.warmBranches) {
+        branches.erase(branches.begin(),
+                       branches.end() - opts_.warmBranches);
+    }
+    cp.branches = std::move(branches);
+    return cp;
+}
+
+FfResult
+FastForwardRunner::run(
+    const std::function<std::unique_ptr<InstStream>()> &factory)
+{
+    FfResult res;
+
+    auto prefixStream = factory();
+    res.checkpoint = capturePrefix(*prefixStream);
+    const FfCheckpoint &cp = res.checkpoint;
+
+    // The detailed twin consumes exactly what the reference did:
+    // every commit plus every trapped (consumed, never committed) op.
+    auto detailStream = factory();
+    MicroOp skipOp;
+    uint64_t advance = cp.skippedCommits + cp.trapped;
+    for (uint64_t i = 0; i < advance; ++i) {
+        if (!detailStream->next(skipOp))
+            break;
+    }
+
+    CounterRegistry reg;
+    O3Core core(params_, reg);
+    core.setDefenseMode(defense_);
+
+    // Detailed-warmup handoff: most-recently-used lines are filled
+    // last, so LRU order in each set approximates the prefix's.
+    MemorySystem &mem = core.memory();
+    for (Addr line : cp.codeLines) {
+        mem.l2().fill(line, false, 0);
+        mem.icache().fill(line, false, 0);
+    }
+    for (Addr line : cp.dataLines) {
+        mem.l2().fill(line, false, 0);
+        mem.dcache().fill(line, false, 0);
+    }
+    BranchPredictor &bp = core.branchPredictor();
+    for (const auto &b : cp.branches) {
+        // predict() primes the attribution bookkeeping update()
+        // consumes; the pair is the predictor's normal protocol.
+        bp.predict(b.pc, b.indirect, b.isReturn);
+        bp.update(b.pc, b.taken, b.target, b.indirect, b.isCall,
+                  b.isReturn);
+    }
+
+    // The sampler attaches after warm-up, so the first detailed
+    // window's deltas see none of the warm-up counter traffic.
+    Sampler sampler(reg, opts_.sampleInterval ? opts_.sampleInterval
+                                              : 1000);
+    sampler.setNormalizeEnabled(false);
+    core.attachSampler(&sampler);
+
+    // Optional timeline: no points for the skipped region, detailed
+    // points shifted to full-run instruction positions.
+    std::unique_ptr<TimelineSampler> ts;
+    if (opts_.timeline) {
+        ts = std::make_unique<TimelineSampler>(
+            reg, *opts_.timeline, opts_.timelineConfig);
+        ts->skipTo(cp.skippedCommits, cp.refCycles);
+        core.attachTimelineSampler(ts.get());
+    }
+
+    uint64_t chain = cp.chainDigest;
+    ArchState arch = cp.arch;
+    core.setCommitHook([&](const MicroOp &op, SeqNum, Cycle) {
+        chain = chainStep(chain, opDigest(op));
+        arch.apply(op, params_.lineSize);
+    });
+
+    res.sim = core.run(*detailStream);
+    if (ts)
+        ts->finish(res.sim.committedInsts, res.sim.cycles);
+    res.chainDigest = chain;
+    res.archDigest = arch.digest();
+    res.totalCommitted = cp.skippedCommits + res.sim.committedInsts;
+    res.windowsDetailed = sampler.windowsClosed();
+    return res;
+}
+
+} // namespace evax

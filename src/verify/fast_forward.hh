@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Functional fast-forward between HPC sampling windows.
+ *
+ * The in-order reference core (verify/ref_core.hh) consumes the
+ * stream prefix at functional speed — no pipeline, no cache timing —
+ * while this runner records a checkpoint: the architectural state,
+ * the recently-touched code/data lines, and the recent branch
+ * outcomes. The checkpoint is then restored into a fresh O3 core
+ * (cache warm-up via Cache::fill, predictor warm-up by replaying the
+ * branch records) and detailed simulation resumes on a twin stream
+ * advanced past the prefix.
+ *
+ * Equivalence contract (pinned by tests/test_equivalence.cc): the
+ * *functional* surface is byte-identical to a full detailed run —
+ * the per-op commit digest chain over prefix + suffix equals the
+ * full-run chain, the final architectural digest matches, and
+ * window boundaries stay aligned because the skip amount is
+ * quantized down to a whole number of sampling windows. Timing
+ * (cycles, counter values) is intentionally NOT part of the
+ * contract: warm-up is approximate, exactly like the paper's
+ * sampled-simulation methodology. Cycle-accurate byte-identity
+ * across execution modes is carried by the event-driven mode
+ * (sim/scheduler.hh), not by fast-forward.
+ */
+
+#ifndef EVAX_VERIFY_FAST_FORWARD_HH
+#define EVAX_VERIFY_FAST_FORWARD_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hpc/timeline_sampler.hh"
+#include "sim/core.hh"
+#include "sim/params.hh"
+#include "sim/types.hh"
+#include "sim/uop.hh"
+#include "verify/ref_core.hh"
+
+namespace evax
+{
+
+class Timeline;
+
+/** Fast-forward configuration. */
+struct FfOptions
+{
+    /**
+     * Architectural commits to skip functionally before detailed
+     * simulation resumes. Quantized DOWN to a whole multiple of
+     * @c sampleInterval so window boundaries align with a full run.
+     */
+    uint64_t skipInsts = 0;
+    /** HPC sampling window length (committed instructions). */
+    uint64_t sampleInterval = 1000;
+    /** Most-recent distinct data/code lines warmed into the caches. */
+    unsigned warmLines = 4096;
+    /** Most-recent branch records replayed into the predictor. */
+    unsigned warmBranches = 4096;
+    /**
+     * Optional timeline sink for the detailed region. The skipped
+     * region emits NO points (TimelineSampler::skipTo); detailed
+     * points land at full-run instruction positions, with the
+     * cycle axis offset by the reference prefix's cycle estimate.
+     */
+    Timeline *timeline = nullptr;
+    /** Cadence/subset knobs for the optional timeline. */
+    TimelineSamplerConfig timelineConfig;
+};
+
+/** What the reference prefix run captured for the detailed restart. */
+struct FfCheckpoint
+{
+    /** Architectural state at the checkpoint boundary. */
+    ArchState arch;
+    /** Reference commits consumed (== the quantized skip amount,
+     *  unless the stream ran out first). */
+    uint64_t skippedCommits = 0;
+    /** Faulting ops the reference consumed without committing; the
+     *  twin stream must be advanced by skippedCommits + trapped. */
+    uint64_t trapped = 0;
+    /** Commit digest chain over the skipped prefix. */
+    uint64_t chainDigest = 0;
+    /** Sampling windows the skip covers (never emitted). */
+    uint64_t windowsSkipped = 0;
+    /** Reference in-order cycle estimate for the prefix (context
+     *  only; used as the timeline's cycle-axis offset). */
+    uint64_t refCycles = 0;
+
+    /** Recently-touched line addresses, oldest first, deduped. */
+    std::vector<Addr> dataLines;
+    std::vector<Addr> codeLines;
+
+    struct BranchRecord
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool taken = false;
+        bool indirect = false;
+        bool isCall = false;
+        bool isReturn = false;
+    };
+    /** Recent resolved branches, oldest first (replay order). */
+    std::vector<BranchRecord> branches;
+};
+
+/** Result of one fast-forwarded run. */
+struct FfResult
+{
+    FfCheckpoint checkpoint;
+    /** Detailed-region simulation summary (cycles are suffix-only). */
+    SimResult sim;
+    /** Commit digest chain over prefix + suffix. */
+    uint64_t chainDigest = 0;
+    /** Final architectural digest (checkpoint + suffix commits). */
+    uint64_t archDigest = 0;
+    /** skippedCommits + sim.committedInsts. */
+    uint64_t totalCommitted = 0;
+    /** Sampling windows closed in the detailed region. */
+    uint64_t windowsDetailed = 0;
+};
+
+/** Functional full-run reference surface (for equivalence tests). */
+struct FfReference
+{
+    uint64_t chainDigest = 0;
+    uint64_t archDigest = 0;
+    uint64_t committed = 0;
+    uint64_t trapped = 0;
+};
+
+/**
+ * Run the whole stream through the reference core alone and digest
+ * its functional surface — the fixture fast-forwarded runs are
+ * compared against.
+ */
+FfReference
+refFullRun(const CoreParams &params,
+           const std::function<std::unique_ptr<InstStream>()> &factory);
+
+/**
+ * Fast-forward runner: reference prefix, checkpoint restore,
+ * detailed O3 suffix. Composes with both run modes — set
+ * params.runMode = RunMode::EventDriven to idle-skip the detailed
+ * region too.
+ */
+class FastForwardRunner
+{
+  public:
+    FastForwardRunner(const CoreParams &params, DefenseMode defense,
+                      const FfOptions &opts);
+
+    /**
+     * Run one fast-forwarded case. @p factory is called exactly
+     * twice (reference prefix, detailed suffix) and must return
+     * identical twin streams.
+     */
+    FfResult run(
+        const std::function<std::unique_ptr<InstStream>()> &factory);
+
+  private:
+    /** Consume the prefix on the reference core, recording warmth. */
+    FfCheckpoint capturePrefix(InstStream &stream);
+
+    CoreParams params_;
+    DefenseMode defense_;
+    FfOptions opts_;
+};
+
+} // namespace evax
+
+#endif // EVAX_VERIFY_FAST_FORWARD_HH

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Shared digest helpers for the golden-pin suites. test_golden.cc
+ * pins these digests against constants in tick-loop mode;
+ * test_equivalence.cc re-runs the same computations in the
+ * event-driven and fast-forward execution modes and requires
+ * byte-identical results. Keeping the hashing in one header
+ * guarantees the two suites can never drift apart on *what* they
+ * digest.
+ */
+
+#ifndef EVAX_TESTS_GOLDEN_UTIL_HH
+#define EVAX_TESTS_GOLDEN_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "attacks/registry.hh"
+#include "hpc/sampler.hh"
+#include "ml/dataset.hh"
+#include "sim/core.hh"
+#include "workload/registry.hh"
+
+namespace evax
+{
+
+constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+
+/** FNV-1a over a stream of doubles (bit-exact, not approximate). */
+inline uint64_t
+hashDoubles(uint64_t h, const double *v, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t bits;
+        std::memcpy(&bits, &v[i], sizeof(bits));
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+inline uint64_t
+hashU64(uint64_t h, uint64_t bits)
+{
+    for (int b = 0; b < 8; ++b) {
+        h ^= (bits >> (8 * b)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+inline uint64_t
+hashDouble(uint64_t h, double v)
+{
+    return hashDoubles(h, &v, 1);
+}
+
+/** FNV-1a over a byte string (CSV-text digests). */
+inline uint64_t
+hashBytes(const std::string &bytes)
+{
+    uint64_t h = kFnvSeed;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Digest a SimResult's externally visible fields. */
+inline uint64_t
+hashSimResult(uint64_t h, const SimResult &r)
+{
+    h = hashU64(h, r.cycles);
+    h = hashU64(h, r.committedInsts);
+    h = hashU64(h, r.leaks);
+    h = hashU64(h, r.firstLeakInst);
+    h = hashU64(h, r.bitFlips);
+    h = hashU64(h, r.squashes);
+    h = hashU64(h, r.streamExhausted ? 1 : 0);
+    return h;
+}
+
+inline uint64_t
+datasetDigest(const Dataset &data)
+{
+    uint64_t h = kFnvSeed;
+    for (const auto &s : data.samples) {
+        h = hashDoubles(h, s.x.data(), s.x.size());
+        h ^= (uint64_t)s.attackClass * 0x9e3779b97f4a7c15ULL;
+        h ^= s.malicious ? 0x5bULL : 0xa4ULL;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** EXPECT with a hex print so re-pinning is copy-paste. */
+inline void
+expectDigest(uint64_t actual, uint64_t pinned, const char *label)
+{
+    EXPECT_EQ(actual, pinned)
+        << label << " digest moved: actual 0x" << std::hex << actual
+        << " (pinned 0x" << pinned << ")";
+}
+
+/**
+ * The core-level counter digest: full counter register file +
+ * SimResult + closed-window count for one stream under one defense
+ * mode. The @p params overload is what the equivalence tier varies
+ * (RunMode::EventDriven must reproduce the tick-loop digest bit
+ * for bit).
+ */
+inline uint64_t
+coreRunDigest(const std::string &stream_name, bool is_attack,
+              DefenseMode mode, const CoreParams &params)
+{
+    CounterRegistry reg;
+    O3Core core(params, reg);
+    core.setDefenseMode(mode);
+    Sampler sampler(reg, 1000);
+    sampler.setNormalizeEnabled(false);
+    core.attachSampler(&sampler);
+    auto stream = is_attack
+                      ? AttackRegistry::create(stream_name, 3, 6000)
+                      : WorkloadRegistry::create(stream_name, 3,
+                                                 6000);
+    SimResult res = core.run(*stream);
+    std::vector<double> snap = reg.snapshot();
+    uint64_t h = hashDoubles(kFnvSeed, snap.data(), snap.size());
+    h = hashSimResult(h, res);
+    h = hashU64(h, sampler.windowsClosed());
+    return h;
+}
+
+inline uint64_t
+coreRunDigest(const std::string &stream_name, bool is_attack,
+              DefenseMode mode)
+{
+    CoreParams params; // O3Core keeps a reference; must outlive it
+    return coreRunDigest(stream_name, is_attack, mode, params);
+}
+
+/** The stream x defense-mode cases the core digests pin. */
+struct CoreCase
+{
+    const char *stream;
+    bool attack;
+    DefenseMode mode;
+    uint64_t pinned;
+};
+
+/** 5 benign + 8 attack + 9 defense combos = the 22 pinned core
+ *  digests shared by test_golden.cc and test_equivalence.cc. */
+inline const CoreCase *
+goldenCoreCases(size_t &count)
+{
+    static const CoreCase cases[] = {
+        {"compress", false, DefenseMode::None, 0x6b84392a76f46220ULL},
+        {"fft", false, DefenseMode::None, 0xa7156221cc8bec08ULL},
+        {"linalg", false, DefenseMode::None, 0x55d3709835d2b8f8ULL},
+        {"eventsim", false, DefenseMode::None, 0x88da3a8a882f5bd8ULL},
+        {"sort", false, DefenseMode::None, 0x55e4be3da17fde88ULL},
+        {"spectre-pht", true, DefenseMode::None, 0x828d0b846d7baa20ULL},
+        {"spectre-stl", true, DefenseMode::None, 0x56c7208d509cc5d2ULL},
+        {"meltdown", true, DefenseMode::None, 0x6906cd11ab964df7ULL},
+        {"lvi", true, DefenseMode::None, 0x7077dffbc0289e39ULL},
+        {"rowhammer", true, DefenseMode::None, 0x6dc0e0138d1984caULL},
+        {"smotherspectre", true, DefenseMode::None, 0x555b4d343d0260c5ULL},
+        {"flush-reload", true, DefenseMode::None, 0xbd0d4bda7f0f5359ULL},
+        {"medusa-shadow-rep", true, DefenseMode::None, 0xeea05e9305907f83ULL},
+        {"compress", false, DefenseMode::FenceSpectre, 0xf49a9e7110b0f661ULL},
+        {"compress", false, DefenseMode::FenceFuturistic, 0x140e6b1e8ac1ccc1ULL},
+        {"compress", false, DefenseMode::InvisiSpecSpectre, 0xc07b4475b3f6f794ULL},
+        {"compress", false, DefenseMode::InvisiSpecFuturistic,
+         0xfdd1eb1b4575ec67ULL},
+        {"spectre-pht", true, DefenseMode::FenceSpectre, 0x2028aa15c60c5479ULL},
+        {"spectre-pht", true, DefenseMode::FenceFuturistic, 0x126daac6865fb9e0ULL},
+        {"spectre-pht", true, DefenseMode::InvisiSpecSpectre,
+         0x1153b060c17663feULL},
+        {"spectre-pht", true, DefenseMode::InvisiSpecFuturistic,
+         0x8cfd36e8c984787eULL},
+        {"meltdown", true, DefenseMode::InvisiSpecFuturistic,
+         0x5769607e58486f7bULL},
+    };
+    count = sizeof(cases) / sizeof(cases[0]);
+    return cases;
+}
+
+} // namespace evax
+
+#endif // EVAX_TESTS_GOLDEN_UTIL_HH

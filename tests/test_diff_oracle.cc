@@ -19,6 +19,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "sim/core.hh"
+#include "verify/fast_forward.hh"
 #include "verify/fuzz_diff.hh"
 #include "verify/ref_core.hh"
 
@@ -443,6 +445,97 @@ TEST(MutationDetection, DroppedTrapReplayIsFlagged)
     DiffReport rep = runDiffSpec(params, DefenseMode::None, spec);
     EXPECT_FALSE(rep.ok())
         << "seeded trap-replay bug escaped the oracle";
+}
+#endif
+
+#ifdef EVAX_MUTATION_LOST_WAKEUP
+/** Serial chain of 150-cycle Rdrands: between one completion and
+ *  the next issue the whole machine is inert, so event-driven
+ *  progress depends entirely on the IssueReady wake marker the
+ *  seeded bug drops. */
+class RdrandChainStream : public InstStream
+{
+  public:
+    explicit RdrandChainStream(uint64_t length) : length_(length) {}
+
+    bool
+    next(MicroOp &op) override
+    {
+        if (pos_ >= length_)
+            return false;
+        op = MicroOp{};
+        op.pc = 0x600000 + pos_ * 4;
+        op.op = OpClass::Rdrand;
+        op.src0 = 3;
+        op.dst = 3;
+        ++pos_;
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+    const char *name() const override { return "rdrand-chain"; }
+
+  private:
+    uint64_t length_;
+    uint64_t pos_ = 0;
+};
+
+TEST(MutationDetection, LostWakeupIsFlagged)
+{
+    // The seeded bug drops wake markers for completions more than
+    // 50 cycles out; rdrandLatency is 150, so an event-driven run
+    // that goes inert on the chain jumps straight to its cycle
+    // budget instead of waking at readyCycle. Identical budgets =>
+    // far fewer commits than the tick loop, which never consults
+    // the scheduler. The clean build keeps the two byte-identical
+    // (tests/test_equivalence.cc), so this inequality is exactly
+    // the lost-wakeup signal.
+    const uint64_t budget = 30000;
+
+    CounterRegistry tickReg;
+    CoreParams tickParams;
+    O3Core tickCore(tickParams, tickReg);
+    RdrandChainStream tickStream(4000);
+    SimResult tick = tickCore.run(tickStream, 0, budget);
+
+    CounterRegistry evReg;
+    CoreParams evParams;
+    evParams.runMode = RunMode::EventDriven;
+    O3Core evCore(evParams, evReg);
+    RdrandChainStream evStream(4000);
+    SimResult ev = evCore.run(evStream, 0, budget);
+
+    EXPECT_NE(ev.committedInsts, tick.committedInsts)
+        << "seeded lost wakeup escaped the equivalence tier";
+    EXPECT_LT(ev.committedInsts, tick.committedInsts)
+        << "an event-driven run cannot outrun the tick loop on "
+           "the same cycle budget";
+}
+#endif
+
+#ifdef EVAX_MUTATION_STALE_CHECKPOINT
+TEST(MutationDetection, StaleCheckpointIsFlagged)
+{
+    // The seeded bug snapshots the architectural state one full
+    // sampling window before the checkpoint boundary, so detailed
+    // simulation resumes from stale registers/memory. The commit
+    // digest chain is built from the op stream and stays clean —
+    // the final architectural digest is what must go red.
+    StreamSpec spec;
+    spec.name = "compress";
+    spec.seed = 3;
+    spec.length = 30000;
+    CoreParams params;
+    auto factory = [&spec] { return makeStream(spec); };
+    FfReference ref = refFullRun(params, factory);
+
+    FfOptions opts;
+    opts.skipInsts = 10000;
+    opts.sampleInterval = 1000;
+    FastForwardRunner runner(params, DefenseMode::None, opts);
+    FfResult ff = runner.run(factory);
+    EXPECT_NE(ff.archDigest, ref.archDigest)
+        << "seeded stale checkpoint escaped the equivalence tier";
 }
 #endif
 

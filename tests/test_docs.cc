@@ -269,6 +269,74 @@ TEST(Docs, HotPathSectionAnchorsItsContract)
     }
 }
 
+TEST(Docs, ExecutionModesSectionAnchorsItsContract)
+{
+    // DESIGN.md §10's execution-modes subsection and
+    // docs/PERFORMANCE.md#execution-modes are the written contract
+    // for the event-driven scheduler and the fast-forward harness:
+    // byte-identity for the former, functional-surface identity for
+    // the latter, both pinned by ctest -L sched. Pin the anchors
+    // and the load-bearing references so a rename cannot strand
+    // the links from source headers and CI.
+    MarkdownFile design;
+    design.relPath = "DESIGN.md";
+    ASSERT_TRUE(readLines(
+        std::string(EVAX_SOURCE_DIR) + "/DESIGN.md", design.lines));
+    EXPECT_TRUE(collectAnchors(design).count("execution-modes"))
+        << "DESIGN.md must keep the '### Execution modes' heading";
+
+    std::string body;
+    for (const std::string &line : design.lines)
+        body += line + "\n";
+    for (const char *required :
+         {"RunMode::EventDriven", "src/sim/scheduler.hh",
+          "lost wakeup", "src/verify/fast_forward.hh",
+          "tests/test_equivalence.cc", "tests/test_scheduler.cc",
+          "corpus/fig15_interval100_event", "test_mut_lost_wakeup",
+          "test_mut_stale_checkpoint"}) {
+        EXPECT_NE(body.find(required), std::string::npos)
+            << "DESIGN.md execution-modes section lost reference "
+               "to '" << required << "'";
+    }
+
+    MarkdownFile perf;
+    perf.relPath = "docs/PERFORMANCE.md";
+    ASSERT_TRUE(readLines(
+        std::string(EVAX_SOURCE_DIR) + "/docs/PERFORMANCE.md",
+        perf.lines));
+    EXPECT_TRUE(collectAnchors(perf).count("execution-modes"))
+        << "docs/PERFORMANCE.md lost the #execution-modes heading";
+
+    std::string perf_body;
+    for (const std::string &line : perf.lines)
+        perf_body += line + "\n";
+    for (const char *required :
+         {"corpus/fig15_interval100_event", "timing wheel",
+          "idleSkip", "kMinSkipCycles", "sched-smoke",
+          "ctest -L sched"}) {
+        EXPECT_NE(perf_body.find(required), std::string::npos)
+            << "docs/PERFORMANCE.md execution-modes section lost "
+               "reference to '" << required << "'";
+    }
+
+    MarkdownFile testing;
+    testing.relPath = "docs/TESTING.md";
+    ASSERT_TRUE(readLines(
+        std::string(EVAX_SOURCE_DIR) + "/docs/TESTING.md",
+        testing.lines));
+    std::string testing_body;
+    for (const std::string &line : testing.lines)
+        testing_body += line + "\n";
+    for (const char *required :
+         {"-L sched", "tests/test_scheduler.cc",
+          "tests/test_equivalence.cc", "test_mut_lost_wakeup",
+          "test_mut_stale_checkpoint"}) {
+        EXPECT_NE(testing_body.find(required), std::string::npos)
+            << "docs/TESTING.md lost reference to '" << required
+            << "'";
+    }
+}
+
 TEST(Docs, ObservabilityAnchorsItsTelemetryContract)
 {
     // Source files point users at these anchors

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Execution-mode equivalence tier (ctest -L sched).
+ *
+ * The event-driven scheduler (sim/scheduler.hh) and the idle-skip
+ * fast path in O3Core::run are only allowed to change *wall-clock*
+ * time, never simulated behavior. This suite pins that contract:
+ * every golden core digest from tests/golden_util.hh — the exact
+ * constants test_golden.cc pins in tick-loop mode — must reproduce
+ * bit for bit with RunMode::EventDriven, and the differential
+ * oracle must stay green over a million-instruction run in both
+ * modes with an identical report.
+ *
+ * A lost wakeup (a component arming an activation threshold without
+ * posting a marker) shows up here as a digest mismatch or an oracle
+ * divergence; the seeded EVAX_MUTATION_LOST_WAKEUP build proves the
+ * tier actually fires (see tests/test_diff_oracle.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/collector.hh"
+#include "sim/core.hh"
+#include "verify/diff_runner.hh"
+#include "verify/fast_forward.hh"
+
+#include "golden_util.hh"
+
+namespace evax
+{
+namespace
+{
+
+CoreParams
+eventParams()
+{
+    CoreParams params;
+    params.runMode = RunMode::EventDriven;
+    return params;
+}
+
+// ---------------------------------------------------------------
+// Event-driven mode vs the tick-loop golden pins.
+// ---------------------------------------------------------------
+
+TEST(EquivalenceEvent, BenignDigestsMatchTickPins)
+{
+    size_t count = 0;
+    const CoreCase *cases = goldenCoreCases(count);
+    for (size_t i = 0; i < 5; ++i) {
+        const CoreCase &c = cases[i];
+        expectDigest(
+            coreRunDigest(c.stream, c.attack, c.mode, eventParams()),
+            c.pinned, c.stream);
+    }
+}
+
+TEST(EquivalenceEvent, AttackDigestsMatchTickPins)
+{
+    size_t count = 0;
+    const CoreCase *cases = goldenCoreCases(count);
+    for (size_t i = 5; i < 13; ++i) {
+        const CoreCase &c = cases[i];
+        expectDigest(
+            coreRunDigest(c.stream, c.attack, c.mode, eventParams()),
+            c.pinned, c.stream);
+    }
+}
+
+TEST(EquivalenceEvent, DefenseDigestsMatchTickPins)
+{
+    size_t count = 0;
+    const CoreCase *cases = goldenCoreCases(count);
+    ASSERT_EQ(count, 22u);
+    for (size_t i = 13; i < count; ++i) {
+        const CoreCase &c = cases[i];
+        std::string label = std::string(c.stream) + "/mode" +
+                            std::to_string((int)c.mode);
+        expectDigest(
+            coreRunDigest(c.stream, c.attack, c.mode, eventParams()),
+            c.pinned, label.c_str());
+    }
+}
+
+/** The fig15 third-row corpus, collected on event-driven cores. */
+TEST(EquivalenceEvent, Interval100CorpusDigest)
+{
+    CollectorConfig cfg;
+    cfg.sampleInterval = 100;
+    cfg.benignLength = 5000;
+    cfg.attackLength = 4000;
+    cfg.benignSeeds = 1;
+    cfg.attackSeeds = 1;
+    cfg.coreParams.runMode = RunMode::EventDriven;
+    Collector collector(cfg);
+    Dataset data;
+    data.classNames = AttackRegistry::classNames();
+    auto wl = WorkloadRegistry::create("compress", 11, 5000);
+    collector.collectStream(*wl, BENIGN_CLASS, false, data);
+    auto atk = AttackRegistry::create("spectre-stl", 13, 4000);
+    collector.collectStream(*atk,
+                            AttackRegistry::classId("spectre-stl"),
+                            true, data);
+    expectDigest(datasetDigest(data), 0xb2dcf17c5a982463ULL,
+                 "interval100corpus/event");
+}
+
+/** The event scheduler must actually be load-bearing: an idle-heavy
+ *  stream in event mode retires markers and skips cycles. */
+TEST(EquivalenceEvent, SchedulerIsLoadBearing)
+{
+    CounterRegistry reg;
+    CoreParams params = eventParams();
+    O3Core core(params, reg);
+    uint64_t skips = 0, skipped_cycles = 0;
+    core.setSkipHook([&](Cycle from, Cycle to) {
+        ++skips;
+        skipped_cycles += to - from;
+        ASSERT_GT(to, from);
+    });
+    auto stream = WorkloadRegistry::create("eventsim", 3, 6000);
+    SimResult res = core.run(*stream);
+    EXPECT_TRUE(res.streamExhausted);
+    EXPECT_GT(core.scheduler().posted(), 0u);
+    EXPECT_GT(skips, 0u) << "idle-skip never engaged on eventsim";
+    EXPECT_GT(skipped_cycles, 0u);
+}
+
+/** Tick-loop mode must never engage the skip path or post markers. */
+TEST(EquivalenceEvent, TickModePostsNothing)
+{
+    CounterRegistry reg;
+    CoreParams params; // default: RunMode::TickLoop
+    O3Core core(params, reg);
+    uint64_t skips = 0;
+    core.setSkipHook([&](Cycle, Cycle) { ++skips; });
+    auto stream = WorkloadRegistry::create("eventsim", 3, 6000);
+    core.run(*stream);
+    EXPECT_EQ(core.scheduler().posted(), 0u);
+    EXPECT_EQ(skips, 0u);
+}
+
+// ---------------------------------------------------------------
+// Differential oracle across modes (the 1M-instruction run).
+// ---------------------------------------------------------------
+
+/** Digest the mode-independent surface of a DiffReport. */
+uint64_t
+reportDigest(const DiffReport &r)
+{
+    uint64_t h = kFnvSeed;
+    h = hashU64(h, r.committedOoo);
+    h = hashU64(h, r.committedRef);
+    h = hashU64(h, r.trappedRef);
+    h = hashU64(h, r.cyclesOoo);
+    h = hashU64(h, r.cyclesRef);
+    h = hashU64(h, r.checkpoints);
+    h = hashU64(h, r.leaks);
+    h = hashU64(h, r.streamExhausted ? 1 : 0);
+    h = hashU64(h, r.mismatches.size());
+    return h;
+}
+
+TEST(EquivalenceOracle, MillionInstructionRunBothModes)
+{
+    StreamSpec spec;
+    spec.kind = StreamSpec::Kind::Benign;
+    spec.name = "hashjoin";
+    spec.seed = 12345;
+    spec.length = 1000000;
+
+    CoreParams tick;
+    DiffReport tick_report =
+        runDiffSpec(tick, DefenseMode::None, spec);
+    EXPECT_TRUE(tick_report.ok()) << tick_report.summary();
+
+    DiffReport event_report =
+        runDiffSpec(eventParams(), DefenseMode::None, spec);
+    EXPECT_TRUE(event_report.ok()) << event_report.summary();
+
+    EXPECT_EQ(reportDigest(tick_report), reportDigest(event_report))
+        << "tick: " << tick_report.summary()
+        << "\nevent: " << event_report.summary();
+}
+
+/** Attack stream + defense mode through the oracle in event mode —
+ *  exercises squash/expose/trap wake sources under diffing. */
+TEST(EquivalenceOracle, AttackDefenseCaseBothModes)
+{
+    StreamSpec spec;
+    spec.kind = StreamSpec::Kind::Attack;
+    spec.name = "spectre-pht";
+    spec.seed = 9;
+    spec.length = 30000;
+
+    CoreParams tick;
+    DiffReport tick_report =
+        runDiffSpec(tick, DefenseMode::InvisiSpecSpectre, spec);
+    EXPECT_TRUE(tick_report.ok()) << tick_report.summary();
+
+    DiffReport event_report = runDiffSpec(
+        eventParams(), DefenseMode::InvisiSpecSpectre, spec);
+    EXPECT_TRUE(event_report.ok()) << event_report.summary();
+
+    EXPECT_EQ(reportDigest(tick_report), reportDigest(event_report));
+}
+
+// ---------------------------------------------------------------
+// Fast-forward mode: functional surface vs the full-run reference.
+// ---------------------------------------------------------------
+
+std::function<std::unique_ptr<InstStream>()>
+streamFactory(const StreamSpec &spec)
+{
+    return [spec] { return makeStream(spec); };
+}
+
+/**
+ * The fast-forward contract: for any skip amount, the commit digest
+ * chain over (functional prefix + detailed suffix) and the final
+ * architectural digest equal the full-run reference, and window
+ * boundaries stay aligned. Timing is explicitly out of contract.
+ */
+void
+expectFfMatchesReference(const StreamSpec &spec, DefenseMode defense,
+                         uint64_t skip, uint64_t interval)
+{
+    CoreParams params;
+    auto factory = streamFactory(spec);
+    FfReference ref = refFullRun(params, factory);
+
+    FfOptions opts;
+    opts.skipInsts = skip;
+    opts.sampleInterval = interval;
+    FastForwardRunner runner(params, defense, opts);
+    FfResult ff = runner.run(factory);
+
+    SCOPED_TRACE(spec.name + "/skip" + std::to_string(skip));
+    EXPECT_EQ(ff.chainDigest, ref.chainDigest)
+        << "commit digest chain diverged";
+    EXPECT_EQ(ff.archDigest, ref.archDigest)
+        << "final architectural state diverged";
+    EXPECT_EQ(ff.totalCommitted, ref.committed);
+    // Window alignment: the checkpoint lands on a window boundary.
+    EXPECT_EQ(ff.checkpoint.skippedCommits % interval, 0u);
+    EXPECT_EQ(ff.checkpoint.windowsSkipped,
+              ff.checkpoint.skippedCommits / interval);
+    EXPECT_EQ(ff.checkpoint.windowsSkipped + ff.windowsDetailed,
+              ref.committed / interval);
+}
+
+TEST(EquivalenceFastForward, BenignStreamHalfSkip)
+{
+    StreamSpec spec;
+    spec.name = "compress";
+    spec.seed = 3;
+    spec.length = 60000;
+    expectFfMatchesReference(spec, DefenseMode::None, 30000, 1000);
+}
+
+TEST(EquivalenceFastForward, TrappingAttackStream)
+{
+    StreamSpec spec;
+    spec.kind = StreamSpec::Kind::Attack;
+    spec.name = "meltdown";
+    spec.seed = 3;
+    spec.length = 20000;
+    // Meltdown streams trap: the twin-stream advance must account
+    // for consumed-but-never-committed faulting ops.
+    expectFfMatchesReference(spec, DefenseMode::None, 8000, 1000);
+}
+
+TEST(EquivalenceFastForward, ZeroSkipDegeneratesToFullDetailedRun)
+{
+    StreamSpec spec;
+    spec.name = "fft";
+    spec.seed = 7;
+    spec.length = 20000;
+    expectFfMatchesReference(spec, DefenseMode::None, 0, 1000);
+}
+
+TEST(EquivalenceFastForward, SkipIsQuantizedToWindowBoundary)
+{
+    StreamSpec spec;
+    spec.name = "sort";
+    spec.seed = 5;
+    spec.length = 20000;
+    // 7777 is not a window multiple; the runner must quantize to
+    // 7000 so windows align.
+    expectFfMatchesReference(spec, DefenseMode::None, 7777, 1000);
+
+    CoreParams params;
+    FfOptions opts;
+    opts.skipInsts = 7777;
+    opts.sampleInterval = 1000;
+    FastForwardRunner runner(params, DefenseMode::None, opts);
+    FfResult ff = runner.run(streamFactory(spec));
+    EXPECT_EQ(ff.checkpoint.skippedCommits, 7000u);
+}
+
+TEST(EquivalenceFastForward, ComposesWithEventDrivenMode)
+{
+    StreamSpec spec;
+    spec.name = "eventsim";
+    spec.seed = 9;
+    spec.length = 30000;
+    auto factory = streamFactory(spec);
+    FfReference ref = refFullRun(CoreParams(), factory);
+
+    FfOptions opts;
+    opts.skipInsts = 10000;
+    opts.sampleInterval = 1000;
+    FastForwardRunner runner(eventParams(), DefenseMode::None, opts);
+    FfResult ff = runner.run(factory);
+    EXPECT_EQ(ff.chainDigest, ref.chainDigest);
+    EXPECT_EQ(ff.archDigest, ref.archDigest);
+    EXPECT_EQ(ff.totalCommitted, ref.committed);
+}
+
+TEST(EquivalenceFastForward, MillionInstructionRun)
+{
+    StreamSpec spec;
+    spec.name = "hashjoin";
+    spec.seed = 12345;
+    spec.length = 1000000;
+    expectFfMatchesReference(spec, DefenseMode::None, 600000, 1000);
+}
+
+} // namespace
+} // namespace evax

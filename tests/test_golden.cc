@@ -40,91 +40,12 @@
 #include "util/stats.hh"
 #include "workload/registry.hh"
 
+#include "golden_util.hh" // hashing + coreRunDigest + CoreCase list
+
 namespace evax
 {
 namespace
 {
-
-/** FNV-1a over a stream of doubles (bit-exact, not approximate). */
-uint64_t
-hashDoubles(uint64_t h, const double *v, size_t n)
-{
-    for (size_t i = 0; i < n; ++i) {
-        uint64_t bits;
-        std::memcpy(&bits, &v[i], sizeof(bits));
-        for (int b = 0; b < 8; ++b) {
-            h ^= (bits >> (8 * b)) & 0xff;
-            h *= 0x100000001b3ULL;
-        }
-    }
-    return h;
-}
-
-uint64_t
-hashU64(uint64_t h, uint64_t bits)
-{
-    for (int b = 0; b < 8; ++b) {
-        h ^= (bits >> (8 * b)) & 0xff;
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
-
-uint64_t
-hashDouble(uint64_t h, double v)
-{
-    return hashDoubles(h, &v, 1);
-}
-
-/** FNV-1a over a byte string (CSV-text digests). */
-uint64_t
-hashBytes(const std::string &bytes)
-{
-    uint64_t h = kFnvSeed;
-    for (unsigned char c : bytes) {
-        h ^= c;
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-/** Digest a SimResult's externally visible fields. */
-uint64_t
-hashSimResult(uint64_t h, const SimResult &r)
-{
-    h = hashU64(h, r.cycles);
-    h = hashU64(h, r.committedInsts);
-    h = hashU64(h, r.leaks);
-    h = hashU64(h, r.firstLeakInst);
-    h = hashU64(h, r.bitFlips);
-    h = hashU64(h, r.squashes);
-    h = hashU64(h, r.streamExhausted ? 1 : 0);
-    return h;
-}
-
-uint64_t
-datasetDigest(const Dataset &data)
-{
-    uint64_t h = kFnvSeed;
-    for (const auto &s : data.samples) {
-        h = hashDoubles(h, s.x.data(), s.x.size());
-        h ^= (uint64_t)s.attackClass * 0x9e3779b97f4a7c15ULL;
-        h ^= s.malicious ? 0x5bULL : 0xa4ULL;
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-/** EXPECT with a hex print so re-pinning is copy-paste. */
-void
-expectDigest(uint64_t actual, uint64_t pinned, const char *label)
-{
-    EXPECT_EQ(actual, pinned)
-        << label << " digest moved: actual 0x" << std::hex << actual
-        << " (pinned 0x" << pinned << ")";
-}
 
 /**
  * The quick-scale experiment every detector-level golden shares
@@ -152,47 +73,16 @@ quickCorpus()
 // counter increment anywhere in the pipeline moves it.
 // ---------------------------------------------------------------
 
-uint64_t
-coreRunDigest(const std::string &stream_name, bool is_attack,
-              DefenseMode mode)
-{
-    CounterRegistry reg;
-    CoreParams params; // O3Core keeps a reference; must outlive it
-    O3Core core(params, reg);
-    core.setDefenseMode(mode);
-    Sampler sampler(reg, 1000);
-    sampler.setNormalizeEnabled(false);
-    core.attachSampler(&sampler);
-    auto stream = is_attack
-                      ? AttackRegistry::create(stream_name, 3, 6000)
-                      : WorkloadRegistry::create(stream_name, 3,
-                                                 6000);
-    SimResult res = core.run(*stream);
-    std::vector<double> snap = reg.snapshot();
-    uint64_t h = hashDoubles(kFnvSeed, snap.data(), snap.size());
-    h = hashSimResult(h, res);
-    h = hashU64(h, sampler.windowsClosed());
-    return h;
-}
-
-struct CoreCase
-{
-    const char *stream;
-    bool attack;
-    DefenseMode mode;
-    uint64_t pinned;
-};
+// The pinned constants live in tests/golden_util.hh
+// (goldenCoreCases) so the equivalence tier re-runs exactly the
+// same cases in the event-driven mode.
 
 TEST(GoldenCore, CounterDigestsBenignStreams)
 {
-    const CoreCase cases[] = {
-        {"compress", false, DefenseMode::None, 0x6b84392a76f46220ULL},
-        {"fft", false, DefenseMode::None, 0xa7156221cc8bec08ULL},
-        {"linalg", false, DefenseMode::None, 0x55d3709835d2b8f8ULL},
-        {"eventsim", false, DefenseMode::None, 0x88da3a8a882f5bd8ULL},
-        {"sort", false, DefenseMode::None, 0x55e4be3da17fde88ULL},
-    };
-    for (const auto &c : cases) {
+    size_t count = 0;
+    const CoreCase *cases = goldenCoreCases(count);
+    for (size_t i = 0; i < 5; ++i) {
+        const CoreCase &c = cases[i];
         expectDigest(coreRunDigest(c.stream, c.attack, c.mode),
                      c.pinned, c.stream);
     }
@@ -200,17 +90,10 @@ TEST(GoldenCore, CounterDigestsBenignStreams)
 
 TEST(GoldenCore, CounterDigestsAttackStreams)
 {
-    const CoreCase cases[] = {
-        {"spectre-pht", true, DefenseMode::None, 0x828d0b846d7baa20ULL},
-        {"spectre-stl", true, DefenseMode::None, 0x56c7208d509cc5d2ULL},
-        {"meltdown", true, DefenseMode::None, 0x6906cd11ab964df7ULL},
-        {"lvi", true, DefenseMode::None, 0x7077dffbc0289e39ULL},
-        {"rowhammer", true, DefenseMode::None, 0x6dc0e0138d1984caULL},
-        {"smotherspectre", true, DefenseMode::None, 0x555b4d343d0260c5ULL},
-        {"flush-reload", true, DefenseMode::None, 0xbd0d4bda7f0f5359ULL},
-        {"medusa-shadow-rep", true, DefenseMode::None, 0xeea05e9305907f83ULL},
-    };
-    for (const auto &c : cases) {
+    size_t count = 0;
+    const CoreCase *cases = goldenCoreCases(count);
+    for (size_t i = 5; i < 13; ++i) {
+        const CoreCase &c = cases[i];
         expectDigest(coreRunDigest(c.stream, c.attack, c.mode),
                      c.pinned, c.stream);
     }
@@ -218,22 +101,11 @@ TEST(GoldenCore, CounterDigestsAttackStreams)
 
 TEST(GoldenCore, CounterDigestsDefenseModes)
 {
-    const CoreCase cases[] = {
-        {"compress", false, DefenseMode::FenceSpectre, 0xf49a9e7110b0f661ULL},
-        {"compress", false, DefenseMode::FenceFuturistic, 0x140e6b1e8ac1ccc1ULL},
-        {"compress", false, DefenseMode::InvisiSpecSpectre, 0xc07b4475b3f6f794ULL},
-        {"compress", false, DefenseMode::InvisiSpecFuturistic,
-         0xfdd1eb1b4575ec67ULL},
-        {"spectre-pht", true, DefenseMode::FenceSpectre, 0x2028aa15c60c5479ULL},
-        {"spectre-pht", true, DefenseMode::FenceFuturistic, 0x126daac6865fb9e0ULL},
-        {"spectre-pht", true, DefenseMode::InvisiSpecSpectre,
-         0x1153b060c17663feULL},
-        {"spectre-pht", true, DefenseMode::InvisiSpecFuturistic,
-         0x8cfd36e8c984787eULL},
-        {"meltdown", true, DefenseMode::InvisiSpecFuturistic,
-         0x5769607e58486f7bULL},
-    };
-    for (const auto &c : cases) {
+    size_t count = 0;
+    const CoreCase *cases = goldenCoreCases(count);
+    ASSERT_EQ(count, 22u);
+    for (size_t i = 13; i < count; ++i) {
+        const CoreCase &c = cases[i];
         std::string label = std::string(c.stream) + "/mode" +
                             std::to_string((int)c.mode);
         expectDigest(coreRunDigest(c.stream, c.attack, c.mode),

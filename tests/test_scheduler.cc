@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Property tests for the event scheduler (sim/scheduler.hh) and the
+ * idle-skip fast path it drives (O3Core::idleSkip).
+ *
+ * Queue-level properties: no lost wakeups (every posted marker is
+ * either pending or retired), monotonic pop order, deterministic
+ * same-cycle ordering by insertion sequence. Core-level properties,
+ * asserted from the skip hook over real attack/benign runs: skip
+ * windows advance monotonically and never jump past a pending MSHR
+ * fill or a due DRAM refresh epoch. A serial-vs-4-thread corpus
+ * digest pins that event-mode runs stay byte-identical under the
+ * global thread pool (tsan label).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "attacks/registry.hh"
+#include "core/collector.hh"
+#include "sim/core.hh"
+#include "sim/scheduler.hh"
+#include "util/parallel.hh"
+#include "workload/registry.hh"
+
+#include "golden_util.hh"
+
+namespace evax
+{
+namespace
+{
+
+/** Tiny deterministic generator (keeps the tests self-contained). */
+struct TestRng
+{
+    uint64_t state;
+    explicit TestRng(uint64_t seed) : state(seed ^ 0x9e3779b97f4a7c15ULL) {}
+    uint64_t
+    next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+};
+
+// ---------------------------------------------------------------
+// Queue-level properties.
+// ---------------------------------------------------------------
+
+TEST(SchedulerQueue, EmptyQueueReportsNoEvent)
+{
+    EventScheduler sched;
+    EXPECT_TRUE(sched.empty());
+    EXPECT_EQ(sched.nextEventCycle(), EventScheduler::kNoEvent);
+    EventScheduler::Event e;
+    EXPECT_FALSE(sched.pop(e));
+}
+
+TEST(SchedulerQueue, SameCycleOrderingIsInsertionOrder)
+{
+    EventScheduler sched;
+    const WakeSource sources[] = {
+        WakeSource::WriteDrain, WakeSource::IssueReady,
+        WakeSource::DramRefresh, WakeSource::Expose,
+        WakeSource::MshrFill, WakeSource::Trap,
+        WakeSource::FetchStall,
+    };
+    for (WakeSource s : sources)
+        sched.post(42, s);
+    EventScheduler::Event e;
+    for (size_t i = 0; i < 7; ++i) {
+        ASSERT_TRUE(sched.pop(e));
+        EXPECT_EQ(e.cycle, 42u);
+        EXPECT_EQ(e.seq, i) << "same-cycle pops must follow "
+                               "insertion order";
+        EXPECT_EQ(e.source, sources[i]);
+    }
+    EXPECT_TRUE(sched.empty());
+}
+
+TEST(SchedulerQueue, PopOrderIsMonotonicUnderRandomPosts)
+{
+    EventScheduler sched;
+    TestRng rng(1234);
+    for (int i = 0; i < 5000; ++i)
+        sched.post(rng.next() % 100000, WakeSource::IssueReady);
+    EventScheduler::Event e;
+    Cycle last = 0;
+    size_t popped = 0;
+    while (sched.pop(e)) {
+        EXPECT_GE(e.cycle, last) << "pop order went backwards";
+        last = e.cycle;
+        ++popped;
+    }
+    EXPECT_EQ(popped, 5000u);
+}
+
+/** No lost wakeups: posted == retired + pending at every step of a
+ *  random post/pop/retire workload, and drained markers cover every
+ *  distinct posted cycle. */
+TEST(SchedulerQueue, NoLostWakeupsUnderRandomWorkload)
+{
+    EventScheduler sched;
+    TestRng rng(987);
+    for (int step = 0; step < 20000; ++step) {
+        uint64_t roll = rng.next() % 100;
+        if (roll < 60) {
+            sched.post(rng.next() % 5000, WakeSource::MshrFill);
+        } else if (roll < 90) {
+            EventScheduler::Event e;
+            sched.pop(e);
+        } else {
+            sched.retireBefore(rng.next() % 5000);
+        }
+        ASSERT_EQ(sched.posted(), sched.retired() + sched.pending())
+            << "a marker vanished without being retired";
+    }
+}
+
+TEST(SchedulerQueue, RetireBeforeKeepsMarkersAtNow)
+{
+    EventScheduler sched;
+    sched.post(10, WakeSource::WriteDrain);
+    sched.post(11, WakeSource::WriteDrain);
+    sched.retireBefore(10);
+    EXPECT_EQ(sched.pending(), 2u)
+        << "a marker exactly at 'now' must survive";
+    sched.retireBefore(11);
+    EXPECT_EQ(sched.pending(), 1u);
+    EXPECT_EQ(sched.nextEventCycle(), 11u);
+}
+
+TEST(SchedulerQueue, PerSourceAccountingSumsToTotal)
+{
+    EventScheduler sched;
+    TestRng rng(55);
+    for (int i = 0; i < 1000; ++i) {
+        sched.post(rng.next() % 777,
+                   (WakeSource)(rng.next() % NUM_WAKE_SOURCES));
+    }
+    uint64_t by_source = 0;
+    for (unsigned s = 0; s < NUM_WAKE_SOURCES; ++s)
+        by_source += sched.postedBySource((WakeSource)s);
+    EXPECT_EQ(by_source, sched.posted());
+    EXPECT_EQ(sched.posted(), 1000u);
+}
+
+TEST(SchedulerQueue, ClearKeepsLifetimeStats)
+{
+    EventScheduler sched;
+    sched.post(1, WakeSource::Trap);
+    sched.post(2, WakeSource::Trap);
+    EventScheduler::Event e;
+    sched.pop(e);
+    sched.clear();
+    EXPECT_TRUE(sched.empty());
+    EXPECT_EQ(sched.posted(), 2u);
+    EXPECT_EQ(sched.retired(), 1u);
+    // seq stays monotonic across clear(): a fresh post still orders
+    // after everything that came before.
+    sched.post(1, WakeSource::Trap);
+    ASSERT_TRUE(sched.pop(e));
+    EXPECT_GE(e.seq, 2u);
+}
+
+TEST(SchedulerQueue, WakeSourceNamesAreStable)
+{
+    EXPECT_STREQ(wakeSourceName(WakeSource::IssueReady),
+                 "issueReady");
+    EXPECT_STREQ(wakeSourceName(WakeSource::MshrFill), "mshrFill");
+    EXPECT_STREQ(wakeSourceName(WakeSource::DramRefresh),
+                 "dramRefresh");
+}
+
+// ---------------------------------------------------------------
+// Core-level idle-skip properties.
+// ---------------------------------------------------------------
+
+/**
+ * Run @p stream in event mode and assert, at every skip, that the
+ * jump (from, to] is monotonic and never crosses a pending MSHR
+ * fill in any cache level or a due DRAM refresh epoch.
+ */
+void
+expectSkipsRespectHardware(const char *stream_name, bool is_attack)
+{
+    CounterRegistry reg;
+    CoreParams params;
+    params.runMode = RunMode::EventDriven;
+    O3Core core(params, reg);
+    MemorySystem &mem = core.memory();
+
+    uint64_t skips = 0;
+    Cycle prev_to = 0;
+    core.setSkipHook([&](Cycle from, Cycle to) {
+        ++skips;
+        ASSERT_GT(to, from) << "empty skip window";
+        ASSERT_GE(from, prev_to) << "skip windows out of order";
+        prev_to = to;
+        const Cache *caches[] = {&mem.icache(), &mem.dcache(),
+                                 &mem.l2()};
+        for (const Cache *c : caches) {
+            Cycle ready = c->earliestMshrReadyAfter(from);
+            EXPECT_GE(ready, to)
+                << "idle-skip jumped past a pending MSHR fill at "
+                << ready << " (window " << from << " -> " << to
+                << ")";
+        }
+        Cycle epoch = mem.dram().nextRefreshEpoch();
+        EXPECT_TRUE(epoch <= from || epoch >= to)
+            << "idle-skip jumped past the DRAM refresh epoch at "
+            << epoch << " (window " << from << " -> " << to << ")";
+    });
+
+    auto stream = is_attack
+                      ? AttackRegistry::create(stream_name, 3, 20000)
+                      : WorkloadRegistry::create(stream_name, 3,
+                                                 20000);
+    SimResult res = core.run(*stream);
+    EXPECT_TRUE(res.streamExhausted);
+    // The property is vacuous if the skip path never engaged.
+    EXPECT_GT(skips, 0u) << stream_name
+                         << ": idle-skip never engaged";
+}
+
+TEST(SchedulerSkip, NeverSkipsPendingMshrOrRefreshBenign)
+{
+    expectSkipsRespectHardware("eventsim", false);
+    expectSkipsRespectHardware("pointerchase", false);
+}
+
+TEST(SchedulerSkip, NeverSkipsPendingMshrOrRefreshAttacks)
+{
+    expectSkipsRespectHardware("flush-reload", true);
+    expectSkipsRespectHardware("rowhammer", true);
+    expectSkipsRespectHardware("spectre-stl", true);
+}
+
+/** Defense modes change the wake-source mix (expose events, fence
+ *  stalls); the skip invariants must hold there too. */
+TEST(SchedulerSkip, InvariantsHoldUnderInvisiSpec)
+{
+    CounterRegistry reg;
+    CoreParams params;
+    params.runMode = RunMode::EventDriven;
+    O3Core core(params, reg);
+    core.setDefenseMode(DefenseMode::InvisiSpecFuturistic);
+    Cycle prev_to = 0;
+    core.setSkipHook([&](Cycle from, Cycle to) {
+        ASSERT_GT(to, from);
+        ASSERT_GE(from, prev_to);
+        prev_to = to;
+    });
+    auto stream = AttackRegistry::create("spectre-pht", 3, 20000);
+    SimResult res = core.run(*stream);
+    EXPECT_TRUE(res.streamExhausted);
+    EXPECT_GT(core.scheduler().posted(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Thread-count byte-identity (tsan label).
+// ---------------------------------------------------------------
+
+uint64_t
+eventCorpusDigest()
+{
+    CollectorConfig cfg;
+    cfg.sampleInterval = 500;
+    cfg.benignLength = 4000;
+    cfg.attackLength = 3000;
+    cfg.benignSeeds = 1;
+    cfg.attackSeeds = 1;
+    cfg.coreParams.runMode = RunMode::EventDriven;
+    Collector collector(cfg);
+    Dataset data = collector.collectCorpus();
+    return datasetDigest(data);
+}
+
+TEST(SchedulerParallel, SerialVsFourThreadCorpusByteIdentical)
+{
+    unsigned before = globalThreadCount();
+    setGlobalThreadCount(1);
+    uint64_t serial = eventCorpusDigest();
+    setGlobalThreadCount(4);
+    uint64_t threaded = eventCorpusDigest();
+    setGlobalThreadCount(before);
+    EXPECT_EQ(serial, threaded)
+        << "event-driven corpus digest depends on thread count";
+}
+
+} // namespace
+} // namespace evax
