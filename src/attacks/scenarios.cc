@@ -1,0 +1,103 @@
+#include "attacks/scenarios.hh"
+
+#include "attacks/registry.hh"
+#include "util/log.hh"
+#include "workload/registry.hh"
+
+namespace evax
+{
+
+namespace
+{
+
+const std::vector<CrossCoreScenario> &
+table()
+{
+    static const std::vector<CrossCoreScenario> scenarios = {
+        {"cross-core-prime-probe", "prime-probe", "compress",
+         {"sort", "fft"},
+         "Prime+Probe attacker on core 0 targets the shared LLC "
+         "while a compression victim runs on core 1; extra cores "
+         "run benign noise."},
+        {"cross-core-eviction", "flush-reload", "hashjoin",
+         {"linalg", "astar"},
+         "Flush+Reload attacker on core 0 forces cross-core "
+         "evictions (clflush -> coherence flush) against a "
+         "hash-join victim on core 1."},
+        {"llc-contention", "drama", "pointerchase",
+         {"montecarlo", "eventsim"},
+         "DRAM-addressing attacker on core 0 hammers the shared "
+         "LLC miss path and memory controller against a "
+         "pointer-chasing victim on core 1."},
+        {"benign-coresident", "", "compress",
+         {"sort", "fft", "linalg"},
+         "No attacker anywhere: core 0 runs benign noise too. The "
+         "false-positive control for every cross-core scenario."},
+    };
+    return scenarios;
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+ScenarioRegistry::names()
+{
+    std::vector<std::string> out;
+    for (const auto &s : table())
+        out.push_back(s.name);
+    return out;
+}
+
+bool
+ScenarioRegistry::isRegistered(const std::string &name)
+{
+    for (const auto &s : table()) {
+        if (s.name == name)
+            return true;
+    }
+    return false;
+}
+
+const CrossCoreScenario &
+ScenarioRegistry::get(const std::string &name)
+{
+    for (const auto &s : table()) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("unknown cross-core scenario: %s", name.c_str());
+}
+
+ScenarioStreams
+ScenarioRegistry::build(const CrossCoreScenario &scenario,
+                        unsigned num_cores, uint64_t seed,
+                        uint64_t length)
+{
+    if (num_cores < 2)
+        fatal("scenario '%s' needs >= 2 cores (attacker + victim)",
+              scenario.name.c_str());
+    ScenarioStreams out;
+    for (unsigned core = 0; core < num_cores; ++core) {
+        const uint64_t core_seed = seed + core;
+        if (core == 0 && !scenario.attacker.empty()) {
+            out.streams.push_back(AttackRegistry::create(
+                scenario.attacker, core_seed, length));
+        } else if (core == 1) {
+            out.streams.push_back(WorkloadRegistry::create(
+                scenario.victim, core_seed, length));
+        } else {
+            // Core 0 of benign-coresident lands here too: it takes
+            // the first noise kernel so "no attacker" really means
+            // benign work, not an idle core.
+            const auto &noise = scenario.noise;
+            if (noise.empty())
+                fatal("scenario '%s' has no noise kernels",
+                      scenario.name.c_str());
+            out.streams.push_back(WorkloadRegistry::create(
+                noise[core % noise.size()], core_seed, length));
+        }
+    }
+    return out;
+}
+
+} // namespace evax

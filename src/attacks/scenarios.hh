@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Cross-core attack scenarios: attacker-on-core-A / victim-on-
+ * core-B co-residency configurations for the multi-core machine
+ * (sim/multicore.hh). Each scenario names the attacker kernel, the
+ * victim workload, and the benign noise kernels filling any extra
+ * cores — the deployment shape the EVAX paper's co-residency
+ * attacks (Prime+Probe, DRAMA, leaky-buddies, Rowhammer) assume:
+ * the attacker never executes on the victim's core; the contention
+ * travels through the shared LLC and DRAM.
+ */
+
+#ifndef EVAX_ATTACKS_SCENARIOS_HH
+#define EVAX_ATTACKS_SCENARIOS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace evax
+{
+
+/** One named co-residency configuration. */
+struct CrossCoreScenario
+{
+    std::string name;
+    /** Attack kernel on core 0 (AttackRegistry name). */
+    std::string attacker;
+    /** Benign victim on core 1 (WorkloadRegistry name). */
+    std::string victim;
+    /** Benign noise on cores 2..N-1, cycled (WorkloadRegistry
+     *  names; reused when the machine has more extra cores). */
+    std::vector<std::string> noise;
+    std::string description;
+};
+
+/** Instantiated per-core streams for one scenario. */
+struct ScenarioStreams
+{
+    /** index = core id; [0] attacker, [1] victim, rest noise. */
+    std::vector<std::unique_ptr<SyntheticWorkload>> streams;
+
+    std::vector<InstStream *>
+    raw()
+    {
+        std::vector<InstStream *> out;
+        for (auto &s : streams)
+            out.push_back(s.get());
+        return out;
+    }
+};
+
+/** Scenario registry (fixed, built-in table). */
+class ScenarioRegistry
+{
+  public:
+    /** All registered scenario names, registration order. */
+    static std::vector<std::string> names();
+    static bool isRegistered(const std::string &name);
+    /** Lookup by name (fatal on unknown). */
+    static const CrossCoreScenario &get(const std::string &name);
+
+    /**
+     * Instantiate one stream per core. Core ids are seeds offsets
+     * (seed + core), so every core's kernel is independently
+     * deterministic and the whole scenario replays bit-identically.
+     * @param num_cores >= 2 (attacker + victim)
+     * @param length approximate per-core stream length in uops
+     */
+    static ScenarioStreams build(const CrossCoreScenario &scenario,
+                                 unsigned num_cores, uint64_t seed,
+                                 uint64_t length);
+};
+
+} // namespace evax
+
+#endif // EVAX_ATTACKS_SCENARIOS_HH

@@ -1,9 +1,13 @@
 #include "core/endtoend.hh"
 
+#include <algorithm>
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "detect/evax_detector.hh"
 #include "hpc/sampler.hh"
+#include "util/log.hh"
 #include "util/statreg.hh"
 #include "util/trace.hh"
 
@@ -151,6 +155,158 @@ runPlain(InstStream &stream, DefenseMode mode,
     O3Core core(params, reg);
     core.setDefenseMode(mode);
     return core.run(stream);
+}
+
+std::string
+MultiGatedResult::windowCsv() const
+{
+    std::ostringstream os;
+    // Full round-trip precision: equal runs must serialize to equal
+    // bytes (the determinism tier pins an FNV-1a of this string).
+    os.precision(17);
+    os << "core,window,instCount,score,flag\r\n";
+    for (size_t c = 0; c < cores.size(); ++c) {
+        for (const GatedWindow &w : cores[c].windows) {
+            os << c << ',' << w.window << ',' << w.instCount << ','
+               << w.score << ',' << (w.flagged ? 1 : 0) << "\r\n";
+        }
+    }
+    return os.str();
+}
+
+uint64_t
+MultiGatedResult::windowCsvDigest() const
+{
+    const std::string csv = windowCsv();
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : csv) {
+        h ^= (uint8_t)c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+MultiGatedResult
+runGatedMultiCore(const std::vector<InstStream *> &streams,
+                  const Detector &detector,
+                  const MultiGatedConfig &config)
+{
+    const unsigned n = config.numCores;
+    if (streams.size() != n) {
+        fatal("runGatedMultiCore: %zu streams for %u cores",
+              streams.size(), n);
+    }
+
+    MultiCoreParams mp;
+    mp.numCores = n;
+    mp.core = config.coreParams;
+    MultiCore machine(mp);
+
+    MultiGatedResult result;
+    result.cores.resize(n);
+
+    std::vector<O3Core *> cores;
+    for (unsigned i = 0; i < n; ++i)
+        cores.push_back(&machine.core(i));
+    MultiCoreGate gate(cores, config.adaptive, config.gateScope);
+    if (config.timeline)
+        gate.attachTimeline(config.timeline);
+
+    std::vector<std::unique_ptr<Sampler>> samplers;
+    for (unsigned i = 0; i < n; ++i) {
+        auto sampler = std::make_unique<Sampler>(
+            machine.counters(i), config.sampleInterval);
+        sampler->setNormalizeEnabled(false);
+        machine.core(i).attachSampler(sampler.get());
+        machine.core(i).setSampleCallback(
+            [&, i](const FeatureSnapshot &snap) {
+                CoreGatedResult &cr = result.cores[i];
+                std::vector<double> x = snap.base;
+                config.profile.apply(x);
+                gate.tick(i, snap.instCount);
+                GatedWindow w;
+                w.window = (uint64_t)cr.windows.size();
+                w.instCount = snap.instCount;
+                w.score = detector.score(x);
+                w.flagged = detector.flag(x);
+                cr.windows.push_back(w);
+                if (!w.flagged)
+                    return;
+                ++cr.flags;
+                if (config.timeline) {
+                    config.timeline->addInstant(
+                        "core" + std::to_string(i) + ".detector.flag",
+                        detector.name(), snap.instCount,
+                        machine.core(i).cycle());
+                }
+                if (config.gate)
+                    gate.onDetection(i, snap.instCount);
+            });
+        samplers.push_back(std::move(sampler));
+    }
+
+    std::vector<SimResult> sims = machine.run(
+        streams, config.maxInstsPerCore, config.maxCycles);
+
+    // Close telemetry at real end-of-run coordinates before the
+    // inflated accounting ticks below (endSpan on a closed span is
+    // a no-op, same as the single-core path).
+    if (config.timeline) {
+        uint64_t max_insts = 0, max_cycle = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            max_insts = std::max(max_insts,
+                                 machine.core(i).committedInsts());
+            max_cycle = std::max(max_cycle,
+                                 (uint64_t)machine.core(i).cycle());
+        }
+        config.timeline->closeOpenSpans(max_insts, max_cycle);
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        CoreGatedResult &cr = result.cores[i];
+        cr.sim = sims[i];
+        AdaptiveController &ctl = gate.controller(i);
+        ctl.tick(machine.core(i).committedInsts() +
+                 config.adaptive.secureWindowInsts);
+        cr.activations = ctl.activations();
+        cr.secureInsts = ctl.secureInsts();
+    }
+    if (config.stats) {
+        machine.regStats(*config.stats);
+        gate.regStats(*config.stats);
+    }
+    return result;
+}
+
+double
+calibrateGateThreshold(EvaxDetector &detector,
+                       const std::vector<std::string> &benign_kernels,
+                       const NormalizationProfile &profile,
+                       const CoreParams &params,
+                       uint64_t sample_interval, uint64_t seed,
+                       uint64_t length, double margin)
+{
+    GatedRunConfig gc;
+    gc.coreParams = params;
+    gc.sampleInterval = sample_interval;
+    gc.profile = profile;
+    double max_score = 0.0;
+    bool any = false;
+    for (size_t k = 0; k < benign_kernels.size(); ++k) {
+        auto stream = WorkloadRegistry::create(benign_kernels[k],
+                                               seed + k, length);
+        WindowCapture cap = captureWindows(*stream, nullptr, gc);
+        for (const Sample &s : cap.windows.samples) {
+            std::vector<double> x = s.x;
+            profile.apply(x);
+            max_score = std::max(max_score, detector.score(x));
+            any = true;
+        }
+    }
+    if (!any)
+        fatal("calibrateGateThreshold: no benign windows scored");
+    const double threshold = max_score + margin;
+    detector.model().setThreshold(threshold);
+    return threshold;
 }
 
 size_t

@@ -15,6 +15,7 @@
 #include "detect/detector.hh"
 #include "hpc/timeline_sampler.hh"
 #include "sim/core.hh"
+#include "sim/multicore.hh"
 
 namespace evax
 {
@@ -96,6 +97,107 @@ struct WindowCapture
     /** Run-level verdict: at least one window flagged. */
     bool detected() const { return flagged() > 0; }
 };
+
+/** Multi-core gated-run configuration (cross-core scenarios). */
+struct MultiGatedConfig
+{
+    /** Machine width (2+ for attacker/victim co-residency). */
+    unsigned numCores = 2;
+    uint64_t sampleInterval = 1000;
+    /** Per-core commit budget passed to MultiCore::run (0 = none). */
+    uint64_t maxInstsPerCore = 0;
+    uint64_t maxCycles = 0;
+    AdaptiveConfig adaptive;
+    /** The controller's "which core to gate" routing policy. */
+    GateScope gateScope = GateScope::FlaggedCore;
+    /** False = monitor-only: detectors score every window but never
+     *  arm a mitigation (pure detection/FP measurement). */
+    bool gate = true;
+    NormalizationProfile profile;
+    CoreParams coreParams;
+    StatRegistry *stats = nullptr;
+    /** Optional timeline: per-core detector flags plus per-core
+     *  "coreN.defense.mode" dwell spans. */
+    Timeline *timeline = nullptr;
+};
+
+/** One detector window on one core. */
+struct GatedWindow
+{
+    uint64_t window = 0;     ///< per-core window ordinal
+    uint64_t instCount = 0;  ///< core-local committed insts
+    double score = 0.0;
+    bool flagged = false;
+};
+
+/** One core's view of a multi-core gated run. */
+struct CoreGatedResult
+{
+    SimResult sim;
+    std::vector<GatedWindow> windows;
+    uint64_t flags = 0;
+    uint64_t activations = 0;
+    uint64_t secureInsts = 0;
+
+    double
+    flagRate() const
+    {
+        return windows.empty()
+                   ? 0.0
+                   : (double)flags / (double)windows.size();
+    }
+
+    bool detected() const { return flags > 0; }
+};
+
+/** Result of a multi-core gated run. */
+struct MultiGatedResult
+{
+    std::vector<CoreGatedResult> cores;
+
+    /**
+     * RFC-4180 CSV (CRLF rows) of every per-core window:
+     * core,window,instCount,score,flag — scores at full double
+     * round-trip precision so equal runs serialize byte-identically.
+     */
+    std::string windowCsv() const;
+    /** FNV-1a over windowCsv() bytes (determinism pinning). */
+    uint64_t windowCsvDigest() const;
+};
+
+/**
+ * Run one stream per core under EVAX gating on the coherent
+ * multi-core machine: per-core sampler -> per-core HPC window ->
+ * per-core detector verdict -> MultiCoreGate routing (FlaggedCore
+ * arms only the flagging core; AllCores arms the fleet). The
+ * detector is shared (scoring is const); each core still gets its
+ * own window stream because its private counter registry — which
+ * mirrors shared L2/DRAM activity — feeds its own sampler.
+ */
+MultiGatedResult runGatedMultiCore(
+    const std::vector<InstStream *> &streams,
+    const Detector &detector, const MultiGatedConfig &config);
+
+class EvaxDetector;
+
+/**
+ * Deployment-time operating point for a co-residency scenario:
+ * score every window of each named benign kernel (the fleet's known
+ * tenant mix) on a fresh single core and set the detector threshold
+ * to the highest benign score plus @p margin. The corpus-tuned
+ * threshold bounds FP over every workload the trainer ever saw;
+ * a co-residency deployment knows exactly which tenants share the
+ * machine, so calibrating to that mix buys sensitivity to
+ * low-footprint attacks (Prime+Probe) the global operating point
+ * would miss.
+ * @return the threshold installed on the detector
+ */
+double calibrateGateThreshold(
+    EvaxDetector &detector,
+    const std::vector<std::string> &benign_kernels,
+    const NormalizationProfile &profile, const CoreParams &params,
+    uint64_t sample_interval, uint64_t seed, uint64_t length,
+    double margin = 0.05);
 
 /**
  * Run a stream once, harvesting every sample window alongside the

@@ -24,7 +24,7 @@ AdaptiveController::onDetection(uint64_t inst_count)
                          core_.cycle(), inst_count);
         if (timeline_) {
             modeSpan_ = timeline_->beginSpan(
-                "defense.mode", defenseModeName(config_.secureMode),
+                track_, defenseModeName(config_.secureMode),
                 inst_count, core_.cycle());
             spanOpen_ = true;
         }
@@ -51,18 +51,71 @@ AdaptiveController::tick(uint64_t inst_count)
 }
 
 void
-AdaptiveController::regStats(StatRegistry &sr) const
+AdaptiveController::regStats(StatRegistry &sr,
+                             const std::string &prefix) const
 {
-    sr.setScalar("defense.secureMode",
+    const std::string p = prefix + "defense.";
+    sr.setScalar(p + "secureMode",
                  (uint64_t)config_.secureMode,
                  "DefenseMode armed on detection");
-    sr.setScalar("defense.secureWindowInsts",
+    sr.setScalar(p + "secureWindowInsts",
                  config_.secureWindowInsts);
-    sr.setScalar("defense.activations", activations_,
+    sr.setScalar(p + "activations", activations_,
                  "times secure mode was (re)armed");
-    sr.setScalar("defense.secureInsts", secureInsts_,
+    sr.setScalar(p + "secureInsts", secureInsts_,
                  "committed instructions spent in secure mode");
-    sr.setScalar("defense.secureActive", secureActive() ? 1 : 0);
+    sr.setScalar(p + "secureActive", secureActive() ? 1 : 0);
+}
+
+MultiCoreGate::MultiCoreGate(const std::vector<O3Core *> &cores,
+                             const AdaptiveConfig &config,
+                             GateScope scope)
+    : scope_(scope)
+{
+    for (O3Core *core : cores) {
+        controllers_.push_back(
+            std::make_unique<AdaptiveController>(*core, config));
+    }
+}
+
+void
+MultiCoreGate::onDetection(unsigned core, uint64_t inst_count)
+{
+    if (scope_ == GateScope::FlaggedCore) {
+        controllers_[core]->onDetection(inst_count);
+        return;
+    }
+    // AllCores: a flag anywhere arms every core. Each controller's
+    // dwell clock is its own core's committed-instruction count
+    // (that is what its tick() sees), so each is armed at its own
+    // clock, not the flagging core's.
+    for (auto &c : controllers_)
+        c->onDetection(c->coreInsts());
+}
+
+void
+MultiCoreGate::tick(unsigned core, uint64_t inst_count)
+{
+    controllers_[core]->tick(inst_count);
+}
+
+void
+MultiCoreGate::attachTimeline(Timeline *timeline)
+{
+    for (unsigned i = 0; i < controllers_.size(); ++i) {
+        controllers_[i]->attachTimeline(timeline);
+        controllers_[i]->setTimelineTrack(
+            "core" + std::to_string(i) + ".defense.mode");
+    }
+}
+
+void
+MultiCoreGate::regStats(StatRegistry &sr) const
+{
+    for (unsigned i = 0; i < controllers_.size(); ++i) {
+        controllers_[i]->regStats(
+            sr, "core" + std::to_string(i) + ".");
+    }
 }
 
 } // namespace evax

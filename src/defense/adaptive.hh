@@ -14,6 +14,9 @@
 #define EVAX_DEFENSE_ADAPTIVE_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "sim/core.hh"
 #include "sim/types.hh"
@@ -49,20 +52,34 @@ class AdaptiveController
     void tick(uint64_t inst_count);
 
     bool secureActive() const { return secureUntil_ != 0; }
+    /** The gated core's committed-instruction clock (the unit the
+     *  dwell window is measured in). */
+    uint64_t coreInsts() const { return core_.committedInsts(); }
     /** Number of times secure mode was (re)armed. */
     uint64_t activations() const { return activations_; }
     /** Total committed instructions spent in secure mode. */
     uint64_t secureInsts() const { return secureInsts_; }
 
-    /** Publish activation counts and dwell under "defense.". */
-    void regStats(StatRegistry &sr) const;
+    /** Publish activation counts and dwell under
+     *  "<prefix>defense." (default prefix: none). */
+    void regStats(StatRegistry &sr,
+                  const std::string &prefix = "") const;
 
     /**
-     * Record every secure-mode dwell as a span on the "defense.mode"
-     * timeline track (label = mitigation name). Null detaches.
+     * Record every secure-mode dwell as a span on the timeline
+     * track set by setTimelineTrack (label = mitigation name).
+     * Null detaches.
      */
     void attachTimeline(Timeline *timeline)
     { timeline_ = timeline; }
+
+    /**
+     * Rename the dwell-span track — the multi-core gate gives each
+     * core's controller its own "coreN.defense.mode" track so one
+     * timeline carries every core's dwell history side by side.
+     */
+    void setTimelineTrack(std::string track)
+    { track_ = std::move(track); }
 
   private:
     O3Core &core_;
@@ -72,8 +89,54 @@ class AdaptiveController
     uint64_t activations_ = 0;
     uint64_t secureInsts_ = 0;
     Timeline *timeline_ = nullptr;
+    std::string track_ = "defense.mode";
     size_t modeSpan_ = 0;
     bool spanOpen_ = false;
+};
+
+/** Which cores a detection flag gates (multi-core deployments). */
+enum class GateScope : uint8_t
+{
+    /** Secure only the core whose detector flagged — the default:
+     *  co-resident benign tenants keep full performance. */
+    FlaggedCore,
+    /** Conservative fleet policy: a flag on any core arms every
+     *  core's mitigation for the dwell. */
+    AllCores,
+};
+
+/**
+ * The adaptive controller's multi-core "which core to gate"
+ * decision: one AdaptiveController per core plus a routing policy
+ * from (flagging core) to the set of cores armed.
+ */
+class MultiCoreGate
+{
+  public:
+    MultiCoreGate(const std::vector<O3Core *> &cores,
+                  const AdaptiveConfig &config,
+                  GateScope scope = GateScope::FlaggedCore);
+
+    /** Core @p core's detector flagged at @p inst_count. */
+    void onDetection(unsigned core, uint64_t inst_count);
+    /** Advance core @p core's dwell clock (sample boundaries). */
+    void tick(unsigned core, uint64_t inst_count);
+
+    AdaptiveController &controller(unsigned core)
+    { return *controllers_[core]; }
+    unsigned numCores() const
+    { return (unsigned)controllers_.size(); }
+    GateScope scope() const { return scope_; }
+
+    /** Per-core dwell spans on "coreN.defense.mode" tracks. */
+    void attachTimeline(Timeline *timeline);
+
+    /** Publish every controller under "coreN.defense.". */
+    void regStats(StatRegistry &sr) const;
+
+  private:
+    std::vector<std::unique_ptr<AdaptiveController>> controllers_;
+    GateScope scope_;
 };
 
 } // namespace evax

@@ -65,6 +65,30 @@ class CounterRegistry
     std::unordered_map<std::string, CounterId> byName_;
 };
 
+/**
+ * Id-translation mirror for components owned by a shared uncore
+ * (the multi-core L2/DRAM): every counting event in the shared
+ * registry is replicated into the *requesting* core's private
+ * registry, so per-core HPC feature vectors keep seeing the shared
+ * levels' activity. map[i] holds the mirror-registry id of shared
+ * counter i; it is built by name once every shared id exists.
+ */
+struct CounterMirror
+{
+    CounterRegistry *reg = nullptr;
+    std::vector<CounterId> map;
+
+    /** Resolve every counter of @p shared into @p target by name. */
+    void
+    build(const CounterRegistry &shared, CounterRegistry &target)
+    {
+        reg = &target;
+        map.resize(shared.size());
+        for (CounterId id = 0; id < (CounterId)shared.size(); ++id)
+            map[id] = target.getOrAdd(shared.name(id));
+    }
+};
+
 } // namespace evax
 
 #endif // EVAX_HPC_COUNTERS_HH

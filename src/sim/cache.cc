@@ -105,9 +105,9 @@ Cache::access(Addr addr, bool is_write, Cycle now,
               uint32_t miss_latency, bool allocate)
 {
     CacheAccessResult res;
-    reg_.inc(tagAccesses_);
-    reg_.inc(is_write ? writeAccesses_ : readAccesses_);
-    reg_.inc(aggAccesses_);
+    count(tagAccesses_);
+    count(is_write ? writeAccesses_ : readAccesses_);
+    count(aggAccesses_);
 
     Line *line = findLine(addr);
     if (line) {
@@ -116,8 +116,8 @@ Cache::access(Addr addr, bool is_write, Cycle now,
         line->lruStamp = ++lruClock_;
         if (is_write)
             line->dirty = true;
-        reg_.inc(is_write ? writeHits_ : readHits_);
-        reg_.inc(aggHits_);
+        count(is_write ? writeHits_ : readHits_);
+        count(aggHits_);
         res.hit = true;
         res.latency = config_.latency;
         return res;
@@ -125,8 +125,8 @@ Cache::access(Addr addr, bool is_write, Cycle now,
 
     expireMshrs(now);
 
-    reg_.inc(is_write ? writeMisses_ : readMisses_);
-    reg_.inc(aggMisses_);
+    count(is_write ? writeMisses_ : readMisses_);
+    count(aggMisses_);
 
     Addr la = lineAddr(addr);
     auto pending = mshrs_.find(la);
@@ -134,9 +134,9 @@ Cache::access(Addr addr, bool is_write, Cycle now,
         // Merge into the in-flight miss.
         res.mshrMerge = true;
         res.latency = (uint32_t)(pending->second - now);
-        reg_.inc(mshrMisses_);
+        count(mshrMisses_);
         if (!is_write)
-            reg_.inc(readMshrMisses_);
+            count(readMshrMisses_);
         return res;
     }
 
@@ -144,8 +144,8 @@ Cache::access(Addr addr, bool is_write, Cycle now,
         // Structural hazard: caller must retry; charge a stall.
         res.mshrFull = true;
         res.latency = config_.latency;
-        reg_.inc(mshrFullEvents_);
-        reg_.inc(blockedCycles_);
+        count(mshrFullEvents_);
+        count(blockedCycles_);
         EVAX_TRACE_EVENT(trace::CatCache, traceName_, "mshr.full",
                          now, addr);
         return res;
@@ -155,23 +155,25 @@ Cache::access(Addr addr, bool is_write, Cycle now,
     mshrs_.emplace(la, now + total);
     if (sched_)
         sched_->post(now + total, WakeSource::MshrFill);
-    reg_.inc(mshrMissLatency_, total);
+    count(mshrMissLatency_, total);
     if (!is_write)
-        reg_.inc(readMshrMissLatency_, total);
+        count(readMshrMissLatency_, total);
     res.latency = total;
 
     if (allocate) {
         uint32_t set = setIndex(addr);
         Line &victim = victimLine(set);
         if (victim.valid) {
-            reg_.inc(replacements_);
+            count(replacements_);
+            res.evicted = true;
+            res.evictedAddr =
+                (victim.tag * numSets_ + set) * config_.lineSize;
             if (victim.dirty) {
-                reg_.inc(writebacks_);
+                count(writebacks_);
                 res.writeback = true;
-                res.writebackAddr =
-                    (victim.tag * numSets_ + set) * config_.lineSize;
+                res.writebackAddr = res.evictedAddr;
             } else {
-                reg_.inc(cleanEvicts_);
+                count(cleanEvicts_);
             }
         }
         victim.valid = true;
@@ -203,36 +205,70 @@ Cache::probe(Addr addr) const
     return findLine(addr) != nullptr;
 }
 
-void
+CacheVictim
 Cache::fill(Addr addr, bool dirty, Cycle now)
 {
     (void)now;
+    CacheVictim out;
     if (findLine(addr))
-        return;
+        return out;
     uint32_t set = setIndex(addr);
     Line &victim = victimLine(set);
     if (victim.valid) {
-        reg_.inc(replacements_);
-        reg_.inc(victim.dirty ? writebacks_ : cleanEvicts_);
+        count(replacements_);
+        count(victim.dirty ? writebacks_ : cleanEvicts_);
+        out.valid = true;
+        out.dirty = victim.dirty;
+        out.addr = (victim.tag * numSets_ + set) * config_.lineSize;
     }
     victim.valid = true;
     victim.dirty = dirty;
     victim.tag = tagOf(addr);
     victim.lruStamp = ++lruClock_;
+    return out;
 }
 
 bool
-Cache::invalidate(Addr addr)
+Cache::invalidate(Addr addr, bool *was_dirty)
 {
     Line *line = findLine(addr);
     if (!line)
         return false;
+    if (was_dirty)
+        *was_dirty = line->dirty;
     if (line->dirty)
-        reg_.inc(writebacks_);
+        count(writebacks_);
     else
-        reg_.inc(cleanEvicts_);
+        count(cleanEvicts_);
     line->valid = false;
     return true;
+}
+
+bool
+Cache::clearDirty(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line || !line->dirty)
+        return false;
+    line->dirty = false;
+    return true;
+}
+
+bool
+Cache::markDirty(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return false;
+    line->dirty = true;
+    return true;
+}
+
+bool
+Cache::probeDirty(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line && line->dirty;
 }
 
 void

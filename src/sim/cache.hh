@@ -49,6 +49,19 @@ struct CacheAccessResult
     /** A dirty victim was evicted (writeback generated). */
     bool writeback = false;
     Addr writebackAddr = 0;
+    /** A valid victim (dirty or clean) was replaced. The coherence
+     *  layer back-invalidates it from every private L1 to keep the
+     *  shared LLC inclusive. */
+    bool evicted = false;
+    Addr evictedAddr = 0;
+};
+
+/** Victim displaced by Cache::fill (invalid when no eviction). */
+struct CacheVictim
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr addr = 0;
 };
 
 /**
@@ -78,10 +91,37 @@ class Cache
     bool probe(Addr addr) const;
 
     /** Install a line (used for InvisiSpec expose). */
-    void fill(Addr addr, bool dirty, Cycle now);
+    CacheVictim fill(Addr addr, bool dirty, Cycle now);
 
-    /** Invalidate a line if present (clflush). @return was present. */
-    bool invalidate(Addr addr);
+    /**
+     * Invalidate a line if present (clflush, coherence
+     * invalidation, back-invalidation). @return was present.
+     * @param was_dirty optional out: the dropped copy was modified
+     */
+    bool invalidate(Addr addr, bool *was_dirty = nullptr);
+
+    /**
+     * MESI M->S downgrade: clear the dirty bit without touching
+     * LRU state or counters. @return the line was present & dirty
+     * (the caller folds the data into the shared level).
+     */
+    bool clearDirty(Addr addr);
+
+    /** Mark a resident line dirty (absorbing a downgraded owner's
+     *  data into the LLC). @return line was present. */
+    bool markDirty(Addr addr);
+
+    /** Line present *and* dirty (test introspection). */
+    bool probeDirty(Addr addr) const;
+
+    /**
+     * Shared-uncore mode: additionally replicate every counter
+     * event into the requesting core's registry. Null (the default,
+     * and always for private caches) costs one predictable branch
+     * per event. The active mirror is switched by the coherence
+     * layer before each shared-level access.
+     */
+    void setMirror(const CounterMirror *m) { mirror_ = m; }
 
     /** Invalidate everything (context-switch style flush). */
     void flushAll();
@@ -163,6 +203,15 @@ class Cache
     Line &victimLine(uint32_t set);
     void expireMshrs(Cycle now);
 
+    /** Count an event in the home registry and the active mirror. */
+    void
+    count(CounterId id, double v = 1.0)
+    {
+        reg_.inc(id, v);
+        if (mirror_)
+            mirror_->reg->inc(mirror_->map[id], v);
+    }
+
     CacheConfig config_;
     uint32_t numSets_;
     std::vector<Line> lines_; ///< numSets_ * assoc, row-major
@@ -172,6 +221,7 @@ class Cache
     std::unordered_map<Addr, Cycle> mshrs_;
 
     CounterRegistry &reg_;
+    const CounterMirror *mirror_ = nullptr; ///< shared-uncore mode
     EventScheduler *sched_ = nullptr; ///< event-mode wake posts
     const char *traceName_; ///< interned prefix for trace records
     CounterId readAccesses_, writeAccesses_, readHits_, writeHits_;

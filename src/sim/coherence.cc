@@ -1,0 +1,284 @@
+#include "sim/coherence.hh"
+
+#include "sim/memory.hh"
+#include "util/log.hh"
+#include "util/statreg.hh"
+
+namespace evax
+{
+
+/*
+ * EVAX_MUTATION_DROP_INVALIDATE: seeded coherence bug for the
+ * mutation-testing harness (tests/test_coherence.cc, built as
+ * test_mut_drop_invalidate). The store-side invalidation messages
+ * to remote sharers are dropped — the directory believes the line
+ * is exclusive while stale copies linger in other cores' L1s. The
+ * coherence tier must catch this as a stale read (a load observing
+ * an older version than the last coherent store). Production
+ * builds never define it; see the matching note in core.cc.
+ */
+
+SharedMemory::SharedMemory(const CoreParams &params,
+                           CounterRegistry &reg, bool shared_uncore)
+    : params_(params), reg_(reg), sharedUncore_(shared_uncore),
+      l2_({"l2", params.l2Size, params.l2Assoc, params.lineSize,
+           params.l2Latency, params.l2Mshrs},
+          reg),
+      dram_(params, reg)
+{
+    if (sharedUncore_) {
+        // coh.* counters exist only in the shared-uncore registry:
+        // the single-core path must not grow the core registry (the
+        // golden digests hash its full snapshot).
+        cohInvalidations_ = reg.getOrAdd("coh.invalidations");
+        cohBackInvalidations_ = reg.getOrAdd("coh.backInvalidations");
+        cohDowngrades_ = reg.getOrAdd("coh.downgrades");
+        cohUpgrades_ = reg.getOrAdd("coh.upgrades");
+        cohFlushes_ = reg.getOrAdd("coh.flushes");
+        cohDirtyFolds_ = reg.getOrAdd("coh.dirtyFolds");
+    }
+}
+
+uint32_t
+SharedMemory::attachCore(MemorySystem *ms, CounterRegistry *core_reg)
+{
+    if (cores_.size() >= 32)
+        fatal("SharedMemory: sharer bitmask caps the machine at "
+              "32 cores");
+    uint32_t id = (uint32_t)cores_.size();
+    CoreSlot slot;
+    slot.ms = ms;
+    slot.reg = core_reg;
+    if (sharedUncore_)
+        slot.mirror.build(reg_, *core_reg);
+    cores_.push_back(std::move(slot));
+    observed_.emplace_back();
+    return id;
+}
+
+void
+SharedMemory::selectRequester(uint32_t core)
+{
+    if (!sharedUncore_)
+        return;
+    activeRequester_ = (int)core;
+    const CounterMirror *m = &cores_[core].mirror;
+    l2_.setMirror(m);
+    dram_.setMirror(m);
+}
+
+void
+SharedMemory::bump(CounterId id, double v)
+{
+    reg_.inc(id, v);
+    if (activeRequester_ >= 0) {
+        const CounterMirror &m = cores_[activeRequester_].mirror;
+        m.reg->inc(m.map[id], v);
+    }
+}
+
+void
+SharedMemory::invalidateSharers(Addr line, DirEntry &e,
+                                uint32_t requester)
+{
+    for (uint32_t c = 0; c < (uint32_t)cores_.size(); ++c) {
+        if (c == requester || !(e.sharers & (1u << c)))
+            continue;
+#ifdef EVAX_MUTATION_DROP_INVALIDATE
+        // Seeded bug: the invalidation never reaches the remote
+        // sharer — its L1 keeps (and keeps hitting on) a stale
+        // copy, and its observed version is never retired.
+        continue;
+#endif
+        bool was_dirty = false;
+        if (cores_[c].ms->invalidatePrivate(line, &was_dirty))
+            bump(cohInvalidations_);
+        if (was_dirty && l2_.markDirty(line))
+            bump(cohDirtyFolds_);
+        observed_[c].erase(line);
+    }
+    e.sharers &= (1u << requester);
+}
+
+void
+SharedMemory::backInvalidate(Addr line, Cycle now)
+{
+    for (uint32_t c = 0; c < (uint32_t)cores_.size(); ++c) {
+        bool was_dirty = false;
+        if (cores_[c].ms->invalidatePrivate(line, &was_dirty))
+            bump(cohBackInvalidations_);
+        if (was_dirty) {
+            // The owner's modified data outlives the LLC victim
+            // only in DRAM; one write burst models the flush.
+            dram_.access(line, true, now);
+            bump(cohDirtyFolds_);
+        }
+        observed_[c].erase(line);
+    }
+    dir_.erase(line);
+}
+
+uint32_t
+SharedMemory::applyCoherence(uint32_t core, Addr line,
+                             bool is_write, Cycle now)
+{
+    (void)now;
+    DirEntry &e = dir_[line];
+    uint32_t extra = 0;
+    if (is_write) {
+        invalidateSharers(line, e, core);
+        e.sharers = 1u << core;
+        e.owner = (int8_t)core;
+        ++e.version;
+    } else {
+        if (e.owner >= 0 && e.owner != (int)core) {
+            // M -> S: the owner's dirty L1 data is folded into the
+            // LLC so this read observes the latest store.
+            if (cores_[e.owner].ms->downgradePrivate(line)) {
+                l2_.markDirty(line);
+                extra += params_.cohDowngradeLatency;
+                bump(cohDowngrades_);
+            }
+            e.owner = -1;
+        }
+        e.sharers |= 1u << core;
+    }
+    observed_[core][line] = e.version;
+    return extra;
+}
+
+SharedAccessResult
+SharedMemory::access(uint32_t core, Addr addr, bool is_write,
+                     Cycle now, bool allocate)
+{
+    selectRequester(core);
+    SharedAccessResult res;
+
+    // The L2's own miss penalty comes from DRAM. Look up DRAM first
+    // so the L2 can charge the full residual on a miss. (We access
+    // DRAM lazily: only when L2 actually misses.)
+    CacheAccessResult l2r =
+        l2_.access(addr, is_write, now,
+                   /* provisional miss latency */ 0, allocate);
+    if (l2r.hit) {
+        res.latency = l2r.latency;
+    } else {
+        DramResult dr = dram_.access(addr, is_write, now);
+        if (l2r.writeback) {
+            res.l2Writeback = true;
+            dram_.access(l2r.writebackAddr, true, now);
+        }
+        res.latency = l2r.latency + dr.latency;
+    }
+
+    if (sharedUncore_) {
+        if (l2r.evicted)
+            backInvalidate(lineAddr(l2r.evictedAddr), now);
+        if (allocate)
+            res.latency +=
+                applyCoherence(core, lineAddr(addr), is_write, now);
+    }
+    return res;
+}
+
+void
+SharedMemory::writeUpgrade(uint32_t core, Addr addr, Cycle now)
+{
+    (void)now;
+    if (!sharedUncore_)
+        return;
+    selectRequester(core);
+    Addr line = lineAddr(addr);
+    DirEntry &e = dir_[line];
+    if (e.owner != (int)core || e.sharers != (1u << core)) {
+        invalidateSharers(line, e, core);
+        e.sharers = 1u << core;
+        e.owner = (int8_t)core;
+        bump(cohUpgrades_);
+    }
+    ++e.version;
+    observed_[core][line] = e.version;
+}
+
+void
+SharedMemory::flushLine(uint32_t core, Addr addr, Cycle now)
+{
+    (void)now;
+    selectRequester(core);
+    if (sharedUncore_) {
+        Addr line = lineAddr(addr);
+        for (uint32_t c = 0; c < (uint32_t)cores_.size(); ++c) {
+            // The requester's own L1D was already invalidated by
+            // its MemorySystem (same order as the N=1 path).
+            if (c != core)
+                cores_[c].ms->invalidatePrivate(line, nullptr);
+            observed_[c].erase(line);
+        }
+        dir_.erase(line);
+        bump(cohFlushes_);
+    }
+    l2_.invalidate(addr);
+}
+
+void
+SharedMemory::exposeFill(uint32_t core, Addr addr, Cycle now)
+{
+    selectRequester(core);
+    if (!l2_.probe(addr)) {
+        CacheVictim victim = l2_.fill(addr, false, now);
+        if (sharedUncore_ && victim.valid)
+            backInvalidate(lineAddr(victim.addr), now);
+    }
+    if (sharedUncore_) {
+        Addr line = lineAddr(addr);
+        DirEntry &e = dir_[line];
+        e.sharers |= 1u << core;
+        observed_[core][line] = e.version;
+    }
+}
+
+int
+SharedMemory::owner(Addr addr) const
+{
+    auto it = dir_.find(lineAddr(addr));
+    return it == dir_.end() ? -1 : (int)it->second.owner;
+}
+
+uint32_t
+SharedMemory::sharers(Addr addr) const
+{
+    auto it = dir_.find(lineAddr(addr));
+    return it == dir_.end() ? 0 : it->second.sharers;
+}
+
+uint64_t
+SharedMemory::version(Addr addr) const
+{
+    auto it = dir_.find(lineAddr(addr));
+    return it == dir_.end() ? 0 : it->second.version;
+}
+
+uint64_t
+SharedMemory::observedVersion(uint32_t core, Addr addr) const
+{
+    Addr line = lineAddr(addr);
+    const auto &seen = observed_[core];
+    auto it = seen.find(line);
+    if (it != seen.end())
+        return it->second;
+    return version(line);
+}
+
+void
+SharedMemory::regStats(StatRegistry &sr) const
+{
+    l2_.regStats(sr);
+    dram_.regStats(sr);
+    if (sharedUncore_) {
+        sr.setScalar("coh.geometry.cores", cores_.size());
+        sr.setScalar("coh.trackedLines", dir_.size(),
+                     "directory entries at dump time");
+    }
+}
+
+} // namespace evax

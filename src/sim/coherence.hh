@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Shared uncore: the L2/LLC + DRAM pair behind a MESI-style
+ * directory. Every core's private MemorySystem funnels its backside
+ * traffic through one SharedMemory; with a single attached core the
+ * class degenerates to the exact single-core L2+DRAM chain (same
+ * counters in the same registry, zero coherence actions), which is
+ * what keeps the N=1 golden digests byte-identical.
+ *
+ * With 2+ cores the directory tracks, per line, the sharer set and
+ * the (single) modified owner:
+ *   - a write invalidates every other sharer's private L1 copies
+ *     and takes ownership (M);
+ *   - a read from a non-owner downgrades the owner (M -> S, dirty
+ *     data folded into the LLC) and joins the sharer set;
+ *   - an LLC victim is back-invalidated from every private L1, so
+ *     the LLC stays inclusive (Cache::residentLines superset).
+ *
+ * The directory also keeps a per-line *version* (bumped on every
+ * coherent store) and a per-core observed-version map. These are
+ * not architectural state — they exist so the coherence property
+ * tests (tests/test_coherence.cc) can phrase the data-value
+ * invariant "a load returns the last coherent store" over a
+ * tag-only cache model, and so EVAX_MUTATION_DROP_INVALIDATE is
+ * provably caught as a stale read.
+ */
+
+#ifndef EVAX_SIM_COHERENCE_HH
+#define EVAX_SIM_COHERENCE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "hpc/counters.hh"
+#include "sim/cache.hh"
+#include "sim/dram.hh"
+#include "sim/params.hh"
+#include "sim/types.hh"
+
+namespace evax
+{
+
+class MemorySystem;
+class StatRegistry;
+
+/** Result of one shared-level (L2 + DRAM) access. */
+struct SharedAccessResult
+{
+    uint32_t latency = 0;
+    /** A dirty LLC victim was written back to DRAM (the requesting
+     *  core accounts it on its own membus). */
+    bool l2Writeback = false;
+};
+
+/** L2/LLC + DRAM + MESI directory shared by N cores. */
+class SharedMemory
+{
+  public:
+    /**
+     * @param shared_uncore true when the instance is shared by
+     *        multiple cores (MultiCore): enables the directory,
+     *        per-core counter mirrors and coh.* counters. False —
+     *        the default — is the single-core private uncore, which
+     *        must not add a single counter to @p reg beyond the
+     *        L2/DRAM ones the monolithic MemorySystem created.
+     */
+    SharedMemory(const CoreParams &params, CounterRegistry &reg,
+                 bool shared_uncore = false);
+
+    /**
+     * Attach one core's private hierarchy. Cores attach in
+     * construction order; the returned id is the core's rank in
+     * every deterministic drain/invalidate walk.
+     */
+    uint32_t attachCore(MemorySystem *ms, CounterRegistry *core_reg);
+
+    /** Coherence active (shared uncore with a directory). */
+    bool coherent() const { return sharedUncore_; }
+    unsigned numCores() const { return (unsigned)cores_.size(); }
+
+    /**
+     * L2 + DRAM chain for core @p core, returns the miss latency
+     * beyond L1 plus any coherence penalty (owner downgrade).
+     * @param allocate false = InvisiSpec-invisible: no LLC fill and
+     *        no coherence action (no footprint is the point)
+     */
+    SharedAccessResult access(uint32_t core, Addr addr,
+                              bool is_write, Cycle now,
+                              bool allocate);
+
+    /**
+     * A store drained into a line the core already holds in L1
+     * (write hit): S -> M upgrade, invalidating other sharers.
+     */
+    void writeUpgrade(uint32_t core, Addr addr, Cycle now);
+
+    /** clflush: the line leaves every L1, the LLC and the dir. */
+    void flushLine(uint32_t core, Addr addr, Cycle now);
+
+    /** InvisiSpec expose: LLC fill + sharer registration. */
+    void exposeFill(uint32_t core, Addr addr, Cycle now);
+
+    /** Event-driven mode: LLC MSHR fills and DRAM refresh epochs
+     *  post to the (multi-core: global) wake scheduler. */
+    void
+    setScheduler(EventScheduler *sched)
+    {
+        l2_.setScheduler(sched);
+        dram_.setScheduler(sched);
+    }
+
+    Cache &l2() { return l2_; }
+    const Cache &l2() const { return l2_; }
+    Dram &dram() { return dram_; }
+    const Dram &dram() const { return dram_; }
+
+    // --- directory introspection (coherence property tests) ---
+    /** Modified owner of the line (-1 = unowned / not tracked). */
+    int owner(Addr addr) const;
+    /** Sharer bitmask over core ids. */
+    uint32_t sharers(Addr addr) const;
+    /** Coherent-store version of the line (0 = never written). */
+    uint64_t version(Addr addr) const;
+    /** Version of @p core's cached copy (falls back to the current
+     *  version when the core never recorded one). */
+    uint64_t observedVersion(uint32_t core, Addr addr) const;
+
+    /** Publish LLC/DRAM stats + coherence traffic (multi-core). */
+    void regStats(StatRegistry &sr) const;
+
+  private:
+    struct DirEntry
+    {
+        uint32_t sharers = 0;
+        int8_t owner = -1; ///< core id holding the line Modified
+        uint64_t version = 0;
+    };
+
+    struct CoreSlot
+    {
+        MemorySystem *ms = nullptr;
+        CounterRegistry *reg = nullptr;
+        CounterMirror mirror;
+    };
+
+    Addr lineAddr(Addr addr) const
+    { return addr & ~(Addr)(params_.lineSize - 1); }
+
+    /** Route shared-level counting to @p core's mirror. */
+    void selectRequester(uint32_t core);
+    /** Invalidate every sharer except @p requester. */
+    void invalidateSharers(Addr line, DirEntry &e,
+                           uint32_t requester);
+    /** Inclusion: an LLC victim leaves every private L1. */
+    void backInvalidate(Addr line, Cycle now);
+    /** Directory action for a coherent (allocating) access. */
+    uint32_t applyCoherence(uint32_t core, Addr line, bool is_write,
+                            Cycle now);
+    void bump(CounterId id, double v = 1.0);
+
+    const CoreParams &params_;
+    CounterRegistry &reg_;
+    const bool sharedUncore_;
+    Cache l2_;
+    Dram dram_;
+
+    std::vector<CoreSlot> cores_;
+    std::unordered_map<Addr, DirEntry> dir_;
+    /** Per-core: line -> version its cached copy was filled at. */
+    std::vector<std::unordered_map<Addr, uint64_t>> observed_;
+    int activeRequester_ = -1;
+
+    CounterId cohInvalidations_ = INVALID_COUNTER;
+    CounterId cohBackInvalidations_ = INVALID_COUNTER;
+    CounterId cohDowngrades_ = INVALID_COUNTER;
+    CounterId cohUpgrades_ = INVALID_COUNTER;
+    CounterId cohFlushes_ = INVALID_COUNTER;
+    CounterId cohDirtyFolds_ = INVALID_COUNTER;
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_COHERENCE_HH

@@ -111,8 +111,9 @@ struct O3Core::Ids
     }
 };
 
-O3Core::O3Core(const CoreParams &params, CounterRegistry &reg)
-    : params_(params), reg_(reg), mem_(params, reg),
+O3Core::O3Core(const CoreParams &params, CounterRegistry &reg,
+               SharedMemory *shared)
+    : params_(params), reg_(reg), mem_(params, reg, shared),
       bp_(params, reg), rng_(0xc0ffee),
       lastWriter_(NUM_LOGICAL_REGS, 0),
       ids_(std::make_unique<Ids>(reg))
@@ -1178,7 +1179,16 @@ O3Core::fetchStage(InstStream &stream)
 }
 
 uint64_t
-O3Core::idleSkip(Cycle last_progress, uint64_t max_cycles)
+O3Core::idleSkip()
+{
+    Cycle target = idleSkipTarget();
+    if (target == 0)
+        return 0;
+    return applyIdleSkip(target);
+}
+
+Cycle
+O3Core::idleSkipTarget()
 {
     // Wake target: the next pending marker, capped so the deadlock
     // panic and the caller's cycle budget trigger at exactly the
@@ -1186,11 +1196,11 @@ O3Core::idleSkip(Cycle last_progress, uint64_t max_cycles)
     // from pipeline state: the scheduler is load-bearing, which is
     // what lets the equivalence tier catch a lost wakeup.
     Cycle target = sched_.nextEventCycle();
-    Cycle deadlock_cap = last_progress + kDeadlockWindow + 1;
+    Cycle deadlock_cap = lastProgress_ + kDeadlockWindow + 1;
     if (deadlock_cap < target)
         target = deadlock_cap;
-    if (max_cycles) {
-        Cycle budget_cap = cycle_ + (max_cycles - result_.cycles);
+    if (runMaxCycles_) {
+        Cycle budget_cap = cycle_ + (runMaxCycles_ - result_.cycles);
         if (budget_cap < target)
             target = budget_cap;
     }
@@ -1206,17 +1216,12 @@ O3Core::idleSkip(Cycle last_progress, uint64_t max_cycles)
     // Inertness probe: would every stage be a no-op this cycle?
     // Each check mirrors its stage's early-outs in source order,
     // cheapest stage first; the counters a no-op cycle still
-    // records are collected here and replicated per skipped cycle
-    // on success. Every activation threshold visible below has a
-    // pending wake marker at or before it (or sits at cycle_ + 1,
-    // where the probe itself vetoes), so a cycle that is inert now
-    // stays inert through target - 1.
-    struct PerCycle
-    {
-        CounterId id;
-        double weight;
-    };
-    PerCycle accum[12];
+    // records are staged in skipAccum_ and replicated per skipped
+    // cycle by applyIdleSkip. Every activation threshold visible
+    // below has a pending wake marker at or before it (or sits at
+    // cycle_ + 1, where the probe itself vetoes), so a cycle that
+    // is inert now stays inert through target - 1.
+    PerCycleIdle *accum = skipAccum_;
     unsigned n = 0;
 
     // exposeScan: only a candidate-free scan is a guaranteed no-op.
@@ -1340,11 +1345,20 @@ O3Core::idleSkip(Cycle last_progress, uint64_t max_cycles)
             accum[n++] = {ids_->iewBlockCycles, 1.0};
     }
 
-    // The machine is inert from cycle_ through target - 1: jump.
+    // The machine is inert from cycle_ through target - 1.
+    skipAccumN_ = n;
+    return target;
+}
+
+uint64_t
+O3Core::applyIdleSkip(Cycle target)
+{
     Cycle from = cycle_;
     uint64_t delta = target - cycle_;
-    for (unsigned i = 0; i < n; ++i)
-        reg_.inc(accum[i].id, accum[i].weight * (double)delta);
+    for (unsigned i = 0; i < skipAccumN_; ++i) {
+        reg_.inc(skipAccum_[i].id,
+                 skipAccum_[i].weight * (double)delta);
+    }
     cycle_ = target;
     result_.cycles += delta;
     if (skipHook_)
@@ -1379,71 +1393,92 @@ O3Core::regStats(StatRegistry &sr) const
     bp_.regStats(sr);
 }
 
+void
+O3Core::beginRun(uint64_t max_insts, uint64_t max_cycles)
+{
+    resetRunState();
+    runMaxInsts_ = max_insts;
+    runMaxCycles_ = max_cycles;
+    runStartInsts_ = committedInsts_;
+    lastProgress_ = cycle_;
+    lastCommitted_ = committedInsts_;
+}
+
+bool
+O3Core::stepCycle(InstStream &stream)
+{
+    commitStage();
+    completeStage();
+    issueStage();
+    dispatchStage();
+    fetchStage(stream);
+    mem_.tick(cycle_);
+    ++cycle_;
+    ++result_.cycles;
+
+    if (committedInsts_ != lastCommitted_) {
+        lastCommitted_ = committedInsts_;
+        lastProgress_ = cycle_;
+    } else if (cycle_ - lastProgress_ > kDeadlockWindow) {
+        panic("core deadlock: no commit in 500000 cycles "
+              "(rob=%zu fq=%zu)", rob_.size(),
+              fetchQueue_.size());
+    }
+
+    if (runMaxInsts_ &&
+        committedInsts_ - runStartInsts_ >= runMaxInsts_) {
+        return false;
+    }
+    if (runMaxCycles_ && result_.cycles >= runMaxCycles_)
+        return false;
+    if (stopRequested_)
+        return false;
+    if (streamDone_ && rob_.empty() && fetchQueue_.empty() &&
+        pendingReplay_.empty() && wrongPathBuffer_.empty() &&
+        transientBuffer_.empty()) {
+        result_.streamExhausted = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+O3Core::postSkipStop()
+{
+    // Same per-iteration order as the stepCycle checks: the
+    // deadlock guard outranks the cycle budget.
+    if (cycle_ - lastProgress_ > kDeadlockWindow) {
+        panic("core deadlock: no commit in 500000 cycles "
+              "(rob=%zu fq=%zu)", rob_.size(),
+              fetchQueue_.size());
+    }
+    return runMaxCycles_ && result_.cycles >= runMaxCycles_;
+}
+
+SimResult
+O3Core::finishRun()
+{
+    result_.committedInsts = committedInsts_ - runStartInsts_;
+    result_.bitFlips = mem_.bitFlips();
+    return result_;
+}
+
 SimResult
 O3Core::run(InstStream &stream, uint64_t max_insts,
             uint64_t max_cycles)
 {
-    resetRunState();
-    uint64_t start_insts = committedInsts_;
-    Cycle last_progress = cycle_;
-    uint64_t last_committed = committedInsts_;
-
-    while (true) {
-        commitStage();
-        completeStage();
-        issueStage();
-        dispatchStage();
-        fetchStage(stream);
-        mem_.tick(cycle_);
-        ++cycle_;
-        ++result_.cycles;
-
-        if (committedInsts_ != last_committed) {
-            last_committed = committedInsts_;
-            last_progress = cycle_;
-        } else if (cycle_ - last_progress > kDeadlockWindow) {
-            panic("core deadlock: no commit in 500000 cycles "
-                  "(rob=%zu fq=%zu)", rob_.size(),
-                  fetchQueue_.size());
-        }
-
-        if (max_insts &&
-            committedInsts_ - start_insts >= max_insts) {
-            break;
-        }
-        if (max_cycles && result_.cycles >= max_cycles)
-            break;
-        if (stopRequested_)
-            break;
-        if (streamDone_ && rob_.empty() && fetchQueue_.empty() &&
-            pendingReplay_.empty() && wrongPathBuffer_.empty() &&
-            transientBuffer_.empty()) {
-            result_.streamExhausted = true;
-            break;
-        }
-
+    beginRun(max_insts, max_cycles);
+    while (stepCycle(stream)) {
         if (eventMode_) {
             // Markers strictly behind the clock are spent; one
             // exactly at cycle_ survives to pin target == cycle_
-            // (no skip) below.
-            sched_.retireBefore(cycle_);
-            if (idleSkip(last_progress, max_cycles) > 0) {
-                // Same per-iteration order as the checks above:
-                // the deadlock guard outranks the cycle budget.
-                if (cycle_ - last_progress > kDeadlockWindow) {
-                    panic("core deadlock: no commit in 500000 cycles "
-                          "(rob=%zu fq=%zu)", rob_.size(),
-                          fetchQueue_.size());
-                }
-                if (max_cycles && result_.cycles >= max_cycles)
-                    break;
-            }
+            // (no skip) in the probe.
+            retireWakes();
+            if (idleSkip() > 0 && postSkipStop())
+                break;
         }
     }
-
-    result_.committedInsts = committedInsts_ - start_insts;
-    result_.bitFlips = mem_.bitFlips();
-    return result_;
+    return finishRun();
 }
 
 } // namespace evax

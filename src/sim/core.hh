@@ -62,7 +62,13 @@ struct SimResult
 class O3Core
 {
   public:
-    O3Core(const CoreParams &params, CounterRegistry &reg);
+    /**
+     * @param shared uncore (L2/LLC + DRAM) shared with other cores
+     *        (MultiCore). Null — the default — gives the core a
+     *        private uncore: the unchanged single-core machine.
+     */
+    O3Core(const CoreParams &params, CounterRegistry &reg,
+           SharedMemory *shared = nullptr);
     ~O3Core(); ///< out-of-line: Ids is incomplete here
 
     /** Switch the active mitigation (adaptive controller hook). */
@@ -154,6 +160,10 @@ class O3Core
     unsigned freeIntRegs() const { return freeIntRegs_; }
 
   private:
+    /** The lockstep multi-core driver steps the private run-loop
+     *  pieces (beginRun / stepCycle / idle-skip halves) directly. */
+    friend class MultiCore;
+
     enum class EntryState : uint8_t { Dispatched, Issued, Complete };
 
     struct RobEntry
@@ -279,6 +289,22 @@ class O3Core
     void injectTransients(const MicroOp &op, SeqNum cause);
     void resetRunState();
 
+    // run() decomposed so the MultiCore driver can interleave N
+    // cores cycle-by-cycle. run() itself is exactly
+    // beginRun + while (stepCycle) { event-mode skip } + finishRun.
+    /** Reset run state and latch the budgets. */
+    void beginRun(uint64_t max_insts, uint64_t max_cycles);
+    /** One cycle of the run loop. @return false = run is over. */
+    bool stepCycle(InstStream &stream);
+    /** Close out the SimResult after the last stepCycle. */
+    SimResult finishRun();
+    /** Retire wake markers strictly behind the clock (event mode,
+     *  called at the end of each stepped cycle before a skip). */
+    void retireWakes() { sched_.retireBefore(cycle_); }
+    /** Post-skip bookkeeping shared by run() and the driver:
+     *  panics on deadlock, true = cycle budget exhausted. */
+    bool postSkipStop();
+
     // Event-driven mode (src/sim/scheduler.hh; DESIGN.md §10).
     /** Arm a wake marker; elides wakes at or before cycle_ + 1
      *  (the next single step always re-probes those). */
@@ -290,7 +316,19 @@ class O3Core
      * counters those no-op cycles would have recorded.
      * @return cycles skipped (0 = machine not inert, no jump)
      */
-    uint64_t idleSkip(Cycle last_progress, uint64_t max_cycles);
+    uint64_t idleSkip();
+    /**
+     * Probe half of idleSkip: verify inertness and stage the idle
+     * counters a no-op cycle records (skipAccum_). @return the
+     * verified jump target (0 = not inert / not profitable). The
+     * machine is inert from cycle_ through target - 1, so applying
+     * any smaller target is equally sound — which is how the
+     * multi-core driver jumps all cores to the global minimum.
+     */
+    Cycle idleSkipTarget();
+    /** Apply a verified skip: replicate the staged counters per
+     *  skipped cycle and jump the clock. @return cycles skipped */
+    uint64_t applyIdleSkip(Cycle target);
 
     /** No-commit window before run() declares a deadlock. */
     static constexpr Cycle kDeadlockWindow = 500000;
@@ -368,6 +406,20 @@ class O3Core
     // Run bookkeeping.
     SimResult result_;
     bool streamDone_ = false;
+    uint64_t runMaxInsts_ = 0;
+    uint64_t runMaxCycles_ = 0;
+    uint64_t runStartInsts_ = 0;
+    Cycle lastProgress_ = 0;
+    uint64_t lastCommitted_ = 0;
+
+    /** Idle counters staged by idleSkipTarget for applyIdleSkip. */
+    struct PerCycleIdle
+    {
+        CounterId id;
+        double weight;
+    };
+    PerCycleIdle skipAccum_[12];
+    unsigned skipAccumN_ = 0;
 
     // Cached counter ids (resolved once in the constructor).
     struct Ids;

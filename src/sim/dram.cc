@@ -57,9 +57,9 @@ Dram::maybeRefresh(Cycle now)
                      rowActs_.size());
     rowActs_.clear();
     maxRowActs_ = 0;
-    reg_.inc(refreshes_);
+    count(refreshes_);
     // Proxy: refresh energy scales with the interval elapsed.
-    reg_.inc(selfRefreshEnergy_, 1.0);
+    count(selfRefreshEnergy_, 1.0);
 }
 
 DramResult
@@ -68,7 +68,7 @@ Dram::access(Addr addr, bool is_write, Cycle now)
     maybeRefresh(now);
 
     DramResult res;
-    reg_.inc(is_write ? writeBursts_ : readBursts_);
+    count(is_write ? writeBursts_ : readBursts_);
 
     uint32_t bank = bankOf(addr);
     uint64_t row = rowOf(addr);
@@ -76,36 +76,36 @@ Dram::access(Addr addr, bool is_write, Cycle now)
     if (openRow_[bank] == row) {
         res.rowHit = true;
         res.latency = params_.dramRowHitLatency;
-        reg_.inc(rowHits_);
-        reg_.inc(bytesPerActivate_, 64.0);
+        count(rowHits_);
+        count(bytesPerActivate_, 64.0);
         return res;
     }
 
     // Row miss: precharge + activate.
     if (openRow_[bank] != UINT64_MAX)
-        reg_.inc(precharges_);
+        count(precharges_);
     openRow_[bank] = row;
     res.latency = params_.dramRowMissLatency;
-    reg_.inc(rowMisses_);
-    reg_.inc(activations_);
-    reg_.inc(actEnergy_, 1.0);
-    reg_.inc(bytesPerActivate_, 64.0);
+    count(rowMisses_);
+    count(activations_);
+    count(actEnergy_, 1.0);
+    count(bytesPerActivate_, 64.0);
 
     uint32_t &acts = rowActs_[row];
     ++acts;
     if (acts > maxRowActs_) {
         maxRowActs_ = acts;
-        reg_.set(maxRowActsCtr_, maxRowActs_);
+        countSet(maxRowActsCtr_, maxRowActs_);
     }
 
     // Rowhammer disturbance: hammering a row repeatedly within one
     // refresh epoch flips bits in its physical neighbors.
-    reg_.inc(neighborActs_, 2.0);
+    count(neighborActs_, 2.0);
     if (acts >= params_.rowhammerThreshold &&
         acts % params_.rowhammerThreshold == 0) {
         res.bitFlips = 1;
         ++totalBitFlips_;
-        reg_.inc(bitFlips_);
+        count(bitFlips_);
         EVAX_TRACE_EVENT(trace::CatDram, "dram", "rowhammer.flip",
                          now, row);
     }

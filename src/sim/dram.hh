@@ -78,10 +78,34 @@ class Dram
     /** Publish row-buffer rates and hammer state under "dram.". */
     void regStats(StatRegistry &sr) const;
 
+    /**
+     * Shared-uncore mode: additionally replicate counting into the
+     * requesting core's registry (see Cache::setMirror). Null is
+     * the default and the only state in single-core builds.
+     */
+    void setMirror(const CounterMirror *m) { mirror_ = m; }
+
   private:
     uint32_t bankOf(Addr addr) const;
     uint64_t rowOf(Addr addr) const;
     void maybeRefresh(Cycle now);
+
+    /** Count an event in the home registry and the active mirror. */
+    void
+    count(CounterId id, double v = 1.0)
+    {
+        reg_.inc(id, v);
+        if (mirror_)
+            mirror_->reg->inc(mirror_->map[id], v);
+    }
+    /** Level-style overwrite, mirrored the same way. */
+    void
+    countSet(CounterId id, double v)
+    {
+        reg_.set(id, v);
+        if (mirror_)
+            mirror_->reg->set(mirror_->map[id], v);
+    }
 
     const CoreParams &params_;
 
@@ -94,6 +118,7 @@ class Dram
     uint64_t totalBitFlips_ = 0;
 
     EventScheduler *sched_ = nullptr; ///< event-mode wake posts
+    const CounterMirror *mirror_ = nullptr; ///< shared-uncore mode
     /** Last refresh epoch posted (dedupes per-access reposts). */
     Cycle lastPostedEpoch_ = (Cycle)-1;
 

@@ -6,7 +6,8 @@ namespace evax
 {
 
 MemorySystem::MemorySystem(const CoreParams &params,
-                           CounterRegistry &reg)
+                           CounterRegistry &reg,
+                           SharedMemory *shared)
     : params_(params), reg_(reg),
       icache_({"icache", params.icacheSize, params.icacheAssoc,
                params.lineSize, params.icacheLatency, 4},
@@ -15,15 +16,16 @@ MemorySystem::MemorySystem(const CoreParams &params,
                params.lineSize, params.dcacheLatency,
                params.dcacheMshrs},
               reg),
-      l2_({"l2", params.l2Size, params.l2Assoc, params.lineSize,
-           params.l2Latency, params.l2Mshrs},
-          reg),
-      dram_(params, reg),
+      ownedShared_(shared
+                       ? nullptr
+                       : std::make_unique<SharedMemory>(params, reg)),
+      shared_(shared ? shared : ownedShared_.get()),
       dtlb_("dtlb", params.dtlbEntries, params.tlbWalkLatency,
             params.pageBytes, true, reg),
       itlb_("itlb", params.itlbEntries, params.tlbWalkLatency,
             params.pageBytes, false, reg)
 {
+    coreId_ = shared_->attachCore(this, &reg);
     wqBytesRead_ = reg.getOrAdd("wq.bytesReadWrQ");
     wqFullEvents_ = reg.getOrAdd("wq.fullEvents");
     wqInsertions_ = reg.getOrAdd("wq.insertions");
@@ -47,21 +49,29 @@ MemorySystem::accessBackside(Addr addr, bool is_write, Cycle now,
     reg_.inc(membusPktCount_);
     reg_.inc(membusTotalBytes_, params_.lineSize);
 
-    // The L2's own miss penalty comes from DRAM. Look up DRAM first
-    // so the L2 can charge the full residual on a miss. (We access
-    // DRAM lazily: only when L2 actually misses.)
-    CacheAccessResult l2r =
-        l2_.access(addr, is_write, now,
-                   /* provisional miss latency */ 0, allocate);
-    if (l2r.hit)
-        return l2r.latency;
-
-    DramResult dr = dram_.access(addr, is_write, now);
-    if (l2r.writeback) {
+    SharedAccessResult r =
+        shared_->access(coreId_, addr, is_write, now, allocate);
+    if (r.l2Writeback)
         reg_.inc(membusWbDirty_);
-        dram_.access(l2r.writebackAddr, true, now);
-    }
-    return l2r.latency + dr.latency;
+    return r.latency;
+}
+
+bool
+MemorySystem::invalidatePrivate(Addr line, bool *was_dirty)
+{
+    bool dirty = false;
+    bool any = dcache_.invalidate(line, &dirty);
+    if (icache_.invalidate(line, nullptr))
+        any = true;
+    if (was_dirty)
+        *was_dirty = dirty;
+    return any;
+}
+
+bool
+MemorySystem::downgradePrivate(Addr line)
+{
+    return dcache_.clearDirty(line);
 }
 
 uint32_t
@@ -96,6 +106,8 @@ MemorySystem::load(Addr addr, uint16_t size, Cycle now,
             res.hitWriteQueue = true;
             res.latency = tr.latency + 1;
             reg_.inc(wqBytesRead_, size);
+            if (shared_->coherent())
+                lastLoadVersion_ = shared_->version(la);
             return res;
         }
     }
@@ -115,6 +127,8 @@ MemorySystem::load(Addr addr, uint16_t size, Cycle now,
     if (r.hit) {
         res.l1Hit = true;
         res.latency = tr.latency + r.latency;
+        if (shared_->coherent())
+            lastLoadVersion_ = shared_->observedVersion(coreId_, la);
         return res;
     }
     uint32_t backside = accessBackside(addr, false, now, !invisible);
@@ -123,6 +137,8 @@ MemorySystem::load(Addr addr, uint16_t size, Cycle now,
     res.latency = tr.latency + r.latency + backside;
     if (invisible)
         specBufferInsert(la);
+    if (shared_->coherent())
+        lastLoadVersion_ = shared_->observedVersion(coreId_, la);
     return res;
 }
 
@@ -165,8 +181,7 @@ MemorySystem::expose(Addr addr, Cycle now)
     // visible. Model as an L1 fill (plus L2 if absent).
     reg_.inc(dcacheSpecFills_);
     specBufferErase(addr & ~(Addr)(params_.lineSize - 1));
-    if (!l2_.probe(addr))
-        l2_.fill(addr, false, now);
+    shared_->exposeFill(coreId_, addr, now);
     dcache_.fill(addr, false, now);
 }
 
@@ -205,6 +220,8 @@ MemorySystem::tick(Cycle now)
     CacheAccessResult r = dcache_.access(e.addr, true, now, 0, true);
     if (!r.hit)
         accessBackside(e.addr, true, now, true);
+    else if (shared_->coherent())
+        shared_->writeUpgrade(coreId_, e.addr, now);
     nextDrain_ = now + 4;
     if (sched_ && !writeQueue_.empty()) {
         lastPostedDrain_ = nextDrain_;
@@ -217,8 +234,10 @@ MemorySystem::regStats(StatRegistry &sr) const
 {
     icache_.regStats(sr);
     dcache_.regStats(sr);
-    l2_.regStats(sr);
-    dram_.regStats(sr);
+    // A borrowed (multi-core) uncore publishes once, via
+    // MultiCore::regStats, not once per core.
+    if (ownedShared_)
+        ownedShared_->regStats(sr);
     dtlb_.regStats(sr);
     itlb_.regStats(sr);
 
@@ -233,10 +252,9 @@ MemorySystem::regStats(StatRegistry &sr) const
 void
 MemorySystem::clflush(Addr addr, Cycle now)
 {
-    (void)now;
     reg_.inc(sysClflushes_);
     dcache_.invalidate(addr);
-    l2_.invalidate(addr);
+    shared_->flushLine(coreId_, addr, now);
 }
 
 } // namespace evax

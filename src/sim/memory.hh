@@ -13,9 +13,11 @@
 #define EVAX_SIM_MEMORY_HH
 
 #include <deque>
+#include <memory>
 
 #include "hpc/counters.hh"
 #include "sim/cache.hh"
+#include "sim/coherence.hh"
 #include "sim/dram.hh"
 #include "sim/params.hh"
 #include "sim/tlb.hh"
@@ -41,7 +43,14 @@ struct LoadResult
 class MemorySystem
 {
   public:
-    MemorySystem(const CoreParams &params, CounterRegistry &reg);
+    /**
+     * @param shared uncore (L2/LLC + DRAM) shared with other cores.
+     *        Null — the default and the whole single-core world —
+     *        makes this core own a private uncore, reproducing the
+     *        monolithic hierarchy bit-for-bit.
+     */
+    MemorySystem(const CoreParams &params, CounterRegistry &reg,
+                 SharedMemory *shared = nullptr);
 
     /** Instruction fetch for the line containing @c pc. */
     uint32_t fetchAccess(Addr pc, Cycle now);
@@ -74,18 +83,25 @@ class MemorySystem
 
     Cache &icache() { return icache_; }
     Cache &dcache() { return dcache_; }
-    Cache &l2() { return l2_; }
-    Dram &dram() { return dram_; }
+    Cache &l2() { return shared_->l2(); }
+    Dram &dram() { return shared_->dram(); }
     Tlb &dtlb() { return dtlb_; }
+    SharedMemory &shared() { return *shared_; }
+    const SharedMemory &shared() const { return *shared_; }
+    /** This core's rank at the shared uncore (0 at N=1). */
+    uint32_t coreId() const { return coreId_; }
 
     /** Rowhammer bit flips induced so far. */
-    uint64_t bitFlips() const { return dram_.totalBitFlips(); }
+    uint64_t bitFlips() const
+    { return shared_->dram().totalBitFlips(); }
 
     /**
      * Event-driven mode: wire the wake-marker scheduler through the
      * whole hierarchy (caches post MSHR fills, DRAM posts refresh
      * epochs, the write queue posts its drain timer). Null (the
      * default) posts nothing and costs one predictable branch.
+     * A borrowed (multi-core) uncore is NOT rewired: its wakes
+     * belong to the MultiCore driver's global scheduler.
      */
     void
     setScheduler(EventScheduler *sched)
@@ -93,9 +109,24 @@ class MemorySystem
         sched_ = sched;
         icache_.setScheduler(sched);
         dcache_.setScheduler(sched);
-        l2_.setScheduler(sched);
-        dram_.setScheduler(sched);
+        if (ownedShared_)
+            ownedShared_->setScheduler(sched);
     }
+
+    // --- coherence callbacks (SharedMemory -> this core) ---
+    /**
+     * Drop a line from both private L1s (coherence invalidation /
+     * back-invalidation / remote clflush).
+     * @param was_dirty optional out: the D-side copy was modified
+     * @return a copy was present in either L1
+     */
+    bool invalidatePrivate(Addr line, bool *was_dirty);
+    /** MESI M -> S: clear the D-side dirty bit. @return was dirty */
+    bool downgradePrivate(Addr line);
+
+    /** Version of the last coherent store the most recent load
+     *  observed (multi-core coherence tests; 0 at N=1). */
+    uint64_t lastLoadVersion() const { return lastLoadVersion_; }
 
     /** Next cycle the write queue may drain (idle-skip probe). */
     Cycle nextDrainCycle() const { return nextDrain_; }
@@ -120,10 +151,19 @@ class MemorySystem
 
     Cache icache_;
     Cache dcache_;
-    Cache l2_;
-    Dram dram_;
+    /**
+     * Private uncore for the single-core configuration. Declared
+     * between the L1s and the TLBs so its L2/DRAM counters land at
+     * exactly the registry ids the monolithic hierarchy created
+     * them at — the golden digests hash the full snapshot in id
+     * order. Null when a MultiCore supplied a shared uncore.
+     */
+    std::unique_ptr<SharedMemory> ownedShared_;
+    SharedMemory *shared_;
     Tlb dtlb_;
     Tlb itlb_;
+    uint32_t coreId_ = 0;
+    uint64_t lastLoadVersion_ = 0;
 
     struct WqEntry
     {

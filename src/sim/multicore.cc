@@ -1,0 +1,120 @@
+#include "sim/multicore.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+#include "util/statreg.hh"
+
+namespace evax
+{
+
+MultiCore::MultiCore(const MultiCoreParams &params)
+    : params_(params),
+      eventMode_(params.core.runMode == RunMode::EventDriven)
+{
+    unsigned n = std::max(1u, params.numCores);
+    if (n > 32)
+        fatal("MultiCore: %u cores requested, bitmask caps at 32",
+              n);
+    // numCores == 1 keeps the private-uncore construction so the
+    // machine is the unchanged single-core one (golden-pinned).
+    if (n > 1) {
+        shared_ = std::make_unique<SharedMemory>(
+            params.core, uncoreReg_, /* shared_uncore */ true);
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        coreRegs_.push_back(std::make_unique<CounterRegistry>());
+        cores_.push_back(std::make_unique<O3Core>(
+            params.core, *coreRegs_[i], shared_.get()));
+    }
+    if (shared_ && eventMode_)
+        shared_->setScheduler(&sharedSched_);
+}
+
+std::vector<SimResult>
+MultiCore::run(const std::vector<InstStream *> &streams,
+               uint64_t max_insts_per_core, uint64_t max_cycles)
+{
+    unsigned n = numCores();
+    if (streams.size() != n)
+        fatal("MultiCore::run: %zu streams for %u cores",
+              streams.size(), n);
+
+    for (unsigned i = 0; i < n; ++i)
+        cores_[i]->beginRun(max_insts_per_core, max_cycles);
+
+    std::vector<bool> active(n, true);
+    unsigned n_active = n;
+    // All active cores share one clock value; lockstep stepping and
+    // uniform skips keep it that way.
+    while (n_active != 0) {
+        for (unsigned i = 0; i < n; ++i) {
+            if (active[i] && !cores_[i]->stepCycle(*streams[i])) {
+                active[i] = false;
+                --n_active;
+            }
+        }
+        if (!eventMode_ || n_active == 0)
+            continue;
+
+        // Global idle skip: every active core must prove itself
+        // inert; the jump target is the minimum over the per-core
+        // verified targets and the shared uncore's next marker.
+        Cycle target = EventScheduler::kNoEvent;
+        bool all_inert = true;
+        Cycle now = 0;
+        for (unsigned i = 0; i < n && all_inert; ++i) {
+            if (!active[i])
+                continue;
+            now = cores_[i]->cycle_;
+            cores_[i]->retireWakes();
+            Cycle t = cores_[i]->idleSkipTarget();
+            if (t == 0)
+                all_inert = false;
+            else
+                target = std::min(target, t);
+        }
+        if (!all_inert)
+            continue;
+        sharedSched_.retireBefore(now);
+        target = std::min(target, sharedSched_.nextEventCycle());
+        if (target <= now)
+            continue;
+        for (unsigned i = 0; i < n; ++i) {
+            if (active[i])
+                cores_[i]->applyIdleSkip(target);
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            if (active[i] && cores_[i]->postSkipStop()) {
+                active[i] = false;
+                --n_active;
+            }
+        }
+    }
+
+    std::vector<SimResult> results;
+    results.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        results.push_back(cores_[i]->finishRun());
+    return results;
+}
+
+void
+MultiCore::regStats(StatRegistry &sr) const
+{
+    if (numCores() == 1) {
+        cores_[0]->regStats(sr);
+        return;
+    }
+    for (unsigned i = 0; i < numCores(); ++i) {
+        std::string prefix = "core" + std::to_string(i) + ".";
+        sr.importCounters(*coreRegs_[i], prefix);
+        sr.setScalar(prefix + "cycles", cores_[i]->cycle());
+        sr.setScalar(prefix + "committedInsts",
+                     cores_[i]->committedInsts());
+    }
+    sr.importCounters(uncoreReg_, "shared.");
+    shared_->regStats(sr);
+}
+
+} // namespace evax

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic N-core machine: per-core private pipelines, L1s,
+ * TLBs and branch predictors sharing one L2/LLC + DRAM behind the
+ * MESI directory (sim/coherence.hh).
+ *
+ * Interleaving is lockstep and fully deterministic: every active
+ * core steps cycle C in core-id order before any core sees cycle
+ * C+1, so all cross-core orderings reduce to (cycle, core,
+ * insertion-seq) — the same drain order the PR 8 event scheduler
+ * pinned. In event-driven mode the driver only jumps the clock when
+ * *every* active core's inertness probe agrees, to the minimum of
+ * the per-core wake targets and the shared uncore's own markers, so
+ * a skip can never run a core past another core's (or the LLC's)
+ * next event.
+ *
+ * With numCores == 1 no shared uncore is built at all — the single
+ * core owns a private SharedMemory and this driver degenerates to
+ * O3Core::run, byte-identical on every counter and golden digest
+ * (pinned by tests/test_golden.cc and tests/test_equivalence.cc).
+ */
+
+#ifndef EVAX_SIM_MULTICORE_HH
+#define EVAX_SIM_MULTICORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "hpc/counters.hh"
+#include "sim/coherence.hh"
+#include "sim/core.hh"
+#include "sim/params.hh"
+
+namespace evax
+{
+
+class StatRegistry;
+
+/** Multi-core machine configuration. */
+struct MultiCoreParams
+{
+    /** Attached cores (1..32; the sharer bitmask caps at 32). */
+    unsigned numCores = 2;
+    /** Per-core + uncore parameters (homogeneous cores). */
+    CoreParams core;
+};
+
+/** N lockstep O3 cores over one coherent shared uncore. */
+class MultiCore
+{
+  public:
+    explicit MultiCore(const MultiCoreParams &params);
+
+    unsigned numCores() const { return (unsigned)cores_.size(); }
+    O3Core &core(unsigned i) { return *cores_[i]; }
+    const O3Core &core(unsigned i) const { return *cores_[i]; }
+    CounterRegistry &counters(unsigned i) { return *coreRegs_[i]; }
+    /** Shared-uncore registry (l2.*, dram.*, coh.*); aliases core
+     *  0's registry when numCores == 1 (private uncore). */
+    CounterRegistry &uncoreCounters()
+    { return shared_ ? uncoreReg_ : *coreRegs_[0]; }
+    /** The coherent uncore; null when numCores == 1. */
+    SharedMemory *shared() { return shared_.get(); }
+
+    /**
+     * Run one stream per core to completion or to a budget. Cores
+     * whose stream (or budget) finishes first stop stepping; the
+     * rest keep running.
+     * @param streams exactly numCores sources
+     * @param max_insts_per_core per-core commit cap (0 = none)
+     * @param max_cycles per-core cycle cap (0 = default guard)
+     */
+    std::vector<SimResult> run(const std::vector<InstStream *> &streams,
+                               uint64_t max_insts_per_core = 0,
+                               uint64_t max_cycles = 0);
+
+    /**
+     * Publish every core's full hierarchy under "coreN." plus the
+     * shared uncore under its native names (docs/COUNTERS.md
+     * "Per-core counter naming").
+     */
+    void regStats(StatRegistry &sr) const;
+
+  private:
+    MultiCoreParams params_;
+    bool eventMode_;
+    /** Shared-uncore registry (unused alias at numCores == 1). */
+    CounterRegistry uncoreReg_;
+    std::unique_ptr<SharedMemory> shared_;
+    /** Wake markers of the shared L2/DRAM (event mode): a global
+     *  skip is additionally capped by this queue. */
+    EventScheduler sharedSched_;
+    std::vector<std::unique_ptr<CounterRegistry>> coreRegs_;
+    std::vector<std::unique_ptr<O3Core>> cores_;
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_MULTICORE_HH

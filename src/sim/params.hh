@@ -106,6 +106,13 @@ struct CoreParams
     uint32_t invisiSpecExposeLatency = 16;
 
     /**
+     * Multi-core only: extra cycles a read pays when it forces an
+     * M -> S downgrade of another core's modified line (the dirty
+     * data is folded into the LLC first). Never charged at N=1.
+     */
+    uint32_t cohDowngradeLatency = 16;
+
+    /**
      * Cycles between a faulting op reaching the ROB head and the
      * trap being delivered — the lazy fault handling that gives
      * Meltdown-type attacks their transient window.

@@ -176,11 +176,12 @@ StatRegistry::has(const std::string &path) const
 }
 
 void
-StatRegistry::importCounters(const CounterRegistry &reg)
+StatRegistry::importCounters(const CounterRegistry &reg,
+                             const std::string &prefix)
 {
     std::lock_guard<std::mutex> lk(mu_);
     for (CounterId id = 0; id < (CounterId)reg.size(); ++id)
-        getOrCreate<Stat<double>>(reg.name(id), "").set(
+        getOrCreate<Stat<double>>(prefix + reg.name(id), "").set(
             reg.value(id));
 }
 

@@ -179,8 +179,12 @@ class StatRegistry
     /**
      * Snapshot every counter of @c reg into number stats named by
      * the counter names (set semantics: a later import refreshes).
+     * @param prefix prepended to every counter name — the per-core
+     *        namespacing ("coreN.", "shared.") the multi-core stat
+     *        dump uses (docs/COUNTERS.md "Per-core counter naming")
      */
-    void importCounters(const CounterRegistry &reg);
+    void importCounters(const CounterRegistry &reg,
+                        const std::string &prefix = "");
 
     /**
      * Current values of every scalar/number stat (used by the

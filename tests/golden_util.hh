@@ -23,6 +23,7 @@
 #include "hpc/sampler.hh"
 #include "ml/dataset.hh"
 #include "sim/core.hh"
+#include "sim/multicore.hh"
 #include "workload/registry.hh"
 
 namespace evax
@@ -144,6 +145,38 @@ coreRunDigest(const std::string &stream_name, bool is_attack,
 {
     CoreParams params; // O3Core keeps a reference; must outlive it
     return coreRunDigest(stream_name, is_attack, mode, params);
+}
+
+/**
+ * coreRunDigest driven through the MultiCore machine at
+ * numCores == 1: identical construction (private uncore, same
+ * counter-registry layout) plus the multi-core lockstep/idle-skip
+ * driver. Every pinned golden digest must reproduce bit for bit —
+ * the tentpole "N=1 is byte-identical" invariant.
+ */
+inline uint64_t
+multiCoreRunDigest(const std::string &stream_name, bool is_attack,
+                   DefenseMode mode, const CoreParams &params)
+{
+    MultiCoreParams mp;
+    mp.numCores = 1;
+    mp.core = params;
+    MultiCore machine(mp);
+    machine.core(0).setDefenseMode(mode);
+    Sampler sampler(machine.counters(0), 1000);
+    sampler.setNormalizeEnabled(false);
+    machine.core(0).attachSampler(&sampler);
+    auto stream = is_attack
+                      ? AttackRegistry::create(stream_name, 3, 6000)
+                      : WorkloadRegistry::create(stream_name, 3,
+                                                 6000);
+    std::vector<InstStream *> streams{stream.get()};
+    std::vector<SimResult> res = machine.run(streams);
+    std::vector<double> snap = machine.counters(0).snapshot();
+    uint64_t h = hashDoubles(kFnvSeed, snap.data(), snap.size());
+    h = hashSimResult(h, res[0]);
+    h = hashU64(h, sampler.windowsClosed());
+    return h;
 }
 
 /** The stream x defense-mode cases the core digests pin. */

@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Coherence property tier (ctest -L coherence).
+ *
+ * Drives the shared uncore (sim/coherence.hh) directly with 2-4
+ * private MemorySystem hierarchies and checks the MESI protocol
+ * invariants the multi-core machine rests on:
+ *
+ *   - single-writer / multiple-reader: a Modified owner is the only
+ *     sharer; readers force M -> S;
+ *   - data-value invariant: every load observes the version of the
+ *     last coherent store to its line (the directory's per-line
+ *     version counter makes this checkable over a tag-only cache);
+ *   - no stale reads: a cross-core write or clflush removes every
+ *     remote L1 copy before it can hit again;
+ *   - inclusion: every data-side L1 line is resident in the shared
+ *     LLC (Cache::residentLines), even under heavy LLC victim
+ *     pressure (back-invalidation);
+ *   - determinism: randomized false-sharing stress and the full
+ *     cross-core gated scenario replay byte-identically.
+ *
+ * The seeded EVAX_MUTATION_DROP_INVALIDATE build
+ * (test_mut_drop_invalidate) recompiles src/sim/coherence.cc with
+ * store-side invalidations dropped and proves this tier catches the
+ * bug as a stale read; see the #else block at the bottom.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/scenarios.hh"
+#include "core/endtoend.hh"
+#include "core/experiment.hh"
+#include "sim/coherence.hh"
+#include "sim/memory.hh"
+#include "sim/multicore.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+
+#include "golden_util.hh"
+
+namespace evax
+{
+namespace
+{
+
+/** N private L1 hierarchies over one coherent shared uncore. */
+struct CoherentHarness
+{
+    CoreParams params;
+    CounterRegistry uncoreReg;
+    SharedMemory shared;
+    std::vector<std::unique_ptr<CounterRegistry>> regs;
+    std::vector<std::unique_ptr<MemorySystem>> cores;
+    Cycle now = 1;
+
+    explicit CoherentHarness(unsigned n,
+                             const CoreParams &p = CoreParams())
+        : params(p), shared(params, uncoreReg, true)
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            regs.push_back(std::make_unique<CounterRegistry>());
+            cores.push_back(std::make_unique<MemorySystem>(
+                params, *regs[i], &shared));
+        }
+    }
+
+    MemorySystem &core(unsigned i) { return *cores[i]; }
+
+    Addr line(Addr a) const
+    { return a & ~(Addr)(params.lineSize - 1); }
+
+    /** Cycles advanced after each op: past every MSHR in-flight
+     *  window, so each operation is fully settled before the next
+     *  (a re-miss inside the window merges without re-allocating,
+     *  which is not what protocol property checks should see). */
+    static constexpr Cycle kSettle = 64;
+
+    void
+    load(unsigned c, Addr a)
+    {
+        core(c).load(a, 8, now, /* invisible */ false);
+        now += kSettle;
+    }
+
+    /** Committed store, drained through the write queue. */
+    void
+    store(unsigned c, Addr a)
+    {
+        EXPECT_TRUE(core(c).storeCommit(a, 8, now));
+        for (int it = 0;
+             it < 64 && core(c).writeQueueDepth() > 0; ++it) {
+            core(c).tick(now);
+            ++now;
+        }
+        ASSERT_EQ(core(c).writeQueueDepth(), 0u)
+            << "write queue failed to drain";
+        now += kSettle;
+    }
+
+    void
+    flush(unsigned c, Addr a)
+    {
+        core(c).clflush(a, now);
+        now += kSettle;
+    }
+
+    /** MESI single-writer invariant on one line. */
+    void
+    expectSingleWriter(Addr a)
+    {
+        int o = shared.owner(a);
+        if (o >= 0) {
+            EXPECT_EQ(shared.sharers(a), 1u << o)
+                << "line 0x" << std::hex << line(a)
+                << " Modified by core " << std::dec << o
+                << " but sharer mask is " << shared.sharers(a);
+        }
+    }
+};
+
+#ifndef EVAX_MUTATION_ACTIVE
+
+// ---------------------------------------------------------------
+// Protocol invariants.
+// ---------------------------------------------------------------
+
+TEST(Coherence, SingleWriterMultipleReader)
+{
+    CoherentHarness h(3);
+    const Addr L = 0x40000;
+
+    // Three readers co-exist on the sharer list, no owner.
+    h.load(0, L);
+    h.load(1, L);
+    h.load(2, L);
+    EXPECT_EQ(h.shared.sharers(L), 0b111u);
+    EXPECT_EQ(h.shared.owner(L), -1);
+
+    // A write makes core 1 the single sharer and Modified owner and
+    // drops every other private copy.
+    h.store(1, L);
+    EXPECT_EQ(h.shared.owner(L), 1);
+    EXPECT_EQ(h.shared.sharers(L), 0b010u);
+    EXPECT_FALSE(h.core(0).dcache().probe(L));
+    EXPECT_FALSE(h.core(2).dcache().probe(L));
+    h.expectSingleWriter(L);
+
+    // A remote read downgrades M -> S: owner clears, reader joins.
+    h.load(0, L);
+    EXPECT_EQ(h.shared.owner(L), -1);
+    EXPECT_EQ(h.shared.sharers(L), 0b011u);
+}
+
+TEST(Coherence, WriterChainPassesOwnership)
+{
+    CoherentHarness h(4);
+    const Addr L = 0x88000;
+    for (unsigned c = 0; c < 4; ++c) {
+        h.store(c, L);
+        EXPECT_EQ(h.shared.owner(L), (int)c);
+        EXPECT_EQ(h.shared.sharers(L), 1u << c);
+        h.expectSingleWriter(L);
+        EXPECT_EQ(h.shared.version(L), (uint64_t)c + 1);
+    }
+}
+
+TEST(Coherence, NoStaleReadAfterCrossCoreWrite)
+{
+    CoherentHarness h(2);
+    const Addr L = 0x51000;
+
+    h.load(0, L);
+    EXPECT_TRUE(h.core(0).dcache().probe(L));
+    EXPECT_EQ(h.core(0).lastLoadVersion(), 0u);
+
+    // Core 1 writes: core 0's copy must be gone before it can hit.
+    h.store(1, L);
+    EXPECT_FALSE(h.core(0).dcache().probe(L));
+
+    // Core 0's next load misses and observes the new version.
+    h.load(0, L);
+    EXPECT_EQ(h.core(0).lastLoadVersion(), h.shared.version(L));
+    EXPECT_EQ(h.shared.version(L), 1u);
+}
+
+TEST(Coherence, RemoteClflushEvictsEveryCopy)
+{
+    CoherentHarness h(3);
+    const Addr L = 0x62000;
+    h.load(0, L);
+    h.load(1, L);
+    h.load(2, L);
+
+    // clflush on core 1 removes the line from every L1, the LLC and
+    // the directory (cross-core eviction, the Flush+Reload shape).
+    h.flush(1, L);
+    for (unsigned c = 0; c < 3; ++c)
+        EXPECT_FALSE(h.core(c).dcache().probe(L)) << "core " << c;
+    EXPECT_FALSE(h.shared.l2().probe(L));
+    EXPECT_EQ(h.shared.sharers(L), 0u);
+    EXPECT_EQ(h.shared.owner(L), -1);
+
+    // The next access re-faults the whole path from DRAM.
+    h.load(2, L);
+    EXPECT_TRUE(h.core(2).dcache().probe(L));
+    EXPECT_TRUE(h.shared.l2().probe(L));
+}
+
+/** The data-value invariant under a randomized cross-core mix:
+ *  every (visible) load observes the last coherent store's
+ *  version, and Modified lines never have co-sharers. */
+TEST(Coherence, DataValueInvariantRandomized)
+{
+    for (unsigned n = 2; n <= 4; ++n) {
+        CoherentHarness h(n);
+        Rng rng(0xC0FFEE + n);
+        const Addr base = 0x100000;
+        const unsigned kLines = 8;
+        for (unsigned step = 0; step < 600; ++step) {
+            unsigned c = (unsigned)rng.nextBounded(n);
+            Addr a = base +
+                     rng.nextBounded(kLines) * h.params.lineSize +
+                     rng.nextBounded(h.params.lineSize / 8) * 8;
+            switch (rng.nextBounded(4)) {
+              case 0:
+                h.store(c, a);
+                break;
+              case 1:
+                h.flush(c, a);
+                break;
+              default:
+                h.load(c, a);
+                EXPECT_EQ(h.core(c).lastLoadVersion(),
+                          h.shared.version(a))
+                    << "stale read: core " << c << " step " << step;
+                break;
+            }
+            h.expectSingleWriter(a);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Inclusion.
+// ---------------------------------------------------------------
+
+/** Every data-side L1 line stays resident in the shared LLC even
+ *  when a tiny LLC victimizes constantly (back-invalidation). The
+ *  I-side is exempt by design: the next-line fetch prefetch fills
+ *  L1I without an LLC allocation (see DESIGN.md). */
+TEST(Coherence, InclusionHoldsUnderVictimPressure)
+{
+    CoreParams params;
+    params.l2Size = 4096; // 64 lines: far smaller than the L1s
+    params.l2Assoc = 2;
+    CoherentHarness h(2, params);
+    Rng rng(42);
+    const Addr base = 0x200000;
+    for (unsigned step = 0; step < 2000; ++step) {
+        unsigned c = (unsigned)rng.nextBounded(2u);
+        Addr a = base + rng.nextBounded(256) * h.params.lineSize;
+        if (rng.nextBounded(3) == 0)
+            h.store(c, a);
+        else
+            h.load(c, a);
+    }
+    for (unsigned c = 0; c < 2; ++c) {
+        for (Addr l : h.core(c).dcache().residentLines()) {
+            EXPECT_TRUE(h.shared.l2().probe(l))
+                << "core " << c << " L1D line 0x" << std::hex << l
+                << " not in the shared LLC (inclusion broken)";
+        }
+        EXPECT_LE(h.core(c).dcache().validLineCount(), 64u);
+    }
+}
+
+// ---------------------------------------------------------------
+// Deterministic replay.
+// ---------------------------------------------------------------
+
+/** Final counter + directory state of a false-sharing stress run
+ *  (all cores hammering disjoint bytes of the same lines). */
+uint64_t
+falseSharingDigest(unsigned n, uint64_t seed)
+{
+    CoherentHarness h(n);
+    Rng rng(seed);
+    const Addr base = 0x300000;
+    const unsigned kLines = 4;
+    for (unsigned step = 0; step < 800; ++step) {
+        unsigned c = (unsigned)rng.nextBounded(n);
+        // Each core owns byte slot c*8 of every line: classic false
+        // sharing — no data races, maximal ping-pong.
+        Addr a = base + rng.nextBounded(kLines) * h.params.lineSize +
+                 c * 8;
+        if (rng.nextBounded(2) == 0)
+            h.store(c, a);
+        else
+            h.load(c, a);
+        h.expectSingleWriter(a);
+    }
+    uint64_t d = kFnvSeed;
+    for (unsigned c = 0; c < n; ++c) {
+        std::vector<double> snap = h.regs[c]->snapshot();
+        d = hashDoubles(d, snap.data(), snap.size());
+    }
+    std::vector<double> uncore = h.uncoreReg.snapshot();
+    d = hashDoubles(d, uncore.data(), uncore.size());
+    for (unsigned l = 0; l < kLines; ++l) {
+        Addr a = base + l * h.params.lineSize;
+        d = hashU64(d, (uint64_t)(int64_t)h.shared.owner(a));
+        d = hashU64(d, h.shared.sharers(a));
+        d = hashU64(d, h.shared.version(a));
+    }
+    return d;
+}
+
+TEST(Coherence, FalseSharingStressReplaysDeterministically)
+{
+    for (unsigned n = 2; n <= 4; ++n) {
+        EXPECT_EQ(falseSharingDigest(n, 1234),
+                  falseSharingDigest(n, 1234))
+            << n << "-core replay diverged";
+        // And the seed is load-bearing, not ignored.
+        EXPECT_NE(falseSharingDigest(n, 1234),
+                  falseSharingDigest(n, 5678));
+    }
+}
+
+// ---------------------------------------------------------------
+// Scenario registry.
+// ---------------------------------------------------------------
+
+TEST(Scenarios, RegistryListsAndBuilds)
+{
+    const auto names = ScenarioRegistry::names();
+    ASSERT_GE(names.size(), 4u);
+    EXPECT_TRUE(
+        ScenarioRegistry::isRegistered("cross-core-prime-probe"));
+    EXPECT_FALSE(ScenarioRegistry::isRegistered("nope"));
+    for (const auto &name : names) {
+        const CrossCoreScenario &s = ScenarioRegistry::get(name);
+        EXPECT_EQ(s.name, name);
+        ScenarioStreams streams =
+            ScenarioRegistry::build(s, 4, 7, 2000);
+        EXPECT_EQ(streams.streams.size(), 4u);
+        EXPECT_EQ(streams.raw().size(), 4u);
+        for (const auto &st : streams.streams)
+            EXPECT_NE(st, nullptr);
+    }
+}
+
+TEST(Scenarios, BenignCoresidentHasNoAttacker)
+{
+    const CrossCoreScenario &s =
+        ScenarioRegistry::get("benign-coresident");
+    EXPECT_TRUE(s.attacker.empty());
+    const CrossCoreScenario &pp =
+        ScenarioRegistry::get("cross-core-prime-probe");
+    EXPECT_EQ(pp.attacker, "prime-probe");
+}
+
+// ---------------------------------------------------------------
+// Cross-core gated scenario: detection + thread-count determinism.
+// ---------------------------------------------------------------
+
+/** One trained quick-scale detector shared by the scenario tests
+ *  (training dominates the suite's runtime; do it once). */
+const ExperimentSetup &
+scenarioSetup()
+{
+    static const ExperimentSetup *setup = [] {
+        auto *s = new ExperimentSetup(
+            buildExperiment(ExperimentScale::quick(), 7));
+        const CrossCoreScenario &pp =
+            ScenarioRegistry::get("cross-core-prime-probe");
+        std::vector<std::string> tenants;
+        tenants.push_back(pp.victim);
+        for (const auto &kernel : pp.noise)
+            tenants.push_back(kernel);
+        CoreParams params;
+        calibrateGateThreshold(*s->evax, tenants, s->profile,
+                               params, 1000, 1007, 120000);
+        return s;
+    }();
+    return *setup;
+}
+
+MultiGatedResult
+runPrimeProbeScenario()
+{
+    const ExperimentSetup &setup = scenarioSetup();
+    MultiGatedConfig cfg;
+    cfg.numCores = 2;
+    cfg.gate = false; // monitor: measure detection unmitigated
+    cfg.maxInstsPerCore = 60000;
+    cfg.profile = setup.profile;
+    ScenarioStreams streams = ScenarioRegistry::build(
+        ScenarioRegistry::get("cross-core-prime-probe"), 2, 7,
+        120000);
+    std::vector<InstStream *> raw = streams.raw();
+    return runGatedMultiCore(raw, *setup.evax, cfg);
+}
+
+/** The acceptance gate: the co-resident Prime+Probe attacker is
+ *  flagged by core 0's per-core detector while the benign victim's
+ *  detector on core 1 stays quiet. */
+TEST(CrossCoreScenario, PrimeProbeDetectedVictimClean)
+{
+    MultiGatedResult res = runPrimeProbeScenario();
+    ASSERT_EQ(res.cores.size(), 2u);
+    ASSERT_FALSE(res.cores[0].windows.empty());
+    ASSERT_FALSE(res.cores[1].windows.empty());
+    EXPECT_GE(res.cores[0].flagRate(), 0.80)
+        << "attacker core under-detected";
+    EXPECT_LE(res.cores[1].flagRate(), 0.05)
+        << "benign victim core over-flagged";
+}
+
+/** FlaggedCore gating arms only the attacker's core; the victim
+ *  keeps performance mode for the whole run. */
+TEST(CrossCoreScenario, GateArmsOnlyFlaggedCore)
+{
+    const ExperimentSetup &setup = scenarioSetup();
+    MultiGatedConfig cfg;
+    cfg.numCores = 2;
+    cfg.maxInstsPerCore = 30000;
+    cfg.profile = setup.profile;
+    ScenarioStreams streams = ScenarioRegistry::build(
+        ScenarioRegistry::get("cross-core-prime-probe"), 2, 7,
+        120000);
+    std::vector<InstStream *> raw = streams.raw();
+    MultiGatedResult res =
+        runGatedMultiCore(raw, *setup.evax, cfg);
+    EXPECT_GE(res.cores[0].activations, 1u);
+    EXPECT_GT(res.cores[0].secureInsts, 0u);
+    EXPECT_EQ(res.cores[1].activations, 0u);
+    EXPECT_EQ(res.cores[1].secureInsts, 0u);
+}
+
+/** Serial and 4-thread runs must serialize the identical per-core
+ *  window CSV, pinned by digest (the tsan tier runs this under
+ *  ThreadSanitizer). */
+TEST(CrossCoreScenario, WindowCsvIdenticalAtAnyThreadCount)
+{
+    setGlobalThreadCount(1);
+    MultiGatedResult serial = runPrimeProbeScenario();
+    setGlobalThreadCount(4);
+    MultiGatedResult threaded = runPrimeProbeScenario();
+    setGlobalThreadCount(defaultThreadCount());
+
+    const std::string serial_csv = serial.windowCsv();
+    EXPECT_EQ(serial_csv, threaded.windowCsv());
+    EXPECT_EQ(serial.windowCsvDigest(), threaded.windowCsvDigest());
+    // CSV shape: RFC-4180 CRLF rows, header + one row per window.
+    ASSERT_GE(serial_csv.size(), 2u);
+    EXPECT_EQ(serial_csv.substr(serial_csv.size() - 2), "\r\n");
+    EXPECT_EQ(serial_csv.find("core,window,instCount,score,flag"),
+              0u);
+    expectDigest(serial.windowCsvDigest(), 0x2f0ba77c01f59c8bULL,
+                 "cross-core-prime-probe windowCsv");
+}
+
+#else // EVAX_MUTATION_ACTIVE: the seeded-bug detection build.
+
+/**
+ * EVAX_MUTATION_DROP_INVALIDATE drops the store-side invalidation
+ * messages (src/sim/coherence.cc). The unmutated suite's stale-read
+ * assertions must go red on such a build — this test proves the
+ * failure mode is the one the tier is designed to catch: the remote
+ * L1 keeps hitting on a stale copy whose observed version is behind
+ * the line's coherent-store version.
+ */
+TEST(CoherenceMutation, DropInvalidateIsCaughtAsStaleRead)
+{
+    CoherentHarness h(2);
+    const Addr L = 0x51000;
+
+    h.load(0, L);
+    EXPECT_TRUE(h.core(0).dcache().probe(L));
+
+    h.store(1, L);
+    // The bug: core 0's copy survived the remote store...
+    EXPECT_TRUE(h.core(0).dcache().probe(L))
+        << "mutation inactive? invalidation reached the L1";
+    // ...and its next load hits stale, observing an old version.
+    h.load(0, L);
+    EXPECT_LT(h.core(0).lastLoadVersion(), h.shared.version(L))
+        << "stale read not observable - the tier would miss a "
+           "dropped invalidation";
+    // The directory itself was updated (the bug is in the message,
+    // not the bookkeeping), so the invariant the normal suite
+    // checks is exactly what fires.
+    EXPECT_EQ(h.shared.owner(L), 1);
+}
+
+#endif // EVAX_MUTATION_ACTIVE
+
+} // namespace
+} // namespace evax

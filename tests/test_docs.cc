@@ -473,3 +473,68 @@ TEST(Docs, CountersCatalogMatchesFeatureRegistry)
             << " out of sync with FeatureCatalog order";
     }
 }
+
+TEST(Docs, MultiCoreCoherenceSectionAnchorsItsContract)
+{
+    // DESIGN.md §11 is the written contract for the multi-core
+    // machine: the MESI directory semantics, the N=1
+    // byte-identity tentpole, and the coherence test tier all hang
+    // off it. Pin the anchor and the load-bearing references in
+    // DESIGN.md, docs/TESTING.md and docs/COUNTERS.md so none of
+    // them can silently rot or be renamed away.
+    MarkdownFile design;
+    design.relPath = "DESIGN.md";
+    ASSERT_TRUE(readLines(
+        std::string(EVAX_SOURCE_DIR) + "/DESIGN.md", design.lines));
+    EXPECT_TRUE(collectAnchors(design).count(
+        "11-multi-core-and-coherence"))
+        << "DESIGN.md must keep the '## 11. Multi-core and "
+           "coherence' heading";
+
+    std::string body;
+    for (const std::string &line : design.lines)
+        body += line + "\n";
+    for (const char *required :
+         {"src/sim/coherence.hh", "src/sim/multicore.hh",
+          "back-invalidate", "Cache::residentLines",
+          "lastLoadVersion", "CounterMirror",
+          "tests/test_coherence.cc", "test_mut_drop_invalidate",
+          "EVAX_MUTATION_DROP_INVALIDATE", "evax_multicore",
+          "calibrateGateThreshold", "GateScope::FlaggedCore",
+          "byte-identical", "multicore-smoke"}) {
+        EXPECT_NE(body.find(required), std::string::npos)
+            << "DESIGN.md multi-core section lost reference to '"
+            << required << "'";
+    }
+
+    std::vector<std::string> testing_lines;
+    ASSERT_TRUE(readLines(
+        std::string(EVAX_SOURCE_DIR) + "/docs/TESTING.md",
+        testing_lines));
+    std::string testing_body;
+    for (const std::string &line : testing_lines)
+        testing_body += line + "\n";
+    for (const char *required :
+         {"-L coherence", "tests/test_coherence.cc",
+          "test_mut_drop_invalidate", "evax_multicore",
+          "multicore-smoke"}) {
+        EXPECT_NE(testing_body.find(required), std::string::npos)
+            << "docs/TESTING.md lost reference to '" << required
+            << "'";
+    }
+
+    std::vector<std::string> counters_lines;
+    ASSERT_TRUE(readLines(
+        std::string(EVAX_SOURCE_DIR) + "/docs/COUNTERS.md",
+        counters_lines));
+    std::string counters_body;
+    for (const std::string &line : counters_lines)
+        counters_body += line + "\n";
+    for (const char *required :
+         {"Per-core naming", "`core<i>.`", "`shared.`",
+          "CounterMirror", "coh.*"}) {
+        EXPECT_NE(counters_body.find(required), std::string::npos)
+            << "docs/COUNTERS.md lost reference to '" << required
+            << "'";
+    }
+}

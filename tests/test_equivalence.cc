@@ -82,6 +82,57 @@ TEST(EquivalenceEvent, DefenseDigestsMatchTickPins)
     }
 }
 
+/** The MultiCore driver at N=1 in event-driven mode: the global
+ *  idle-skip loop must still land on every tick-loop pin. */
+TEST(EquivalenceEvent, MultiCoreSingleCoreMatchesTickPins)
+{
+    size_t count = 0;
+    const CoreCase *cases = goldenCoreCases(count);
+    ASSERT_EQ(count, 22u);
+    for (size_t i = 0; i < count; ++i) {
+        const CoreCase &c = cases[i];
+        std::string label = std::string("multicore-n1-event/") +
+                            c.stream + "/mode" +
+                            std::to_string((int)c.mode);
+        expectDigest(multiCoreRunDigest(c.stream, c.attack, c.mode,
+                                        eventParams()),
+                     c.pinned, label.c_str());
+    }
+}
+
+/** Digest a 2-core coherent run: both cores' registries, the shared
+ *  uncore registry, and both SimResults. */
+uint64_t
+twoCoreDigest(const CoreParams &params)
+{
+    MultiCoreParams mp;
+    mp.numCores = 2;
+    mp.core = params;
+    MultiCore machine(mp);
+    auto a = AttackRegistry::create("prime-probe", 3, 6000);
+    auto b = WorkloadRegistry::create("compress", 4, 6000);
+    std::vector<InstStream *> streams{a.get(), b.get()};
+    std::vector<SimResult> res = machine.run(streams);
+    uint64_t h = kFnvSeed;
+    for (unsigned i = 0; i < machine.numCores(); ++i) {
+        std::vector<double> snap = machine.counters(i).snapshot();
+        h = hashDoubles(h, snap.data(), snap.size());
+        h = hashSimResult(h, res[i]);
+    }
+    std::vector<double> uncore = machine.uncoreCounters().snapshot();
+    h = hashDoubles(h, uncore.data(), uncore.size());
+    return h;
+}
+
+/** Event-driven mode on the 2-core coherent machine must reproduce
+ *  the tick-loop run bit for bit — the multi-core extension of the
+ *  execution-mode contract. */
+TEST(EquivalenceEvent, TwoCoreCoherentDigestsMatchAcrossModes)
+{
+    EXPECT_EQ(twoCoreDigest(CoreParams()),
+              twoCoreDigest(eventParams()));
+}
+
 /** The fig15 third-row corpus, collected on event-driven cores. */
 TEST(EquivalenceEvent, Interval100CorpusDigest)
 {

@@ -113,6 +113,24 @@ TEST(GoldenCore, CounterDigestsDefenseModes)
     }
 }
 
+/** The MultiCore driver at N=1 (private uncore, lockstep driver)
+ *  must reproduce every pinned tick-loop digest bit for bit. */
+TEST(GoldenCore, MultiCoreSingleCoreMatchesAllPins)
+{
+    size_t count = 0;
+    const CoreCase *cases = goldenCoreCases(count);
+    ASSERT_EQ(count, 22u);
+    for (size_t i = 0; i < count; ++i) {
+        const CoreCase &c = cases[i];
+        CoreParams params;
+        std::string label = std::string("multicore-n1/") + c.stream +
+                            "/mode" + std::to_string((int)c.mode);
+        expectDigest(
+            multiCoreRunDigest(c.stream, c.attack, c.mode, params),
+            c.pinned, label.c_str());
+    }
+}
+
 /** The fig15 third-row configuration: 100-instruction sampling. */
 TEST(GoldenCore, Interval100CorpusDigest)
 {

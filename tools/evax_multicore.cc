@@ -1,0 +1,292 @@
+/**
+ * @file
+ * evax_multicore: cross-core attack scenario driver on the coherent
+ * multi-core machine (docs/TESTING.md "coherence" tier,
+ * DESIGN.md multi-core section).
+ *
+ *   evax_multicore [flags]
+ *
+ *     --scenario NAME    cross-core scenario (default
+ *                        cross-core-prime-probe); --list shows all
+ *     --cores N          machine width, >= 2 (default 2)
+ *     --length N         per-core stream length (default 120000)
+ *     --insts N          per-core commit budget (default 60000)
+ *     --interval N       detector window interval (default 1000)
+ *     --seed S           scenario base seed (default 7)
+ *     --scope M          gate scope: flagged|all (default flagged)
+ *     --no-gate          monitor only: score windows, never arm
+ *     --full             standard experiment scale (default quick)
+ *     --out FILE.csv     per-core window CSV (RFC-4180, with the
+ *                        FNV-1a digest printed for pinning)
+ *     --timeline FILE.json  per-core flag/dwell timeline
+ *     --check            exit 1 unless the scenario gates hold:
+ *                        attacker scenarios need core 0 detection
+ *                        >= 0.80 and core 1 (benign victim) FP
+ *                        <= 0.05; benign scenarios need FP <= 0.05
+ *                        on every core. Implies --no-gate so the
+ *                        detection rate is measured unmitigated.
+ *     --threads N/--serial  thread-pool width (the window CSV is
+ *                        byte-identical at any setting)
+ *     --list             print scenario names and exit
+ *
+ * Exit codes: 0 ok, 1 --check gate failed, 2 usage error.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "attacks/scenarios.hh"
+#include "bench/bench_util.hh"
+#include "core/endtoend.hh"
+#include "core/experiment.hh"
+#include "util/timeline.hh"
+
+using namespace evax;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: evax_multicore [--scenario NAME]"
+              << " [--cores N] [--length N]\n"
+              << "       [--insts N] [--interval N] [--seed S]\n"
+              << "       [--scope flagged|all] [--no-gate]"
+              << " [--full]\n"
+              << "       [--out FILE.csv] [--timeline FILE.json]\n"
+              << "       [--check] [--threads N|--serial] [--list]\n";
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchObservability obs(argc, argv);
+    configureBenchThreads(argc, argv);
+
+    std::string scenario_name = "cross-core-prime-probe";
+    MultiGatedConfig cfg;
+    cfg.maxInstsPerCore = 60000;
+    uint64_t length = 120000;
+    uint64_t seed = 7;
+    ExperimentScale scale = ExperimentScale::quick();
+    std::string out_csv;
+    std::string timeline_out;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--scenario") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            scenario_name = v;
+        } else if (arg == "--cores") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.numCores = (unsigned)std::strtoul(v, nullptr, 10);
+        } else if (arg == "--length") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            length = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--insts") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.maxInstsPerCore = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--interval") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.sampleInterval = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--seed") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            seed = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--scope") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            std::string s = v;
+            if (s == "flagged") {
+                cfg.gateScope = GateScope::FlaggedCore;
+            } else if (s == "all") {
+                cfg.gateScope = GateScope::AllCores;
+            } else {
+                std::cerr << "evax_multicore: bad --scope '" << s
+                          << "'\n";
+                return usage();
+            }
+        } else if (arg == "--no-gate") {
+            cfg.gate = false;
+        } else if (arg == "--full") {
+            scale = ExperimentScale::standard();
+        } else if (arg == "--out") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            out_csv = v;
+        } else if (arg == "--timeline") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            timeline_out = v;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--list") {
+            for (const auto &name : ScenarioRegistry::names()) {
+                const auto &s = ScenarioRegistry::get(name);
+                std::cout << name << ": " << s.description << "\n";
+            }
+            return 0;
+        } else if (arg == "--serial" || arg == "--threads" ||
+                   arg == "--trace" || arg == "--trace-out" ||
+                   arg == "--stats-out" || arg == "--manifest-out") {
+            // Handled by configureBenchThreads/BenchObservability;
+            // skip their value.
+            if (arg != "--serial")
+                ++i;
+        } else {
+            std::cerr << "evax_multicore: unknown flag '" << arg
+                      << "'\n";
+            return usage();
+        }
+    }
+    if (!ScenarioRegistry::isRegistered(scenario_name)) {
+        std::cerr << "evax_multicore: unknown scenario '"
+                  << scenario_name << "' (--list shows all)\n";
+        return usage();
+    }
+    if (cfg.numCores < 2) {
+        std::cerr << "evax_multicore: --cores must be >= 2\n";
+        return usage();
+    }
+    if (check)
+        cfg.gate = false;
+
+    const CrossCoreScenario &scenario =
+        ScenarioRegistry::get(scenario_name);
+    obs.manifest().addSeed(seed);
+    obs.manifest().setConfig("scenario", scenario_name);
+    obs.manifest().setConfig("cores", (uint64_t)cfg.numCores);
+    obs.manifest().setConfig("length", length);
+    obs.manifest().setConfig("insts_per_core",
+                             cfg.maxInstsPerCore);
+    obs.manifest().setConfig("sample_interval",
+                             cfg.sampleInterval);
+
+    ExperimentSetup setup;
+    {
+        ScopedPhaseTimer timer("train");
+        setup = buildExperiment(scale, seed);
+    }
+    cfg.profile = setup.profile;
+    cfg.stats = obs.stats();
+
+    // Deployment operating point: calibrate the threshold against
+    // the scenario's benign tenant mix (victim + noise kernels).
+    std::vector<std::string> tenants;
+    tenants.push_back(scenario.victim);
+    for (const auto &kernel : scenario.noise) {
+        if (std::find(tenants.begin(), tenants.end(), kernel) ==
+            tenants.end())
+            tenants.push_back(kernel);
+    }
+    double threshold;
+    {
+        ScopedPhaseTimer timer("calibrate");
+        threshold = calibrateGateThreshold(
+            *setup.evax, tenants, setup.profile, cfg.coreParams,
+            cfg.sampleInterval, seed + 1000, length);
+    }
+    std::cout << "[calibrated threshold: " << threshold << " over "
+              << tenants.size() << " tenant kernels]\n";
+    std::cout << "[detector: " << setup.evax->name()
+              << ", scenario: " << scenario_name << " ("
+              << (scenario.attacker.empty() ? "benign"
+                                            : scenario.attacker)
+              << " vs " << scenario.victim << "), cores: "
+              << cfg.numCores << "]\n";
+
+    Timeline timeline;
+    if (!timeline_out.empty())
+        cfg.timeline = &timeline;
+
+    MultiGatedResult res;
+    {
+        ScopedPhaseTimer timer("scenario");
+        ScenarioStreams streams = ScenarioRegistry::build(
+            scenario, cfg.numCores, seed, length);
+        std::vector<InstStream *> raw = streams.raw();
+        res = runGatedMultiCore(raw, *setup.evax, cfg);
+    }
+
+    for (size_t c = 0; c < res.cores.size(); ++c) {
+        const CoreGatedResult &cr = res.cores[c];
+        const double ipc =
+            cr.sim.cycles
+                ? (double)cr.sim.committedInsts / cr.sim.cycles
+                : 0.0;
+        std::cout << "core" << c << ": windows="
+                  << cr.windows.size() << " flags=" << cr.flags
+                  << " flagRate=" << cr.flagRate()
+                  << " activations=" << cr.activations
+                  << " secureInsts=" << cr.secureInsts
+                  << " ipc=" << ipc << "\n";
+    }
+    std::cout << "[windowCsvDigest: 0x" << std::hex
+              << res.windowCsvDigest() << std::dec << "]\n";
+
+    if (!out_csv.empty()) {
+        std::ofstream f(out_csv, std::ios::binary);
+        if (f) {
+            f << res.windowCsv();
+            std::cout << "[saved " << out_csv << "]\n";
+            obs.manifest().addArtifact(out_csv);
+        }
+    }
+    if (!timeline_out.empty() && timeline.saveJson(timeline_out)) {
+        std::cout << "[timeline: " << timeline_out << "]\n";
+        obs.manifest().addArtifact(timeline_out);
+    }
+
+    if (check) {
+        const bool has_attacker = !scenario.attacker.empty();
+        bool ok = true;
+        for (size_t c = 0; c < res.cores.size(); ++c) {
+            const CoreGatedResult &cr = res.cores[c];
+            if (cr.windows.empty()) {
+                ok = false;
+                continue;
+            }
+            if (has_attacker && c == 0)
+                ok = ok && cr.flagRate() >= 0.80;
+            else
+                ok = ok && cr.flagRate() <= 0.05;
+        }
+        std::cout << "[check: ";
+        if (has_attacker) {
+            std::cout << "core0 detection="
+                      << res.cores[0].flagRate() << " core1 fp="
+                      << res.cores[1].flagRate();
+        } else {
+            std::cout << "benign fp core0="
+                      << res.cores[0].flagRate();
+        }
+        std::cout << " -> " << (ok ? "PASS" : "FAIL") << "]\n";
+        if (!ok)
+            return 1;
+    }
+    return 0;
+}
