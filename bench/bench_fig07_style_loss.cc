@@ -47,8 +47,9 @@ main(int argc, char **argv)
     // timeline fig07_timeline.json).
     Timeline training;
     appendTrainingTimeline(vr, training);
-    if (training.saveJson("fig07_timeline.json"))
-        obs.manifest().addArtifact("fig07_timeline.json");
+    const std::string tl_json = artifactPath("fig07_timeline.json");
+    if (training.saveJson(tl_json))
+        obs.manifest().addArtifact(tl_json);
     obs.manifest().addSeed(scale.vaccination.seed);
 
     double first = vr.styleLossHistory.front();

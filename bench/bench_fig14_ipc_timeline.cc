@@ -119,13 +119,18 @@ main(int argc, char **argv)
         auto stream = WorkloadRegistry::create(
             WorkloadRegistry::names().front(), 5, run_len);
         runGated(*stream, *setup.evax, cfg);
-        if (tl.saveCsv("fig14_timeline.csv"))
-            obs.manifest().addArtifact("fig14_timeline.csv");
-        if (tl.saveJson("fig14_timeline.json"))
-            obs.manifest().addArtifact("fig14_timeline.json");
-        if (savePerfetto("fig14_perfetto.json", tl,
-                         trace::snapshot()))
-            obs.manifest().addArtifact("fig14_perfetto.json");
+        const std::string tl_csv =
+            artifactPath("fig14_timeline.csv");
+        const std::string tl_json =
+            artifactPath("fig14_timeline.json");
+        const std::string perfetto =
+            artifactPath("fig14_perfetto.json");
+        if (tl.saveCsv(tl_csv))
+            obs.manifest().addArtifact(tl_csv);
+        if (tl.saveJson(tl_json))
+            obs.manifest().addArtifact(tl_json);
+        if (savePerfetto(perfetto, tl, trace::snapshot()))
+            obs.manifest().addArtifact(perfetto);
     }
 
     // Execution-mode identity: the per-window IPC series (and every
@@ -187,8 +192,10 @@ main(int argc, char **argv)
                             "timeline points in its skipped region\n"
                           : "MODE WARNING: fast-forward leaked "
                             "points into the skipped region\n");
-        if (ff_tl.saveCsv("fig14_timeline_ff.csv"))
-            obs.manifest().addArtifact("fig14_timeline_ff.csv");
+        const std::string ff_csv =
+            artifactPath("fig14_timeline_ff.csv");
+        if (ff_tl.saveCsv(ff_csv))
+            obs.manifest().addArtifact(ff_csv);
     }
 
     std::cout << "relative IPC (vs. unprotected, mean): "

@@ -13,6 +13,7 @@
 #include "bench/bench_util.hh"
 #include "core/endtoend.hh"
 #include "core/experiment.hh"
+#include "sim/cpi_stack.hh"
 #include "util/stats.hh"
 
 using namespace evax;
@@ -25,6 +26,22 @@ struct Policy
     const char *label;
     DefenseMode mode;
 };
+
+/** Per-bucket CPI (cycles per committed inst) row for one config. */
+void
+addCpiRow(Table &t, const std::string &mitigation,
+          const std::string &config, const CpiStack &stack,
+          uint64_t insts)
+{
+    std::vector<std::string> row{mitigation, config};
+    double denom = insts ? (double)insts : 1.0;
+    for (size_t b = 0; b < kNumCpiBuckets; ++b) {
+        row.push_back(Table::fmt(
+            (double)stack.value((CpiBucket)b) / denom, 4));
+    }
+    row.push_back(Table::fmt((double)stack.cycles() / denom, 4));
+    t.addRow(row);
+}
 
 } // anonymous namespace
 
@@ -54,18 +71,48 @@ main(int argc, char **argv)
 
     Table t({"mitigation", "always_on_ovh", "evax_gated_ovh",
              "reduction", "gated_flag_rate"});
+    std::vector<std::string> cpi_header{"mitigation", "config"};
+    for (size_t b = 0; b < kNumCpiBuckets; ++b)
+        cpi_header.push_back(cpiBucketName((CpiBucket)b));
+    cpi_header.push_back("total_cpi");
+    Table cpi_table(cpi_header);
+
+    // Defense-off baseline, shared by every policy: per-workload
+    // IPC for the overhead ratios plus the summed CPI stack for the
+    // decomposition table.
+    std::vector<double> base_ipc;
+    CpiStack off_stack;
+    uint64_t off_insts = 0;
+    {
+        ScopedPhaseTimer phase("overhead.baseline");
+        for (const auto &name : WorkloadRegistry::names()) {
+            auto wl = WorkloadRegistry::create(name, 5, run_len);
+            CpiStack s;
+            SimResult r = runPlain(*wl, DefenseMode::None,
+                                   CoreParams(), &s);
+            base_ipc.push_back(r.ipc());
+            off_stack.merge(s);
+            off_insts += r.committedInsts;
+        }
+    }
+    addCpiRow(cpi_table, "-", "off", off_stack, off_insts);
 
     for (const Policy &p : policies) {
         ScopedPhaseTimer phase(std::string("overhead.") + p.label);
         std::vector<double> always, gated, flag_rates;
+        CpiStack on_stack, gated_stack;
+        uint64_t on_insts = 0, gated_insts = 0;
+        size_t wi = 0;
         for (const auto &name : WorkloadRegistry::names()) {
-            auto base_wl = WorkloadRegistry::create(name, 5, run_len);
-            double base = runPlain(*base_wl, DefenseMode::None)
-                              .ipc();
+            double base = base_ipc[wi++];
 
             auto on_wl = WorkloadRegistry::create(name, 5, run_len);
-            double on = runPlain(*on_wl, p.mode).ipc();
-            always.push_back(base / on - 1.0);
+            CpiStack on_s;
+            SimResult on_r = runPlain(*on_wl, p.mode, CoreParams(),
+                                      &on_s);
+            always.push_back(base / on_r.ipc() - 1.0);
+            on_stack.merge(on_s);
+            on_insts += on_r.committedInsts;
 
             GatedRunConfig cfg;
             cfg.profile = setup.profile;
@@ -73,11 +120,15 @@ main(int argc, char **argv)
             cfg.adaptive.secureMode = p.mode;
             cfg.adaptive.secureWindowInsts = 1000000;
             cfg.stats = obs.stats();
+            CpiStack gate_s;
+            cfg.cpiStack = &gate_s;
             auto gate_wl = WorkloadRegistry::create(name, 5,
                                                     run_len);
             GatedRunResult g = runGated(*gate_wl, *setup.evax, cfg);
             gated.push_back(base / g.sim.ipc() - 1.0);
             flag_rates.push_back(g.flagRate());
+            gated_stack.merge(gate_s);
+            gated_insts += g.sim.committedInsts;
         }
         double a = mean(always);
         double g = mean(gated);
@@ -85,10 +136,18 @@ main(int argc, char **argv)
         t.addRow({p.label, Table::pct(a), Table::pct(g),
                   Table::pct(reduction), Table::fmt(
                       mean(flag_rates), 4)});
+        addCpiRow(cpi_table, p.label, "always_on", on_stack,
+                  on_insts);
+        addCpiRow(cpi_table, p.label, "evax_gated", gated_stack,
+                  gated_insts);
     }
     emitResult(t, "fig16_overhead",
                "Always-on vs EVAX-gated mitigation overhead "
                "(geomean over the 12 benign kernels)");
+    emitResult(cpi_table, "fig16_cpi_stack",
+               "Where the overhead cycles go: per-bucket CPI, "
+               "summed over the benign kernels (docs/METRICS.md "
+               "CPI-stack buckets)");
 
     // Security side: under gating, attacks must still be stopped.
     ScopedPhaseTimer security_phase("security.gatedAttacks");

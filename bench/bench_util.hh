@@ -12,11 +12,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <mutex>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -135,13 +137,27 @@ noteArtifact(const std::string &path)
 
 } // namespace bench_detail
 
-/** Print the table and save it as <name>.csv. */
+/**
+ * Where bench/tool outputs land: ./artifacts/<name>, created on
+ * demand. Keeps regenerated CSVs, timelines and manifests out of
+ * the repo root (the whole directory is gitignored; CI uploads
+ * from here).
+ */
+inline std::string
+artifactPath(const std::string &name)
+{
+    std::error_code ec;
+    std::filesystem::create_directories("artifacts", ec);
+    return "artifacts/" + name;
+}
+
+/** Print the table and save it as artifacts/<name>.csv. */
 inline void
 emitResult(Table &table, const std::string &name,
            const std::string &title)
 {
     table.print(std::cout, title);
-    std::string path = name + ".csv";
+    std::string path = artifactPath(name + ".csv");
     if (table.saveCsv(path)) {
         std::cout << "[saved " << path << "]\n\n";
         bench_detail::noteArtifact(path);
@@ -254,7 +270,8 @@ reportPhases(std::ostream &os)
  *   --stats-out FILE            dump the stats registry (.json for
  *                               JSON, anything else for text)
  *   --manifest-out FILE         provenance manifest path (default
- *                               manifest.json; "-" disables)
+ *                               artifacts/manifest.json; "-"
+ *                               disables)
  *
  * Construct once at the top of main(); the destructor prints the
  * phase report and writes the requested dumps plus the run
@@ -337,8 +354,11 @@ class BenchObservability
                 for (const auto &p : bench_detail::artifactLog())
                     manifest_.addArtifact(p);
             }
-            if (manifest_.save(manifestOut_))
-                std::cout << "[manifest: " << manifestOut_ << "]\n";
+            std::string path = manifestOut_.empty()
+                                   ? artifactPath("manifest.json")
+                                   : manifestOut_;
+            if (manifest_.save(path))
+                std::cout << "[manifest: " << path << "]\n";
         }
     }
 
@@ -352,7 +372,8 @@ class BenchObservability
   private:
     std::string traceOut_;
     std::string statsOut_;
-    std::string manifestOut_ = "manifest.json";
+    /** Empty = the artifacts/manifest.json default. */
+    std::string manifestOut_;
     RunManifest manifest_;
 };
 

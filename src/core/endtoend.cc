@@ -8,6 +8,7 @@
 #include "detect/evax_detector.hh"
 #include "hpc/sampler.hh"
 #include "util/log.hh"
+#include "util/metrics.hh"
 #include "util/statreg.hh"
 #include "util/trace.hh"
 
@@ -73,6 +74,8 @@ runGated(InstStream &stream, Detector &detector,
     Sampler sampler(reg, config.sampleInterval);
     sampler.setNormalizeEnabled(false);
     core.attachSampler(&sampler);
+    if (config.cpiStack)
+        core.attachCpiStack(config.cpiStack);
 
     AdaptiveController controller(core, config.adaptive);
 
@@ -98,6 +101,8 @@ runGated(InstStream &stream, Detector &detector,
             "entries");
         config.timeline->series("detector.score", "score");
         config.timeline->series("detector.verdict", "flag");
+        if (config.cpiStack)
+            config.cpiStack->registerTimeline(*tsampler);
         core.attachTimelineSampler(tsampler.get());
         controller.attachTimeline(config.timeline);
     }
@@ -149,11 +154,13 @@ runGated(InstStream &stream, Detector &detector,
 
 SimResult
 runPlain(InstStream &stream, DefenseMode mode,
-         const CoreParams &params)
+         const CoreParams &params, CpiStack *cpi)
 {
     CounterRegistry reg;
     O3Core core(params, reg);
     core.setDefenseMode(mode);
+    if (cpi)
+        core.attachCpiStack(cpi);
     return core.run(stream);
 }
 
@@ -201,6 +208,8 @@ runGatedMultiCore(const std::vector<InstStream *> &streams,
     mp.numCores = n;
     mp.core = config.coreParams;
     MultiCore machine(mp);
+    if (config.cpi || config.metrics)
+        machine.enableCpi();
 
     MultiGatedResult result;
     result.cores.resize(n);
@@ -273,6 +282,41 @@ runGatedMultiCore(const std::vector<InstStream *> &streams,
     if (config.stats) {
         machine.regStats(*config.stats);
         gate.regStats(*config.stats);
+    }
+    if (config.metrics) {
+        // Register family-by-family (not core-by-core) so each
+        // exposition family keeps a single HELP/TYPE head.
+        metrics::Registry &m = *config.metrics;
+        auto core_label = [](unsigned i) {
+            return "core=\"" + std::to_string(i) + "\"";
+        };
+        for (unsigned i = 0; i < n; ++i) {
+            m.counter("evax_gate_windows_total",
+                      "Detector windows evaluated.", core_label(i))
+                .inc((uint64_t)result.cores[i].windows.size());
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            m.counter("evax_gate_flags_total",
+                      "Windows the detector flagged.", core_label(i))
+                .inc(result.cores[i].flags);
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            m.counter("evax_gate_activations_total",
+                      "Secure-mode entries armed by the gate.",
+                      core_label(i))
+                .inc(result.cores[i].activations);
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            const CpiStack *cs = machine.cpiStack(i);
+            for (size_t b = 0; b < kNumCpiBuckets; ++b) {
+                m.counter("evax_cpi_cycles_total",
+                          "Cycles attributed to each CPI-stack "
+                          "bucket (docs/METRICS.md).",
+                          core_label(i) + ",bucket=\"" +
+                              cpiBucketName((CpiBucket)b) + "\"")
+                    .inc(cs->value((CpiBucket)b));
+            }
+        }
     }
     return result;
 }

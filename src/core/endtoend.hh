@@ -21,6 +21,10 @@ namespace evax
 {
 
 class StatRegistry;
+namespace metrics
+{
+class Registry;
+}
 
 /** Gated-run configuration. */
 struct GatedRunConfig
@@ -45,6 +49,14 @@ struct GatedRunConfig
     Timeline *timeline = nullptr;
     /** Cadence/subset knobs for the timeline sampler. */
     TimelineSamplerConfig timelineSampler;
+    /**
+     * Optional CPI-stack sink (sim/cpi_stack.hh): when set, every
+     * cycle of the run is attributed to one bucket, the per-window
+     * "cpi.*" delta series land on the timeline (when one is
+     * attached), and the per-run stack is published to `stats`.
+     * Accounting is read-only on simulated state.
+     */
+    CpiStack *cpiStack = nullptr;
 };
 
 /** Result of a gated (or plain) end-to-end run. */
@@ -70,9 +82,12 @@ struct GatedRunResult
 GatedRunResult runGated(InstStream &stream, Detector &detector,
                         const GatedRunConfig &config);
 
-/** Run a stream under an always-on mitigation (or none). */
+/** Run a stream under an always-on mitigation (or none).
+ *  @param cpi optional CPI-stack sink (bench_fig16's decomposed
+ *         overhead report) — attribution only, no behaviour change */
 SimResult runPlain(InstStream &stream, DefenseMode mode,
-                   const CoreParams &params = CoreParams());
+                   const CoreParams &params = CoreParams(),
+                   CpiStack *cpi = nullptr);
 
 /**
  * Per-window detector decisions on a stream (for FP/FN studies):
@@ -119,6 +134,15 @@ struct MultiGatedConfig
     /** Optional timeline: per-core detector flags plus per-core
      *  "coreN.defense.mode" dwell spans. */
     Timeline *timeline = nullptr;
+    /** Enable per-core CPI accounting: "coreN.cpi.*" plus the
+     *  cross-core sum "cpi.*" in `stats`. */
+    bool cpi = false;
+    /**
+     * Optional streaming-metrics sink (util/metrics.hh): per-core
+     * window/flag/activation counters and — with `cpi` on — the
+     * per-core CPI buckets, all Prometheus-exposable.
+     */
+    metrics::Registry *metrics = nullptr;
 };
 
 /** One detector window on one core. */

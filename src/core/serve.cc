@@ -6,6 +6,7 @@
 #include "detect/hardened.hh"
 #include "hpc/features.hh"
 #include "util/log.hh"
+#include "util/metrics.hh"
 #include "util/parallel.hh"
 #include "util/stats.hh"
 #include "util/timeline.hh"
@@ -44,6 +45,91 @@ hexDigest(uint64_t v)
     ss << "0x" << std::hex << v;
     return ss.str();
 }
+
+/**
+ * Streaming-metrics sinks for one replay, registered family-by-
+ * family up front so each exposition family keeps one HELP/TYPE
+ * head. Score and flag-rate families are deterministic: scores come
+ * from the bit-matching sharded kernels, per-chunk local histograms
+ * are filled over the fixed shardRows chunk grid (thread-count
+ * independent) and merged in chunk-index order, and flags are
+ * walked serially — so the exposition is byte-identical at any
+ * thread count. Wall-clock families (batch latency, windows/sec)
+ * only exist when config.timingMetrics is on.
+ */
+struct ServeMetrics
+{
+    metrics::Histogram *scoreBenign = nullptr;
+    metrics::Histogram *scoreAttack = nullptr;
+    metrics::Histogram *rateBenign = nullptr;
+    metrics::Histogram *rateAttack = nullptr;
+    metrics::Histogram *batchSeconds = nullptr;
+    metrics::Counter *windowsBenign = nullptr;
+    metrics::Counter *windowsAttack = nullptr;
+    metrics::Counter *flagsBenign = nullptr;
+    metrics::Counter *flagsAttack = nullptr;
+    metrics::Gauge *windowsPerSec = nullptr;
+
+    // Per-tenant flag accumulation (tenant windows are contiguous
+    // in the stream, so a running count suffices).
+    uint64_t curTenant = ~0ULL;
+    bool curAttack = false;
+    unsigned curFlags = 0;
+
+    ServeMetrics(metrics::Registry &m, const ServeConfig &config)
+    {
+        const char *score_help =
+            "Detector score per replayed window, by tenant class.";
+        scoreBenign = &m.histogram("evax_serve_score", -10, 10,
+                                   score_help, "class=\"benign\"");
+        scoreAttack = &m.histogram("evax_serve_score", -10, 10,
+                                   score_help, "class=\"attack\"");
+        const char *win_help =
+            "Windows replayed, by tenant class.";
+        windowsBenign = &m.counter("evax_serve_windows_total",
+                                   win_help, "class=\"benign\"");
+        windowsAttack = &m.counter("evax_serve_windows_total",
+                                   win_help, "class=\"attack\"");
+        if (config.decisions) {
+            const char *flag_help =
+                "Windows the detector flagged, by tenant class.";
+            flagsBenign = &m.counter("evax_serve_flags_total",
+                                     flag_help, "class=\"benign\"");
+            flagsAttack = &m.counter("evax_serve_flags_total",
+                                     flag_help, "class=\"attack\"");
+            const char *rate_help =
+                "Flagged fraction of each tenant's windows, by "
+                "tenant class.";
+            rateBenign = &m.histogram("evax_serve_tenant_flag_rate",
+                                      -10, 1, rate_help,
+                                      "class=\"benign\"");
+            rateAttack = &m.histogram("evax_serve_tenant_flag_rate",
+                                      -10, 1, rate_help,
+                                      "class=\"attack\"");
+        }
+        if (config.timingMetrics) {
+            batchSeconds = &m.histogram(
+                "evax_serve_batch_score_seconds", -24, 8,
+                "Wall-clock batched-scoring latency per batch "
+                "(machine-dependent).");
+            windowsPerSec = &m.gauge(
+                "evax_serve_windows_per_sec",
+                "Scoring throughput over the whole replay "
+                "(machine-dependent).");
+        }
+    }
+
+    /** Close tenant @p tenant's window run into the rate family. */
+    void
+    finishTenant(const ServeConfig &config)
+    {
+        if (!rateBenign || curTenant == ~0ULL)
+            return;
+        double rate =
+            (double)curFlags / (double)config.windowsPerTenant;
+        (curAttack ? rateAttack : rateBenign)->observe(rate);
+    }
+};
 
 } // anonymous namespace
 
@@ -189,6 +275,10 @@ runServe(const ServeConfig &config, const ServeSetup &setup,
     for (uint64_t t = 0; t < config.tenants; ++t)
         res.attackTenants += tenantIsAttacker(config, t) ? 1 : 0;
 
+    std::unique_ptr<ServeMetrics> sm;
+    if (config.metrics)
+        sm = std::make_unique<ServeMetrics>(*config.metrics, config);
+
     size_t replay_span = 0;
     if (timeline) {
         replay_span =
@@ -220,13 +310,61 @@ runServe(const ServeConfig &config, const ServeSetup &setup,
         stat.flagSeconds = seconds(t2, t3);
         res.scoreDigest = batchDigest(scores.data(), scores.size(),
                                       res.scoreDigest);
+        if (sm) {
+            // Per-chunk local histograms over the same fixed shard
+            // grid the kernels use, merged in chunk-index order:
+            // bucket counts and the running sums land identically
+            // at any thread count.
+            const size_t rows = (size_t)(g1 - g0);
+            const size_t shard =
+                config.shardRows ? config.shardRows : 1;
+            const size_t num_chunks = (rows + shard - 1) / shard;
+            std::vector<metrics::Histogram> benign_h;
+            std::vector<metrics::Histogram> attack_h;
+            for (size_t c = 0; c < num_chunks; ++c) {
+                benign_h.emplace_back(-10, 10);
+                attack_h.emplace_back(-10, 10);
+            }
+            parallelChunks(rows, shard, [&](size_t lo, size_t hi) {
+                size_t c = lo / shard;
+                for (size_t r = lo; r < hi; ++r) {
+                    bool atk = tenantIsAttacker(
+                        config,
+                        (g0 + r) / config.windowsPerTenant);
+                    (atk ? attack_h : benign_h)[c].observe(
+                        scores[r]);
+                }
+            });
+            for (size_t c = 0; c < num_chunks; ++c) {
+                sm->scoreBenign->merge(benign_h[c]);
+                sm->scoreAttack->merge(attack_h[c]);
+            }
+        }
         for (uint64_t g = g0; g < g1; ++g) {
             bool atk = tenantIsAttacker(
                 config, g / config.windowsPerTenant);
             res.attackWindows += atk ? 1 : 0;
-            if (config.decisions && flags[g - g0]) {
+            const bool flagged =
+                config.decisions && flags[g - g0];
+            if (flagged) {
                 ++res.flags;
                 (atk ? res.attackFlags : res.benignFlags) += 1;
+            }
+            if (sm) {
+                uint64_t tenant = g / config.windowsPerTenant;
+                if (tenant != sm->curTenant) {
+                    sm->finishTenant(config);
+                    sm->curTenant = tenant;
+                    sm->curAttack = atk;
+                    sm->curFlags = 0;
+                }
+                (atk ? sm->windowsAttack : sm->windowsBenign)
+                    ->inc();
+                if (flagged) {
+                    (atk ? sm->flagsAttack : sm->flagsBenign)
+                        ->inc();
+                    ++sm->curFlags;
+                }
             }
         }
         if (config.decisions) {
@@ -238,6 +376,8 @@ runServe(const ServeConfig &config, const ServeSetup &setup,
         res.scoreSeconds += stat.scoreSeconds;
         res.flagSeconds += stat.flagSeconds;
         batch_us.push_back(stat.scoreSeconds * 1e6);
+        if (sm && sm->batchSeconds)
+            sm->batchSeconds->observe(stat.scoreSeconds);
         if (timeline) {
             double wps = stat.scoreSeconds > 0.0
                              ? (double)stat.rows /
@@ -259,6 +399,11 @@ runServe(const ServeConfig &config, const ServeSetup &setup,
     if (!batch_us.empty()) {
         res.p50BatchUs = percentile(batch_us, 50.0);
         res.p99BatchUs = percentile(batch_us, 99.0);
+    }
+    if (sm) {
+        sm->finishTenant(config);
+        if (sm->windowsPerSec)
+            sm->windowsPerSec->set(res.windowsPerSec);
     }
     if (timeline) {
         timeline->endSpan(replay_span, res.windows, res.batches);

@@ -38,6 +38,10 @@ namespace evax
 {
 
 class Timeline;
+namespace metrics
+{
+class Registry;
+}
 
 /** Replay-driver configuration. */
 struct ServeConfig
@@ -63,6 +67,18 @@ struct ServeConfig
     uint64_t seed = 42;
     /** Corpus collection + detector training scale. */
     ExperimentScale scale = ExperimentScale::quick();
+    /**
+     * Optional streaming-metrics sink (util/metrics.hh): per-class
+     * score histograms, per-tenant flag-rate histograms and
+     * window/flag counters — all deterministic (byte-identical
+     * exposition at any thread count) — plus, when timingMetrics is
+     * on, wall-clock batch-latency histograms and a windows/sec
+     * gauge (docs/METRICS.md "Serving metrics").
+     */
+    metrics::Registry *metrics = nullptr;
+    /** False drops the wall-clock families from `metrics` so the
+     *  whole exposition stays deterministic (--check mode). */
+    bool timingMetrics = true;
 };
 
 /** Normalized corpus windows split into replay pools. */

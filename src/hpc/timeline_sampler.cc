@@ -29,7 +29,17 @@ TimelineSampler::addGauge(const std::string &series,
                           const std::string &unit)
 {
     timeline_.series(series, unit, false);
-    gauges_.push_back({series, std::move(poll)});
+    gauges_.push_back({series, std::move(poll), false, 0.0});
+}
+
+void
+TimelineSampler::addDeltaGauge(const std::string &series,
+                               std::function<double()> poll,
+                               const std::string &unit)
+{
+    timeline_.series(series, unit, true);
+    double now = poll();
+    gauges_.push_back({series, std::move(poll), true, now});
 }
 
 bool
@@ -64,6 +74,10 @@ TimelineSampler::skipTo(uint64_t inst, uint64_t cycle)
     nextBoundary_ = config_.intervalInsts;
     for (auto &t : tracked_)
         t.last = reg_.value(t.id);
+    for (auto &g : gauges_) {
+        if (g.delta)
+            g.last = g.poll();
+    }
 }
 
 void
@@ -82,8 +96,12 @@ TimelineSampler::closeWindow(uint64_t inst, uint64_t cycle)
                            config_.delta ? now - t.last : now);
         t.last = now;
     }
-    for (const auto &g : gauges_)
-        timeline_.addPoint(g.series, inst, cycle, g.poll());
+    for (auto &g : gauges_) {
+        double now = g.poll();
+        timeline_.addPoint(g.series, inst, cycle,
+                           g.delta ? now - g.last : now);
+        g.last = now;
+    }
     lastInst_ = inst;
     lastCycle_ = cycle;
     ++windows_;

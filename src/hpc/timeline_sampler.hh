@@ -64,6 +64,17 @@ class TimelineSampler
                   const std::string &unit = "");
 
     /**
+     * Register a polled *cumulative* source reported as per-window
+     * deltas: each closed window emits poll() - value at the
+     * previous boundary. This is the Tracked-counter behaviour for
+     * state living outside the CounterRegistry (e.g. the CPI stack,
+     * sim/cpi_stack.hh).
+     */
+    void addDeltaGauge(const std::string &series,
+                       std::function<double()> poll,
+                       const std::string &unit = "");
+
+    /**
      * Advance to @p inst committed instructions at @p cycle.
      * @return true when a window closed (callers may piggyback).
      */
@@ -100,6 +111,8 @@ class TimelineSampler
     {
         std::string series;
         std::function<double()> poll;
+        bool delta = false; ///< report poll() - last, not poll()
+        double last = 0.0;  ///< value at the previous boundary
     };
 
     void closeWindow(uint64_t inst, uint64_t cycle);

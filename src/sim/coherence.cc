@@ -174,9 +174,12 @@ SharedMemory::access(uint32_t core, Addr addr, bool is_write,
     if (sharedUncore_) {
         if (l2r.evicted)
             backInvalidate(lineAddr(l2r.evictedAddr), now);
-        if (allocate)
-            res.latency +=
+        if (allocate) {
+            uint32_t extra =
                 applyCoherence(core, lineAddr(addr), is_write, now);
+            res.latency += extra;
+            res.coherence = extra > 0;
+        }
     }
     return res;
 }

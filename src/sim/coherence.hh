@@ -50,6 +50,9 @@ struct SharedAccessResult
     /** A dirty LLC victim was written back to DRAM (the requesting
      *  core accounts it on its own membus). */
     bool l2Writeback = false;
+    /** The directory lengthened this access (invalidation round or
+     *  owner downgrade) — the CPI stack's coherence bucket. */
+    bool coherence = false;
 };
 
 /** L2/LLC + DRAM + MESI directory shared by N cores. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hpc/timeline_sampler.hh"
+#include "sim/cpi_stack.hh"
 #include "util/log.hh"
 #include "util/statreg.hh"
 #include "util/trace.hh"
@@ -166,6 +167,11 @@ O3Core::resetRunState()
     streamDone_ = false;
     stopRequested_ = false;
     result_ = SimResult();
+    cpiSquashUntil_ = 0;
+    cpiDefenseBlocked_ = false;
+    cpiSkipDefBlocked_ = false;
+    if (cpi_)
+        cpi_->reset(); // each run's stack sums to that run's cycles
 }
 
 bool
@@ -365,6 +371,7 @@ O3Core::issueLoad(RobEntry &e)
     if (invisible)
         ++unexposedInvisible_;
     e.completedFill = !invisible && !lr.hitWriteQueue;
+    e.cohStalled = lr.coherence;
     markIssued(e, cycle_ + std::max<uint32_t>(1, lr.latency));
 
     // Transmission: a secret-dependent access that touches the real
@@ -511,6 +518,9 @@ O3Core::squashFrom(SeqNum from_seq, bool replay_good_path)
 
     fetchStallUntil_ =
         std::max(fetchStallUntil_,
+                 cycle_ + params_.squashRecoveryCycles);
+    cpiSquashUntil_ =
+        std::max(cpiSquashUntil_,
                  cycle_ + params_.squashRecoveryCycles);
     postWake(fetchStallUntil_, WakeSource::FetchStall);
     reg_.inc(ids_->fetchSquashCycles, params_.squashRecoveryCycles);
@@ -801,6 +811,8 @@ O3Core::issueStage()
     reg_.inc(ids_->iqOccupancy, (double)iqOccupancy_);
     reg_.inc(ids_->robOccupancy, (double)rob_.size());
 
+    cpiDefenseBlocked_ = false;
+
     // Early-out: an empty issue window scans (and counts) nothing.
     if (dispatchedCount_ == 0)
         return;
@@ -915,8 +927,10 @@ O3Core::issueStage()
         reg_.inc(ids_->iqIssued);
     }
 
-    if (defense_blocked && issued == 0)
+    if (defense_blocked && issued == 0) {
         reg_.inc(ids_->iewBlockCycles);
+        cpiDefenseBlocked_ = true;
+    }
 }
 
 void
@@ -1223,6 +1237,7 @@ O3Core::idleSkipTarget()
     // is inert now stays inert through target - 1.
     PerCycleIdle *accum = skipAccum_;
     unsigned n = 0;
+    cpiSkipDefBlocked_ = false;
 
     // exposeScan: only a candidate-free scan is a guaranteed no-op.
     if (unexposedInvisible_ != 0)
@@ -1343,6 +1358,10 @@ O3Core::idleSkipTarget()
             accum[n++] = {ids_->iqReadyConflicts, conflicts};
         if (defense_blocked)
             accum[n++] = {ids_->iewBlockCycles, 1.0};
+        // Stage the issue-walk verdict for applyIdleSkip's CPI
+        // attribution: identical to what issueStage would have
+        // computed on every cycle of the (frozen) inert window.
+        cpiSkipDefBlocked_ = defense_blocked;
     }
 
     // The machine is inert from cycle_ through target - 1.
@@ -1359,11 +1378,87 @@ O3Core::applyIdleSkip(Cycle target)
         reg_.inc(skipAccum_[i].id,
                  skipAccum_[i].weight * (double)delta);
     }
+    if (cpi_ && delta > 0) {
+        // Replicate the per-cycle classification across the inert
+        // window. Every classification input is frozen over the
+        // window (the probe vetoed anything that could change state,
+        // and MSHR expiry is lazy) except the badspec-window
+        // comparison cycle_ < cpiSquashUntil_, which a clamped split
+        // reproduces exactly — so tick and event runs attribute
+        // byte-identically.
+        bool defense_wait = false;
+        if (defense_ != DefenseMode::None) {
+            defense_wait = cpiSkipDefBlocked_;
+            if (!defense_wait && !rob_.empty()) {
+                RobEntry &h = rob_.front();
+                defense_wait = h.invisible &&
+                               (!h.exposed || h.readyCycle > from);
+            }
+        }
+        if (defense_wait) {
+            cpi_->add(CpiBucket::Defense, delta);
+        } else {
+            uint64_t bad = 0;
+            if (cpiSquashUntil_ > from)
+                bad = std::min<uint64_t>(cpiSquashUntil_ - from,
+                                         delta);
+            if (bad)
+                cpi_->add(CpiBucket::BadSpec, bad);
+            if (delta > bad)
+                cpi_->add(cpiStallTail(), delta - bad);
+        }
+    }
     cycle_ = target;
     result_.cycles += delta;
     if (skipHook_)
         skipHook_(from, target);
     return delta;
+}
+
+CpiBucket
+O3Core::cpiStallTail()
+{
+    if (rob_.empty()) {
+        // Nothing reached the backend: squash recovery already
+        // claimed its window above, so this is pure frontend supply.
+        return CpiBucket::Frontend;
+    }
+    RobEntry &h = rob_.front();
+    if (h.op.isLoad() || h.op.isStore()) {
+        if (h.cohStalled)
+            return CpiBucket::Coherence;
+        // Memory-level split by outstanding-miss depth: an L2/LLC
+        // MSHR in flight means DRAM is servicing a miss; an L1D
+        // MSHR alone means the LLC is; neither means the stall is
+        // L1-local latency.
+        if (mem_.l2().mshrsInFlight() > 0)
+            return CpiBucket::MemDram;
+        if (mem_.dcache().mshrsInFlight() > 0)
+            return CpiBucket::MemLlc;
+        return CpiBucket::MemL1;
+    }
+    return CpiBucket::Backend;
+}
+
+CpiBucket
+O3Core::cpiClassifyStall()
+{
+    // Priority order (docs/METRICS.md#cpi-buckets): an active
+    // mitigation claims the cycle first — gating cost is the
+    // quantity EVAX trades — then squash recovery, then the
+    // memory/backend/frontend tail.
+    if (defense_ != DefenseMode::None) {
+        if (cpiDefenseBlocked_)
+            return CpiBucket::Defense;
+        if (!rob_.empty()) {
+            RobEntry &h = rob_.front();
+            if (h.invisible && (!h.exposed || h.readyCycle > cycle_))
+                return CpiBucket::Defense;
+        }
+    }
+    if (cycle_ < cpiSquashUntil_)
+        return CpiBucket::BadSpec;
+    return cpiStallTail();
 }
 
 void
@@ -1389,6 +1484,9 @@ O3Core::regStats(StatRegistry &sr) const
     sr.setScalar("core.geometry.issueWidth", params_.issueWidth);
     sr.setScalar("core.geometry.commitWidth", params_.commitWidth);
 
+    if (cpi_)
+        cpi_->regStats(sr);
+
     mem_.regStats(sr);
     bp_.regStats(sr);
 }
@@ -1407,12 +1505,18 @@ O3Core::beginRun(uint64_t max_insts, uint64_t max_cycles)
 bool
 O3Core::stepCycle(InstStream &stream)
 {
+    const uint64_t commits_before = committedInsts_;
     commitStage();
     completeStage();
     issueStage();
     dispatchStage();
     fetchStage(stream);
     mem_.tick(cycle_);
+    if (cpi_) {
+        cpi_->add(committedInsts_ != commits_before
+                      ? CpiBucket::Base
+                      : cpiClassifyStall());
+    }
     ++cycle_;
     ++result_.cycles;
 

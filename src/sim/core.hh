@@ -36,6 +36,8 @@ namespace evax
 {
 
 class TimelineSampler;
+struct CpiStack;
+enum class CpiBucket : uint8_t;
 
 /** Summary of one simulation run. */
 struct SimResult
@@ -85,6 +87,17 @@ class O3Core
      */
     void attachTimelineSampler(TimelineSampler *ts)
     { timelineSampler_ = ts; }
+
+    /**
+     * Attach a CPI-stack accumulator (sim/cpi_stack.hh). Null — the
+     * default — skips classification entirely: the hot path pays one
+     * pointer check per cycle. Accounting is read-only on simulated
+     * state (no counters, no RNG), so enabling it leaves every
+     * golden digest byte-identical; the attached stack is reset at
+     * the start of each run() so its sum matches that run's cycles.
+     */
+    void attachCpiStack(CpiStack *cpi) { cpi_ = cpi; }
+    const CpiStack *cpiStack() const { return cpi_; }
 
     /** Called whenever an attached sampler closes a window. */
     using SampleCallback =
@@ -180,6 +193,9 @@ class O3Core
         bool trapPending = false;  ///< fault seen at head, delaying
         bool addrReady = false;    ///< store address computed
         bool completedFill = false; ///< load installed a cache line
+        /** Load miss lengthened by a directory invalidation or
+         *  downgrade (CPI-stack coherence bucket). */
+        bool cohStalled = false;
         /** Cached sourcesReady() verdict. Monotonic: producers only
          *  move toward Complete, and a squash that removes a
          *  producer removes its (younger) consumers too. */
@@ -305,6 +321,18 @@ class O3Core
      *  panics on deadlock, true = cycle budget exhausted. */
     bool postSkipStop();
 
+    // CPI-stack cycle attribution (sim/cpi_stack.hh). One bucket per
+    // stepped cycle; applyIdleSkip attributes whole inert windows
+    // under the identical classification (every input is constant
+    // over an inert window except the badspec-window comparison,
+    // which is handled by a clamped split), so tick and event runs
+    // produce the same stack and both sum to SimResult::cycles.
+    /** Classify a no-commit cycle (priority order; see METRICS.md) */
+    CpiBucket cpiClassifyStall();
+    /** The memory/backend/frontend tail of the classification —
+     *  everything after the defense and badspec checks. */
+    CpiBucket cpiStallTail();
+
     // Event-driven mode (src/sim/scheduler.hh; DESIGN.md §10).
     /** Arm a wake marker; elides wakes at or before cycle_ + 1
      *  (the next single step always re-probes those). */
@@ -345,6 +373,16 @@ class O3Core
     DefenseMode defense_ = DefenseMode::None;
     Sampler *sampler_ = nullptr;
     TimelineSampler *timelineSampler_ = nullptr;
+    CpiStack *cpi_ = nullptr;
+    /** End of the post-squash recovery window (badspec bucket).
+     *  Tracked separately from fetchStallUntil_, which icache
+     *  stalls also extend. */
+    Cycle cpiSquashUntil_ = 0;
+    /** issueStage held at least one ready load back this cycle with
+     *  nothing else issued (the iewBlockCycles condition). */
+    bool cpiDefenseBlocked_ = false;
+    /** The same condition staged by the idle-skip probe's walk. */
+    bool cpiSkipDefBlocked_ = false;
     SampleCallback onSample_;
     CommitHook commitHook_;
     IssueHook issueHook_;

@@ -1,0 +1,75 @@
+#include "sim/cpi_stack.hh"
+
+#include "hpc/timeline_sampler.hh"
+#include "util/log.hh"
+#include "util/statreg.hh"
+
+namespace evax
+{
+
+const char *
+cpiBucketName(CpiBucket b)
+{
+    static const char *const kNames[kNumCpiBuckets] = {
+        "base",    "frontend",  "badspec", "mem_l1",  "mem_llc",
+        "mem_dram", "coherence", "defense", "backend",
+    };
+    return kNames[(size_t)b];
+}
+
+uint64_t
+CpiStack::cycles() const
+{
+    uint64_t total = 0;
+    for (uint64_t v : buckets)
+        total += v;
+    return total;
+}
+
+void
+CpiStack::merge(const CpiStack &o)
+{
+    for (size_t i = 0; i < kNumCpiBuckets; ++i)
+        buckets[i] += o.buckets[i];
+}
+
+void
+CpiStack::assertExhaustive(uint64_t expected_cycles) const
+{
+    if (cycles() != expected_cycles) {
+        fatal("CpiStack: buckets sum to %llu but the run took %llu "
+              "cycles — a cycle escaped attribution",
+              (unsigned long long)cycles(),
+              (unsigned long long)expected_cycles);
+    }
+}
+
+void
+CpiStack::regStats(StatRegistry &sr, const std::string &prefix) const
+{
+    const uint64_t total = cycles();
+    sr.setScalar(prefix + "cpi.cycles", total,
+                 "total attributed cycles (== run cycles)");
+    for (size_t i = 0; i < kNumCpiBuckets; ++i) {
+        const std::string name = cpiBucketName((CpiBucket)i);
+        sr.setScalar(prefix + "cpi." + name, buckets[i],
+                     "cycles attributed to " + name);
+        sr.setNumber(prefix + "cpi.frac." + name,
+                     total ? (double)buckets[i] / (double)total : 0.0,
+                     "fraction of cycles attributed to " + name);
+    }
+}
+
+void
+CpiStack::registerTimeline(TimelineSampler &ts,
+                           const std::string &prefix) const
+{
+    for (size_t i = 0; i < kNumCpiBuckets; ++i) {
+        const uint64_t *cell = &buckets[i];
+        ts.addDeltaGauge(
+            prefix + "cpi." + cpiBucketName((CpiBucket)i),
+            [cell] { return (double)*cell; }, "cycles");
+    }
+}
+
+} // namespace evax

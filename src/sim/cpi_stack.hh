@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Top-down CPI-stack cycle accounting for the O3 core.
+ *
+ * Every core cycle is attributed to exactly one bucket of a closed
+ * set, so the stack is exhaustive by construction: the per-cycle
+ * classifier in O3Core::stepCycle adds one cycle per step, and the
+ * event-mode skip path (O3Core::applyIdleSkip) adds the whole inert
+ * window under the same classification the skipped cycles would have
+ * received — sum(buckets) == SimResult::cycles in both run modes,
+ * asserted by assertExhaustive() and property-tested in
+ * tests/test_metrics.cc.
+ *
+ * The buckets (docs/METRICS.md#cpi-buckets):
+ *
+ *  - base:      at least one instruction committed this cycle
+ *  - defense:   no commit because an active mitigation held the
+ *               pipeline (issue fenced with nothing issued, or the
+ *               head is an invisible load awaiting expose)
+ *  - badspec:   inside the post-squash recovery window
+ *  - coherence: head is a load whose miss was lengthened by a
+ *               directory invalidation/downgrade (PR 9's MESI)
+ *  - mem_dram:  head load stalled with misses outstanding at L2/LLC
+ *  - mem_llc:   head load stalled with misses outstanding at L1D only
+ *  - mem_l1:    head load stalled with no outstanding miss (L1 busy)
+ *  - backend:   head is a non-memory op still executing
+ *  - frontend:  ROB empty — nothing reached the backend at all
+ *
+ * The stack lives *outside* the CounterRegistry on purpose: the
+ * golden-digest tier hashes the registry's full snapshot, and
+ * enabling accounting must leave all 22 pinned digests byte-identical
+ * (tests/test_golden.cc). Export goes through StatRegistry
+ * (regStats) and TimelineSampler delta gauges (registerTimeline)
+ * only.
+ */
+
+#ifndef EVAX_SIM_CPI_STACK_HH
+#define EVAX_SIM_CPI_STACK_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace evax
+{
+
+class StatRegistry;
+class TimelineSampler;
+
+/** The closed bucket set; every cycle lands in exactly one. */
+enum class CpiBucket : uint8_t
+{
+    Base = 0,
+    Frontend,
+    BadSpec,
+    MemL1,
+    MemLlc,
+    MemDram,
+    Coherence,
+    Defense,
+    Backend,
+    NumBuckets
+};
+
+constexpr size_t kNumCpiBuckets = (size_t)CpiBucket::NumBuckets;
+
+/** Dotted-suffix name of a bucket ("base", "mem_dram", ...). */
+const char *cpiBucketName(CpiBucket b);
+
+/** Per-core (or summed) cycle attribution. */
+struct CpiStack
+{
+    std::array<uint64_t, kNumCpiBuckets> buckets{};
+
+    void add(CpiBucket b, uint64_t n = 1)
+    { buckets[(size_t)b] += n; }
+    uint64_t value(CpiBucket b) const { return buckets[(size_t)b]; }
+
+    /** Sum over all buckets — must equal the run's cycle count. */
+    uint64_t cycles() const;
+
+    void reset() { buckets.fill(0); }
+    void merge(const CpiStack &o);
+
+    /** fatal() unless cycles() == @p expected_cycles. */
+    void assertExhaustive(uint64_t expected_cycles) const;
+
+    /**
+     * Publish as "<prefix>cpi.<bucket>" scalars plus the
+     * "<prefix>cpi.cycles" sum and per-bucket fractions
+     * "<prefix>cpi.frac.<bucket>".
+     */
+    void regStats(StatRegistry &sr,
+                  const std::string &prefix = "") const;
+
+    /**
+     * Register one "<prefix>cpi.<bucket>" delta gauge per bucket on
+     * @p ts: each closed window reports the cycles the bucket gained
+     * during that window. The stack must outlive the sampler.
+     */
+    void registerTimeline(TimelineSampler &ts,
+                          const std::string &prefix = "") const;
+};
+
+} // namespace evax
+
+#endif // EVAX_SIM_CPI_STACK_HH

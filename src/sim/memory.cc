@@ -43,7 +43,7 @@ MemorySystem::MemorySystem(const CoreParams &params,
 
 uint32_t
 MemorySystem::accessBackside(Addr addr, bool is_write, Cycle now,
-                             bool allocate)
+                             bool allocate, bool *coherence)
 {
     reg_.inc(is_write ? membusReadEx_ : membusReadShared_);
     reg_.inc(membusPktCount_);
@@ -53,6 +53,8 @@ MemorySystem::accessBackside(Addr addr, bool is_write, Cycle now,
         shared_->access(coreId_, addr, is_write, now, allocate);
     if (r.l2Writeback)
         reg_.inc(membusWbDirty_);
+    if (coherence)
+        *coherence = r.coherence;
     return r.latency;
 }
 
@@ -131,7 +133,8 @@ MemorySystem::load(Addr addr, uint16_t size, Cycle now,
             lastLoadVersion_ = shared_->observedVersion(coreId_, la);
         return res;
     }
-    uint32_t backside = accessBackside(addr, false, now, !invisible);
+    uint32_t backside = accessBackside(addr, false, now, !invisible,
+                                       &res.coherence);
     if (r.writeback)
         reg_.inc(membusWbDirty_);
     res.latency = tr.latency + r.latency + backside;

@@ -37,6 +37,8 @@ struct LoadResult
     bool hitWriteQueue = false;
     /** Structural stall (MSHRs full): retry next cycle. */
     bool mustRetry = false;
+    /** Miss lengthened by a directory invalidation/downgrade. */
+    bool coherence = false;
 };
 
 /** Full memory hierarchy for one core. */
@@ -142,9 +144,11 @@ class MemorySystem
     void regStats(StatRegistry &sr) const;
 
   private:
-    /** L2 + DRAM chain, returns miss latency beyond L1. */
+    /** L2 + DRAM chain, returns miss latency beyond L1.
+     *  @param coherence optional out: the directory lengthened it */
     uint32_t accessBackside(Addr addr, bool is_write, Cycle now,
-                            bool allocate);
+                            bool allocate,
+                            bool *coherence = nullptr);
 
     const CoreParams &params_;
     CounterRegistry &reg_;

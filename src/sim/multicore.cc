@@ -31,6 +31,26 @@ MultiCore::MultiCore(const MultiCoreParams &params)
         shared_->setScheduler(&sharedSched_);
 }
 
+void
+MultiCore::enableCpi()
+{
+    if (!cpiStacks_.empty())
+        return;
+    for (auto &c : cores_) {
+        cpiStacks_.push_back(std::make_unique<CpiStack>());
+        c->attachCpiStack(cpiStacks_.back().get());
+    }
+}
+
+CpiStack
+MultiCore::cpiTotal() const
+{
+    CpiStack total;
+    for (const auto &s : cpiStacks_)
+        total.merge(*s);
+    return total;
+}
+
 std::vector<SimResult>
 MultiCore::run(const std::vector<InstStream *> &streams,
                uint64_t max_insts_per_core, uint64_t max_cycles)
@@ -112,7 +132,11 @@ MultiCore::regStats(StatRegistry &sr) const
         sr.setScalar(prefix + "cycles", cores_[i]->cycle());
         sr.setScalar(prefix + "committedInsts",
                      cores_[i]->committedInsts());
+        if (cores_[i]->cpiStack())
+            cores_[i]->cpiStack()->regStats(sr, prefix);
     }
+    if (!cpiStacks_.empty())
+        cpiTotal().regStats(sr);
     sr.importCounters(uncoreReg_, "shared.");
     shared_->regStats(sr);
 }

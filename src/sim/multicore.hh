@@ -29,6 +29,7 @@
 #include "hpc/counters.hh"
 #include "sim/coherence.hh"
 #include "sim/core.hh"
+#include "sim/cpi_stack.hh"
 #include "sim/params.hh"
 
 namespace evax
@@ -75,6 +76,20 @@ class MultiCore
                                uint64_t max_cycles = 0);
 
     /**
+     * Enable CPI-stack accounting on every core (sim/cpi_stack.hh).
+     * The machine owns the per-core stacks; regStats() publishes
+     * them under "coreN.cpi.*" plus the cross-core sum "cpi.*"
+     * (at numCores == 1 the single stack is the sum). Accounting is
+     * read-only on simulated state — golden digests are unchanged.
+     */
+    void enableCpi();
+    /** Core @p i's stack; null unless enableCpi() was called. */
+    const CpiStack *cpiStack(unsigned i) const
+    { return cores_[i]->cpiStack(); }
+    /** Sum of every core's stack (empty before enableCpi()). */
+    CpiStack cpiTotal() const;
+
+    /**
      * Publish every core's full hierarchy under "coreN." plus the
      * shared uncore under its native names (docs/COUNTERS.md
      * "Per-core counter naming").
@@ -92,6 +107,8 @@ class MultiCore
     EventScheduler sharedSched_;
     std::vector<std::unique_ptr<CounterRegistry>> coreRegs_;
     std::vector<std::unique_ptr<O3Core>> cores_;
+    /** Per-core CPI stacks (filled by enableCpi(), else empty). */
+    std::vector<std::unique_ptr<CpiStack>> cpiStacks_;
 };
 
 } // namespace evax

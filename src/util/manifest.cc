@@ -120,6 +120,11 @@ RunManifest::writeJson(std::ostream &os) const
             os << "\"" << json::escape(kv.second) << "\"";
     }
     os << "},\n";
+    if (!metricsJson_.empty()) {
+        // Raw strict-JSON object supplied by setMetricsSnapshot();
+        // emitted verbatim so snapshot bytes survive round-trips.
+        os << "  \"metrics\": " << metricsJson_ << ",\n";
+    }
     os << "  \"wall_seconds\": ";
     json::writeNumber(os, elapsedSeconds());
     os << ",\n";

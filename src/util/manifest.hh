@@ -15,6 +15,7 @@
 #ifndef EVAX_UTIL_MANIFEST_HH
 #define EVAX_UTIL_MANIFEST_HH
 
+#include <cctype>
 #include <chrono>
 #include <cstdint>
 #include <ostream>
@@ -49,6 +50,20 @@ class RunManifest
     /** Record the path of an artifact this run wrote. */
     void addArtifact(const std::string &path);
 
+    /**
+     * Embed a streaming-metrics snapshot — a strict-JSON object,
+     * normally metrics::Registry::jsonSnapshot() — verbatim under
+     * the manifest's "metrics" key (docs/METRICS.md "Snapshots").
+     */
+    void
+    setMetricsSnapshot(const std::string &rawJson)
+    {
+        metricsJson_ = rawJson;
+        while (!metricsJson_.empty() &&
+               std::isspace((unsigned char)metricsJson_.back()))
+            metricsJson_.pop_back();
+    }
+
     const std::vector<std::string> &artifacts() const
     { return artifacts_; }
     const std::string &tool() const { return tool_; }
@@ -72,6 +87,7 @@ class RunManifest
     std::vector<uint64_t> seeds_;
     std::vector<std::pair<std::string, std::string>> config_;
     std::vector<std::string> artifacts_;
+    std::string metricsJson_;
     std::chrono::steady_clock::time_point start_;
 };
 

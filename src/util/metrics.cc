@@ -1,0 +1,449 @@
+#include "util/metrics.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/log.hh"
+
+namespace evax
+{
+namespace metrics
+{
+
+namespace
+{
+
+/**
+ * Round-trippable double rendering for sample values and `le`
+ * boundaries. %.17g guarantees parse(format(x)) == x; exact-boundary
+ * values like 0.25 or 1 render in their short form.
+ */
+std::string
+fmtDouble(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Trim to the shortest round-trippable form so boundaries stay
+    // human-readable ("0.25", not "0.25000000000000000").
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[64];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v)
+            return probe;
+    }
+    return buf;
+}
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+        char c = name[i];
+        bool head_ok = std::isalpha((unsigned char)c) || c == '_' ||
+                       c == ':';
+        if (i == 0 ? !head_ok
+                   : !(head_ok || std::isdigit((unsigned char)c)))
+            return false;
+    }
+    return true;
+}
+
+std::string
+seriesKey(const std::string &name, const std::string &labels)
+{
+    return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+/** `name{labels,extra}` with correct comma/brace handling. */
+std::string
+seriesWith(const std::string &name, const std::string &labels,
+           const std::string &extra)
+{
+    std::string body = labels;
+    if (!extra.empty())
+        body += (body.empty() ? "" : ",") + extra;
+    return seriesKey(name, body);
+}
+
+} // anonymous namespace
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= (uint8_t)c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+Histogram::Histogram(int lo_exp, int hi_exp)
+    : loExp_(lo_exp), hiExp_(hi_exp)
+{
+    if (hi_exp <= lo_exp)
+        fatal("Histogram: hi_exp %d <= lo_exp %d", hi_exp, lo_exp);
+    // underflow + (hiExp-loExp)*kSubBuckets finite + overflow
+    buckets_.assign((size_t)(hiExp_ - loExp_) * kSubBuckets + 2, 0);
+}
+
+double
+Histogram::upperBound(size_t i) const
+{
+    if (i + 1 >= buckets_.size())
+        return std::numeric_limits<double>::infinity();
+    if (i == 0)
+        return std::ldexp(1.0, loExp_);
+    size_t k = i - 1;
+    int octave = loExp_ + (int)(k / kSubBuckets);
+    int sub = (int)(k % kSubBuckets) + 1;
+    return std::ldexp(1.0 + (double)sub / kSubBuckets, octave);
+}
+
+size_t
+Histogram::bucketIndex(double v) const
+{
+    if (std::isnan(v) || v <= upperBound(0))
+        return 0;
+    if (v > std::ldexp(1.0, hiExp_))
+        return buckets_.size() - 1;
+    int e = 0;
+    std::frexp(v, &e); // v = f * 2^e, f in [0.5, 1)
+    int octave = e - 1; // v in [2^octave, 2^(octave+1))
+    // v * 2^-octave is an exact scaling into [1, 2); the subtraction
+    // and kSubBuckets multiply are exact too, so sub is bit-exact.
+    double f = v * std::ldexp(1.0, -octave);
+    int sub = (int)((f - 1.0) * kSubBuckets);
+    if (sub >= kSubBuckets)
+        sub = kSubBuckets - 1;
+    size_t idx = 1 + (size_t)(octave - loExp_) * kSubBuckets +
+                 (size_t)sub;
+    // Raw indexing is half-open [lo, hi); `le` semantics put a value
+    // exactly on its lower bound into the previous bucket.
+    if (idx > 0 && v <= upperBound(idx - 1))
+        --idx;
+    return idx;
+}
+
+void
+Histogram::observe(double v)
+{
+    ++buckets_[bucketIndex(v)];
+    sum_ += v;
+    ++count_;
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    if (o.loExp_ != loExp_ || o.hiExp_ != hiExp_ ||
+        o.buckets_.size() != buckets_.size()) {
+        fatal("Histogram::merge: layout mismatch ([%d,%d] vs "
+              "[%d,%d])",
+              o.loExp_, o.hiExp_, loExp_, hiExp_);
+    }
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += o.buckets_[i];
+    sum_ += o.sum_;
+    count_ += o.count_;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    uint64_t rank = (uint64_t)std::ceil(q * (double)count_);
+    if (rank == 0)
+        rank = 1;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        uint64_t before = cum;
+        cum += buckets_[i];
+        if (cum < rank)
+            continue;
+        // Interpolate within [lower, upper] of the holding bucket;
+        // the open-ended buckets report their finite edge.
+        if (i + 1 == buckets_.size())
+            return std::ldexp(1.0, hiExp_);
+        double lo = i == 0 ? 0.0 : upperBound(i - 1);
+        double hi = upperBound(i);
+        double frac = (double)(rank - before) / (double)buckets_[i];
+        return lo + (hi - lo) * frac;
+    }
+    return std::ldexp(1.0, hiExp_);
+}
+
+Registry::Entry &
+Registry::getOrCreate(const std::string &name,
+                      const std::string &labels,
+                      const std::string &help, MetricKind kind)
+{
+    if (!validMetricName(name))
+        fatal("metrics: invalid metric name '%s'", name.c_str());
+    for (auto &e : entries_) {
+        if (e.name == name && e.labels == labels) {
+            if (e.kind != kind) {
+                fatal("metrics: '%s' re-registered with a different "
+                      "kind",
+                      seriesKey(name, labels).c_str());
+            }
+            return e;
+        }
+    }
+    entries_.push_back({});
+    Entry &e = entries_.back();
+    e.name = name;
+    e.labels = labels;
+    e.help = help;
+    e.kind = kind;
+    return e;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help,
+                  const std::string &labels)
+{
+    Entry &e =
+        getOrCreate(name, labels, help, MetricKind::CounterKind);
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help,
+                const std::string &labels)
+{
+    Entry &e = getOrCreate(name, labels, help, MetricKind::GaugeKind);
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, int lo_exp, int hi_exp,
+                    const std::string &help,
+                    const std::string &labels)
+{
+    Entry &e =
+        getOrCreate(name, labels, help, MetricKind::HistogramKind);
+    if (!e.histogram)
+        e.histogram = std::make_unique<Histogram>(lo_exp, hi_exp);
+    else if (e.histogram->loExp() != lo_exp ||
+             e.histogram->hiExp() != hi_exp)
+        fatal("metrics: '%s' re-registered with a different bucket "
+              "layout",
+              seriesKey(name, labels).c_str());
+    return *e.histogram;
+}
+
+void
+Registry::writeExposition(std::ostream &os) const
+{
+    static const char *const kTypeName[] = {"counter", "gauge",
+                                            "histogram"};
+    std::string last_family;
+    for (const Entry &e : entries_) {
+        // HELP/TYPE head once per family; same-family entries (one
+        // histogram per label set) are registered adjacently.
+        if (e.name != last_family) {
+            if (!e.help.empty())
+                os << "# HELP " << e.name << " " << e.help << "\n";
+            os << "# TYPE " << e.name << " "
+               << kTypeName[(int)e.kind] << "\n";
+            last_family = e.name;
+        }
+        switch (e.kind) {
+          case MetricKind::CounterKind:
+            os << seriesKey(e.name, e.labels) << " "
+               << e.counter->value() << "\n";
+            break;
+          case MetricKind::GaugeKind:
+            os << seriesKey(e.name, e.labels) << " "
+               << fmtDouble(e.gauge->value()) << "\n";
+            break;
+          case MetricKind::HistogramKind: {
+            const Histogram &h = *e.histogram;
+            uint64_t cum = 0;
+            for (size_t i = 0; i < h.numBuckets(); ++i) {
+                cum += h.bucketCount(i);
+                // Zero buckets are elided (the boundaries are dense);
+                // the +Inf bucket always closes the series.
+                bool last = i + 1 == h.numBuckets();
+                if (h.bucketCount(i) == 0 && !last)
+                    continue;
+                std::string le =
+                    last ? "+Inf" : fmtDouble(h.upperBound(i));
+                os << seriesWith(e.name + "_bucket", e.labels,
+                                 "le=\"" + le + "\"")
+                   << " " << cum << "\n";
+            }
+            os << seriesKey(e.name + "_sum", e.labels) << " "
+               << fmtDouble(h.sum()) << "\n";
+            os << seriesKey(e.name + "_count", e.labels) << " "
+               << h.count() << "\n";
+            break;
+          }
+        }
+    }
+}
+
+std::string
+Registry::exposition() const
+{
+    std::ostringstream os;
+    writeExposition(os);
+    return os.str();
+}
+
+uint64_t
+Registry::expositionDigest() const
+{
+    return fnv1a(exposition());
+}
+
+void
+Registry::writeJsonSnapshot(std::ostream &os) const
+{
+    os << "{\n  \"schema\": \"evax-metrics-v1\",\n  \"metrics\": {";
+    bool first = true;
+    for (const Entry &e : entries_) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    \"" << json::escape(seriesKey(e.name, e.labels))
+           << "\": {";
+        switch (e.kind) {
+          case MetricKind::CounterKind:
+            os << "\"type\": \"counter\", \"value\": "
+               << e.counter->value();
+            break;
+          case MetricKind::GaugeKind:
+            os << "\"type\": \"gauge\", \"value\": ";
+            json::writeNumber(os, e.gauge->value());
+            break;
+          case MetricKind::HistogramKind: {
+            const Histogram &h = *e.histogram;
+            os << "\"type\": \"histogram\", \"count\": " << h.count()
+               << ", \"sum\": ";
+            json::writeNumber(os, h.sum());
+            os << ", \"p50\": ";
+            json::writeNumber(os, h.percentile(0.50));
+            os << ", \"p95\": ";
+            json::writeNumber(os, h.percentile(0.95));
+            os << ", \"p99\": ";
+            json::writeNumber(os, h.percentile(0.99));
+            os << ", \"buckets\": [";
+            uint64_t cum = 0;
+            bool bfirst = true;
+            for (size_t i = 0; i < h.numBuckets(); ++i) {
+                cum += h.bucketCount(i);
+                if (h.bucketCount(i) == 0)
+                    continue;
+                os << (bfirst ? "" : ", ") << "{\"le\": ";
+                bfirst = false;
+                if (i + 1 == h.numBuckets())
+                    os << "\"+Inf\"";
+                else
+                    json::writeNumber(os, h.upperBound(i));
+                os << ", \"count\": " << cum << "}";
+            }
+            os << "]";
+            break;
+          }
+        }
+        os << "}";
+    }
+    os << "\n  }\n}\n";
+}
+
+std::string
+Registry::jsonSnapshot() const
+{
+    std::ostringstream os;
+    writeJsonSnapshot(os);
+    return os.str();
+}
+
+bool
+parseExposition(const std::string &text,
+                std::vector<ExpositionSample> &out,
+                std::string *err)
+{
+    out.clear();
+    std::istringstream is(text);
+    std::string line;
+    size_t lineno = 0;
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = "line " + std::to_string(lineno) + ": " + why;
+        return false;
+    };
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            // Only HELP/TYPE comments are legal in our dialect.
+            if (line.rfind("# HELP ", 0) != 0 &&
+                line.rfind("# TYPE ", 0) != 0)
+                return fail("unknown comment form");
+            continue;
+        }
+        // name{labels} value  |  name value
+        size_t sp = line.rfind(' ');
+        if (sp == std::string::npos || sp == 0 ||
+            sp + 1 >= line.size())
+            return fail("expected 'name value'");
+        ExpositionSample s;
+        s.name = line.substr(0, sp);
+        const std::string val = line.substr(sp + 1);
+        // Validate the name: family chars, one optional balanced
+        // label body.
+        size_t brace = s.name.find('{');
+        std::string family = brace == std::string::npos
+                                 ? s.name
+                                 : s.name.substr(0, brace);
+        if (!validMetricName(family))
+            return fail("bad metric name '" + family + "'");
+        if (brace != std::string::npos &&
+            (s.name.back() != '}' || brace + 2 > s.name.size()))
+            return fail("unbalanced label body");
+        if (val == "+Inf")
+            s.value = std::numeric_limits<double>::infinity();
+        else if (val == "-Inf")
+            s.value = -std::numeric_limits<double>::infinity();
+        else if (val == "NaN")
+            s.value = std::numeric_limits<double>::quiet_NaN();
+        else {
+            char *end = nullptr;
+            s.value = std::strtod(val.c_str(), &end);
+            if (!end || *end != '\0')
+                return fail("bad sample value '" + val + "'");
+        }
+        out.push_back(std::move(s));
+    }
+    return true;
+}
+
+} // namespace metrics
+} // namespace evax

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Streaming fleet metrics: counters, gauges, and log-bucketed
+ * mergeable histograms with a Prometheus text exposition writer.
+ *
+ * The stats registry (util/statreg.hh) answers "what did this run
+ * do" after the fact; this layer answers "what is the fleet doing
+ * right now" while a serving loop is still running. Three metric
+ * kinds cover the serving path's needs:
+ *
+ *  - Counter:   monotonic uint64 (windows scored, flags raised)
+ *  - Gauge:     last-write-wins double (windows/sec, queue depth)
+ *  - Histogram: log-bucketed distribution (scores, batch latency)
+ *
+ * Histograms use power-of-two octaves split into kSubBuckets linear
+ * sub-buckets, so every bucket boundary is an exactly representable
+ * double (ldexp(1 + s/kSubBuckets, octave)) and bucket membership is
+ * bit-exact: classification never depends on rounding. Buckets use
+ * Prometheus `le` semantics — a value exactly on a boundary counts in
+ * the bucket with that upper bound.
+ *
+ * Determinism contract (same as the rest of the repo): merge() is
+ * plain bucket-wise addition, so sharded producers that build one
+ * local histogram per fixed-size chunk and merge in chunk-index
+ * order produce byte-identical state at any thread count. The
+ * exposition digest (FNV-1a over the rendered text) pins that in
+ * tests/test_metrics.cc.
+ *
+ * See docs/METRICS.md for the naming scheme and exposition format.
+ */
+
+#ifndef EVAX_UTIL_METRICS_HH
+#define EVAX_UTIL_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace evax
+{
+namespace metrics
+{
+
+/** Linear sub-buckets per power-of-two octave. */
+constexpr int kSubBuckets = 4;
+
+/** Monotonic counter. Single-writer; readers may race benignly. */
+class Counter
+{
+  public:
+    void inc(uint64_t n = 1) { value_ += n; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Last-write-wins gauge. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Log-bucketed histogram over [2^loExp, 2^hiExp] with exact bucket
+ * boundaries and deterministic merge.
+ *
+ * Bucket 0 is the underflow bucket (everything <= 2^loExp, including
+ * zero and negatives); the last bucket is the +Inf overflow bucket.
+ * In between, each octave [2^o, 2^(o+1)) is split into kSubBuckets
+ * equal-width buckets whose upper bounds ldexp(1 + s/kSubBuckets, o)
+ * are exact doubles.
+ */
+class Histogram
+{
+  public:
+    Histogram(int lo_exp = -10, int hi_exp = 20);
+
+    void observe(double v);
+    /** Bucket-wise addition; layouts must match (fatal otherwise). */
+    void merge(const Histogram &o);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    int loExp() const { return loExp_; }
+    int hiExp() const { return hiExp_; }
+
+    size_t numBuckets() const { return buckets_.size(); }
+    uint64_t bucketCount(size_t i) const { return buckets_[i]; }
+    /** Upper bound (`le`) of bucket @p i; +Inf for the last. */
+    double upperBound(size_t i) const;
+    /** Index of the bucket @p v falls in (le semantics, bit-exact). */
+    size_t bucketIndex(double v) const;
+
+    /**
+     * Linear interpolation within the bucket holding rank
+     * ceil(q * count); 0 when empty. q in [0, 1].
+     */
+    double percentile(double q) const;
+
+  private:
+    int loExp_, hiExp_;
+    std::vector<uint64_t> buckets_;
+    double sum_ = 0.0;
+    uint64_t count_ = 0;
+};
+
+/** Metric kinds a Registry entry can hold. */
+enum class MetricKind
+{
+    CounterKind,
+    GaugeKind,
+    HistogramKind
+};
+
+/**
+ * Named-metric registry. Names follow Prometheus rules
+ * ([a-zA-Z_:][a-zA-Z0-9_:]*); @p labels is an optional raw label
+ * body (e.g. `cls="attack"`) appended verbatim inside the braces.
+ * Registration is setup-phase single-threaded; each returned metric
+ * is single-writer by contract (the parallel serving path builds
+ * *local* Histograms and merges them, it never shares one).
+ */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name,
+                     const std::string &help = "",
+                     const std::string &labels = "");
+    Gauge &gauge(const std::string &name,
+                 const std::string &help = "",
+                 const std::string &labels = "");
+    Histogram &histogram(const std::string &name, int lo_exp,
+                         int hi_exp, const std::string &help = "",
+                         const std::string &labels = "");
+
+    size_t size() const { return entries_.size(); }
+
+    /** Prometheus text exposition (HELP/TYPE + samples). */
+    void writeExposition(std::ostream &os) const;
+    std::string exposition() const;
+    /** FNV-1a 64 over exposition(); the determinism pin. */
+    uint64_t expositionDigest() const;
+
+    /** Strict-JSON snapshot ("evax-metrics-v1", parse()-clean). */
+    void writeJsonSnapshot(std::ostream &os) const;
+    std::string jsonSnapshot() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;   ///< metric family name
+        std::string labels; ///< raw label body ("" = none)
+        std::string help;
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &getOrCreate(const std::string &name,
+                       const std::string &labels,
+                       const std::string &help, MetricKind kind);
+
+    std::vector<Entry> entries_; ///< insertion order
+};
+
+/** One sample line of a parsed exposition. */
+struct ExpositionSample
+{
+    std::string name; ///< full series name including label body
+    double value = 0.0;
+};
+
+/**
+ * Strict parser for the subset of the Prometheus text format the
+ * writer emits (HELP/TYPE comments + `name{labels} value` samples).
+ * @return false with a "line N: reason" message on malformed input.
+ */
+bool parseExposition(const std::string &text,
+                     std::vector<ExpositionSample> &out,
+                     std::string *err = nullptr);
+
+/** FNV-1a 64 over a byte string (the repo-wide digest primitive). */
+uint64_t fnv1a(const std::string &s);
+
+} // namespace metrics
+} // namespace evax
+
+#endif // EVAX_UTIL_METRICS_HH

@@ -148,6 +148,41 @@ coreRunDigest(const std::string &stream_name, bool is_attack,
 }
 
 /**
+ * coreRunDigest with CPI-stack accounting attached
+ * (sim/cpi_stack.hh). Accounting is observation-only by contract:
+ * every pinned digest must stay byte-identical, and the stack must
+ * remain exhaustive (@p cycles_out receives stack-sum and run
+ * cycles for the caller to compare).
+ */
+inline uint64_t
+cpiCoreRunDigest(const std::string &stream_name, bool is_attack,
+                 DefenseMode mode, uint64_t &stack_cycles_out,
+                 uint64_t &run_cycles_out)
+{
+    CoreParams params;
+    CounterRegistry reg;
+    O3Core core(params, reg);
+    core.setDefenseMode(mode);
+    CpiStack cpi;
+    core.attachCpiStack(&cpi);
+    Sampler sampler(reg, 1000);
+    sampler.setNormalizeEnabled(false);
+    core.attachSampler(&sampler);
+    auto stream = is_attack
+                      ? AttackRegistry::create(stream_name, 3, 6000)
+                      : WorkloadRegistry::create(stream_name, 3,
+                                                 6000);
+    SimResult res = core.run(*stream);
+    std::vector<double> snap = reg.snapshot();
+    uint64_t h = hashDoubles(kFnvSeed, snap.data(), snap.size());
+    h = hashSimResult(h, res);
+    h = hashU64(h, sampler.windowsClosed());
+    stack_cycles_out = cpi.cycles();
+    run_cycles_out = res.cycles;
+    return h;
+}
+
+/**
  * coreRunDigest driven through the MultiCore machine at
  * numCores == 1: identical construction (private uncore, same
  * counter-registry layout) plus the multi-core lockstep/idle-skip

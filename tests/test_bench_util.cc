@@ -181,15 +181,18 @@ TEST(BenchObservability, EmitResultArtifactsReachTheManifest)
     std::string err;
     ASSERT_TRUE(json::parse(slurp(manifest_path), manifest, &err))
         << err;
+    // emitResult saves under the ./artifacts output convention and
+    // records that path in the manifest (bench_util.hh
+    // artifactPath()).
     bool csv_listed = false;
     for (const auto &a : manifest.find("artifacts")->array) {
-        if (a.asString() == "test_bench_util_table.csv")
+        if (a.asString() == "artifacts/test_bench_util_table.csv")
             csv_listed = true;
     }
     EXPECT_TRUE(csv_listed);
 
     std::remove(manifest_path.c_str());
-    std::remove("test_bench_util_table.csv");
+    std::remove("artifacts/test_bench_util_table.csv");
 }
 
 TEST(BenchObservabilityDeathTest, UnknownTraceCategoryIsFatal)

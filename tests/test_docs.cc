@@ -62,6 +62,7 @@ markdownFiles()
         "docs/OBSERVABILITY.md", "docs/COUNTERS.md",
         "docs/TESTING.md",       "docs/ARENA.md",
         "docs/SERVING.md",       "docs/PERFORMANCE.md",
+        "docs/METRICS.md",
     };
     std::vector<MarkdownFile> files;
     for (const char *rel : kFiles) {
@@ -436,6 +437,56 @@ TEST(Docs, ServingDocsAnchorTheirContracts)
         EXPECT_NE(perf_body.find(required), std::string::npos)
             << "docs/PERFORMANCE.md lost reference to '"
             << required << "'";
+    }
+}
+
+TEST(Docs, MetricsDocAnchorsItsContract)
+{
+    // docs/METRICS.md is the written contract for the streaming
+    // metrics layer and CPI-stack accounting: src/util/metrics.hh
+    // and src/sim/cpi_stack.hh point readers at it (the latter at
+    // #cpi-buckets specifically), and README.md,
+    // docs/OBSERVABILITY.md and docs/PERFORMANCE.md link it. Pin
+    // the anchors and the load-bearing references so a rename
+    // cannot strand them.
+    MarkdownFile metrics;
+    metrics.relPath = "docs/METRICS.md";
+    ASSERT_TRUE(readLines(
+        std::string(EVAX_SOURCE_DIR) + "/docs/METRICS.md",
+        metrics.lines));
+
+    std::set<std::string> anchors = collectAnchors(metrics);
+    for (const char *required :
+         {"metric-kinds-and-naming", "histogram-bucketing",
+          "exposition-format", "snapshots-and-the-inspect-cli",
+          "cpi-buckets", "determinism-contract"}) {
+        EXPECT_TRUE(anchors.count(required))
+            << "docs/METRICS.md lost the #" << required
+            << " heading";
+    }
+
+    std::string body;
+    for (const std::string &line : metrics.lines)
+        body += line + "\n";
+    for (const char *required :
+         {"src/util/metrics.hh", "src/sim/cpi_stack.hh",
+          "evax-metrics-v1", "evax_cpi_cycles_total",
+          "evax_serve_score", "--metrics-out", "metrics_digest",
+          "tests/test_metrics.cc", "tests/test_golden.cc",
+          "metrics-smoke", "fig16_cpi_stack",
+          "sum(buckets) == SimResult::cycles"}) {
+        EXPECT_NE(body.find(required), std::string::npos)
+            << "docs/METRICS.md lost reference to '" << required
+            << "'";
+    }
+
+    // Every CPI bucket name must appear in the bucket table.
+    for (const char *bucket :
+         {"`base`", "`frontend`", "`badspec`", "`mem_l1`",
+          "`mem_llc`", "`mem_dram`", "`coherence`", "`defense`",
+          "`backend`"}) {
+        EXPECT_NE(body.find(bucket), std::string::npos)
+            << "docs/METRICS.md bucket table lost " << bucket;
     }
 }
 

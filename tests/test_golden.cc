@@ -131,6 +131,27 @@ TEST(GoldenCore, MultiCoreSingleCoreMatchesAllPins)
     }
 }
 
+/** CPI-stack accounting (sim/cpi_stack.hh) is observation-only:
+ *  attaching a stack must leave every pinned digest byte-identical
+ *  (the stack lives outside the CounterRegistry on purpose), and
+ *  the attribution must stay exhaustive on every case. */
+TEST(GoldenCore, CpiAccountingLeavesAllPinsByteIdentical)
+{
+    size_t count = 0;
+    const CoreCase *cases = goldenCoreCases(count);
+    ASSERT_EQ(count, 22u);
+    for (size_t i = 0; i < count; ++i) {
+        const CoreCase &c = cases[i];
+        std::string label = std::string("cpi/") + c.stream +
+                            "/mode" + std::to_string((int)c.mode);
+        uint64_t stack_cycles = 0, run_cycles = 0;
+        expectDigest(cpiCoreRunDigest(c.stream, c.attack, c.mode,
+                                      stack_cycles, run_cycles),
+                     c.pinned, label.c_str());
+        EXPECT_EQ(stack_cycles, run_cycles) << label;
+    }
+}
+
 /** The fig15 third-row configuration: 100-instruction sampling. */
 TEST(GoldenCore, Interval100CorpusDigest)
 {

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Streaming-metrics + CPI-stack tier (ctest -L tsan).
+ *
+ * Pins the contracts docs/METRICS.md documents:
+ *  - log-bucketed histogram boundaries are bit-exact (a value on a
+ *    bucket's upper bound counts in that bucket, Prometheus `le`
+ *    semantics);
+ *  - sharded per-chunk observation + chunk-order merge is
+ *    byte-identical at any thread count (pinned exposition digest);
+ *  - the text exposition round-trips through the strict parser and
+ *    the JSON snapshot through the strict JSON parser;
+ *  - CPI-stack accounting is exhaustive — every bucket sum equals
+ *    the run's cycle count — across randomized core configs, in
+ *    tick-loop AND event-driven modes, at N=1 and N=2, and the two
+ *    modes attribute byte-identically;
+ *  - per-window CPI deltas on the timeline cover every cycle of
+ *    every window.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "attacks/registry.hh"
+#include "hpc/timeline_sampler.hh"
+#include "sim/cpi_stack.hh"
+#include "sim/multicore.hh"
+#include "util/json.hh"
+#include "util/metrics.hh"
+#include "util/parallel.hh"
+#include "util/timeline.hh"
+#include "workload/registry.hh"
+
+#include "golden_util.hh"
+
+namespace evax
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Histogram bucket boundaries.
+// ---------------------------------------------------------------
+
+TEST(MetricsHistogram, BucketBoundariesAreExact)
+{
+    metrics::Histogram h(-4, 4);
+    // Every finite upper bound is inclusive (`le` semantics): the
+    // boundary value itself lands in the bucket, the next
+    // representable double in the one above.
+    for (size_t i = 0; i + 1 < h.numBuckets(); ++i) {
+        double ub = h.upperBound(i);
+        EXPECT_EQ(h.bucketIndex(ub), i) << "boundary " << ub;
+        double above = std::nextafter(
+            ub, std::numeric_limits<double>::infinity());
+        EXPECT_EQ(h.bucketIndex(above), i + 1)
+            << "just above " << ub;
+    }
+    // Underflow, negatives and NaN land in the first bucket;
+    // overflow in the +Inf bucket.
+    EXPECT_EQ(h.bucketIndex(0.0), 0u);
+    EXPECT_EQ(h.bucketIndex(-123.0), 0u);
+    EXPECT_EQ(h.bucketIndex(std::nan("")), 0u);
+    EXPECT_EQ(h.bucketIndex(1e300), h.numBuckets() - 1);
+}
+
+TEST(MetricsHistogram, ObserveCountsAndMergeMatchSerial)
+{
+    metrics::Histogram serial(-4, 4);
+    metrics::Histogram a(-4, 4), b(-4, 4);
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> dist(0.0, 20.0);
+    for (int i = 0; i < 2000; ++i) {
+        double v = dist(rng);
+        serial.observe(v);
+        ((i & 1) ? a : b).observe(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), serial.count());
+    // Bucket state is exact; sum() differs only by double
+    // re-association across the two accumulation orders.
+    EXPECT_NEAR(a.sum(), serial.sum(), 1e-6);
+    for (size_t i = 0; i < serial.numBuckets(); ++i)
+        EXPECT_EQ(a.bucketCount(i), serial.bucketCount(i));
+    EXPECT_EQ(a.percentile(0.5), serial.percentile(0.5));
+}
+
+// ---------------------------------------------------------------
+// Deterministic sharded merge (the serving-path pattern).
+// ---------------------------------------------------------------
+
+/** Exactly the serve-layer pattern: per-chunk local histograms
+ *  over a fixed chunk grid, merged in chunk-index order. */
+uint64_t
+shardedDigest(unsigned threads)
+{
+    unsigned before = globalThreadCount();
+    setGlobalThreadCount(threads);
+    constexpr size_t kRows = 10000, kChunk = 256;
+    metrics::Registry reg;
+    metrics::Histogram &sink =
+        reg.histogram("test_sharded", -10, 10, "sharded merge");
+    const size_t num_chunks = (kRows + kChunk - 1) / kChunk;
+    std::vector<metrics::Histogram> local;
+    for (size_t c = 0; c < num_chunks; ++c)
+        local.emplace_back(-10, 10);
+    parallelChunks(kRows, kChunk, [&](size_t lo, size_t hi) {
+        size_t c = lo / kChunk;
+        for (size_t r = lo; r < hi; ++r) {
+            // Index-deterministic value generation (exact doubles).
+            double v = std::ldexp(1.0 + (double)(r % 1024) / 1024.0,
+                                  (int)(r % 17) - 8);
+            local[c].observe(v);
+        }
+    });
+    for (size_t c = 0; c < num_chunks; ++c)
+        sink.merge(local[c]);
+    uint64_t digest = reg.expositionDigest();
+    setGlobalThreadCount(before);
+    return digest;
+}
+
+TEST(MetricsDeterminism, ShardedMergeByteIdenticalAndPinned)
+{
+    uint64_t serial = shardedDigest(1);
+    uint64_t threaded = shardedDigest(4);
+    EXPECT_EQ(serial, threaded);
+    // Pinned: any change to bucket layout, formatting or merge
+    // order is a contract break (update docs/METRICS.md with it).
+    EXPECT_EQ(serial, 0xe60bbd2eb724942aULL)
+        << "exposition digest moved: 0x" << std::hex << serial;
+}
+
+// ---------------------------------------------------------------
+// Exposition + snapshot round-trips.
+// ---------------------------------------------------------------
+
+TEST(MetricsExposition, RoundTripsThroughStrictParsers)
+{
+    metrics::Registry reg;
+    reg.counter("rt_requests_total", "requests", "class=\"a\"")
+        .inc(41);
+    reg.counter("rt_requests_total", "requests", "class=\"b\"")
+        .inc(1);
+    reg.gauge("rt_temperature", "degrees").set(-3.25);
+    metrics::Histogram &h =
+        reg.histogram("rt_latency_seconds", -10, 10, "latency");
+    h.observe(0.5);
+    h.observe(0.5);
+    h.observe(3.0);
+    h.observe(1e9); // overflow -> +Inf bucket only
+
+    const std::string text = reg.exposition();
+    std::vector<metrics::ExpositionSample> samples;
+    std::string err;
+    ASSERT_TRUE(metrics::parseExposition(text, samples, &err))
+        << err;
+
+    auto value = [&](const std::string &name) -> double {
+        for (const auto &s : samples) {
+            if (s.name == name)
+                return s.value;
+        }
+        ADD_FAILURE() << "missing sample " << name;
+        return -1.0;
+    };
+    EXPECT_EQ(value("rt_requests_total{class=\"a\"}"), 41.0);
+    EXPECT_EQ(value("rt_requests_total{class=\"b\"}"), 1.0);
+    EXPECT_EQ(value("rt_temperature"), -3.25);
+    EXPECT_EQ(value("rt_latency_seconds_count"), 4.0);
+    EXPECT_EQ(value("rt_latency_seconds_bucket{le=\"+Inf\"}"), 4.0);
+
+    // Cumulative `le` buckets never decrease.
+    double prev = 0.0;
+    for (const auto &s : samples) {
+        if (s.name.rfind("rt_latency_seconds_bucket", 0) == 0) {
+            EXPECT_GE(s.value, prev) << s.name;
+            prev = s.value;
+        }
+    }
+
+    // The JSON snapshot is strict-JSON clean and carries the
+    // percentile summary the inspect CLI renders.
+    json::Value doc;
+    ASSERT_TRUE(json::parse(reg.jsonSnapshot(), doc, &err)) << err;
+    ASSERT_TRUE(doc.find("schema"));
+    EXPECT_EQ(doc.find("schema")->asString(), "evax-metrics-v1");
+    std::map<std::string, double> flat = json::flattenNumeric(doc);
+    EXPECT_EQ(flat.at("metrics.rt_latency_seconds.count"), 4.0);
+    EXPECT_TRUE(flat.count("metrics.rt_latency_seconds.p50"));
+    EXPECT_TRUE(flat.count("metrics.rt_latency_seconds.p99"));
+    EXPECT_EQ(flat.at("metrics.rt_requests_total{class=\"a\"}.value"),
+              41.0);
+}
+
+TEST(MetricsExposition, ParserRejectsGarbage)
+{
+    std::vector<metrics::ExpositionSample> samples;
+    std::string err;
+    EXPECT_FALSE(metrics::parseExposition("# comment\n", samples,
+                                          &err));
+    EXPECT_FALSE(
+        metrics::parseExposition("name_only\n", samples, &err));
+    EXPECT_FALSE(
+        metrics::parseExposition("x 1.0 trailing\n", samples, &err));
+    EXPECT_FALSE(
+        metrics::parseExposition("9bad_name 1\n", samples, &err));
+    EXPECT_TRUE(metrics::parseExposition(
+        "# HELP x h\n# TYPE x counter\nx 3\n", samples, &err));
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_EQ(samples[0].value, 3.0);
+}
+
+// ---------------------------------------------------------------
+// CPI-stack exhaustiveness (tick + event, N=1 and N=2).
+// ---------------------------------------------------------------
+
+struct CpiRun
+{
+    std::vector<CpiStack> stacks;
+    std::vector<SimResult> results;
+};
+
+CpiRun
+runWithCpi(unsigned n_cores, RunMode mode, DefenseMode defense,
+           const CoreParams &base,
+           const std::vector<std::string> &streams,
+           const std::vector<bool> &is_attack)
+{
+    MultiCoreParams mp;
+    mp.numCores = n_cores;
+    mp.core = base;
+    mp.core.runMode = mode;
+    MultiCore machine(mp);
+    machine.enableCpi();
+    std::vector<std::unique_ptr<InstStream>> owned;
+    std::vector<InstStream *> ptrs;
+    for (unsigned i = 0; i < n_cores; ++i) {
+        machine.core(i).setDefenseMode(defense);
+        owned.push_back(
+            is_attack[i]
+                ? AttackRegistry::create(streams[i], 3, 6000)
+                : WorkloadRegistry::create(streams[i], 3, 6000));
+        ptrs.push_back(owned.back().get());
+    }
+    CpiRun out;
+    out.results = machine.run(ptrs);
+    for (unsigned i = 0; i < n_cores; ++i)
+        out.stacks.push_back(*machine.cpiStack(i));
+    return out;
+}
+
+TEST(CpiStackTest, ExhaustiveAcrossRandomConfigsBothModes)
+{
+    // Randomized-but-reproducible core configs: the exhaustiveness
+    // property (sum of buckets == run cycles) must hold for every
+    // shape, not just the Table II default.
+    std::mt19937_64 rng(0xc91);
+    const std::vector<std::pair<std::string, bool>> cases = {
+        {"compress", false}, {"fft", false},
+        {"spectre-pht", true}, {"meltdown", true},
+    };
+    const DefenseMode defenses[] = {
+        DefenseMode::None,
+        DefenseMode::FenceSpectre,
+        DefenseMode::InvisiSpecFuturistic,
+    };
+    for (int trial = 0; trial < 6; ++trial) {
+        CoreParams p;
+        p.robEntries = 64u << (rng() % 3);       // 64/128/256
+        p.issueWidth = (rng() % 2) ? 4 : 8;
+        p.dcacheMshrs = (rng() % 2) ? 8 : 20;
+        p.squashRecoveryCycles = 2 + (unsigned)(rng() % 4);
+        const auto &c = cases[trial % cases.size()];
+        DefenseMode d = defenses[trial % 3];
+        for (RunMode mode :
+             {RunMode::TickLoop, RunMode::EventDriven}) {
+            CpiRun r = runWithCpi(1, mode, d, p, {c.first},
+                                  {c.second});
+            EXPECT_EQ(r.stacks[0].cycles(), r.results[0].cycles)
+                << c.first << " trial " << trial << " mode "
+                << (int)mode;
+            EXPECT_GT(r.stacks[0].value(CpiBucket::Base), 0u);
+        }
+    }
+}
+
+TEST(CpiStackTest, TickAndEventAttributeIdentically)
+{
+    const std::vector<std::pair<std::string, bool>> cases = {
+        {"compress", false},  {"eventsim", false},
+        {"spectre-pht", true}, {"flush-reload", true},
+    };
+    for (const auto &c : cases) {
+        for (DefenseMode d : {DefenseMode::None,
+                              DefenseMode::InvisiSpecFuturistic}) {
+            CoreParams p;
+            CpiRun tick = runWithCpi(1, RunMode::TickLoop, d, p,
+                                     {c.first}, {c.second});
+            CpiRun event = runWithCpi(1, RunMode::EventDriven, d, p,
+                                      {c.first}, {c.second});
+            for (size_t b = 0; b < kNumCpiBuckets; ++b) {
+                EXPECT_EQ(tick.stacks[0].value((CpiBucket)b),
+                          event.stacks[0].value((CpiBucket)b))
+                    << c.first << "/" << (int)d << " bucket "
+                    << cpiBucketName((CpiBucket)b);
+            }
+        }
+    }
+}
+
+TEST(CpiStackTest, ExhaustiveOnTwoCoreCoherentMachine)
+{
+    CoreParams p;
+    for (RunMode mode : {RunMode::TickLoop, RunMode::EventDriven}) {
+        CpiRun r = runWithCpi(2, mode, DefenseMode::None, p,
+                              {"prime-probe", "compress"},
+                              {true, false});
+        CpiStack total;
+        uint64_t total_cycles = 0;
+        for (unsigned i = 0; i < 2; ++i) {
+            EXPECT_EQ(r.stacks[i].cycles(), r.results[i].cycles)
+                << "core " << i << " mode " << (int)mode;
+            total.merge(r.stacks[i]);
+            total_cycles += r.results[i].cycles;
+        }
+        total.assertExhaustive(total_cycles); // fatal()s on escape
+    }
+}
+
+TEST(CpiStackTest, GoldenDigestsUnchangedWithAccountingAttached)
+{
+    // Spot-check here (the full 22-case sweep lives in
+    // test_golden.cc): attaching a stack must not perturb a single
+    // counter bit.
+    size_t count = 0;
+    const CoreCase *cases = goldenCoreCases(count);
+    ASSERT_EQ(count, 22u);
+    for (size_t i : {size_t(0), size_t(5), size_t(13)}) {
+        const CoreCase &c = cases[i];
+        CounterRegistry reg;
+        CoreParams params;
+        O3Core core(params, reg);
+        core.setDefenseMode(c.mode);
+        CpiStack cpi;
+        core.attachCpiStack(&cpi);
+        Sampler sampler(reg, 1000);
+        sampler.setNormalizeEnabled(false);
+        core.attachSampler(&sampler);
+        auto stream =
+            c.attack ? AttackRegistry::create(c.stream, 3, 6000)
+                     : WorkloadRegistry::create(c.stream, 3, 6000);
+        SimResult res = core.run(*stream);
+        std::vector<double> snap = reg.snapshot();
+        uint64_t h = hashDoubles(kFnvSeed, snap.data(), snap.size());
+        h = hashSimResult(h, res);
+        h = hashU64(h, sampler.windowsClosed());
+        expectDigest(h, c.pinned, c.stream);
+        EXPECT_EQ(cpi.cycles(), res.cycles);
+    }
+}
+
+// ---------------------------------------------------------------
+// Per-window CPI deltas on the timeline.
+// ---------------------------------------------------------------
+
+TEST(CpiStackTest, WindowDeltasCoverEveryCycleOfEveryWindow)
+{
+    CounterRegistry reg;
+    CoreParams params;
+    O3Core core(params, reg);
+    core.setDefenseMode(DefenseMode::InvisiSpecSpectre);
+    CpiStack cpi;
+    core.attachCpiStack(&cpi);
+    Timeline tl;
+    TimelineSamplerConfig tc;
+    tc.intervalInsts = 500;
+    TimelineSampler ts(reg, tl, tc);
+    cpi.registerTimeline(ts);
+    core.attachTimelineSampler(&ts);
+    auto stream = AttackRegistry::create("spectre-pht", 3, 8100);
+    SimResult res = core.run(*stream);
+    ts.finish(core.committedInsts(), core.cycle());
+
+    std::vector<const TimelineSeries *> series;
+    for (size_t b = 0; b < kNumCpiBuckets; ++b) {
+        const TimelineSeries *s = tl.findSeries(
+            std::string("cpi.") + cpiBucketName((CpiBucket)b));
+        ASSERT_NE(s, nullptr);
+        series.push_back(s);
+    }
+    const size_t windows = series[0]->points.size();
+    ASSERT_GT(windows, 2u);
+    uint64_t prev_cycle = 0;
+    uint64_t covered = 0;
+    for (size_t w = 0; w < windows; ++w) {
+        uint64_t window_sum = 0;
+        for (const TimelineSeries *s : series) {
+            ASSERT_EQ(s->points.size(), windows);
+            window_sum += (uint64_t)s->points[w].value;
+        }
+        uint64_t span = series[0]->points[w].cycle - prev_cycle;
+        EXPECT_EQ(window_sum, span) << "window " << w;
+        prev_cycle = series[0]->points[w].cycle;
+        covered += window_sum;
+    }
+    EXPECT_EQ(cpi.cycles(), res.cycles);
+    // finish() only closes on instruction progress; when the last
+    // commit landed exactly on a sample boundary the post-commit
+    // drain cycles stay uncovered. Otherwise the final partial
+    // window runs to the end of the run.
+    if (res.committedInsts % tc.intervalInsts != 0) {
+        EXPECT_EQ(series[0]->points.back().cycle, res.cycles);
+        EXPECT_EQ(covered, res.cycles);
+    } else {
+        EXPECT_LE(covered, res.cycles);
+    }
+}
+
+} // anonymous namespace
+} // namespace evax

@@ -7,12 +7,16 @@
  *   timeline FILE            per-interval tables from a timeline JSON
  *   diff A B [flags]         relative-tolerance numeric comparison;
  *                            exit 1 on regression (CI gate)
+ *   metrics FILE [flags]     render a streaming-metrics snapshot or
+ *                            Prometheus exposition (docs/METRICS.md);
+ *                            --diff OTHER compares two snapshots and
+ *                            exits 1 on regression (CI gate)
  *   export-perfetto [flags]  trace JSONL + timeline JSON -> Perfetto
  *   demo [--out-dir D]       short Spectre-PHT gated sim emitting
  *                            one of every artifact (CI smoke)
  *
- * Exit codes: 0 ok, 1 comparison failed (diff only), 2 usage or
- * input error.
+ * Exit codes: 0 ok, 1 comparison failed (diff / metrics --diff
+ * only), 2 usage or input error.
  */
 
 #include <algorithm>
@@ -32,6 +36,7 @@
 #include "util/json.hh"
 #include "util/log.hh"
 #include "util/manifest.hh"
+#include "util/metrics.hh"
 #include "util/statreg.hh"
 #include "util/timeline.hh"
 #include "util/trace_export.hh"
@@ -56,6 +61,15 @@ usage()
         "       [--allow-missing]\n"
         "      compare every numeric leaf; exit 1 when any path\n"
         "      moves more than the relative tolerance\n"
+        "  metrics FILE [--filter SUBSTR]\n"
+        "      render a metrics snapshot (evax-metrics-v1 JSON, or\n"
+        "      a manifest embedding one) with per-histogram\n"
+        "      p50/p95/p99, or a Prometheus exposition text file\n"
+        "  metrics FILE --diff OTHER [--tolerance F]\n"
+        "       [--filter SUBSTR] [--allow-missing]\n"
+        "      compare two snapshots; exit 1 when any series —\n"
+        "      counts, sums or percentiles — regresses past the\n"
+        "      relative tolerance\n"
         "  export-perfetto --out FILE [--trace FILE.jsonl]\n"
         "       [--timeline FILE.json]\n"
         "      convert dumps to Chrome trace-event JSON\n"
@@ -197,6 +211,176 @@ cmdDiff(const std::vector<std::string> &args)
               << (report.failures == 1 ? "" : "s")
               << " at tolerance " << opt.tolerance << "]\n";
     return report.ok() ? 0 : 1;
+}
+
+/**
+ * The evax-metrics-v1 object inside @p doc: the document itself
+ * (a raw Registry::jsonSnapshot() dump) or the "metrics" member of
+ * a run manifest that embedded one. Null when neither matches.
+ */
+const json::Value *
+findMetricsObject(const json::Value &doc)
+{
+    if (const json::Value *schema = doc.find("schema")) {
+        if (schema->asString() == "evax-metrics-v1")
+            return &doc;
+    }
+    if (const json::Value *m = doc.find("metrics")) {
+        if (const json::Value *schema = m->find("schema")) {
+            if (schema->asString() == "evax-metrics-v1")
+                return m;
+        }
+    }
+    return nullptr;
+}
+
+int
+cmdMetrics(const std::vector<std::string> &args)
+{
+    std::string path, other, filter;
+    json::DiffOptions opt;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--diff" && i + 1 < args.size())
+            other = args[++i];
+        else if (args[i] == "--tolerance" && i + 1 < args.size())
+            opt.tolerance = std::strtod(args[++i].c_str(), nullptr);
+        else if (args[i] == "--filter" && i + 1 < args.size())
+            filter = args[++i];
+        else if (args[i] == "--allow-missing")
+            opt.allowMissing = true;
+        else if (path.empty())
+            path = args[i];
+        else
+            return usage();
+    }
+    if (path.empty())
+        return usage();
+
+    json::Value doc;
+    std::string jerr;
+    bool is_json = json::parseFile(path, doc, &jerr);
+
+    if (!other.empty()) {
+        // Snapshot diff (the CI regression gate): counts, sums and
+        // percentiles all compare as numeric leaves.
+        opt.filter = filter;
+        json::Value dob;
+        if (!is_json) {
+            std::cerr << "evax_inspect: " << path << ": " << jerr
+                      << "\n";
+            return 2;
+        }
+        if (!loadJson(other, dob))
+            return 2;
+        const json::Value *ma = findMetricsObject(doc);
+        const json::Value *mb = findMetricsObject(dob);
+        if (!ma || !mb) {
+            std::cerr << "evax_inspect: "
+                      << (ma ? other : path)
+                      << ": no evax-metrics-v1 snapshot\n";
+            return 2;
+        }
+        json::DiffReport report = json::diffNumeric(*ma, *mb, opt);
+        for (const auto &e : report.entries) {
+            if (e.ok)
+                continue;
+            if (e.missingInA || e.missingInB) {
+                std::cout << "MISSING " << e.path << " (only in "
+                          << (e.missingInA ? "B" : "A") << ")\n";
+                continue;
+            }
+            std::cout << "FAIL " << e.path << "  a=" << e.a
+                      << "  b=" << e.b << "  ratio=" << e.ratio
+                      << "\n";
+        }
+        std::cout << "[compared " << report.compared
+                  << " metric paths, " << report.failures
+                  << " failure"
+                  << (report.failures == 1 ? "" : "s")
+                  << " at tolerance " << opt.tolerance << "]\n";
+        return report.ok() ? 0 : 1;
+    }
+
+    auto matches = [&filter](const std::string &name) {
+        return filter.empty() ||
+               name.find(filter) != std::string::npos;
+    };
+
+    if (is_json) {
+        const json::Value *snap = findMetricsObject(doc);
+        const json::Value *m =
+            snap ? snap->find("metrics") : nullptr;
+        if (!m || !m->isObject()) {
+            std::cerr << "evax_inspect: " << path
+                      << ": no evax-metrics-v1 snapshot\n";
+            return 2;
+        }
+        size_t shown = 0;
+        for (const auto &kv : m->object) {
+            if (!matches(kv.first))
+                continue;
+            ++shown;
+            const json::Value &e = kv.second;
+            std::string type;
+            if (const json::Value *t = e.find("type"))
+                type = t->asString();
+            std::cout << kv.first << "\n";
+            if (type == "histogram") {
+                std::cout << "  histogram  count=";
+                if (const json::Value *v = e.find("count"))
+                    std::cout << (uint64_t)v->asNumber();
+                if (const json::Value *v = e.find("sum"))
+                    std::cout << "  sum=" << v->asNumber();
+                for (const char *q : {"p50", "p95", "p99"}) {
+                    if (const json::Value *v = e.find(q))
+                        std::cout << "  " << q << "="
+                                  << v->asNumber();
+                }
+                std::cout << "\n";
+            } else {
+                std::cout << "  " << (type.empty() ? "?" : type)
+                          << "  value=";
+                if (const json::Value *v = e.find("value"))
+                    std::cout << v->asNumber();
+                std::cout << "\n";
+            }
+        }
+        std::cout << "[" << shown << " of " << m->object.size()
+                  << " series in " << path << "]\n";
+        return 0;
+    }
+
+    // Not JSON: Prometheus text exposition.
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "evax_inspect: cannot read " << path << "\n";
+        return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::vector<metrics::ExpositionSample> samples;
+    std::string merr;
+    if (!metrics::parseExposition(buf.str(), samples, &merr)) {
+        std::cerr << "evax_inspect: " << path << ": " << merr
+                  << "\n";
+        return 2;
+    }
+    size_t shown = 0;
+    size_t width = 0;
+    for (const auto &s : samples) {
+        if (matches(s.name))
+            width = std::max(width, s.name.size());
+    }
+    for (const auto &s : samples) {
+        if (!matches(s.name))
+            continue;
+        ++shown;
+        std::cout << std::left << std::setw((int)width + 2)
+                  << s.name << s.value << "\n";
+    }
+    std::cout << "[" << shown << " of " << samples.size()
+              << " samples in " << path << "]\n";
+    return 0;
 }
 
 int
@@ -381,6 +565,8 @@ main(int argc, char **argv)
         return cmdTimeline(args);
     if (cmd == "diff")
         return cmdDiff(args);
+    if (cmd == "metrics")
+        return cmdMetrics(args);
     if (cmd == "export-perfetto")
         return cmdExportPerfetto(args);
     if (cmd == "demo")

@@ -24,9 +24,15 @@
  *     --out FILE.csv        deterministic summary CSV
  *                           (default serve_summary.csv)
  *     --timeline FILE.json  replay timeline (per-batch series)
+ *     --metrics-out FILE    Prometheus text exposition of the
+ *                           replay's streaming metrics
+ *                           (docs/METRICS.md)
  *     --check               exit 1 unless the serving gates hold
  *                           (attack detection >= 0.80, benign FP
- *                           <= 0.05, every window scored)
+ *                           <= 0.05, every window scored, metrics
+ *                           exposition parses); drops wall-clock
+ *                           metric families so the exposition is
+ *                           byte-identical at any thread count
  *     --threads N/--serial  thread-pool width (summary CSV is
  *                           byte-identical at any setting)
  *     --manifest-out FILE   provenance manifest (default
@@ -36,11 +42,14 @@
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "core/serve.hh"
+#include "util/metrics.hh"
 #include "util/timeline.hh"
 
 using namespace evax;
@@ -58,8 +67,8 @@ usage()
         << "       [--jitter F] [--sigma S] [--members N]\n"
         << "       [--no-decisions] [--seed S] [--full]\n"
         << "       [--out FILE.csv] [--timeline FILE.json]\n"
-        << "       [--check] [--threads N|--serial]\n"
-        << "       [--manifest-out FILE]\n";
+        << "       [--metrics-out FILE] [--check]\n"
+        << "       [--threads N|--serial] [--manifest-out FILE]\n";
     return 2;
 }
 
@@ -75,6 +84,7 @@ main(int argc, char **argv)
     cfg.tenants = 1000000;
     std::string out_csv = "serve_summary.csv";
     std::string timeline_out;
+    std::string metrics_out;
     bool check = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -141,6 +151,11 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             timeline_out = v;
+        } else if (arg == "--metrics-out") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            metrics_out = v;
         } else if (arg == "--check") {
             check = true;
         } else if (arg == "--serial" || arg == "--threads" ||
@@ -180,6 +195,13 @@ main(int argc, char **argv)
               << " benign / " << setup.bank.attack.rows()
               << " attack windows]\n";
 
+    // Streaming metrics ride along on every replay; --check drops
+    // the wall-clock families so the exposition (and its digest)
+    // is byte-identical at any thread count.
+    metrics::Registry mreg;
+    cfg.metrics = &mreg;
+    cfg.timingMetrics = !check;
+
     Timeline timeline;
     ServeResult res;
     {
@@ -205,6 +227,19 @@ main(int argc, char **argv)
         obs.manifest().addArtifact(timeline_out);
     }
 
+    const std::string exposition = mreg.exposition();
+    if (!metrics_out.empty()) {
+        std::ofstream mf(metrics_out);
+        if (mf && (mf << exposition)) {
+            std::cout << "[metrics: " << metrics_out << "]\n";
+            obs.manifest().addArtifact(metrics_out);
+        } else {
+            std::cerr << "evax_serve: cannot write " << metrics_out
+                      << "\n";
+        }
+    }
+    obs.manifest().setMetricsSnapshot(mreg.jsonSnapshot());
+
     if (check) {
         uint64_t benign_windows = res.windows - res.attackWindows;
         double detection =
@@ -218,12 +253,22 @@ main(int argc, char **argv)
         uint64_t scored = 0;
         for (const auto &b : res.batchStats)
             scored += b.rows;
+        std::vector<metrics::ExpositionSample> samples;
+        std::string merr;
+        bool metrics_ok =
+            metrics::parseExposition(exposition, samples, &merr) &&
+            !samples.empty();
+        if (!metrics_ok)
+            std::cerr << "evax_serve: bad exposition: " << merr
+                      << "\n";
         bool ok = scored == res.windows &&
                   res.attackWindows > 0 && detection >= 0.80 &&
-                  benign_fpr <= 0.05;
+                  benign_fpr <= 0.05 && metrics_ok;
         std::cout << "[check: scored=" << scored << "/"
                   << res.windows << " detection=" << detection
-                  << " benign_fpr=" << benign_fpr << " -> "
+                  << " benign_fpr=" << benign_fpr
+                  << " metrics_digest=0x" << std::hex
+                  << mreg.expositionDigest() << std::dec << " -> "
                   << (ok ? "PASS" : "FAIL") << "]\n";
         if (!ok)
             return 1;
